@@ -1,0 +1,506 @@
+//! Abstract syntax tree — the paper's "syntax tree" representation of a
+//! block's behavior, plus the transformations code generation needs:
+//! systematic variable renaming and variable-use analysis.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical negation `!`.
+    Not,
+    /// Arithmetic negation `-`.
+    Neg,
+}
+
+/// Binary operators, in increasing precedence groups:
+/// `||` < `&&` < `== !=` < `< <= > >=` < `+ -` < `* / %`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Logical or.
+    Or,
+    /// Logical and.
+    And,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (truncating; division by zero is a runtime error).
+    Div,
+    /// Remainder.
+    Rem,
+}
+
+impl BinOp {
+    /// Parser precedence (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            Self::Or => 1,
+            Self::And => 2,
+            Self::Eq | Self::Ne => 3,
+            Self::Lt | Self::Le | Self::Gt | Self::Ge => 4,
+            Self::Add | Self::Sub => 5,
+            Self::Mul | Self::Div | Self::Rem => 6,
+        }
+    }
+
+    /// Source-syntax spelling (also valid C).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Self::Or => "||",
+            Self::And => "&&",
+            Self::Eq => "==",
+            Self::Ne => "!=",
+            Self::Lt => "<",
+            Self::Le => "<=",
+            Self::Gt => ">",
+            Self::Ge => ">=",
+            Self::Add => "+",
+            Self::Sub => "-",
+            Self::Mul => "*",
+            Self::Div => "/",
+            Self::Rem => "%",
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Boolean literal.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Variable (or input-port) reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: impl Into<String>) -> Self {
+        Self::Var(name.into())
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Self {
+        Self::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for a unary operation.
+    pub fn unary(op: UnOp, operand: Expr) -> Self {
+        Self::Unary(op, Box::new(operand))
+    }
+
+    /// Collects every variable name read by this expression.
+    pub fn vars(&self, into: &mut BTreeSet<String>) {
+        match self {
+            Self::Bool(_) | Self::Int(_) => {}
+            Self::Var(name) => {
+                into.insert(name.clone());
+            }
+            Self::Unary(_, e) => e.vars(into),
+            Self::Binary(_, l, r) => {
+                l.vars(into);
+                r.vars(into);
+            }
+        }
+    }
+
+    /// Rewrites every variable reference through `f` (identity on `None`).
+    pub fn rename_vars(&mut self, f: &mut impl FnMut(&str) -> Option<String>) {
+        match self {
+            Self::Bool(_) | Self::Int(_) => {}
+            Self::Var(name) => {
+                if let Some(new) = f(name) {
+                    *name = new;
+                }
+            }
+            Self::Unary(_, e) => e.rename_vars(f),
+            Self::Binary(_, l, r) => {
+                l.rename_vars(f);
+                r.rename_vars(f);
+            }
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        match self {
+            Self::Bool(v) => write!(f, "{v}"),
+            Self::Int(v) => write!(f, "{v}"),
+            Self::Var(name) => f.write_str(name),
+            Self::Unary(op, e) => {
+                f.write_str(match op {
+                    UnOp::Not => "!",
+                    UnOp::Neg => "-",
+                })?;
+                // Unary binds tighter than any binary operator.
+                e.fmt_prec(f, 7)
+            }
+            Self::Binary(op, l, r) => {
+                let prec = op.precedence();
+                let needs_parens = prec < parent;
+                if needs_parens {
+                    f.write_str("(")?;
+                }
+                l.fmt_prec(f, prec)?;
+                write!(f, " {} ", op.symbol())?;
+                // Left-associative: the right operand needs strictly higher
+                // precedence to avoid parentheses.
+                r.fmt_prec(f, prec + 1)?;
+                if needs_parens {
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Stmt {
+    /// `let name = expr;` — handler-local variable.
+    Let(String, Expr),
+    /// `name = expr;` — assignment to a state variable, local, or output port.
+    Assign(String, Expr),
+    /// `if (cond) { .. } else { .. }` (else branch may be empty).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+}
+
+impl Stmt {
+    /// Rewrites every variable occurrence (reads, writes, and let-bindings)
+    /// through `f` (identity on `None`).
+    pub fn rename_vars(&mut self, f: &mut impl FnMut(&str) -> Option<String>) {
+        match self {
+            Self::Let(name, e) | Self::Assign(name, e) => {
+                e.rename_vars(f);
+                if let Some(new) = f(name) {
+                    *name = new;
+                }
+            }
+            Self::If(cond, then_body, else_body) => {
+                cond.rename_vars(f);
+                for s in then_body.iter_mut().chain(else_body.iter_mut()) {
+                    s.rename_vars(f);
+                }
+            }
+        }
+    }
+
+    /// Collects variables read and written by this statement.
+    pub fn vars(&self, reads: &mut BTreeSet<String>, writes: &mut BTreeSet<String>) {
+        match self {
+            Self::Let(name, e) | Self::Assign(name, e) => {
+                e.vars(reads);
+                writes.insert(name.clone());
+            }
+            Self::If(cond, then_body, else_body) => {
+                cond.vars(reads);
+                for s in then_body.iter().chain(else_body.iter()) {
+                    s.vars(reads, writes);
+                }
+            }
+        }
+    }
+
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "    ".repeat(indent);
+        match self {
+            Self::Let(name, e) => writeln!(f, "{pad}let {name} = {e};"),
+            Self::Assign(name, e) => writeln!(f, "{pad}{name} = {e};"),
+            Self::If(cond, then_body, else_body) => {
+                writeln!(f, "{pad}if ({cond}) {{")?;
+                for s in then_body {
+                    s.fmt_indent(f, indent + 1)?;
+                }
+                if else_body.is_empty() {
+                    writeln!(f, "{pad}}}")
+                } else {
+                    writeln!(f, "{pad}}} else {{")?;
+                    for s in else_body {
+                        s.fmt_indent(f, indent + 1)?;
+                    }
+                    writeln!(f, "{pad}}}")
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+/// Which event a [`Handler`] responds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HandlerKind {
+    /// Packet arrival on any input port (`on input`).
+    Input,
+    /// Periodic timer tick (`on tick`).
+    Tick,
+}
+
+/// An event handler: `on input { .. }` or `on tick { .. }`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Handler {
+    /// Triggering event.
+    pub kind: HandlerKind,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A persistent variable declaration: `state name = literal;`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StateDecl {
+    /// Variable name.
+    pub name: String,
+    /// Initial value (must be a literal).
+    pub init: Expr,
+}
+
+/// A complete behavior program: state declarations plus handlers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Program {
+    /// Persistent variables, initialized once.
+    pub states: Vec<StateDecl>,
+    /// Event handlers (at most one per [`HandlerKind`] after checking).
+    pub handlers: Vec<Handler>,
+}
+
+impl Program {
+    /// The handler for `kind`, if present.
+    pub fn handler(&self, kind: HandlerKind) -> Option<&Handler> {
+        self.handlers.iter().find(|h| h.kind == kind)
+    }
+
+    /// Rewrites every variable occurrence in the whole program through `f`
+    /// (state names, reads, writes; identity on `None`).
+    ///
+    /// This is the merging primitive from §3.3: "the tool changes tree nodes
+    /// that access a block's input or output into a variable access" and
+    /// "the conflict is resolved through variable renaming".
+    pub fn rename_vars(&mut self, mut f: impl FnMut(&str) -> Option<String>) {
+        for st in &mut self.states {
+            if let Some(new) = f(&st.name) {
+                st.name = new;
+            }
+        }
+        for h in &mut self.handlers {
+            for s in &mut h.body {
+                s.rename_vars(&mut f);
+            }
+        }
+    }
+
+    /// All input ports referenced (`in0`, `in1`, …) as port numbers.
+    pub fn inputs_read(&self) -> BTreeSet<u8> {
+        let mut reads = BTreeSet::new();
+        let mut writes = BTreeSet::new();
+        for h in &self.handlers {
+            for s in &h.body {
+                s.vars(&mut reads, &mut writes);
+            }
+        }
+        reads.iter().filter_map(|v| input_port(v)).collect()
+    }
+
+    /// All output ports written (`out0`, `out1`, …) as port numbers.
+    pub fn outputs_written(&self) -> BTreeSet<u8> {
+        let mut reads = BTreeSet::new();
+        let mut writes = BTreeSet::new();
+        for h in &self.handlers {
+            for s in &h.body {
+                s.vars(&mut reads, &mut writes);
+            }
+        }
+        writes.iter().filter_map(|v| output_port(v)).collect()
+    }
+
+    /// Whether the program declares an `on tick` handler (sequential blocks
+    /// driven by time, e.g. pulse generator and delay).
+    pub fn uses_tick(&self) -> bool {
+        self.handler(HandlerKind::Tick).is_some()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for st in &self.states {
+            writeln!(f, "state {} = {};", st.name, st.init)?;
+        }
+        for h in &self.handlers {
+            let kw = match h.kind {
+                HandlerKind::Input => "input",
+                HandlerKind::Tick => "tick",
+            };
+            writeln!(f, "on {kw} {{")?;
+            for s in &h.body {
+                s.fmt_indent(f, 1)?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// If `name` is an input-port reference (`inK`), returns `K`.
+pub fn input_port(name: &str) -> Option<u8> {
+    port_of(name, "in")
+}
+
+/// If `name` is an output-port reference (`outK`), returns `K`.
+pub fn output_port(name: &str) -> Option<u8> {
+    port_of(name, "out")
+}
+
+fn port_of(name: &str, prefix: &str) -> Option<u8> {
+    let digits = name.strip_prefix(prefix)?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and_program() -> Program {
+        Program {
+            states: vec![],
+            handlers: vec![Handler {
+                kind: HandlerKind::Input,
+                body: vec![Stmt::Assign(
+                    "out0".into(),
+                    Expr::binary(BinOp::And, Expr::var("in0"), Expr::var("in1")),
+                )],
+            }],
+        }
+    }
+
+    #[test]
+    fn port_name_recognition() {
+        assert_eq!(input_port("in0"), Some(0));
+        assert_eq!(input_port("in12"), Some(12));
+        assert_eq!(input_port("in"), None);
+        assert_eq!(input_port("inx"), None);
+        assert_eq!(input_port("out0"), None);
+        assert_eq!(output_port("out3"), Some(3));
+        assert_eq!(output_port("output"), None);
+    }
+
+    #[test]
+    fn io_analysis() {
+        let p = and_program();
+        assert_eq!(p.inputs_read().into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(p.outputs_written().into_iter().collect::<Vec<_>>(), vec![0]);
+        assert!(!p.uses_tick());
+    }
+
+    #[test]
+    fn rename_rewrites_everywhere() {
+        let mut p = and_program();
+        p.states.push(StateDecl { name: "q".into(), init: Expr::Bool(false) });
+        p.rename_vars(|v| Some(format!("blk_{v}")));
+        assert_eq!(p.states[0].name, "blk_q");
+        let Stmt::Assign(name, e) = &p.handlers[0].body[0] else {
+            panic!("expected assign");
+        };
+        assert_eq!(name, "blk_out0");
+        assert_eq!(e.to_string(), "blk_in0 && blk_in1");
+    }
+
+    #[test]
+    fn display_parenthesizes_by_precedence() {
+        // (a || b) && c needs parens; a && b || c does not.
+        let e = Expr::binary(
+            BinOp::And,
+            Expr::binary(BinOp::Or, Expr::var("a"), Expr::var("b")),
+            Expr::var("c"),
+        );
+        assert_eq!(e.to_string(), "(a || b) && c");
+        let e = Expr::binary(
+            BinOp::Or,
+            Expr::binary(BinOp::And, Expr::var("a"), Expr::var("b")),
+            Expr::var("c"),
+        );
+        assert_eq!(e.to_string(), "a && b || c");
+    }
+
+    #[test]
+    fn display_right_operand_parens() {
+        // a - (b - c) must keep parentheses (left-associativity).
+        let e = Expr::binary(
+            BinOp::Sub,
+            Expr::var("a"),
+            Expr::binary(BinOp::Sub, Expr::var("b"), Expr::var("c")),
+        );
+        assert_eq!(e.to_string(), "a - (b - c)");
+        // (a - b) - c prints without parens.
+        let e = Expr::binary(
+            BinOp::Sub,
+            Expr::binary(BinOp::Sub, Expr::var("a"), Expr::var("b")),
+            Expr::var("c"),
+        );
+        assert_eq!(e.to_string(), "a - b - c");
+    }
+
+    #[test]
+    fn display_unary() {
+        let e = Expr::unary(
+            UnOp::Not,
+            Expr::binary(BinOp::And, Expr::var("a"), Expr::var("b")),
+        );
+        assert_eq!(e.to_string(), "!(a && b)");
+        let e = Expr::unary(UnOp::Neg, Expr::Int(5));
+        assert_eq!(e.to_string(), "-5");
+    }
+
+    #[test]
+    fn program_display_shape() {
+        let p = and_program();
+        let s = p.to_string();
+        assert!(s.contains("on input {"), "{s}");
+        assert!(s.contains("out0 = in0 && in1;"), "{s}");
+    }
+
+    #[test]
+    fn stmt_vars_tracks_reads_and_writes() {
+        let s = Stmt::If(
+            Expr::var("c"),
+            vec![Stmt::Assign("x".into(), Expr::var("y"))],
+            vec![Stmt::Let("z".into(), Expr::Int(1))],
+        );
+        let (mut reads, mut writes) = (BTreeSet::new(), BTreeSet::new());
+        s.vars(&mut reads, &mut writes);
+        assert!(reads.contains("c") && reads.contains("y"));
+        assert!(writes.contains("x") && writes.contains("z"));
+    }
+}

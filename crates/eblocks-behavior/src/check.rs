@@ -1,0 +1,311 @@
+//! Static semantic checks for behavior programs.
+//!
+//! [`check`] validates a parsed [`Program`] against a block's port arity and
+//! rejects programs the interpreter would fault on: out-of-range port
+//! references, writes to inputs, reads of possibly-undefined variables,
+//! duplicate handlers, and non-constant state initializers.
+
+use crate::ast::{input_port, output_port, Expr, HandlerKind, Program, Stmt};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// A semantic error found by [`check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckError {
+    /// Two handlers with the same kind.
+    DuplicateHandler {
+        /// The duplicated kind.
+        kind: HandlerKind,
+    },
+    /// A state initializer references something other than literals and
+    /// previously declared states.
+    NonConstantStateInit {
+        /// The state variable.
+        name: String,
+        /// The offending reference.
+        reference: String,
+    },
+    /// A state variable declared twice.
+    DuplicateState {
+        /// The duplicated name.
+        name: String,
+    },
+    /// An input-port reference beyond the block's arity.
+    InputOutOfRange {
+        /// Referenced port.
+        port: u8,
+        /// Block input arity.
+        arity: u8,
+    },
+    /// An output-port reference beyond the block's arity.
+    OutputOutOfRange {
+        /// Referenced port.
+        port: u8,
+        /// Block output arity.
+        arity: u8,
+    },
+    /// Assignment to an input port.
+    AssignToInput {
+        /// The port assigned.
+        port: u8,
+    },
+    /// A variable that may be read before assignment.
+    PossiblyUndefined {
+        /// The variable name.
+        name: String,
+    },
+    /// The `on tick` handler reads an input port (inputs are not latched
+    /// across ticks in the eBlock execution model).
+    InputReadInTick {
+        /// The offending port.
+        port: u8,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateHandler { kind } => write!(f, "duplicate `on {kind:?}` handler"),
+            Self::NonConstantStateInit { name, reference } => write!(
+                f,
+                "state `{name}` initializer references `{reference}` which is not a prior state"
+            ),
+            Self::DuplicateState { name } => write!(f, "state `{name}` declared twice"),
+            Self::InputOutOfRange { port, arity } => {
+                write!(f, "input port {port} out of range (block has {arity} inputs)")
+            }
+            Self::OutputOutOfRange { port, arity } => {
+                write!(f, "output port {port} out of range (block has {arity} outputs)")
+            }
+            Self::AssignToInput { port } => write!(f, "cannot assign to input port in{port}"),
+            Self::PossiblyUndefined { name } => {
+                write!(f, "variable `{name}` may be read before assignment")
+            }
+            Self::InputReadInTick { port } => {
+                write!(f, "`on tick` handler reads in{port}; inputs are only visible in `on input`")
+            }
+        }
+    }
+}
+
+impl Error for CheckError {}
+
+/// Checks `program` against a block with `num_inputs` input ports and
+/// `num_outputs` output ports.
+///
+/// Returns every problem found (empty means the program is well-formed).
+pub fn check(program: &Program, num_inputs: u8, num_outputs: u8) -> Vec<CheckError> {
+    let mut errors = Vec::new();
+
+    // Handlers unique per kind.
+    for kind in [HandlerKind::Input, HandlerKind::Tick] {
+        if program.handlers.iter().filter(|h| h.kind == kind).count() > 1 {
+            errors.push(CheckError::DuplicateHandler { kind });
+        }
+    }
+
+    // State declarations: unique names, constant initializers.
+    let mut declared: BTreeSet<&str> = BTreeSet::new();
+    for st in &program.states {
+        if !declared.insert(&st.name) {
+            errors.push(CheckError::DuplicateState { name: st.name.clone() });
+        }
+        let mut refs = BTreeSet::new();
+        st.init.vars(&mut refs);
+        for r in refs {
+            if !declared.contains(r.as_str()) || r == st.name {
+                errors.push(CheckError::NonConstantStateInit {
+                    name: st.name.clone(),
+                    reference: r,
+                });
+            }
+        }
+    }
+
+    for handler in &program.handlers {
+        // Defined set: states plus outputs assigned so far (outputs may be
+        // read back after assignment); inputs are implicitly defined in the
+        // input handler.
+        let mut defined: BTreeSet<String> =
+            program.states.iter().map(|s| s.name.clone()).collect();
+        check_body(
+            &handler.body,
+            &mut defined,
+            handler.kind,
+            num_inputs,
+            num_outputs,
+            &mut errors,
+        );
+    }
+
+    errors
+}
+
+fn check_expr(
+    e: &Expr,
+    defined: &BTreeSet<String>,
+    kind: HandlerKind,
+    num_inputs: u8,
+    num_outputs: u8,
+    errors: &mut Vec<CheckError>,
+) {
+    let mut refs = BTreeSet::new();
+    e.vars(&mut refs);
+    for name in refs {
+        if let Some(port) = input_port(&name) {
+            if kind == HandlerKind::Tick {
+                errors.push(CheckError::InputReadInTick { port });
+            } else if port >= num_inputs {
+                errors.push(CheckError::InputOutOfRange { port, arity: num_inputs });
+            }
+        } else if let Some(port) = output_port(&name) {
+            if port >= num_outputs {
+                errors.push(CheckError::OutputOutOfRange { port, arity: num_outputs });
+            } else if !defined.contains(&name) {
+                errors.push(CheckError::PossiblyUndefined { name });
+            }
+        } else if !defined.contains(&name) {
+            errors.push(CheckError::PossiblyUndefined { name });
+        }
+    }
+}
+
+fn check_body(
+    body: &[Stmt],
+    defined: &mut BTreeSet<String>,
+    kind: HandlerKind,
+    num_inputs: u8,
+    num_outputs: u8,
+    errors: &mut Vec<CheckError>,
+) {
+    for stmt in body {
+        match stmt {
+            Stmt::Let(name, e) | Stmt::Assign(name, e) => {
+                check_expr(e, defined, kind, num_inputs, num_outputs, errors);
+                if let Some(port) = input_port(name) {
+                    errors.push(CheckError::AssignToInput { port });
+                } else if let Some(port) = output_port(name) {
+                    if port >= num_outputs {
+                        errors.push(CheckError::OutputOutOfRange { port, arity: num_outputs });
+                    }
+                }
+                defined.insert(name.clone());
+            }
+            Stmt::If(cond, then_body, else_body) => {
+                check_expr(cond, defined, kind, num_inputs, num_outputs, errors);
+                // Definite assignment: only names assigned on *both* branches
+                // are defined afterwards.
+                let mut then_defined = defined.clone();
+                check_body(then_body, &mut then_defined, kind, num_inputs, num_outputs, errors);
+                let mut else_defined = defined.clone();
+                check_body(else_body, &mut else_defined, kind, num_inputs, num_outputs, errors);
+                *defined = then_defined.intersection(&else_defined).cloned().collect();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str, ni: u8, no: u8) -> Vec<CheckError> {
+        check(&parse(src).unwrap(), ni, no)
+    }
+
+    #[test]
+    fn valid_programs_pass() {
+        assert!(check_src("on input { out0 = in0 && in1; }", 2, 1).is_empty());
+        assert!(check_src(
+            "state q = false; state p = false; on input { if (in0 && !p) { q = !q; } p = in0; out0 = q; }",
+            1,
+            1
+        )
+        .is_empty());
+        assert!(check_src("", 0, 0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_handlers_flagged() {
+        let errs = check_src("on input { } on input { }", 1, 1);
+        assert!(errs.contains(&CheckError::DuplicateHandler { kind: HandlerKind::Input }));
+    }
+
+    #[test]
+    fn port_ranges_enforced() {
+        let errs = check_src("on input { out0 = in2; }", 2, 1);
+        assert!(errs.contains(&CheckError::InputOutOfRange { port: 2, arity: 2 }));
+        let errs = check_src("on input { out1 = in0; }", 1, 1);
+        assert!(errs.contains(&CheckError::OutputOutOfRange { port: 1, arity: 1 }));
+    }
+
+    #[test]
+    fn assign_to_input_flagged() {
+        let errs = check_src("on input { in0 = true; }", 1, 1);
+        assert!(errs.contains(&CheckError::AssignToInput { port: 0 }));
+    }
+
+    #[test]
+    fn undefined_reads_flagged() {
+        let errs = check_src("on input { out0 = ghost; }", 1, 1);
+        assert!(errs.contains(&CheckError::PossiblyUndefined { name: "ghost".into() }));
+    }
+
+    #[test]
+    fn branch_definition_requires_both_arms() {
+        // x only defined in the then-branch: flagged.
+        let errs = check_src("on input { if (in0) { x = 1; } out0 = x > 0; }", 1, 1);
+        assert!(errs.contains(&CheckError::PossiblyUndefined { name: "x".into() }));
+        // Defined in both arms: fine.
+        let errs = check_src(
+            "on input { if (in0) { x = 1; } else { x = 2; } out0 = x > 0; }",
+            1,
+            1,
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn output_readback_requires_prior_assignment() {
+        let errs = check_src("on input { out1 = !out0; out0 = in0; }", 1, 2);
+        assert!(errs.contains(&CheckError::PossiblyUndefined { name: "out0".into() }));
+        let errs = check_src("on input { out0 = in0; out1 = !out0; }", 1, 2);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn state_initializers_must_be_constant() {
+        let errs = check_src("state a = b + 1; on input { }", 0, 0);
+        assert!(matches!(
+            &errs[0],
+            CheckError::NonConstantStateInit { name, reference } if name == "a" && reference == "b"
+        ));
+        // Prior states are allowed.
+        assert!(check_src("state a = 1; state b = a + 1;", 0, 0).is_empty());
+        // Self-reference is not.
+        let errs = check_src("state a = a + 1;", 0, 0);
+        assert!(!errs.is_empty());
+    }
+
+    #[test]
+    fn duplicate_state_flagged() {
+        let errs = check_src("state a = 1; state a = 2;", 0, 0);
+        assert!(errs.contains(&CheckError::DuplicateState { name: "a".into() }));
+    }
+
+    #[test]
+    fn tick_cannot_read_inputs() {
+        let errs = check_src("on tick { out0 = in0; }", 1, 1);
+        assert!(errs.contains(&CheckError::InputReadInTick { port: 0 }));
+    }
+
+    #[test]
+    fn error_messages_display() {
+        for e in check_src("on tick { out0 = in0; } on input { in0 = true; out3 = ghost; }", 1, 1) {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

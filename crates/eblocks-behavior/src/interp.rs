@@ -1,0 +1,419 @@
+//! Tree-walking interpreter — the simulator's evaluator for behavior
+//! syntax trees ("The simulator's interpreter evaluates the tree in the same
+//! manner as a non-programmable block", §3.3).
+
+use crate::ast::{input_port, output_port, BinOp, Expr, HandlerKind, Program, Stmt, UnOp};
+use crate::value::{EvalError, Value};
+use std::collections::HashMap;
+
+/// The outputs produced by one handler invocation: a map from output-port
+/// number to the last value assigned to it.
+pub type Outputs = HashMap<u8, Value>;
+
+/// An executable instance of a behavior [`Program`]: the program plus its
+/// persistent state environment.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    program: Program,
+    state: HashMap<String, Value>,
+}
+
+impl Machine {
+    /// Instantiates a machine, initializing every `state` variable.
+    ///
+    /// State initializers are evaluated in declaration order and may refer to
+    /// previously declared state variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state initializer fails to evaluate (references an
+    /// undeclared variable or divides by zero). Run
+    /// [`check`](crate::check::check) first to reject such programs cleanly.
+    pub fn new(program: &Program) -> Self {
+        let mut machine = Self {
+            program: program.clone(),
+            state: HashMap::new(),
+        };
+        for decl in &machine.program.states.clone() {
+            let v = eval(&decl.init, &machine.state, &[])
+                .expect("state initializers are literals or prior states; run check() first");
+            machine.state.insert(decl.name.clone(), v);
+        }
+        machine
+    }
+
+    /// Runs the `on input` handler with the given input-port values.
+    ///
+    /// Returns the outputs assigned during this invocation (ports not
+    /// assigned are absent — an eBlock only transmits a packet when its
+    /// handler drives the output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`EvalError`] from the handler body.
+    pub fn on_input(&mut self, inputs: &[Value]) -> Result<Outputs, EvalError> {
+        self.run_handler(HandlerKind::Input, inputs)
+    }
+
+    /// Runs the `on tick` handler (no inputs are readable during a tick).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`EvalError`] from the handler body.
+    pub fn on_tick(&mut self) -> Result<Outputs, EvalError> {
+        self.run_handler(HandlerKind::Tick, &[])
+    }
+
+    /// Whether the program has an `on tick` handler.
+    pub fn uses_tick(&self) -> bool {
+        self.program.uses_tick()
+    }
+
+    /// Reads a state variable (for tests and probes).
+    pub fn state(&self, name: &str) -> Option<Value> {
+        self.state.get(name).copied()
+    }
+
+    fn run_handler(&mut self, kind: HandlerKind, inputs: &[Value]) -> Result<Outputs, EvalError> {
+        let Some(handler) = self.program.handler(kind) else {
+            return Ok(Outputs::new());
+        };
+        let body = handler.body.clone();
+        let mut frame = Frame {
+            state: &mut self.state,
+            locals: HashMap::new(),
+            outputs: Outputs::new(),
+            inputs,
+        };
+        for stmt in &body {
+            frame.exec(stmt)?;
+        }
+        Ok(frame.outputs)
+    }
+}
+
+/// One handler invocation's mutable context.
+struct Frame<'a> {
+    state: &'a mut HashMap<String, Value>,
+    locals: HashMap<String, Value>,
+    outputs: Outputs,
+    inputs: &'a [Value],
+}
+
+impl Frame<'_> {
+    fn exec(&mut self, stmt: &Stmt) -> Result<(), EvalError> {
+        match stmt {
+            Stmt::Let(name, e) => {
+                let v = self.eval(e)?;
+                self.locals.insert(name.clone(), v);
+            }
+            Stmt::Assign(name, e) => {
+                let v = self.eval(e)?;
+                if let Some(port) = output_port(name) {
+                    self.outputs.insert(port, v);
+                } else if self.locals.contains_key(name) {
+                    self.locals.insert(name.clone(), v);
+                } else {
+                    // Assignment to an undeclared name creates/updates state;
+                    // check() rejects programs that rely on this accidentally.
+                    self.state.insert(name.clone(), v);
+                }
+            }
+            Stmt::If(cond, then_body, else_body) => {
+                let branch = if self.eval(cond)?.as_bool()? {
+                    then_body
+                } else {
+                    else_body
+                };
+                for s in branch {
+                    self.exec(s)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn eval(&self, e: &Expr) -> Result<Value, EvalError> {
+        eval_with(e, |name| {
+            if let Some(port) = input_port(name) {
+                return self
+                    .inputs
+                    .get(port as usize)
+                    .copied()
+                    .ok_or(EvalError::InputOutOfRange {
+                        port,
+                        supplied: self.inputs.len(),
+                    });
+            }
+            if let Some(port) = output_port(name) {
+                // Reading back an output yields its last written value this
+                // invocation; reading an unwritten output is an error.
+                return self
+                    .outputs
+                    .get(&port)
+                    .copied()
+                    .ok_or_else(|| EvalError::UndefinedVariable { name: name.into() });
+            }
+            self.locals
+                .get(name)
+                .or_else(|| self.state.get(name))
+                .copied()
+                .ok_or_else(|| EvalError::UndefinedVariable { name: name.into() })
+        })
+    }
+}
+
+/// Evaluates an expression against a plain variable map (used for state
+/// initializers, where no ports are in scope).
+fn eval(e: &Expr, vars: &HashMap<String, Value>, inputs: &[Value]) -> Result<Value, EvalError> {
+    eval_with(e, |name| {
+        if let Some(port) = input_port(name) {
+            return inputs
+                .get(port as usize)
+                .copied()
+                .ok_or(EvalError::InputOutOfRange {
+                    port,
+                    supplied: inputs.len(),
+                });
+        }
+        vars.get(name)
+            .copied()
+            .ok_or_else(|| EvalError::UndefinedVariable { name: name.into() })
+    })
+}
+
+/// Expression evaluation over an arbitrary variable resolver.
+fn eval_with(
+    e: &Expr,
+    mut lookup: impl FnMut(&str) -> Result<Value, EvalError> + Copy,
+) -> Result<Value, EvalError> {
+    match e {
+        Expr::Bool(b) => Ok(Value::Bool(*b)),
+        Expr::Int(v) => Ok(Value::Int(*v)),
+        Expr::Var(name) => lookup(name),
+        Expr::Unary(op, inner) => {
+            let v = eval_with(inner, lookup)?;
+            match op {
+                UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
+                UnOp::Neg => v.as_int()?.checked_neg().map(Value::Int).ok_or(EvalError::Overflow),
+            }
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            // && and || short-circuit, like the Java-like source language.
+            match op {
+                BinOp::And => {
+                    return Ok(Value::Bool(
+                        eval_with(lhs, lookup)?.as_bool()? && eval_with(rhs, lookup)?.as_bool()?,
+                    ))
+                }
+                BinOp::Or => {
+                    return Ok(Value::Bool(
+                        eval_with(lhs, lookup)?.as_bool()? || eval_with(rhs, lookup)?.as_bool()?,
+                    ))
+                }
+                _ => {}
+            }
+            let l = eval_with(lhs, lookup)?;
+            let r = eval_with(rhs, lookup)?;
+            match op {
+                BinOp::Eq | BinOp::Ne => {
+                    let equal = match (l, r) {
+                        (Value::Bool(a), Value::Bool(b)) => a == b,
+                        (Value::Int(a), Value::Int(b)) => a == b,
+                        _ => {
+                            return Err(EvalError::TypeMismatch {
+                                expected: l.type_name(),
+                                found: r.type_name(),
+                            })
+                        }
+                    };
+                    Ok(Value::Bool(if *op == BinOp::Eq { equal } else { !equal }))
+                }
+                BinOp::Lt => Ok(Value::Bool(l.as_int()? < r.as_int()?)),
+                BinOp::Le => Ok(Value::Bool(l.as_int()? <= r.as_int()?)),
+                BinOp::Gt => Ok(Value::Bool(l.as_int()? > r.as_int()?)),
+                BinOp::Ge => Ok(Value::Bool(l.as_int()? >= r.as_int()?)),
+                BinOp::Add => l
+                    .as_int()?
+                    .checked_add(r.as_int()?)
+                    .map(Value::Int)
+                    .ok_or(EvalError::Overflow),
+                BinOp::Sub => l
+                    .as_int()?
+                    .checked_sub(r.as_int()?)
+                    .map(Value::Int)
+                    .ok_or(EvalError::Overflow),
+                BinOp::Mul => l
+                    .as_int()?
+                    .checked_mul(r.as_int()?)
+                    .map(Value::Int)
+                    .ok_or(EvalError::Overflow),
+                BinOp::Div => {
+                    let d = r.as_int()?;
+                    if d == 0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    l.as_int()?.checked_div(d).map(Value::Int).ok_or(EvalError::Overflow)
+                }
+                BinOp::Rem => {
+                    let d = r.as_int()?;
+                    if d == 0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    l.as_int()?.checked_rem(d).map(Value::Int).ok_or(EvalError::Overflow)
+                }
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run_once(src: &str, inputs: &[bool]) -> Outputs {
+        let p = parse(src).unwrap();
+        let mut m = Machine::new(&p);
+        let vals: Vec<Value> = inputs.iter().map(|&b| Value::Bool(b)).collect();
+        m.on_input(&vals).unwrap()
+    }
+
+    #[test]
+    fn combinational_and() {
+        let src = "on input { out0 = in0 && in1; }";
+        assert_eq!(run_once(src, &[true, true]).get(&0), Some(&Value::Bool(true)));
+        assert_eq!(run_once(src, &[true, false]).get(&0), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn toggle_flips_on_rising_edge() {
+        let src = "state q = false;\nstate prev = false;\non input { if (in0 && !prev) { q = !q; } prev = in0; out0 = q; }";
+        let p = parse(src).unwrap();
+        let mut m = Machine::new(&p);
+        let hi = [Value::Bool(true)];
+        let lo = [Value::Bool(false)];
+        assert_eq!(m.on_input(&hi).unwrap().get(&0), Some(&Value::Bool(true)));
+        // Held high: no further flip.
+        assert_eq!(m.on_input(&hi).unwrap().get(&0), Some(&Value::Bool(true)));
+        assert_eq!(m.on_input(&lo).unwrap().get(&0), Some(&Value::Bool(true)));
+        // Second rising edge flips back off.
+        assert_eq!(m.on_input(&hi).unwrap().get(&0), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn tick_handler_counts_down() {
+        let src = "state n = 3;\non tick { if (n > 0) { n = n - 1; } out0 = n > 0; }";
+        let p = parse(src).unwrap();
+        let mut m = Machine::new(&p);
+        assert!(m.uses_tick());
+        assert_eq!(m.on_tick().unwrap().get(&0), Some(&Value::Bool(true))); // 2
+        assert_eq!(m.on_tick().unwrap().get(&0), Some(&Value::Bool(true))); // 1
+        assert_eq!(m.on_tick().unwrap().get(&0), Some(&Value::Bool(false))); // 0
+        assert_eq!(m.state("n"), Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn missing_handler_is_noop() {
+        let p = parse("on input { out0 = in0; }").unwrap();
+        let mut m = Machine::new(&p);
+        assert!(m.on_tick().unwrap().is_empty());
+    }
+
+    #[test]
+    fn unassigned_outputs_absent() {
+        let outs = run_once("on input { if (in0) { out0 = true; } }", &[false]);
+        assert!(outs.is_empty(), "no packet when the handler never drives out0");
+    }
+
+    #[test]
+    fn locals_shadow_state() {
+        let src = "state x = 1;\non input { let x = 10; x = x + 1; out0 = x == 11; }";
+        let p = parse(src).unwrap();
+        let mut m = Machine::new(&p);
+        let outs = m.on_input(&[]).unwrap();
+        assert_eq!(outs.get(&0), Some(&Value::Bool(true)));
+        assert_eq!(m.state("x"), Some(Value::Int(1)), "state untouched by local");
+    }
+
+    #[test]
+    fn output_readback_within_invocation() {
+        let outs = run_once("on input { out0 = in0; out1 = !out0; }", &[true]);
+        assert_eq!(outs.get(&1), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn short_circuit_prevents_errors() {
+        // Division by zero on the right of && never evaluates when lhs false.
+        let src = "on input { out0 = in0 && (1 / 0) == 1; }";
+        let p = parse(src).unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(
+            m.on_input(&[Value::Bool(false)]).unwrap().get(&0),
+            Some(&Value::Bool(false))
+        );
+        assert_eq!(
+            m.on_input(&[Value::Bool(true)]).unwrap_err(),
+            EvalError::DivisionByZero
+        );
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let p = parse("on input { out0 = 1 && true; }").unwrap();
+        let err = Machine::new(&p).on_input(&[]).unwrap_err();
+        assert!(matches!(err, EvalError::TypeMismatch { .. }));
+
+        let p = parse("on input { out0 = true == 1; }").unwrap();
+        let err = Machine::new(&p).on_input(&[]).unwrap_err();
+        assert!(matches!(err, EvalError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn undefined_variable_reported() {
+        let p = parse("on input { out0 = ghost; }").unwrap();
+        assert_eq!(
+            Machine::new(&p).on_input(&[]).unwrap_err(),
+            EvalError::UndefinedVariable { name: "ghost".into() }
+        );
+    }
+
+    #[test]
+    fn input_out_of_range_reported() {
+        let p = parse("on input { out0 = in3; }").unwrap();
+        let err = Machine::new(&p).on_input(&[Value::Bool(true)]).unwrap_err();
+        assert_eq!(err, EvalError::InputOutOfRange { port: 3, supplied: 1 });
+    }
+
+    #[test]
+    fn arithmetic_semantics() {
+        let cases = [
+            ("7 / 2", Value::Int(3)),
+            ("7 % 2", Value::Int(1)),
+            ("-7 / 2", Value::Int(-3)),
+            ("2 * 3 + 4", Value::Int(10)),
+            ("10 - 2 - 3", Value::Int(5)),
+        ];
+        for (expr, expected) in cases {
+            let p = parse(&format!("on input {{ x = {expr}; out0 = x == {expected}; }}")).unwrap();
+            let outs = Machine::new(&p).on_input(&[]).unwrap();
+            assert_eq!(outs.get(&0), Some(&Value::Bool(true)), "{expr}");
+        }
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let p = parse(&format!("on input {{ x = {} + 1; }}", i64::MAX)).unwrap();
+        assert_eq!(Machine::new(&p).on_input(&[]).unwrap_err(), EvalError::Overflow);
+    }
+
+    #[test]
+    fn state_initializers_see_prior_states() {
+        let p = parse("state a = 2; state b = a * 3; on input { out0 = b == 6; }").unwrap();
+        let outs = Machine::new(&p).on_input(&[]).unwrap();
+        assert_eq!(outs.get(&0), Some(&Value::Bool(true)));
+    }
+}

@@ -1,0 +1,326 @@
+//! Tokenizer for the behavior language.
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword-candidate (`state`, `on`, names, `in0`, …).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `!`
+    Not,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Ident(s) => write!(f, "`{s}`"),
+            Self::Int(v) => write!(f, "`{v}`"),
+            Self::Bool(v) => write!(f, "`{v}`"),
+            Self::LBrace => f.write_str("`{`"),
+            Self::RBrace => f.write_str("`}`"),
+            Self::LParen => f.write_str("`(`"),
+            Self::RParen => f.write_str("`)`"),
+            Self::Semi => f.write_str("`;`"),
+            Self::Assign => f.write_str("`=`"),
+            Self::Eq => f.write_str("`==`"),
+            Self::Ne => f.write_str("`!=`"),
+            Self::Lt => f.write_str("`<`"),
+            Self::Le => f.write_str("`<=`"),
+            Self::Gt => f.write_str("`>`"),
+            Self::Ge => f.write_str("`>=`"),
+            Self::And => f.write_str("`&&`"),
+            Self::Or => f.write_str("`||`"),
+            Self::Not => f.write_str("`!`"),
+            Self::Plus => f.write_str("`+`"),
+            Self::Minus => f.write_str("`-`"),
+            Self::Star => f.write_str("`*`"),
+            Self::Slash => f.write_str("`/`"),
+            Self::Percent => f.write_str("`%`"),
+        }
+    }
+}
+
+/// A lexical error (unexpected character or malformed literal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for LexError {}
+
+/// Tokenizes behavior-language source. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on characters outside the language or integer
+/// literals that overflow `i64`.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let (mut line, mut col) = (1usize, 1usize);
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '/' => {
+                bump!();
+                match chars.peek() {
+                    Some('/') => {
+                        while let Some(&c2) = chars.peek() {
+                            if c2 == '\n' {
+                                break;
+                            }
+                            bump!();
+                        }
+                    }
+                    _ => tokens.push(Token { kind: TokenKind::Slash, line: tline, col: tcol }),
+                }
+            }
+            '{' | '}' | '(' | ')' | ';' | '+' | '-' | '*' | '%' => {
+                bump!();
+                let kind = match c {
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    ';' => TokenKind::Semi,
+                    '+' => TokenKind::Plus,
+                    '-' => TokenKind::Minus,
+                    '*' => TokenKind::Star,
+                    _ => TokenKind::Percent,
+                };
+                tokens.push(Token { kind, line: tline, col: tcol });
+            }
+            '=' | '!' | '<' | '>' => {
+                bump!();
+                let followed_by_eq = chars.peek() == Some(&'=');
+                if followed_by_eq {
+                    bump!();
+                }
+                let kind = match (c, followed_by_eq) {
+                    ('=', true) => TokenKind::Eq,
+                    ('=', false) => TokenKind::Assign,
+                    ('!', true) => TokenKind::Ne,
+                    ('!', false) => TokenKind::Not,
+                    ('<', true) => TokenKind::Le,
+                    ('<', false) => TokenKind::Lt,
+                    ('>', true) => TokenKind::Ge,
+                    (_, false) => TokenKind::Gt,
+                    (_, true) => TokenKind::Ge,
+                };
+                tokens.push(Token { kind, line: tline, col: tcol });
+            }
+            '&' | '|' => {
+                bump!();
+                if chars.peek() == Some(&c) {
+                    bump!();
+                    let kind = if c == '&' { TokenKind::And } else { TokenKind::Or };
+                    tokens.push(Token { kind, line: tline, col: tcol });
+                } else {
+                    return Err(LexError {
+                        message: format!("single `{c}` (use `{c}{c}`)"),
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+            }
+            '0'..='9' => {
+                let mut text = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        text.push(d);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let value: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` out of range"),
+                    line: tline,
+                    col: tcol,
+                })?;
+                tokens.push(Token { kind: TokenKind::Int(value), line: tline, col: tcol });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        text.push(d);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match text.as_str() {
+                    "true" => TokenKind::Bool(true),
+                    "false" => TokenKind::Bool(false),
+                    _ => TokenKind::Ident(text),
+                };
+                tokens.push(Token { kind, line: tline, col: tcol });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("= == != ! < <= > >= && || + - * / %"),
+            vec![Assign, Eq, Ne, Not, Lt, Le, Gt, Ge, And, Or, Plus, Minus, Star, Slash, Percent]
+        );
+    }
+
+    #[test]
+    fn lexes_idents_and_literals() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("state q = false; x = 42;"),
+            vec![
+                Ident("state".into()),
+                Ident("q".into()),
+                Assign,
+                Bool(false),
+                Semi,
+                Ident("x".into()),
+                Assign,
+                Int(42),
+                Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(kinds("a // whole line\nb"), kinds("a\nb"));
+        assert_eq!(kinds("// only comment"), vec![]);
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_stray_ampersand() {
+        let err = lex("a & b").unwrap_err();
+        assert!(err.message.contains("&&"), "{err}");
+        assert_eq!((err.line, err.col), (1, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_char() {
+        assert!(lex("a @ b").is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_int() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn underscore_idents_allowed() {
+        use TokenKind::*;
+        assert_eq!(kinds("_x x_1"), vec![Ident("_x".into()), Ident("x_1".into())]);
+    }
+}

@@ -1,0 +1,410 @@
+//! Recursive-descent parser for the behavior language.
+
+use crate::ast::{BinOp, Expr, Handler, HandlerKind, Program, StateDecl, Stmt, UnOp};
+use crate::lexer::{lex, LexError, Token, TokenKind};
+use std::error::Error;
+use std::fmt;
+
+/// A parse error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line (0 when the input ended unexpectedly).
+    pub line: usize,
+    /// 1-based source column (0 when the input ended unexpectedly).
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error at end of input: {}", self.message)
+        } else {
+            write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        Self {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// Parses a behavior program.
+///
+/// Grammar (EBNF):
+///
+/// ```text
+/// program  := (state | handler)*
+/// state    := "state" IDENT "=" expr ";"
+/// handler  := "on" ("input" | "tick") block
+/// block    := "{" stmt* "}"
+/// stmt     := "let" IDENT "=" expr ";"
+///           | IDENT "=" expr ";"
+///           | "if" "(" expr ")" block ("else" block)?
+/// expr     := binary expression over unary / primary, C precedence
+/// primary  := INT | "true" | "false" | IDENT | "(" expr ")"
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem. Semantic
+/// validation (undefined variables, port arity) is separate: see
+/// [`crate::check`](fn@crate::check).
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos)
+            .map_or((0, 0), |t| (t.line, t.col))
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            let found = self
+                .peek()
+                .map_or("end of input".to_string(), |t| t.to_string());
+            Err(self.err(format!("expected {what}, found {found}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Ident(_)) => {
+                let Some(TokenKind::Ident(name)) = self.bump() else {
+                    unreachable!("peeked ident");
+                };
+                Ok(name)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program::default();
+        while let Some(kind) = self.peek() {
+            match kind {
+                TokenKind::Ident(w) if w == "state" => {
+                    self.bump();
+                    let name = self.ident("state variable name")?;
+                    self.expect(&TokenKind::Assign, "`=`")?;
+                    let init = self.expr()?;
+                    self.expect(&TokenKind::Semi, "`;`")?;
+                    program.states.push(StateDecl { name, init });
+                }
+                TokenKind::Ident(w) if w == "on" => {
+                    self.bump();
+                    let which = self.ident("`input` or `tick`")?;
+                    let kind = match which.as_str() {
+                        "input" => HandlerKind::Input,
+                        "tick" => HandlerKind::Tick,
+                        other => {
+                            return Err(self.err(format!(
+                                "expected `input` or `tick` after `on`, found `{other}`"
+                            )))
+                        }
+                    };
+                    let body = self.block()?;
+                    program.handlers.push(Handler { kind, body });
+                }
+                other => {
+                    let msg = format!("expected `state` or `on` at top level, found {other}");
+                    return Err(self.err(msg));
+                }
+            }
+        }
+        Ok(program)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenKind::RBrace) => {
+                    self.bump();
+                    return Ok(stmts);
+                }
+                Some(_) => stmts.push(self.stmt()?),
+                None => return Err(self.err("unclosed block, expected `}`")),
+            }
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Ident(w)) if w == "let" => {
+                self.bump();
+                let name = self.ident("variable name after `let`")?;
+                self.expect(&TokenKind::Assign, "`=`")?;
+                let e = self.expr()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Let(name, e))
+            }
+            Some(TokenKind::Ident(w)) if w == "if" => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                let then_body = self.block()?;
+                let else_body = if matches!(self.peek(), Some(TokenKind::Ident(w)) if w == "else") {
+                    self.bump();
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then_body, else_body))
+            }
+            Some(TokenKind::Ident(_)) => {
+                let name = self.ident("variable name")?;
+                self.expect(&TokenKind::Assign, "`=`")?;
+                let e = self.expr()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Assign(name, e))
+            }
+            _ => Err(self.err("expected a statement")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_expr(0)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        while let Some(op) = self.peek().and_then(binop_of) {
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            // Left-associative: parse the right side at prec + 1.
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Not) => {
+                self.bump();
+                Ok(Expr::unary(UnOp::Not, self.unary_expr()?))
+            }
+            Some(TokenKind::Minus) => {
+                self.bump();
+                Ok(Expr::unary(UnOp::Neg, self.unary_expr()?))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(TokenKind::Int(v)) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Some(TokenKind::Bool(v)) => {
+                self.bump();
+                Ok(Expr::Bool(v))
+            }
+            Some(TokenKind::Ident(name)) => {
+                self.bump();
+                Ok(Expr::Var(name))
+            }
+            Some(TokenKind::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(other) => Err(self.err(format!("expected an expression, found {other}"))),
+            None => Err(self.err("expected an expression, found end of input")),
+        }
+    }
+}
+
+fn binop_of(kind: &TokenKind) -> Option<BinOp> {
+    Some(match kind {
+        TokenKind::Or => BinOp::Or,
+        TokenKind::And => BinOp::And,
+        TokenKind::Eq => BinOp::Eq,
+        TokenKind::Ne => BinOp::Ne,
+        TokenKind::Lt => BinOp::Lt,
+        TokenKind::Le => BinOp::Le,
+        TokenKind::Gt => BinOp::Gt,
+        TokenKind::Ge => BinOp::Ge,
+        TokenKind::Plus => BinOp::Add,
+        TokenKind::Minus => BinOp::Sub,
+        TokenKind::Star => BinOp::Mul,
+        TokenKind::Slash => BinOp::Div,
+        TokenKind::Percent => BinOp::Rem,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_block() {
+        let p = parse("on input { out0 = in0 && in1; }").unwrap();
+        assert_eq!(p.handlers.len(), 1);
+        assert_eq!(p.handlers[0].kind, HandlerKind::Input);
+        assert_eq!(p.handlers[0].body.len(), 1);
+    }
+
+    #[test]
+    fn parses_toggle_with_state() {
+        let src = "state q = false;\nstate prev = false;\non input {\n  if (in0 && !prev) { q = !q; }\n  prev = in0;\n  out0 = q;\n}";
+        let p = parse(src).unwrap();
+        assert_eq!(p.states.len(), 2);
+        assert_eq!(p.handlers[0].body.len(), 3);
+        assert!(matches!(&p.handlers[0].body[0], Stmt::If(_, t, e) if t.len() == 1 && e.is_empty()));
+    }
+
+    #[test]
+    fn parses_if_else_and_tick() {
+        let src = "state n = 0; on tick { if (n > 0) { n = n - 1; } else { n = 0; } }";
+        let p = parse(src).unwrap();
+        assert!(p.uses_tick());
+        let Stmt::If(_, _, else_body) = &p.handlers[0].body[0] else {
+            panic!("expected if");
+        };
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn precedence_matches_c() {
+        let p = parse("on input { out0 = in0 || in1 && in2; }").unwrap();
+        let Stmt::Assign(_, e) = &p.handlers[0].body[0] else {
+            panic!()
+        };
+        // && binds tighter: in0 || (in1 && in2)
+        assert_eq!(e.to_string(), "in0 || in1 && in2");
+        let Expr::Binary(BinOp::Or, _, _) = e else {
+            panic!("top must be ||, got {e:?}")
+        };
+    }
+
+    #[test]
+    fn arithmetic_precedence_and_assoc() {
+        let p = parse("on input { x = 1 + 2 * 3 - 4; }").unwrap();
+        let Stmt::Assign(_, e) = &p.handlers[0].body[0] else {
+            panic!()
+        };
+        // (1 + (2*3)) - 4
+        assert_eq!(e.to_string(), "1 + 2 * 3 - 4");
+        let Expr::Binary(BinOp::Sub, lhs, _) = e else {
+            panic!("top must be -")
+        };
+        let Expr::Binary(BinOp::Add, _, _) = lhs.as_ref() else {
+            panic!("left of - must be +")
+        };
+    }
+
+    #[test]
+    fn parens_override() {
+        let p = parse("on input { x = (1 + 2) * 3; }").unwrap();
+        let Stmt::Assign(_, e) = &p.handlers[0].body[0] else {
+            panic!()
+        };
+        let Expr::Binary(BinOp::Mul, _, _) = e else {
+            panic!("top must be *")
+        };
+    }
+
+    #[test]
+    fn unary_chains() {
+        let p = parse("on input { out0 = !!in0; x = --3; }").unwrap();
+        let Stmt::Assign(_, e) = &p.handlers[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(e.to_string(), "!!in0");
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let src = "state q = false;\nstate n = 0;\non input {\n    if (in0 && !q) {\n        n = n + 1;\n    } else {\n        n = 0;\n    }\n    out0 = n >= 3;\n}\non tick {\n    n = n - 1;\n}\n";
+        let p1 = parse(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(p1, p2, "pretty-print/reparse must be a fixed point");
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse("on input { out0 = ; }").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expression"), "{err}");
+
+        let err = parse("on input { out0 = in0 }").unwrap_err();
+        assert!(err.message.contains("`;`"), "{err}");
+
+        let err = parse("banana").unwrap_err();
+        assert!(err.message.contains("top level"), "{err}");
+
+        let err = parse("on weird { }").unwrap_err();
+        assert!(err.message.contains("input"), "{err}");
+
+        let err = parse("on input {").unwrap_err();
+        assert!(err.message.contains("unclosed") || err.message.contains("statement"), "{err}");
+    }
+
+    #[test]
+    fn empty_program_ok() {
+        let p = parse("").unwrap();
+        assert!(p.states.is_empty() && p.handlers.is_empty());
+    }
+
+    #[test]
+    fn keywords_not_special_in_expr_position() {
+        // `state` used as a variable inside a handler is just an identifier.
+        let p = parse("on input { out0 = state; }");
+        assert!(p.is_ok());
+    }
+}

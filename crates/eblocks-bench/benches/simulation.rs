@@ -1,0 +1,72 @@
+//! Criterion benchmarks for the simulator and the full synthesis pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eblocks_gen::{generate, GeneratorConfig};
+use eblocks_sim::{Simulator, Stimulus};
+use eblocks_synth::{exercise_all_sensors, synthesize, SynthesisOptions};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    for inner in [10usize, 45] {
+        let design = generate(&GeneratorConfig::new(inner), 7);
+        let sim = Simulator::new(&design).expect("generated designs simulate");
+        let stim = exercise_all_sensors(&design, 20);
+        let horizon = stim.end_time().unwrap_or(0) + 100;
+        group.bench_with_input(BenchmarkId::from_parameter(inner), &sim, |b, sim| {
+            b.iter(|| black_box(sim.run(&stim, horizon).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize");
+    group.sample_size(10);
+    // With verification (the default, co-simulates both networks) and
+    // without (partition + codegen + rewrite only).
+    let design = eblocks_designs::podium_timer_3();
+    group.bench_function("podium_timer_3_verified", |b| {
+        b.iter(|| black_box(synthesize(&design, &SynthesisOptions::default()).expect("synth")))
+    });
+    let no_verify = SynthesisOptions {
+        verify: false,
+        ..Default::default()
+    };
+    group.bench_function("podium_timer_3_unverified", |b| {
+        b.iter(|| black_box(synthesize(&design, &no_verify).expect("synth")))
+    });
+    group.finish();
+}
+
+fn bench_single_block_throughput(c: &mut Criterion) {
+    // Packets per second through a long chain: stresses the event queue.
+    let mut group = c.benchmark_group("chain_throughput");
+    let mut d = eblocks_core::Design::new("chain");
+    let s = d.add_block("s", eblocks_core::SensorKind::Button);
+    let mut prev = s;
+    for i in 0..50 {
+        let g = d.add_block(format!("g{i}"), eblocks_core::ComputeKind::Not);
+        d.connect((prev, 0), (g, 0)).unwrap();
+        prev = g;
+    }
+    let o = d.add_block("led", eblocks_core::OutputKind::Led);
+    d.connect((prev, 0), (o, 0)).unwrap();
+    let sim = Simulator::new(&d).unwrap();
+    let mut stim = Stimulus::new();
+    for k in 0..100 {
+        stim = stim.set(10 + 2 * k, "s", k % 2 == 0);
+    }
+    group.bench_function("50_block_chain_100_edges", |b| {
+        b.iter(|| black_box(sim.run(&stim, 1000).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_full_synthesis,
+    bench_single_block_throughput
+);
+criterion_main!(benches);

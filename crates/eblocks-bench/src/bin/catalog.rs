@@ -1,0 +1,84 @@
+//! Multi-type catalog study (§6 future work, implemented): what does a
+//! richer menu of programmable block shapes buy, in network cost?
+//!
+//! Sweeps random and structured designs against three catalogs:
+//!
+//! * **paper** — one 2-in/2-out block at 1.5× a pre-defined block,
+//! * **three-tier** — 1/1 at 1.2×, 2/2 at 1.5×, 4/4 at 2.5×,
+//! * **big-only** — a single 4-in/4-out block at 2.5×,
+//!
+//! reporting the average total network *cost* (not block count — with
+//! heterogeneous prices, cost is the objective §6 names).
+//!
+//! Usage: `cargo run --release -p eblocks-bench --bin catalog [count]`
+
+use eblocks_core::ProgrammableSpec;
+use eblocks_gen::{generate, generate_family, Family, GeneratorConfig};
+use eblocks_partition::{pare_down_multi, BlockCatalog, PartitionConstraints};
+
+fn big_only() -> BlockCatalog {
+    BlockCatalog {
+        programmable: vec![(ProgrammableSpec::new(4, 4), 2.5)],
+        predefined_cost: 1.0,
+    }
+}
+
+fn main() {
+    let count: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100);
+    let constraints = PartitionConstraints::default();
+    let catalogs = [
+        ("paper", BlockCatalog::paper_default()),
+        ("three-tier", BlockCatalog::three_tier()),
+        ("big-only", big_only()),
+    ];
+
+    println!("Average network cost over {count} random designs per size");
+    println!("(baseline = every inner block stays pre-defined at cost 1.0):");
+    println!(
+        "{:>5} {:>9} | {:>10} {:>10} {:>10}",
+        "inner", "baseline", "paper", "three-tier", "big-only"
+    );
+    for inner in [8usize, 15, 25, 40] {
+        let mut sums = [0.0f64; 3];
+        for seed in 0..count {
+            let d = generate(&GeneratorConfig::new(inner), 61_000 + seed);
+            for (i, (_, catalog)) in catalogs.iter().enumerate() {
+                sums[i] += pare_down_multi(&d, &constraints, catalog).total_cost;
+            }
+        }
+        let avg = |s: f64| s / count as f64;
+        println!(
+            "{inner:>5} {:>9.2} | {:>10.2} {:>10.2} {:>10.2}",
+            inner as f64,
+            avg(sums[0]),
+            avg(sums[1]),
+            avg(sums[2])
+        );
+    }
+
+    println!("\nPer-family cost at n=12 ({count} seeds):");
+    println!(
+        "{:>13} | {:>10} {:>10} {:>10}",
+        "family", "paper", "three-tier", "big-only"
+    );
+    for family in Family::ALL {
+        let mut sums = [0.0f64; 3];
+        for seed in 0..count {
+            let d = generate_family(family, 12, 62_000 + seed);
+            for (i, (_, catalog)) in catalogs.iter().enumerate() {
+                sums[i] += pare_down_multi(&d, &constraints, catalog).total_cost;
+            }
+        }
+        let avg = |s: f64| s / count as f64;
+        println!(
+            "{:>13} | {:>10.2} {:>10.2} {:>10.2}",
+            family.name(),
+            avg(sums[0]),
+            avg(sums[1]),
+            avg(sums[2])
+        );
+    }
+}

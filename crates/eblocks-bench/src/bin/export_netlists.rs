@@ -1,0 +1,16 @@
+//! Regenerates the committed `netlists/` directory from the design library
+//! (Table 1 systems plus the §1 intro systems). `tests/netlist_goldens.rs`
+//! enforces the sync.
+
+fn main() {
+    for entry in eblocks_designs::all() {
+        let file = format!("netlists/{}.netlist", entry.design.name());
+        std::fs::write(&file, eblocks_core::netlist::to_netlist(&entry.design)).unwrap();
+        println!("wrote {file}");
+    }
+    for (_, design) in eblocks_designs::all_intro() {
+        let file = format!("netlists/{}.netlist", design.name());
+        std::fs::write(&file, eblocks_core::netlist::to_netlist(&design)).unwrap();
+        println!("wrote {file}");
+    }
+}

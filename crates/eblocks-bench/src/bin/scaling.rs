@@ -1,0 +1,72 @@
+//! Reproduces the §5.2 runtime claims:
+//!
+//! * exhaustive search is fine to ~10 inner blocks, painful at 11–13, and
+//!   hopeless beyond ("did not conclude after four hours" at 14);
+//! * PareDown "continues to process large designs in a reasonable amount of
+//!   time", including a 465-inner-node design (80 s on the paper's 2 GHz
+//!   Athlon XP under Java; far faster here — the *shape* is the claim).
+//!
+//! Usage: `cargo run --release -p eblocks-bench --bin scaling [exh_limit_s]`
+
+use eblocks_bench::{fmt_time, run_algo, Algo};
+use eblocks_gen::{generate, GeneratorConfig};
+use eblocks_partition::PartitionConstraints;
+use std::time::Duration;
+
+fn main() {
+    let exh_limit_s: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+    let constraints = PartitionConstraints::default();
+
+    println!("Exhaustive search scaling (time limit {exh_limit_s}s per design):");
+    println!(
+        "{:>6} {:>14} {:>10} | {:>16} {:>10}",
+        "inner", "pruned", "complete?", "paper-faithful", "complete?"
+    );
+    for inner in [6, 8, 10, 11, 12, 13, 14] {
+        let design = generate(&GeneratorConfig::new(inner), 4242 + inner as u64);
+        let t = run_algo(
+            &design,
+            &constraints,
+            Algo::Exhaustive,
+            Duration::from_secs(exh_limit_s),
+        );
+        // Paper-faithful mode: only the §4.1 symmetry pruning, no incumbent
+        // seeding — the configuration whose runtime Table 2 reports.
+        let start = std::time::Instant::now();
+        let raw = eblocks_partition::exhaustive(
+            &design,
+            &constraints,
+            eblocks_partition::ExhaustiveOptions {
+                time_limit: Some(Duration::from_secs(exh_limit_s)),
+                paper_pruning_only: true,
+                ..Default::default()
+            },
+        );
+        let raw_elapsed = start.elapsed();
+        println!(
+            "{:>6} {:>14} {:>10} | {:>16} {:>10}",
+            inner,
+            fmt_time(t.elapsed),
+            if t.result.is_complete() { "yes" } else { "TIMEOUT" },
+            fmt_time(raw_elapsed),
+            if raw.is_complete() { "yes" } else { "TIMEOUT" }
+        );
+    }
+
+    println!("\nPareDown scaling (same seeds, plus the paper's 465-node point):");
+    println!("{:>6} {:>14} {:>8} {:>8}", "inner", "time", "total", "prog");
+    for inner in [6, 10, 14, 20, 25, 35, 45, 100, 200, 465] {
+        let design = generate(&GeneratorConfig::new(inner), 4242 + inner as u64);
+        let t = run_algo(&design, &constraints, Algo::PareDown, Duration::from_secs(1));
+        println!(
+            "{:>6} {:>14} {:>8} {:>8}",
+            inner,
+            fmt_time(t.elapsed),
+            t.result.inner_total(),
+            t.result.num_partitions()
+        );
+    }
+}

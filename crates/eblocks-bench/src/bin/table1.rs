@@ -1,0 +1,73 @@
+//! Regenerates the paper's Table 1: exhaustive search vs PareDown on the 15
+//! reconstructed library designs (2-in/2-out programmable block).
+//!
+//! Usage: `cargo run --release -p eblocks-bench --bin table1`
+
+use eblocks_bench::{fmt_time, run_algo, Algo};
+use eblocks_partition::PartitionConstraints;
+use std::time::Duration;
+
+fn main() {
+    let constraints = PartitionConstraints::default();
+    let limit = Duration::from_secs(60);
+
+    println!("Table 1 — exhaustive search and PareDown on the design library");
+    println!(
+        "{:<26} {:>5} | {:>9} {:>8} {:>10} | {:>9} {:>8} {:>10} | {:>8} {:>9}",
+        "design", "inner", "exh.tot", "exh.prog", "exh.time", "pd.tot", "pd.prog", "pd.time", "overhead", "%overhead"
+    );
+    println!("{}", "-".repeat(126));
+
+    for entry in eblocks_designs::all() {
+        let inner = entry.design.inner_blocks().count();
+        let run_exhaustive = entry.expected.exhaustive.is_some();
+
+        let pd = run_algo(&entry.design, &constraints, Algo::PareDown, limit);
+        let (exh_cols, overhead_cols) = if run_exhaustive {
+            let exh = run_algo(&entry.design, &constraints, Algo::Exhaustive, limit);
+            let overhead = pd.result.inner_total() as i64 - exh.result.inner_total() as i64;
+            let pct = if exh.result.inner_total() == 0 {
+                0.0
+            } else {
+                100.0 * overhead as f64 / exh.result.inner_total() as f64
+            };
+            (
+                format!(
+                    "{:>9} {:>8} {:>10}",
+                    exh.result.inner_total(),
+                    exh.result.num_partitions(),
+                    fmt_time(exh.elapsed)
+                ),
+                format!("{overhead:>8} {pct:>8.0}%"),
+            )
+        } else {
+            (
+                format!("{:>9} {:>8} {:>10}", "--", "--", "--"),
+                format!("{:>8} {:>9}", "--", "--"),
+            )
+        };
+
+        println!(
+            "{:<26} {:>5} | {} | {:>9} {:>8} {:>10} | {}",
+            entry.name,
+            inner,
+            exh_cols,
+            pd.result.inner_total(),
+            pd.result.num_partitions(),
+            fmt_time(pd.elapsed),
+            overhead_cols,
+        );
+
+        // Cross-check against the pinned expectations from the paper.
+        let got = (pd.result.inner_total(), pd.result.num_partitions());
+        if got != entry.expected.pare_down {
+            println!(
+                "  !! PareDown deviates from pinned Table 1 row: got {:?}, expected {:?}",
+                got, entry.expected.pare_down
+            );
+        }
+        if let Some(note) = entry.expected.note {
+            println!("  note: {note}");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates the paper's Table 2: exhaustive search vs PareDown on
+//! randomly generated designs, averaged per inner-block count.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p eblocks-bench --bin table2 [scale] [limit_ms]
+//! ```
+//!
+//! `scale` multiplies the paper's per-size design counts (default 0.05 — a
+//! ~470-design sweep; pass 1.0 for the full ~9,500-design sweep). `limit_ms`
+//! bounds each exhaustive run (default 10000 ms; runs that hit the limit
+//! report their best-so-far and are counted in the timeout column).
+
+use eblocks_bench::{render_table2, table2_sweep, TABLE2_COUNTS};
+use std::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.05);
+    let limit_ms: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10_000);
+
+    println!(
+        "Table 2 — random designs, scale {scale} of the paper's counts, exhaustive limit {limit_ms} ms"
+    );
+    let rows = table2_sweep(
+        &TABLE2_COUNTS,
+        scale,
+        Duration::from_millis(limit_ms),
+        |inner, count| eprintln!("  finished inner={inner} ({count} designs)"),
+    );
+    println!("{}", render_table2(&rows));
+
+    let timeouts: usize = rows.iter().filter_map(|r| r.exhaustive.map(|e| e.timeouts)).sum();
+    if timeouts > 0 {
+        println!(
+            "note: {timeouts} exhaustive run(s) hit the per-design time limit; their rows are lower bounds on the optimum's cost"
+        );
+    }
+}

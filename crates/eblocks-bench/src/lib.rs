@@ -1,0 +1,303 @@
+//! Shared harness code for regenerating the paper's evaluation (§5).
+//!
+//! The binaries in `src/bin/` print the paper's tables from live runs:
+//!
+//! * `table1` — exhaustive vs PareDown on the 15 library designs,
+//! * `table2` — the random-design sweep (per-size averages),
+//! * `scaling` — §5.2 runtime claims, including the 465-inner-node design,
+//! * `codesize` — §3.3's 2 KB-program-memory assumption, checked on every
+//!   partition of every library design,
+//! * `ablation` — the §4.2 tie-break rules and constraint variants,
+//! * `optimality` — the extension quality ladder (aggregation → PareDown →
+//!   refine → anneal → optimal) with runtimes,
+//! * `families` — per-topology behavior over the structured design
+//!   families (chain / wide / tree / reconvergent / layered),
+//! * `catalog` — the §6 multi-type block-catalog cost study,
+//! * `energy` — the abstract's power claim: packet counts and estimated
+//!   energy before vs after synthesis on every library design.
+//!
+//! Absolute times will differ from the paper's 2 GHz Athlon XP + Java
+//! numbers by orders of magnitude; the *shape* (exhaustive explodes past
+//! ~11–13 inner blocks, PareDown stays near-instant and near-optimal) is
+//! the reproduction target. See `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use eblocks_core::Design;
+use eblocks_gen::{generate, GeneratorConfig};
+use eblocks_partition::{
+    aggregation, exhaustive, pare_down, ExhaustiveOptions, PartitionConstraints, Partitioning,
+};
+use std::time::{Duration, Instant};
+
+/// The paper's Table 2 sweep: `(inner blocks, number of designs)`.
+pub const TABLE2_COUNTS: [(usize, usize); 17] = [
+    (3, 1531),
+    (4, 982),
+    (5, 542),
+    (6, 432),
+    (7, 447),
+    (8, 350),
+    (9, 340),
+    (10, 199),
+    (11, 170),
+    (12, 31),
+    (13, 6),
+    (14, 1311),
+    (15, 1184),
+    (20, 928),
+    (25, 691),
+    (35, 354),
+    (45, 165),
+];
+
+/// Inner-block count beyond which the paper stopped running the exhaustive
+/// search ("--" rows in Table 2).
+pub const EXHAUSTIVE_CUTOFF: usize = 13;
+
+/// Timed single-algorithm run.
+#[derive(Debug, Clone)]
+pub struct Timed {
+    /// The partitioning result.
+    pub result: Partitioning,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+/// Runs one algorithm with timing.
+pub fn timed<F: FnOnce() -> Partitioning>(f: F) -> Timed {
+    let start = Instant::now();
+    let result = f();
+    Timed {
+        result,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Which algorithm to run in sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Optimal search (§4.1).
+    Exhaustive,
+    /// PareDown decomposition (§4.2).
+    PareDown,
+    /// Greedy aggregation (§4.2 ¶1).
+    Aggregation,
+}
+
+/// Runs `algo` on `design`, timed. The exhaustive search gets `limit` as a
+/// per-design time budget (it returns its incumbent on expiry).
+pub fn run_algo(
+    design: &Design,
+    constraints: &PartitionConstraints,
+    algo: Algo,
+    limit: Duration,
+) -> Timed {
+    match algo {
+        Algo::Exhaustive => timed(|| {
+            exhaustive(
+                design,
+                constraints,
+                ExhaustiveOptions {
+                    time_limit: Some(limit),
+                    ..Default::default()
+                },
+            )
+        }),
+        Algo::PareDown => timed(|| pare_down(design, constraints)),
+        Algo::Aggregation => timed(|| aggregation(design, constraints)),
+    }
+}
+
+/// Accumulated averages for one (size, algorithm) cell of Table 2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Averages {
+    /// Designs measured.
+    pub designs: usize,
+    /// Mean *Inner Blocks (Total)* after partitioning.
+    pub total: f64,
+    /// Mean *Inner Blocks (Prog.)* (number of partitions).
+    pub prog: f64,
+    /// Mean per-design wall-clock time.
+    pub time: Duration,
+    /// How many exhaustive runs hit the time limit (0 for heuristics).
+    pub timeouts: usize,
+}
+
+impl Averages {
+    /// Folds a run into the averages.
+    pub fn add(&mut self, timed: &Timed) {
+        let n = self.designs as f64;
+        let total = timed.result.inner_total() as f64;
+        let prog = timed.result.num_partitions() as f64;
+        self.total = (self.total * n + total) / (n + 1.0);
+        self.prog = (self.prog * n + prog) / (n + 1.0);
+        self.time = Duration::from_secs_f64(
+            (self.time.as_secs_f64() * n + timed.elapsed.as_secs_f64()) / (n + 1.0),
+        );
+        if !timed.result.is_complete() {
+            self.timeouts += 1;
+        }
+        self.designs += 1;
+    }
+}
+
+/// One row of the Table 2 reproduction.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Inner blocks per design.
+    pub inner: usize,
+    /// Designs measured.
+    pub designs: usize,
+    /// Exhaustive averages, when run at this size.
+    pub exhaustive: Option<Averages>,
+    /// PareDown averages.
+    pub pare_down: Averages,
+}
+
+impl SweepRow {
+    /// Mean block overhead of PareDown vs the optimum.
+    pub fn block_overhead(&self) -> Option<f64> {
+        self.exhaustive.map(|e| self.pare_down.total - e.total)
+    }
+
+    /// Percent overhead of PareDown vs the optimum.
+    pub fn percent_overhead(&self) -> Option<f64> {
+        self.exhaustive.map(|e| {
+            if e.total == 0.0 {
+                0.0
+            } else {
+                100.0 * (self.pare_down.total - e.total) / e.total
+            }
+        })
+    }
+}
+
+/// Runs the Table 2 sweep. `scale` multiplies the paper's per-size design
+/// counts (1.0 = full paper scale); `per_design_limit` bounds each
+/// exhaustive run.
+pub fn table2_sweep(
+    counts: &[(usize, usize)],
+    scale: f64,
+    per_design_limit: Duration,
+    mut progress: impl FnMut(usize, usize),
+) -> Vec<SweepRow> {
+    let constraints = PartitionConstraints::default();
+    let mut rows = Vec::new();
+    for &(inner, paper_count) in counts {
+        let count = ((paper_count as f64 * scale).round() as usize).max(1);
+        let mut exh = Averages::default();
+        let mut pd = Averages::default();
+        for i in 0..count {
+            // Seed derived from (size, index) so rows are independent.
+            let seed = (inner as u64) << 32 | i as u64;
+            let design = generate(&GeneratorConfig::new(inner), seed);
+            if inner <= EXHAUSTIVE_CUTOFF {
+                exh.add(&run_algo(&design, &constraints, Algo::Exhaustive, per_design_limit));
+            }
+            pd.add(&run_algo(&design, &constraints, Algo::PareDown, per_design_limit));
+        }
+        progress(inner, count);
+        rows.push(SweepRow {
+            inner,
+            designs: count,
+            exhaustive: (inner <= EXHAUSTIVE_CUTOFF).then_some(exh),
+            pare_down: pd,
+        });
+    }
+    rows
+}
+
+/// Formats a duration like the paper's Time column (`<1ms`, `4.53s`, …).
+pub fn fmt_time(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1000 {
+        // The paper's smallest bucket.
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1000.0)
+    } else if us < 60_000_000 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else {
+        format!("{:.2}min", d.as_secs_f64() / 60.0)
+    }
+}
+
+/// Renders the Table 2 reproduction as fixed-width text.
+pub fn render_table2(rows: &[SweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "inner  designs |   exh.total  exh.prog    exh.time |    pd.total   pd.prog     pd.time | overhead  %overhead\n",
+    );
+    out.push_str(&"-".repeat(110));
+    out.push('\n');
+    for row in rows {
+        let (et, ep, etime) = match row.exhaustive {
+            Some(e) => (
+                format!("{:.2}", e.total),
+                format!("{:.2}", e.prog),
+                fmt_time(e.time),
+            ),
+            None => ("--".into(), "--".into(), "--".into()),
+        };
+        let (bo, po) = match (row.block_overhead(), row.percent_overhead()) {
+            (Some(b), Some(p)) => (format!("{b:.2}"), format!("{p:.0}%")),
+            _ => ("--".into(), "--".into()),
+        };
+        out.push_str(&format!(
+            "{:>5}  {:>7} | {:>11} {:>9} {:>11} | {:>11} {:>9} {:>11} | {:>8} {:>10}\n",
+            row.inner,
+            row.designs,
+            et,
+            ep,
+            etime,
+            format!("{:.2}", row.pare_down.total),
+            format!("{:.2}", row.pare_down.prog),
+            fmt_time(row.pare_down.time),
+            bo,
+            po,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_fold_correctly() {
+        let d = eblocks_gen::generate(&GeneratorConfig::new(5), 1);
+        let c = PartitionConstraints::default();
+        let mut avg = Averages::default();
+        let r = run_algo(&d, &c, Algo::PareDown, Duration::from_secs(1));
+        let total = r.result.inner_total() as f64;
+        avg.add(&r);
+        avg.add(&r);
+        assert_eq!(avg.designs, 2);
+        assert!((avg.total - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_sweep_has_expected_shape() {
+        let rows = table2_sweep(&[(3, 5), (14, 3)], 1.0, Duration::from_secs(2), |_, _| {});
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].exhaustive.is_some(), "n=3 gets exhaustive data");
+        assert!(rows[1].exhaustive.is_none(), "n=14 is past the cutoff");
+        // PareDown can never beat the (completed) optimum.
+        if rows[0].exhaustive.unwrap().timeouts == 0 {
+            assert!(rows[0].block_overhead().unwrap() >= -1e-9);
+        }
+        let text = render_table2(&rows);
+        assert!(text.contains("--"), "{text}");
+    }
+
+    #[test]
+    fn time_formatting_buckets() {
+        assert_eq!(fmt_time(Duration::from_micros(250)), "250us");
+        assert_eq!(fmt_time(Duration::from_micros(2500)), "2.50ms");
+        assert_eq!(fmt_time(Duration::from_secs(5)), "5.00s");
+        assert_eq!(fmt_time(Duration::from_secs(120)), "2.00min");
+    }
+}

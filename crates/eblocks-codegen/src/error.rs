@@ -1,0 +1,73 @@
+//! Code generation errors.
+
+use eblocks_behavior::CheckError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while merging a partition into a programmable block
+/// program.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CodegenError {
+    /// The partition is empty.
+    EmptyPartition,
+    /// A member is not an inner block of the design.
+    NotInner {
+        /// The member's name (or id rendering when unknown).
+        block: String,
+    },
+    /// The partition needs more input pins than the block provides.
+    TooManyInputs {
+        /// Distinct external input signals.
+        need: usize,
+        /// Pins available.
+        have: u8,
+    },
+    /// The partition needs more output pins than the block provides.
+    TooManyOutputs {
+        /// Distinct exposed output signals.
+        need: usize,
+        /// Pins available.
+        have: u8,
+    },
+    /// The merged program failed its own static checks — a code generator
+    /// bug surfaced defensively.
+    MergedProgramInvalid {
+        /// First check failure.
+        error: CheckError,
+    },
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyPartition => f.write_str("cannot generate code for an empty partition"),
+            Self::NotInner { block } => {
+                write!(f, "partition member `{block}` is not an inner block")
+            }
+            Self::TooManyInputs { need, have } => {
+                write!(f, "partition needs {need} input pins but the block has {have}")
+            }
+            Self::TooManyOutputs { need, have } => {
+                write!(f, "partition needs {need} output pins but the block has {have}")
+            }
+            Self::MergedProgramInvalid { error } => {
+                write!(f, "merged program failed static checks: {error}")
+            }
+        }
+    }
+}
+
+impl Error for CodegenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(CodegenError::EmptyPartition.to_string().contains("empty"));
+        let e = CodegenError::TooManyInputs { need: 3, have: 2 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+    }
+}

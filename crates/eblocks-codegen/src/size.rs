@@ -1,0 +1,123 @@
+//! Program-size model for the PIC16F628 target.
+//!
+//! §3.3: "The programmable eBlock prototype utilizes a Microchip PIC16F628
+//! microcontroller with 2 Kbytes of program memory … we make the practical
+//! assumption that a programmable block's program size constraint will not
+//! be violated by any partition." This module makes that assumption
+//! checkable: a conservative instruction-count estimate per syntax-tree
+//! node, compared against the part's program store.
+
+use eblocks_behavior::{Expr, Program, Stmt};
+
+/// Program store of the PIC16F628: 2048 instruction words (14-bit).
+pub const PIC16F628_PROGRAM_WORDS: usize = 2048;
+
+/// A conservative size estimate for a generated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeEstimate {
+    /// Estimated instruction words.
+    pub words: usize,
+    /// Bytes of data memory for state variables (1 byte per boolean, 2 per
+    /// integer — the estimator assumes the worst and charges 2).
+    pub state_bytes: usize,
+}
+
+impl SizeEstimate {
+    /// Whether the estimate fits the PIC16F628's program store, with the
+    /// firmware runtime charged as overhead.
+    pub fn fits_pic16f628(&self) -> bool {
+        const RUNTIME_OVERHEAD_WORDS: usize = 256; // packet protocol + timer firmware
+        self.words + RUNTIME_OVERHEAD_WORDS <= PIC16F628_PROGRAM_WORDS
+    }
+}
+
+/// Estimates the compiled size of a behavior program.
+///
+/// The model charges per syntax-tree node, in the spirit of a non-optimizing
+/// 8-bit C compiler: roughly two instruction words per expression node
+/// (fetch + operate), three per assignment (evaluate + store), four per
+/// branch (test + skips).
+pub fn estimate_size(program: &Program) -> SizeEstimate {
+    let mut words = 2 * program.states.len(); // initialization
+    for handler in &program.handlers {
+        words += 4; // prologue/epilogue
+        words += body_words(&handler.body);
+    }
+    SizeEstimate {
+        words,
+        state_bytes: program.states.len() * 2,
+    }
+}
+
+fn body_words(body: &[Stmt]) -> usize {
+    body.iter().map(stmt_words).sum()
+}
+
+fn stmt_words(stmt: &Stmt) -> usize {
+    match stmt {
+        Stmt::Let(_, e) | Stmt::Assign(_, e) => 3 + expr_words(e),
+        Stmt::If(cond, a, b) => 4 + expr_words(cond) + body_words(a) + body_words(b),
+    }
+}
+
+fn expr_words(e: &Expr) -> usize {
+    match e {
+        Expr::Bool(_) | Expr::Int(_) | Expr::Var(_) => 2,
+        Expr::Unary(_, inner) => 2 + expr_words(inner),
+        Expr::Binary(_, l, r) => 2 + expr_words(l) + expr_words(r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblocks_behavior::{library, parse};
+    use eblocks_core::ComputeKind;
+
+    #[test]
+    fn empty_program_is_tiny() {
+        let p = parse("").unwrap();
+        let est = estimate_size(&p);
+        assert_eq!(est.words, 0);
+        assert!(est.fits_pic16f628());
+    }
+
+    #[test]
+    fn library_blocks_fit_comfortably() {
+        for kind in [
+            ComputeKind::and2(),
+            ComputeKind::Toggle,
+            ComputeKind::Trip,
+            ComputeKind::PulseGen { ticks: 5 },
+            ComputeKind::Delay { ticks: 5 },
+        ] {
+            let est = estimate_size(&library::program_for(kind));
+            assert!(est.words < 200, "{kind:?}: {est:?}");
+            assert!(est.fits_pic16f628());
+        }
+    }
+
+    #[test]
+    fn size_grows_with_program() {
+        let small = estimate_size(&parse("on input { out0 = in0; }").unwrap());
+        let big = estimate_size(
+            &parse("on input { out0 = in0 && in1 || !in0 && !in1; out1 = in0; }").unwrap(),
+        );
+        assert!(big.words > small.words);
+    }
+
+    #[test]
+    fn state_bytes_counted() {
+        let p = parse("state a = 1; state b = false;").unwrap();
+        assert_eq!(estimate_size(&p).state_bytes, 4);
+    }
+
+    #[test]
+    fn absurdly_large_program_flagged() {
+        // ~700 statements exceeds the 2K-word store in this model.
+        let body: String = (0..700).map(|i| format!("x{i} = in0 && in1;")).collect();
+        let p = parse(&format!("on input {{ {body} }}")).unwrap();
+        let est = estimate_size(&p);
+        assert!(!est.fits_pic16f628(), "{est:?}");
+    }
+}

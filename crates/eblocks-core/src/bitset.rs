@@ -1,0 +1,355 @@
+//! Compact node-set machinery for the partitioning algorithms.
+//!
+//! Candidate partitions are sets of inner blocks; the exhaustive search
+//! manipulates millions of them, so we map inner blocks to a dense range
+//! `0..n` ([`InnerIndex`]) and represent sets as word-packed bit vectors
+//! ([`BitSet`]).
+
+use crate::design::{BlockId, Design};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A fixed-capacity set of small integers, packed into 64-bit words.
+///
+/// ```
+/// use eblocks_core::BitSet;
+/// let mut s = BitSet::new(100);
+/// s.insert(3);
+/// s.insert(99);
+/// assert!(s.contains(3) && s.contains(99) && !s.contains(4));
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates a set containing every value in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for v in 0..capacity {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// The exclusive upper bound on storable values.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts a value. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= capacity`.
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "bitset value {value} out of range");
+        let (w, b) = (value / 64, value % 64);
+        let was = (self.words[w] >> b) & 1 == 1;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes a value. Returns `true` if it was present.
+    pub fn remove(&mut self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        let (w, b) = (value / 64, value % 64);
+        let was = (self.words[w] >> b) & 1 == 1;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Whether the value is present.
+    pub fn contains(&self, value: usize) -> bool {
+        value < self.capacity && (self.words[value / 64] >> (value % 64)) & 1 == 1
+    }
+
+    /// Number of values present.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every value.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates over present values in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference: removes every value present in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Whether `self` and `other` share no values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to the largest element (capacity = max + 1, or 0).
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let values: Vec<usize> = iter.into_iter().collect();
+        let cap = values.iter().max().map_or(0, |m| m + 1);
+        let mut s = Self::new(cap);
+        for v in values {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+/// Iterator over values of a [`BitSet`], produced by [`BitSet::iter`].
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word * 64 + b);
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+/// Dense numbering of a design's inner blocks, shared by all partitioning
+/// algorithms so that candidate partitions can be [`BitSet`]s.
+///
+/// The numbering is the design's inner-block iteration order and is stable
+/// for an unmodified design.
+#[derive(Debug, Clone)]
+pub struct InnerIndex {
+    ids: Vec<BlockId>,
+    positions: HashMap<BlockId, usize>,
+}
+
+impl InnerIndex {
+    /// Builds the index for a design.
+    pub fn new(design: &Design) -> Self {
+        let ids: Vec<BlockId> = design.inner_blocks().collect();
+        let positions = ids.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        Self { ids, positions }
+    }
+
+    /// Number of inner blocks.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the design has no inner blocks.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The block at dense position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn block(&self, i: usize) -> BlockId {
+        self.ids[i]
+    }
+
+    /// The dense position of `block`, or `None` if it is not an inner block
+    /// of the indexed design.
+    pub fn position(&self, block: BlockId) -> Option<usize> {
+        self.positions.get(&block).copied()
+    }
+
+    /// All indexed blocks in dense order.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.ids
+    }
+
+    /// Materializes a set of dense positions into block ids.
+    pub fn resolve(&self, set: &BitSet) -> Vec<BlockId> {
+        set.iter().map(|i| self.block(i)).collect()
+    }
+
+    /// An empty [`BitSet`] sized for this index.
+    pub fn empty_set(&self) -> BitSet {
+        BitSet::new(self.len())
+    }
+
+    /// A [`BitSet`] containing every inner block.
+    pub fn full_set(&self) -> BitSet {
+        BitSet::full(self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{ComputeKind, OutputKind, SensorKind};
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.contains(64));
+        assert!(s.contains(129));
+        assert!(!s.contains(500));
+        assert!(!s.remove(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn iter_ascending_across_words() {
+        let mut s = BitSet::new(200);
+        for v in [199, 0, 63, 64, 65, 128] {
+            s.insert(v);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65, 128, 199]);
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::new(10);
+        a.extend([1, 2, 3]);
+        let mut b = BitSet::new(10);
+        b.extend([3, 4]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(!a.is_disjoint(&b));
+        assert!(d.is_disjoint(&b));
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: BitSet = [5usize, 2, 9].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.len(), 3);
+        let empty: BitSet = std::iter::empty::<usize>().collect();
+        assert!(empty.is_empty());
+        assert_eq!(empty.capacity(), 0);
+    }
+
+    #[test]
+    fn debug_lists_members() {
+        let s: BitSet = [1usize, 3].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1, 3}");
+    }
+
+    #[test]
+    fn inner_index_maps_both_ways() {
+        let mut d = Design::new("idx");
+        let s = d.add_block("s", SensorKind::Button);
+        let g1 = d.add_block("g1", ComputeKind::Not);
+        let g2 = d.add_block("g2", ComputeKind::Toggle);
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s, 0), (g1, 0)).unwrap();
+        d.connect((g1, 0), (g2, 0)).unwrap();
+        d.connect((g2, 0), (o, 0)).unwrap();
+
+        let idx = InnerIndex::new(&d);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.position(g1), Some(0));
+        assert_eq!(idx.position(g2), Some(1));
+        assert_eq!(idx.position(s), None);
+        assert_eq!(idx.block(0), g1);
+        let full = idx.full_set();
+        assert_eq!(idx.resolve(&full), vec![g1, g2]);
+        assert!(idx.empty_set().is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! A single eBlock instance within a design.
+
+use crate::kind::BlockKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A block instance: a user-visible name plus its [`BlockKind`].
+///
+/// Names are free-form; [`crate::Design`] enforces uniqueness so that the
+/// netlist format and diagnostics can refer to blocks unambiguously.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Block {
+    name: String,
+    kind: BlockKind,
+}
+
+impl Block {
+    /// Creates a block with the given name and kind.
+    pub fn new(name: impl Into<String>, kind: impl Into<BlockKind>) -> Self {
+        Self {
+            name: name.into(),
+            kind: kind.into(),
+        }
+    }
+
+    /// The block's user-visible name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The block's kind.
+    pub fn kind(&self) -> BlockKind {
+        self.kind
+    }
+
+    /// Number of input ports (delegates to the kind).
+    pub fn num_inputs(&self) -> u8 {
+        self.kind.num_inputs()
+    }
+
+    /// Number of output ports (delegates to the kind).
+    pub fn num_outputs(&self) -> u8 {
+        self.kind.num_outputs()
+    }
+
+    /// Whether this block is an inner (pre-defined compute) node.
+    pub fn is_inner(&self) -> bool {
+        self.kind.is_inner()
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{ComputeKind, SensorKind};
+
+    #[test]
+    fn accessors() {
+        let b = Block::new("btn", SensorKind::Button);
+        assert_eq!(b.name(), "btn");
+        assert_eq!(b.kind(), BlockKind::Sensor(SensorKind::Button));
+        assert_eq!(b.num_inputs(), 0);
+        assert_eq!(b.num_outputs(), 1);
+        assert!(!b.is_inner());
+        assert!(Block::new("g", ComputeKind::and2()).is_inner());
+    }
+
+    #[test]
+    fn display_mentions_name_and_kind() {
+        let b = Block::new("g1", ComputeKind::or2());
+        let s = b.to_string();
+        assert!(s.contains("g1") && s.contains("OR"), "{s}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Input/output cost of a candidate partition.
+//!
+//! §4 of the paper: a partition is feasible for a programmable block with `i`
+//! inputs and `o` outputs iff it needs at most `i` input pins and `o` output
+//! pins. We count *distinct signals*, i.e. distinct output ports, not wires:
+//!
+//! * an external output port feeding several blocks inside the partition
+//!   occupies **one** input pin (the signal enters once and is distributed
+//!   internally as a variable), and
+//! * an internal output port feeding several blocks outside occupies **one**
+//!   output pin (the generated wire fans out externally).
+
+use crate::bitset::{BitSet, InnerIndex};
+use crate::design::{BlockId, Design};
+use std::collections::HashSet;
+
+/// The pin demand of a candidate partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CutCost {
+    /// Distinct external signals entering the partition.
+    pub inputs: usize,
+    /// Distinct internal signals leaving the partition.
+    pub outputs: usize,
+}
+
+impl CutCost {
+    /// Combined indegree + outdegree, the quantity the PareDown rank
+    /// differentiates (§4.2).
+    pub fn total(self) -> usize {
+        self.inputs + self.outputs
+    }
+
+    /// Whether this demand fits a block providing `inputs`/`outputs` pins.
+    pub fn fits(self, inputs: u8, outputs: u8) -> bool {
+        self.inputs <= inputs as usize && self.outputs <= outputs as usize
+    }
+}
+
+/// Computes the pin demand of the inner-block set `members` (dense positions
+/// per `index`) within `design`.
+///
+/// Signals are identified by `(block, output port)` pairs. Primary inputs and
+/// any non-member block count as "external".
+pub fn cut_cost(design: &Design, index: &InnerIndex, members: &BitSet) -> CutCost {
+    let mut external_sources: HashSet<(BlockId, u8)> = HashSet::new();
+    let mut exposed_outputs: HashSet<(BlockId, u8)> = HashSet::new();
+
+    for pos in members.iter() {
+        let block = index.block(pos);
+        for w in design.in_wires(block) {
+            let src_inside = index
+                .position(w.from)
+                .is_some_and(|p| members.contains(p));
+            if !src_inside {
+                external_sources.insert((w.from, w.from_port));
+            }
+        }
+        for w in design.out_wires(block) {
+            let dst_inside = index.position(w.to).is_some_and(|p| members.contains(p));
+            if !dst_inside {
+                exposed_outputs.insert((w.from, w.from_port));
+            }
+        }
+    }
+
+    CutCost {
+        inputs: external_sources.len(),
+        outputs: exposed_outputs.len(),
+    }
+}
+
+/// Whether `members` is *convex*: no path from a member leaves the set and
+/// re-enters it. Convexity guarantees the merged program can evaluate the
+/// partition in one pass without stale intermediate values; the paper does
+/// not require it, so it is an optional constraint (see
+/// `eblocks_partition::PartitionConstraints`).
+pub fn is_convex(design: &Design, index: &InnerIndex, members: &BitSet) -> bool {
+    // BFS forward from every edge that leaves the set, through external
+    // nodes only; if we can reach a member, the set is non-convex.
+    let inside = |b: BlockId| index.position(b).is_some_and(|p| members.contains(p));
+    let mut frontier: Vec<BlockId> = Vec::new();
+    for pos in members.iter() {
+        for w in design.out_wires(index.block(pos)) {
+            if !inside(w.to) {
+                frontier.push(w.to);
+            }
+        }
+    }
+    let mut seen: HashSet<BlockId> = frontier.iter().copied().collect();
+    while let Some(b) = frontier.pop() {
+        for w in design.out_wires(b) {
+            if inside(w.to) {
+                return false;
+            }
+            if seen.insert(w.to) {
+                frontier.push(w.to);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{ComputeKind, OutputKind, SensorKind};
+
+    /// s1, s2 -> g1(and); g1 -> g2(not); g2 -> o. Members vary.
+    fn pipeline() -> (Design, InnerIndex) {
+        let mut d = Design::new("p");
+        let s1 = d.add_block("s1", SensorKind::Button);
+        let s2 = d.add_block("s2", SensorKind::Motion);
+        let g1 = d.add_block("g1", ComputeKind::and2());
+        let g2 = d.add_block("g2", ComputeKind::Not);
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s1, 0), (g1, 0)).unwrap();
+        d.connect((s2, 0), (g1, 1)).unwrap();
+        d.connect((g1, 0), (g2, 0)).unwrap();
+        d.connect((g2, 0), (o, 0)).unwrap();
+        let idx = InnerIndex::new(&d);
+        (d, idx)
+    }
+
+    #[test]
+    fn whole_pipeline_costs_two_in_one_out() {
+        let (d, idx) = pipeline();
+        let cost = cut_cost(&d, &idx, &idx.full_set());
+        assert_eq!(cost, CutCost { inputs: 2, outputs: 1 });
+        assert_eq!(cost.total(), 3);
+        assert!(cost.fits(2, 2));
+        assert!(!cost.fits(1, 2));
+    }
+
+    #[test]
+    fn single_member_counts_internal_edge_as_io() {
+        let (d, idx) = pipeline();
+        let mut only_g1 = idx.empty_set();
+        only_g1.insert(0);
+        assert_eq!(cut_cost(&d, &idx, &only_g1), CutCost { inputs: 2, outputs: 1 });
+        let mut only_g2 = idx.empty_set();
+        only_g2.insert(1);
+        assert_eq!(cut_cost(&d, &idx, &only_g2), CutCost { inputs: 1, outputs: 1 });
+    }
+
+    #[test]
+    fn empty_set_costs_nothing() {
+        let (d, idx) = pipeline();
+        assert_eq!(cut_cost(&d, &idx, &idx.empty_set()), CutCost::default());
+    }
+
+    #[test]
+    fn shared_external_source_counts_once() {
+        // One sensor feeding both inputs of an AND: the partition {and}
+        // needs a single input pin because it is a single signal.
+        let mut d = Design::new("share");
+        let s = d.add_block("s", SensorKind::Button);
+        let g = d.add_block("g", ComputeKind::and2());
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s, 0), (g, 0)).unwrap();
+        d.connect((s, 0), (g, 1)).unwrap();
+        d.connect((g, 0), (o, 0)).unwrap();
+        let idx = InnerIndex::new(&d);
+        assert_eq!(cut_cost(&d, &idx, &idx.full_set()), CutCost { inputs: 1, outputs: 1 });
+    }
+
+    #[test]
+    fn fanout_output_counts_once() {
+        // g inside the set drives two outputs outside: one output pin.
+        let mut d = Design::new("fan");
+        let s = d.add_block("s", SensorKind::Button);
+        let g = d.add_block("g", ComputeKind::Not);
+        let o1 = d.add_block("o1", OutputKind::Led);
+        let o2 = d.add_block("o2", OutputKind::Buzzer);
+        d.connect((s, 0), (g, 0)).unwrap();
+        d.connect((g, 0), (o1, 0)).unwrap();
+        d.connect((g, 0), (o2, 0)).unwrap();
+        let idx = InnerIndex::new(&d);
+        assert_eq!(cut_cost(&d, &idx, &idx.full_set()), CutCost { inputs: 1, outputs: 1 });
+    }
+
+    #[test]
+    fn splitter_distinct_ports_count_separately() {
+        // A splitter's two output ports leaving the set are two signals.
+        let mut d = Design::new("split");
+        let s = d.add_block("s", SensorKind::Button);
+        let sp = d.add_block("sp", ComputeKind::Splitter);
+        let o1 = d.add_block("o1", OutputKind::Led);
+        let o2 = d.add_block("o2", OutputKind::Buzzer);
+        d.connect((s, 0), (sp, 0)).unwrap();
+        d.connect((sp, 0), (o1, 0)).unwrap();
+        d.connect((sp, 1), (o2, 0)).unwrap();
+        let idx = InnerIndex::new(&d);
+        assert_eq!(cut_cost(&d, &idx, &idx.full_set()), CutCost { inputs: 1, outputs: 2 });
+    }
+
+    #[test]
+    fn convexity_detected() {
+        // a -> b -> c and a -> c, with the set {a, c}: the path a->b->c
+        // leaves through b and re-enters, so {a,c} is non-convex.
+        let mut d = Design::new("cvx");
+        let s = d.add_block("s", SensorKind::Button);
+        let a = d.add_block("a", ComputeKind::Splitter);
+        let b = d.add_block("b", ComputeKind::Not);
+        let c = d.add_block("c", ComputeKind::and2());
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s, 0), (a, 0)).unwrap();
+        d.connect((a, 0), (b, 0)).unwrap();
+        d.connect((a, 1), (c, 0)).unwrap();
+        d.connect((b, 0), (c, 1)).unwrap();
+        d.connect((c, 0), (o, 0)).unwrap();
+        let idx = InnerIndex::new(&d);
+
+        let pos = |name: &str| idx.position(d.block_by_name(name).unwrap()).unwrap();
+        let mut ac = idx.empty_set();
+        ac.insert(pos("a"));
+        ac.insert(pos("c"));
+        assert!(!is_convex(&d, &idx, &ac));
+
+        let mut ab = idx.empty_set();
+        ab.insert(pos("a"));
+        ab.insert(pos("b"));
+        assert!(is_convex(&d, &idx, &ab));
+        assert!(is_convex(&d, &idx, &idx.full_set()));
+        assert!(is_convex(&d, &idx, &idx.empty_set()));
+    }
+}

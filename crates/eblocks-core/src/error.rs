@@ -1,0 +1,126 @@
+//! Error type for design construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or validating a [`crate::Design`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DesignError {
+    /// A block name was used twice.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A referenced block id does not exist in this design.
+    UnknownBlock {
+        /// Human-readable description of the reference.
+        reference: String,
+    },
+    /// A port index exceeds the block's arity.
+    PortOutOfRange {
+        /// Block name.
+        block: String,
+        /// Offending port index.
+        port: u8,
+        /// Number of ports of the relevant direction the block actually has.
+        arity: u8,
+        /// `"input"` or `"output"`.
+        direction: &'static str,
+    },
+    /// An input port already has a driver; eBlock inputs accept exactly one wire.
+    InputAlreadyDriven {
+        /// Block name.
+        block: String,
+        /// Input port index.
+        port: u8,
+    },
+    /// The connection would create a cycle; eBlock networks are acyclic (§3.3).
+    WouldCycle {
+        /// Source block name.
+        from: String,
+        /// Destination block name.
+        to: String,
+    },
+    /// Validation found an input port with no driver.
+    UnconnectedInput {
+        /// Block name.
+        block: String,
+        /// Input port index.
+        port: u8,
+    },
+    /// Validation found an output port driving nothing.
+    DanglingOutput {
+        /// Block name.
+        block: String,
+        /// Output port index.
+        port: u8,
+    },
+    /// A netlist could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateName { name } => write!(f, "duplicate block name `{name}`"),
+            Self::UnknownBlock { reference } => write!(f, "unknown block {reference}"),
+            Self::PortOutOfRange {
+                block,
+                port,
+                arity,
+                direction,
+            } => write!(
+                f,
+                "{direction} port {port} out of range for block `{block}` ({arity} {direction} ports)"
+            ),
+            Self::InputAlreadyDriven { block, port } => {
+                write!(f, "input port {port} of block `{block}` already has a driver")
+            }
+            Self::WouldCycle { from, to } => {
+                write!(f, "connecting `{from}` to `{to}` would create a cycle")
+            }
+            Self::UnconnectedInput { block, port } => {
+                write!(f, "input port {port} of block `{block}` has no driver")
+            }
+            Self::DanglingOutput { block, port } => {
+                write!(f, "output port {port} of block `{block}` drives nothing")
+            }
+            Self::Parse { line, message } => write!(f, "netlist parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for DesignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e = DesignError::DuplicateName { name: "x".into() };
+        assert_eq!(e.to_string(), "duplicate block name `x`");
+        let e = DesignError::WouldCycle {
+            from: "a".into(),
+            to: "b".into(),
+        };
+        assert!(e.to_string().contains("cycle"));
+        let e = DesignError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<DesignError>();
+    }
+}

@@ -1,0 +1,487 @@
+//! The four classes of eBlocks plus the programmable compute block.
+//!
+//! §2 of the paper: *sensor* blocks detect environmental stimuli, *output*
+//! blocks interact with the environment, *communication* blocks relay packets
+//! over non-wire media, and *compute* blocks perform a (typically pre-defined)
+//! combinational or sequential function. A *programmable* block is a special
+//! compute block with a fixed pin budget that can be programmed to implement
+//! the merged functionality of several pre-defined blocks.
+
+use crate::truth_table::{TruthTable2, TruthTable3};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Kinds of sensor block (primary inputs of the network DAG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorKind {
+    /// Momentary push button.
+    Button,
+    /// Passive-infrared motion detector.
+    Motion,
+    /// Ambient light detector (high when lit).
+    Light,
+    /// Magnetic/mechanical contact switch (door, window).
+    ContactSwitch,
+    /// Sound level detector (high when loud).
+    Sound,
+    /// Temperature threshold detector (high when above threshold).
+    Temperature,
+    /// Vibration/tilt detector.
+    Vibration,
+}
+
+impl SensorKind {
+    /// Stable lower-case token used by the netlist format.
+    pub fn token(self) -> &'static str {
+        match self {
+            Self::Button => "button",
+            Self::Motion => "motion",
+            Self::Light => "light",
+            Self::ContactSwitch => "contact",
+            Self::Sound => "sound",
+            Self::Temperature => "temperature",
+            Self::Vibration => "vibration",
+        }
+    }
+
+    /// Parses the output of [`SensorKind::token`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "button" => Self::Button,
+            "motion" => Self::Motion,
+            "light" => Self::Light,
+            "contact" => Self::ContactSwitch,
+            "sound" => Self::Sound,
+            "temperature" => Self::Temperature,
+            "vibration" => Self::Vibration,
+            _ => return None,
+        })
+    }
+
+    /// All sensor kinds, for generators and UIs.
+    pub const ALL: [Self; 7] = [
+        Self::Button,
+        Self::Motion,
+        Self::Light,
+        Self::ContactSwitch,
+        Self::Sound,
+        Self::Temperature,
+        Self::Vibration,
+    ];
+}
+
+/// Kinds of output block (primary outputs of the network DAG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OutputKind {
+    /// Light-emitting diode.
+    Led,
+    /// Audible beeper.
+    Buzzer,
+    /// Electric relay driving an appliance.
+    Relay,
+    /// Single-digit numeric display.
+    Display,
+}
+
+impl OutputKind {
+    /// Stable lower-case token used by the netlist format.
+    pub fn token(self) -> &'static str {
+        match self {
+            Self::Led => "led",
+            Self::Buzzer => "buzzer",
+            Self::Relay => "relay",
+            Self::Display => "display",
+        }
+    }
+
+    /// Parses the output of [`OutputKind::token`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "led" => Self::Led,
+            "buzzer" => Self::Buzzer,
+            "relay" => Self::Relay,
+            "display" => Self::Display,
+            _ => return None,
+        })
+    }
+
+    /// All output kinds, for generators and UIs.
+    pub const ALL: [Self; 4] = [Self::Led, Self::Buzzer, Self::Relay, Self::Display];
+}
+
+/// Kinds of communication block.
+///
+/// Communication blocks are behaviorally transparent — they relay the packet
+/// stream over another medium (§2). They are *not* inner nodes for
+/// partitioning purposes: a programmable block cannot absorb a radio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommKind {
+    /// RF transmitter half of a wireless link.
+    WirelessTx,
+    /// RF receiver half of a wireless link.
+    WirelessRx,
+    /// X10 power-line carrier interface.
+    X10,
+}
+
+impl CommKind {
+    /// Stable lower-case token used by the netlist format.
+    pub fn token(self) -> &'static str {
+        match self {
+            Self::WirelessTx => "wireless_tx",
+            Self::WirelessRx => "wireless_rx",
+            Self::X10 => "x10",
+        }
+    }
+
+    /// Parses the output of [`CommKind::token`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "wireless_tx" => Self::WirelessTx,
+            "wireless_rx" => Self::WirelessRx,
+            "x10" => Self::X10,
+            _ => return None,
+        })
+    }
+}
+
+/// Pre-defined compute block functions (§2): combinational two- and
+/// three-input truth tables plus the basic sequential blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComputeKind {
+    /// Configurable two-input combinational function (2 in, 1 out).
+    Logic2(TruthTable2),
+    /// Configurable three-input combinational function (3 in, 1 out).
+    Logic3(TruthTable3),
+    /// Inverter (1 in, 1 out).
+    Not,
+    /// Wire splitter (1 in, 2 out); both outputs repeat the input.
+    Splitter,
+    /// Toggle: output flips state on each rising edge of the input (1 in, 1 out).
+    Toggle,
+    /// Trip latch: output latches high on a rising edge of input 0 and clears
+    /// on a rising edge of input 1 (reset). 2 in, 1 out.
+    Trip,
+    /// Pulse generator: a rising edge on the input emits a high pulse lasting
+    /// `ticks` simulator ticks (1 in, 1 out).
+    PulseGen {
+        /// Pulse duration in simulator ticks. Must be at least 1.
+        ticks: u16,
+    },
+    /// Delay: the output reproduces the input delayed by `ticks` simulator
+    /// ticks (1 in, 1 out).
+    Delay {
+        /// Delay in simulator ticks. Must be at least 1.
+        ticks: u16,
+    },
+}
+
+impl ComputeKind {
+    /// Two-input AND block.
+    pub fn and2() -> Self {
+        Self::Logic2(TruthTable2::AND)
+    }
+    /// Two-input OR block.
+    pub fn or2() -> Self {
+        Self::Logic2(TruthTable2::OR)
+    }
+    /// Two-input XOR block.
+    pub fn xor2() -> Self {
+        Self::Logic2(TruthTable2::XOR)
+    }
+    /// Two-input NAND block.
+    pub fn nand2() -> Self {
+        Self::Logic2(TruthTable2::NAND)
+    }
+    /// Two-input NOR block.
+    pub fn nor2() -> Self {
+        Self::Logic2(TruthTable2::NOR)
+    }
+    /// Three-input AND block.
+    pub fn and3() -> Self {
+        Self::Logic3(TruthTable3::AND)
+    }
+    /// Three-input OR block.
+    pub fn or3() -> Self {
+        Self::Logic3(TruthTable3::OR)
+    }
+
+    /// Number of input ports.
+    pub fn num_inputs(self) -> u8 {
+        match self {
+            Self::Logic2(_) | Self::Trip => 2,
+            Self::Logic3(_) => 3,
+            Self::Not | Self::Splitter | Self::Toggle | Self::PulseGen { .. } | Self::Delay { .. } => 1,
+        }
+    }
+
+    /// Number of output ports.
+    pub fn num_outputs(self) -> u8 {
+        match self {
+            Self::Splitter => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether the block holds state between packets (sequential) or is a
+    /// pure function of its current inputs (combinational).
+    pub fn is_sequential(self) -> bool {
+        matches!(
+            self,
+            Self::Toggle | Self::Trip | Self::PulseGen { .. } | Self::Delay { .. }
+        )
+    }
+
+    /// Stable token used by the netlist format (parameters rendered inline).
+    pub fn token(self) -> String {
+        match self {
+            Self::Logic2(tt) => format!("logic2:{}", tt.name()),
+            Self::Logic3(tt) => format!("logic3:{}", tt.name()),
+            Self::Not => "not".into(),
+            Self::Splitter => "splitter".into(),
+            Self::Toggle => "toggle".into(),
+            Self::Trip => "trip".into(),
+            Self::PulseGen { ticks } => format!("pulse:{ticks}"),
+            Self::Delay { ticks } => format!("delay:{ticks}"),
+        }
+    }
+
+    /// Parses the output of [`ComputeKind::token`].
+    pub fn parse(s: &str) -> Option<Self> {
+        if let Some(tt) = s.strip_prefix("logic2:") {
+            return TruthTable2::parse(tt).map(Self::Logic2);
+        }
+        if let Some(tt) = s.strip_prefix("logic3:") {
+            return TruthTable3::parse(tt).map(Self::Logic3);
+        }
+        if let Some(t) = s.strip_prefix("pulse:") {
+            return t.parse().ok().map(|ticks| Self::PulseGen { ticks });
+        }
+        if let Some(t) = s.strip_prefix("delay:") {
+            return t.parse().ok().map(|ticks| Self::Delay { ticks });
+        }
+        Some(match s {
+            "not" => Self::Not,
+            "splitter" => Self::Splitter,
+            "toggle" => Self::Toggle,
+            "trip" => Self::Trip,
+            _ => return None,
+        })
+    }
+}
+
+/// The pin budget of a programmable block (§4: `i` inputs and `o` outputs).
+///
+/// The paper's experiments assume a 2-in/2-out block, which is
+/// [`ProgrammableSpec::default`]; §6 proposes multiple block types, which this
+/// type supports directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProgrammableSpec {
+    /// Number of physical input pins.
+    pub inputs: u8,
+    /// Number of physical output pins.
+    pub outputs: u8,
+}
+
+impl ProgrammableSpec {
+    /// Creates a spec with the given pin counts.
+    pub fn new(inputs: u8, outputs: u8) -> Self {
+        Self { inputs, outputs }
+    }
+}
+
+impl Default for ProgrammableSpec {
+    /// The paper's evaluation configuration: two inputs, two outputs.
+    fn default() -> Self {
+        Self { inputs: 2, outputs: 2 }
+    }
+}
+
+impl fmt::Display for ProgrammableSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}in/{}out", self.inputs, self.outputs)
+    }
+}
+
+/// The kind of an eBlock: one of the paper's four block classes, with the
+/// programmable compute block split out because synthesis treats it specially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// Environmental sensor — a primary input.
+    Sensor(SensorKind),
+    /// Environmental actuator — a primary output.
+    Output(OutputKind),
+    /// Pre-defined compute block — an inner node, candidate for partitioning.
+    Compute(ComputeKind),
+    /// Programmable compute block produced by synthesis. The spec is its pin
+    /// budget; its behavior is attached externally (see `eblocks-codegen`).
+    Programmable(ProgrammableSpec),
+    /// Communication relay; behaviorally transparent, never partitioned.
+    Comm(CommKind),
+}
+
+impl BlockKind {
+    /// Number of input ports.
+    pub fn num_inputs(&self) -> u8 {
+        match self {
+            Self::Sensor(_) => 0,
+            Self::Output(_) => 1,
+            Self::Compute(c) => c.num_inputs(),
+            Self::Programmable(spec) => spec.inputs,
+            Self::Comm(_) => 1,
+        }
+    }
+
+    /// Number of output ports.
+    pub fn num_outputs(&self) -> u8 {
+        match self {
+            Self::Sensor(_) => 1,
+            Self::Output(_) => 0,
+            Self::Compute(c) => c.num_outputs(),
+            Self::Programmable(spec) => spec.outputs,
+            Self::Comm(_) => 1,
+        }
+    }
+
+    /// Whether the block is a primary input of the network DAG.
+    pub fn is_primary_input(&self) -> bool {
+        matches!(self, Self::Sensor(_))
+    }
+
+    /// Whether the block is a primary output of the network DAG.
+    pub fn is_primary_output(&self) -> bool {
+        matches!(self, Self::Output(_))
+    }
+
+    /// Whether the block is an *inner* node in the paper's sense: a
+    /// pre-defined compute block eligible for replacement by a programmable
+    /// block. Programmable and communication blocks are not inner.
+    pub fn is_inner(&self) -> bool {
+        matches!(self, Self::Compute(_))
+    }
+}
+
+impl From<SensorKind> for BlockKind {
+    fn from(k: SensorKind) -> Self {
+        Self::Sensor(k)
+    }
+}
+impl From<OutputKind> for BlockKind {
+    fn from(k: OutputKind) -> Self {
+        Self::Output(k)
+    }
+}
+impl From<ComputeKind> for BlockKind {
+    fn from(k: ComputeKind) -> Self {
+        Self::Compute(k)
+    }
+}
+impl From<ProgrammableSpec> for BlockKind {
+    fn from(k: ProgrammableSpec) -> Self {
+        Self::Programmable(k)
+    }
+}
+impl From<CommKind> for BlockKind {
+    fn from(k: CommKind) -> Self {
+        Self::Comm(k)
+    }
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Sensor(k) => write!(f, "sensor:{}", k.token()),
+            Self::Output(k) => write!(f, "output:{}", k.token()),
+            Self::Compute(k) => write!(f, "compute:{}", k.token()),
+            Self::Programmable(spec) => write!(f, "programmable:{spec}"),
+            Self::Comm(k) => write!(f, "comm:{}", k.token()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities() {
+        assert_eq!(BlockKind::from(SensorKind::Button).num_inputs(), 0);
+        assert_eq!(BlockKind::from(SensorKind::Button).num_outputs(), 1);
+        assert_eq!(BlockKind::from(OutputKind::Led).num_inputs(), 1);
+        assert_eq!(BlockKind::from(OutputKind::Led).num_outputs(), 0);
+        assert_eq!(ComputeKind::and2().num_inputs(), 2);
+        assert_eq!(ComputeKind::and3().num_inputs(), 3);
+        assert_eq!(ComputeKind::Splitter.num_outputs(), 2);
+        assert_eq!(ComputeKind::Trip.num_inputs(), 2);
+        assert_eq!(ComputeKind::Not.num_inputs(), 1);
+        let spec = ProgrammableSpec::new(3, 1);
+        assert_eq!(BlockKind::Programmable(spec).num_inputs(), 3);
+        assert_eq!(BlockKind::Programmable(spec).num_outputs(), 1);
+    }
+
+    #[test]
+    fn sequential_flags() {
+        assert!(!ComputeKind::and2().is_sequential());
+        assert!(!ComputeKind::Not.is_sequential());
+        assert!(!ComputeKind::Splitter.is_sequential());
+        assert!(ComputeKind::Toggle.is_sequential());
+        assert!(ComputeKind::Trip.is_sequential());
+        assert!(ComputeKind::PulseGen { ticks: 3 }.is_sequential());
+        assert!(ComputeKind::Delay { ticks: 1 }.is_sequential());
+    }
+
+    #[test]
+    fn inner_classification() {
+        assert!(BlockKind::from(ComputeKind::Toggle).is_inner());
+        assert!(!BlockKind::from(SensorKind::Motion).is_inner());
+        assert!(!BlockKind::from(OutputKind::Buzzer).is_inner());
+        assert!(!BlockKind::Programmable(ProgrammableSpec::default()).is_inner());
+        assert!(!BlockKind::from(CommKind::X10).is_inner());
+        assert!(BlockKind::from(SensorKind::Motion).is_primary_input());
+        assert!(BlockKind::from(OutputKind::Buzzer).is_primary_output());
+    }
+
+    #[test]
+    fn compute_token_roundtrip() {
+        let kinds = [
+            ComputeKind::and2(),
+            ComputeKind::or2(),
+            ComputeKind::xor2(),
+            ComputeKind::nand2(),
+            ComputeKind::nor2(),
+            ComputeKind::and3(),
+            ComputeKind::or3(),
+            ComputeKind::Logic3(TruthTable3::MUX),
+            ComputeKind::Not,
+            ComputeKind::Splitter,
+            ComputeKind::Toggle,
+            ComputeKind::Trip,
+            ComputeKind::PulseGen { ticks: 5 },
+            ComputeKind::Delay { ticks: 9 },
+        ];
+        for k in kinds {
+            assert_eq!(ComputeKind::parse(&k.token()), Some(k), "token {}", k.token());
+        }
+        assert_eq!(ComputeKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn sensor_output_comm_token_roundtrip() {
+        for k in SensorKind::ALL {
+            assert_eq!(SensorKind::parse(k.token()), Some(k));
+        }
+        for k in OutputKind::ALL {
+            assert_eq!(OutputKind::parse(k.token()), Some(k));
+        }
+        for k in [CommKind::WirelessTx, CommKind::WirelessRx, CommKind::X10] {
+            assert_eq!(CommKind::parse(k.token()), Some(k));
+        }
+    }
+
+    #[test]
+    fn default_spec_is_paper_config() {
+        let spec = ProgrammableSpec::default();
+        assert_eq!((spec.inputs, spec.outputs), (2, 2));
+        assert_eq!(spec.to_string(), "2in/2out");
+    }
+}

@@ -1,0 +1,243 @@
+//! Truth tables for the configurable combinational eBlocks.
+//!
+//! The physical "2-input logic" eBlock exposes DIP switches selecting one of
+//! the 16 possible two-input Boolean functions; the "3-input truth table"
+//! block similarly covers all 256 three-input functions. We represent a table
+//! as a bit vector indexed by the input assignment: bit `i` of the mask is the
+//! output for inputs whose binary encoding is `i` (input 0 is the least
+//! significant bit).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A two-input Boolean function, one of the 16 possible.
+///
+/// Bit `i` (0..4) of the mask holds the output for the assignment where
+/// `in0 = i & 1` and `in1 = (i >> 1) & 1`.
+///
+/// ```
+/// use eblocks_core::TruthTable2;
+/// let and = TruthTable2::AND;
+/// assert!(and.eval(true, true));
+/// assert!(!and.eval(true, false));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TruthTable2(u8);
+
+impl TruthTable2 {
+    /// Logical AND.
+    pub const AND: Self = Self(0b1000);
+    /// Logical OR.
+    pub const OR: Self = Self(0b1110);
+    /// Logical XOR.
+    pub const XOR: Self = Self(0b0110);
+    /// Logical NAND.
+    pub const NAND: Self = Self(0b0111);
+    /// Logical NOR.
+    pub const NOR: Self = Self(0b0001);
+    /// Logical XNOR (equivalence).
+    pub const XNOR: Self = Self(0b1001);
+    /// Implication `in0 -> in1`.
+    pub const IMPLIES: Self = Self(0b1101);
+    /// Always false.
+    pub const FALSE: Self = Self(0b0000);
+    /// Always true.
+    pub const TRUE: Self = Self(0b1111);
+
+    /// Creates a table from a 4-bit mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `mask` has bits set above the low four.
+    pub fn from_mask(mask: u8) -> Option<Self> {
+        (mask <= 0b1111).then_some(Self(mask))
+    }
+
+    /// The 4-bit mask backing this table.
+    pub fn mask(self) -> u8 {
+        self.0
+    }
+
+    /// Evaluates the function.
+    pub fn eval(self, in0: bool, in1: bool) -> bool {
+        let idx = (in0 as u8) | ((in1 as u8) << 1);
+        (self.0 >> idx) & 1 == 1
+    }
+
+    /// A short human-readable name for the well-known tables, or `TT2:xxxx`.
+    pub fn name(self) -> String {
+        match self {
+            Self::AND => "AND".into(),
+            Self::OR => "OR".into(),
+            Self::XOR => "XOR".into(),
+            Self::NAND => "NAND".into(),
+            Self::NOR => "NOR".into(),
+            Self::XNOR => "XNOR".into(),
+            _ => format!("TT2:{:04b}", self.0),
+        }
+    }
+
+    /// Parses the output of [`TruthTable2::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "AND" => Some(Self::AND),
+            "OR" => Some(Self::OR),
+            "XOR" => Some(Self::XOR),
+            "NAND" => Some(Self::NAND),
+            "NOR" => Some(Self::NOR),
+            "XNOR" => Some(Self::XNOR),
+            _ => {
+                let bits = s.strip_prefix("TT2:")?;
+                if bits.len() != 4 {
+                    return None;
+                }
+                u8::from_str_radix(bits, 2).ok().and_then(Self::from_mask)
+            }
+        }
+    }
+}
+
+impl fmt::Display for TruthTable2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// A three-input Boolean function, one of the 256 possible.
+///
+/// Bit `i` (0..8) of the mask holds the output for the assignment where
+/// `in0 = i & 1`, `in1 = (i >> 1) & 1`, `in2 = (i >> 2) & 1`.
+///
+/// ```
+/// use eblocks_core::TruthTable3;
+/// let maj = TruthTable3::MAJORITY;
+/// assert!(maj.eval(true, true, false));
+/// assert!(!maj.eval(true, false, false));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TruthTable3(u8);
+
+impl TruthTable3 {
+    /// Three-input AND.
+    pub const AND: Self = Self(0b1000_0000);
+    /// Three-input OR.
+    pub const OR: Self = Self(0b1111_1110);
+    /// Majority vote of the three inputs.
+    pub const MAJORITY: Self = Self(0b1110_1000);
+    /// Odd parity (three-input XOR).
+    pub const PARITY: Self = Self(0b1001_0110);
+    /// Two-to-one multiplexer: `in2 ? in1 : in0`.
+    pub const MUX: Self = Self(0b1100_1010);
+
+    /// Creates a table from its 8-bit mask. All masks are valid.
+    pub fn from_mask(mask: u8) -> Self {
+        Self(mask)
+    }
+
+    /// The 8-bit mask backing this table.
+    pub fn mask(self) -> u8 {
+        self.0
+    }
+
+    /// Evaluates the function.
+    pub fn eval(self, in0: bool, in1: bool, in2: bool) -> bool {
+        let idx = (in0 as u8) | ((in1 as u8) << 1) | ((in2 as u8) << 2);
+        (self.0 >> idx) & 1 == 1
+    }
+
+    /// A short human-readable name for the well-known tables, or `TT3:xxxxxxxx`.
+    pub fn name(self) -> String {
+        match self {
+            Self::AND => "AND3".into(),
+            Self::OR => "OR3".into(),
+            Self::MAJORITY => "MAJ3".into(),
+            Self::PARITY => "PAR3".into(),
+            Self::MUX => "MUX".into(),
+            _ => format!("TT3:{:08b}", self.0),
+        }
+    }
+
+    /// Parses the output of [`TruthTable3::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "AND3" => Some(Self::AND),
+            "OR3" => Some(Self::OR),
+            "MAJ3" => Some(Self::MAJORITY),
+            "PAR3" => Some(Self::PARITY),
+            "MUX" => Some(Self::MUX),
+            _ => {
+                let bits = s.strip_prefix("TT3:")?;
+                if bits.len() != 8 {
+                    return None;
+                }
+                u8::from_str_radix(bits, 2).ok().map(Self::from_mask)
+            }
+        }
+    }
+}
+
+impl fmt::Display for TruthTable3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and2_matches_operator() {
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(TruthTable2::AND.eval(a, b), a && b);
+                assert_eq!(TruthTable2::OR.eval(a, b), a || b);
+                assert_eq!(TruthTable2::XOR.eval(a, b), a ^ b);
+                assert_eq!(TruthTable2::NAND.eval(a, b), !(a && b));
+                assert_eq!(TruthTable2::NOR.eval(a, b), !(a || b));
+                assert_eq!(TruthTable2::XNOR.eval(a, b), a == b);
+                assert_eq!(TruthTable2::IMPLIES.eval(a, b), !a || b);
+            }
+        }
+    }
+
+    #[test]
+    fn tt2_mask_roundtrip() {
+        for mask in 0..16u8 {
+            let t = TruthTable2::from_mask(mask).unwrap();
+            assert_eq!(t.mask(), mask);
+            assert_eq!(TruthTable2::parse(&t.name()), Some(t));
+        }
+        assert!(TruthTable2::from_mask(16).is_none());
+    }
+
+    #[test]
+    fn tt3_known_functions() {
+        for i in 0..8u8 {
+            let (a, b, c) = (i & 1 == 1, (i >> 1) & 1 == 1, (i >> 2) & 1 == 1);
+            assert_eq!(TruthTable3::AND.eval(a, b, c), a && b && c);
+            assert_eq!(TruthTable3::OR.eval(a, b, c), a || b || c);
+            assert_eq!(
+                TruthTable3::MAJORITY.eval(a, b, c),
+                (a as u8 + b as u8 + c as u8) >= 2
+            );
+            assert_eq!(TruthTable3::PARITY.eval(a, b, c), a ^ b ^ c);
+            assert_eq!(TruthTable3::MUX.eval(a, b, c), if c { b } else { a });
+        }
+    }
+
+    #[test]
+    fn tt3_mask_roundtrip() {
+        for mask in [0u8, 1, 0x55, 0xAA, 0xFF, 0xE8] {
+            let t = TruthTable3::from_mask(mask);
+            assert_eq!(TruthTable3::parse(&t.name()), Some(t));
+        }
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(TruthTable2::AND.to_string(), "AND");
+        assert_eq!(TruthTable3::MUX.to_string(), "MUX");
+        assert_eq!(TruthTable2::from_mask(0b1011).unwrap().to_string(), "TT2:1011");
+    }
+}

@@ -1,0 +1,105 @@
+//! Model-based property tests for the core data structures: [`BitSet`]
+//! against `HashSet`, and netlist parsing totality.
+
+use eblocks_core::{netlist, BitSet};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize),
+    Remove(usize),
+    Clear,
+}
+
+fn op_strategy(cap: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..cap).prop_map(Op::Insert),
+        2 => (0..cap).prop_map(Op::Remove),
+        1 => Just(Op::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// BitSet behaves exactly like HashSet<usize> under a random op stream.
+    #[test]
+    fn bitset_matches_hashset(ops in prop::collection::vec(op_strategy(150), 0..80)) {
+        let mut set = BitSet::new(150);
+        let mut model: HashSet<usize> = HashSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    prop_assert_eq!(set.insert(v), model.insert(v));
+                }
+                Op::Remove(v) => {
+                    prop_assert_eq!(set.remove(v), model.remove(&v));
+                }
+                Op::Clear => {
+                    set.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(set.len(), model.len());
+            prop_assert_eq!(set.is_empty(), model.is_empty());
+        }
+        let mut from_iter: Vec<usize> = set.iter().collect();
+        let mut from_model: Vec<usize> = model.into_iter().collect();
+        from_model.sort_unstable();
+        from_iter.sort_unstable();
+        prop_assert_eq!(from_iter, from_model);
+    }
+
+    /// Union and difference agree with the model sets.
+    #[test]
+    fn bitset_algebra_matches(
+        a in prop::collection::hash_set(0usize..100, 0..40),
+        b in prop::collection::hash_set(0usize..100, 0..40),
+    ) {
+        let mut sa = BitSet::new(100);
+        sa.extend(a.iter().copied());
+        let mut sb = BitSet::new(100);
+        sb.extend(b.iter().copied());
+
+        let mut union = sa.clone();
+        union.union_with(&sb);
+        let model_union: HashSet<usize> = a.union(&b).copied().collect();
+        prop_assert_eq!(union.iter().collect::<HashSet<_>>(), model_union);
+
+        let mut diff = sa.clone();
+        diff.difference_with(&sb);
+        let model_diff: HashSet<usize> = a.difference(&b).copied().collect();
+        prop_assert_eq!(diff.iter().collect::<HashSet<_>>(), model_diff);
+
+        prop_assert_eq!(sa.is_disjoint(&sb), a.is_disjoint(&b));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The netlist parser is total: arbitrary text errors, never panics.
+    #[test]
+    fn netlist_parser_total(input in "\\PC*") {
+        let _ = netlist::from_netlist(&input);
+    }
+
+    /// Line-shaped garbage also never panics.
+    #[test]
+    fn netlist_parser_total_on_linelike(lines in prop::collection::vec(
+        prop_oneof![
+            Just("design x".to_string()),
+            Just("block a sensor:button".to_string()),
+            Just("block a compute:logic2:AND".to_string()),
+            Just("wire a.0 -> b.0".to_string()),
+            Just("wire a.999 -> a.0".to_string()),
+            Just("# comment".to_string()),
+            Just("wire -> ->".to_string()),
+            Just("block".to_string()),
+        ],
+        0..12,
+    )) {
+        let _ = netlist::from_netlist(&lines.join("\n"));
+    }
+}

@@ -1,0 +1,137 @@
+//! The motivating systems from the paper's introduction (§1).
+//!
+//! The intro sketches the application space with four systems beyond the
+//! garage-open-at-night flagship: a sleepwalking-child detector, a mailroom
+//! mail-waiting notifier, a copy-machine-free detector, and a
+//! conference-room-in-use detector. They are not part of the Table 1
+//! evaluation, but they are exactly the "useful but low-volume" workloads
+//! the paper argues eBlocks exist for, so this module reconstructs each one
+//! from its §1 description for the examples and the simulator tests.
+
+use eblocks_core::{CommKind, ComputeKind, Design, OutputKind, SensorKind};
+
+/// §1: "A sleepwalk detector would utilize a motion sensor block, light
+/// sensor block, logic block and output block."
+///
+/// Motion in the hallway while the lights are off (i.e. at night) buzzes
+/// the parents' bedroom.
+pub fn sleepwalk_detector() -> Design {
+    let mut d = Design::new("sleepwalk-detector");
+    let motion = d.add_block("hall_motion", SensorKind::Motion);
+    let light = d.add_block("hall_light", SensorKind::Light);
+    let dark = d.add_block("dark", ComputeKind::Not);
+    let walking = d.add_block("walking", ComputeKind::and2());
+    let buzzer = d.add_block("parents_buzzer", OutputKind::Buzzer);
+    d.connect((motion, 0), (walking, 0)).expect("fresh wire");
+    d.connect((light, 0), (dark, 0)).expect("fresh wire");
+    d.connect((dark, 0), (walking, 1)).expect("fresh wire");
+    d.connect((walking, 0), (buzzer, 0)).expect("fresh wire");
+    d
+}
+
+/// §1: "an office worker may want to know whether mail exists for him in
+/// the mailroom".
+///
+/// A contact switch under the mail tray trips a latch (mail stays
+/// "waiting" even after the flap settles); a button at the desk resets it
+/// after pickup; the state crosses the building over a wireless link.
+pub fn mailroom_notifier() -> Design {
+    let mut d = Design::new("mailroom-notifier");
+    let tray = d.add_block("tray_contact", SensorKind::ContactSwitch);
+    let reset = d.add_block("picked_up", SensorKind::Button);
+    let latch = d.add_block("mail_waiting", ComputeKind::Trip);
+    let tx = d.add_block("radio", CommKind::WirelessTx);
+    let led = d.add_block("desk_led", OutputKind::Led);
+    d.connect((tray, 0), (latch, 0)).expect("fresh wire");
+    d.connect((reset, 0), (latch, 1)).expect("fresh wire");
+    d.connect((latch, 0), (tx, 0)).expect("fresh wire");
+    d.connect((tx, 0), (led, 0)).expect("fresh wire");
+    d
+}
+
+/// §1: "A copy machine use detector might use just a motion sensor and
+/// output block."
+///
+/// The minimal two-block system — no inner blocks at all, so synthesis
+/// correctly leaves it untouched.
+pub fn copy_machine_detector() -> Design {
+    let mut d = Design::new("copy-machine-detector");
+    let motion = d.add_block("copier_motion", SensorKind::Motion);
+    let led = d.add_block("hallway_led", OutputKind::Led);
+    d.connect((motion, 0), (led, 0)).expect("fresh wire");
+    d
+}
+
+/// §1: "A conference room in-use detector might use motion and sound
+/// sensor blocks, logic blocks, and output blocks."
+///
+/// Motion *or* sound marks the room in use; a pulse generator stretches
+/// brief detections so the door sign does not flicker between words.
+pub fn conference_room_detector() -> Design {
+    let mut d = Design::new("conference-room-detector");
+    let motion = d.add_block("room_motion", SensorKind::Motion);
+    let sound = d.add_block("room_sound", SensorKind::Sound);
+    let either = d.add_block("either", ComputeKind::or2());
+    let hold = d.add_block("hold", ComputeKind::PulseGen { ticks: 40 });
+    let sign = d.add_block("door_sign", OutputKind::Led);
+    d.connect((motion, 0), (either, 0)).expect("fresh wire");
+    d.connect((sound, 0), (either, 1)).expect("fresh wire");
+    d.connect((either, 0), (hold, 0)).expect("fresh wire");
+    d.connect((hold, 0), (sign, 0)).expect("fresh wire");
+    d
+}
+
+/// All four §1 systems, named.
+pub fn all_intro() -> Vec<(&'static str, Design)> {
+    vec![
+        ("Sleepwalk Detector", sleepwalk_detector()),
+        ("Mailroom Notifier", mailroom_notifier()),
+        ("Copy Machine Detector", copy_machine_detector()),
+        ("Conference Room Detector", conference_room_detector()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_intro_designs_validate() {
+        for (name, d) in all_intro() {
+            d.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sleepwalk_matches_paper_inventory() {
+        // "motion sensor block, light sensor block, logic block and output
+        // block" — we count the NOT as part of the logic.
+        let d = sleepwalk_detector();
+        assert_eq!(d.sensors().count(), 2);
+        assert_eq!(d.outputs().count(), 1);
+        assert_eq!(d.inner_blocks().count(), 2);
+    }
+
+    #[test]
+    fn copy_machine_has_no_inner_blocks() {
+        let d = copy_machine_detector();
+        assert_eq!(d.inner_blocks().count(), 0);
+        assert_eq!(d.num_blocks(), 2);
+    }
+
+    #[test]
+    fn mailroom_radio_is_not_inner() {
+        // Communication blocks relay; they are not partitionable compute.
+        let d = mailroom_notifier();
+        assert_eq!(d.inner_blocks().count(), 1, "only the trip latch");
+        let radio = d.block_by_name("radio").expect("present");
+        assert!(!d.block(radio).expect("present").kind().is_inner());
+    }
+
+    #[test]
+    fn conference_room_counts() {
+        let d = conference_room_detector();
+        assert_eq!(d.sensors().count(), 2);
+        assert_eq!(d.inner_blocks().count(), 2);
+    }
+}

@@ -1,0 +1,311 @@
+//! Structured design families (extension).
+//!
+//! The paper's random generator (§5.1) samples one mixed distribution. Real
+//! eBlock systems, however, cluster into recognizable shapes — Table 1's
+//! *Doorbell Extender* is parallel chains, *Motion on Property Alert* is a
+//! reduction tree, *Podium Timer 3* is reconvergent. The ablation benches
+//! sweep these families separately to show *where* PareDown's heuristic
+//! rank works well (chains, diamonds) and where convergence starves it
+//! (wide trees over distinct sensors).
+//!
+//! Every generator is deterministic per seed and produces a validating
+//! design with exactly the requested number of inner blocks.
+
+use crate::GeneratorConfig;
+use eblocks_core::{BlockId, ComputeKind, Design, OutputKind, SensorKind, TruthTable2};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The structural families the ablation benches sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// One long 1-in/1-out pipeline (best case: any interval fits).
+    Chain,
+    /// `⌈√n⌉` independent parallel chains (tests disconnected partitions).
+    Wide,
+    /// A binary reduction tree over distinct sensors (worst case: every
+    /// 2-gate subtree already needs 3+ pins).
+    Tree,
+    /// Fork–join diamonds in series (the Fig. 5 shape: convergence that
+    /// rewards look-ahead).
+    Reconvergent,
+    /// The paper's mixed random distribution ([`crate::generate`]).
+    Layered,
+}
+
+impl Family {
+    /// All families, for sweeps.
+    pub const ALL: [Family; 5] = [
+        Family::Chain,
+        Family::Wide,
+        Family::Tree,
+        Family::Reconvergent,
+        Family::Layered,
+    ];
+
+    /// Lower-case name used in bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Chain => "chain",
+            Family::Wide => "wide",
+            Family::Tree => "tree",
+            Family::Reconvergent => "reconvergent",
+            Family::Layered => "layered",
+        }
+    }
+}
+
+/// Generates a design of `inner` inner blocks from the given family.
+///
+/// # Examples
+///
+/// ```
+/// use eblocks_gen::{generate_family, Family};
+///
+/// for family in Family::ALL {
+///     let d = generate_family(family, 12, 7);
+///     assert_eq!(d.inner_blocks().count(), 12, "{}", family.name());
+///     d.validate().unwrap();
+/// }
+/// ```
+pub fn generate_family(family: Family, inner: usize, seed: u64) -> Design {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match family {
+        Family::Chain => chain(inner, &mut rng),
+        Family::Wide => wide(inner, &mut rng),
+        Family::Tree => tree(inner, &mut rng),
+        Family::Reconvergent => reconvergent(inner, &mut rng),
+        Family::Layered => crate::generate_with(&GeneratorConfig::new(inner), &mut rng),
+    }
+}
+
+/// A random single-input, single-output compute kind.
+fn unary_kind(rng: &mut StdRng) -> ComputeKind {
+    match rng.random_range(0..10) {
+        0..=4 => ComputeKind::Not,
+        5..=7 => ComputeKind::Toggle,
+        8 => ComputeKind::PulseGen {
+            ticks: rng.random_range(1..=8),
+        },
+        _ => ComputeKind::Delay {
+            ticks: rng.random_range(1..=8),
+        },
+    }
+}
+
+/// A random two-input logic kind.
+fn binary_kind(rng: &mut StdRng) -> ComputeKind {
+    let tables = [
+        TruthTable2::AND,
+        TruthTable2::OR,
+        TruthTable2::XOR,
+        TruthTable2::NAND,
+        TruthTable2::NOR,
+    ];
+    ComputeKind::Logic2(tables[rng.random_range(0..tables.len())])
+}
+
+fn sensor(design: &mut Design, i: usize) -> BlockId {
+    let kinds = SensorKind::ALL;
+    design.add_block(format!("s{i}"), kinds[i % kinds.len()])
+}
+
+fn output(design: &mut Design, i: usize) -> BlockId {
+    let kinds = OutputKind::ALL;
+    design.add_block(format!("out{i}"), kinds[i % kinds.len()])
+}
+
+fn chain(inner: usize, rng: &mut StdRng) -> Design {
+    let mut d = Design::new(format!("chain-{inner}"));
+    let s = sensor(&mut d, 0);
+    let mut prev = s;
+    for i in 0..inner {
+        let g = d.add_block(format!("g{i}"), unary_kind(rng));
+        d.connect((prev, 0), (g, 0)).expect("forward wire");
+        prev = g;
+    }
+    let o = output(&mut d, 0);
+    d.connect((prev, 0), (o, 0)).expect("output wire");
+    d
+}
+
+fn wide(inner: usize, rng: &mut StdRng) -> Design {
+    let mut d = Design::new(format!("wide-{inner}"));
+    if inner == 0 {
+        let s = sensor(&mut d, 0);
+        let o = output(&mut d, 0);
+        d.connect((s, 0), (o, 0)).expect("wire");
+        return d;
+    }
+    let lanes = (inner as f64).sqrt().ceil() as usize;
+    let mut made = 0usize;
+    let mut lane = 0usize;
+    while made < inner {
+        let this_lane = ((inner - made) / (lanes - lane).max(1)).max(1);
+        let s = sensor(&mut d, lane);
+        let mut prev = s;
+        for _ in 0..this_lane {
+            let g = d.add_block(format!("g{made}"), unary_kind(rng));
+            d.connect((prev, 0), (g, 0)).expect("lane wire");
+            prev = g;
+            made += 1;
+        }
+        let o = output(&mut d, lane);
+        d.connect((prev, 0), (o, 0)).expect("lane output");
+        lane += 1;
+    }
+    d
+}
+
+fn tree(inner: usize, rng: &mut StdRng) -> Design {
+    let mut d = Design::new(format!("tree-{inner}"));
+    if inner == 0 {
+        let s = sensor(&mut d, 0);
+        let o = output(&mut d, 0);
+        d.connect((s, 0), (o, 0)).expect("wire");
+        return d;
+    }
+    // A reduction tree with `inner` 2-input gates needs `inner + 1` leaves.
+    // Reduce the frontier pairwise until one signal remains.
+    let mut frontier: Vec<(BlockId, u8)> =
+        (0..=inner).map(|i| (sensor(&mut d, i), 0)).collect();
+    let mut gates = 0usize;
+    while frontier.len() > 1 {
+        let a = frontier.remove(0);
+        let b = frontier.remove(0);
+        let g = d.add_block(format!("g{gates}"), binary_kind(rng));
+        gates += 1;
+        d.connect(a, (g, 0)).expect("left wire");
+        d.connect(b, (g, 1)).expect("right wire");
+        frontier.push((g, 0));
+    }
+    let o = output(&mut d, 0);
+    d.connect(frontier[0], (o, 0)).expect("root wire");
+    debug_assert_eq!(gates, inner);
+    d
+}
+
+fn reconvergent(inner: usize, rng: &mut StdRng) -> Design {
+    let mut d = Design::new(format!("recon-{inner}"));
+    let s = sensor(&mut d, 0);
+    let mut prev: (BlockId, u8) = (s, 0);
+    let mut made = 0usize;
+    // Fork-join diamonds cost 4 inner blocks each; pad the tail with chain
+    // blocks when fewer than 4 remain.
+    while inner - made >= 4 {
+        let split = d.add_block(format!("g{made}"), ComputeKind::Splitter);
+        let left = d.add_block(format!("g{}", made + 1), unary_kind(rng));
+        let right = d.add_block(format!("g{}", made + 2), unary_kind(rng));
+        let join = d.add_block(format!("g{}", made + 3), binary_kind(rng));
+        d.connect(prev, (split, 0)).expect("into split");
+        d.connect((split, 0), (left, 0)).expect("left arm");
+        d.connect((split, 1), (right, 0)).expect("right arm");
+        d.connect((left, 0), (join, 0)).expect("left join");
+        d.connect((right, 0), (join, 1)).expect("right join");
+        prev = (join, 0);
+        made += 4;
+    }
+    while made < inner {
+        let g = d.add_block(format!("g{made}"), unary_kind(rng));
+        d.connect(prev, (g, 0)).expect("tail wire");
+        prev = (g, 0);
+        made += 1;
+    }
+    let o = output(&mut d, 0);
+    d.connect(prev, (o, 0)).expect("output wire");
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_inner_counts_across_families() {
+        for family in Family::ALL {
+            for n in [1, 2, 4, 7, 12, 25] {
+                let d = generate_family(family, n, 3);
+                assert_eq!(
+                    d.inner_blocks().count(),
+                    n,
+                    "{} n={n}",
+                    family.name()
+                );
+                d.validate()
+                    .unwrap_or_else(|e| panic!("{} n={n}: {e}", family.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_inner_is_valid_everywhere() {
+        for family in Family::ALL {
+            let d = generate_family(family, 0, 1);
+            d.validate().unwrap();
+            assert_eq!(d.inner_blocks().count(), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for family in Family::ALL {
+            let a = generate_family(family, 10, 42);
+            let b = generate_family(family, 10, 42);
+            assert_eq!(
+                eblocks_core::netlist::to_netlist(&a),
+                eblocks_core::netlist::to_netlist(&b),
+                "{}",
+                family.name()
+            );
+        }
+    }
+
+    #[test]
+    fn chain_is_a_chain() {
+        let d = generate_family(Family::Chain, 8, 5);
+        for b in d.inner_blocks() {
+            assert_eq!(d.indegree(b), 1);
+            assert_eq!(d.outdegree(b), 1);
+        }
+        assert_eq!(d.sensors().count(), 1);
+        assert_eq!(d.outputs().count(), 1);
+    }
+
+    #[test]
+    fn wide_has_multiple_lanes() {
+        let d = generate_family(Family::Wide, 9, 5);
+        assert_eq!(d.sensors().count(), 3, "⌈√9⌉ lanes");
+        assert_eq!(d.outputs().count(), 3);
+    }
+
+    #[test]
+    fn tree_has_distinct_sensor_leaves() {
+        let d = generate_family(Family::Tree, 7, 5);
+        assert_eq!(d.sensors().count(), 8, "n+1 leaves");
+        assert_eq!(d.outputs().count(), 1);
+        // Every gate is 2-input.
+        for b in d.inner_blocks() {
+            assert_eq!(d.indegree(b), 2);
+        }
+    }
+
+    #[test]
+    fn reconvergent_contains_diamonds() {
+        let d = generate_family(Family::Reconvergent, 9, 5);
+        // 2 diamonds (8 blocks) + 1 tail block; one sensor, one output.
+        assert_eq!(d.sensors().count(), 1);
+        let splitters = d
+            .inner_blocks()
+            .filter(|&b| d.outdegree(b) == 2)
+            .count();
+        assert_eq!(splitters, 2);
+    }
+
+    #[test]
+    fn acyclic_by_construction() {
+        for family in Family::ALL {
+            let d = generate_family(family, 16, 9);
+            assert_eq!(d.topo_order().len(), d.num_blocks(), "{}", family.name());
+        }
+    }
+}

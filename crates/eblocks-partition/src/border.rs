@@ -1,0 +1,299 @@
+//! Border blocks and the PareDown rank (§4.2).
+//!
+//! "We define a border block as a block in which every output or every input
+//! connects to a block outside of the candidate partition. The block's rank
+//! is defined as the net increase or decrease in the combined indegree and
+//! outdegree of a candidate partition if that block is removed."
+
+use eblocks_core::{BitSet, BlockId, Design, InnerIndex};
+use std::cmp::Reverse;
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Dense positions (per the [`InnerIndex`]) of the border blocks of
+/// `members`: blocks whose inputs all come from outside the set, or whose
+/// outputs all go outside the set.
+///
+/// A nonempty candidate always has at least one border block (the
+/// topologically first member has no member predecessors).
+pub fn border_blocks(design: &Design, index: &InnerIndex, members: &BitSet) -> Vec<usize> {
+    let inside = |b: BlockId| index.position(b).is_some_and(|p| members.contains(p));
+    members
+        .iter()
+        .filter(|&pos| {
+            let block = index.block(pos);
+            let any_input_inside = design.in_wires(block).any(|w| inside(w.from));
+            let any_output_inside = design.out_wires(block).any(|w| inside(w.to));
+            !any_input_inside || !any_output_inside
+        })
+        .collect()
+}
+
+/// The rank of member `pos` within `members`: the exact change in
+/// `inputs + outputs` of the candidate partition if the block were removed.
+///
+/// Computed locally from the block's neighborhood in `O(deg · fanout)`,
+/// without re-walking the whole candidate.
+pub fn rank_of(design: &Design, index: &InnerIndex, members: &BitSet, pos: usize) -> i64 {
+    let b = index.block(pos);
+    let inside = |x: BlockId| index.position(x).is_some_and(|p| members.contains(p));
+    let is_b = |x: BlockId| x == b;
+
+    let mut delta: i64 = 0;
+
+    // External source ports that drove only `b`: each leaves the input set.
+    let mut external_srcs: HashSet<(BlockId, u8)> = HashSet::new();
+    for w in design.in_wires(b) {
+        if !inside(w.from) {
+            external_srcs.insert((w.from, w.from_port));
+        }
+    }
+    for (src, port) in external_srcs {
+        let feeds_other_member = design
+            .sinks_of(src, port)
+            .any(|w| inside(w.to) && !is_b(w.to));
+        if !feeds_other_member {
+            delta -= 1;
+        }
+    }
+
+    // b's output ports: one becoming a new external input per port that
+    // drives a remaining member; one leaving the output set per port that
+    // was exposed (drove a non-member).
+    let block = design.block(b).expect("indexed block");
+    for port in 0..block.num_outputs() {
+        let mut drives_member = false;
+        let mut drives_outside = false;
+        for w in design.sinks_of(b, port) {
+            if inside(w.to) && !is_b(w.to) {
+                drives_member = true;
+            } else {
+                drives_outside = true;
+            }
+        }
+        if drives_member {
+            delta += 1;
+        }
+        if drives_outside {
+            delta -= 1;
+        }
+    }
+
+    // Member ports that drove `b` and nothing outside: each becomes newly
+    // exposed.
+    let mut member_srcs: HashSet<(BlockId, u8)> = HashSet::new();
+    for w in design.in_wires(b) {
+        if inside(w.from) {
+            member_srcs.insert((w.from, w.from_port));
+        }
+    }
+    for (src, port) in member_srcs {
+        let already_exposed = design.sinks_of(src, port).any(|w| !inside(w.to));
+        if !already_exposed {
+            delta += 1;
+        }
+    }
+
+    delta
+}
+
+/// The full removal-priority key for a border block: least rank first, ties
+/// broken by greatest indegree, then greatest outdegree, then highest level,
+/// and finally lowest dense position (a deterministic fallback the paper
+/// leaves unspecified).
+///
+/// The block to remove is the one with the **minimum** `RankKey`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RankKey {
+    /// Net cut-cost change on removal (lower = remove first).
+    pub rank: i64,
+    /// Negated indegree (greater indegree = remove first).
+    pub indegree: Reverse<usize>,
+    /// Negated outdegree (greater outdegree = remove first).
+    pub outdegree: Reverse<usize>,
+    /// Negated level (higher level = remove first).
+    pub level: Reverse<usize>,
+    /// Dense position, as a deterministic final tie-break.
+    pub position: usize,
+}
+
+impl RankKey {
+    /// Builds the key for member `pos` of `members`.
+    pub fn new(
+        design: &Design,
+        index: &InnerIndex,
+        members: &BitSet,
+        levels: &HashMap<BlockId, usize>,
+        pos: usize,
+    ) -> Self {
+        let block = index.block(pos);
+        Self {
+            rank: rank_of(design, index, members, pos),
+            indegree: Reverse(design.indegree(block)),
+            outdegree: Reverse(design.outdegree(block)),
+            level: Reverse(levels.get(&block).copied().unwrap_or(0)),
+            position: pos,
+        }
+    }
+
+    /// Like [`RankKey::new`] but with the paper's §4.2 tie-break criteria
+    /// disabled — rank ties fall straight through to the deterministic
+    /// position order. Used by the tie-break ablation study.
+    pub fn without_tie_breaks(
+        design: &Design,
+        index: &InnerIndex,
+        members: &BitSet,
+        pos: usize,
+    ) -> Self {
+        Self {
+            rank: rank_of(design, index, members, pos),
+            indegree: Reverse(0),
+            outdegree: Reverse(0),
+            level: Reverse(0),
+            position: pos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblocks_core::{cut_cost, ComputeKind, OutputKind, SensorKind};
+
+    /// Reference implementation: full recomputation.
+    fn rank_by_recompute(
+        design: &Design,
+        index: &InnerIndex,
+        members: &BitSet,
+        pos: usize,
+    ) -> i64 {
+        let before = cut_cost(design, index, members).total() as i64;
+        let mut without = members.clone();
+        without.remove(pos);
+        let after = cut_cost(design, index, &without).total() as i64;
+        after - before
+    }
+
+    fn diamond() -> (Design, InnerIndex) {
+        // s -> sp -> (a, b) -> c -> o, plus sp -> c is absent; classic diamond.
+        let mut d = Design::new("diamond");
+        let s = d.add_block("s", SensorKind::Button);
+        let sp = d.add_block("sp", ComputeKind::Splitter);
+        let a = d.add_block("a", ComputeKind::Not);
+        let b = d.add_block("b", ComputeKind::Toggle);
+        let c = d.add_block("c", ComputeKind::and2());
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s, 0), (sp, 0)).unwrap();
+        d.connect((sp, 0), (a, 0)).unwrap();
+        d.connect((sp, 1), (b, 0)).unwrap();
+        d.connect((a, 0), (c, 0)).unwrap();
+        d.connect((b, 0), (c, 1)).unwrap();
+        d.connect((c, 0), (o, 0)).unwrap();
+        let idx = InnerIndex::new(&d);
+        (d, idx)
+    }
+
+    #[test]
+    fn border_blocks_of_full_set() {
+        let (d, idx) = diamond();
+        let full = idx.full_set();
+        let borders: Vec<&str> = border_blocks(&d, &idx, &full)
+            .into_iter()
+            .map(|p| d.block(idx.block(p)).unwrap().name().to_string())
+            .map(|s| Box::leak(s.into_boxed_str()) as &str)
+            .collect();
+        // sp: all inputs outside (sensor). c: all outputs outside (LED).
+        // a, b: inputs and outputs both inside.
+        assert_eq!(borders, vec!["sp", "c"]);
+    }
+
+    #[test]
+    fn every_nonempty_set_has_a_border_block() {
+        let (d, idx) = diamond();
+        // Check all non-empty subsets of the 4 inner blocks.
+        for mask in 1u32..16 {
+            let mut set = idx.empty_set();
+            for i in 0..4 {
+                if (mask >> i) & 1 == 1 {
+                    set.insert(i);
+                }
+            }
+            assert!(
+                !border_blocks(&d, &idx, &set).is_empty(),
+                "mask {mask:04b} has no border block"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_matches_full_recompute_exhaustively() {
+        let (d, idx) = diamond();
+        for mask in 1u32..16 {
+            let mut set = idx.empty_set();
+            for i in 0..4 {
+                if (mask >> i) & 1 == 1 {
+                    set.insert(i);
+                }
+            }
+            for pos in set.iter() {
+                assert_eq!(
+                    rank_of(&d, &idx, &set, pos),
+                    rank_by_recompute(&d, &idx, &set, pos),
+                    "mask {mask:04b} pos {pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_key_ordering_prefers_low_rank_then_high_degree() {
+        let a = RankKey {
+            rank: 0,
+            indegree: Reverse(1),
+            outdegree: Reverse(1),
+            level: Reverse(3),
+            position: 0,
+        };
+        let b = RankKey { rank: 1, ..a };
+        assert!(a < b, "lower rank removed first");
+        let c = RankKey {
+            indegree: Reverse(2),
+            ..a
+        };
+        assert!(c < a, "greater indegree removed first at equal rank");
+        let e = RankKey {
+            outdegree: Reverse(2),
+            ..a
+        };
+        assert!(e < a, "greater outdegree removed first");
+        let f = RankKey {
+            level: Reverse(4),
+            ..a
+        };
+        assert!(f < a, "higher level removed first");
+    }
+
+    #[test]
+    fn fanout_port_rank_counts_signals_not_wires() {
+        // g's single output port drives two outside sinks; removing g's
+        // downstream partner must not double-count the port.
+        let mut d = Design::new("fan");
+        let s = d.add_block("s", SensorKind::Button);
+        let g = d.add_block("g", ComputeKind::Not);
+        let h = d.add_block("h", ComputeKind::Not);
+        let o1 = d.add_block("o1", OutputKind::Led);
+        let o2 = d.add_block("o2", OutputKind::Buzzer);
+        d.connect((s, 0), (g, 0)).unwrap();
+        d.connect((g, 0), (h, 0)).unwrap();
+        d.connect((g, 0), (o1, 0)).unwrap();
+        d.connect((h, 0), (o2, 0)).unwrap();
+        let idx = InnerIndex::new(&d);
+        let full = idx.full_set();
+        for pos in full.iter() {
+            assert_eq!(
+                rank_of(&d, &idx, &full, pos),
+                rank_by_recompute(&d, &idx, &full, pos)
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Partitioning of eBlock networks onto programmable blocks.
+//!
+//! This crate implements §4 of *System Synthesis for Networks of Programmable
+//! Blocks* (DATE 2005): replacing clusters of pre-defined compute blocks with
+//! a minimum number of programmable blocks under input/output pin
+//! constraints.
+//!
+//! Three algorithms are provided:
+//!
+//! * [`pare_down`](fn@pare_down) — the paper's contribution: an `O(n²)` *decomposition*
+//!   heuristic that starts from all inner blocks as one candidate partition
+//!   and pares border blocks away by rank until the candidate fits (§4.2),
+//! * [`exhaustive`](fn@exhaustive) — optimal branch search over all assignments of blocks to
+//!   partitions, with the paper's empty-partition symmetry pruning plus sound
+//!   bound pruning (§4.1),
+//! * [`aggregation`](fn@aggregation) — the greedy clustering strawman the paper describes and
+//!   discards for its lack of look-ahead (§4.2 ¶1).
+//!
+//! # Example
+//!
+//! ```
+//! use eblocks_core::{ComputeKind, Design, OutputKind, SensorKind};
+//! use eblocks_partition::{pare_down, PartitionConstraints};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut d = Design::new("two-gate");
+//! let s1 = d.add_block("s1", SensorKind::Button);
+//! let s2 = d.add_block("s2", SensorKind::Motion);
+//! let g1 = d.add_block("g1", ComputeKind::and2());
+//! let g2 = d.add_block("g2", ComputeKind::Not);
+//! let o = d.add_block("o", OutputKind::Led);
+//! d.connect((s1, 0), (g1, 0))?;
+//! d.connect((s2, 0), (g1, 1))?;
+//! d.connect((g1, 0), (g2, 0))?;
+//! d.connect((g2, 0), (o, 0))?;
+//!
+//! let result = pare_down(&d, &PartitionConstraints::default());
+//! assert_eq!(result.num_partitions(), 1); // both gates merge into one block
+//! assert_eq!(result.inner_total(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregation;
+pub mod anneal;
+pub mod border;
+pub mod constraints;
+pub mod exhaustive;
+pub mod multi;
+pub mod pare_down;
+pub mod quotient;
+pub mod refine;
+pub mod result;
+
+pub use aggregation::aggregation;
+pub use anneal::{anneal, AnnealConfig};
+pub use border::{border_blocks, rank_of, RankKey};
+pub use constraints::PartitionConstraints;
+pub use exhaustive::{exhaustive, ExhaustiveOptions};
+pub use multi::{pare_down_multi, BlockCatalog, MultiPartitioning};
+pub use pare_down::{pare_down, pare_down_no_tie_breaks, pare_down_traced, TraceEvent};
+pub use quotient::{dissolve_cycles, quotient_is_acyclic};
+pub use refine::{pare_down_refined, refine, RefineReport};
+pub use result::{Partitioning, VerifyError};

@@ -1,0 +1,306 @@
+//! Multi-type partitioning — the paper's §6 future work, implemented.
+//!
+//! "We plan to extend the PareDown heuristic to consider multiple types of
+//! programmable blocks (having different number of inputs and outputs) and
+//! varying compute block costs."
+//!
+//! [`pare_down_multi`] runs the PareDown decomposition against a *catalog*
+//! of programmable block types: candidates are pared until they fit the
+//! most permissive catalog entry, and each accepted partition is then
+//! assigned the **cheapest** catalog block that accommodates it. Whether a
+//! partition is worth keeping is decided by cost, not block count: a
+//! partition is dissolved back to pre-defined blocks if replacing it would
+//! cost more than the blocks it covers (generalizing the paper's fixed
+//! "single-node partitions are invalid" rule, which is the special case of
+//! a programmable block costing more than one pre-defined block but less
+//! than two).
+
+use crate::border::{border_blocks, RankKey};
+use crate::constraints::PartitionConstraints;
+use crate::result::Partitioning;
+use eblocks_core::{cut_cost, levels, BlockId, Design, InnerIndex, ProgrammableSpec};
+
+/// A catalog of available programmable block types with costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockCatalog {
+    /// Available programmable block types: `(pin budget, unit cost)`.
+    pub programmable: Vec<(ProgrammableSpec, f64)>,
+    /// Cost of one pre-defined compute block.
+    pub predefined_cost: f64,
+}
+
+impl BlockCatalog {
+    /// The paper's implicit catalog: one 2-in/2-out type priced between one
+    /// and two pre-defined blocks.
+    pub fn paper_default() -> Self {
+        Self {
+            programmable: vec![(ProgrammableSpec::default(), 1.5)],
+            predefined_cost: 1.0,
+        }
+    }
+
+    /// A richer catalog: small/medium/large blocks at increasing cost.
+    pub fn three_tier() -> Self {
+        Self {
+            programmable: vec![
+                (ProgrammableSpec::new(1, 1), 1.2),
+                (ProgrammableSpec::new(2, 2), 1.5),
+                (ProgrammableSpec::new(4, 4), 2.5),
+            ],
+            predefined_cost: 1.0,
+        }
+    }
+
+    /// The most permissive pin budget in the catalog (used as the paring
+    /// target: any candidate fitting *some* catalog entry fits this
+    /// envelope).
+    pub fn envelope(&self) -> ProgrammableSpec {
+        let inputs = self.programmable.iter().map(|(s, _)| s.inputs).max().unwrap_or(0);
+        let outputs = self.programmable.iter().map(|(s, _)| s.outputs).max().unwrap_or(0);
+        ProgrammableSpec::new(inputs, outputs)
+    }
+
+    /// The cheapest catalog entry whose pins cover `(inputs, outputs)`.
+    pub fn cheapest_fitting(&self, inputs: usize, outputs: usize) -> Option<(ProgrammableSpec, f64)> {
+        self.programmable
+            .iter()
+            .filter(|(s, _)| inputs <= s.inputs as usize && outputs <= s.outputs as usize)
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .copied()
+    }
+}
+
+/// A partitioning with per-partition block-type assignment and total cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiPartitioning {
+    /// The underlying partitioning (partitions + uncovered blocks).
+    pub partitioning: Partitioning,
+    /// For each partition (indexed like
+    /// [`Partitioning::partitions`]), the chosen block type and its cost.
+    pub assignments: Vec<(ProgrammableSpec, f64)>,
+    /// Total network cost: assigned blocks plus uncovered pre-defined
+    /// blocks.
+    pub total_cost: f64,
+}
+
+impl MultiPartitioning {
+    /// Cost of leaving every inner block pre-defined (the baseline the
+    /// synthesis must beat).
+    pub fn baseline_cost(catalog: &BlockCatalog, inner_blocks: usize) -> f64 {
+        catalog.predefined_cost * inner_blocks as f64
+    }
+}
+
+/// PareDown against a block catalog.
+///
+/// Structural constraints (`require_convex` / `require_connected`) are taken
+/// from `constraints`; the pin budget is the catalog envelope during paring,
+/// and per-partition assignment picks the cheapest fitting type. Partitions
+/// that would cost more than the pre-defined blocks they replace are
+/// dissolved.
+pub fn pare_down_multi(
+    design: &Design,
+    constraints: &PartitionConstraints,
+    catalog: &BlockCatalog,
+) -> MultiPartitioning {
+    let envelope = PartitionConstraints {
+        spec: catalog.envelope(),
+        ..*constraints
+    };
+
+    let index = InnerIndex::new(design);
+    let level_map = levels(design);
+    let mut remaining = index.full_set();
+    let mut partitions: Vec<Vec<BlockId>> = Vec::new();
+    let mut assignments: Vec<(ProgrammableSpec, f64)> = Vec::new();
+    let mut uncovered: Vec<BlockId> = Vec::new();
+
+    while !remaining.is_empty() {
+        let mut candidate = remaining.clone();
+        loop {
+            let fits = envelope.fits(design, &index, &candidate);
+            if fits && !candidate.is_empty() {
+                let cost = cut_cost(design, &index, &candidate);
+                let replaced = candidate.len() as f64 * catalog.predefined_cost;
+                let choice = catalog.cheapest_fitting(cost.inputs, cost.outputs);
+                match choice {
+                    Some((spec, block_cost)) if block_cost < replaced => {
+                        partitions.push(index.resolve(&candidate));
+                        assignments.push((spec, block_cost));
+                    }
+                    _ => {
+                        // Not economical (or nothing fits): stay pre-defined.
+                        uncovered.extend(index.resolve(&candidate));
+                    }
+                }
+                remaining.difference_with(&candidate);
+                break;
+            }
+            if candidate.len() == 1 {
+                let pos = candidate.iter().next().expect("len == 1");
+                uncovered.push(index.block(pos));
+                remaining.difference_with(&candidate);
+                break;
+            }
+            let key = border_blocks(design, &index, &candidate)
+                .into_iter()
+                .map(|pos| RankKey::new(design, &index, &candidate, &level_map, pos))
+                .min()
+                .expect("nonempty candidates have border blocks");
+            candidate.remove(key.position);
+        }
+    }
+
+    let total_cost: f64 = assignments.iter().map(|(_, c)| c).sum::<f64>()
+        + uncovered.len() as f64 * catalog.predefined_cost;
+    MultiPartitioning {
+        partitioning: Partitioning::new(partitions, uncovered, "pare-down-multi", true),
+        assignments,
+        total_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblocks_core::{ComputeKind, OutputKind, SensorKind};
+
+    fn chain(n: usize) -> Design {
+        let mut d = Design::new("chain");
+        let s = d.add_block("s", SensorKind::Button);
+        let mut prev = s;
+        for i in 0..n {
+            let g = d.add_block(format!("g{i}"), ComputeKind::Not);
+            d.connect((prev, 0), (g, 0)).unwrap();
+            prev = g;
+        }
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((prev, 0), (o, 0)).unwrap();
+        d
+    }
+
+    /// Three 2-input gates over six sensors feeding one collector — fits a
+    /// 4-in block but not a 2-in one.
+    fn wide_design() -> Design {
+        let mut d = Design::new("wide");
+        let sensors: Vec<_> = (0..4)
+            .map(|i| d.add_block(format!("s{i}"), SensorKind::Button))
+            .collect();
+        let g0 = d.add_block("g0", ComputeKind::and2());
+        let g1 = d.add_block("g1", ComputeKind::or2());
+        let top = d.add_block("top", ComputeKind::and2());
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((sensors[0], 0), (g0, 0)).unwrap();
+        d.connect((sensors[1], 0), (g0, 1)).unwrap();
+        d.connect((sensors[2], 0), (g1, 0)).unwrap();
+        d.connect((sensors[3], 0), (g1, 1)).unwrap();
+        d.connect((g0, 0), (top, 0)).unwrap();
+        d.connect((g1, 0), (top, 1)).unwrap();
+        d.connect((top, 0), (o, 0)).unwrap();
+        d
+    }
+
+    #[test]
+    fn paper_catalog_matches_plain_pare_down() {
+        use crate::pare_down::pare_down;
+        for n in [2usize, 5, 8] {
+            let d = chain(n);
+            let c = PartitionConstraints::default();
+            let plain = pare_down(&d, &c);
+            let multi = pare_down_multi(&d, &c, &BlockCatalog::paper_default());
+            assert_eq!(
+                multi.partitioning.partitions(),
+                plain.partitions(),
+                "n={n}: the single-type catalog must reproduce PareDown"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_blocks_unlock_wide_partitions() {
+        let d = wide_design();
+        let c = PartitionConstraints::default();
+        // 2-in/2-out only: the OR-tree pattern is uncoverable.
+        let paper = pare_down_multi(&d, &c, &BlockCatalog::paper_default());
+        assert_eq!(paper.partitioning.num_partitions(), 0);
+        // With a 4-in/4-out block in the catalog, all three gates merge.
+        let tiered = pare_down_multi(&d, &c, &BlockCatalog::three_tier());
+        assert_eq!(tiered.partitioning.num_partitions(), 1);
+        assert_eq!(tiered.partitioning.covered(), 3);
+        let (spec, _) = tiered.assignments[0];
+        assert_eq!((spec.inputs, spec.outputs), (4, 4));
+        // Cost improved over the pre-defined baseline.
+        assert!(tiered.total_cost < MultiPartitioning::baseline_cost(&BlockCatalog::three_tier(), 3));
+    }
+
+    #[test]
+    fn cheapest_fitting_type_chosen() {
+        // A 1-in/1-out chain pair should get the cheap small block, not the
+        // big one.
+        let d = chain(3);
+        let multi = pare_down_multi(&d, &PartitionConstraints::default(), &BlockCatalog::three_tier());
+        assert_eq!(multi.partitioning.num_partitions(), 1);
+        let (spec, cost) = multi.assignments[0];
+        assert_eq!((spec.inputs, spec.outputs), (1, 1));
+        assert!((cost - 1.2).abs() < 1e-9);
+        assert!((multi.total_cost - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uneconomical_partitions_dissolved() {
+        // A catalog where programmable blocks cost more than two
+        // pre-defined blocks: never worth replacing a pair.
+        let catalog = BlockCatalog {
+            programmable: vec![(ProgrammableSpec::default(), 5.0)],
+            predefined_cost: 1.0,
+        };
+        let d = chain(2);
+        let multi = pare_down_multi(&d, &PartitionConstraints::default(), &catalog);
+        assert_eq!(multi.partitioning.num_partitions(), 0);
+        assert_eq!(multi.partitioning.uncovered().len(), 2);
+        assert!((multi.total_cost - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn big_partition_still_beats_expensive_block() {
+        // The same expensive block IS worth it for a 10-block chain.
+        let catalog = BlockCatalog {
+            programmable: vec![(ProgrammableSpec::default(), 5.0)],
+            predefined_cost: 1.0,
+        };
+        let d = chain(10);
+        let multi = pare_down_multi(&d, &PartitionConstraints::default(), &catalog);
+        assert_eq!(multi.partitioning.num_partitions(), 1);
+        assert!((multi.total_cost - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn catalog_helpers() {
+        let cat = BlockCatalog::three_tier();
+        assert_eq!(cat.envelope(), ProgrammableSpec::new(4, 4));
+        assert_eq!(
+            cat.cheapest_fitting(2, 1).map(|(s, _)| (s.inputs, s.outputs)),
+            Some((2, 2))
+        );
+        assert_eq!(cat.cheapest_fitting(5, 1), None);
+        let empty = BlockCatalog {
+            programmable: vec![],
+            predefined_cost: 1.0,
+        };
+        assert_eq!(empty.envelope(), ProgrammableSpec::new(0, 0));
+        assert_eq!(empty.cheapest_fitting(0, 0), None);
+    }
+
+    #[test]
+    fn results_verify_under_envelope() {
+        let d = wide_design();
+        let c = PartitionConstraints::default();
+        let catalog = BlockCatalog::three_tier();
+        let multi = pare_down_multi(&d, &c, &catalog);
+        let envelope = PartitionConstraints {
+            spec: catalog.envelope(),
+            ..c
+        };
+        multi.partitioning.verify(&d, &envelope).unwrap();
+    }
+}

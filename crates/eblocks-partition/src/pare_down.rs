@@ -1,0 +1,318 @@
+//! The PareDown decomposition heuristic (§4.2).
+//!
+//! PareDown begins by selecting *all* remaining inner blocks as a candidate
+//! partition, then removes border blocks — lowest rank first — until the
+//! candidate satisfies the programmable block's input/output constraints.
+//! A fitting candidate with more than one block becomes a partition; the
+//! algorithm repeats on the remaining blocks until none are left.
+//!
+//! Two corner cases of the paper's Fig. 4 pseudocode are resolved explicitly
+//! (see `DESIGN.md`): a fitting candidate ends the inner loop, and a
+//! lone block that cannot fit by itself is permanently dropped to
+//! "uncovered" rather than re-pared forever.
+
+use crate::border::{border_blocks, RankKey};
+use crate::constraints::PartitionConstraints;
+use crate::result::Partitioning;
+use eblocks_core::{cut_cost, levels, BlockId, CutCost, Design, InnerIndex};
+
+/// One step in a PareDown run, for inspection and for reproducing the
+/// paper's Fig. 5 walk-through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A fresh candidate partition was formed from all remaining blocks.
+    CandidateStart {
+        /// Members of the new candidate.
+        members: Vec<BlockId>,
+        /// Its pin demand.
+        cost: CutCost,
+    },
+    /// A border block was removed from the candidate.
+    Removed {
+        /// The removed block.
+        block: BlockId,
+        /// Its rank (net cut-cost change of its removal).
+        rank: i64,
+        /// Pin demand of the candidate *after* removal.
+        cost_after: CutCost,
+    },
+    /// The candidate fit and was accepted as a partition.
+    Accepted {
+        /// Members of the accepted partition.
+        members: Vec<BlockId>,
+        /// Its pin demand.
+        cost: CutCost,
+    },
+    /// A lone block was skipped: it either fit (but single-block partitions
+    /// are invalid, §4) or could not fit at all.
+    SkippedSingle {
+        /// The block left as a pre-defined block.
+        block: BlockId,
+        /// Whether it would have fit a programmable block by itself.
+        fits: bool,
+    },
+}
+
+/// Runs PareDown with the paper's default behavior.
+///
+/// See the [crate-level documentation](crate) for an example.
+pub fn pare_down(design: &Design, constraints: &PartitionConstraints) -> Partitioning {
+    run(design, constraints, None, true)
+}
+
+/// Runs PareDown, also returning the step-by-step trace.
+pub fn pare_down_traced(
+    design: &Design,
+    constraints: &PartitionConstraints,
+) -> (Partitioning, Vec<TraceEvent>) {
+    let mut trace = Vec::new();
+    let result = run(design, constraints, Some(&mut trace), true);
+    (result, trace)
+}
+
+/// PareDown with the §4.2 tie-break criteria (greatest indegree, greatest
+/// outdegree, highest level) disabled — rank ties are broken only by the
+/// deterministic position fallback. Exists to measure how much the paper's
+/// tie-break rules contribute (see the ablation experiment).
+pub fn pare_down_no_tie_breaks(
+    design: &Design,
+    constraints: &PartitionConstraints,
+) -> Partitioning {
+    run(design, constraints, None, false)
+}
+
+fn run(
+    design: &Design,
+    constraints: &PartitionConstraints,
+    mut trace: Option<&mut Vec<TraceEvent>>,
+    tie_breaks: bool,
+) -> Partitioning {
+    let index = InnerIndex::new(design);
+    let level_map = levels(design);
+    let mut remaining = index.full_set();
+    let mut partitions: Vec<Vec<BlockId>> = Vec::new();
+    let mut uncovered: Vec<BlockId> = Vec::new();
+
+    while !remaining.is_empty() {
+        let mut candidate = remaining.clone();
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(TraceEvent::CandidateStart {
+                members: index.resolve(&candidate),
+                cost: cut_cost(design, &index, &candidate),
+            });
+        }
+
+        loop {
+            let fits = constraints.fits(design, &index, &candidate);
+            if fits && candidate.len() > 1 {
+                // Valid partition: record it and restart on the rest.
+                let members = index.resolve(&candidate);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceEvent::Accepted {
+                        members: members.clone(),
+                        cost: cut_cost(design, &index, &candidate),
+                    });
+                }
+                partitions.push(members);
+                remaining.difference_with(&candidate);
+                break;
+            }
+            if candidate.len() == 1 {
+                // A lone block never forms a partition (no size reduction,
+                // §4); whether it fits or not, it stays pre-defined.
+                let pos = candidate.iter().next().expect("len == 1");
+                let block = index.block(pos);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceEvent::SkippedSingle { block, fits });
+                }
+                uncovered.push(block);
+                remaining.difference_with(&candidate);
+                break;
+            }
+
+            // Pare: remove the border block with the least rank key.
+            let key = border_blocks(design, &index, &candidate)
+                .into_iter()
+                .map(|pos| {
+                    if tie_breaks {
+                        RankKey::new(design, &index, &candidate, &level_map, pos)
+                    } else {
+                        RankKey::without_tie_breaks(design, &index, &candidate, pos)
+                    }
+                })
+                .min()
+                .expect("a nonempty candidate always has a border block");
+            candidate.remove(key.position);
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TraceEvent::Removed {
+                    block: index.block(key.position),
+                    rank: key.rank,
+                    cost_after: cut_cost(design, &index, &candidate),
+                });
+            }
+        }
+    }
+
+    Partitioning::new(partitions, uncovered, "pare-down", true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblocks_core::{ComputeKind, Design, OutputKind, ProgrammableSpec, SensorKind};
+
+    fn chain(n: usize) -> Design {
+        let mut d = Design::new("chain");
+        let s = d.add_block("s", SensorKind::Button);
+        let mut prev = s;
+        for i in 0..n {
+            let g = d.add_block(format!("g{i}"), ComputeKind::Not);
+            d.connect((prev, 0), (g, 0)).unwrap();
+            prev = g;
+        }
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((prev, 0), (o, 0)).unwrap();
+        d
+    }
+
+    #[test]
+    fn whole_chain_becomes_one_partition() {
+        // A 1-in/1-out chain of any length fits a 2/2 block entirely.
+        for n in [2, 5, 10] {
+            let d = chain(n);
+            let r = pare_down(&d, &PartitionConstraints::default());
+            r.verify(&d, &PartitionConstraints::default()).unwrap();
+            assert_eq!(r.num_partitions(), 1, "n={n}");
+            assert_eq!(r.covered(), n);
+            assert_eq!(r.inner_total(), 1);
+        }
+    }
+
+    #[test]
+    fn single_inner_block_stays_predefined() {
+        let d = chain(1);
+        let (r, trace) = pare_down_traced(&d, &PartitionConstraints::default());
+        assert_eq!(r.num_partitions(), 0);
+        assert_eq!(r.uncovered().len(), 1);
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::SkippedSingle { fits: true, .. })));
+    }
+
+    #[test]
+    fn empty_design_yields_empty_result() {
+        let mut d = Design::new("empty");
+        let s = d.add_block("s", SensorKind::Button);
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s, 0), (o, 0)).unwrap();
+        let r = pare_down(&d, &PartitionConstraints::default());
+        assert_eq!(r.num_partitions(), 0);
+        assert_eq!(r.inner_total(), 0);
+    }
+
+    #[test]
+    fn unfittable_lone_block_dropped_not_looped() {
+        // A 3-input gate cannot fit a 2-input programmable block even alone;
+        // the run must terminate with it uncovered.
+        let mut d = Design::new("three");
+        let s1 = d.add_block("s1", SensorKind::Button);
+        let s2 = d.add_block("s2", SensorKind::Motion);
+        let s3 = d.add_block("s3", SensorKind::Sound);
+        let g = d.add_block("g", ComputeKind::and3());
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s1, 0), (g, 0)).unwrap();
+        d.connect((s2, 0), (g, 1)).unwrap();
+        d.connect((s3, 0), (g, 2)).unwrap();
+        d.connect((g, 0), (o, 0)).unwrap();
+        let (r, trace) = pare_down_traced(&d, &PartitionConstraints::default());
+        assert_eq!(r.num_partitions(), 0);
+        assert_eq!(r.uncovered().len(), 1);
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::SkippedSingle { fits: false, .. })));
+    }
+
+    #[test]
+    fn or_tree_with_distinct_sensors_has_no_partitions() {
+        // Table 1's "Motion on Property Alert" shape: an OR tree of 2-input
+        // gates over distinct sensors admits no valid 2-in/2-out partition.
+        let mut d = Design::new("tree");
+        let leaves: Vec<_> = (0..4)
+            .map(|i| d.add_block(format!("s{i}"), SensorKind::Motion))
+            .collect();
+        let g0 = d.add_block("g0", ComputeKind::or2());
+        let g1 = d.add_block("g1", ComputeKind::or2());
+        let top = d.add_block("top", ComputeKind::or2());
+        let o = d.add_block("o", OutputKind::Buzzer);
+        d.connect((leaves[0], 0), (g0, 0)).unwrap();
+        d.connect((leaves[1], 0), (g0, 1)).unwrap();
+        d.connect((leaves[2], 0), (g1, 0)).unwrap();
+        d.connect((leaves[3], 0), (g1, 1)).unwrap();
+        d.connect((g0, 0), (top, 0)).unwrap();
+        d.connect((g1, 0), (top, 1)).unwrap();
+        d.connect((top, 0), (o, 0)).unwrap();
+        let r = pare_down(&d, &PartitionConstraints::default());
+        assert_eq!(r.num_partitions(), 0);
+        assert_eq!(r.inner_total(), 3);
+    }
+
+    #[test]
+    fn result_always_verifies() {
+        // PareDown output must satisfy its own constraints on a batch of
+        // structured designs.
+        for n in 1..12 {
+            let d = chain(n);
+            for spec in [ProgrammableSpec::new(1, 1), ProgrammableSpec::new(2, 2), ProgrammableSpec::new(4, 4)] {
+                let c = PartitionConstraints::with_spec(spec);
+                pare_down(&d, &c).verify(&d, &c).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn trace_starts_with_full_candidate() {
+        let d = chain(4);
+        let (_, trace) = pare_down_traced(&d, &PartitionConstraints::default());
+        let TraceEvent::CandidateStart { members, cost } = &trace[0] else {
+            panic!("first event must be CandidateStart, got {:?}", trace[0]);
+        };
+        assert_eq!(members.len(), 4);
+        assert_eq!((cost.inputs, cost.outputs), (1, 1));
+        assert!(matches!(trace[1], TraceEvent::Accepted { .. }));
+    }
+
+    #[test]
+    fn convex_constraint_respected() {
+        // With require_convex the result must still verify.
+        let d = chain(6);
+        let c = PartitionConstraints {
+            require_convex: true,
+            ..Default::default()
+        };
+        pare_down(&d, &c).verify(&d, &c).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tie_break_tests {
+    use super::*;
+    use eblocks_core::{ComputeKind, Design, OutputKind, SensorKind};
+
+    #[test]
+    fn no_tie_break_variant_still_verifies() {
+        let mut d = Design::new("t");
+        let s = d.add_block("s", SensorKind::Button);
+        let mut prev = s;
+        for i in 0..9 {
+            let g = d.add_block(format!("g{i}"), ComputeKind::Not);
+            d.connect((prev, 0), (g, 0)).unwrap();
+            prev = g;
+        }
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((prev, 0), (o, 0)).unwrap();
+        let c = PartitionConstraints::default();
+        let r = pare_down_no_tie_breaks(&d, &c);
+        r.verify(&d, &c).unwrap();
+        assert_eq!(r.inner_total(), 1, "chain still collapses");
+    }
+}

@@ -1,0 +1,221 @@
+//! Quotient-graph acyclicity — the realizability condition the paper leaves
+//! implicit.
+//!
+//! Replacing a partition with a programmable block *contracts* its members
+//! into one node. A contracted node connects every incoming signal to every
+//! outgoing signal, so contraction can create paths that do not exist in the
+//! original DAG; with several partitions contracted at once, the resulting
+//! *quotient* network can contain a wire cycle even though each partition is
+//! individually convex. eBlock networks must stay acyclic (§3.3), so a
+//! partitioning is only realizable if its quotient is a DAG.
+//!
+//! [`quotient_is_acyclic`] checks the condition; [`dissolve_cycles`] repairs
+//! a violating partitioning by dissolving (un-covering) the smallest
+//! partition on a cycle until the quotient is acyclic — a conservative
+//! repair that never invalidates the remaining partitions.
+
+use crate::result::Partitioning;
+use eblocks_core::{BlockId, Design};
+use std::collections::{HashMap, HashSet};
+
+/// Supernode id: partitions get `Part(i)`, everything else stays itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Super {
+    Part(usize),
+    Plain(BlockId),
+}
+
+fn supernode(covered: &HashMap<BlockId, usize>, b: BlockId) -> Super {
+    match covered.get(&b) {
+        Some(&i) => Super::Part(i),
+        None => Super::Plain(b),
+    }
+}
+
+/// Builds the quotient adjacency and returns the set of supernodes that
+/// remain after repeatedly peeling zero-in-degree nodes (Kahn's algorithm) —
+/// empty iff the quotient is acyclic.
+fn residual(design: &Design, covered: &HashMap<BlockId, usize>) -> HashSet<Super> {
+    let mut succs: HashMap<Super, HashSet<Super>> = HashMap::new();
+    let mut indeg: HashMap<Super, usize> = HashMap::new();
+    for b in design.blocks() {
+        indeg.entry(supernode(covered, b)).or_insert(0);
+    }
+    for w in design.wires() {
+        let (from, to) = (supernode(covered, w.from), supernode(covered, w.to));
+        if from == to {
+            continue;
+        }
+        if succs.entry(from).or_default().insert(to) {
+            *indeg.entry(to).or_insert(0) += 1;
+        }
+    }
+    let mut queue: Vec<Super> = indeg
+        .iter()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(&s, _)| s)
+        .collect();
+    let mut remaining: HashSet<Super> = indeg.keys().copied().collect();
+    while let Some(s) = queue.pop() {
+        remaining.remove(&s);
+        if let Some(nexts) = succs.get(&s) {
+            for &n in nexts {
+                let d = indeg.get_mut(&n).expect("known node");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(n);
+                }
+            }
+        }
+    }
+    remaining
+}
+
+fn covered_map(partitioning: &Partitioning) -> HashMap<BlockId, usize> {
+    let mut covered = HashMap::new();
+    for (i, p) in partitioning.partitions().iter().enumerate() {
+        for &b in p {
+            covered.insert(b, i);
+        }
+    }
+    covered
+}
+
+/// Whether contracting every partition leaves the network acyclic.
+pub fn quotient_is_acyclic(design: &Design, partitioning: &Partitioning) -> bool {
+    residual(design, &covered_map(partitioning)).is_empty()
+}
+
+/// Repairs a partitioning whose quotient is cyclic by dissolving partitions
+/// (smallest first among those stuck on a cycle) until the quotient is a
+/// DAG. Dissolved members become uncovered pre-defined blocks.
+///
+/// Returns the input unchanged when it is already realizable.
+pub fn dissolve_cycles(design: &Design, partitioning: Partitioning) -> Partitioning {
+    let mut partitions: Vec<Vec<BlockId>> = partitioning.partitions().to_vec();
+    let mut uncovered: Vec<BlockId> = partitioning.uncovered().to_vec();
+    let algorithm = partitioning.algorithm();
+    let complete = partitioning.is_complete();
+
+    loop {
+        let current = Partitioning::new(partitions.clone(), uncovered.clone(), algorithm, complete);
+        let covered = covered_map(&current);
+        let stuck = residual(design, &covered);
+        if stuck.is_empty() {
+            return current;
+        }
+        // Dissolve the smallest partition among the stuck supernodes; if the
+        // residual contains no partition (impossible for a valid input
+        // design, which is acyclic), dissolve the smallest partition overall
+        // as a defensive fallback.
+        let candidates: Vec<usize> = stuck
+            .iter()
+            .filter_map(|s| match s {
+                Super::Part(i) => Some(*i),
+                Super::Plain(_) => None,
+            })
+            .collect();
+        let victim = candidates
+            .into_iter()
+            .min_by_key(|&i| (current.partitions()[i].len(), i))
+            .unwrap_or(0);
+        // Rebuild from the *current* normalized ordering.
+        partitions = current.partitions().to_vec();
+        uncovered = current.uncovered().to_vec();
+        let dissolved = partitions.remove(victim);
+        uncovered.extend(dissolved);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::PartitionConstraints;
+    use eblocks_core::{ComputeKind, OutputKind, SensorKind};
+
+    /// a -> m1, m2 -> b -> c -> m... : two disconnected members whose
+    /// contraction closes a cycle through an external chain.
+    fn contraction_trap() -> (Design, Vec<BlockId>, BlockId) {
+        // Original acyclic graph:
+        //   s -> x -> u -> y -> o1     (u external, x & y to be merged)
+        //        y -> o2 (so y has an exposed output)
+        let mut d = Design::new("trap");
+        let s = d.add_block("s", SensorKind::Button);
+        let x = d.add_block("x", ComputeKind::Not);
+        let u = d.add_block("u", ComputeKind::Toggle);
+        let y = d.add_block("y", ComputeKind::Not);
+        let o1 = d.add_block("o1", OutputKind::Led);
+        d.connect((s, 0), (x, 0)).unwrap();
+        d.connect((x, 0), (u, 0)).unwrap();
+        d.connect((u, 0), (y, 0)).unwrap();
+        d.connect((y, 0), (o1, 0)).unwrap();
+        (d, vec![x, y], u)
+    }
+
+    #[test]
+    fn detects_contraction_cycle() {
+        let (d, members, _) = contraction_trap();
+        // {x, y}: 2 external inputs (s, u), 2 outputs (x->u, y->o1): fits,
+        // and there is no external path from y's successors back into the
+        // set — but contraction creates prog -> u -> prog.
+        let p = Partitioning::new(vec![members], Vec::new(), "test", true);
+        assert!(!quotient_is_acyclic(&d, &p));
+    }
+
+    #[test]
+    fn repair_dissolves_the_trap() {
+        let (d, members, u) = contraction_trap();
+        let p = Partitioning::new(vec![members.clone()], vec![u], "test", true);
+        assert!(!quotient_is_acyclic(&d, &p));
+        let fixed = dissolve_cycles(&d, p);
+        assert!(quotient_is_acyclic(&d, &fixed));
+        assert_eq!(fixed.num_partitions(), 0);
+        assert_eq!(fixed.uncovered().len(), 3);
+        fixed.verify(&d, &PartitionConstraints::default()).unwrap();
+    }
+
+    #[test]
+    fn acyclic_quotients_pass_untouched() {
+        let mut d = Design::new("chain");
+        let s = d.add_block("s", SensorKind::Button);
+        let a = d.add_block("a", ComputeKind::Not);
+        let b = d.add_block("b", ComputeKind::Not);
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s, 0), (a, 0)).unwrap();
+        d.connect((a, 0), (b, 0)).unwrap();
+        d.connect((b, 0), (o, 0)).unwrap();
+        let p = Partitioning::new(vec![vec![a, b]], vec![], "test", true);
+        assert!(quotient_is_acyclic(&d, &p));
+        let fixed = dissolve_cycles(&d, p.clone());
+        assert_eq!(fixed, p);
+    }
+
+    #[test]
+    fn multi_partition_interaction_detected() {
+        // Two convex partitions that only cycle when BOTH are contracted:
+        //   s -> p -> r -> q -> t -> p2 ... build:
+        //   s -> a (P0), a -> c (P1), c -> b (P0), b -> e (P1), e -> o
+        // P0 = {a, b}, P1 = {c, e}: quotient P0 -> P1 (a->c), P1 -> P0
+        // (c->b) — cycle between the two supernodes.
+        let mut d = Design::new("multi");
+        let s = d.add_block("s", SensorKind::Button);
+        let a = d.add_block("a", ComputeKind::Not);
+        let c = d.add_block("c", ComputeKind::Not);
+        let b = d.add_block("b", ComputeKind::Not);
+        let e = d.add_block("e", ComputeKind::Not);
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s, 0), (a, 0)).unwrap();
+        d.connect((a, 0), (c, 0)).unwrap();
+        d.connect((c, 0), (b, 0)).unwrap();
+        d.connect((b, 0), (e, 0)).unwrap();
+        d.connect((e, 0), (o, 0)).unwrap();
+        let p = Partitioning::new(vec![vec![a, b], vec![c, e]], vec![], "test", true);
+        assert!(!quotient_is_acyclic(&d, &p));
+        let fixed = dissolve_cycles(&d, p);
+        assert!(quotient_is_acyclic(&d, &fixed));
+        // Both partitions are individually non-convex here (each has a path
+        // out and back through the other), so repair dissolves both.
+        assert_eq!(fixed.num_partitions(), 0);
+        assert_eq!(fixed.uncovered().len(), 4);
+    }
+}

@@ -1,0 +1,326 @@
+//! Local-search refinement of a partitioning (extension).
+//!
+//! The paper's PareDown heuristic commits to each partition greedily and
+//! never revisits a decision, so it can strand blocks that a small local
+//! repair would cover. This module implements a deterministic improvement
+//! pass over any [`Partitioning`]:
+//!
+//! * **absorb** — move an uncovered block into an existing partition that
+//!   still fits with it,
+//! * **merge** — fuse two partitions whose union fits,
+//! * **pair** — form a new partition from two uncovered blocks that fit
+//!   together.
+//!
+//! Every move strictly decreases the paper's objective (total inner blocks
+//! after replacement) by one, so the pass reaches a fixpoint in at most `n`
+//! rounds. Refinement never invalidates a result: the output verifies
+//! against the same constraints as the input.
+//!
+//! This is *not* in the paper; it quantifies (see the `optimality` bench
+//! binary) how much of PareDown's remaining gap to optimal is recoverable
+//! with cheap local moves.
+
+use crate::constraints::PartitionConstraints;
+use crate::result::Partitioning;
+use eblocks_core::{BitSet, BlockId, Design, InnerIndex};
+
+/// Statistics about one [`refine`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefineReport {
+    /// Uncovered blocks absorbed into existing partitions.
+    pub absorbed: usize,
+    /// Partition pairs merged into one.
+    pub merged: usize,
+    /// New partitions formed from pairs of uncovered blocks.
+    pub paired: usize,
+    /// Improvement passes executed (including the final no-op pass).
+    pub passes: usize,
+}
+
+impl RefineReport {
+    /// Total objective improvement (each move reduces the inner-block total
+    /// by exactly one).
+    pub fn improvement(&self) -> usize {
+        self.absorbed + self.merged + self.paired
+    }
+}
+
+/// Refines `initial` by exhaustively applying absorb, merge, and pair moves
+/// until none applies, returning the improved partitioning and a report.
+///
+/// The result is deterministic: candidate moves are scanned in sorted block
+/// order, and the first applicable move per scan is taken.
+///
+/// # Examples
+///
+/// ```
+/// use eblocks_core::{ComputeKind, Design, OutputKind, SensorKind};
+/// use eblocks_partition::{pare_down, refine, PartitionConstraints};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut d = Design::new("pair");
+/// let s = d.add_block("s", SensorKind::Button);
+/// let a = d.add_block("a", ComputeKind::Not);
+/// let b = d.add_block("b", ComputeKind::Not);
+/// let o = d.add_block("o", OutputKind::Led);
+/// d.connect((s, 0), (a, 0))?;
+/// d.connect((a, 0), (b, 0))?;
+/// d.connect((b, 0), (o, 0))?;
+///
+/// let c = PartitionConstraints::default();
+/// let first = pare_down(&d, &c);
+/// let (refined, report) = refine(&d, &c, &first);
+/// assert!(refined.objective() <= first.objective());
+/// refined.verify(&d, &c)?;
+/// # let _ = report;
+/// # Ok(())
+/// # }
+/// ```
+pub fn refine(
+    design: &Design,
+    constraints: &PartitionConstraints,
+    initial: &Partitioning,
+) -> (Partitioning, RefineReport) {
+    let index = InnerIndex::new(design);
+    let mut groups: Vec<BitSet> = initial
+        .partitions()
+        .iter()
+        .map(|p| to_set(&index, p))
+        .collect();
+    let mut uncovered: Vec<BlockId> = initial.uncovered().to_vec();
+    let mut report = RefineReport::default();
+
+    loop {
+        report.passes += 1;
+        if try_absorb(design, constraints, &index, &mut groups, &mut uncovered) {
+            report.absorbed += 1;
+            continue;
+        }
+        if try_merge(design, constraints, &index, &mut groups) {
+            report.merged += 1;
+            continue;
+        }
+        if try_pair(design, constraints, &index, &mut groups, &mut uncovered) {
+            report.paired += 1;
+            continue;
+        }
+        break;
+    }
+
+    let partitions = groups.iter().map(|g| index.resolve(g)).collect();
+    (
+        Partitioning::new(partitions, uncovered, "refined", initial.is_complete()),
+        report,
+    )
+}
+
+/// Convenience: [`pare_down`](fn@crate::pare_down) followed by [`refine`].
+pub fn pare_down_refined(design: &Design, constraints: &PartitionConstraints) -> Partitioning {
+    let first = crate::pare_down(design, constraints);
+    refine(design, constraints, &first).0
+}
+
+fn to_set(index: &InnerIndex, blocks: &[BlockId]) -> BitSet {
+    let mut set = index.empty_set();
+    for &b in blocks {
+        set.insert(index.position(b).expect("partition member is inner"));
+    }
+    set
+}
+
+/// Moves the first uncovered block that fits into some partition.
+fn try_absorb(
+    design: &Design,
+    constraints: &PartitionConstraints,
+    index: &InnerIndex,
+    groups: &mut [BitSet],
+    uncovered: &mut Vec<BlockId>,
+) -> bool {
+    for (ui, &block) in uncovered.iter().enumerate() {
+        let pos = index.position(block).expect("uncovered block is inner");
+        for group in groups.iter_mut() {
+            group.insert(pos);
+            if constraints.fits(design, index, group) {
+                uncovered.remove(ui);
+                return true;
+            }
+            group.remove(pos);
+        }
+    }
+    false
+}
+
+/// Merges the first pair of partitions whose union fits.
+fn try_merge(
+    design: &Design,
+    constraints: &PartitionConstraints,
+    index: &InnerIndex,
+    groups: &mut Vec<BitSet>,
+) -> bool {
+    for i in 0..groups.len() {
+        for j in (i + 1)..groups.len() {
+            let mut union = groups[i].clone();
+            union.union_with(&groups[j]);
+            if constraints.fits(design, index, &union) {
+                groups[i] = union;
+                groups.swap_remove(j);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Forms a new partition from the first pair of uncovered blocks that fits.
+fn try_pair(
+    design: &Design,
+    constraints: &PartitionConstraints,
+    index: &InnerIndex,
+    groups: &mut Vec<BitSet>,
+    uncovered: &mut Vec<BlockId>,
+) -> bool {
+    for i in 0..uncovered.len() {
+        for j in (i + 1)..uncovered.len() {
+            let mut set = index.empty_set();
+            set.insert(index.position(uncovered[i]).expect("inner"));
+            set.insert(index.position(uncovered[j]).expect("inner"));
+            if constraints.fits(design, index, &set) {
+                groups.push(set);
+                uncovered.remove(j);
+                uncovered.remove(i);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{aggregation, exhaustive, pare_down, ExhaustiveOptions};
+    use eblocks_core::{ComputeKind, OutputKind, SensorKind};
+
+    fn chain(n: usize) -> Design {
+        let mut d = Design::new("chain");
+        let s = d.add_block("s", SensorKind::Button);
+        let mut prev = s;
+        for i in 0..n {
+            let g = d.add_block(format!("g{i}"), ComputeKind::Not);
+            d.connect((prev, 0), (g, 0)).unwrap();
+            prev = g;
+        }
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((prev, 0), (o, 0)).unwrap();
+        d
+    }
+
+    /// Two parallel sensor→NOT→LED chains: two uncovered singles that fit
+    /// together as one disconnected partition.
+    fn parallel_nots() -> Design {
+        let mut d = Design::new("par");
+        for i in 0..2 {
+            let s = d.add_block(format!("s{i}"), SensorKind::Button);
+            let g = d.add_block(format!("g{i}"), ComputeKind::Not);
+            let o = d.add_block(format!("o{i}"), OutputKind::Led);
+            d.connect((s, 0), (g, 0)).unwrap();
+            d.connect((g, 0), (o, 0)).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn pairs_uncovered_singles() {
+        let d = parallel_nots();
+        let c = PartitionConstraints::default();
+        // PareDown covers this already (the full candidate fits), so start
+        // from the worst-case: everything uncovered.
+        let worst = Partitioning::new(
+            vec![],
+            d.inner_blocks().collect(),
+            "worst",
+            true,
+        );
+        let (refined, report) = refine(&d, &c, &worst);
+        refined.verify(&d, &c).unwrap();
+        assert_eq!(refined.num_partitions(), 1);
+        assert_eq!(report.paired, 1);
+        assert_eq!(refined.inner_total(), 1);
+    }
+
+    #[test]
+    fn absorbs_uncovered_into_partition() {
+        let d = chain(5);
+        let c = PartitionConstraints::default();
+        let inner: Vec<_> = d.inner_blocks().collect();
+        let start = Partitioning::new(
+            vec![vec![inner[0], inner[1]]],
+            inner[2..].to_vec(),
+            "seed",
+            true,
+        );
+        let (refined, report) = refine(&d, &c, &start);
+        refined.verify(&d, &c).unwrap();
+        assert_eq!(refined.inner_total(), 1, "whole chain fits one block");
+        assert_eq!(report.absorbed, 3);
+    }
+
+    #[test]
+    fn merges_partitions() {
+        let d = chain(4);
+        let c = PartitionConstraints::default();
+        let inner: Vec<_> = d.inner_blocks().collect();
+        let start = Partitioning::new(
+            vec![vec![inner[0], inner[1]], vec![inner[2], inner[3]]],
+            vec![],
+            "seed",
+            true,
+        );
+        let (refined, report) = refine(&d, &c, &start);
+        refined.verify(&d, &c).unwrap();
+        assert_eq!(refined.num_partitions(), 1);
+        assert_eq!(report.merged, 1);
+    }
+
+    #[test]
+    fn never_worsens_and_always_verifies() {
+        for n in 1..=10 {
+            let d = chain(n);
+            let c = PartitionConstraints::default();
+            for initial in [pare_down(&d, &c), aggregation(&d, &c)] {
+                let (refined, _) = refine(&d, &c, &initial);
+                refined.verify(&d, &c).unwrap();
+                assert!(
+                    refined.objective() <= initial.objective(),
+                    "n={n}: {:?} > {:?}",
+                    refined.objective(),
+                    initial.objective()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refined_optimal_stays_optimal() {
+        let d = chain(6);
+        let c = PartitionConstraints::default();
+        let opt = exhaustive(&d, &c, ExhaustiveOptions::default());
+        let (refined, report) = refine(&d, &c, &opt);
+        assert_eq!(refined.objective(), opt.objective());
+        assert_eq!(report.improvement(), 0);
+    }
+
+    #[test]
+    fn respects_structural_constraints() {
+        let d = parallel_nots();
+        let c = PartitionConstraints {
+            require_connected: true,
+            ..Default::default()
+        };
+        let worst = Partitioning::new(vec![], d.inner_blocks().collect(), "worst", true);
+        let (refined, _) = refine(&d, &c, &worst);
+        refined.verify(&d, &c).unwrap();
+        // The only 2-block set is disconnected, so nothing may be paired.
+        assert_eq!(refined.num_partitions(), 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Constructive greedy placement.
+
+use crate::placement::{PlaceError, Placement, PlacementProblem};
+use crate::topology::SiteId;
+use std::collections::BTreeMap;
+
+/// Places blocks one at a time in topological order, each at the feasible
+/// site minimizing total hop distance to its already-placed neighbors.
+///
+/// Pinned blocks are placed first, so floating blocks gravitate toward the
+/// environmental anchors they communicate with. Ties break toward the
+/// lowest-numbered site, making the result deterministic.
+///
+/// # Errors
+///
+/// [`PlaceError::NoFeasibleSite`] when a block cannot be routed to its
+/// placed neighbors from any site with free capacity (e.g. pins scattered
+/// across disconnected components).
+///
+/// # Examples
+///
+/// ```
+/// use eblocks_core::{ComputeKind, Design, OutputKind, SensorKind};
+/// use eblocks_place::{greedy_place, PlacementProblem, Topology};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut d = Design::new("hall");
+/// let s = d.add_block("motion", SensorKind::Motion);
+/// let g = d.add_block("trip", ComputeKind::Trip);
+/// let o = d.add_block("bell", OutputKind::Buzzer);
+/// d.connect((s, 0), (g, 0))?;
+/// d.connect((g, 0), (o, 0))?;
+///
+/// let topo = Topology::line(5);
+/// let mut problem = PlacementProblem::new(&d, &topo)?;
+/// problem.pin(s, topo.site_by_name("p0").unwrap())?;
+/// problem.pin(o, topo.site_by_name("p4").unwrap())?;
+///
+/// let placement = greedy_place(&problem)?;
+/// placement.verify(&problem)?;
+/// // The compute block lands between its two anchors.
+/// assert_eq!(placement.cost(&problem)?, 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn greedy_place(problem: &PlacementProblem<'_>) -> Result<Placement, PlaceError> {
+    let design = problem.design();
+    let topology = problem.topology();
+    let matrix = topology.distance_matrix();
+
+    let mut assignment: BTreeMap<_, SiteId> = problem.pins().clone();
+    let mut load = vec![0usize; topology.num_sites()];
+    for &site in assignment.values() {
+        load[site.index()] += 1;
+    }
+
+    for block in design.topo_order() {
+        if assignment.contains_key(&block) {
+            continue;
+        }
+        // Distance to every already-placed neighbor, per candidate site.
+        let neighbors: Vec<SiteId> = design
+            .in_wires(block)
+            .map(|w| w.from)
+            .chain(design.out_wires(block).map(|w| w.to))
+            .filter_map(|n| assignment.get(&n).copied())
+            .collect();
+
+        let mut best: Option<(usize, SiteId)> = None;
+        for site in topology.sites() {
+            let capacity = topology.site(site).expect("iterating sites").capacity();
+            if load[site.index()] >= capacity {
+                continue;
+            }
+            let mut total = 0usize;
+            let mut reachable = true;
+            for &n in &neighbors {
+                match matrix.get(site, n) {
+                    Some(d) => total += d,
+                    None => {
+                        reachable = false;
+                        break;
+                    }
+                }
+            }
+            if !reachable {
+                continue;
+            }
+            if best.is_none_or(|(cost, _)| total < cost) {
+                best = Some((total, site));
+            }
+        }
+        let (_, site) = best.ok_or(PlaceError::NoFeasibleSite { block })?;
+        load[site.index()] += 1;
+        assignment.insert(block, site);
+    }
+
+    Ok(Placement::new(assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use eblocks_core::{ComputeKind, Design, OutputKind, SensorKind};
+
+    fn chain(n: usize) -> Design {
+        let mut d = Design::new("chain");
+        let s = d.add_block("s", SensorKind::Button);
+        let mut prev = s;
+        for i in 0..n {
+            let g = d.add_block(format!("g{i}"), ComputeKind::Not);
+            d.connect((prev, 0), (g, 0)).unwrap();
+            prev = g;
+        }
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((prev, 0), (o, 0)).unwrap();
+        d
+    }
+
+    #[test]
+    fn chain_on_line_is_optimal() {
+        // A 3-block chain on a 3-site line: cost 2 (each wire one hop) once
+        // pins force the sensor and output to opposite ends.
+        let d = chain(1);
+        let t = Topology::line(3);
+        let mut problem = PlacementProblem::new(&d, &t).unwrap();
+        problem
+            .pin(d.block_by_name("s").unwrap(), t.site_by_name("p0").unwrap())
+            .unwrap();
+        problem
+            .pin(d.block_by_name("o").unwrap(), t.site_by_name("p2").unwrap())
+            .unwrap();
+        let placement = greedy_place(&problem).unwrap();
+        placement.verify(&problem).unwrap();
+        assert_eq!(placement.cost(&problem).unwrap(), 2);
+    }
+
+    #[test]
+    fn unpinned_placement_verifies_and_routes() {
+        let d = chain(4);
+        let t = Topology::grid(3, 2);
+        let problem = PlacementProblem::new(&d, &t).unwrap();
+        let placement = greedy_place(&problem).unwrap();
+        placement.verify(&problem).unwrap();
+        // 5 wires, all routable: cost is finite and at least wire count - …
+        let cost = placement.cost(&problem).unwrap();
+        assert!(cost <= 10, "greedy should stay compact, got {cost}");
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let d = chain(2); // 4 blocks
+        let t = Topology::star(3, 1); // capacity 4 total
+        let problem = PlacementProblem::new(&d, &t).unwrap();
+        let placement = greedy_place(&problem).unwrap();
+        placement.verify(&problem).unwrap();
+    }
+
+    #[test]
+    fn hub_capacity_attracts_neighbors() {
+        let d = chain(2);
+        let t = Topology::star(2, 2); // hub holds 2
+        let problem = PlacementProblem::new(&d, &t).unwrap();
+        let placement = greedy_place(&problem).unwrap();
+        placement.verify(&problem).unwrap();
+        let hub = t.site_by_name("hub").unwrap();
+        assert!(placement.blocks_at(hub).count() <= 2);
+    }
+
+    #[test]
+    fn infeasible_when_pins_split_components() {
+        let mut d = Design::new("two");
+        let s = d.add_block("s", SensorKind::Button);
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s, 0), (o, 0)).unwrap();
+
+        let mut t = Topology::new();
+        let a = t.add_site("a", 1);
+        let b = t.add_site("b", 1);
+        let c = t.add_site("c", 1);
+        t.link(a, c);
+        // b is isolated.
+        let mut problem = PlacementProblem::new(&d, &t).unwrap();
+        problem.pin(s, b).unwrap();
+        assert!(matches!(
+            greedy_place(&problem),
+            Err(PlaceError::NoFeasibleSite { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = chain(5);
+        let t = Topology::grid(4, 2);
+        let problem = PlacementProblem::new(&d, &t).unwrap();
+        assert_eq!(greedy_place(&problem).unwrap(), greedy_place(&problem).unwrap());
+    }
+}

@@ -1,0 +1,398 @@
+//! Placement problems and their solutions.
+
+use crate::topology::{DistanceMatrix, SiteId, Topology};
+use eblocks_core::{BlockId, Design};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A placement problem: deploy the blocks of a (typically post-synthesis)
+/// design onto an existing [`Topology`] of deployment sites.
+///
+/// Sensors and output blocks usually interact with fixed spots in the
+/// environment (the garage door's contact switch must sit at the garage
+/// door), so they can be *pinned* to specific sites; compute blocks float.
+#[derive(Debug, Clone)]
+pub struct PlacementProblem<'a> {
+    design: &'a Design,
+    topology: &'a Topology,
+    pins: BTreeMap<BlockId, SiteId>,
+}
+
+impl<'a> PlacementProblem<'a> {
+    /// A problem with no pinned blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::InsufficientCapacity`] when the topology cannot host
+    /// every block of the design.
+    pub fn new(design: &'a Design, topology: &'a Topology) -> Result<Self, PlaceError> {
+        let needed = design.num_blocks();
+        let available = topology.total_capacity();
+        if needed > available {
+            return Err(PlaceError::InsufficientCapacity { needed, available });
+        }
+        Ok(Self {
+            design,
+            topology,
+            pins: BTreeMap::new(),
+        })
+    }
+
+    /// Pins `block` to `site`; the solvers will never move it.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::UnknownBlock`] / [`PlaceError::UnknownSite`] for ids
+    /// foreign to the design or topology, and
+    /// [`PlaceError::PinOverflow`] when the pin would exceed the site's
+    /// capacity on its own.
+    pub fn pin(&mut self, block: BlockId, site: SiteId) -> Result<(), PlaceError> {
+        if self.design.block(block).is_none() {
+            return Err(PlaceError::UnknownBlock { block });
+        }
+        if self.topology.site(site).is_none() {
+            return Err(PlaceError::UnknownSite { site });
+        }
+        self.pins.insert(block, site);
+        let used = self.pins.values().filter(|&&s| s == site).count();
+        let cap = self.topology.site(site).expect("checked above").capacity();
+        if used > cap {
+            self.pins.remove(&block);
+            return Err(PlaceError::PinOverflow { site, capacity: cap });
+        }
+        Ok(())
+    }
+
+    /// The design being deployed.
+    pub fn design(&self) -> &Design {
+        self.design
+    }
+
+    /// The physical substrate.
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// The pinned blocks.
+    pub fn pins(&self) -> &BTreeMap<BlockId, SiteId> {
+        &self.pins
+    }
+}
+
+/// An assignment of every design block to a site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    assignment: BTreeMap<BlockId, SiteId>,
+}
+
+impl Placement {
+    /// Wraps an explicit assignment. Use [`Placement::verify`] to check it
+    /// against a problem.
+    pub fn new(assignment: BTreeMap<BlockId, SiteId>) -> Self {
+        Self { assignment }
+    }
+
+    /// The site hosting `block`, if assigned.
+    pub fn site_of(&self, block: BlockId) -> Option<SiteId> {
+        self.assignment.get(&block).copied()
+    }
+
+    /// The full assignment.
+    pub fn assignment(&self) -> &BTreeMap<BlockId, SiteId> {
+        &self.assignment
+    }
+
+    /// Blocks hosted at `site`.
+    pub fn blocks_at(&self, site: SiteId) -> impl Iterator<Item = BlockId> + '_ {
+        self.assignment
+            .iter()
+            .filter(move |(_, &s)| s == site)
+            .map(|(&b, _)| b)
+    }
+
+    /// Total routed wire length: the sum over design wires of the hop
+    /// distance between the endpoints' sites.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::Unassigned`] for a block with no site, and
+    /// [`PlaceError::Unroutable`] when a wire's endpoints sit in different
+    /// connected components.
+    pub fn cost(&self, problem: &PlacementProblem<'_>) -> Result<usize, PlaceError> {
+        let matrix = problem.topology().distance_matrix();
+        self.cost_with(problem, &matrix)
+    }
+
+    /// [`cost`](Self::cost) against a precomputed distance matrix, for hot
+    /// loops.
+    ///
+    /// # Errors
+    ///
+    /// As for [`cost`](Self::cost).
+    pub fn cost_with(
+        &self,
+        problem: &PlacementProblem<'_>,
+        matrix: &DistanceMatrix,
+    ) -> Result<usize, PlaceError> {
+        let mut total = 0usize;
+        for wire in problem.design().wires() {
+            let from = self
+                .site_of(wire.from)
+                .ok_or(PlaceError::Unassigned { block: wire.from })?;
+            let to = self
+                .site_of(wire.to)
+                .ok_or(PlaceError::Unassigned { block: wire.to })?;
+            total += matrix
+                .get(from, to)
+                .ok_or(PlaceError::Unroutable { from, to })?;
+        }
+        Ok(total)
+    }
+
+    /// Checks the placement is a complete, capacity- and pin-respecting
+    /// deployment of the problem's design.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found: an unassigned or foreign block, an
+    /// overfull site, or a pin that was not honored.
+    pub fn verify(&self, problem: &PlacementProblem<'_>) -> Result<(), PlaceError> {
+        for block in problem.design().blocks() {
+            let site = self
+                .site_of(block)
+                .ok_or(PlaceError::Unassigned { block })?;
+            if problem.topology().site(site).is_none() {
+                return Err(PlaceError::UnknownSite { site });
+            }
+        }
+        for &block in self.assignment.keys() {
+            if problem.design().block(block).is_none() {
+                return Err(PlaceError::UnknownBlock { block });
+            }
+        }
+        for site in problem.topology().sites() {
+            let used = self.blocks_at(site).count();
+            let cap = problem.topology().site(site).expect("iterating sites").capacity();
+            if used > cap {
+                return Err(PlaceError::CapacityExceeded { site, used, capacity: cap });
+            }
+        }
+        for (&block, &site) in problem.pins() {
+            if self.site_of(block) != Some(site) {
+                return Err(PlaceError::PinViolated { block, site });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised by placement construction, verification, and solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlaceError {
+    /// The topology cannot host all blocks.
+    InsufficientCapacity {
+        /// Blocks to place.
+        needed: usize,
+        /// Total site capacity.
+        available: usize,
+    },
+    /// A block id foreign to the design.
+    UnknownBlock {
+        /// The offending block.
+        block: BlockId,
+    },
+    /// A site id foreign to the topology.
+    UnknownSite {
+        /// The offending site.
+        site: SiteId,
+    },
+    /// More blocks pinned to a site than it can hold.
+    PinOverflow {
+        /// The overfull site.
+        site: SiteId,
+        /// Its capacity.
+        capacity: usize,
+    },
+    /// A design block with no assigned site.
+    Unassigned {
+        /// The unplaced block.
+        block: BlockId,
+    },
+    /// A wire between sites with no connecting path.
+    Unroutable {
+        /// Source site.
+        from: SiteId,
+        /// Sink site.
+        to: SiteId,
+    },
+    /// A site hosting more blocks than its capacity.
+    CapacityExceeded {
+        /// The overfull site.
+        site: SiteId,
+        /// Blocks assigned there.
+        used: usize,
+        /// Its capacity.
+        capacity: usize,
+    },
+    /// A pinned block placed elsewhere.
+    PinViolated {
+        /// The pinned block.
+        block: BlockId,
+        /// Where it was pinned.
+        site: SiteId,
+    },
+    /// The solver could not complete a feasible assignment (e.g. every
+    /// remaining site is full or unreachable).
+    NoFeasibleSite {
+        /// The block that could not be placed.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InsufficientCapacity { needed, available } => {
+                write!(f, "design needs {needed} slots but topology offers {available}")
+            }
+            Self::UnknownBlock { block } => write!(f, "block {block} is not in the design"),
+            Self::UnknownSite { site } => write!(f, "site {site} is not in the topology"),
+            Self::PinOverflow { site, capacity } => {
+                write!(f, "more than {capacity} blocks pinned to {site}")
+            }
+            Self::Unassigned { block } => write!(f, "block {block} has no site"),
+            Self::Unroutable { from, to } => {
+                write!(f, "no path between {from} and {to}")
+            }
+            Self::CapacityExceeded { site, used, capacity } => {
+                write!(f, "{site} hosts {used} blocks but holds {capacity}")
+            }
+            Self::PinViolated { block, site } => {
+                write!(f, "pinned block {block} was not placed at {site}")
+            }
+            Self::NoFeasibleSite { block } => {
+                write!(f, "no feasible site available for block {block}")
+            }
+        }
+    }
+}
+
+impl Error for PlaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblocks_core::{ComputeKind, OutputKind, SensorKind};
+
+    fn tiny() -> Design {
+        let mut d = Design::new("tiny");
+        let s = d.add_block("s", SensorKind::Button);
+        let g = d.add_block("g", ComputeKind::Not);
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s, 0), (g, 0)).unwrap();
+        d.connect((g, 0), (o, 0)).unwrap();
+        d
+    }
+
+    #[test]
+    fn capacity_checked_at_construction() {
+        let d = tiny();
+        let t = Topology::line(2);
+        assert!(matches!(
+            PlacementProblem::new(&d, &t),
+            Err(PlaceError::InsufficientCapacity { needed: 3, available: 2 })
+        ));
+        let t = Topology::line(3);
+        assert!(PlacementProblem::new(&d, &t).is_ok());
+    }
+
+    #[test]
+    fn pin_validation() {
+        let d = tiny();
+        let t = Topology::line(3);
+        let mut p = PlacementProblem::new(&d, &t).unwrap();
+        let s = d.block_by_name("s").unwrap();
+        let g = d.block_by_name("g").unwrap();
+        p.pin(s, SiteId(0)).unwrap();
+        assert!(matches!(
+            p.pin(g, SiteId(0)),
+            Err(PlaceError::PinOverflow { .. })
+        ));
+        assert!(matches!(
+            p.pin(s, SiteId(9)),
+            Err(PlaceError::UnknownSite { .. })
+        ));
+    }
+
+    #[test]
+    fn cost_sums_hops() {
+        let d = tiny();
+        let t = Topology::line(3);
+        let problem = PlacementProblem::new(&d, &t).unwrap();
+        let mut assignment = BTreeMap::new();
+        assignment.insert(d.block_by_name("s").unwrap(), SiteId(0));
+        assignment.insert(d.block_by_name("g").unwrap(), SiteId(2));
+        assignment.insert(d.block_by_name("o").unwrap(), SiteId(1));
+        let placement = Placement::new(assignment);
+        placement.verify(&problem).unwrap();
+        // s->g spans 2 hops, g->o spans 1.
+        assert_eq!(placement.cost(&problem).unwrap(), 3);
+    }
+
+    #[test]
+    fn verify_catches_capacity_and_pins() {
+        let d = tiny();
+        let t = Topology::line(3);
+        let mut problem = PlacementProblem::new(&d, &t).unwrap();
+        let s = d.block_by_name("s").unwrap();
+        let g = d.block_by_name("g").unwrap();
+        let o = d.block_by_name("o").unwrap();
+
+        let mut overfull = BTreeMap::new();
+        overfull.insert(s, SiteId(0));
+        overfull.insert(g, SiteId(0));
+        overfull.insert(o, SiteId(1));
+        assert!(matches!(
+            Placement::new(overfull).verify(&problem),
+            Err(PlaceError::CapacityExceeded { used: 2, capacity: 1, .. })
+        ));
+
+        problem.pin(s, SiteId(2)).unwrap();
+        let mut wrong_pin = BTreeMap::new();
+        wrong_pin.insert(s, SiteId(0));
+        wrong_pin.insert(g, SiteId(1));
+        wrong_pin.insert(o, SiteId(2));
+        assert!(matches!(
+            Placement::new(wrong_pin).verify(&problem),
+            Err(PlaceError::PinViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn unroutable_wire_detected() {
+        let d = tiny();
+        let mut t = Topology::new();
+        let a = t.add_site("a", 2);
+        let b = t.add_site("b", 1);
+        // No link between a and b.
+        let problem = PlacementProblem::new(&d, &t).unwrap();
+        let mut assignment = BTreeMap::new();
+        assignment.insert(d.block_by_name("s").unwrap(), a);
+        assignment.insert(d.block_by_name("g").unwrap(), a);
+        assignment.insert(d.block_by_name("o").unwrap(), b);
+        let placement = Placement::new(assignment);
+        placement.verify(&problem).unwrap();
+        assert!(matches!(
+            placement.cost(&problem),
+            Err(PlaceError::Unroutable { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PlaceError::InsufficientCapacity { needed: 5, available: 3 };
+        assert!(e.to_string().contains('5'));
+    }
+}

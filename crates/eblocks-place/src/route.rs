@@ -1,0 +1,252 @@
+//! Route extraction: from a placement to an installer's wire list.
+//!
+//! [`Placement::cost`](crate::Placement::cost) scores a placement by total
+//! hop count; this module materializes the routes themselves — one
+//! shortest site-path per design wire — plus the per-link *congestion*
+//! (how many logical wires share each physical link). Congested links are
+//! where a deployment wants its thickest cable or its cleanest radio
+//! channel.
+
+use crate::placement::{PlaceError, Placement, PlacementProblem};
+use crate::topology::SiteId;
+use eblocks_core::BlockId;
+use std::collections::{BTreeMap, VecDeque};
+
+/// One routed logical wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Driving block.
+    pub from: BlockId,
+    /// Receiving block.
+    pub to: BlockId,
+    /// Sites traversed, inclusive of both endpoints; `path.len() - 1` hops.
+    /// A same-site wire has a single-element path.
+    pub path: Vec<SiteId>,
+}
+
+impl Route {
+    /// Number of physical links this wire crosses.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// All routes of a placement, with aggregate statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingReport {
+    /// One route per design wire, in design wire order.
+    pub routes: Vec<Route>,
+    /// Logical wires per physical link, keyed by `(lower site, higher
+    /// site)`. Links carrying nothing are omitted.
+    pub link_load: BTreeMap<(SiteId, SiteId), usize>,
+}
+
+impl RoutingReport {
+    /// Total hops across all routes (equals [`Placement::cost`]).
+    pub fn total_hops(&self) -> usize {
+        self.routes.iter().map(Route::hops).sum()
+    }
+
+    /// The busiest physical link and its load, if any wire leaves its site.
+    pub fn max_congestion(&self) -> Option<((SiteId, SiteId), usize)> {
+        self.link_load
+            .iter()
+            .max_by_key(|(_, &load)| load)
+            .map(|(&link, &load)| (link, load))
+    }
+}
+
+/// Routes every design wire along a shortest site-path.
+///
+/// Path selection is deterministic: among equal-length paths, BFS explores
+/// neighbors in site order, so lower-numbered corridors win.
+///
+/// # Errors
+///
+/// [`PlaceError::Unassigned`] for an unplaced block and
+/// [`PlaceError::Unroutable`] when a wire spans disconnected components.
+pub fn route(
+    problem: &PlacementProblem<'_>,
+    placement: &Placement,
+) -> Result<RoutingReport, PlaceError> {
+    let topology = problem.topology();
+    let mut routes = Vec::new();
+    let mut link_load: BTreeMap<(SiteId, SiteId), usize> = BTreeMap::new();
+
+    for wire in problem.design().wires() {
+        let from = placement
+            .site_of(wire.from)
+            .ok_or(PlaceError::Unassigned { block: wire.from })?;
+        let to = placement
+            .site_of(wire.to)
+            .ok_or(PlaceError::Unassigned { block: wire.to })?;
+        let path = shortest_path(topology, from, to)
+            .ok_or(PlaceError::Unroutable { from, to })?;
+        for leg in path.windows(2) {
+            let key = (leg[0].min(leg[1]), leg[0].max(leg[1]));
+            *link_load.entry(key).or_insert(0) += 1;
+        }
+        routes.push(Route {
+            from: wire.from,
+            to: wire.to,
+            path,
+        });
+    }
+    Ok(RoutingReport { routes, link_load })
+}
+
+/// BFS shortest path, inclusive endpoints; `None` when unreachable.
+fn shortest_path(
+    topology: &crate::Topology,
+    from: SiteId,
+    to: SiteId,
+) -> Option<Vec<SiteId>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let n = topology.num_sites();
+    let mut parent: Vec<Option<SiteId>> = vec![None; n];
+    parent[from.index()] = Some(from); // sentinel: own parent
+    let mut queue = VecDeque::from([from]);
+    while let Some(cur) = queue.pop_front() {
+        for next in topology.neighbors(cur) {
+            if parent[next.index()].is_none() {
+                parent[next.index()] = Some(cur);
+                if next == to {
+                    let mut path = vec![to];
+                    let mut at = to;
+                    while at != from {
+                        at = parent[at.index()].expect("reached nodes have parents");
+                        path.push(at);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use crate::{greedy_place, PlacementProblem};
+    use eblocks_core::{ComputeKind, Design, OutputKind, SensorKind};
+    use std::collections::BTreeMap as Map;
+
+    fn chain(n: usize) -> Design {
+        let mut d = Design::new("chain");
+        let s = d.add_block("s", SensorKind::Button);
+        let mut prev = s;
+        for i in 0..n {
+            let g = d.add_block(format!("g{i}"), ComputeKind::Not);
+            d.connect((prev, 0), (g, 0)).unwrap();
+            prev = g;
+        }
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((prev, 0), (o, 0)).unwrap();
+        d
+    }
+
+    #[test]
+    fn total_hops_matches_cost() {
+        let d = chain(4);
+        let t = Topology::grid(3, 2);
+        let problem = PlacementProblem::new(&d, &t).unwrap();
+        let placement = greedy_place(&problem).unwrap();
+        let report = route(&problem, &placement).unwrap();
+        assert_eq!(report.total_hops(), placement.cost(&problem).unwrap());
+        assert_eq!(report.routes.len(), d.num_wires());
+    }
+
+    #[test]
+    fn paths_are_shortest_and_contiguous() {
+        let d = chain(4);
+        let t = Topology::grid(3, 2);
+        let problem = PlacementProblem::new(&d, &t).unwrap();
+        let placement = greedy_place(&problem).unwrap();
+        let report = route(&problem, &placement).unwrap();
+        for r in &report.routes {
+            let from = placement.site_of(r.from).unwrap();
+            let to = placement.site_of(r.to).unwrap();
+            assert_eq!(r.path.first(), Some(&from));
+            assert_eq!(r.path.last(), Some(&to));
+            assert_eq!(r.hops(), t.distance(from, to).unwrap(), "shortest");
+            for leg in r.path.windows(2) {
+                assert!(
+                    t.neighbors(leg[0]).any(|s| s == leg[1]),
+                    "consecutive path sites must be linked"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_counts_shared_legs() {
+        // Two wires forced through the single middle link of a line.
+        let mut d = Design::new("two-wires");
+        let s1 = d.add_block("s1", SensorKind::Button);
+        let s2 = d.add_block("s2", SensorKind::Motion);
+        let o1 = d.add_block("o1", OutputKind::Led);
+        let o2 = d.add_block("o2", OutputKind::Buzzer);
+        d.connect((s1, 0), (o1, 0)).unwrap();
+        d.connect((s2, 0), (o2, 0)).unwrap();
+
+        let mut t = Topology::new();
+        let a = t.add_site("left", 2);
+        let b = t.add_site("right", 2);
+        t.link(a, b);
+        let mut problem = PlacementProblem::new(&d, &t).unwrap();
+        problem.pin(s1, a).unwrap();
+        problem.pin(s2, a).unwrap();
+        problem.pin(o1, b).unwrap();
+        problem.pin(o2, b).unwrap();
+        let placement = crate::Placement::new(Map::from([
+            (s1, a),
+            (s2, a),
+            (o1, b),
+            (o2, b),
+        ]));
+        placement.verify(&problem).unwrap();
+        let report = route(&problem, &placement).unwrap();
+        assert_eq!(report.max_congestion(), Some(((a, b), 2)));
+    }
+
+    #[test]
+    fn same_site_wire_has_zero_hops() {
+        let mut d = Design::new("local");
+        let s = d.add_block("s", SensorKind::Button);
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s, 0), (o, 0)).unwrap();
+        let mut t = Topology::new();
+        let hub = t.add_site("hub", 2);
+        let _spare = t.add_site("spare", 1);
+        t.link(hub, SiteId(1));
+        let placement = crate::Placement::new(Map::from([(s, hub), (o, hub)]));
+        let problem = PlacementProblem::new(&d, &t).unwrap();
+        let report = route(&problem, &placement).unwrap();
+        assert_eq!(report.routes[0].path, vec![hub]);
+        assert_eq!(report.total_hops(), 0);
+        assert!(report.max_congestion().is_none());
+    }
+
+    #[test]
+    fn unroutable_reported() {
+        let mut d = Design::new("gap");
+        let s = d.add_block("s", SensorKind::Button);
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s, 0), (o, 0)).unwrap();
+        let mut t = Topology::new();
+        let a = t.add_site("a", 1);
+        let b = t.add_site("b", 1);
+        let placement = crate::Placement::new(Map::from([(s, a), (o, b)]));
+        let problem = PlacementProblem::new(&d, &t).unwrap();
+        assert!(matches!(
+            route(&problem, &placement),
+            Err(PlaceError::Unroutable { .. })
+        ));
+    }
+}

@@ -1,0 +1,212 @@
+//! A plain-text format for [`Topology`], mirroring the netlist format of
+//! `eblocks-core`.
+//!
+//! ```text
+//! # a wiring closet fanning out to three rooms
+//! topology office
+//! site closet 4
+//! site room_a
+//! site room_b
+//! site room_c
+//! link closet room_a
+//! link closet room_b
+//! link closet room_c
+//! ```
+//!
+//! * `topology <name>` — optional header (the name is informational),
+//! * `site <name> [capacity]` — capacity defaults to 1,
+//! * `link <a> <b>` — bidirectional; both sites must already be declared,
+//! * `#` starts a comment; blank lines are ignored.
+
+use crate::topology::Topology;
+use std::error::Error;
+use std::fmt;
+
+/// Serializes a topology to the text format.
+///
+/// Capacities of 1 are omitted, matching what [`from_text`] defaults.
+/// Round-trips through [`from_text`] up to the grid-coordinate helper
+/// (`site_at` knowledge is not serialized).
+pub fn to_text(topology: &Topology) -> String {
+    let mut out = String::from("topology t\n");
+    for id in topology.sites() {
+        let site = topology.site(id).expect("iterating sites");
+        if site.capacity() == 1 {
+            out.push_str(&format!("site {}\n", site.name()));
+        } else {
+            out.push_str(&format!("site {} {}\n", site.name(), site.capacity()));
+        }
+    }
+    for a in topology.sites() {
+        for b in topology.neighbors(a) {
+            if a < b {
+                let an = topology.site(a).expect("site").name();
+                let bn = topology.site(b).expect("site").name();
+                out.push_str(&format!("link {an} {bn}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Parses the text format into a [`Topology`].
+///
+/// # Errors
+///
+/// [`ParseTopologyError`] with the offending line number: unknown
+/// directives, duplicate site names, bad capacities, or links to
+/// undeclared sites.
+pub fn from_text(text: &str) -> Result<Topology, ParseTopologyError> {
+    let mut topology = Topology::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = content.split_whitespace().collect();
+        match parts.as_slice() {
+            ["topology", _name] => {}
+            ["site", name] | ["site", name, _] => {
+                if topology.site_by_name(name).is_some() {
+                    return Err(ParseTopologyError {
+                        line,
+                        message: format!("duplicate site `{name}`"),
+                    });
+                }
+                let capacity = match parts.get(2) {
+                    None => 1,
+                    Some(c) => c.parse().map_err(|_| ParseTopologyError {
+                        line,
+                        message: format!("bad capacity `{c}`"),
+                    })?,
+                };
+                if capacity == 0 {
+                    return Err(ParseTopologyError {
+                        line,
+                        message: "capacity must be at least 1".into(),
+                    });
+                }
+                topology.add_site(*name, capacity);
+            }
+            ["link", a, b] => {
+                let sa = topology.site_by_name(a).ok_or_else(|| ParseTopologyError {
+                    line,
+                    message: format!("link references undeclared site `{a}`"),
+                })?;
+                let sb = topology.site_by_name(b).ok_or_else(|| ParseTopologyError {
+                    line,
+                    message: format!("link references undeclared site `{b}`"),
+                })?;
+                if sa == sb {
+                    return Err(ParseTopologyError {
+                        line,
+                        message: format!("site `{a}` linked to itself"),
+                    });
+                }
+                topology.link(sa, sb);
+            }
+            [directive, ..] => {
+                return Err(ParseTopologyError {
+                    line,
+                    message: format!("unknown or malformed directive `{directive}`"),
+                });
+            }
+            [] => unreachable!("blank lines are skipped"),
+        }
+    }
+    Ok(topology)
+}
+
+/// A syntax or consistency error in the topology text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTopologyError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_doc_example() {
+        let text = "\
+# a wiring closet fanning out to three rooms
+topology office
+site closet 4
+site room_a
+site room_b
+site room_c
+link closet room_a
+link closet room_b
+link closet room_c
+";
+        let t = from_text(text).unwrap();
+        assert_eq!(t.num_sites(), 4);
+        assert_eq!(t.total_capacity(), 7);
+        let closet = t.site_by_name("closet").unwrap();
+        assert_eq!(t.neighbors(closet).count(), 3);
+        let a = t.site_by_name("room_a").unwrap();
+        let b = t.site_by_name("room_b").unwrap();
+        assert_eq!(t.distance(a, b), Some(2));
+    }
+
+    #[test]
+    fn round_trips() {
+        for topo in [
+            Topology::grid(3, 2),
+            Topology::line(5),
+            Topology::star(4, 3),
+        ] {
+            let text = to_text(&topo);
+            let parsed = from_text(&text).unwrap();
+            assert_eq!(parsed.num_sites(), topo.num_sites());
+            assert_eq!(parsed.total_capacity(), topo.total_capacity());
+            for a in topo.sites() {
+                for b in topo.sites() {
+                    assert_eq!(parsed.distance(a, b), topo.distance(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = from_text("site a\nsite a\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("duplicate"));
+
+        let err = from_text("link a b\n").unwrap_err();
+        assert!(err.message.contains("undeclared"));
+
+        let err = from_text("site a\nfrob a\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("frob"));
+
+        let err = from_text("site a banana\n").unwrap_err();
+        assert!(err.message.contains("bad capacity"));
+
+        let err = from_text("site a 0\n").unwrap_err();
+        assert!(err.message.contains("at least 1"));
+
+        let err = from_text("site a\nlink a a\n").unwrap_err();
+        assert!(err.message.contains("itself"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let t = from_text("\n# nothing\n  # indented comment\nsite a # trailing\n").unwrap();
+        assert_eq!(t.num_sites(), 1);
+    }
+}

@@ -1,0 +1,375 @@
+//! The physical substrate: an existing network of deployment sites.
+//!
+//! The paper closes (§6) by proposing "to map to an existing underlying
+//! network of sensor nodes". A [`Topology`] models that underlying network:
+//! *sites* (places where a physical eBlock can be mounted — wall boxes,
+//! ceiling mounts, pre-pulled wiring hubs) joined by *links* (wire runs or
+//! radio adjacency). A logical wire between blocks hosted at non-adjacent
+//! sites is routed along the shortest link path, and each hop costs wire
+//! and power — the quantity placement minimizes.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifies a site within its [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub(crate) usize);
+
+impl SiteId {
+    /// The site's dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// One deployment site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    name: String,
+    capacity: usize,
+}
+
+impl Site {
+    /// Human-readable site name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// How many blocks the site can host (a wiring hub may hold several).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// An existing physical network of deployment sites.
+///
+/// # Examples
+///
+/// ```
+/// use eblocks_place::Topology;
+///
+/// let t = Topology::grid(3, 2); // six sites in a 3×2 mesh
+/// assert_eq!(t.num_sites(), 6);
+/// assert_eq!(t.distance(t.site_at(0, 0).unwrap(), t.site_at(2, 1).unwrap()), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    sites: Vec<Site>,
+    adjacency: Vec<Vec<usize>>,
+    /// Grid width when built by [`Topology::grid`], for `site_at`.
+    grid_width: Option<usize>,
+}
+
+impl Topology {
+    /// An empty topology; add sites with [`add_site`](Self::add_site).
+    pub fn new() -> Self {
+        Self {
+            sites: Vec::new(),
+            adjacency: Vec::new(),
+            grid_width: None,
+        }
+    }
+
+    /// A `width × height` mesh: each site links to its 4-neighbors. Sites
+    /// are named `r<row>c<col>` and hold one block each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    pub fn grid(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        let mut t = Self::new();
+        for r in 0..height {
+            for c in 0..width {
+                t.add_site(format!("r{r}c{c}"), 1);
+            }
+        }
+        for r in 0..height {
+            for c in 0..width {
+                let here = SiteId(r * width + c);
+                if c + 1 < width {
+                    t.link(here, SiteId(r * width + c + 1));
+                }
+                if r + 1 < height {
+                    t.link(here, SiteId((r + 1) * width + c));
+                }
+            }
+        }
+        t.grid_width = Some(width);
+        t
+    }
+
+    /// A line of `n` sites, each linked to the next — models blocks mounted
+    /// along a corridor or fence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn line(n: usize) -> Self {
+        assert!(n > 0, "a line needs at least one site");
+        let mut t = Self::new();
+        for i in 0..n {
+            t.add_site(format!("p{i}"), 1);
+        }
+        for i in 1..n {
+            t.link(SiteId(i - 1), SiteId(i));
+        }
+        t
+    }
+
+    /// A hub with `leaves` spokes — models a wiring closet fanning out to
+    /// rooms. The hub is site 0 with capacity `hub_capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is zero.
+    pub fn star(leaves: usize, hub_capacity: usize) -> Self {
+        assert!(leaves > 0, "a star needs at least one leaf");
+        let mut t = Self::new();
+        let hub = t.add_site("hub", hub_capacity);
+        for i in 0..leaves {
+            let leaf = t.add_site(format!("leaf{i}"), 1);
+            t.link(hub, leaf);
+        }
+        t
+    }
+
+    /// Adds a site and returns its id.
+    pub fn add_site(&mut self, name: impl Into<String>, capacity: usize) -> SiteId {
+        let id = SiteId(self.sites.len());
+        self.sites.push(Site {
+            name: name.into(),
+            capacity,
+        });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Links two sites bidirectionally. Self-links and duplicates are
+    /// ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn link(&mut self, a: SiteId, b: SiteId) {
+        assert!(a.0 < self.sites.len() && b.0 < self.sites.len(), "unknown site");
+        if a == b || self.adjacency[a.0].contains(&b.0) {
+            return;
+        }
+        self.adjacency[a.0].push(b.0);
+        self.adjacency[b.0].push(a.0);
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Total hosting capacity across all sites.
+    pub fn total_capacity(&self) -> usize {
+        self.sites.iter().map(Site::capacity).sum()
+    }
+
+    /// The site record for `id`, if it exists.
+    pub fn site(&self, id: SiteId) -> Option<&Site> {
+        self.sites.get(id.0)
+    }
+
+    /// Looks a site up by name.
+    pub fn site_by_name(&self, name: &str) -> Option<SiteId> {
+        self.sites.iter().position(|s| s.name == name).map(SiteId)
+    }
+
+    /// For grid topologies, the site at `(col, row)`; `None` elsewhere or
+    /// out of range.
+    pub fn site_at(&self, col: usize, row: usize) -> Option<SiteId> {
+        let width = self.grid_width?;
+        if col >= width {
+            return None;
+        }
+        let idx = row * width + col;
+        (idx < self.sites.len()).then_some(SiteId(idx))
+    }
+
+    /// Iterates over all site ids.
+    pub fn sites(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.sites.len()).map(SiteId)
+    }
+
+    /// Sites directly linked to `id`.
+    pub fn neighbors(&self, id: SiteId) -> impl Iterator<Item = SiteId> + '_ {
+        self.adjacency
+            .get(id.0)
+            .into_iter()
+            .flatten()
+            .map(|&i| SiteId(i))
+    }
+
+    /// Hop distance between two sites along the link graph, or `None` when
+    /// they are in different connected components.
+    pub fn distance(&self, from: SiteId, to: SiteId) -> Option<usize> {
+        if from.0 >= self.sites.len() || to.0 >= self.sites.len() {
+            return None;
+        }
+        if from == to {
+            return Some(0);
+        }
+        // Plain BFS; topologies are tens of sites, not thousands.
+        let mut dist = vec![usize::MAX; self.sites.len()];
+        dist[from.0] = 0;
+        let mut queue = VecDeque::from([from.0]);
+        while let Some(cur) = queue.pop_front() {
+            for &next in &self.adjacency[cur] {
+                if dist[next] == usize::MAX {
+                    dist[next] = dist[cur] + 1;
+                    if next == to.0 {
+                        return Some(dist[next]);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// All-pairs hop distances (`usize::MAX` marks unreachable pairs), for
+    /// callers that query distances in a hot loop.
+    pub fn distance_matrix(&self) -> DistanceMatrix {
+        let n = self.sites.len();
+        let mut matrix = vec![usize::MAX; n * n];
+        for start in 0..n {
+            matrix[start * n + start] = 0;
+            let mut queue = VecDeque::from([start]);
+            while let Some(cur) = queue.pop_front() {
+                let d = matrix[start * n + cur];
+                for &next in &self.adjacency[cur] {
+                    if matrix[start * n + next] == usize::MAX {
+                        matrix[start * n + next] = d + 1;
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        DistanceMatrix { n, matrix }
+    }
+
+    /// Whether every site can reach every other site.
+    pub fn is_connected(&self) -> bool {
+        let n = self.sites.len();
+        if n <= 1 {
+            return true;
+        }
+        let m = self.distance_matrix();
+        (0..n).all(|i| m.get(SiteId(0), SiteId(i)).is_some())
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Precomputed all-pairs hop distances for a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    matrix: Vec<usize>,
+}
+
+impl DistanceMatrix {
+    /// Hop distance, or `None` when unreachable.
+    pub fn get(&self, from: SiteId, to: SiteId) -> Option<usize> {
+        let d = *self.matrix.get(from.0 * self.n + to.0)?;
+        (d != usize::MAX).then_some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_structure() {
+        let t = Topology::grid(4, 3);
+        assert_eq!(t.num_sites(), 12);
+        assert_eq!(t.total_capacity(), 12);
+        let corner = t.site_at(0, 0).unwrap();
+        let opposite = t.site_at(3, 2).unwrap();
+        assert_eq!(t.distance(corner, opposite), Some(5));
+        assert_eq!(t.neighbors(corner).count(), 2);
+        let center = t.site_at(1, 1).unwrap();
+        assert_eq!(t.neighbors(center).count(), 4);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn line_distances() {
+        let t = Topology::line(5);
+        assert_eq!(t.distance(SiteId(0), SiteId(4)), Some(4));
+        assert_eq!(t.distance(SiteId(2), SiteId(2)), Some(0));
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = Topology::star(6, 3);
+        assert_eq!(t.num_sites(), 7);
+        assert_eq!(t.total_capacity(), 9);
+        let hub = t.site_by_name("hub").unwrap();
+        assert_eq!(t.neighbors(hub).count(), 6);
+        assert_eq!(t.distance(SiteId(1), SiteId(2)), Some(2), "leaf to leaf via hub");
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let mut t = Topology::new();
+        let a = t.add_site("a", 1);
+        let b = t.add_site("b", 1);
+        let c = t.add_site("c", 1);
+        t.link(a, b);
+        assert_eq!(t.distance(a, b), Some(1));
+        assert_eq!(t.distance(a, c), None);
+        assert!(!t.is_connected());
+        let m = t.distance_matrix();
+        assert_eq!(m.get(a, c), None);
+        assert_eq!(m.get(b, a), Some(1));
+    }
+
+    #[test]
+    fn duplicate_and_self_links_ignored() {
+        let mut t = Topology::new();
+        let a = t.add_site("a", 1);
+        let b = t.add_site("b", 1);
+        t.link(a, b);
+        t.link(b, a);
+        t.link(a, a);
+        assert_eq!(t.neighbors(a).count(), 1);
+        assert_eq!(t.neighbors(b).count(), 1);
+    }
+
+    #[test]
+    fn lookup_by_name_and_coordinates() {
+        let t = Topology::grid(2, 2);
+        assert_eq!(t.site_by_name("r1c0"), Some(SiteId(2)));
+        assert_eq!(t.site_at(1, 1), Some(SiteId(3)));
+        assert_eq!(t.site_at(2, 0), None);
+        assert!(Topology::line(3).site_at(0, 0).is_none(), "not a grid");
+    }
+
+    #[test]
+    fn matrix_matches_pointwise_distance() {
+        let t = Topology::grid(3, 3);
+        let m = t.distance_matrix();
+        for a in t.sites() {
+            for b in t.sites() {
+                assert_eq!(m.get(a, b), t.distance(a, b), "{a} -> {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Simulator errors.
+
+use eblocks_behavior::{CheckError, EvalError};
+use eblocks_core::DesignError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The design failed structural validation.
+    InvalidDesign(DesignError),
+    /// A programmable block has no behavior program attached.
+    MissingProgram {
+        /// The block's name.
+        block: String,
+    },
+    /// A behavior program failed its static checks.
+    BadProgram {
+        /// The block's name.
+        block: String,
+        /// The first check failure.
+        error: CheckError,
+    },
+    /// A behavior program faulted during simulation.
+    Eval {
+        /// The block's name.
+        block: String,
+        /// The fault.
+        error: EvalError,
+    },
+    /// A behavior program drove a non-boolean value onto a wire.
+    NonBooleanPacket {
+        /// The block's name.
+        block: String,
+        /// The output port.
+        port: u8,
+    },
+    /// A stimulus references a sensor that does not exist.
+    UnknownSensor {
+        /// The referenced name.
+        name: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidDesign(e) => write!(f, "invalid design: {e}"),
+            Self::MissingProgram { block } => {
+                write!(f, "programmable block `{block}` has no behavior program")
+            }
+            Self::BadProgram { block, error } => {
+                write!(f, "behavior program of `{block}` failed checks: {error}")
+            }
+            Self::Eval { block, error } => write!(f, "block `{block}` faulted: {error}"),
+            Self::NonBooleanPacket { block, port } => {
+                write!(f, "block `{block}` drove a non-boolean value on out{port}")
+            }
+            Self::UnknownSensor { name } => write!(f, "stimulus references unknown sensor `{name}`"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::InvalidDesign(e) => Some(e),
+            Self::BadProgram { error, .. } => Some(error),
+            Self::Eval { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<DesignError> for SimError {
+    fn from(e: DesignError) -> Self {
+        Self::InvalidDesign(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::MissingProgram { block: "p1".into() };
+        assert!(e.to_string().contains("p1"));
+        let e = SimError::UnknownSensor { name: "ghost".into() };
+        assert!(e.to_string().contains("ghost"));
+        let e = SimError::Eval {
+            block: "g".into(),
+            error: EvalError::DivisionByZero,
+        };
+        assert!(e.to_string().contains("division"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Monte-Carlo reliability analysis (extension).
+//!
+//! The paper motivates eBlocks with always-on monitor/control systems —
+//! garage doors, intrusion detection, sleepwalking children — whose value
+//! is exactly that they keep working unattended. This module estimates how
+//! a network's *outputs* degrade as its parts fail: each trial samples a
+//! random [`FaultPlan`] (sensors stuck, radio hops dead) from per-class
+//! failure probabilities, re-runs the simulation, and compares every
+//! output's settled value against the healthy run.
+//!
+//! The per-output *availability* — the fraction of trials in which that
+//! output still ends at its healthy value — tells a designer which outputs
+//! hang off single points of failure. Trials are deterministic for a fixed
+//! seed.
+
+use crate::fault::{Fault, FaultPlan};
+use crate::sim::{Simulator, Time};
+use crate::stimulus::Stimulus;
+use crate::trace::Trace;
+use crate::SimError;
+use eblocks_core::BlockKind;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Failure model for [`reliability`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    /// Monte-Carlo trials. Default `200`.
+    pub trials: u32,
+    /// Probability (per mille) that each sensor is stuck, at a uniformly
+    /// random value. Default `50` (5%).
+    pub sensor_stuck_pm: u16,
+    /// Probability (per mille) that each communication block is dead from
+    /// power-on. Default `100` (10%) — radios fail more than wires.
+    pub comm_failure_pm: u16,
+    /// RNG seed; identical seeds give identical reports. Default `0x5EED`.
+    pub seed: u64,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        Self {
+            trials: 200,
+            sensor_stuck_pm: 50,
+            comm_failure_pm: 100,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The outcome of a [`reliability`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityReport {
+    /// Trials executed.
+    pub trials: u32,
+    /// Trials in which the sampled plan contained no fault at all.
+    pub fault_free_trials: u32,
+    /// Per output, sorted by name: fraction of trials whose settled value
+    /// matched the healthy run.
+    pub availability: Vec<(String, f64)>,
+}
+
+impl ReliabilityReport {
+    /// The lowest per-output availability — the network's weakest signal.
+    pub fn worst(&self) -> Option<(&str, f64)> {
+        self.availability
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(n, v)| (n.as_str(), *v))
+    }
+}
+
+/// Runs the Monte-Carlo trials and reports per-output availability.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the healthy or a faulty run.
+///
+/// # Examples
+///
+/// ```
+/// use eblocks_core::{CommKind, Design, OutputKind, SensorKind};
+/// use eblocks_sim::{reliability, ReliabilityConfig, Simulator, Stimulus};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut d = Design::new("radio-bell");
+/// let b = d.add_block("btn", SensorKind::Button);
+/// let tx = d.add_block("radio", CommKind::WirelessTx);
+/// let o = d.add_block("bell", OutputKind::Buzzer);
+/// d.connect((b, 0), (tx, 0))?;
+/// d.connect((tx, 0), (o, 0))?;
+///
+/// let sim = Simulator::new(&d)?;
+/// let stim = Stimulus::new().set(20, "btn", true);
+/// let report = reliability(&sim, &stim, 100, &ReliabilityConfig::default())?;
+/// let (name, avail) = report.worst().expect("one output");
+/// assert_eq!(name, "bell");
+/// assert!(avail < 1.0, "a lossy radio and a stickable button degrade it");
+/// # Ok(())
+/// # }
+/// ```
+pub fn reliability(
+    sim: &Simulator,
+    stimulus: &Stimulus,
+    until: Time,
+    config: &ReliabilityConfig,
+) -> Result<ReliabilityReport, SimError> {
+    let healthy = sim.run(stimulus, until)?;
+    let baseline = settled(&healthy);
+
+    let design = sim.design();
+    let sensors: Vec<String> = design
+        .sensors()
+        .map(|s| design.block(s).expect("sensor").name().to_string())
+        .collect();
+    let comms: Vec<String> = design
+        .blocks()
+        .filter(|&b| matches!(design.block(b).expect("block").kind(), BlockKind::Comm(_)))
+        .map(|b| design.block(b).expect("block").name().to_string())
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut matches = vec![0u32; baseline.len()];
+    let mut fault_free = 0u32;
+
+    for _ in 0..config.trials {
+        let mut plan = FaultPlan::new();
+        for name in &sensors {
+            if rng.random_range(0..1000) < config.sensor_stuck_pm as u32 {
+                plan = plan.with(Fault::StuckAt {
+                    block: name.clone(),
+                    value: rng.random(),
+                });
+            }
+        }
+        for name in &comms {
+            if rng.random_range(0..1000) < config.comm_failure_pm as u32 {
+                plan = plan.with(Fault::DropPackets {
+                    block: name.clone(),
+                    from: 0,
+                    to: Time::MAX,
+                });
+            }
+        }
+        if plan.is_empty() {
+            fault_free += 1;
+        }
+        let faulty = sim.run_with_faults(stimulus, until, &plan)?;
+        let outcome = settled(&faulty);
+        for (i, (name, value)) in baseline.iter().enumerate() {
+            let same = outcome
+                .iter()
+                .find(|(n, _)| n == name)
+                .is_some_and(|(_, v)| v == value);
+            if same {
+                matches[i] += 1;
+            }
+        }
+    }
+
+    let availability = baseline
+        .iter()
+        .zip(&matches)
+        .map(|((name, _), &m)| (name.clone(), f64::from(m) / f64::from(config.trials.max(1))))
+        .collect();
+    Ok(ReliabilityReport {
+        trials: config.trials,
+        fault_free_trials: fault_free,
+        availability,
+    })
+}
+
+/// Settled (final) value per output, idle-low default, sorted by name.
+fn settled(trace: &Trace) -> Vec<(String, bool)> {
+    let mut outs: Vec<(String, bool)> = trace
+        .outputs()
+        .map(|o| (o.to_string(), trace.final_value(o).unwrap_or(false)))
+        .collect();
+    outs.sort();
+    outs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblocks_core::{CommKind, ComputeKind, Design, OutputKind, SensorKind};
+
+    /// btn -> led (wired) alongside btn2 -> radio -> led2.
+    fn mixed() -> Design {
+        let mut d = Design::new("mixed");
+        let b1 = d.add_block("btn1", SensorKind::Button);
+        let l1 = d.add_block("led1", OutputKind::Led);
+        d.connect((b1, 0), (l1, 0)).unwrap();
+        let b2 = d.add_block("btn2", SensorKind::Button);
+        let tx = d.add_block("radio", CommKind::WirelessTx);
+        let l2 = d.add_block("led2", OutputKind::Led);
+        d.connect((b2, 0), (tx, 0)).unwrap();
+        d.connect((tx, 0), (l2, 0)).unwrap();
+        d
+    }
+
+    #[test]
+    fn radio_path_is_less_available() {
+        let d = mixed();
+        let sim = Simulator::new(&d).unwrap();
+        let stim = Stimulus::new().set(20, "btn1", true).set(20, "btn2", true);
+        let config = ReliabilityConfig {
+            trials: 400,
+            sensor_stuck_pm: 50,
+            comm_failure_pm: 150,
+            ..Default::default()
+        };
+        let report = reliability(&sim, &stim, 100, &config).unwrap();
+        let get = |name: &str| {
+            report
+                .availability
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!(
+            get("led2") < get("led1"),
+            "the radio hop must cost availability: led1={} led2={}",
+            get("led1"),
+            get("led2")
+        );
+        assert_eq!(report.worst().unwrap().0, "led2");
+    }
+
+    #[test]
+    fn zero_probability_means_full_availability() {
+        let d = mixed();
+        let sim = Simulator::new(&d).unwrap();
+        let stim = Stimulus::new().set(20, "btn1", true);
+        let config = ReliabilityConfig {
+            trials: 50,
+            sensor_stuck_pm: 0,
+            comm_failure_pm: 0,
+            ..Default::default()
+        };
+        let report = reliability(&sim, &stim, 100, &config).unwrap();
+        assert_eq!(report.fault_free_trials, 50);
+        assert!(report.availability.iter().all(|(_, v)| *v == 1.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = mixed();
+        let sim = Simulator::new(&d).unwrap();
+        let stim = Stimulus::new().set(20, "btn2", true);
+        let config = ReliabilityConfig {
+            trials: 100,
+            ..Default::default()
+        };
+        assert_eq!(
+            reliability(&sim, &stim, 100, &config).unwrap(),
+            reliability(&sim, &stim, 100, &config).unwrap()
+        );
+    }
+
+    #[test]
+    fn stuck_sensor_can_help_or_hurt_symmetrically() {
+        // An inverter chain: stuck-at-true *matches* the stimulus end state,
+        // so availability stays high even with certain stuck sensors when
+        // the stuck value equals the final stimulus value.
+        let mut d = Design::new("inv");
+        let b = d.add_block("btn", SensorKind::Button);
+        let n = d.add_block("n", ComputeKind::Not);
+        let l = d.add_block("led", OutputKind::Led);
+        d.connect((b, 0), (n, 0)).unwrap();
+        d.connect((n, 0), (l, 0)).unwrap();
+        let sim = Simulator::new(&d).unwrap();
+        let stim = Stimulus::new().set(10, "btn", true);
+        let config = ReliabilityConfig {
+            trials: 300,
+            sensor_stuck_pm: 1000, // always stuck, value 50/50
+            comm_failure_pm: 0,
+            ..Default::default()
+        };
+        let report = reliability(&sim, &stim, 60, &config).unwrap();
+        let (_, avail) = report.worst().unwrap();
+        assert!(
+            (0.35..=0.65).contains(&avail),
+            "stuck value is a coin flip, got {avail}"
+        );
+    }
+}

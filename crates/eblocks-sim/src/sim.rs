@@ -1,0 +1,657 @@
+//! The event-driven simulator core.
+//!
+//! # Execution model
+//!
+//! The simulator realizes the paper's §3.1 semantics — "behaviorally
+//! correct and obeys general high-level timing, but no detailed timing
+//! characteristics can be inferred" — as a *synchronous delta-cycle* model:
+//!
+//! * wires have **zero latency**; a value change propagates through the
+//!   whole downstream cone within one instant, blocks evaluating in
+//!   topological order,
+//! * all packets reaching a block in the same instant are **coalesced**
+//!   into one evaluation (a block sees the settled values of its inputs,
+//!   never transient glitches from unequal-depth reconvergent paths),
+//! * an output port transmits only when its value **changes** (the eBlocks
+//!   packet protocol),
+//! * time-driven blocks receive periodic `tick` events; only communication
+//!   blocks add real latency (a radio/X10 hop is not instantaneous).
+//!
+//! Glitch-freedom matters for synthesis: a merged programmable block
+//! evaluates its member trees in level order against latched inputs, which
+//! is exactly this model. Under per-hop latencies instead, an edge-triggered
+//! block (trip, toggle) could observe hazard pulses that depend on wire
+//! lengths — behavior no merged program can reproduce and that the physical
+//! human-scale system does not exhibit.
+
+use crate::error::SimError;
+use crate::fault::{FaultPlan, ResolvedFaults};
+use crate::stimulus::Stimulus;
+use crate::trace::Trace;
+use eblocks_behavior::{check, library, parse, Machine, Program, Value};
+use eblocks_core::{BlockId, BlockKind, Design};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulation time, in abstract ticks. One tick is the period of `on tick`
+/// events; eBlocks operate on human-scale timing, so finer resolution adds
+/// nothing (§3.1).
+pub type Time = u64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// A sensor changes value (from the stimulus script).
+    Sense { sensor: BlockId, value: bool },
+    /// A packet arrives at an input port.
+    Deliver { to: BlockId, port: u8, value: bool },
+    /// A periodic tick for a time-driven block.
+    Tick { block: BlockId },
+}
+
+/// A configured simulator for one design.
+///
+/// Construction compiles every block's behavior program ([`library`] for
+/// pre-defined blocks, caller-supplied programs for programmable blocks)
+/// and checks it against the block's arity. Each [`Simulator::run`] starts
+/// from power-on state.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    design: Design,
+    programs: HashMap<BlockId, Program>,
+    /// Extra latency of communication blocks (radio/X10 hop), in ticks.
+    pub comm_latency: Time,
+    /// Period of `on tick` events.
+    pub tick_period: Time,
+}
+
+impl Simulator {
+    /// Builds a simulator using the standard behavior library. Fails if the
+    /// design contains programmable blocks (their programs are synthesis
+    /// artifacts — use [`Simulator::with_programs`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidDesign`] if validation fails,
+    /// [`SimError::MissingProgram`] for unprogrammed programmable blocks.
+    pub fn new(design: &Design) -> Result<Self, SimError> {
+        Self::with_programs(design, HashMap::new())
+    }
+
+    /// Builds a simulator supplying behavior programs for programmable
+    /// blocks (keyed by block id).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulator::new`], plus [`SimError::BadProgram`] if a
+    /// supplied program fails [`check`](fn@check) against the block's pin budget.
+    pub fn with_programs(
+        design: &Design,
+        programs: HashMap<BlockId, Program>,
+    ) -> Result<Self, SimError> {
+        design.validate()?;
+        let mut compiled: HashMap<BlockId, Program> = HashMap::new();
+        for id in design.blocks() {
+            let block = design.block(id).expect("iterated block");
+            let program = match block.kind() {
+                BlockKind::Compute(kind) => library::program_for(kind),
+                BlockKind::Comm(_) => parse("on input { out0 = in0; }").expect("identity parses"),
+                BlockKind::Programmable(_) => {
+                    programs
+                        .get(&id)
+                        .cloned()
+                        .ok_or_else(|| SimError::MissingProgram {
+                            block: block.name().to_string(),
+                        })?
+                }
+                BlockKind::Sensor(_) | BlockKind::Output(_) => continue,
+            };
+            let errors = check(&program, block.num_inputs(), block.num_outputs());
+            if let Some(error) = errors.into_iter().next() {
+                return Err(SimError::BadProgram {
+                    block: block.name().to_string(),
+                    error,
+                });
+            }
+            compiled.insert(id, program);
+        }
+        Ok(Self {
+            design: design.clone(),
+            programs: compiled,
+            comm_latency: 3,
+            tick_period: 1,
+        })
+    }
+
+    /// Runs the stimulus script until `until`, returning the packet history
+    /// of every output block.
+    ///
+    /// The run starts from power-on: every line low, every sensor `false`
+    /// and announcing its initial value, every state variable at its
+    /// initializer.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSensor`] for unresolvable stimulus entries,
+    /// [`SimError::Eval`] / [`SimError::NonBooleanPacket`] for faulting
+    /// behavior programs.
+    pub fn run(&self, stimulus: &Stimulus, until: Time) -> Result<Trace, SimError> {
+        self.run_with_faults(stimulus, until, &FaultPlan::new())
+    }
+
+    /// The design this simulator was built for.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// [`run`](Self::run) with injected faults (see [`crate::fault`]):
+    /// stuck sensors, dropped packets, delayed packets.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_with_faults(
+        &self,
+        stimulus: &Stimulus,
+        until: Time,
+        plan: &FaultPlan,
+    ) -> Result<Trace, SimError> {
+        let mut runner = Runner::new(self, plan.resolve(&self.design))?;
+        runner.load_stimulus(stimulus)?;
+        runner.run(until)?;
+        Ok(runner.trace)
+    }
+}
+
+/// Heap key: `(time, stage, topo rank, sub, seq)`. Stage orders sensor
+/// changes before block evaluations; topological rank makes the zero-latency
+/// cascade converge in a single sweep per instant; `sub` puts a block's tick
+/// before its deliveries; `seq` keeps the remainder FIFO.
+type Key = (Time, u8, usize, u8, u64);
+
+struct Runner<'a> {
+    sim: &'a Simulator,
+    rank: HashMap<BlockId, usize>,
+    machines: HashMap<BlockId, Machine>,
+    inputs: HashMap<BlockId, Vec<Value>>,
+    last_sent: HashMap<BlockId, Vec<Option<bool>>>,
+    sensor_values: HashMap<BlockId, bool>,
+    queue: BinaryHeap<Reverse<(Key, Event)>>,
+    seq: u64,
+    faults: ResolvedFaults,
+    trace: Trace,
+}
+
+impl<'a> Runner<'a> {
+    fn new(sim: &'a Simulator, faults: ResolvedFaults) -> Result<Self, SimError> {
+        let design = &sim.design;
+        let rank: HashMap<BlockId, usize> = design
+            .topo_order()
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| (b, i))
+            .collect();
+        let machines: HashMap<BlockId, Machine> = sim
+            .programs
+            .iter()
+            .map(|(&id, p)| (id, Machine::new(p)))
+            .collect();
+        let mut inputs = HashMap::new();
+        let mut last_sent = HashMap::new();
+        for id in design.blocks() {
+            let b = design.block(id).expect("iterated block");
+            inputs.insert(id, vec![Value::Bool(false); b.num_inputs() as usize]);
+            last_sent.insert(id, vec![None; b.num_outputs() as usize]);
+        }
+        let trace = Trace::with_outputs(
+            design
+                .outputs()
+                .map(|o| design.block(o).expect("output block").name().to_string()),
+        );
+        let mut runner = Self {
+            sim,
+            rank,
+            machines,
+            inputs,
+            last_sent,
+            sensor_values: design.sensors().map(|s| (s, false)).collect(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            faults,
+            trace,
+        };
+        // Power-on: sensors announce their initial low value.
+        for s in design.sensors() {
+            runner.push(0, Event::Sense { sensor: s, value: false });
+        }
+        // First tick for time-driven blocks, in id order (determinism).
+        let mut tick_blocks: Vec<BlockId> = runner
+            .machines
+            .iter()
+            .filter(|(_, m)| m.uses_tick())
+            .map(|(&id, _)| id)
+            .collect();
+        tick_blocks.sort();
+        for id in tick_blocks {
+            runner.push(sim.tick_period, Event::Tick { block: id });
+        }
+        Ok(runner)
+    }
+
+    fn key(&mut self, t: Time, e: &Event) -> Key {
+        let seq = self.seq;
+        self.seq += 1;
+        match e {
+            Event::Sense { sensor, .. } => (t, 0, sensor.index(), 0, seq),
+            Event::Tick { block } => (t, 1, self.rank[block], 0, seq),
+            Event::Deliver { to, port, .. } => (t, 1, self.rank[to], 1 + port, seq),
+        }
+    }
+
+    fn push(&mut self, t: Time, e: Event) {
+        let key = self.key(t, &e);
+        self.queue.push(Reverse((key, e)));
+    }
+
+    fn load_stimulus(&mut self, stimulus: &Stimulus) -> Result<(), SimError> {
+        for (t, name, value) in stimulus.events() {
+            let id = self
+                .sim
+                .design
+                .block_by_name(&name)
+                .filter(|&b| {
+                    self.sim
+                        .design
+                        .block(b)
+                        .is_some_and(|blk| blk.kind().is_primary_input())
+                })
+                .ok_or_else(|| SimError::UnknownSensor { name: name.clone() })?;
+            self.push(t, Event::Sense { sensor: id, value });
+        }
+        Ok(())
+    }
+
+    fn run(&mut self, until: Time) -> Result<(), SimError> {
+        while let Some(&Reverse(((t, ..), event))) = self.queue.peek() {
+            if t > until {
+                break;
+            }
+            self.queue.pop();
+            match event {
+                Event::Sense { sensor, value } => {
+                    // A stuck sensor reports its stuck value regardless of
+                    // what the environment does.
+                    let value = self.faults.stuck_value(sensor).unwrap_or(value);
+                    let entry = self.sensor_values.get_mut(&sensor).expect("known sensor");
+                    let is_initial = self.last_sent[&sensor][0].is_none();
+                    if *entry != value || is_initial {
+                        *entry = value;
+                        self.transmit(sensor, 0, value, t)?;
+                    }
+                }
+                Event::Deliver { to, port, value } => {
+                    self.deliver(to, port, value, t)?;
+                }
+                Event::Tick { block } => {
+                    let outs = self
+                        .machines
+                        .get_mut(&block)
+                        .expect("ticked blocks have machines")
+                        .on_tick()
+                        .map_err(|error| self.eval_error(block, error))?;
+                    self.emit(block, outs, t)?;
+                    if t + self.sim.tick_period <= until {
+                        self.push(t + self.sim.tick_period, Event::Tick { block });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Handles a delivery, coalescing every other packet bound for the same
+    /// block at the same instant into a single evaluation.
+    fn deliver(&mut self, to: BlockId, port: u8, value: bool, t: Time) -> Result<(), SimError> {
+        let design = &self.sim.design;
+        let block = design.block(to).expect("delivery target");
+        if matches!(block.kind(), BlockKind::Output(_)) {
+            self.trace.record(block.name(), t, value);
+            return Ok(());
+        }
+
+        {
+            let latched = self.inputs.get_mut(&to).expect("known block");
+            latched[port as usize] = Value::Bool(value);
+        }
+        // Coalesce: drain queued same-instant deliveries to this block.
+        while let Some(&Reverse(((qt, stage, _, _, _), qe))) = self.queue.peek() {
+            let Event::Deliver { to: qto, port: qport, value: qvalue } = qe else {
+                break;
+            };
+            if qt != t || stage != 1 || qto != to {
+                break;
+            }
+            self.queue.pop();
+            self.inputs.get_mut(&to).expect("known block")[qport as usize] = Value::Bool(qvalue);
+        }
+
+        let outs = self
+            .machines
+            .get_mut(&to)
+            .expect("non-output blocks have machines")
+            .on_input(&self.inputs[&to])
+            .map_err(|error| self.eval_error(to, error))?;
+        self.emit(to, outs, t)
+    }
+
+    fn eval_error(&self, block: BlockId, error: eblocks_behavior::EvalError) -> SimError {
+        SimError::Eval {
+            block: self
+                .sim
+                .design
+                .block(block)
+                .expect("faulting block")
+                .name()
+                .to_string(),
+            error,
+        }
+    }
+
+    /// Sends the handler's written outputs, applying change detection.
+    fn emit(&mut self, from: BlockId, outs: HashMap<u8, Value>, t: Time) -> Result<(), SimError> {
+        // Deterministic port order.
+        let mut ports: Vec<(u8, Value)> = outs.into_iter().collect();
+        ports.sort_by_key(|&(p, _)| p);
+        for (port, value) in ports {
+            let Value::Bool(b) = value else {
+                return Err(SimError::NonBooleanPacket {
+                    block: self
+                        .sim
+                        .design
+                        .block(from)
+                        .expect("emitting block")
+                        .name()
+                        .to_string(),
+                    port,
+                });
+            };
+            self.transmit(from, port, b, t)?;
+        }
+        Ok(())
+    }
+
+    /// Transmits `value` on `(from, port)` if it differs from the last
+    /// transmitted value (or nothing was ever sent). Wires are instant;
+    /// communication blocks add `comm_latency`.
+    fn transmit(&mut self, from: BlockId, port: u8, value: bool, t: Time) -> Result<(), SimError> {
+        let slot = &mut self.last_sent.get_mut(&from).expect("known block")[port as usize];
+        if *slot == Some(value) {
+            return Ok(());
+        }
+        *slot = Some(value);
+        let wires: Vec<_> = self.sim.design.sinks_of(from, port).collect();
+        // Energy accounting: the sender spends a transmission per driven
+        // wire whether or not a fault loses the packet in flight.
+        let sender_name = self.sim.design.block(from).expect("sender").name().to_string();
+        self.trace.count_transmissions(&sender_name, wires.len() as u64);
+        // Injected sender faults: the packet counts as sent (no ack in the
+        // eBlocks protocol, so change detection above stands) but may be
+        // lost or late in flight.
+        let Some(extra) = self.faults.send_fate(from, t) else {
+            return Ok(());
+        };
+        let latency = extra
+            + match self.sim.design.block(from).expect("sender").kind() {
+                BlockKind::Comm(_) => self.sim.comm_latency,
+                _ => 0,
+            };
+        for w in wires {
+            self.push(
+                t + latency,
+                Event::Deliver {
+                    to: w.to,
+                    port: w.to_port,
+                    value,
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblocks_core::{ComputeKind, OutputKind, SensorKind};
+
+    fn and_design() -> Design {
+        let mut d = Design::new("and");
+        let a = d.add_block("a", SensorKind::Button);
+        let b = d.add_block("b", SensorKind::Motion);
+        let g = d.add_block("g", ComputeKind::and2());
+        let o = d.add_block("led", OutputKind::Led);
+        d.connect((a, 0), (g, 0)).unwrap();
+        d.connect((b, 0), (g, 1)).unwrap();
+        d.connect((g, 0), (o, 0)).unwrap();
+        d
+    }
+
+    #[test]
+    fn and_gate_tracks_inputs() {
+        let d = and_design();
+        let sim = Simulator::new(&d).unwrap();
+        let stim = Stimulus::new()
+            .set(10, "a", true)
+            .set(20, "b", true)
+            .set(30, "a", false);
+        let trace = sim.run(&stim, 100).unwrap();
+        assert_eq!(trace.value_at("led", 15), Some(false), "only a high");
+        assert_eq!(trace.value_at("led", 25), Some(true), "both high");
+        assert_eq!(trace.final_value("led"), Some(false), "a dropped");
+    }
+
+    #[test]
+    fn initial_state_propagates() {
+        let d = and_design();
+        let sim = Simulator::new(&d).unwrap();
+        let trace = sim.run(&Stimulus::new(), 50).unwrap();
+        // Power-on false propagates to the LED instantly, with no stimulus.
+        assert_eq!(trace.history("led"), &[(0, false)]);
+    }
+
+    #[test]
+    fn change_detection_suppresses_duplicates() {
+        let d = and_design();
+        let sim = Simulator::new(&d).unwrap();
+        // Setting `a` true repeatedly must not generate extra packets.
+        let stim = Stimulus::new()
+            .set(10, "a", true)
+            .set(12, "a", true)
+            .set(14, "a", true);
+        let trace = sim.run(&stim, 100).unwrap();
+        // LED sees exactly one packet: the initial false. (a=1, b=0 keeps
+        // the AND at false, suppressed by change detection.)
+        assert_eq!(trace.history("led").len(), 1);
+    }
+
+    #[test]
+    fn simultaneous_input_changes_coalesce() {
+        // Both AND inputs rise in the same instant: the gate must evaluate
+        // once with both new values, not glitch through (true, old-false).
+        let d = and_design();
+        let sim = Simulator::new(&d).unwrap();
+        let stim = Stimulus::new().set(10, "a", true).set(10, "b", true);
+        let trace = sim.run(&stim, 50).unwrap();
+        assert_eq!(trace.history("led"), &[(0, false), (10, true)]);
+    }
+
+    #[test]
+    fn glitch_free_reconvergence() {
+        // s -> sp -> (direct, not) -> xor: the settled XOR of a signal and
+        // its negation is constant true; a hazard model would emit a
+        // transient. The delta-cycle model must show no glitch packets.
+        let mut d = Design::new("haz");
+        let s = d.add_block("s", SensorKind::Button);
+        let sp = d.add_block("sp", ComputeKind::Splitter);
+        let n = d.add_block("n", ComputeKind::Not);
+        let x = d.add_block("x", ComputeKind::xor2());
+        let o = d.add_block("led", OutputKind::Led);
+        d.connect((s, 0), (sp, 0)).unwrap();
+        d.connect((sp, 0), (n, 0)).unwrap();
+        d.connect((sp, 1), (x, 0)).unwrap();
+        d.connect((n, 0), (x, 1)).unwrap();
+        d.connect((x, 0), (o, 0)).unwrap();
+        let sim = Simulator::new(&d).unwrap();
+        let stim = Stimulus::new().set(10, "s", true).set(20, "s", false);
+        let trace = sim.run(&stim, 60).unwrap();
+        assert_eq!(trace.history("led"), &[(0, true)], "xor(v, !v) never changes");
+    }
+
+    #[test]
+    fn toggle_flips_per_press() {
+        let mut d = Design::new("t");
+        let b = d.add_block("btn", SensorKind::Button);
+        let t = d.add_block("tog", ComputeKind::Toggle);
+        let o = d.add_block("led", OutputKind::Led);
+        d.connect((b, 0), (t, 0)).unwrap();
+        d.connect((t, 0), (o, 0)).unwrap();
+        let sim = Simulator::new(&d).unwrap();
+        let stim = Stimulus::new()
+            .pulse(10, 5, "btn")
+            .pulse(30, 5, "btn")
+            .pulse(50, 5, "btn");
+        let trace = sim.run(&stim, 100).unwrap();
+        assert_eq!(trace.value_at("led", 20), Some(true));
+        assert_eq!(trace.value_at("led", 40), Some(false));
+        assert_eq!(trace.final_value("led"), Some(true));
+    }
+
+    #[test]
+    fn pulse_gen_expires() {
+        let mut d = Design::new("p");
+        let b = d.add_block("btn", SensorKind::Button);
+        let p = d.add_block("pg", ComputeKind::PulseGen { ticks: 5 });
+        let o = d.add_block("led", OutputKind::Led);
+        d.connect((b, 0), (p, 0)).unwrap();
+        d.connect((p, 0), (o, 0)).unwrap();
+        let sim = Simulator::new(&d).unwrap();
+        let stim = Stimulus::new().set(10, "btn", true);
+        let trace = sim.run(&stim, 100).unwrap();
+        assert_eq!(trace.value_at("led", 12), Some(true), "pulse active");
+        assert_eq!(trace.final_value("led"), Some(false), "pulse expired");
+        // Rise at 10 (instant wire), fall 5 ticks later.
+        assert_eq!(trace.history("led"), &[(0, false), (10, true), (15, false)]);
+    }
+
+    #[test]
+    fn garage_open_at_night() {
+        // The paper's flagship example: door open AND dark -> LED.
+        let mut d = Design::new("garage");
+        let door = d.add_block("door", SensorKind::ContactSwitch);
+        let light = d.add_block("light", SensorKind::Light);
+        let inv = d.add_block("inv", ComputeKind::Not);
+        let both = d.add_block("both", ComputeKind::and2());
+        let led = d.add_block("led", OutputKind::Led);
+        d.connect((door, 0), (both, 0)).unwrap();
+        d.connect((light, 0), (inv, 0)).unwrap();
+        d.connect((inv, 0), (both, 1)).unwrap();
+        d.connect((both, 0), (led, 0)).unwrap();
+        let sim = Simulator::new(&d).unwrap();
+
+        let stim = Stimulus::new()
+            .set(5, "light", true)
+            .set(20, "door", true)
+            .set(40, "light", false)
+            .set(60, "door", false);
+        let trace = sim.run(&stim, 120).unwrap();
+        assert_eq!(trace.value_at("led", 30), Some(false), "daytime");
+        assert_eq!(trace.value_at("led", 50), Some(true), "open at night");
+        assert_eq!(trace.final_value("led"), Some(false), "closed");
+    }
+
+    #[test]
+    fn comm_block_relays_with_latency() {
+        let mut d = Design::new("radio");
+        let b = d.add_block("btn", SensorKind::Button);
+        let tx = d.add_block("tx", eblocks_core::CommKind::WirelessTx);
+        let o = d.add_block("led", OutputKind::Led);
+        d.connect((b, 0), (tx, 0)).unwrap();
+        d.connect((tx, 0), (o, 0)).unwrap();
+        let sim = Simulator::new(&d).unwrap();
+        let trace = sim.run(&Stimulus::new().set(10, "btn", true), 50).unwrap();
+        assert_eq!(trace.final_value("led"), Some(true));
+        let rise = trace
+            .history("led")
+            .iter()
+            .find(|&&(_, v)| v)
+            .map(|&(t, _)| t)
+            .unwrap();
+        // Wires are instant; the radio hop costs comm_latency.
+        assert_eq!(rise, 10 + sim.comm_latency);
+    }
+
+    #[test]
+    fn unknown_sensor_rejected() {
+        let d = and_design();
+        let sim = Simulator::new(&d).unwrap();
+        let err = sim.run(&Stimulus::new().set(5, "ghost", true), 10).unwrap_err();
+        assert!(matches!(err, SimError::UnknownSensor { .. }));
+        // Driving a non-sensor block is also rejected.
+        let err = sim.run(&Stimulus::new().set(5, "g", true), 10).unwrap_err();
+        assert!(matches!(err, SimError::UnknownSensor { .. }));
+    }
+
+    #[test]
+    fn invalid_design_rejected() {
+        let mut d = Design::new("bad");
+        d.add_block("g", ComputeKind::and2());
+        assert!(matches!(
+            Simulator::new(&d),
+            Err(SimError::InvalidDesign(_))
+        ));
+    }
+
+    #[test]
+    fn programmable_block_needs_program() {
+        let mut d = Design::new("prog");
+        let s = d.add_block("s", SensorKind::Button);
+        let p = d.add_block("p", eblocks_core::ProgrammableSpec::new(1, 1));
+        let o = d.add_block("led", OutputKind::Led);
+        d.connect((s, 0), (p, 0)).unwrap();
+        d.connect((p, 0), (o, 0)).unwrap();
+        assert!(matches!(
+            Simulator::new(&d),
+            Err(SimError::MissingProgram { .. })
+        ));
+
+        let program = parse("on input { out0 = !in0; }").unwrap();
+        let sim = Simulator::with_programs(&d, HashMap::from([(p, program)])).unwrap();
+        let trace = sim.run(&Stimulus::new().set(10, "s", true), 50).unwrap();
+        assert_eq!(trace.final_value("led"), Some(false));
+    }
+
+    #[test]
+    fn bad_program_rejected_at_build() {
+        let mut d = Design::new("prog2");
+        let s = d.add_block("s", SensorKind::Button);
+        let p = d.add_block("p", eblocks_core::ProgrammableSpec::new(1, 1));
+        let o = d.add_block("led", OutputKind::Led);
+        d.connect((s, 0), (p, 0)).unwrap();
+        d.connect((p, 0), (o, 0)).unwrap();
+        // References in5 on a 1-input block.
+        let program = parse("on input { out0 = in5; }").unwrap();
+        assert!(matches!(
+            Simulator::with_programs(&d, HashMap::from([(p, program)])),
+            Err(SimError::BadProgram { .. })
+        ));
+    }
+
+    #[test]
+    fn runs_are_repeatable() {
+        let d = and_design();
+        let sim = Simulator::new(&d).unwrap();
+        let stim = Stimulus::new().set(10, "a", true).set(11, "b", true).set(12, "a", false);
+        let t1 = sim.run(&stim, 200).unwrap();
+        let t2 = sim.run(&stim, 200).unwrap();
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Sensor stimulus scripts.
+
+use crate::sim::Time;
+
+/// A time-ordered script of sensor value changes, addressed by sensor block
+/// name — the headless replacement for clicking sensor icons in the paper's
+/// GUI simulator.
+///
+/// ```
+/// use eblocks_sim::Stimulus;
+/// let stim = Stimulus::new()
+///     .set(5, "button", true)
+///     .set(20, "button", false)
+///     .pulse(40, 10, "motion");
+/// assert_eq!(stim.events().len(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stimulus {
+    events: Vec<(Time, String, bool)>,
+}
+
+impl Stimulus {
+    /// An empty stimulus (all sensors stay at their initial `false`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `sensor` to `value` at `time`.
+    pub fn set(mut self, time: Time, sensor: impl Into<String>, value: bool) -> Self {
+        self.events.push((time, sensor.into(), value));
+        self
+    }
+
+    /// Raises `sensor` at `time` and lowers it `width` later.
+    pub fn pulse(self, time: Time, width: Time, sensor: impl Into<String>) -> Self {
+        let name = sensor.into();
+        self.set(time, name.clone(), true).set(time + width, name, false)
+    }
+
+    /// The script, sorted by time (stable for equal times).
+    pub fn events(&self) -> Vec<(Time, String, bool)> {
+        let mut ev = self.events.clone();
+        ev.sort_by_key(|(t, _, _)| *t);
+        ev
+    }
+
+    /// The time of the last scripted change, if any.
+    pub fn end_time(&self) -> Option<Time> {
+        self.events.iter().map(|(t, _, _)| *t).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_sorted_by_time() {
+        let s = Stimulus::new().set(30, "a", true).set(10, "b", false).set(20, "a", false);
+        let ev = s.events();
+        assert_eq!(ev[0].0, 10);
+        assert_eq!(ev[2].0, 30);
+        assert_eq!(s.end_time(), Some(30));
+    }
+
+    #[test]
+    fn pulse_expands_to_two_events() {
+        let s = Stimulus::new().pulse(100, 5, "btn");
+        let ev = s.events();
+        assert_eq!(ev, vec![(100, "btn".to_string(), true), (105, "btn".to_string(), false)]);
+    }
+
+    #[test]
+    fn empty_has_no_end() {
+        assert_eq!(Stimulus::new().end_time(), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! Value Change Dump (VCD) export for simulation traces.
+//!
+//! VCD is the standard waveform interchange format (IEEE 1364); exporting
+//! lets traces open in GTKWave and friends — the modern equivalent of
+//! watching the paper's GUI LEDs blink.
+
+use crate::sim::Time;
+use crate::trace::Trace;
+use std::fmt::Write;
+
+/// Renders a trace as a VCD document covering `[0, until]`.
+///
+/// Each output block becomes a 1-bit wire. Outputs that never received a
+/// packet dump as `x` (unknown) until their first packet, matching VCD
+/// conventions.
+pub fn to_vcd(trace: &Trace, design_name: &str, until: Time) -> String {
+    let outputs: Vec<&str> = trace.outputs().collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "$comment eblocks simulation of {design_name} $end");
+    let _ = writeln!(out, "$timescale 1 us $end");
+    let _ = writeln!(out, "$scope module {} $end", sanitize(design_name));
+    for (i, name) in outputs.iter().enumerate() {
+        let _ = writeln!(out, "$var wire 1 {} {} $end", code(i), sanitize(name));
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    // Initial values.
+    out.push_str("$dumpvars\n");
+    for (i, name) in outputs.iter().enumerate() {
+        let ch = match trace.value_at(name, 0) {
+            Some(true) => '1',
+            Some(false) => '0',
+            None => 'x',
+        };
+        let _ = writeln!(out, "{ch}{}", code(i));
+    }
+    out.push_str("$end\n");
+
+    // Merge all per-output histories into a single time-ordered dump.
+    let mut events: Vec<(Time, usize, bool)> = Vec::new();
+    for (i, name) in outputs.iter().enumerate() {
+        for &(t, v) in trace.history(name) {
+            if t > 0 && t <= until {
+                events.push((t, i, v));
+            }
+        }
+    }
+    events.sort_unstable();
+    let mut last_time = None;
+    for (t, i, v) in events {
+        if last_time != Some(t) {
+            let _ = writeln!(out, "#{t}");
+            last_time = Some(t);
+        }
+        let _ = writeln!(out, "{}{}", if v { '1' } else { '0' }, code(i));
+    }
+    let _ = writeln!(out, "#{until}");
+    out
+}
+
+/// Compact printable identifier codes (`!`, `"`, `#`, … per VCD custom).
+fn code(i: usize) -> String {
+    let mut s = String::new();
+    let mut v = i;
+    loop {
+        s.push((b'!' + (v % 94) as u8) as char);
+        v /= 94;
+        if v == 0 {
+            break;
+        }
+    }
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use crate::stimulus::Stimulus;
+    use eblocks_core::{ComputeKind, Design, OutputKind, SensorKind};
+
+    fn sample_trace() -> Trace {
+        let mut d = Design::new("vcd-demo");
+        let s = d.add_block("btn", SensorKind::Button);
+        let n = d.add_block("inv", ComputeKind::Not);
+        let o = d.add_block("led", OutputKind::Led);
+        d.connect((s, 0), (n, 0)).unwrap();
+        d.connect((n, 0), (o, 0)).unwrap();
+        Simulator::new(&d)
+            .unwrap()
+            .run(&Stimulus::new().pulse(25, 10, "btn"), 80)
+            .unwrap()
+    }
+
+    #[test]
+    fn header_and_vars_present() {
+        let vcd = to_vcd(&sample_trace(), "vcd-demo", 80);
+        assert!(vcd.contains("$timescale 1 us $end"), "{vcd}");
+        assert!(vcd.contains("$var wire 1 ! led $end"), "{vcd}");
+        assert!(vcd.contains("$enddefinitions $end"), "{vcd}");
+    }
+
+    #[test]
+    fn value_changes_in_time_order() {
+        let vcd = to_vcd(&sample_trace(), "vcd-demo", 80);
+        // led = !btn: high at 0, low at 25, high again at 35.
+        assert!(vcd.contains("$dumpvars\n1!"), "{vcd}");
+        assert!(vcd.contains("#25\n0!"), "{vcd}");
+        assert!(vcd.contains("#35\n1!"), "{vcd}");
+        let times: Vec<u64> = vcd
+            .lines()
+            .filter_map(|l| l.strip_prefix('#').and_then(|t| t.parse().ok()))
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+    }
+
+    #[test]
+    fn silent_outputs_dump_unknown() {
+        let trace = Trace::with_outputs(["mute".to_string()]);
+        let vcd = to_vcd(&trace, "d", 10);
+        assert!(vcd.contains("$dumpvars\nx!"), "{vcd}");
+    }
+
+    #[test]
+    fn identifier_codes_unique_and_printable() {
+        let codes: Vec<String> = (0..200).map(code).collect();
+        let unique: std::collections::HashSet<&String> = codes.iter().collect();
+        assert_eq!(unique.len(), codes.len());
+        assert!(codes.iter().all(|c| c.chars().all(|ch| ('!'..='~').contains(&ch))));
+    }
+
+    #[test]
+    fn names_sanitized() {
+        assert_eq!(sanitize("z1 siren/main"), "z1_siren_main");
+    }
+}

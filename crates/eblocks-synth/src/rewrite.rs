@@ -1,0 +1,193 @@
+//! Network rewriting: replace partitions with programmable blocks.
+
+use crate::error::SynthError;
+use eblocks_codegen::MergedProgram;
+use eblocks_core::{BlockId, Design, ProgrammableSpec};
+use std::collections::{HashMap, HashSet};
+
+/// Builds the synthesized network: every partition's members are removed,
+/// one programmable block per partition is added (named `prog0`, `prog1`,
+/// …), and wires crossing a partition boundary are rerouted to the pin
+/// assignment recorded in each [`MergedProgram`].
+///
+/// Returns the new design plus the id of each programmable block (indexed
+/// like `partitions`).
+///
+/// # Errors
+///
+/// Propagates [`eblocks_core::DesignError`]s as [`SynthError::InvalidDesign`]
+/// (only reachable if the partitioning or pin maps are inconsistent).
+pub fn rewrite_network(
+    design: &Design,
+    partitions: &[Vec<BlockId>],
+    merged: &[MergedProgram],
+    spec: ProgrammableSpec,
+) -> Result<(Design, Vec<BlockId>), SynthError> {
+    assert_eq!(partitions.len(), merged.len(), "one program per partition");
+
+    let mut covered: HashMap<BlockId, usize> = HashMap::new();
+    for (i, partition) in partitions.iter().enumerate() {
+        for &m in partition {
+            covered.insert(m, i);
+        }
+    }
+
+    let mut new_design = Design::new(format!("{}-synth", design.name()));
+
+    // Copy every surviving block under its original name.
+    let mut id_map: HashMap<BlockId, BlockId> = HashMap::new();
+    for id in design.blocks() {
+        if covered.contains_key(&id) {
+            continue;
+        }
+        let block = design.block(id).expect("iterated block");
+        let new_id = new_design.try_add_block(block.name(), block.kind())?;
+        id_map.insert(id, new_id);
+    }
+
+    // One programmable block per partition.
+    let mut prog_ids: Vec<BlockId> = Vec::new();
+    for i in 0..partitions.len() {
+        let id = new_design.try_add_block(format!("prog{i}"), spec)?;
+        prog_ids.push(id);
+    }
+
+    // Resolve an original source (block, port) to the new network.
+    let resolve_src = |b: BlockId, port: u8| -> (BlockId, u8) {
+        match covered.get(&b) {
+            Some(&i) => {
+                let pin = merged[i]
+                    .output_map
+                    .iter()
+                    .position(|&(mb, mp)| (mb, mp) == (b, port))
+                    .expect("crossing source port must be in the output map");
+                (prog_ids[i], pin as u8)
+            }
+            None => (id_map[&b], port),
+        }
+    };
+
+    // Wires: internal-to-partition wires vanish; crossing wires reroute.
+    // Several original wires can collapse onto one new wire (a signal
+    // entering a partition occupies one pin regardless of how many members
+    // consumed it), so dedup.
+    let mut made: HashSet<((BlockId, u8), (BlockId, u8))> = HashSet::new();
+    for w in design.wires() {
+        let src_part = covered.get(&w.from).copied();
+        let dst_part = covered.get(&w.to).copied();
+        if src_part.is_some() && src_part == dst_part {
+            continue; // internalized
+        }
+        let from = resolve_src(w.from, w.from_port);
+        let to = match dst_part {
+            Some(i) => {
+                let pin = merged[i]
+                    .input_map
+                    .iter()
+                    .position(|&(mb, mp)| (mb, mp) == (w.from, w.from_port))
+                    .expect("crossing input signal must be in the input map");
+                (prog_ids[i], pin as u8)
+            }
+            None => (id_map[&w.to], w.to_port),
+        };
+        if made.insert((from, to)) {
+            new_design.connect(from, to)?;
+        }
+    }
+
+    Ok((new_design, prog_ids))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblocks_codegen::merge_partition;
+    use eblocks_core::{ComputeKind, OutputKind, SensorKind};
+
+    #[test]
+    fn garage_rewrite_produces_programmable_network() {
+        let mut d = Design::new("garage");
+        let door = d.add_block("door", SensorKind::ContactSwitch);
+        let light = d.add_block("light", SensorKind::Light);
+        let inv = d.add_block("inv", ComputeKind::Not);
+        let both = d.add_block("both", ComputeKind::and2());
+        let led = d.add_block("led", OutputKind::Led);
+        d.connect((door, 0), (both, 0)).unwrap();
+        d.connect((light, 0), (inv, 0)).unwrap();
+        d.connect((inv, 0), (both, 1)).unwrap();
+        d.connect((both, 0), (led, 0)).unwrap();
+
+        let spec = ProgrammableSpec::default();
+        let partition = vec![inv, both];
+        let merged = merge_partition(&d, &partition, spec).unwrap();
+        let (synth, progs) =
+            rewrite_network(&d, &[partition], std::slice::from_ref(&merged), spec).unwrap();
+
+        synth.validate().unwrap();
+        assert_eq!(progs.len(), 1);
+        let census = synth.census();
+        assert_eq!(census.inner, 0);
+        assert_eq!(census.programmable, 1);
+        assert_eq!(census.sensors, 2);
+        assert_eq!(census.outputs, 1);
+        // door and light feed distinct pins; the LED hangs off a prog pin.
+        let p = progs[0];
+        assert_eq!(synth.indegree(p), 2);
+        assert_eq!(synth.outdegree(p), 1);
+        assert!(synth.block_by_name("inv").is_none(), "members removed");
+        assert!(synth.block_by_name("door").is_some(), "sensors survive");
+    }
+
+    #[test]
+    fn shared_input_signal_collapses_to_one_wire() {
+        // One sensor feeding two members through the same port: the
+        // rewritten network must wire the sensor to the prog block once.
+        let mut d = Design::new("share");
+        let s = d.add_block("s", SensorKind::Button);
+        let a = d.add_block("a", ComputeKind::Not);
+        let b = d.add_block("b", ComputeKind::Toggle);
+        let g = d.add_block("g", ComputeKind::and2());
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s, 0), (a, 0)).unwrap();
+        d.connect((s, 0), (b, 0)).unwrap();
+        d.connect((a, 0), (g, 0)).unwrap();
+        d.connect((b, 0), (g, 1)).unwrap();
+        d.connect((g, 0), (o, 0)).unwrap();
+
+        let spec = ProgrammableSpec::default();
+        let partition = vec![a, b, g];
+        let merged = merge_partition(&d, &partition, spec).unwrap();
+        assert_eq!(merged.input_map.len(), 1, "one shared signal");
+        let (synth, progs) =
+            rewrite_network(&d, &[partition], std::slice::from_ref(&merged), spec).unwrap();
+        synth.validate().unwrap();
+        assert_eq!(synth.indegree(progs[0]), 1);
+    }
+
+    #[test]
+    fn uncovered_blocks_and_cross_wires_survive() {
+        // chain: s -> x -> y -> o with only {x} ... single-member partitions
+        // are not allowed, so partition {x, y} minus nothing; instead leave
+        // z uncovered downstream: s -> x -> y -> z -> o, partition {x, y}.
+        let mut d = Design::new("mix");
+        let s = d.add_block("s", SensorKind::Button);
+        let x = d.add_block("x", ComputeKind::Not);
+        let y = d.add_block("y", ComputeKind::Toggle);
+        let z = d.add_block("z", ComputeKind::Not);
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s, 0), (x, 0)).unwrap();
+        d.connect((x, 0), (y, 0)).unwrap();
+        d.connect((y, 0), (z, 0)).unwrap();
+        d.connect((z, 0), (o, 0)).unwrap();
+
+        let spec = ProgrammableSpec::default();
+        let partition = vec![x, y];
+        let merged = merge_partition(&d, &partition, spec).unwrap();
+        let (synth, progs) =
+            rewrite_network(&d, &[partition], std::slice::from_ref(&merged), spec).unwrap();
+        synth.validate().unwrap();
+        let z_new = synth.block_by_name("z").unwrap();
+        assert_eq!(synth.driver_of(z_new, 0).unwrap().from, progs[0]);
+        assert_eq!(synth.census().inner, 1, "z stays pre-defined");
+    }
+}

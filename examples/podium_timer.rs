@@ -1,0 +1,67 @@
+//! Replays the paper's Fig. 5 walk-through: PareDown on the Podium Timer 3
+//! design, printing every rank computation and removal decision.
+//!
+//! Run with: `cargo run --example podium_timer`
+
+use eblocks::designs::podium_timer_3;
+use eblocks::partition::{
+    exhaustive, pare_down_traced, ExhaustiveOptions, PartitionConstraints, TraceEvent,
+};
+
+fn main() {
+    let design = podium_timer_3();
+    println!("{design}");
+    println!("\nPareDown trace (2-in/2-out programmable block):");
+
+    let constraints = PartitionConstraints::default();
+    let (result, trace) = pare_down_traced(&design, &constraints);
+
+    let name = |b| design.block(b).map(|blk| blk.name().to_string()).unwrap_or_default();
+    for event in &trace {
+        match event {
+            TraceEvent::CandidateStart { members, cost } => {
+                let names: Vec<_> = members.iter().map(|&b| name(b)).collect();
+                println!(
+                    "\ncandidate {{{}}}: {} inputs / {} outputs",
+                    names.join(", "),
+                    cost.inputs,
+                    cost.outputs
+                );
+            }
+            TraceEvent::Removed { block, rank, cost_after } => {
+                println!(
+                    "  pare {} (rank {rank:+}) -> {} inputs / {} outputs",
+                    name(*block),
+                    cost_after.inputs,
+                    cost_after.outputs
+                );
+            }
+            TraceEvent::Accepted { members, cost } => {
+                let names: Vec<_> = members.iter().map(|&b| name(b)).collect();
+                println!(
+                    "  ACCEPT {{{}}} ({} in / {} out)",
+                    names.join(", "),
+                    cost.inputs,
+                    cost.outputs
+                );
+            }
+            TraceEvent::SkippedSingle { block, fits } => {
+                println!(
+                    "  skip lone {} (fits a programmable block: {fits}; single-block partitions are invalid)",
+                    name(*block)
+                );
+            }
+        }
+    }
+
+    println!("\nresult: {result}");
+    println!(
+        "paper: 8 user-defined compute blocks -> 3 inner blocks (2 programmable + 1 pre-defined)"
+    );
+
+    let optimal = exhaustive(&design, &constraints, ExhaustiveOptions::default());
+    println!(
+        "exhaustive (optimal): {} — covers all eight blocks with three programmable blocks",
+        optimal
+    );
+}

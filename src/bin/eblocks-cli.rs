@@ -1,0 +1,685 @@
+//! Command-line synthesis tool: the headless equivalent of the paper's
+//! "minimize" button (Fig. 2 tool chain).
+//!
+//! ```text
+//! eblocks-cli synth <netlist> [-o OUTDIR] [--algorithm pare-down|exhaustive|aggregation]
+//!                              [--inputs N] [--outputs N] [--no-verify]
+//! eblocks-cli check <netlist>          # validate + report stats
+//! eblocks-cli partition <netlist>      # print the partitioning only
+//! eblocks-cli sim <netlist> --stimulus <script> [--until T] [--vcd FILE]
+//! eblocks-cli place <netlist> (--grid WxH | --topology FILE)
+//!                   [--pin block=COL,ROW | --pin block=SITE ...] [--iterations N]
+//! ```
+//!
+//! `synth` writes `<name>-synth.netlist` plus one `progN.c` per programmable
+//! block into OUTDIR (default: alongside the input). `sim` runs a stimulus
+//! script (lines of `<time> <sensor> <0|1>`, `#` comments) and prints an
+//! ASCII waveform; `--vcd` additionally writes a VCD dump. `place` maps the
+//! design onto a grid of deployment sites (the paper's §6 future work),
+//! honoring `--pin` anchors, and prints the per-block site assignment and
+//! total routed hops.
+
+use eblocks::core::netlist::{from_netlist, to_netlist};
+use eblocks::core::{Design, ProgrammableSpec};
+use eblocks::partition::{pare_down, PartitionConstraints};
+use eblocks::synth::{synthesize, Algorithm, SynthesisOptions};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parsed command line.
+struct Options {
+    command: String,
+    input: PathBuf,
+    outdir: Option<PathBuf>,
+    algorithm: Algorithm,
+    spec: ProgrammableSpec,
+    verify: bool,
+    stimulus: Option<PathBuf>,
+    until: u64,
+    vcd: Option<PathBuf>,
+    grid: Option<(usize, usize)>,
+    topology: Option<PathBuf>,
+    pins: Vec<(String, String)>,
+    iterations: u32,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or(USAGE)?.clone();
+    if !matches!(
+        command.as_str(),
+        "synth" | "check" | "partition" | "sim" | "place"
+    ) {
+        return Err(format!("unknown command `{command}`\n{USAGE}"));
+    }
+    let input = PathBuf::from(it.next().ok_or("missing netlist path")?);
+    let mut options = Options {
+        command,
+        input,
+        outdir: None,
+        algorithm: Algorithm::PareDown,
+        spec: ProgrammableSpec::default(),
+        verify: true,
+        stimulus: None,
+        until: 1000,
+        vcd: None,
+        grid: None,
+        topology: None,
+        pins: Vec::new(),
+        iterations: 10_000,
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "-o" | "--outdir" => {
+                options.outdir = Some(PathBuf::from(it.next().ok_or("missing value for -o")?));
+            }
+            "--algorithm" => {
+                options.algorithm = match it.next().ok_or("missing algorithm")?.as_str() {
+                    "pare-down" => Algorithm::PareDown,
+                    "exhaustive" => Algorithm::Exhaustive,
+                    "aggregation" => Algorithm::Aggregation,
+                    other => return Err(format!("unknown algorithm `{other}`")),
+                };
+            }
+            "--inputs" => {
+                options.spec.inputs = it
+                    .next()
+                    .ok_or("missing value for --inputs")?
+                    .parse()
+                    .map_err(|_| "bad --inputs value")?;
+            }
+            "--outputs" => {
+                options.spec.outputs = it
+                    .next()
+                    .ok_or("missing value for --outputs")?
+                    .parse()
+                    .map_err(|_| "bad --outputs value")?;
+            }
+            "--no-verify" => options.verify = false,
+            "--stimulus" => {
+                options.stimulus = Some(PathBuf::from(it.next().ok_or("missing stimulus path")?));
+            }
+            "--until" => {
+                options.until = it
+                    .next()
+                    .ok_or("missing value for --until")?
+                    .parse()
+                    .map_err(|_| "bad --until value")?;
+            }
+            "--vcd" => {
+                options.vcd = Some(PathBuf::from(it.next().ok_or("missing vcd path")?));
+            }
+            "--grid" => {
+                let spec = it.next().ok_or("missing value for --grid")?;
+                let (w, h) = spec
+                    .split_once(['x', 'X'])
+                    .ok_or("bad --grid value, expected WxH")?;
+                options.grid = Some((
+                    w.parse().map_err(|_| "bad --grid width")?,
+                    h.parse().map_err(|_| "bad --grid height")?,
+                ));
+            }
+            "--pin" => {
+                let spec = it.next().ok_or("missing value for --pin")?;
+                let (name, at) = spec
+                    .split_once('=')
+                    .ok_or("bad --pin value, expected block=COL,ROW or block=SITE")?;
+                options.pins.push((name.to_string(), at.to_string()));
+            }
+            "--topology" => {
+                options.topology =
+                    Some(PathBuf::from(it.next().ok_or("missing topology path")?));
+            }
+            "--iterations" => {
+                options.iterations = it
+                    .next()
+                    .ok_or("missing value for --iterations")?
+                    .parse()
+                    .map_err(|_| "bad --iterations value")?;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+const USAGE: &str = "usage: eblocks-cli <synth|check|partition|sim|place> <netlist> \
+[-o OUTDIR] [--algorithm pare-down|exhaustive|aggregation] [--inputs N] [--outputs N] \
+[--no-verify] [--stimulus FILE] [--until T] [--vcd FILE] \
+[--grid WxH | --topology FILE] [--pin block=COL,ROW | block=SITE] [--iterations N]";
+
+fn run(args: &[String]) -> Result<String, String> {
+    let options = parse_args(args)?;
+    let text = std::fs::read_to_string(&options.input)
+        .map_err(|e| format!("cannot read {}: {e}", options.input.display()))?;
+    let design = from_netlist(&text).map_err(|e| e.to_string())?;
+
+    match options.command.as_str() {
+        "check" => check_command(&design),
+        "partition" => partition_command(&design, &options),
+        "synth" => synth_command(&design, &options),
+        "sim" => sim_command(&design, &options),
+        "place" => place_command(&design, &options),
+        _ => unreachable!("validated in parse_args"),
+    }
+}
+
+fn check_command(design: &Design) -> Result<String, String> {
+    design.validate().map_err(|e| e.to_string())?;
+    let census = design.census();
+    Ok(format!(
+        "{design}\nvalid: yes\ndepth: {}\ninner blocks: {}\n",
+        eblocks::core::level::depth(design),
+        census.inner
+    ))
+}
+
+fn partition_command(design: &Design, options: &Options) -> Result<String, String> {
+    design.validate().map_err(|e| e.to_string())?;
+    let constraints = PartitionConstraints::with_spec(options.spec);
+    let result = pare_down(design, &constraints);
+    let mut out = format!("{result}\n");
+    for (i, partition) in result.partitions().iter().enumerate() {
+        let names: Vec<&str> = partition
+            .iter()
+            .map(|&b| design.block(b).expect("member").name())
+            .collect();
+        out.push_str(&format!("partition {i}: {}\n", names.join(", ")));
+    }
+    let uncovered: Vec<&str> = result
+        .uncovered()
+        .iter()
+        .map(|&b| design.block(b).expect("member").name())
+        .collect();
+    if !uncovered.is_empty() {
+        out.push_str(&format!("pre-defined: {}\n", uncovered.join(", ")));
+    }
+    Ok(out)
+}
+
+fn synth_command(design: &Design, options: &Options) -> Result<String, String> {
+    let synth_options = SynthesisOptions {
+        constraints: PartitionConstraints::with_spec(options.spec),
+        algorithm: options.algorithm,
+        verify: options.verify,
+        ..Default::default()
+    };
+    let result = synthesize(design, &synth_options).map_err(|e| e.to_string())?;
+
+    let outdir = options
+        .outdir
+        .clone()
+        .or_else(|| options.input.parent().map(Path::to_path_buf))
+        .unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&outdir).map_err(|e| e.to_string())?;
+
+    let netlist_path = outdir.join(format!("{}.netlist", result.synthesized.name()));
+    std::fs::write(&netlist_path, to_netlist(&result.synthesized)).map_err(|e| e.to_string())?;
+    let mut written = vec![netlist_path.display().to_string()];
+    for (block, c) in &result.c_sources {
+        let path = outdir.join(format!("{block}.c"));
+        std::fs::write(&path, c).map_err(|e| e.to_string())?;
+        written.push(path.display().to_string());
+    }
+
+    let mut out = format!(
+        "{}: {} inner blocks -> {} ({} programmable)\n",
+        design.name(),
+        result.inner_before(),
+        result.inner_after(),
+        result.partitioning.num_partitions()
+    );
+    if let Some(report) = &result.report {
+        out.push_str(&format!(
+            "verified equivalent at {} samples\n",
+            report.sample_times.len()
+        ));
+    }
+    for path in written {
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_garage(dir: &Path) -> PathBuf {
+        let netlist = "\
+design garage
+block door sensor:contact
+block light sensor:light
+block inv compute:not
+block both compute:logic2:AND
+block led output:led
+wire door.0 -> both.0
+wire light.0 -> inv.0
+wire inv.0 -> both.1
+wire both.0 -> led.0
+";
+        let path = dir.join("garage.netlist");
+        std::fs::write(&path, netlist).unwrap();
+        path
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eblocks-cli-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn check_reports_stats() {
+        let dir = tempdir("check");
+        let path = write_garage(&dir);
+        let out = run(&s(&["check", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("valid: yes"), "{out}");
+        assert!(out.contains("inner blocks: 2"), "{out}");
+    }
+
+    #[test]
+    fn partition_lists_members() {
+        let dir = tempdir("part");
+        let path = write_garage(&dir);
+        let out = run(&s(&["partition", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("partition 0: inv, both"), "{out}");
+    }
+
+    #[test]
+    fn synth_writes_artifacts() {
+        let dir = tempdir("synth");
+        let path = write_garage(&dir);
+        let out = run(&s(&[
+            "synth",
+            path.to_str().unwrap(),
+            "-o",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("2 inner blocks -> 1 (1 programmable)"), "{out}");
+        assert!(out.contains("verified equivalent"), "{out}");
+        let synth_netlist = std::fs::read_to_string(dir.join("garage-synth.netlist")).unwrap();
+        assert!(synth_netlist.contains("programmable:2in/2out"), "{synth_netlist}");
+        let c = std::fs::read_to_string(dir.join("prog0.c")).unwrap();
+        assert!(c.contains("eblock_on_input"), "{c}");
+    }
+
+    #[test]
+    fn synth_respects_spec_flags() {
+        let dir = tempdir("spec");
+        let path = write_garage(&dir);
+        // 1-in/1-out blocks cannot absorb the 2-input AND cone.
+        let out = run(&s(&[
+            "synth",
+            path.to_str().unwrap(),
+            "-o",
+            dir.to_str().unwrap(),
+            "--inputs",
+            "1",
+            "--outputs",
+            "1",
+            "--no-verify",
+        ]))
+        .unwrap();
+        assert!(out.contains("2 inner blocks -> 2 (0 programmable)"), "{out}");
+    }
+
+    #[test]
+    fn bad_usage_is_an_error() {
+        assert!(run(&[]).is_err());
+        assert!(run(&s(&["frob", "x"])).is_err());
+        assert!(run(&s(&["check"])).is_err());
+        assert!(run(&s(&["check", "/nonexistent/file"])).is_err());
+        let dir = tempdir("flags");
+        let path = write_garage(&dir);
+        assert!(run(&s(&["synth", path.to_str().unwrap(), "--algorithm", "magic"])).is_err());
+        assert!(run(&s(&["synth", path.to_str().unwrap(), "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn malformed_netlist_reported() {
+        let dir = tempdir("bad");
+        let path = dir.join("bad.netlist");
+        std::fs::write(&path, "block a sensor:warpcore\n").unwrap();
+        let err = run(&s(&["check", path.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+}
+
+/// Parses a stimulus script: `<time> <sensor> <0|1|true|false>` per line.
+fn parse_stimulus(text: &str) -> Result<eblocks::sim::Stimulus, String> {
+    let mut stim = eblocks::sim::Stimulus::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let [time, sensor, value] = parts.as_slice() else {
+            return Err(format!("stimulus line {}: expected `<time> <sensor> <0|1>`", i + 1));
+        };
+        let time: u64 = time
+            .parse()
+            .map_err(|_| format!("stimulus line {}: bad time `{time}`", i + 1))?;
+        let value = match *value {
+            "0" | "false" => false,
+            "1" | "true" => true,
+            other => return Err(format!("stimulus line {}: bad value `{other}`", i + 1)),
+        };
+        stim = stim.set(time, *sensor, value);
+    }
+    Ok(stim)
+}
+
+fn sim_command(design: &Design, options: &Options) -> Result<String, String> {
+    let stim = match &options.stimulus {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            parse_stimulus(&text)?
+        }
+        None => eblocks::synth::exercise_all_sensors(design, options.until / 16),
+    };
+    let sim = eblocks::sim::Simulator::new(design).map_err(|e| e.to_string())?;
+    let trace = sim.run(&stim, options.until).map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    out.push_str(&eblocks::sim::render_all(&trace, options.until, 64));
+    if let Some(path) = &options.vcd {
+        let vcd = eblocks::sim::to_vcd(&trace, design.name(), options.until);
+        std::fs::write(path, vcd).map_err(|e| e.to_string())?;
+        out.push_str(&format!("wrote {}\n", path.display()));
+    }
+    Ok(out)
+}
+
+fn place_command(design: &Design, options: &Options) -> Result<String, String> {
+    use eblocks::place::{anneal_place, PlaceAnnealConfig, PlacementProblem, Topology};
+
+    design.validate().map_err(|e| e.to_string())?;
+    let (topo, shape) = match (&options.grid, &options.topology) {
+        (Some(_), Some(_)) => return Err("--grid and --topology are mutually exclusive".into()),
+        (Some((w, h)), None) => {
+            let (w, h) = (*w, *h);
+            if w == 0 || h == 0 {
+                return Err("--grid dimensions must be positive".into());
+            }
+            (Topology::grid(w, h), format!("{w}x{h} grid"))
+        }
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let topo = eblocks::place::from_text(&text).map_err(|e| e.to_string())?;
+            (topo, path.display().to_string())
+        }
+        (None, None) => return Err("place requires --grid WxH or --topology FILE".into()),
+    };
+    let mut problem = PlacementProblem::new(design, &topo).map_err(|e| e.to_string())?;
+    for (name, at) in &options.pins {
+        let block = design
+            .block_by_name(name)
+            .ok_or_else(|| format!("unknown block `{name}` in --pin"))?;
+        // COL,ROW on grids; otherwise a site name.
+        let site = match at.split_once(',') {
+            Some((col, row)) => {
+                let col: usize = col.parse().map_err(|_| "bad --pin column")?;
+                let row: usize = row.parse().map_err(|_| "bad --pin row")?;
+                topo.site_at(col, row)
+                    .ok_or_else(|| format!("--pin {name}: ({col},{row}) outside the {shape}"))?
+            }
+            None => topo
+                .site_by_name(at)
+                .ok_or_else(|| format!("--pin {name}: unknown site `{at}`"))?,
+        };
+        problem.pin(block, site).map_err(|e| e.to_string())?;
+    }
+
+    let config = PlaceAnnealConfig {
+        iterations: options.iterations,
+        ..Default::default()
+    };
+    let placement = anneal_place(&problem, &config).map_err(|e| e.to_string())?;
+    placement.verify(&problem).map_err(|e| e.to_string())?;
+    let cost = placement.cost(&problem).map_err(|e| e.to_string())?;
+
+    let mut out = format!(
+        "placed {} blocks on {shape}; total routed wire: {cost} hops\n",
+        design.num_blocks()
+    );
+    for block in design.blocks() {
+        let name = design.block(block).expect("iterating blocks").name().to_string();
+        let site = placement.site_of(block).expect("complete placement");
+        let pinned = if options.pins.iter().any(|(n, _)| *n == name) {
+            "  (pinned)"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  {name:<16} -> {}{pinned}\n",
+            topo.site(site).expect("valid site").name()
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod place_tests {
+    use super::*;
+    use std::path::Path;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("eblocks-cli-place-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_garage(dir: &Path) -> PathBuf {
+        let netlist = "\
+design garage
+block door sensor:contact
+block light sensor:light
+block inv compute:not
+block both compute:logic2:AND
+block led output:led
+wire door.0 -> both.0
+wire light.0 -> inv.0
+wire inv.0 -> both.1
+wire both.0 -> led.0
+";
+        let path = dir.join("garage.netlist");
+        std::fs::write(&path, netlist).unwrap();
+        path
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn place_reports_assignment_and_cost() {
+        let dir = tempdir("basic");
+        let path = write_garage(&dir);
+        let out = run(&s(&["place", path.to_str().unwrap(), "--grid", "3x2"])).unwrap();
+        assert!(out.contains("placed 5 blocks on 3x2 grid"), "{out}");
+        assert!(out.contains("led"), "{out}");
+        assert!(out.contains("hops"), "{out}");
+    }
+
+    #[test]
+    fn place_accepts_topology_files_and_named_pins() {
+        let dir = tempdir("topo");
+        let netlist = write_garage(&dir);
+        let topo = dir.join("office.topo");
+        std::fs::write(
+            &topo,
+            "topology office
+site closet 3
+site garage
+site bedroom
+             link closet garage
+link closet bedroom
+",
+        )
+        .unwrap();
+        let out = run(&s(&[
+            "place",
+            netlist.to_str().unwrap(),
+            "--topology",
+            topo.to_str().unwrap(),
+            "--pin",
+            "door=garage",
+            "--pin",
+            "led=bedroom",
+            "--iterations",
+            "500",
+        ]))
+        .unwrap();
+        assert!(out.contains("garage") && out.contains("bedroom"), "{out}");
+        assert!(out.contains("(pinned)"), "{out}");
+        // Malformed topology file is a line-numbered error.
+        std::fs::write(&topo, "site a
+link a ghost
+").unwrap();
+        let err = run(&s(&[
+            "place",
+            netlist.to_str().unwrap(),
+            "--topology",
+            topo.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn place_honors_pins() {
+        let dir = tempdir("pins");
+        let path = write_garage(&dir);
+        let out = run(&s(&[
+            "place",
+            path.to_str().unwrap(),
+            "--grid",
+            "3x2",
+            "--pin",
+            "door=0,0",
+            "--iterations",
+            "500",
+        ]))
+        .unwrap();
+        assert!(out.contains("door"), "{out}");
+        assert!(out.contains("(pinned)"), "{out}");
+        assert!(out.contains("r0c0"), "{out}");
+    }
+
+    #[test]
+    fn place_flag_errors() {
+        let dir = tempdir("err");
+        let path = write_garage(&dir);
+        let p = path.to_str().unwrap();
+        assert!(run(&s(&["place", p])).unwrap_err().contains("--grid"));
+        assert!(run(&s(&["place", p, "--grid", "nope"])).is_err());
+        assert!(run(&s(&["place", p, "--grid", "1x1"]))
+            .unwrap_err()
+            .contains("5"), "capacity error mentions block count");
+        assert!(run(&s(&["place", p, "--grid", "3x2", "--pin", "ghost=0,0"]))
+            .unwrap_err()
+            .contains("ghost"));
+        assert!(run(&s(&["place", p, "--grid", "3x2", "--pin", "door=9,9"]))
+            .unwrap_err()
+            .contains("outside"));
+    }
+}
+
+#[cfg(test)]
+mod sim_tests {
+    use super::*;
+    use std::path::Path;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("eblocks-cli-sim-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_garage(dir: &Path) -> PathBuf {
+        let netlist = "\
+design garage
+block door sensor:contact
+block light sensor:light
+block inv compute:not
+block both compute:logic2:AND
+block led output:led
+wire door.0 -> both.0
+wire light.0 -> inv.0
+wire inv.0 -> both.1
+wire both.0 -> led.0
+";
+        let path = dir.join("garage.netlist");
+        std::fs::write(&path, netlist).unwrap();
+        path
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn sim_renders_waveform_and_vcd() {
+        let dir = tempdir("wave");
+        let netlist = write_garage(&dir);
+        let script = dir.join("stim.txt");
+        std::fs::write(&script, "# open at night\n100 door 1\n500 door 0\n").unwrap();
+        let vcd_path = dir.join("out.vcd");
+        let out = run(&s(&[
+            "sim",
+            netlist.to_str().unwrap(),
+            "--stimulus",
+            script.to_str().unwrap(),
+            "--until",
+            "800",
+            "--vcd",
+            vcd_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("led"), "{out}");
+        assert!(out.contains('#'), "waveform shows a high phase: {out}");
+        let vcd = std::fs::read_to_string(vcd_path).unwrap();
+        assert!(vcd.contains("$var wire 1 ! led $end"), "{vcd}");
+    }
+
+    #[test]
+    fn default_stimulus_used_without_script() {
+        let dir = tempdir("nostim");
+        let netlist = write_garage(&dir);
+        let out = run(&s(&["sim", netlist.to_str().unwrap(), "--until", "400"])).unwrap();
+        assert!(out.contains("led"), "{out}");
+    }
+
+    #[test]
+    fn stimulus_parse_errors_have_line_numbers() {
+        assert!(parse_stimulus("10 door banana").unwrap_err().contains("line 1"));
+        assert!(parse_stimulus("x door 1").unwrap_err().contains("bad time"));
+        assert!(parse_stimulus("10 door").unwrap_err().contains("expected"));
+        assert!(parse_stimulus("# only comments\n\n").is_ok());
+    }
+}

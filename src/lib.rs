@@ -1,0 +1,61 @@
+//! # eblocks — system synthesis for networks of programmable blocks
+//!
+//! A Rust reproduction of *System Synthesis for Networks of Programmable
+//! Blocks* (Mannion, Hsieh, Cotterell, Vahid — DATE 2005): capture,
+//! simulation, partitioning, and code generation for **eBlocks**, the
+//! fixed-function sensor building blocks that non-experts wire into small
+//! monitor/control networks.
+//!
+//! This facade crate re-exports the whole tool chain:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`core`] | `eblocks-core` | block/port/design model, levels, cut costs |
+//! | [`behavior`] | `eblocks-behavior` | the block behavior DSL and interpreter |
+//! | [`sim`] | `eblocks-sim` | packet-level event-driven simulator |
+//! | [`partition`] | `eblocks-partition` | PareDown, exhaustive, aggregation |
+//! | [`codegen`] | `eblocks-codegen` | syntax-tree merging and C emission |
+//! | [`synth`] | `eblocks-synth` | the end-to-end synthesis pipeline |
+//! | [`designs`] | `eblocks-designs` | the 15 Table-1 library systems |
+//! | [`gen`] | `eblocks-gen` | the random design generator |
+//! | [`place`] | `eblocks-place` | deployment onto an existing physical node network (§6 future work) |
+//!
+//! # Quickstart
+//!
+//! Build the paper's garage-open-at-night system and synthesize it onto
+//! programmable blocks:
+//!
+//! ```
+//! use eblocks::core::{ComputeKind, Design, OutputKind, SensorKind};
+//! use eblocks::partition::{pare_down, PartitionConstraints};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut d = Design::new("garage-open-at-night");
+//! let door  = d.add_block("door",  SensorKind::ContactSwitch);
+//! let light = d.add_block("light", SensorKind::Light);
+//! let inv   = d.add_block("inv",   ComputeKind::Not);
+//! let both  = d.add_block("both",  ComputeKind::and2());
+//! let led   = d.add_block("led",   OutputKind::Led);
+//! d.connect((door, 0), (both, 0))?;
+//! d.connect((light, 0), (inv, 0))?;
+//! d.connect((inv, 0), (both, 1))?;
+//! d.connect((both, 0), (led, 0))?;
+//!
+//! let result = pare_down(&d, &PartitionConstraints::default());
+//! assert_eq!(result.num_partitions(), 1); // inv + both -> one programmable block
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use eblocks_behavior as behavior;
+pub use eblocks_codegen as codegen;
+pub use eblocks_core as core;
+pub use eblocks_designs as designs;
+pub use eblocks_gen as gen;
+pub use eblocks_partition as partition;
+pub use eblocks_place as place;
+pub use eblocks_sim as sim;
+pub use eblocks_synth as synth;

@@ -1,0 +1,108 @@
+//! Reproduces the paper's Fig. 5 walk-through (§4.2.1) step for step on the
+//! reconstructed Podium Timer 3 design.
+//!
+//! The narrative: starting from all eight inner blocks `{2..9}` as the
+//! candidate partition (1 input, 3 outputs — invalid for a 2-in/2-out
+//! block), PareDown removes node 9 (least rank), then node 8 (rank tie with
+//! node 2, broken by 8's greater indegree; the candidate then needs four
+//! outputs), then nodes 7 and 6, accepting `{2,3,4,5}`. Re-running on
+//! `{6,7,8,9}` removes node 7 and accepts `{6,8,9}`. The lone node 7 fits a
+//! programmable block but single-block partitions are invalid, so it stays
+//! pre-defined: 8 user blocks become 3 (two programmable + one pre-defined).
+
+use eblocks::core::BlockId;
+use eblocks::designs::podium_timer_3;
+use eblocks::partition::{pare_down_traced, PartitionConstraints, TraceEvent};
+
+fn names(design: &eblocks::core::Design, blocks: &[BlockId]) -> Vec<String> {
+    let mut v: Vec<String> = blocks
+        .iter()
+        .map(|&b| design.block(b).unwrap().name().to_string())
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn figure5_walkthrough_matches_paper() {
+    let design = podium_timer_3();
+    let (result, trace) = pare_down_traced(&design, &PartitionConstraints::default());
+
+    // Final outcome: partitions {2,3,4,5} and {6,8,9}; node 7 uncovered.
+    let partitions: Vec<Vec<String>> = result
+        .partitions()
+        .iter()
+        .map(|p| names(&design, p))
+        .collect();
+    assert!(partitions.contains(&vec![
+        "n2".to_string(),
+        "n3".to_string(),
+        "n4".to_string(),
+        "n5".to_string()
+    ]));
+    assert!(partitions.contains(&vec!["n6".to_string(), "n8".to_string(), "n9".to_string()]));
+    assert_eq!(names(&design, result.uncovered()), vec!["n7"]);
+    assert_eq!(result.inner_total(), 3, "8 inner blocks become 3");
+    assert_eq!(result.num_partitions(), 2);
+
+    // Step-by-step removal order within the first candidate: 9, 8, 7, 6.
+    let removals: Vec<String> = trace
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Removed { block, .. } => {
+                Some(design.block(*block).unwrap().name().to_string())
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        removals,
+        vec!["n9", "n8", "n7", "n6", "n7"],
+        "first pass pares 9, 8, 7, 6; second pass pares 7"
+    );
+
+    // Initial candidate: all eight inner blocks, 1 input / 3 outputs.
+    let TraceEvent::CandidateStart { members, cost } = &trace[0] else {
+        panic!("trace must start with a candidate");
+    };
+    assert_eq!(members.len(), 8);
+    assert_eq!((cost.inputs, cost.outputs), (1, 3));
+
+    // After removing node 8 the candidate requires four outputs (Fig. 5(c)).
+    let after_n8 = trace
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::Removed { block, cost_after, .. }
+                if design.block(*block).unwrap().name() == "n8" =>
+            {
+                Some(*cost_after)
+            }
+            _ => None,
+        })
+        .expect("n8 removal recorded");
+    assert_eq!(after_n8.outputs, 4, "Fig. 5(c): four outputs required");
+
+    // The lone node 7 fits a programmable block but is skipped as a
+    // single-block partition.
+    assert!(trace.iter().any(|e| matches!(
+        e,
+        TraceEvent::SkippedSingle { block, fits: true }
+            if design.block(*block).unwrap().name() == "n7"
+    )));
+}
+
+#[test]
+fn figure5_exhaustive_covers_all_eight() {
+    use eblocks::partition::{exhaustive, ExhaustiveOptions};
+    let design = podium_timer_3();
+    let result = exhaustive(
+        &design,
+        &PartitionConstraints::default(),
+        ExhaustiveOptions::default(),
+    );
+    // Table 1: exhaustive finds total 3 with 3 programmable blocks — all
+    // eight inner blocks covered.
+    assert_eq!(result.inner_total(), 3);
+    assert_eq!(result.num_partitions(), 3);
+    assert!(result.uncovered().is_empty());
+}
