@@ -427,7 +427,10 @@ mod tests {
     #[test]
     fn rename_rewrites_everywhere() {
         let mut p = and_program();
-        p.states.push(StateDecl { name: "q".into(), init: Expr::Bool(false) });
+        p.states.push(StateDecl {
+            name: "q".into(),
+            init: Expr::Bool(false),
+        });
         p.rename_vars(|v| Some(format!("blk_{v}")));
         assert_eq!(p.states[0].name, "blk_q");
         let Stmt::Assign(name, e) = &p.handlers[0].body[0] else {

@@ -74,17 +74,26 @@ impl fmt::Display for CheckError {
             ),
             Self::DuplicateState { name } => write!(f, "state `{name}` declared twice"),
             Self::InputOutOfRange { port, arity } => {
-                write!(f, "input port {port} out of range (block has {arity} inputs)")
+                write!(
+                    f,
+                    "input port {port} out of range (block has {arity} inputs)"
+                )
             }
             Self::OutputOutOfRange { port, arity } => {
-                write!(f, "output port {port} out of range (block has {arity} outputs)")
+                write!(
+                    f,
+                    "output port {port} out of range (block has {arity} outputs)"
+                )
             }
             Self::AssignToInput { port } => write!(f, "cannot assign to input port in{port}"),
             Self::PossiblyUndefined { name } => {
                 write!(f, "variable `{name}` may be read before assignment")
             }
             Self::InputReadInTick { port } => {
-                write!(f, "`on tick` handler reads in{port}; inputs are only visible in `on input`")
+                write!(
+                    f,
+                    "`on tick` handler reads in{port}; inputs are only visible in `on input`"
+                )
             }
         }
     }
@@ -110,7 +119,9 @@ pub fn check(program: &Program, num_inputs: u8, num_outputs: u8) -> Vec<CheckErr
     let mut declared: BTreeSet<&str> = BTreeSet::new();
     for st in &program.states {
         if !declared.insert(&st.name) {
-            errors.push(CheckError::DuplicateState { name: st.name.clone() });
+            errors.push(CheckError::DuplicateState {
+                name: st.name.clone(),
+            });
         }
         let mut refs = BTreeSet::new();
         st.init.vars(&mut refs);
@@ -128,8 +139,7 @@ pub fn check(program: &Program, num_inputs: u8, num_outputs: u8) -> Vec<CheckErr
         // Defined set: states plus outputs assigned so far (outputs may be
         // read back after assignment); inputs are implicitly defined in the
         // input handler.
-        let mut defined: BTreeSet<String> =
-            program.states.iter().map(|s| s.name.clone()).collect();
+        let mut defined: BTreeSet<String> = program.states.iter().map(|s| s.name.clone()).collect();
         check_body(
             &handler.body,
             &mut defined,
@@ -158,11 +168,17 @@ fn check_expr(
             if kind == HandlerKind::Tick {
                 errors.push(CheckError::InputReadInTick { port });
             } else if port >= num_inputs {
-                errors.push(CheckError::InputOutOfRange { port, arity: num_inputs });
+                errors.push(CheckError::InputOutOfRange {
+                    port,
+                    arity: num_inputs,
+                });
             }
         } else if let Some(port) = output_port(&name) {
             if port >= num_outputs {
-                errors.push(CheckError::OutputOutOfRange { port, arity: num_outputs });
+                errors.push(CheckError::OutputOutOfRange {
+                    port,
+                    arity: num_outputs,
+                });
             } else if !defined.contains(&name) {
                 errors.push(CheckError::PossiblyUndefined { name });
             }
@@ -188,7 +204,10 @@ fn check_body(
                     errors.push(CheckError::AssignToInput { port });
                 } else if let Some(port) = output_port(name) {
                     if port >= num_outputs {
-                        errors.push(CheckError::OutputOutOfRange { port, arity: num_outputs });
+                        errors.push(CheckError::OutputOutOfRange {
+                            port,
+                            arity: num_outputs,
+                        });
                     }
                 }
                 defined.insert(name.clone());
@@ -198,9 +217,23 @@ fn check_body(
                 // Definite assignment: only names assigned on *both* branches
                 // are defined afterwards.
                 let mut then_defined = defined.clone();
-                check_body(then_body, &mut then_defined, kind, num_inputs, num_outputs, errors);
+                check_body(
+                    then_body,
+                    &mut then_defined,
+                    kind,
+                    num_inputs,
+                    num_outputs,
+                    errors,
+                );
                 let mut else_defined = defined.clone();
-                check_body(else_body, &mut else_defined, kind, num_inputs, num_outputs, errors);
+                check_body(
+                    else_body,
+                    &mut else_defined,
+                    kind,
+                    num_inputs,
+                    num_outputs,
+                    errors,
+                );
                 *defined = then_defined.intersection(&else_defined).cloned().collect();
             }
         }
@@ -231,7 +264,9 @@ mod tests {
     #[test]
     fn duplicate_handlers_flagged() {
         let errs = check_src("on input { } on input { }", 1, 1);
-        assert!(errs.contains(&CheckError::DuplicateHandler { kind: HandlerKind::Input }));
+        assert!(errs.contains(&CheckError::DuplicateHandler {
+            kind: HandlerKind::Input
+        }));
     }
 
     #[test]
@@ -251,7 +286,9 @@ mod tests {
     #[test]
     fn undefined_reads_flagged() {
         let errs = check_src("on input { out0 = ghost; }", 1, 1);
-        assert!(errs.contains(&CheckError::PossiblyUndefined { name: "ghost".into() }));
+        assert!(errs.contains(&CheckError::PossiblyUndefined {
+            name: "ghost".into()
+        }));
     }
 
     #[test]
@@ -271,7 +308,9 @@ mod tests {
     #[test]
     fn output_readback_requires_prior_assignment() {
         let errs = check_src("on input { out1 = !out0; out0 = in0; }", 1, 2);
-        assert!(errs.contains(&CheckError::PossiblyUndefined { name: "out0".into() }));
+        assert!(errs.contains(&CheckError::PossiblyUndefined {
+            name: "out0".into()
+        }));
         let errs = check_src("on input { out0 = in0; out1 = !out0; }", 1, 2);
         assert!(errs.is_empty(), "{errs:?}");
     }
@@ -304,7 +343,11 @@ mod tests {
 
     #[test]
     fn error_messages_display() {
-        for e in check_src("on tick { out0 = in0; } on input { in0 = true; out3 = ghost; }", 1, 1) {
+        for e in check_src(
+            "on tick { out0 = in0; } on input { in0 = true; out3 = ghost; }",
+            1,
+            1,
+        ) {
             assert!(!e.to_string().is_empty());
         }
     }

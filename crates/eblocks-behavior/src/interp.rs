@@ -197,7 +197,11 @@ fn eval_with(
             let v = eval_with(inner, lookup)?;
             match op {
                 UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
-                UnOp::Neg => v.as_int()?.checked_neg().map(Value::Int).ok_or(EvalError::Overflow),
+                UnOp::Neg => v
+                    .as_int()?
+                    .checked_neg()
+                    .map(Value::Int)
+                    .ok_or(EvalError::Overflow),
             }
         }
         Expr::Binary(op, lhs, rhs) => {
@@ -255,14 +259,20 @@ fn eval_with(
                     if d == 0 {
                         return Err(EvalError::DivisionByZero);
                     }
-                    l.as_int()?.checked_div(d).map(Value::Int).ok_or(EvalError::Overflow)
+                    l.as_int()?
+                        .checked_div(d)
+                        .map(Value::Int)
+                        .ok_or(EvalError::Overflow)
                 }
                 BinOp::Rem => {
                     let d = r.as_int()?;
                     if d == 0 {
                         return Err(EvalError::DivisionByZero);
                     }
-                    l.as_int()?.checked_rem(d).map(Value::Int).ok_or(EvalError::Overflow)
+                    l.as_int()?
+                        .checked_rem(d)
+                        .map(Value::Int)
+                        .ok_or(EvalError::Overflow)
                 }
                 BinOp::And | BinOp::Or => unreachable!("handled above"),
             }
@@ -285,8 +295,14 @@ mod tests {
     #[test]
     fn combinational_and() {
         let src = "on input { out0 = in0 && in1; }";
-        assert_eq!(run_once(src, &[true, true]).get(&0), Some(&Value::Bool(true)));
-        assert_eq!(run_once(src, &[true, false]).get(&0), Some(&Value::Bool(false)));
+        assert_eq!(
+            run_once(src, &[true, true]).get(&0),
+            Some(&Value::Bool(true))
+        );
+        assert_eq!(
+            run_once(src, &[true, false]).get(&0),
+            Some(&Value::Bool(false))
+        );
     }
 
     #[test]
@@ -326,7 +342,10 @@ mod tests {
     #[test]
     fn unassigned_outputs_absent() {
         let outs = run_once("on input { if (in0) { out0 = true; } }", &[false]);
-        assert!(outs.is_empty(), "no packet when the handler never drives out0");
+        assert!(
+            outs.is_empty(),
+            "no packet when the handler never drives out0"
+        );
     }
 
     #[test]
@@ -336,7 +355,11 @@ mod tests {
         let mut m = Machine::new(&p);
         let outs = m.on_input(&[]).unwrap();
         assert_eq!(outs.get(&0), Some(&Value::Bool(true)));
-        assert_eq!(m.state("x"), Some(Value::Int(1)), "state untouched by local");
+        assert_eq!(
+            m.state("x"),
+            Some(Value::Int(1)),
+            "state untouched by local"
+        );
     }
 
     #[test]
@@ -377,7 +400,9 @@ mod tests {
         let p = parse("on input { out0 = ghost; }").unwrap();
         assert_eq!(
             Machine::new(&p).on_input(&[]).unwrap_err(),
-            EvalError::UndefinedVariable { name: "ghost".into() }
+            EvalError::UndefinedVariable {
+                name: "ghost".into()
+            }
         );
     }
 
@@ -385,7 +410,13 @@ mod tests {
     fn input_out_of_range_reported() {
         let p = parse("on input { out0 = in3; }").unwrap();
         let err = Machine::new(&p).on_input(&[Value::Bool(true)]).unwrap_err();
-        assert_eq!(err, EvalError::InputOutOfRange { port: 3, supplied: 1 });
+        assert_eq!(
+            err,
+            EvalError::InputOutOfRange {
+                port: 3,
+                supplied: 1
+            }
+        );
     }
 
     #[test]
@@ -398,7 +429,10 @@ mod tests {
             ("10 - 2 - 3", Value::Int(5)),
         ];
         for (expr, expected) in cases {
-            let p = parse(&format!("on input {{ x = {expr}; out0 = x == {expected}; }}")).unwrap();
+            let p = parse(&format!(
+                "on input {{ x = {expr}; out0 = x == {expected}; }}"
+            ))
+            .unwrap();
             let outs = Machine::new(&p).on_input(&[]).unwrap();
             assert_eq!(outs.get(&0), Some(&Value::Bool(true)), "{expr}");
         }
@@ -407,7 +441,10 @@ mod tests {
     #[test]
     fn overflow_detected() {
         let p = parse(&format!("on input {{ x = {} + 1; }}", i64::MAX)).unwrap();
-        assert_eq!(Machine::new(&p).on_input(&[]).unwrap_err(), EvalError::Overflow);
+        assert_eq!(
+            Machine::new(&p).on_input(&[]).unwrap_err(),
+            EvalError::Overflow
+        );
     }
 
     #[test]

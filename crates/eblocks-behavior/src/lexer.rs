@@ -108,7 +108,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -155,7 +159,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                             bump!();
                         }
                     }
-                    _ => tokens.push(Token { kind: TokenKind::Slash, line: tline, col: tcol }),
+                    _ => tokens.push(Token {
+                        kind: TokenKind::Slash,
+                        line: tline,
+                        col: tcol,
+                    }),
                 }
             }
             '{' | '}' | '(' | ')' | ';' | '+' | '-' | '*' | '%' => {
@@ -171,7 +179,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     '*' => TokenKind::Star,
                     _ => TokenKind::Percent,
                 };
-                tokens.push(Token { kind, line: tline, col: tcol });
+                tokens.push(Token {
+                    kind,
+                    line: tline,
+                    col: tcol,
+                });
             }
             '=' | '!' | '<' | '>' => {
                 bump!();
@@ -190,14 +202,26 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     (_, false) => TokenKind::Gt,
                     (_, true) => TokenKind::Ge,
                 };
-                tokens.push(Token { kind, line: tline, col: tcol });
+                tokens.push(Token {
+                    kind,
+                    line: tline,
+                    col: tcol,
+                });
             }
             '&' | '|' => {
                 bump!();
                 if chars.peek() == Some(&c) {
                     bump!();
-                    let kind = if c == '&' { TokenKind::And } else { TokenKind::Or };
-                    tokens.push(Token { kind, line: tline, col: tcol });
+                    let kind = if c == '&' {
+                        TokenKind::And
+                    } else {
+                        TokenKind::Or
+                    };
+                    tokens.push(Token {
+                        kind,
+                        line: tline,
+                        col: tcol,
+                    });
                 } else {
                     return Err(LexError {
                         message: format!("single `{c}` (use `{c}{c}`)"),
@@ -221,7 +245,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     line: tline,
                     col: tcol,
                 })?;
-                tokens.push(Token { kind: TokenKind::Int(value), line: tline, col: tcol });
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line: tline,
+                    col: tcol,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut text = String::new();
@@ -238,7 +266,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     "false" => TokenKind::Bool(false),
                     _ => TokenKind::Ident(text),
                 };
-                tokens.push(Token { kind, line: tline, col: tcol });
+                tokens.push(Token {
+                    kind,
+                    line: tline,
+                    col: tcol,
+                });
             }
             other => {
                 return Err(LexError {
@@ -321,6 +353,9 @@ mod tests {
     #[test]
     fn underscore_idents_allowed() {
         use TokenKind::*;
-        assert_eq!(kinds("_x x_1"), vec![Ident("_x".into()), Ident("x_1".into())]);
+        assert_eq!(
+            kinds("_x x_1"),
+            vec![Ident("_x".into()), Ident("x_1".into())]
+        );
     }
 }

@@ -217,12 +217,24 @@ mod tests {
     fn trip_latches_and_resets() {
         let mut m = Machine::new(&program_for(ComputeKind::Trip));
         let inp = |s: bool, r: bool| [Value::Bool(s), Value::Bool(r)];
-        assert_eq!(m.on_input(&inp(false, false)).unwrap().get(&0), Some(&Value::Bool(false)));
-        assert_eq!(m.on_input(&inp(true, false)).unwrap().get(&0), Some(&Value::Bool(true)));
+        assert_eq!(
+            m.on_input(&inp(false, false)).unwrap().get(&0),
+            Some(&Value::Bool(false))
+        );
+        assert_eq!(
+            m.on_input(&inp(true, false)).unwrap().get(&0),
+            Some(&Value::Bool(true))
+        );
         // Set released: stays latched.
-        assert_eq!(m.on_input(&inp(false, false)).unwrap().get(&0), Some(&Value::Bool(true)));
+        assert_eq!(
+            m.on_input(&inp(false, false)).unwrap().get(&0),
+            Some(&Value::Bool(true))
+        );
         // Reset edge clears.
-        assert_eq!(m.on_input(&inp(false, true)).unwrap().get(&0), Some(&Value::Bool(false)));
+        assert_eq!(
+            m.on_input(&inp(false, true)).unwrap().get(&0),
+            Some(&Value::Bool(false))
+        );
     }
 
     #[test]

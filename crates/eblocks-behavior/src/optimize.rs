@@ -153,9 +153,7 @@ fn expr_type(e: &Expr, ctx: &Ctx) -> Option<Ty> {
         Expr::Binary(op, l, r) => {
             let (lt, rt) = (expr_type(l, ctx)?, expr_type(r, ctx)?);
             match op {
-                BinOp::And | BinOp::Or => {
-                    (lt == Ty::Bool && rt == Ty::Bool).then_some(Ty::Bool)
-                }
+                BinOp::And | BinOp::Or => (lt == Ty::Bool && rt == Ty::Bool).then_some(Ty::Bool),
                 BinOp::Eq | BinOp::Ne => (lt == rt).then_some(Ty::Bool),
                 BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
                     (lt == Ty::Int && rt == Ty::Int).then_some(Ty::Bool)
@@ -242,10 +240,7 @@ fn optimize_body(body: &[Stmt], ctx: &mut Ctx) -> Vec<Stmt> {
                         let after_else = &ctx.defined;
                         // Either branch may run: only names assigned on
                         // both paths are definitely assigned afterwards.
-                        ctx.defined = after_then
-                            .intersection(after_else)
-                            .cloned()
-                            .collect();
+                        ctx.defined = after_then.intersection(after_else).cloned().collect();
                         // Dropping the branch requires the condition to be
                         // fault-free AND boolean-typed: `if (-0) {}` faults.
                         if then_body.is_empty()
@@ -287,18 +282,14 @@ fn optimize_expr_env(e: &Expr, ctx: &Ctx) -> Expr {
                 (UnOp::Not, Expr::Bool(b)) => Expr::Bool(!b),
                 // Double negation only cancels when the inner operand is
                 // correctly typed; `!!5` and `--false` must keep faulting.
-                (UnOp::Not, Expr::Unary(UnOp::Not, x))
-                    if expr_type(x, ctx) == Some(Ty::Bool) =>
-                {
+                (UnOp::Not, Expr::Unary(UnOp::Not, x)) if expr_type(x, ctx) == Some(Ty::Bool) => {
                     x.as_ref().clone()
                 }
                 (UnOp::Neg, Expr::Int(v)) => match v.checked_neg() {
                     Some(n) => Expr::Int(n),
                     None => Expr::unary(UnOp::Neg, inner),
                 },
-                (UnOp::Neg, Expr::Unary(UnOp::Neg, x))
-                    if expr_type(x, ctx) == Some(Ty::Int) =>
-                {
+                (UnOp::Neg, Expr::Unary(UnOp::Neg, x)) if expr_type(x, ctx) == Some(Ty::Int) => {
                     x.as_ref().clone()
                 }
                 _ => Expr::unary(*op, inner),
@@ -366,9 +357,7 @@ fn fold_binary(op: BinOp, l: Expr, r: Expr, ctx: &Ctx) -> Expr {
         (Or, Expr::Bool(false), _) if is_bool(&r) => return r,
         (Or, Expr::Bool(true), _) => return Expr::Bool(true),
         (Or, _, Expr::Bool(false)) if is_bool(&l) => return l,
-        (Or, _, Expr::Bool(true)) if is_total(&l, ctx) && is_bool(&l) => {
-            return Expr::Bool(true)
-        }
+        (Or, _, Expr::Bool(true)) if is_total(&l, ctx) && is_bool(&l) => return Expr::Bool(true),
         (Add, Expr::Int(0), _) if is_int(&r) => return r,
         (Add, _, Expr::Int(0)) if is_int(&l) => return l,
         (Sub, _, Expr::Int(0)) if is_int(&l) => return l,
@@ -417,17 +406,13 @@ mod tests {
         let o = optimize(&p);
         assert_eq!(o.handlers[0].body.len(), 1, "{o}");
         // A name assigned in only one branch is not definitely assigned.
-        let p = parse(
-            "on input { if (in0) { q = true; } if (q) { } out0 = in0; }",
-        )
-        .unwrap();
+        let p = parse("on input { if (in0) { q = true; } if (q) { } out0 = in0; }").unwrap();
         let o = optimize(&p);
         assert_eq!(o.handlers[0].body.len(), 3, "{o}");
         // Assigned in both branches: definitely assigned, droppable.
-        let p = parse(
-            "on input { if (in0) { q = true; } else { q = false; } if (q) { } out0 = in0; }",
-        )
-        .unwrap();
+        let p =
+            parse("on input { if (in0) { q = true; } else { q = false; } if (q) { } out0 = in0; }")
+                .unwrap();
         let o = optimize(&p);
         assert_eq!(o.handlers[0].body.len(), 2, "{o}");
     }
@@ -518,10 +503,9 @@ mod tests {
 
     #[test]
     fn merged_style_program_shrinks() {
-        let bloated = parse(
-            "on input { out0 = (in0 && true || false) && (true && !in1 || in1 && false); }",
-        )
-        .unwrap();
+        let bloated =
+            parse("on input { out0 = (in0 && true || false) && (true && !in1 || in1 && false); }")
+                .unwrap();
         let optimized = optimize(&bloated);
         let Stmt::Assign(_, e) = &optimized.handlers[0].body[0] else {
             panic!()

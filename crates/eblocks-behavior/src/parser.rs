@@ -21,7 +21,11 @@ impl fmt::Display for ParseError {
         if self.line == 0 {
             write!(f, "parse error at end of input: {}", self.message)
         } else {
-            write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+            write!(
+                f,
+                "parse error at {}:{}: {}",
+                self.line, self.col, self.message
+            )
         }
     }
 }
@@ -304,7 +308,9 @@ mod tests {
         let p = parse(src).unwrap();
         assert_eq!(p.states.len(), 2);
         assert_eq!(p.handlers[0].body.len(), 3);
-        assert!(matches!(&p.handlers[0].body[0], Stmt::If(_, t, e) if t.len() == 1 && e.is_empty()));
+        assert!(
+            matches!(&p.handlers[0].body[0], Stmt::If(_, t, e) if t.len() == 1 && e.is_empty())
+        );
     }
 
     #[test]
@@ -392,7 +398,10 @@ mod tests {
         assert!(err.message.contains("input"), "{err}");
 
         let err = parse("on input {").unwrap_err();
-        assert!(err.message.contains("unclosed") || err.message.contains("statement"), "{err}");
+        assert!(
+            err.message.contains("unclosed") || err.message.contains("statement"),
+            "{err}"
+        );
     }
 
     #[test]

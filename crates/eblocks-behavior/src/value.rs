@@ -114,7 +114,10 @@ impl fmt::Display for EvalError {
             Self::DivisionByZero => f.write_str("division by zero"),
             Self::Overflow => f.write_str("integer overflow"),
             Self::InputOutOfRange { port, supplied } => {
-                write!(f, "input port {port} referenced but only {supplied} inputs supplied")
+                write!(
+                    f,
+                    "input port {port} referenced but only {supplied} inputs supplied"
+                )
             }
         }
     }

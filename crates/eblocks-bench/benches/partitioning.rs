@@ -80,7 +80,10 @@ fn bench_library_designs(c: &mut Criterion) {
     let mut group = c.benchmark_group("library_pare_down");
     let constraints = PartitionConstraints::default();
     for entry in eblocks_designs::all() {
-        if matches!(entry.name, "Podium Timer 3" | "Two-Zone Security" | "Timed Passage") {
+        if matches!(
+            entry.name,
+            "Podium Timer 3" | "Two-Zone Security" | "Timed Passage"
+        ) {
             group.bench_function(entry.name, |b| {
                 b.iter(|| black_box(pare_down(&entry.design, &constraints)))
             });
@@ -95,9 +98,11 @@ fn bench_refine(c: &mut Criterion) {
     for inner in [10usize, 45, 100] {
         let design = generate(&GeneratorConfig::new(inner), 99);
         let seed = pare_down(&design, &constraints);
-        group.bench_with_input(BenchmarkId::from_parameter(inner), &(design, seed), |b, (d, s)| {
-            b.iter(|| black_box(refine(d, &constraints, s)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(inner),
+            &(design, seed),
+            |b, (d, s)| b.iter(|| black_box(refine(d, &constraints, s))),
+        );
     }
     group.finish();
 }

@@ -10,10 +10,13 @@ use std::hint::black_box;
 /// A synthesized random design and a grid just big enough to host it.
 fn prepared(inner: usize) -> (eblocks_core::Design, Topology) {
     let design = generate(&GeneratorConfig::new(inner), 77);
-    let result = synthesize(&design, &SynthesisOptions {
-        verify: false,
-        ..Default::default()
-    })
+    let result = synthesize(
+        &design,
+        &SynthesisOptions {
+            verify: false,
+            ..Default::default()
+        },
+    )
     .expect("synthesis succeeds on generated designs");
     let blocks = result.synthesized.num_blocks();
     let side = (blocks as f64).sqrt().ceil() as usize;

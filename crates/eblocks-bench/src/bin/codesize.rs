@@ -62,9 +62,20 @@ fn main() {
     let mut with_opt = 0usize;
     let mut without_opt = 0usize;
     for entry in eblocks_designs::all() {
-        let on = SynthesisOptions { verify: false, optimize: true, ..Default::default() };
-        let off = SynthesisOptions { verify: false, optimize: false, ..Default::default() };
-        if let (Ok(a), Ok(b)) = (synthesize(&entry.design, &on), synthesize(&entry.design, &off)) {
+        let on = SynthesisOptions {
+            verify: false,
+            optimize: true,
+            ..Default::default()
+        };
+        let off = SynthesisOptions {
+            verify: false,
+            optimize: false,
+            ..Default::default()
+        };
+        if let (Ok(a), Ok(b)) = (
+            synthesize(&entry.design, &on),
+            synthesize(&entry.design, &off),
+        ) {
             with_opt += a.size_estimates.iter().map(|(_, e)| e.words).sum::<usize>();
             without_opt += b.size_estimates.iter().map(|(_, e)| e.words).sum::<usize>();
         }

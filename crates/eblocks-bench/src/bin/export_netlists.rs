@@ -3,6 +3,7 @@
 //! enforces the sync.
 
 fn main() {
+    std::fs::create_dir_all("netlists").unwrap();
     for entry in eblocks_designs::all() {
         let file = format!("netlists/{}.netlist", entry.design.name());
         std::fs::write(&file, eblocks_core::netlist::to_netlist(&entry.design)).unwrap();

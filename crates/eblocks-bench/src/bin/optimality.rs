@@ -12,8 +12,8 @@
 use eblocks_bench::timed;
 use eblocks_gen::{generate, GeneratorConfig};
 use eblocks_partition::{
-    aggregation, anneal, exhaustive, pare_down, pare_down_refined, AnnealConfig,
-    ExhaustiveOptions, PartitionConstraints,
+    aggregation, anneal, exhaustive, pare_down, pare_down_refined, AnnealConfig, ExhaustiveOptions,
+    PartitionConstraints,
 };
 use std::time::Duration;
 

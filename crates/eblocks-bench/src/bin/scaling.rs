@@ -50,7 +50,11 @@ fn main() {
             "{:>6} {:>14} {:>10} | {:>16} {:>10}",
             inner,
             fmt_time(t.elapsed),
-            if t.result.is_complete() { "yes" } else { "TIMEOUT" },
+            if t.result.is_complete() {
+                "yes"
+            } else {
+                "TIMEOUT"
+            },
             fmt_time(raw_elapsed),
             if raw.is_complete() { "yes" } else { "TIMEOUT" }
         );
@@ -60,7 +64,12 @@ fn main() {
     println!("{:>6} {:>14} {:>8} {:>8}", "inner", "time", "total", "prog");
     for inner in [6, 10, 14, 20, 25, 35, 45, 100, 200, 465] {
         let design = generate(&GeneratorConfig::new(inner), 4242 + inner as u64);
-        let t = run_algo(&design, &constraints, Algo::PareDown, Duration::from_secs(1));
+        let t = run_algo(
+            &design,
+            &constraints,
+            Algo::PareDown,
+            Duration::from_secs(1),
+        );
         println!(
             "{:>6} {:>14} {:>8} {:>8}",
             inner,

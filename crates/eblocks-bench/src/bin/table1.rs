@@ -14,7 +14,16 @@ fn main() {
     println!("Table 1 — exhaustive search and PareDown on the design library");
     println!(
         "{:<26} {:>5} | {:>9} {:>8} {:>10} | {:>9} {:>8} {:>10} | {:>8} {:>9}",
-        "design", "inner", "exh.tot", "exh.prog", "exh.time", "pd.tot", "pd.prog", "pd.time", "overhead", "%overhead"
+        "design",
+        "inner",
+        "exh.tot",
+        "exh.prog",
+        "exh.time",
+        "pd.tot",
+        "pd.prog",
+        "pd.time",
+        "overhead",
+        "%overhead"
     );
     println!("{}", "-".repeat(126));
 

@@ -31,7 +31,10 @@ fn main() {
     );
     println!("{}", render_table2(&rows));
 
-    let timeouts: usize = rows.iter().filter_map(|r| r.exhaustive.map(|e| e.timeouts)).sum();
+    let timeouts: usize = rows
+        .iter()
+        .filter_map(|r| r.exhaustive.map(|e| e.timeouts))
+        .sum();
     if timeouts > 0 {
         println!(
             "note: {timeouts} exhaustive run(s) hit the per-design time limit; their rows are lower bounds on the optimum's cost"

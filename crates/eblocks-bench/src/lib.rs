@@ -194,9 +194,19 @@ pub fn table2_sweep(
             let seed = (inner as u64) << 32 | i as u64;
             let design = generate(&GeneratorConfig::new(inner), seed);
             if inner <= EXHAUSTIVE_CUTOFF {
-                exh.add(&run_algo(&design, &constraints, Algo::Exhaustive, per_design_limit));
+                exh.add(&run_algo(
+                    &design,
+                    &constraints,
+                    Algo::Exhaustive,
+                    per_design_limit,
+                ));
             }
-            pd.add(&run_algo(&design, &constraints, Algo::PareDown, per_design_limit));
+            pd.add(&run_algo(
+                &design,
+                &constraints,
+                Algo::PareDown,
+                per_design_limit,
+            ));
         }
         progress(inner, count);
         rows.push(SweepRow {

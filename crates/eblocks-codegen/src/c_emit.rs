@@ -26,7 +26,10 @@ pub fn emit_c(name: &str, program: &Program, num_inputs: u8, num_outputs: u8) ->
     let types = infer_types(program);
     let mut out = String::new();
     let _ = writeln!(out, "/* Generated eBlock program: {name} */");
-    let _ = writeln!(out, "/* Target: Microchip PIC16F628 (2 KB program memory) */");
+    let _ = writeln!(
+        out,
+        "/* Target: Microchip PIC16F628 (2 KB program memory) */"
+    );
     out.push_str("#include <stdint.h>\n\n");
     out.push_str("typedef uint8_t eb_bool;\n\n");
 
@@ -43,12 +46,12 @@ pub fn emit_c(name: &str, program: &Program, num_inputs: u8, num_outputs: u8) ->
         num_inputs.max(1),
         num_outputs.max(1)
     );
-    let tick_sig = format!(
-        "void eblock_on_tick(eb_bool out[{}])",
-        num_outputs.max(1)
-    );
+    let tick_sig = format!("void eblock_on_tick(eb_bool out[{}])", num_outputs.max(1));
 
-    for (kind, sig) in [(HandlerKind::Input, input_sig), (HandlerKind::Tick, tick_sig)] {
+    for (kind, sig) in [
+        (HandlerKind::Input, input_sig),
+        (HandlerKind::Tick, tick_sig),
+    ] {
         let _ = writeln!(out, "{sig} {{");
         if let Some(handler) = program.handler(kind) {
             // Handler-local `let` variables, declared up front (C89-friendly
@@ -207,9 +210,7 @@ fn emit_expr(e: &Expr) -> String {
             Expr::Bool(b) => Expr::Int(i64::from(*b)),
             Expr::Int(_) => e.clone(),
             Expr::Unary(op, inner) => Expr::Unary(*op, Box::new(rewrite(inner))),
-            Expr::Binary(op, l, r) => {
-                Expr::Binary(*op, Box::new(rewrite(l)), Box::new(rewrite(r)))
-            }
+            Expr::Binary(op, l, r) => Expr::Binary(*op, Box::new(rewrite(l)), Box::new(rewrite(r))),
         }
     }
     rewrite(e).to_string()
@@ -224,7 +225,10 @@ mod tests {
     fn emits_combinational_function() {
         let p = parse("on input { out0 = in0 && !in1; }").unwrap();
         let c = emit_c("demo", &p, 2, 1);
-        assert!(c.contains("void eblock_on_input(const eb_bool in[2], eb_bool out[1])"), "{c}");
+        assert!(
+            c.contains("void eblock_on_input(const eb_bool in[2], eb_bool out[1])"),
+            "{c}"
+        );
         assert!(c.contains("out[0] = in[0] && !in[1];"), "{c}");
         assert!(c.contains("void eblock_on_tick"), "tick stub present");
     }

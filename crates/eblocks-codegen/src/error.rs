@@ -46,10 +46,16 @@ impl fmt::Display for CodegenError {
                 write!(f, "partition member `{block}` is not an inner block")
             }
             Self::TooManyInputs { need, have } => {
-                write!(f, "partition needs {need} input pins but the block has {have}")
+                write!(
+                    f,
+                    "partition needs {need} input pins but the block has {have}"
+                )
             }
             Self::TooManyOutputs { need, have } => {
-                write!(f, "partition needs {need} output pins but the block has {have}")
+                write!(
+                    f,
+                    "partition needs {need} output pins but the block has {have}"
+                )
             }
             Self::MergedProgramInvalid { error } => {
                 write!(f, "merged program failed static checks: {error}")

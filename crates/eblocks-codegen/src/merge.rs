@@ -1,8 +1,8 @@
 //! Syntax-tree merging: one behavior program per partition (§3.3).
 
 use crate::error::CodegenError;
-use eblocks_behavior::{check, library, Handler, HandlerKind, Program, StateDecl, Stmt};
 use eblocks_behavior::Expr as BExpr;
+use eblocks_behavior::{check, library, Handler, HandlerKind, Program, StateDecl, Stmt};
 use eblocks_core::{levels, BlockId, BlockKind, Design, ProgrammableSpec};
 
 /// The program generated for one partition, plus the pin assignment needed
@@ -382,17 +382,32 @@ mod tests {
         d.connect((t1, 0), (t2, 0)).unwrap();
         d.connect((t2, 0), (o, 0)).unwrap();
         let merged = merge_partition(&d, &[t1, t2], ProgrammableSpec::default()).unwrap();
-        let states: Vec<&str> = merged.program.states.iter().map(|s| s.name.as_str()).collect();
-        assert!(states.contains(&"m0_q") && states.contains(&"m1_q"), "{states:?}");
+        let states: Vec<&str> = merged
+            .program
+            .states
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert!(
+            states.contains(&"m0_q") && states.contains(&"m1_q"),
+            "{states:?}"
+        );
 
         // Behavior: press-release twice; t1 toggles twice (back to off), t2
         // follows t1's rising edge once.
         let mut m = Machine::new(&merged.program);
-        let press = |m: &mut Machine, v: bool| {
-            m.on_input(&[Value::Bool(v)]).unwrap().get(&0).copied()
-        };
-        assert_eq!(press(&mut m, true), Some(Value::Bool(true)), "t1 up edge -> t2 flips");
+        let press =
+            |m: &mut Machine, v: bool| m.on_input(&[Value::Bool(v)]).unwrap().get(&0).copied();
+        assert_eq!(
+            press(&mut m, true),
+            Some(Value::Bool(true)),
+            "t1 up edge -> t2 flips"
+        );
         press(&mut m, false);
-        assert_eq!(press(&mut m, true), Some(Value::Bool(true)), "t1 drops, t2 holds");
+        assert_eq!(
+            press(&mut m, true),
+            Some(Value::Bool(true)),
+            "t1 drops, t2 holds"
+        );
     }
 }

@@ -48,9 +48,7 @@ pub fn cut_cost(design: &Design, index: &InnerIndex, members: &BitSet) -> CutCos
     for pos in members.iter() {
         let block = index.block(pos);
         for w in design.in_wires(block) {
-            let src_inside = index
-                .position(w.from)
-                .is_some_and(|p| members.contains(p));
+            let src_inside = index.position(w.from).is_some_and(|p| members.contains(p));
             if !src_inside {
                 external_sources.insert((w.from, w.from_port));
             }
@@ -125,7 +123,13 @@ mod tests {
     fn whole_pipeline_costs_two_in_one_out() {
         let (d, idx) = pipeline();
         let cost = cut_cost(&d, &idx, &idx.full_set());
-        assert_eq!(cost, CutCost { inputs: 2, outputs: 1 });
+        assert_eq!(
+            cost,
+            CutCost {
+                inputs: 2,
+                outputs: 1
+            }
+        );
         assert_eq!(cost.total(), 3);
         assert!(cost.fits(2, 2));
         assert!(!cost.fits(1, 2));
@@ -136,10 +140,22 @@ mod tests {
         let (d, idx) = pipeline();
         let mut only_g1 = idx.empty_set();
         only_g1.insert(0);
-        assert_eq!(cut_cost(&d, &idx, &only_g1), CutCost { inputs: 2, outputs: 1 });
+        assert_eq!(
+            cut_cost(&d, &idx, &only_g1),
+            CutCost {
+                inputs: 2,
+                outputs: 1
+            }
+        );
         let mut only_g2 = idx.empty_set();
         only_g2.insert(1);
-        assert_eq!(cut_cost(&d, &idx, &only_g2), CutCost { inputs: 1, outputs: 1 });
+        assert_eq!(
+            cut_cost(&d, &idx, &only_g2),
+            CutCost {
+                inputs: 1,
+                outputs: 1
+            }
+        );
     }
 
     #[test]
@@ -160,7 +176,13 @@ mod tests {
         d.connect((s, 0), (g, 1)).unwrap();
         d.connect((g, 0), (o, 0)).unwrap();
         let idx = InnerIndex::new(&d);
-        assert_eq!(cut_cost(&d, &idx, &idx.full_set()), CutCost { inputs: 1, outputs: 1 });
+        assert_eq!(
+            cut_cost(&d, &idx, &idx.full_set()),
+            CutCost {
+                inputs: 1,
+                outputs: 1
+            }
+        );
     }
 
     #[test]
@@ -175,7 +197,13 @@ mod tests {
         d.connect((g, 0), (o1, 0)).unwrap();
         d.connect((g, 0), (o2, 0)).unwrap();
         let idx = InnerIndex::new(&d);
-        assert_eq!(cut_cost(&d, &idx, &idx.full_set()), CutCost { inputs: 1, outputs: 1 });
+        assert_eq!(
+            cut_cost(&d, &idx, &idx.full_set()),
+            CutCost {
+                inputs: 1,
+                outputs: 1
+            }
+        );
     }
 
     #[test]
@@ -190,7 +218,13 @@ mod tests {
         d.connect((sp, 0), (o1, 0)).unwrap();
         d.connect((sp, 1), (o2, 0)).unwrap();
         let idx = InnerIndex::new(&d);
-        assert_eq!(cut_cost(&d, &idx, &idx.full_set()), CutCost { inputs: 1, outputs: 2 });
+        assert_eq!(
+            cut_cost(&d, &idx, &idx.full_set()),
+            CutCost {
+                inputs: 1,
+                outputs: 2
+            }
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::block::Block;
 use crate::error::DesignError;
 use crate::kind::BlockKind;
 use petgraph::stable_graph::{EdgeIndex, NodeIndex, StableDiGraph};
-use petgraph::visit::{EdgeRef, IntoEdgeReferences};
+use petgraph::visit::EdgeRef;
 use petgraph::Direction;
 use std::collections::HashMap;
 use std::fmt;
@@ -103,7 +103,8 @@ impl Design {
     /// [`Design::try_add_block`] for a fallible variant. The panicking variant
     /// keeps example and test code unceremonious — names are usually literals.
     pub fn add_block(&mut self, name: impl Into<String>, kind: impl Into<BlockKind>) -> BlockId {
-        self.try_add_block(name, kind).expect("duplicate block name")
+        self.try_add_block(name, kind)
+            .expect("duplicate block name")
     }
 
     /// Adds a block and returns its id.
@@ -142,7 +143,11 @@ impl Design {
     /// * [`DesignError::PortOutOfRange`] if a port index exceeds the arity,
     /// * [`DesignError::InputAlreadyDriven`] if the input port has a driver,
     /// * [`DesignError::WouldCycle`] if the wire would close a cycle.
-    pub fn connect(&mut self, from: (BlockId, u8), to: (BlockId, u8)) -> Result<EdgeId, DesignError> {
+    pub fn connect(
+        &mut self,
+        from: (BlockId, u8),
+        to: (BlockId, u8),
+    ) -> Result<EdgeId, DesignError> {
         let (src, from_port) = from;
         let (dst, to_port) = to;
         let src_block = self.block(src).ok_or_else(|| DesignError::UnknownBlock {
@@ -180,7 +185,9 @@ impl Design {
                 to: dst_block.name().to_string(),
             });
         }
-        let e = self.graph.add_edge(src.0, dst.0, Connection { from_port, to_port });
+        let e = self
+            .graph
+            .add_edge(src.0, dst.0, Connection { from_port, to_port });
         Ok(EdgeId(e))
     }
 
@@ -200,7 +207,10 @@ impl Design {
         let name = dst_block.name().to_string();
         let port = (0..arity)
             .find(|&p| self.driver_of(to, p).is_none())
-            .ok_or(DesignError::InputAlreadyDriven { block: name, port: arity })?;
+            .ok_or(DesignError::InputAlreadyDriven {
+                block: name,
+                port: arity,
+            })?;
         self.connect((from, 0), (to, port))
     }
 
@@ -469,11 +479,17 @@ mod tests {
         let n = d.add_block("n", ComputeKind::Not);
         assert!(matches!(
             d.connect((s, 1), (n, 0)),
-            Err(DesignError::PortOutOfRange { direction: "output", .. })
+            Err(DesignError::PortOutOfRange {
+                direction: "output",
+                ..
+            })
         ));
         assert!(matches!(
             d.connect((s, 0), (n, 1)),
-            Err(DesignError::PortOutOfRange { direction: "input", .. })
+            Err(DesignError::PortOutOfRange {
+                direction: "input",
+                ..
+            })
         ));
     }
 

@@ -211,7 +211,11 @@ impl ComputeKind {
         match self {
             Self::Logic2(_) | Self::Trip => 2,
             Self::Logic3(_) => 3,
-            Self::Not | Self::Splitter | Self::Toggle | Self::PulseGen { .. } | Self::Delay { .. } => 1,
+            Self::Not
+            | Self::Splitter
+            | Self::Toggle
+            | Self::PulseGen { .. }
+            | Self::Delay { .. } => 1,
         }
     }
 
@@ -293,7 +297,10 @@ impl ProgrammableSpec {
 impl Default for ProgrammableSpec {
     /// The paper's evaluation configuration: two inputs, two outputs.
     fn default() -> Self {
-        Self { inputs: 2, outputs: 2 }
+        Self {
+            inputs: 2,
+            outputs: 2,
+        }
     }
 }
 
@@ -460,7 +467,12 @@ mod tests {
             ComputeKind::Delay { ticks: 9 },
         ];
         for k in kinds {
-            assert_eq!(ComputeKind::parse(&k.token()), Some(k), "token {}", k.token());
+            assert_eq!(
+                ComputeKind::parse(&k.token()),
+                Some(k),
+                "token {}",
+                k.token()
+            );
         }
         assert_eq!(ComputeKind::parse("bogus"), None);
     }

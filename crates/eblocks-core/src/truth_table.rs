@@ -238,6 +238,9 @@ mod tests {
     fn display_uses_name() {
         assert_eq!(TruthTable2::AND.to_string(), "AND");
         assert_eq!(TruthTable3::MUX.to_string(), "MUX");
-        assert_eq!(TruthTable2::from_mask(0b1011).unwrap().to_string(), "TT2:1011");
+        assert_eq!(
+            TruthTable2::from_mask(0b1011).unwrap().to_string(),
+            "TT2:1011"
+        );
     }
 }

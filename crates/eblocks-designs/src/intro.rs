@@ -10,6 +10,26 @@
 
 use eblocks_core::{CommKind, ComputeKind, Design, OutputKind, SensorKind};
 
+/// §1 flagship: the garage-open-at-night monitor from the paper's opening
+/// scenario — "a light turns on inside the house whenever the garage door
+/// is open at night".
+///
+/// A contact switch on the door and a light sensor outside; the door being
+/// open while it is dark lights the indicator LED.
+pub fn garage_open_at_night() -> Design {
+    let mut d = Design::new("garage-open-at-night");
+    let door = d.add_block("door", SensorKind::ContactSwitch);
+    let light = d.add_block("light", SensorKind::Light);
+    let inv = d.add_block("inv", ComputeKind::Not);
+    let both = d.add_block("both", ComputeKind::and2());
+    let led = d.add_block("led", OutputKind::Led);
+    d.connect((door, 0), (both, 0)).expect("fresh wire");
+    d.connect((light, 0), (inv, 0)).expect("fresh wire");
+    d.connect((inv, 0), (both, 1)).expect("fresh wire");
+    d.connect((both, 0), (led, 0)).expect("fresh wire");
+    d
+}
+
 /// §1: "A sleepwalk detector would utilize a motion sensor block, light
 /// sensor block, logic block and output block."
 ///
@@ -81,9 +101,10 @@ pub fn conference_room_detector() -> Design {
     d
 }
 
-/// All four §1 systems, named.
+/// All five §1 systems, named.
 pub fn all_intro() -> Vec<(&'static str, Design)> {
     vec![
+        ("Garage Open At Night", garage_open_at_night()),
         ("Sleepwalk Detector", sleepwalk_detector()),
         ("Mailroom Notifier", mailroom_notifier()),
         ("Copy Machine Detector", copy_machine_detector()),

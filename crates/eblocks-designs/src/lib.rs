@@ -27,8 +27,8 @@ use eblocks_core::{ComputeKind, Design, OutputKind, SensorKind};
 pub mod intro;
 
 pub use intro::{
-    all_intro, conference_room_detector, copy_machine_detector, mailroom_notifier,
-    sleepwalk_detector,
+    all_intro, conference_room_detector, copy_machine_detector, garage_open_at_night,
+    mailroom_notifier, sleepwalk_detector,
 };
 
 /// Expected partitioning outcome for a library design, as reported in
@@ -445,11 +445,14 @@ pub fn noise_at_night_detector() -> Design {
     d.connect((pulses[2], 0), (collect, 2)).unwrap();
     let light = d.add_block("light", SensorKind::Light);
     let armed = d.add_block("armed", SensorKind::ContactSwitch);
-    let master = d.add_block("master", ComputeKind::Logic3(eblocks_core::TruthTable3::from_mask(
-        // out = (in0 || in1) && in2  where in0 = collector, in1 = zone-4
-        // pulse, in2 = armed switch: minterms with in2 and (in0 or in1).
-        0b1110_0000,
-    )));
+    let master = d.add_block(
+        "master",
+        ComputeKind::Logic3(eblocks_core::TruthTable3::from_mask(
+            // out = (in0 || in1) && in2  where in0 = collector, in1 = zone-4
+            // pulse, in2 = armed switch: minterms with in2 and (in0 or in1).
+            0b1110_0000,
+        )),
+    );
     d.connect((collect, 0), (master, 0)).unwrap();
     d.connect((pulses[3], 0), (master, 1)).unwrap();
     d.connect((armed, 0), (master, 2)).unwrap();
@@ -496,7 +499,10 @@ pub fn two_zone_security() -> Design {
     for (zone, chime) in [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2), (2, 3)] {
         let door = d.add_block(format!("z{zone}_inner{chime}"), SensorKind::ContactSwitch);
         let latch = d.add_block(format!("z{zone}_latch{chime}"), ComputeKind::Toggle);
-        let chirp = d.add_block(format!("z{zone}_chirp{chime}"), ComputeKind::PulseGen { ticks: 4 });
+        let chirp = d.add_block(
+            format!("z{zone}_chirp{chime}"),
+            ComputeKind::PulseGen { ticks: 4 },
+        );
         let led = d.add_block(format!("z{zone}_led{chime}"), OutputKind::Led);
         d.connect((door, 0), (latch, 0)).unwrap();
         d.connect((latch, 0), (chirp, 0)).unwrap();
@@ -636,7 +642,11 @@ mod tests {
         for entry in all() {
             let c = entry.design.census();
             assert_eq!(c.inner, entry.expected.inner_original, "{}", entry.name);
-            assert_eq!(c.programmable, 0, "{}: library designs are pre-synthesis", entry.name);
+            assert_eq!(
+                c.programmable, 0,
+                "{}: library designs are pre-synthesis",
+                entry.name
+            );
             assert!(c.sensors > 0 && c.outputs > 0, "{}", entry.name);
         }
     }

@@ -167,8 +167,7 @@ fn tree(inner: usize, rng: &mut StdRng) -> Design {
     }
     // A reduction tree with `inner` 2-input gates needs `inner + 1` leaves.
     // Reduce the frontier pairwise until one signal remains.
-    let mut frontier: Vec<(BlockId, u8)> =
-        (0..=inner).map(|i| (sensor(&mut d, i), 0)).collect();
+    let mut frontier: Vec<(BlockId, u8)> = (0..=inner).map(|i| (sensor(&mut d, i), 0)).collect();
     let mut gates = 0usize;
     while frontier.len() > 1 {
         let a = frontier.remove(0);
@@ -225,12 +224,7 @@ mod tests {
         for family in Family::ALL {
             for n in [1, 2, 4, 7, 12, 25] {
                 let d = generate_family(family, n, 3);
-                assert_eq!(
-                    d.inner_blocks().count(),
-                    n,
-                    "{} n={n}",
-                    family.name()
-                );
+                assert_eq!(d.inner_blocks().count(), n, "{} n={n}", family.name());
                 d.validate()
                     .unwrap_or_else(|e| panic!("{} n={n}: {e}", family.name()));
             }
@@ -294,10 +288,7 @@ mod tests {
         let d = generate_family(Family::Reconvergent, 9, 5);
         // 2 diamonds (8 blocks) + 1 tail block; one sensor, one output.
         assert_eq!(d.sensors().count(), 1);
-        let splitters = d
-            .inner_blocks()
-            .filter(|&b| d.outdegree(b) == 2)
-            .count();
+        let splitters = d.inner_blocks().filter(|&b| d.outdegree(b) == 2).count();
         assert_eq!(splitters, 2);
     }
 

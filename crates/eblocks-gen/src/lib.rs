@@ -143,10 +143,8 @@ pub fn generate_with(config: &GeneratorConfig, rng: &mut impl RngExt) -> Design 
             // physically that needs a splitter, and behaviorally it is a
             // packet-delivery race (e.g. a trip latch set and reset by the
             // same edge) that no two schedules resolve identically.
-            let already_driving: Vec<(eblocks_core::BlockId, u8)> = design
-                .in_wires(id)
-                .map(|w| (w.from, w.from_port))
-                .collect();
+            let already_driving: Vec<(eblocks_core::BlockId, u8)> =
+                design.in_wires(id).map(|w| (w.from, w.from_port)).collect();
             let upstream: Vec<usize> = source_ports
                 .iter()
                 .enumerate()
@@ -157,7 +155,7 @@ pub fn generate_with(config: &GeneratorConfig, rng: &mut impl RngExt) -> Design 
                 .collect();
             let use_sensor = level == 1
                 || upstream.is_empty()
-                || rng.random_range(0..1000) < config.sensor_bias_pm as u32;
+                || rng.random_range(0..1000u32) < config.sensor_bias_pm as u32;
             if use_sensor {
                 let s = fresh_sensor(&mut design, &mut sensor_count);
                 design.connect((s, 0), (id, port)).expect("sensor wire");
@@ -168,7 +166,7 @@ pub fn generate_with(config: &GeneratorConfig, rng: &mut impl RngExt) -> Design 
                     .copied()
                     .filter(|&i| !source_ports[i].2)
                     .collect();
-                let want_fanout = rng.random_range(0..1000) < config.fanout_bias_pm as u32;
+                let want_fanout = rng.random_range(0..1000u32) < config.fanout_bias_pm as u32;
                 let pool = if !want_fanout && !unused.is_empty() {
                     &unused
                 } else {

@@ -336,7 +336,11 @@ mod tests {
         let s = d.add_block("s", SensorKind::Button);
         let o = d.add_block("o", OutputKind::Led);
         d.connect((s, 0), (o, 0)).unwrap();
-        let r = anneal(&d, &PartitionConstraints::default(), &AnnealConfig::default());
+        let r = anneal(
+            &d,
+            &PartitionConstraints::default(),
+            &AnnealConfig::default(),
+        );
         assert_eq!(r.inner_total(), 0);
     }
 

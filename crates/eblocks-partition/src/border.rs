@@ -161,12 +161,7 @@ mod tests {
     use eblocks_core::{cut_cost, ComputeKind, OutputKind, SensorKind};
 
     /// Reference implementation: full recomputation.
-    fn rank_by_recompute(
-        design: &Design,
-        index: &InnerIndex,
-        members: &BitSet,
-        pos: usize,
-    ) -> i64 {
+    fn rank_by_recompute(design: &Design, index: &InnerIndex, members: &BitSet, pos: usize) -> i64 {
         let before = cut_cost(design, index, members).total() as i64;
         let mut without = members.clone();
         without.remove(pos);

@@ -160,7 +160,10 @@ mod tests {
         ac.insert(idx.position(c).unwrap());
 
         let plain = PartitionConstraints::default();
-        assert!(plain.fits(&d, &idx, &ac), "paper semantics admit non-convex sets");
+        assert!(
+            plain.fits(&d, &idx, &ac),
+            "paper semantics admit non-convex sets"
+        );
         let strict = PartitionConstraints {
             require_convex: true,
             ..Default::default()

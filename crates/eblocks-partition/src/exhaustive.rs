@@ -81,12 +81,7 @@ pub fn exhaustive(
     let complete = !search.timed_out;
     match search.best {
         Some(best) => Partitioning::new(best.partitions, best.uncovered, "exhaustive", complete),
-        None => Partitioning::new(
-            Vec::new(),
-            index.blocks().to_vec(),
-            "exhaustive",
-            complete,
-        ),
+        None => Partitioning::new(Vec::new(), index.blocks().to_vec(), "exhaustive", complete),
     }
 }
 
@@ -427,7 +422,11 @@ mod tests {
         let s = d.add_block("s", SensorKind::Button);
         let o = d.add_block("o", OutputKind::Led);
         d.connect((s, 0), (o, 0)).unwrap();
-        let r = exhaustive(&d, &PartitionConstraints::default(), ExhaustiveOptions::default());
+        let r = exhaustive(
+            &d,
+            &PartitionConstraints::default(),
+            ExhaustiveOptions::default(),
+        );
         assert_eq!(r.inner_total(), 0);
         assert!(r.is_complete());
     }

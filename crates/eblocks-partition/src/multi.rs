@@ -55,13 +55,27 @@ impl BlockCatalog {
     /// target: any candidate fitting *some* catalog entry fits this
     /// envelope).
     pub fn envelope(&self) -> ProgrammableSpec {
-        let inputs = self.programmable.iter().map(|(s, _)| s.inputs).max().unwrap_or(0);
-        let outputs = self.programmable.iter().map(|(s, _)| s.outputs).max().unwrap_or(0);
+        let inputs = self
+            .programmable
+            .iter()
+            .map(|(s, _)| s.inputs)
+            .max()
+            .unwrap_or(0);
+        let outputs = self
+            .programmable
+            .iter()
+            .map(|(s, _)| s.outputs)
+            .max()
+            .unwrap_or(0);
         ProgrammableSpec::new(inputs, outputs)
     }
 
     /// The cheapest catalog entry whose pins cover `(inputs, outputs)`.
-    pub fn cheapest_fitting(&self, inputs: usize, outputs: usize) -> Option<(ProgrammableSpec, f64)> {
+    pub fn cheapest_fitting(
+        &self,
+        inputs: usize,
+        outputs: usize,
+    ) -> Option<(ProgrammableSpec, f64)> {
         self.programmable
             .iter()
             .filter(|(s, _)| inputs <= s.inputs as usize && outputs <= s.outputs as usize)
@@ -230,7 +244,9 @@ mod tests {
         let (spec, _) = tiered.assignments[0];
         assert_eq!((spec.inputs, spec.outputs), (4, 4));
         // Cost improved over the pre-defined baseline.
-        assert!(tiered.total_cost < MultiPartitioning::baseline_cost(&BlockCatalog::three_tier(), 3));
+        assert!(
+            tiered.total_cost < MultiPartitioning::baseline_cost(&BlockCatalog::three_tier(), 3)
+        );
     }
 
     #[test]
@@ -238,7 +254,11 @@ mod tests {
         // A 1-in/1-out chain pair should get the cheap small block, not the
         // big one.
         let d = chain(3);
-        let multi = pare_down_multi(&d, &PartitionConstraints::default(), &BlockCatalog::three_tier());
+        let multi = pare_down_multi(
+            &d,
+            &PartitionConstraints::default(),
+            &BlockCatalog::three_tier(),
+        );
         assert_eq!(multi.partitioning.num_partitions(), 1);
         let (spec, cost) = multi.assignments[0];
         assert_eq!((spec.inputs, spec.outputs), (1, 1));
@@ -279,7 +299,8 @@ mod tests {
         let cat = BlockCatalog::three_tier();
         assert_eq!(cat.envelope(), ProgrammableSpec::new(4, 4));
         assert_eq!(
-            cat.cheapest_fitting(2, 1).map(|(s, _)| (s.inputs, s.outputs)),
+            cat.cheapest_fitting(2, 1)
+                .map(|(s, _)| (s.inputs, s.outputs)),
             Some((2, 2))
         );
         assert_eq!(cat.cheapest_fitting(5, 1), None);

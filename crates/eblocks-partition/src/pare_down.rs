@@ -262,7 +262,11 @@ mod tests {
         // structured designs.
         for n in 1..12 {
             let d = chain(n);
-            for spec in [ProgrammableSpec::new(1, 1), ProgrammableSpec::new(2, 2), ProgrammableSpec::new(4, 4)] {
+            for spec in [
+                ProgrammableSpec::new(1, 1),
+                ProgrammableSpec::new(2, 2),
+                ProgrammableSpec::new(4, 4),
+            ] {
                 let c = PartitionConstraints::with_spec(spec);
                 pare_down(&d, &c).verify(&d, &c).unwrap();
             }

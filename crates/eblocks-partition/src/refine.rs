@@ -235,12 +235,7 @@ mod tests {
         let c = PartitionConstraints::default();
         // PareDown covers this already (the full candidate fits), so start
         // from the worst-case: everything uncovered.
-        let worst = Partitioning::new(
-            vec![],
-            d.inner_blocks().collect(),
-            "worst",
-            true,
-        );
+        let worst = Partitioning::new(vec![], d.inner_blocks().collect(), "worst", true);
         let (refined, report) = refine(&d, &c, &worst);
         refined.verify(&d, &c).unwrap();
         assert_eq!(refined.num_partitions(), 1);

@@ -202,7 +202,11 @@ impl fmt::Display for VerifyError {
             Self::UndersizedPartition { index } => {
                 write!(f, "partition {index} has fewer than two blocks")
             }
-            Self::Infeasible { index, inputs, outputs } => write!(
+            Self::Infeasible {
+                index,
+                inputs,
+                outputs,
+            } => write!(
                 f,
                 "partition {index} needs {inputs} inputs / {outputs} outputs, exceeding the block"
             ),

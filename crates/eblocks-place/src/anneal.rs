@@ -166,7 +166,14 @@ pub fn anneal_place(
             }
         };
 
-        apply(&mut assignment, &mut load, block, old_site, target, swap_with);
+        apply(
+            &mut assignment,
+            &mut load,
+            block,
+            old_site,
+            target,
+            swap_with,
+        );
         let after = match (block_cost(&assignment, block), swap_with) {
             (Some(c), None) => Some(c),
             (Some(c), Some(other)) => block_cost(&assignment, other).map(|oc| c + oc),
@@ -190,7 +197,14 @@ pub fn anneal_place(
             }
         } else {
             // Undo by applying the inverse move.
-            apply(&mut assignment, &mut load, block, target, old_site, swap_with);
+            apply(
+                &mut assignment,
+                &mut load,
+                block,
+                target,
+                old_site,
+                swap_with,
+            );
         }
         temp *= decay;
     }

@@ -194,6 +194,9 @@ mod tests {
         let d = chain(5);
         let t = Topology::grid(4, 2);
         let problem = PlacementProblem::new(&d, &t).unwrap();
-        assert_eq!(greedy_place(&problem).unwrap(), greedy_place(&problem).unwrap());
+        assert_eq!(
+            greedy_place(&problem).unwrap(),
+            greedy_place(&problem).unwrap()
+        );
     }
 }

@@ -59,7 +59,10 @@ impl<'a> PlacementProblem<'a> {
         let cap = self.topology.site(site).expect("checked above").capacity();
         if used > cap {
             self.pins.remove(&block);
-            return Err(PlaceError::PinOverflow { site, capacity: cap });
+            return Err(PlaceError::PinOverflow {
+                site,
+                capacity: cap,
+            });
         }
         Ok(())
     }
@@ -173,9 +176,17 @@ impl Placement {
         }
         for site in problem.topology().sites() {
             let used = self.blocks_at(site).count();
-            let cap = problem.topology().site(site).expect("iterating sites").capacity();
+            let cap = problem
+                .topology()
+                .site(site)
+                .expect("iterating sites")
+                .capacity();
             if used > cap {
-                return Err(PlaceError::CapacityExceeded { site, used, capacity: cap });
+                return Err(PlaceError::CapacityExceeded {
+                    site,
+                    used,
+                    capacity: cap,
+                });
             }
         }
         for (&block, &site) in problem.pins() {
@@ -255,7 +266,10 @@ impl fmt::Display for PlaceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::InsufficientCapacity { needed, available } => {
-                write!(f, "design needs {needed} slots but topology offers {available}")
+                write!(
+                    f,
+                    "design needs {needed} slots but topology offers {available}"
+                )
             }
             Self::UnknownBlock { block } => write!(f, "block {block} is not in the design"),
             Self::UnknownSite { site } => write!(f, "site {site} is not in the topology"),
@@ -266,7 +280,11 @@ impl fmt::Display for PlaceError {
             Self::Unroutable { from, to } => {
                 write!(f, "no path between {from} and {to}")
             }
-            Self::CapacityExceeded { site, used, capacity } => {
+            Self::CapacityExceeded {
+                site,
+                used,
+                capacity,
+            } => {
                 write!(f, "{site} hosts {used} blocks but holds {capacity}")
             }
             Self::PinViolated { block, site } => {
@@ -302,7 +320,10 @@ mod tests {
         let t = Topology::line(2);
         assert!(matches!(
             PlacementProblem::new(&d, &t),
-            Err(PlaceError::InsufficientCapacity { needed: 3, available: 2 })
+            Err(PlaceError::InsufficientCapacity {
+                needed: 3,
+                available: 2
+            })
         ));
         let t = Topology::line(3);
         assert!(PlacementProblem::new(&d, &t).is_ok());
@@ -356,7 +377,11 @@ mod tests {
         overfull.insert(o, SiteId(1));
         assert!(matches!(
             Placement::new(overfull).verify(&problem),
-            Err(PlaceError::CapacityExceeded { used: 2, capacity: 1, .. })
+            Err(PlaceError::CapacityExceeded {
+                used: 2,
+                capacity: 1,
+                ..
+            })
         ));
 
         problem.pin(s, SiteId(2)).unwrap();
@@ -392,7 +417,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = PlaceError::InsufficientCapacity { needed: 5, available: 3 };
+        let e = PlaceError::InsufficientCapacity {
+            needed: 5,
+            available: 3,
+        };
         assert!(e.to_string().contains('5'));
     }
 }

@@ -80,8 +80,7 @@ pub fn route(
         let to = placement
             .site_of(wire.to)
             .ok_or(PlaceError::Unassigned { block: wire.to })?;
-        let path = shortest_path(topology, from, to)
-            .ok_or(PlaceError::Unroutable { from, to })?;
+        let path = shortest_path(topology, from, to).ok_or(PlaceError::Unroutable { from, to })?;
         for leg in path.windows(2) {
             let key = (leg[0].min(leg[1]), leg[0].max(leg[1]));
             *link_load.entry(key).or_insert(0) += 1;
@@ -96,11 +95,7 @@ pub fn route(
 }
 
 /// BFS shortest path, inclusive endpoints; `None` when unreachable.
-fn shortest_path(
-    topology: &crate::Topology,
-    from: SiteId,
-    to: SiteId,
-) -> Option<Vec<SiteId>> {
+fn shortest_path(topology: &crate::Topology, from: SiteId, to: SiteId) -> Option<Vec<SiteId>> {
     if from == to {
         return Some(vec![from]);
     }
@@ -204,12 +199,7 @@ mod tests {
         problem.pin(s2, a).unwrap();
         problem.pin(o1, b).unwrap();
         problem.pin(o2, b).unwrap();
-        let placement = crate::Placement::new(Map::from([
-            (s1, a),
-            (s2, a),
-            (o1, b),
-            (o2, b),
-        ]));
+        let placement = crate::Placement::new(Map::from([(s1, a), (s2, a), (o1, b), (o2, b)]));
         placement.verify(&problem).unwrap();
         let report = route(&problem, &placement).unwrap();
         assert_eq!(report.max_congestion(), Some(((a, b), 2)));

@@ -158,7 +158,10 @@ impl Topology {
     ///
     /// Panics if either id is out of range.
     pub fn link(&mut self, a: SiteId, b: SiteId) {
-        assert!(a.0 < self.sites.len() && b.0 < self.sites.len(), "unknown site");
+        assert!(
+            a.0 < self.sites.len() && b.0 < self.sites.len(),
+            "unknown site"
+        );
         if a == b || self.adjacency[a.0].contains(&b.0) {
             return;
         }
@@ -323,7 +326,11 @@ mod tests {
         assert_eq!(t.total_capacity(), 9);
         let hub = t.site_by_name("hub").unwrap();
         assert_eq!(t.neighbors(hub).count(), 6);
-        assert_eq!(t.distance(SiteId(1), SiteId(2)), Some(2), "leaf to leaf via hub");
+        assert_eq!(
+            t.distance(SiteId(1), SiteId(2)),
+            Some(2),
+            "leaf to leaf via hub"
+        );
     }
 
     #[test]

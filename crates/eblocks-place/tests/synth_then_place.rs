@@ -42,8 +42,14 @@ fn synthesized_podium_timer_places_on_fewer_sites() {
 
 #[test]
 fn annealing_improves_or_matches_greedy_on_synthesized_designs() {
-    for name in ["Noise At Night Detector", "Two-Zone Security", "Timed Passage"] {
-        let design = eblocks_designs::by_name(name).expect("library design").design;
+    for name in [
+        "Noise At Night Detector",
+        "Two-Zone Security",
+        "Timed Passage",
+    ] {
+        let design = eblocks_designs::by_name(name)
+            .expect("library design")
+            .design;
         let result = synthesize(&design, &SynthesisOptions::default()).expect("synthesis");
         let side = (result.synthesized.num_blocks() as f64).sqrt().ceil() as usize;
         let topo = Topology::grid(side, side + 1);
@@ -78,9 +84,15 @@ fn pinned_sensors_anchor_the_synthesized_network() {
 
     let topo = Topology::grid(4, 4);
     let mut problem = PlacementProblem::new(synth, &topo).expect("fits");
-    let door = synth.block_by_name("door").expect("sensors survive synthesis");
-    let light = synth.block_by_name("light").expect("sensors survive synthesis");
-    let led = synth.block_by_name("led").expect("outputs survive synthesis");
+    let door = synth
+        .block_by_name("door")
+        .expect("sensors survive synthesis");
+    let light = synth
+        .block_by_name("light")
+        .expect("sensors survive synthesis");
+    let led = synth
+        .block_by_name("led")
+        .expect("outputs survive synthesis");
     problem.pin(door, topo.site_at(0, 0).unwrap()).unwrap();
     problem.pin(light, topo.site_at(3, 0).unwrap()).unwrap();
     problem.pin(led, topo.site_at(0, 3).unwrap()).unwrap();
@@ -106,8 +118,7 @@ fn every_library_design_is_placeable_after_synthesis() {
         let topo = Topology::grid(side.max(1), side.max(1) + 1);
         let problem = PlacementProblem::new(&result.synthesized, &topo)
             .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
-        let placement =
-            greedy_place(&problem).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let placement = greedy_place(&problem).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
         placement.verify(&problem).unwrap();
         placement.cost(&problem).unwrap();
     }

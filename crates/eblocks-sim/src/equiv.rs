@@ -57,7 +57,11 @@ pub fn equivalence(
     settle: Time,
     tolerance: Time,
 ) -> Result<EquivalenceReport, SimError> {
-    let mut sample_times: Vec<Time> = stimulus.events().iter().map(|&(t, _, _)| t + settle).collect();
+    let mut sample_times: Vec<Time> = stimulus
+        .events()
+        .iter()
+        .map(|&(t, _, _)| t + settle)
+        .collect();
     let horizon = stimulus.end_time().unwrap_or(0) + 2 * settle;
     sample_times.push(horizon);
     sample_times.sort_unstable();
@@ -124,7 +128,10 @@ mod tests {
         d
     }
 
-    fn garage_programmable() -> (Design, HashMap<eblocks_core::BlockId, eblocks_behavior::Program>) {
+    fn garage_programmable() -> (
+        Design,
+        HashMap<eblocks_core::BlockId, eblocks_behavior::Program>,
+    ) {
         let mut d = Design::new("garage-synth");
         let door = d.add_block("door", SensorKind::ContactSwitch);
         let light = d.add_block("light", SensorKind::Light);
@@ -163,7 +170,10 @@ mod tests {
         let stim = Stimulus::new().set(10, "light", true).set(30, "door", true);
         let report = equivalence(&a, &b, &stim, 10, 0).unwrap();
         assert!(!report.is_equivalent());
-        assert!(report.mismatches.iter().all(|(name, _, _, _)| name == "led"));
+        assert!(report
+            .mismatches
+            .iter()
+            .all(|(name, _, _, _)| name == "led"));
     }
 
     #[test]

@@ -58,7 +58,9 @@ impl fmt::Display for SimError {
             Self::NonBooleanPacket { block, port } => {
                 write!(f, "block `{block}` drove a non-boolean value on out{port}")
             }
-            Self::UnknownSensor { name } => write!(f, "stimulus references unknown sensor `{name}`"),
+            Self::UnknownSensor { name } => {
+                write!(f, "stimulus references unknown sensor `{name}`")
+            }
         }
     }
 }
@@ -88,7 +90,9 @@ mod tests {
     fn display_is_informative() {
         let e = SimError::MissingProgram { block: "p1".into() };
         assert!(e.to_string().contains("p1"));
-        let e = SimError::UnknownSensor { name: "ghost".into() };
+        let e = SimError::UnknownSensor {
+            name: "ghost".into(),
+        };
         assert!(e.to_string().contains("ghost"));
         let e = SimError::Eval {
             block: "g".into(),

@@ -122,7 +122,12 @@ impl FaultPlan {
                         });
                     }
                 }
-                Fault::DelayPackets { block, from, to, extra } => {
+                Fault::DelayPackets {
+                    block,
+                    from,
+                    to,
+                    extra,
+                } => {
                     if let Some(id) = design.block_by_name(block) {
                         sender.entry(id).or_default().push(SendFault {
                             from: *from,
@@ -260,7 +265,10 @@ mod tests {
         let d = radio_link();
         let sim = Simulator::new(&d).unwrap();
         // Edge at 10 is lost; edge at 40 (after the window) gets through.
-        let stim = Stimulus::new().set(10, "btn", true).set(30, "btn", false).set(40, "btn", true);
+        let stim = Stimulus::new()
+            .set(10, "btn", true)
+            .set(30, "btn", false)
+            .set(40, "btn", true);
         let plan = FaultPlan::new().with(Fault::DropPackets {
             block: "radio".into(),
             from: 5,
@@ -268,7 +276,11 @@ mod tests {
         });
         let faulty = sim.run_with_faults(&stim, 80, &plan).unwrap();
         assert_eq!(faulty.value_at("led", 20), Some(false), "rise lost");
-        assert_eq!(faulty.final_value("led"), Some(true), "post-window rise arrives");
+        assert_eq!(
+            faulty.final_value("led"),
+            Some(true),
+            "post-window rise arrives"
+        );
     }
 
     #[test]
@@ -327,8 +339,17 @@ mod tests {
         let sim = Simulator::new(&d).unwrap();
         let stim = Stimulus::new().set(10, "btn", true);
         let plan = FaultPlan::new()
-            .with(Fault::DelayPackets { block: "radio".into(), from: 5, to: 50, extra: 3 })
-            .with(Fault::DropPackets { block: "radio".into(), from: 5, to: 50 });
+            .with(Fault::DelayPackets {
+                block: "radio".into(),
+                from: 5,
+                to: 50,
+                extra: 3,
+            })
+            .with(Fault::DropPackets {
+                block: "radio".into(),
+                from: 5,
+                to: 50,
+            });
         let faulty = sim.run_with_faults(&stim, 80, &plan).unwrap();
         // The power-on announcement (t=0, before the window) arrives; the
         // rise at t=10 is dropped, not merely delayed.
@@ -338,8 +359,15 @@ mod tests {
     #[test]
     fn plan_collects_from_iterator() {
         let plan: FaultPlan = [
-            Fault::StuckAt { block: "a".into(), value: false },
-            Fault::DropPackets { block: "b".into(), from: 0, to: 1 },
+            Fault::StuckAt {
+                block: "a".into(),
+                value: false,
+            },
+            Fault::DropPackets {
+                block: "b".into(),
+                from: 0,
+                to: 1,
+            },
         ]
         .into_iter()
         .collect();

@@ -47,17 +47,17 @@
 
 pub mod energy;
 pub mod equiv;
+pub mod error;
 pub mod fault;
 pub mod reliability;
-pub mod error;
 pub mod sim;
 pub mod stimulus;
 pub mod trace;
 pub mod vcd;
 pub mod waveform;
 
-pub use equiv::{equivalence, EquivalenceReport};
 pub use energy::{estimate_energy, EnergyModel, EnergyReport};
+pub use equiv::{equivalence, EquivalenceReport};
 pub use error::SimError;
 pub use fault::{Fault, FaultPlan};
 pub use reliability::{reliability, ReliabilityConfig, ReliabilityReport};

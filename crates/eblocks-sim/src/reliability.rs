@@ -126,7 +126,7 @@ pub fn reliability(
     for _ in 0..config.trials {
         let mut plan = FaultPlan::new();
         for name in &sensors {
-            if rng.random_range(0..1000) < config.sensor_stuck_pm as u32 {
+            if rng.random_range(0..1000u32) < config.sensor_stuck_pm as u32 {
                 plan = plan.with(Fault::StuckAt {
                     block: name.clone(),
                     value: rng.random(),
@@ -134,7 +134,7 @@ pub fn reliability(
             }
         }
         for name in &comms {
-            if rng.random_range(0..1000) < config.comm_failure_pm as u32 {
+            if rng.random_range(0..1000u32) < config.comm_failure_pm as u32 {
                 plan = plan.with(Fault::DropPackets {
                     block: name.clone(),
                     from: 0,

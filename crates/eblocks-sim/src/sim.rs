@@ -221,7 +221,13 @@ impl<'a> Runner<'a> {
         };
         // Power-on: sensors announce their initial low value.
         for s in design.sensors() {
-            runner.push(0, Event::Sense { sensor: s, value: false });
+            runner.push(
+                0,
+                Event::Sense {
+                    sensor: s,
+                    value: false,
+                },
+            );
         }
         // First tick for time-driven blocks, in id order (determinism).
         let mut tick_blocks: Vec<BlockId> = runner
@@ -324,7 +330,12 @@ impl<'a> Runner<'a> {
         }
         // Coalesce: drain queued same-instant deliveries to this block.
         while let Some(&Reverse(((qt, stage, _, _, _), qe))) = self.queue.peek() {
-            let Event::Deliver { to: qto, port: qport, value: qvalue } = qe else {
+            let Event::Deliver {
+                to: qto,
+                port: qport,
+                value: qvalue,
+            } = qe
+            else {
                 break;
             };
             if qt != t || stage != 1 || qto != to {
@@ -391,8 +402,15 @@ impl<'a> Runner<'a> {
         let wires: Vec<_> = self.sim.design.sinks_of(from, port).collect();
         // Energy accounting: the sender spends a transmission per driven
         // wire whether or not a fault loses the packet in flight.
-        let sender_name = self.sim.design.block(from).expect("sender").name().to_string();
-        self.trace.count_transmissions(&sender_name, wires.len() as u64);
+        let sender_name = self
+            .sim
+            .design
+            .block(from)
+            .expect("sender")
+            .name()
+            .to_string();
+        self.trace
+            .count_transmissions(&sender_name, wires.len() as u64);
         // Injected sender faults: the packet counts as sent (no ack in the
         // eBlocks protocol, so change detection above stands) but may be
         // lost or late in flight.
@@ -503,7 +521,11 @@ mod tests {
         let sim = Simulator::new(&d).unwrap();
         let stim = Stimulus::new().set(10, "s", true).set(20, "s", false);
         let trace = sim.run(&stim, 60).unwrap();
-        assert_eq!(trace.history("led"), &[(0, true)], "xor(v, !v) never changes");
+        assert_eq!(
+            trace.history("led"),
+            &[(0, true)],
+            "xor(v, !v) never changes"
+        );
     }
 
     #[test]
@@ -593,7 +615,9 @@ mod tests {
     fn unknown_sensor_rejected() {
         let d = and_design();
         let sim = Simulator::new(&d).unwrap();
-        let err = sim.run(&Stimulus::new().set(5, "ghost", true), 10).unwrap_err();
+        let err = sim
+            .run(&Stimulus::new().set(5, "ghost", true), 10)
+            .unwrap_err();
         assert!(matches!(err, SimError::UnknownSensor { .. }));
         // Driving a non-sensor block is also rejected.
         let err = sim.run(&Stimulus::new().set(5, "g", true), 10).unwrap_err();
@@ -649,7 +673,10 @@ mod tests {
     fn runs_are_repeatable() {
         let d = and_design();
         let sim = Simulator::new(&d).unwrap();
-        let stim = Stimulus::new().set(10, "a", true).set(11, "b", true).set(12, "a", false);
+        let stim = Stimulus::new()
+            .set(10, "a", true)
+            .set(11, "b", true)
+            .set(12, "a", false);
         let t1 = sim.run(&stim, 200).unwrap();
         let t2 = sim.run(&stim, 200).unwrap();
         assert_eq!(t1, t2);

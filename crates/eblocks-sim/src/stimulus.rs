@@ -34,7 +34,8 @@ impl Stimulus {
     /// Raises `sensor` at `time` and lowers it `width` later.
     pub fn pulse(self, time: Time, width: Time, sensor: impl Into<String>) -> Self {
         let name = sensor.into();
-        self.set(time, name.clone(), true).set(time + width, name, false)
+        self.set(time, name.clone(), true)
+            .set(time + width, name, false)
     }
 
     /// The script, sorted by time (stable for equal times).
@@ -56,7 +57,10 @@ mod tests {
 
     #[test]
     fn events_sorted_by_time() {
-        let s = Stimulus::new().set(30, "a", true).set(10, "b", false).set(20, "a", false);
+        let s = Stimulus::new()
+            .set(30, "a", true)
+            .set(10, "b", false)
+            .set(20, "a", false);
         let ev = s.events();
         assert_eq!(ev[0].0, 10);
         assert_eq!(ev[2].0, 30);
@@ -67,7 +71,13 @@ mod tests {
     fn pulse_expands_to_two_events() {
         let s = Stimulus::new().pulse(100, 5, "btn");
         let ev = s.events();
-        assert_eq!(ev, vec![(100, "btn".to_string(), true), (105, "btn".to_string(), false)]);
+        assert_eq!(
+            ev,
+            vec![
+                (100, "btn".to_string(), true),
+                (105, "btn".to_string(), false)
+            ]
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl Trace {
     }
 
     pub(crate) fn record(&mut self, output: &str, time: Time, value: bool) {
-        self.records.entry(output.to_string()).or_default().push((time, value));
+        self.records
+            .entry(output.to_string())
+            .or_default()
+            .push((time, value));
     }
 
     /// The packet history of an output block, in time order.
@@ -35,7 +38,10 @@ impl Trace {
     /// received a packet (eBlock outputs idle low, so callers usually treat
     /// this as `false`).
     pub fn final_value(&self, output: &str) -> Option<bool> {
-        self.records.get(output).and_then(|h| h.last()).map(|&(_, v)| v)
+        self.records
+            .get(output)
+            .and_then(|h| h.last())
+            .map(|&(_, v)| v)
     }
 
     /// The value an output displayed at `time` (the last packet at or before

@@ -74,7 +74,13 @@ fn code(i: usize) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -132,7 +138,9 @@ mod tests {
         let codes: Vec<String> = (0..200).map(code).collect();
         let unique: std::collections::HashSet<&String> = codes.iter().collect();
         assert_eq!(unique.len(), codes.len());
-        assert!(codes.iter().all(|c| c.chars().all(|ch| ('!'..='~').contains(&ch))));
+        assert!(codes
+            .iter()
+            .all(|c| c.chars().all(|ch| ('!'..='~').contains(&ch))));
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl fmt::Display for SynthError {
             Self::InvalidDesign(e) => write!(f, "invalid input design: {e}"),
             Self::BadPartitioning(e) => write!(f, "partitioner produced an invalid result: {e}"),
             Self::Codegen { partition, error } => {
-                write!(f, "code generation failed for partition {partition}: {error}")
+                write!(
+                    f,
+                    "code generation failed for partition {partition}: {error}"
+                )
             }
             Self::Sim(e) => write!(f, "verification simulation failed: {e}"),
             Self::VerificationFailed { report } => write!(

@@ -98,7 +98,10 @@ impl SynthesisResult {
 /// Any [`SynthError`]; notably [`SynthError::VerificationFailed`] if the
 /// synthesized network diverges behaviorally from the original under the
 /// all-sensors stimulus.
-pub fn synthesize(design: &Design, options: &SynthesisOptions) -> Result<SynthesisResult, SynthError> {
+pub fn synthesize(
+    design: &Design,
+    options: &SynthesisOptions,
+) -> Result<SynthesisResult, SynthError> {
     design.validate()?;
 
     // Realizability: a non-convex partition has a path that leaves it and
@@ -127,8 +130,12 @@ pub fn synthesize(design: &Design, options: &SynthesisOptions) -> Result<Synthes
 
     let mut merged: Vec<MergedProgram> = Vec::new();
     for (i, partition) in partitioning.partitions().iter().enumerate() {
-        let m = merge_partition(design, partition, options.constraints.spec)
-            .map_err(|error| SynthError::Codegen { partition: i, error })?;
+        let m = merge_partition(design, partition, options.constraints.spec).map_err(|error| {
+            SynthError::Codegen {
+                partition: i,
+                error,
+            }
+        })?;
         merged.push(m);
     }
 
@@ -229,7 +236,11 @@ mod tests {
 
     #[test]
     fn all_algorithms_produce_verified_networks() {
-        for algorithm in [Algorithm::PareDown, Algorithm::Exhaustive, Algorithm::Aggregation] {
+        for algorithm in [
+            Algorithm::PareDown,
+            Algorithm::Exhaustive,
+            Algorithm::Aggregation,
+        ] {
             let options = SynthesisOptions {
                 algorithm,
                 ..Default::default()

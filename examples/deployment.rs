@@ -83,7 +83,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. The installer's wire list: every logical wire routed along
     //    physical links, plus the busiest link (thickest cable needed).
     let report = route(&problem, &placement)?;
-    println!("\nwire list ({} routes, {} hops total):", report.routes.len(), report.total_hops());
+    println!(
+        "\nwire list ({} routes, {} hops total):",
+        report.routes.len(),
+        report.total_hops()
+    );
     for r in report.routes.iter().take(5) {
         let path: Vec<&str> = r
             .path

@@ -10,7 +10,9 @@ use eblocks::sim::Simulator;
 use eblocks::synth::{exercise_all_sensors, synthesize, SynthesisOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let requested = std::env::args().nth(1).unwrap_or_else(|| "Two-Zone Security".into());
+    let requested = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Two-Zone Security".into());
     let entry = eblocks::designs::by_name(&requested)
         .unwrap_or_else(|| panic!("unknown design `{requested}`"));
     let design = entry.design;
@@ -68,6 +70,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\n=== synthesized netlist ===\n{}", to_netlist(&result.synthesized));
+    println!(
+        "\n=== synthesized netlist ===\n{}",
+        to_netlist(&result.synthesized)
+    );
     Ok(())
 }

@@ -16,7 +16,12 @@ fn main() {
     let constraints = PartitionConstraints::default();
     let (result, trace) = pare_down_traced(&design, &constraints);
 
-    let name = |b| design.block(b).map(|blk| blk.name().to_string()).unwrap_or_default();
+    let name = |b| {
+        design
+            .block(b)
+            .map(|blk| blk.name().to_string())
+            .unwrap_or_default()
+    };
     for event in &trace {
         match event {
             TraceEvent::CandidateStart { members, cost } => {
@@ -28,7 +33,11 @@ fn main() {
                     cost.outputs
                 );
             }
-            TraceEvent::Removed { block, rank, cost_after } => {
+            TraceEvent::Removed {
+                block,
+                rank,
+                cost_after,
+            } => {
                 println!(
                     "  pare {} (rank {rank:+}) -> {} inputs / {} outputs",
                     name(*block),

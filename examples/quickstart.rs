@@ -29,8 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .set(80, "light", false); // sunset, door still open
     let trace = sim.run(&stim, 150)?;
     println!("\nsimulation:");
-    println!("  daytime, door open  -> led = {:?}", trace.value_at("led", 60));
-    println!("  night, door open    -> led = {:?}", trace.value_at("led", 100));
+    println!(
+        "  daytime, door open  -> led = {:?}",
+        trace.value_at("led", 60)
+    );
+    println!(
+        "  night, door open    -> led = {:?}",
+        trace.value_at("led", 100)
+    );
 
     // 3. Synthesize: both compute blocks merge into one programmable block;
     //    the pipeline co-simulates both networks to prove equivalence.

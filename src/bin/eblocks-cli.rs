@@ -141,8 +141,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.pins.push((name.to_string(), at.to_string()));
             }
             "--topology" => {
-                options.topology =
-                    Some(PathBuf::from(it.next().ok_or("missing topology path")?));
+                options.topology = Some(PathBuf::from(it.next().ok_or("missing topology path")?));
             }
             "--iterations" => {
                 options.iterations = it
@@ -278,7 +277,8 @@ wire both.0 -> led.0
     }
 
     fn tempdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("eblocks-cli-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("eblocks-cli-test-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -315,10 +315,16 @@ wire both.0 -> led.0
             dir.to_str().unwrap(),
         ]))
         .unwrap();
-        assert!(out.contains("2 inner blocks -> 1 (1 programmable)"), "{out}");
+        assert!(
+            out.contains("2 inner blocks -> 1 (1 programmable)"),
+            "{out}"
+        );
         assert!(out.contains("verified equivalent"), "{out}");
         let synth_netlist = std::fs::read_to_string(dir.join("garage-synth.netlist")).unwrap();
-        assert!(synth_netlist.contains("programmable:2in/2out"), "{synth_netlist}");
+        assert!(
+            synth_netlist.contains("programmable:2in/2out"),
+            "{synth_netlist}"
+        );
         let c = std::fs::read_to_string(dir.join("prog0.c")).unwrap();
         assert!(c.contains("eblock_on_input"), "{c}");
     }
@@ -340,7 +346,10 @@ wire both.0 -> led.0
             "--no-verify",
         ]))
         .unwrap();
-        assert!(out.contains("2 inner blocks -> 2 (0 programmable)"), "{out}");
+        assert!(
+            out.contains("2 inner blocks -> 2 (0 programmable)"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -351,7 +360,13 @@ wire both.0 -> led.0
         assert!(run(&s(&["check", "/nonexistent/file"])).is_err());
         let dir = tempdir("flags");
         let path = write_garage(&dir);
-        assert!(run(&s(&["synth", path.to_str().unwrap(), "--algorithm", "magic"])).is_err());
+        assert!(run(&s(&[
+            "synth",
+            path.to_str().unwrap(),
+            "--algorithm",
+            "magic"
+        ]))
+        .is_err());
         assert!(run(&s(&["synth", path.to_str().unwrap(), "--bogus"])).is_err());
     }
 
@@ -375,7 +390,10 @@ fn parse_stimulus(text: &str) -> Result<eblocks::sim::Stimulus, String> {
         }
         let parts: Vec<&str> = line.split_whitespace().collect();
         let [time, sensor, value] = parts.as_slice() else {
-            return Err(format!("stimulus line {}: expected `<time> <sensor> <0|1>`", i + 1));
+            return Err(format!(
+                "stimulus line {}: expected `<time> <sensor> <0|1>`",
+                i + 1
+            ));
         };
         let time: u64 = time
             .parse()
@@ -466,7 +484,11 @@ fn place_command(design: &Design, options: &Options) -> Result<String, String> {
         design.num_blocks()
     );
     for block in design.blocks() {
-        let name = design.block(block).expect("iterating blocks").name().to_string();
+        let name = design
+            .block(block)
+            .expect("iterating blocks")
+            .name()
+            .to_string();
         let site = placement.site_of(block).expect("complete placement");
         let pinned = if options.pins.iter().any(|(n, _)| *n == name) {
             "  (pinned)"
@@ -557,9 +579,13 @@ link closet bedroom
         assert!(out.contains("garage") && out.contains("bedroom"), "{out}");
         assert!(out.contains("(pinned)"), "{out}");
         // Malformed topology file is a line-numbered error.
-        std::fs::write(&topo, "site a
+        std::fs::write(
+            &topo,
+            "site a
 link a ghost
-").unwrap();
+",
+        )
+        .unwrap();
         let err = run(&s(&[
             "place",
             netlist.to_str().unwrap(),
@@ -597,12 +623,17 @@ link a ghost
         let p = path.to_str().unwrap();
         assert!(run(&s(&["place", p])).unwrap_err().contains("--grid"));
         assert!(run(&s(&["place", p, "--grid", "nope"])).is_err());
-        assert!(run(&s(&["place", p, "--grid", "1x1"]))
-            .unwrap_err()
-            .contains("5"), "capacity error mentions block count");
-        assert!(run(&s(&["place", p, "--grid", "3x2", "--pin", "ghost=0,0"]))
-            .unwrap_err()
-            .contains("ghost"));
+        assert!(
+            run(&s(&["place", p, "--grid", "1x1"]))
+                .unwrap_err()
+                .contains("5"),
+            "capacity error mentions block count"
+        );
+        assert!(
+            run(&s(&["place", p, "--grid", "3x2", "--pin", "ghost=0,0"]))
+                .unwrap_err()
+                .contains("ghost")
+        );
         assert!(run(&s(&["place", p, "--grid", "3x2", "--pin", "door=9,9"]))
             .unwrap_err()
             .contains("outside"));
@@ -677,7 +708,9 @@ wire both.0 -> led.0
 
     #[test]
     fn stimulus_parse_errors_have_line_numbers() {
-        assert!(parse_stimulus("10 door banana").unwrap_err().contains("line 1"));
+        assert!(parse_stimulus("10 door banana")
+            .unwrap_err()
+            .contains("line 1"));
         assert!(parse_stimulus("x door 1").unwrap_err().contains("bad time"));
         assert!(parse_stimulus("10 door").unwrap_err().contains("expected"));
         assert!(parse_stimulus("# only comments\n\n").is_ok());

@@ -1,0 +1,96 @@
+//! End-to-end smoke test for the `eblocks-cli` binary: synthesize the §1
+//! garage-open-at-night flagship from a netlist file on disk, exactly as a
+//! user would, and check that C sources come out the other end.
+
+use std::process::Command;
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("eblocks-cli-smoke-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn cli_synthesizes_garage_open_at_night_and_emits_c() {
+    let dir = scratch_dir("synth");
+    let design = eblocks::designs::garage_open_at_night();
+    let netlist_path = dir.join("garage-open-at-night.netlist");
+    std::fs::write(&netlist_path, eblocks::core::netlist::to_netlist(&design)).unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_eblocks-cli"))
+        .args([
+            "synth",
+            netlist_path.to_str().unwrap(),
+            "-o",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn eblocks-cli");
+    assert!(
+        output.status.success(),
+        "eblocks-cli failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("garage-open-at-night"),
+        "unexpected report: {stdout}"
+    );
+    assert!(
+        stdout.contains("verified equivalent"),
+        "synthesis must co-simulate and verify by default: {stdout}"
+    );
+
+    // The synthesized netlist parses and validates.
+    let synth_netlist = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| Some(e.unwrap().path()))
+        .find(|p| p.extension().is_some_and(|x| x == "netlist") && *p != netlist_path)
+        .expect("a synthesized netlist is written");
+    let text = std::fs::read_to_string(&synth_netlist).unwrap();
+    let parsed = eblocks::core::netlist::from_netlist(&text).expect("synthesized netlist parses");
+    parsed.validate().expect("synthesized netlist validates");
+
+    // At least one C program is emitted, and it looks like C.
+    let c_files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| Some(e.unwrap().path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "c"))
+        .collect();
+    assert!(
+        !c_files.is_empty(),
+        "synthesis of the flagship must emit at least one C program"
+    );
+    for c_file in &c_files {
+        let source = std::fs::read_to_string(c_file).unwrap();
+        assert!(
+            source.contains("void") || source.contains("int"),
+            "{}: does not look like C:\n{source}",
+            c_file.display()
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_check_reports_flagship_as_valid() {
+    let dir = scratch_dir("check");
+    let design = eblocks::designs::garage_open_at_night();
+    let netlist_path = dir.join("garage-open-at-night.netlist");
+    std::fs::write(&netlist_path, eblocks::core::netlist::to_netlist(&design)).unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_eblocks-cli"))
+        .args(["check", netlist_path.to_str().unwrap()])
+        .output()
+        .expect("spawn eblocks-cli");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("valid: yes"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -88,7 +88,9 @@ fn faults_are_observable_somewhere_in_the_library() {
                 block: name,
                 value: true,
             });
-            let faulty = sim.run_with_faults(&stim, until, &plan).expect("faulty run");
+            let faulty = sim
+                .run_with_faults(&stim, until, &plan)
+                .expect("faulty run");
             if settled_outputs(&healthy) != settled_outputs(&faulty) {
                 observable += 1;
             }
@@ -122,6 +124,10 @@ fn lossy_comm_block_degrades_only_its_cone() {
         to: Time::MAX,
     });
     let faulty = sim.run_with_faults(&stim, 100, &plan).unwrap();
-    assert_eq!(faulty.final_value("led1"), Some(false), "behind the dead radio");
+    assert_eq!(
+        faulty.final_value("led1"),
+        Some(false),
+        "behind the dead radio"
+    );
     assert_eq!(faulty.final_value("led2"), Some(true), "unaffected path");
 }

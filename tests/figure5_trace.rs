@@ -72,11 +72,9 @@ fn figure5_walkthrough_matches_paper() {
     let after_n8 = trace
         .iter()
         .find_map(|e| match e {
-            TraceEvent::Removed { block, cost_after, .. }
-                if design.block(*block).unwrap().name() == "n8" =>
-            {
-                Some(*cost_after)
-            }
+            TraceEvent::Removed {
+                block, cost_after, ..
+            } if design.block(*block).unwrap().name() == "n8" => Some(*cost_after),
             _ => None,
         })
         .expect("n8 removal recorded");

@@ -20,7 +20,11 @@ fn sleepwalk_detector_only_fires_in_the_dark() {
     let trace = sim.run(&stim, 120).unwrap();
     assert_eq!(trace.value_at("parents_buzzer", 33), Some(false));
     assert_eq!(trace.value_at("parents_buzzer", 93), Some(true));
-    assert_eq!(trace.final_value("parents_buzzer"), Some(false), "pulse over");
+    assert_eq!(
+        trace.final_value("parents_buzzer"),
+        Some(false),
+        "pulse over"
+    );
 }
 
 #[test]
@@ -54,7 +58,11 @@ fn intro_systems_synthesize_with_verification() {
         let result = synthesize(&design, &SynthesisOptions::default())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         if let Some(report) = &result.report {
-            assert!(report.is_equivalent(), "{name}: divergence {:?}", report.mismatches);
+            assert!(
+                report.is_equivalent(),
+                "{name}: divergence {:?}",
+                report.mismatches
+            );
         }
         // Synthesis never grows a network.
         assert!(result.inner_after() <= result.inner_before(), "{name}");

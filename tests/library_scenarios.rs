@@ -40,10 +40,20 @@ fn ignition_illuminator_lights_in_the_dark() {
 
 #[test]
 fn night_lamp_waits_for_darkness_to_settle() {
-    let stim = Stimulus::new().set(10, "light", true).set(30, "light", false);
+    let stim = Stimulus::new()
+        .set(10, "light", true)
+        .set(30, "light", false);
     both_ways("Night Lamp Controller", &stim, 100, |t, tag| {
-        assert_eq!(t.value_at("lamp", 32), Some(false), "{tag}: not settled yet");
-        assert_eq!(t.final_value("lamp"), Some(true), "{tag}: lamp on after delay");
+        assert_eq!(
+            t.value_at("lamp", 32),
+            Some(false),
+            "{tag}: not settled yet"
+        );
+        assert_eq!(
+            t.final_value("lamp"),
+            Some(true),
+            "{tag}: lamp on after delay"
+        );
     });
 }
 
@@ -112,19 +122,29 @@ fn two_button_light_toggles_independently() {
     both_ways("Two Button Light", &stim, 100, |t, tag| {
         assert_eq!(t.value_at("lamp1", 20), Some(true), "{tag}: lamp1 on");
         assert_eq!(t.value_at("lamp2", 40), Some(true), "{tag}: lamp2 on");
-        assert_eq!(t.final_value("lamp1"), Some(false), "{tag}: lamp1 toggled off");
+        assert_eq!(
+            t.final_value("lamp1"),
+            Some(false),
+            "{tag}: lamp1 toggled off"
+        );
         assert_eq!(t.final_value("lamp2"), Some(true), "{tag}: lamp2 stays");
     });
 }
 
 #[test]
 fn doorbell_extender_rings_enabled_rooms_only() {
-    let stim = Stimulus::new()
-        .set(5, "enable2", true)
-        .pulse(20, 5, "bell");
+    let stim = Stimulus::new().set(5, "enable2", true).pulse(20, 5, "bell");
     both_ways("Doorbell Extender 1", &stim, 60, |t, tag| {
-        assert_eq!(t.value_at("buzzer2", 22), Some(true), "{tag}: enabled room rings");
-        assert_eq!(t.value_at("buzzer1", 22), Some(false), "{tag}: disabled room silent");
+        assert_eq!(
+            t.value_at("buzzer2", 22),
+            Some(true),
+            "{tag}: enabled room rings"
+        );
+        assert_eq!(
+            t.value_at("buzzer1", 22),
+            Some(false),
+            "{tag}: disabled room silent"
+        );
         assert_eq!(t.final_value("buzzer2"), Some(false), "{tag}: ring ends");
     });
 }
@@ -148,8 +168,16 @@ fn noise_at_night_reports_per_zone() {
         .pulse(20, 3, "sound2")
         .pulse(40, 3, "sound3"); // zone 3 not enabled: no pulse
     both_ways("Noise At Night Detector", &stim, 100, |t, tag| {
-        assert_eq!(t.value_at("led2", 22), Some(true), "{tag}: enabled zone fires");
-        assert_eq!(t.value_at("led3", 42), Some(false), "{tag}: disabled zone silent");
+        assert_eq!(
+            t.value_at("led2", 22),
+            Some(true),
+            "{tag}: enabled zone fires"
+        );
+        assert_eq!(
+            t.value_at("led3", 42),
+            Some(false),
+            "{tag}: disabled zone silent"
+        );
         assert_eq!(t.final_value("led2"), Some(false), "{tag}: pulse expires");
     });
 }
@@ -160,17 +188,31 @@ fn two_zone_security_sirens_and_chimes() {
         .set(10, "z1_door2", true)
         .pulse(40, 4, "z2_inner1");
     both_ways("Two-Zone Security", &stim, 120, |t, tag| {
-        assert_eq!(t.value_at("z1_siren", 20), Some(true), "{tag}: zone 1 tree fires");
-        assert_eq!(t.value_at("z2_siren", 20), Some(false), "{tag}: zone 2 quiet");
+        assert_eq!(
+            t.value_at("z1_siren", 20),
+            Some(true),
+            "{tag}: zone 1 tree fires"
+        );
+        assert_eq!(
+            t.value_at("z2_siren", 20),
+            Some(false),
+            "{tag}: zone 2 quiet"
+        );
         assert_eq!(t.value_at("z2_led1", 42), Some(true), "{tag}: chime latch");
     });
 }
 
 #[test]
 fn motion_on_property_alert_is_a_big_or() {
-    let stim = Stimulus::new().set(10, "motion17", true).set(50, "motion17", false);
+    let stim = Stimulus::new()
+        .set(10, "motion17", true)
+        .set(50, "motion17", false);
     both_ways("Motion on Property Alert", &stim, 100, |t, tag| {
-        assert_eq!(t.value_at("buzzer", 20), Some(true), "{tag}: any sensor fires");
+        assert_eq!(
+            t.value_at("buzzer", 20),
+            Some(true),
+            "{tag}: any sensor fires"
+        );
         assert_eq!(t.final_value("buzzer"), Some(false), "{tag}: clears");
     });
 }
@@ -181,7 +223,11 @@ fn timed_passage_warns_after_linger() {
     both_ways("Timed Passage", &stim, 120, |t, tag| {
         assert_eq!(t.value_at("w2_led", 12), Some(false), "{tag}: within grace");
         // Delay 6 then an 8-tick pulse.
-        assert_eq!(t.value_at("w2_led", 18), Some(true), "{tag}: lingering warned");
+        assert_eq!(
+            t.value_at("w2_led", 18),
+            Some(true),
+            "{tag}: lingering warned"
+        );
         assert_eq!(t.value_at("w2_led", 40), Some(false), "{tag}: pulse over");
     });
 }
@@ -190,6 +236,10 @@ fn timed_passage_warns_after_linger() {
 fn timed_passage_corridor_collector() {
     let stim = Stimulus::new().set(10, "corridor7", true);
     both_ways("Timed Passage", &stim, 60, |t, tag| {
-        assert_eq!(t.value_at("buzzer", 20), Some(true), "{tag}: corridor motion");
+        assert_eq!(
+            t.value_at("buzzer", 20),
+            Some(true),
+            "{tag}: corridor motion"
+        );
     });
 }

@@ -9,11 +9,11 @@
 
 use eblocks::core::{cut_cost, netlist, BitSet, InnerIndex};
 use eblocks::gen::{generate, generate_family, Family, GeneratorConfig};
+use eblocks::partition::rank_of;
 use eblocks::partition::{
     aggregation, anneal, exhaustive, pare_down, refine, AnnealConfig, ExhaustiveOptions,
     PartitionConstraints,
 };
-use eblocks::partition::rank_of;
 use eblocks::place::{anneal_place, greedy_place, PlaceAnnealConfig, PlacementProblem, Topology};
 use proptest::prelude::*;
 
@@ -26,7 +26,7 @@ fn medium_design_strategy() -> impl Strategy<Value = (usize, u64)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(64).with_rng_seed(0xEB10_C5))]
 
     #[test]
     fn pare_down_results_always_verify((inner, seed) in medium_design_strategy()) {
@@ -129,7 +129,7 @@ proptest! {
 proptest! {
     // Synthesis with verification co-simulates two networks per case;
     // keep the case count moderate.
-    #![proptest_config(ProptestConfig::with_cases(16))]
+    #![proptest_config(ProptestConfig::with_cases(16).with_rng_seed(0xEB10_C5))]
 
     #[test]
     fn synthesis_preserves_behavior((inner, seed) in (1usize..=14, any::<u64>())) {
@@ -142,7 +142,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(48).with_rng_seed(0xEB10_C5))]
 
     /// Deterministic local refinement never worsens any heuristic's result
     /// and always stays structurally sound.
@@ -224,7 +224,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(32).with_rng_seed(0xEB10_C5))]
 
     /// Route extraction is consistent with the placement cost, and every
     /// route is a genuine shortest path.

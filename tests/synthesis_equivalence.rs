@@ -54,7 +54,11 @@ fn random_designs_synthesize_and_verify_with_pare_down() {
 fn random_designs_synthesize_with_all_algorithms() {
     let design = generate(&GeneratorConfig::new(9), 77);
     let mut totals = Vec::new();
-    for algorithm in [Algorithm::Exhaustive, Algorithm::PareDown, Algorithm::Aggregation] {
+    for algorithm in [
+        Algorithm::Exhaustive,
+        Algorithm::PareDown,
+        Algorithm::Aggregation,
+    ] {
         let options = SynthesisOptions {
             algorithm,
             ..Default::default()
@@ -90,7 +94,11 @@ fn pin_constrained_specs_also_verify() {
     use eblocks::core::ProgrammableSpec;
     use eblocks::partition::PartitionConstraints;
     let design = generate(&GeneratorConfig::new(12), 31);
-    for spec in [ProgrammableSpec::new(1, 1), ProgrammableSpec::new(3, 3), ProgrammableSpec::new(4, 2)] {
+    for spec in [
+        ProgrammableSpec::new(1, 1),
+        ProgrammableSpec::new(3, 3),
+        ProgrammableSpec::new(4, 2),
+    ] {
         let options = SynthesisOptions {
             constraints: PartitionConstraints::with_spec(spec),
             ..Default::default()

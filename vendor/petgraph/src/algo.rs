@@ -1,0 +1,143 @@
+//! Graph algorithms: reachability, topological sort, cycle detection.
+
+use crate::stable_graph::{NodeIndex, StableDiGraph};
+
+/// Scratch space parameter kept for petgraph signature compatibility; the
+/// vendored algorithms allocate internally.
+#[derive(Debug, Default)]
+pub struct DfsSpace;
+
+/// Error returned by [`toposort`] when the graph contains a cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct Cycle<N>(pub N);
+
+impl<N> Cycle<N> {
+    /// A node participating in the cycle.
+    pub fn node_id(&self) -> N
+    where
+        N: Copy,
+    {
+        self.0
+    }
+}
+
+/// Whether a directed path `from -> ... -> to` exists (`true` when
+/// `from == to`).
+pub fn has_path_connecting<N, E>(
+    graph: &StableDiGraph<N, E>,
+    from: NodeIndex,
+    to: NodeIndex,
+    _space: Option<&mut DfsSpace>,
+) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut visited = vec![
+        false;
+        graph
+            .node_indices()
+            .map(|n| n.index() + 1)
+            .max()
+            .unwrap_or(0)
+    ];
+    let mut stack = vec![from];
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if std::mem::replace(&mut visited[n.index()], true) {
+            continue;
+        }
+        stack.extend(graph.neighbors(n));
+    }
+    false
+}
+
+/// Kahn's algorithm. Returns node indices sources-first, or a node on a
+/// cycle.
+pub fn toposort<N, E>(
+    graph: &StableDiGraph<N, E>,
+    _space: Option<&mut DfsSpace>,
+) -> Result<Vec<NodeIndex>, Cycle<NodeIndex>> {
+    let cap = graph
+        .node_indices()
+        .map(|n| n.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut indegree = vec![0usize; cap];
+    let mut live = vec![false; cap];
+    for n in graph.node_indices() {
+        live[n.index()] = true;
+    }
+    for e in graph.edge_references() {
+        use crate::visit::EdgeRef;
+        indegree[e.target().index()] += 1;
+    }
+    let mut ready: Vec<NodeIndex> = graph
+        .node_indices()
+        .filter(|n| indegree[n.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(graph.node_count());
+    while let Some(n) = ready.pop() {
+        order.push(n);
+        for m in graph.neighbors(n) {
+            indegree[m.index()] -= 1;
+            if indegree[m.index()] == 0 {
+                ready.push(m);
+            }
+        }
+    }
+    if order.len() == graph.node_count() {
+        Ok(order)
+    } else {
+        let stuck = graph
+            .node_indices()
+            .find(|n| indegree[n.index()] > 0)
+            .expect("cycle implies a node with positive in-degree");
+        Err(Cycle(stuck))
+    }
+}
+
+/// Whether the graph contains a directed cycle.
+pub fn is_cyclic_directed<N, E>(graph: &StableDiGraph<N, E>) -> bool {
+    toposort(graph, None).is_err()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (StableDiGraph<(), ()>, [NodeIndex; 4]) {
+        let mut g = StableDiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, c, ());
+        g.add_edge(b, d, ());
+        g.add_edge(c, d, ());
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn reachability() {
+        let (g, [a, b, _, d]) = diamond();
+        assert!(has_path_connecting(&g, a, d, None));
+        assert!(!has_path_connecting(&g, d, a, None));
+        assert!(!has_path_connecting(&g, b, a, None));
+        assert!(has_path_connecting(&g, b, b, None));
+    }
+
+    #[test]
+    fn toposort_and_cycles() {
+        let (mut g, [a, b, c, d]) = diamond();
+        let order = toposort(&g, None).unwrap();
+        let pos = |n| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(a) < pos(b) && pos(a) < pos(c) && pos(b) < pos(d));
+        assert!(!is_cyclic_directed(&g));
+        g.add_edge(d, a, ());
+        assert!(is_cyclic_directed(&g));
+        assert!(toposort(&g, None).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! Vendored minimal replacement for the slice of `petgraph` the eblocks
+//! workspace uses: [`stable_graph::StableDiGraph`] with stable indices,
+//! directed edge iteration, and the three algorithms in [`algo`].
+//!
+//! Written because the build environment is offline. The API mirrors
+//! petgraph 0.6 closely enough that swapping the real crate back in is a
+//! manifest-only change.
+
+#![forbid(unsafe_code)]
+
+pub mod algo;
+pub mod stable_graph;
+pub mod visit;
+
+/// Edge direction relative to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Edges leaving the node.
+    Outgoing,
+    /// Edges entering the node.
+    Incoming,
+}

@@ -1,0 +1,352 @@
+//! A directed graph with stable node and edge indices.
+//!
+//! Removal tombstones the slot instead of swapping, so indices handed out
+//! earlier keep identifying the same nodes/edges — the property `Design`
+//! relies on for `BlockId`/`EdgeId`. Each node keeps in/out adjacency
+//! lists, so per-node edge queries cost O(degree), not O(total edges).
+
+use crate::Direction;
+use std::fmt;
+use std::ops::Index;
+
+/// Stable identifier of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeIndex(usize);
+
+impl NodeIndex {
+    /// Creates an index from a raw slot number.
+    pub fn new(index: usize) -> Self {
+        NodeIndex(index)
+    }
+
+    /// The raw slot number.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Stable identifier of an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeIndex(usize);
+
+impl EdgeIndex {
+    /// Creates an index from a raw slot number.
+    pub fn new(index: usize) -> Self {
+        EdgeIndex(index)
+    }
+
+    /// The raw slot number.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeSlot<N> {
+    weight: N,
+    /// Edge slots leaving this node.
+    out_edges: Vec<usize>,
+    /// Edge slots entering this node.
+    in_edges: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct EdgeSlot<E> {
+    source: usize,
+    target: usize,
+    weight: E,
+}
+
+/// A directed graph with stable indices, node weights `N` and edge
+/// weights `E`.
+#[derive(Clone)]
+pub struct StableDiGraph<N, E> {
+    nodes: Vec<Option<NodeSlot<N>>>,
+    edges: Vec<Option<EdgeSlot<E>>>,
+    node_count: usize,
+    edge_count: usize,
+}
+
+impl<N, E> Default for StableDiGraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N: fmt::Debug, E: fmt::Debug> fmt::Debug for StableDiGraph<N, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StableDiGraph")
+            .field("nodes", &self.node_count)
+            .field("edges", &self.edge_count)
+            .finish()
+    }
+}
+
+impl<N, E> StableDiGraph<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        StableDiGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            node_count: 0,
+            edge_count: 0,
+        }
+    }
+
+    /// Adds a node, returning its (stable) index.
+    pub fn add_node(&mut self, weight: N) -> NodeIndex {
+        self.nodes.push(Some(NodeSlot {
+            weight,
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+        }));
+        self.node_count += 1;
+        NodeIndex(self.nodes.len() - 1)
+    }
+
+    /// Removes a node and every edge touching it. Returns the node weight,
+    /// or `None` if it was already removed.
+    pub fn remove_node(&mut self, idx: NodeIndex) -> Option<N> {
+        let slot = self.nodes.get_mut(idx.0)?.take()?;
+        self.node_count -= 1;
+        for e in slot.out_edges.iter().chain(slot.in_edges.iter()) {
+            // A self-loop appears in both lists; the second take is a no-op.
+            if let Some(edge) = self.edges[*e].take() {
+                self.edge_count -= 1;
+                let other = if edge.source == idx.0 {
+                    edge.target
+                } else {
+                    edge.source
+                };
+                if other != idx.0 {
+                    if let Some(other_slot) = self.nodes[other].as_mut() {
+                        other_slot.out_edges.retain(|&x| x != *e);
+                        other_slot.in_edges.retain(|&x| x != *e);
+                    }
+                }
+            }
+        }
+        Some(slot.weight)
+    }
+
+    /// Adds a directed edge `a -> b`, returning its (stable) index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint does not exist.
+    pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) -> EdgeIndex {
+        assert!(self.contains_node(a), "add_edge: missing source node");
+        assert!(self.contains_node(b), "add_edge: missing target node");
+        self.edges.push(Some(EdgeSlot {
+            source: a.0,
+            target: b.0,
+            weight,
+        }));
+        self.edge_count += 1;
+        let e = self.edges.len() - 1;
+        self.nodes[a.0]
+            .as_mut()
+            .expect("checked live")
+            .out_edges
+            .push(e);
+        self.nodes[b.0]
+            .as_mut()
+            .expect("checked live")
+            .in_edges
+            .push(e);
+        EdgeIndex(e)
+    }
+
+    /// Removes an edge, returning its weight if it still existed.
+    pub fn remove_edge(&mut self, idx: EdgeIndex) -> Option<E> {
+        let slot = self.edges.get_mut(idx.0)?.take()?;
+        self.edge_count -= 1;
+        if let Some(src) = self.nodes[slot.source].as_mut() {
+            src.out_edges.retain(|&e| e != idx.0);
+        }
+        if let Some(dst) = self.nodes[slot.target].as_mut() {
+            dst.in_edges.retain(|&e| e != idx.0);
+        }
+        Some(slot.weight)
+    }
+
+    /// Whether `idx` names a live node.
+    pub fn contains_node(&self, idx: NodeIndex) -> bool {
+        self.nodes.get(idx.0).is_some_and(Option::is_some)
+    }
+
+    /// The node weight, if the node is live.
+    pub fn node_weight(&self, idx: NodeIndex) -> Option<&N> {
+        self.nodes.get(idx.0)?.as_ref().map(|s| &s.weight)
+    }
+
+    /// Mutable node weight, if the node is live.
+    pub fn node_weight_mut(&mut self, idx: NodeIndex) -> Option<&mut N> {
+        self.nodes.get_mut(idx.0)?.as_mut().map(|s| &mut s.weight)
+    }
+
+    /// The edge weight, if the edge is live.
+    pub fn edge_weight(&self, idx: EdgeIndex) -> Option<&E> {
+        self.edges.get(idx.0)?.as_ref().map(|e| &e.weight)
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterates over live node indices in ascending slot order.
+    pub fn node_indices(&self) -> impl Iterator<Item = NodeIndex> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|_| NodeIndex(i)))
+    }
+
+    fn edge_ref(&self, e: usize) -> EdgeReference<'_, E> {
+        let slot = self.edges[e]
+            .as_ref()
+            .expect("adjacency lists hold live edges");
+        EdgeReference {
+            id: EdgeIndex(e),
+            source: NodeIndex(slot.source),
+            target: NodeIndex(slot.target),
+            weight: &slot.weight,
+        }
+    }
+
+    /// Iterates over every live edge.
+    pub fn edge_references(&self) -> impl Iterator<Item = EdgeReference<'_, E>> + '_ {
+        self.edges.iter().enumerate().filter_map(|(i, slot)| {
+            slot.as_ref().map(|e| EdgeReference {
+                id: EdgeIndex(i),
+                source: NodeIndex(e.source),
+                target: NodeIndex(e.target),
+                weight: &e.weight,
+            })
+        })
+    }
+
+    /// Iterates over the edges entering or leaving `idx`, in O(degree).
+    pub fn edges_directed(
+        &self,
+        idx: NodeIndex,
+        dir: Direction,
+    ) -> impl Iterator<Item = EdgeReference<'_, E>> + '_ {
+        let list = match self.nodes.get(idx.0).and_then(Option::as_ref) {
+            Some(slot) => match dir {
+                Direction::Outgoing => slot.out_edges.as_slice(),
+                Direction::Incoming => slot.in_edges.as_slice(),
+            },
+            None => &[],
+        };
+        list.iter().map(move |&e| self.edge_ref(e))
+    }
+
+    /// Successor node indices of `idx` (a node appears once per connecting
+    /// edge).
+    pub fn neighbors(&self, idx: NodeIndex) -> impl Iterator<Item = NodeIndex> + '_ {
+        self.edges_directed(idx, Direction::Outgoing)
+            .map(|e| e.target)
+    }
+}
+
+impl<N, E> Index<NodeIndex> for StableDiGraph<N, E> {
+    type Output = N;
+
+    fn index(&self, idx: NodeIndex) -> &N {
+        self.node_weight(idx).expect("node index out of bounds")
+    }
+}
+
+/// A borrowed view of one edge: endpoints plus weight.
+#[derive(Debug)]
+pub struct EdgeReference<'a, E> {
+    id: EdgeIndex,
+    source: NodeIndex,
+    target: NodeIndex,
+    weight: &'a E,
+}
+
+impl<'a, E> Clone for EdgeReference<'a, E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'a, E> Copy for EdgeReference<'a, E> {}
+
+impl<'a, E> crate::visit::EdgeRef for EdgeReference<'a, E> {
+    type Weight = E;
+
+    fn source(&self) -> NodeIndex {
+        self.source
+    }
+
+    fn target(&self) -> NodeIndex {
+        self.target
+    }
+
+    fn weight(&self) -> &E {
+        self.weight
+    }
+
+    fn id(&self) -> EdgeIndex {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visit::EdgeRef;
+
+    #[test]
+    fn indices_stay_stable_across_removal() {
+        let mut g: StableDiGraph<&str, ()> = StableDiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, ());
+        let bc = g.add_edge(b, c, ());
+        assert_eq!(g.remove_node(b), Some("b"));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 0, "incident edges removed with the node");
+        assert_eq!(g.node_weight(a), Some(&"a"));
+        assert_eq!(g.node_weight(c), Some(&"c"));
+        assert!(g.remove_edge(bc).is_none());
+        let d = g.add_node("d");
+        assert_ne!(d, b, "slots are not reused");
+    }
+
+    #[test]
+    fn adjacency_lists_track_removals() {
+        let mut g: StableDiGraph<u32, u32> = StableDiGraph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(1);
+        let c = g.add_node(2);
+        let ab = g.add_edge(a, b, 10);
+        g.add_edge(a, c, 20);
+        g.add_edge(b, c, 30);
+        assert_eq!(g.edges_directed(a, Direction::Outgoing).count(), 2);
+        assert_eq!(g.edges_directed(c, Direction::Incoming).count(), 2);
+
+        assert_eq!(g.remove_edge(ab), Some(10));
+        assert_eq!(g.edges_directed(a, Direction::Outgoing).count(), 1);
+        assert_eq!(g.edges_directed(b, Direction::Incoming).count(), 0);
+
+        // Removing b drops b->c; a->c survives with correct endpoints.
+        g.remove_node(b);
+        let survivors: Vec<_> = g
+            .edges_directed(c, Direction::Incoming)
+            .map(|e| (e.source(), *e.weight()))
+            .collect();
+        assert_eq!(survivors, vec![(a, 20)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Visitor traits, mirroring the petgraph names the workspace imports.
+
+use crate::stable_graph::{EdgeIndex, EdgeReference, NodeIndex, StableDiGraph};
+
+/// A reference to a graph edge: endpoints and weight.
+pub trait EdgeRef {
+    /// The edge weight type.
+    type Weight;
+
+    /// Source node of the edge.
+    fn source(&self) -> NodeIndex;
+
+    /// Target node of the edge.
+    fn target(&self) -> NodeIndex;
+
+    /// The edge weight.
+    fn weight(&self) -> &Self::Weight;
+
+    /// The edge's stable identifier.
+    fn id(&self) -> EdgeIndex;
+}
+
+/// Graphs that can enumerate all their edges.
+pub trait IntoEdgeReferences {
+    /// The edge reference type yielded.
+    type EdgeRef;
+    /// The iterator over all edges.
+    type EdgeReferences: Iterator<Item = Self::EdgeRef>;
+
+    /// Iterates over every live edge.
+    fn edge_references(self) -> Self::EdgeReferences;
+}
+
+impl<'a, N, E> IntoEdgeReferences for &'a StableDiGraph<N, E> {
+    type EdgeRef = EdgeReference<'a, E>;
+    type EdgeReferences = Box<dyn Iterator<Item = EdgeReference<'a, E>> + 'a>;
+
+    fn edge_references(self) -> Self::EdgeReferences {
+        Box::new(StableDiGraph::edge_references(self))
+    }
+}

@@ -1,0 +1,136 @@
+//! Vendored minimal property-testing harness with a proptest-shaped API.
+//!
+//! The offline build environment cannot download the real `proptest`, so
+//! this crate implements the subset the eblocks test suites use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, `boxed`,
+//! * strategies for numeric ranges, tuples, [`strategy::Just`], `any::<T>()`,
+//!   weighted unions via [`prop_oneof!`], collections
+//!   ([`collection::vec`], [`collection::hash_set`]), and `&str` regex-ish
+//!   string patterns (treated as "arbitrary printable string"),
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, and the
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
+//!
+//! **Deliberate difference from real proptest:** there is no shrinking, and
+//! every run is fully deterministic — the RNG stream is a pure function of
+//! [`ProptestConfig::rng_seed`], the test name, and the case index. CI
+//! therefore sees the exact same cases on every run.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+
+#[doc(hidden)]
+pub use test_runner::run_proptest;
+
+/// Creates a strategy producing any value of `T` (see
+/// [`strategy::Arbitrary`]).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// Defines property tests: each `fn name(pattern in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+///
+/// An optional leading `#![proptest_config(expr)]` sets case count and RNG
+/// seed for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                $crate::run_proptest(
+                    __config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng| {
+                        $(let $arg =
+                            $crate::strategy::Strategy::generate(&{ $strat }, __rng);)+
+                        let __case = || -> $crate::TestCaseResult { $body Ok(()) };
+                        __case()
+                    },
+                );
+            }
+        )*
+    };
+    ($($tt:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($tt)*
+        }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fails the current test case (with an optional message) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}

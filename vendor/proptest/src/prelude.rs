@@ -1,0 +1,7 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate as prop;
+pub use crate::any;
+pub use crate::strategy::{Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+pub use crate::{ProptestConfig, TestCaseError, TestCaseResult};

@@ -1,0 +1,254 @@
+//! The [`Strategy`] trait and the combinators the eblocks suites use.
+//!
+//! A strategy is just a deterministic function from an RNG to a value —
+//! this vendored harness does not shrink.
+
+use crate::test_runner::TestRng;
+use rand::RngExt;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `fun`.
+    fn prop_map<O, F>(self, fun: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, fun }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves and `recurse`
+    /// wraps an inner strategy into one layer of branches. `depth` bounds
+    /// the nesting; the size hints are accepted for API compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut layered = base.clone();
+        for _ in 0..depth {
+            let branch = recurse(layered).boxed();
+            layered = Union::weighted(vec![(1, base.clone()), (2, branch)]).boxed();
+        }
+        layered
+    }
+
+    /// Erases the strategy type. The result is cheaply cloneable.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Maps another strategy's values (see [`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    source: S,
+    fun: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.fun)(self.source.generate(rng))
+    }
+}
+
+/// Weighted choice between strategies with a common value type (built by
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; weights must not all be zero.
+    pub fn weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! requires a positive total weight");
+        Union { options, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut ticket = rng.random_range(0..self.total);
+        for (weight, option) in &self.options {
+            let weight = *weight as u64;
+            if ticket < weight {
+                return option.generate(rng);
+            }
+            ticket -= weight;
+        }
+        unreachable!("ticket below total weight always lands on an option")
+    }
+}
+
+/// Produces any value of `T` (see [`any`](crate::any)).
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Any<T> {
+    pub(crate) fn new() -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_random {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_random!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        random_noncontrol_char(rng)
+    }
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuples! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+fn random_noncontrol_char(rng: &mut TestRng) -> char {
+    // Mostly ASCII (keeps parser fuzz inputs token-shaped often enough to
+    // reach deep code), occasionally any non-control scalar value.
+    if rng.random_range(0u32..10) < 8 {
+        char::from(rng.random_range(0x20u8..0x7f))
+    } else {
+        loop {
+            let code = rng.random_range(0x20u32..0x11_0000);
+            if let Some(c) = char::from_u32(code) {
+                if !c.is_control() {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// String patterns act as strategies. This harness does not implement a
+/// regex engine: any pattern produces arbitrary printable strings, which is
+/// what the suites' `"\\PC*"` (any non-control chars) patterns mean.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.random_range(0usize..=32);
+        (0..len).map(|_| random_noncontrol_char(rng)).collect()
+    }
+}

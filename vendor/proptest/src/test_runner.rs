@@ -1,0 +1,114 @@
+//! The case runner: deterministic RNG, config, and failure plumbing.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// The RNG handed to strategies. A thin wrapper over the vendored
+/// [`StdRng`] so strategies can use `rand`'s sampling extensions.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A failed property, carrying the assertion message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure from any message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+///
+/// Unlike real proptest, `rng_seed` fully determines the generated cases:
+/// the suite is reproducible in CI by construction.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Base seed for the deterministic case stream.
+    pub rng_seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            // "eblocks" in ASCII; any fixed value works.
+            rng_seed: 0x6562_6c6f_636b_73,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases with the default pinned seed.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+
+    /// Returns the config with the given pinned RNG seed.
+    pub fn with_rng_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    hash
+}
+
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `case` for every generated input; panics (failing the enclosing
+/// `#[test]`) on the first case that returns an error.
+pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let base = config.rng_seed ^ fnv1a(name);
+    for index in 0..config.cases {
+        let mut rng = TestRng::from_seed(base ^ mix(index as u64));
+        if let Err(err) = case(&mut rng) {
+            panic!(
+                "proptest {name}: case {index} of {} failed (seed {base:#x}):\n{err}",
+                config.cases
+            );
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Vendored serde facade for the offline build.
+//!
+//! Exposes `Serialize` / `Deserialize` as *marker traits* plus the no-op
+//! derive macros from the vendored `serde_derive`. The workspace annotates
+//! model types for forward compatibility but performs no serialization yet;
+//! swapping in real serde later requires no source changes in the members.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Vendored no-op replacements for serde's derive macros.
+//!
+//! The eblocks crates only *annotate* types with `#[derive(Serialize,
+//! Deserialize)]` — nothing in the workspace calls a serializer yet (the
+//! netlist text format is hand-written). Until a real serialization backend
+//! lands, these derives expand to nothing, keeping the annotations
+//! compiling without the real `serde_derive` dependency tree (syn/quote),
+//! which the offline build environment cannot download.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. Accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. Accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
