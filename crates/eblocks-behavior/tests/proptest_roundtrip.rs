@@ -105,7 +105,7 @@ fn program_strategy() -> impl Strategy<Value = Program> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256).with_rng_seed(0xEB10_C5))]
+    #![proptest_config(ProptestConfig::with_cases(256).with_rng_seed(0xEB10C5))]
 
     /// Pretty-printing any AST and reparsing yields the identical AST —
     /// printing is injective and parsing inverts it (precedence and
@@ -147,7 +147,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64).with_rng_seed(0xEB10_C5))]
+    #![proptest_config(ProptestConfig::with_cases(64).with_rng_seed(0xEB10C5))]
 
     /// Lexer/parser never panic on arbitrary input strings (errors only).
     #[test]
@@ -175,7 +175,7 @@ mod optimizer_equivalence {
     use eblocks_behavior::{optimize, Machine, Value};
 
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(192).with_rng_seed(0xEB10_C5))]
+        #![proptest_config(ProptestConfig::with_cases(192).with_rng_seed(0xEB10C5))]
 
         /// Optimization preserves behavior: the optimized machine produces
         /// the same outputs on a random boolean input sequence, and faults

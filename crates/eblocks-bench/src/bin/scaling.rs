@@ -8,9 +8,10 @@
 //!
 //! Usage: `cargo run --release -p eblocks-bench --bin scaling [exh_limit_s]`
 
-use eblocks_bench::{fmt_time, run_algo, Algo};
+use eblocks_bench::{exhaustive_with_limit, fmt_time, run_partitioner};
 use eblocks_gen::{generate, GeneratorConfig};
-use eblocks_partition::PartitionConstraints;
+use eblocks_partition::strategy::{Anneal, PareDown};
+use eblocks_partition::{AnnealConfig, PartitionConstraints};
 use std::time::Duration;
 
 fn main() {
@@ -27,11 +28,10 @@ fn main() {
     );
     for inner in [6, 8, 10, 11, 12, 13, 14] {
         let design = generate(&GeneratorConfig::new(inner), 4242 + inner as u64);
-        let t = run_algo(
+        let t = run_partitioner(
             &design,
             &constraints,
-            Algo::Exhaustive,
-            Duration::from_secs(exh_limit_s),
+            &exhaustive_with_limit(Duration::from_secs(exh_limit_s)),
         );
         // Paper-faithful mode: only the §4.1 symmetry pruning, no incumbent
         // seeding — the configuration whose runtime Table 2 reports.
@@ -64,15 +64,36 @@ fn main() {
     println!("{:>6} {:>14} {:>8} {:>8}", "inner", "time", "total", "prog");
     for inner in [6, 10, 14, 20, 25, 35, 45, 100, 200, 465] {
         let design = generate(&GeneratorConfig::new(inner), 4242 + inner as u64);
-        let t = run_algo(
-            &design,
-            &constraints,
-            Algo::PareDown,
-            Duration::from_secs(1),
-        );
+        let t = run_partitioner(&design, &constraints, &PareDown);
         println!(
             "{:>6} {:>14} {:>8} {:>8}",
             inner,
+            fmt_time(t.elapsed),
+            t.result.inner_total(),
+            t.result.num_partitions()
+        );
+    }
+
+    // The ROADMAP's "parallel annealing restarts" win: N independent walks
+    // on scoped threads cost roughly one walk of wall-clock while the
+    // best-of-N objective only improves.
+    println!("\nParallel anneal restarts (100-inner design, best-of-N):");
+    println!(
+        "{:>9} {:>14} {:>8} {:>8}",
+        "restarts", "time", "total", "prog"
+    );
+    let design = generate(&GeneratorConfig::new(100), 4242 + 100);
+    for restarts in [1u32, 2, 4, 8] {
+        let anneal = Anneal {
+            config: AnnealConfig {
+                iterations: 10_000,
+                restarts,
+                ..Default::default()
+            },
+        };
+        let t = run_partitioner(&design, &constraints, &anneal);
+        println!(
+            "{restarts:>9} {:>14} {:>8} {:>8}",
             fmt_time(t.elapsed),
             t.result.inner_total(),
             t.result.num_partitions()

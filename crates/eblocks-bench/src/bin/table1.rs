@@ -3,13 +3,14 @@
 //!
 //! Usage: `cargo run --release -p eblocks-bench --bin table1`
 
-use eblocks_bench::{fmt_time, run_algo, Algo};
+use eblocks_bench::{exhaustive_with_limit, fmt_time, run_partitioner};
+use eblocks_partition::strategy::PareDown;
 use eblocks_partition::PartitionConstraints;
 use std::time::Duration;
 
 fn main() {
     let constraints = PartitionConstraints::default();
-    let limit = Duration::from_secs(60);
+    let exhaustive = exhaustive_with_limit(Duration::from_secs(60));
 
     println!("Table 1 — exhaustive search and PareDown on the design library");
     println!(
@@ -31,9 +32,9 @@ fn main() {
         let inner = entry.design.inner_blocks().count();
         let run_exhaustive = entry.expected.exhaustive.is_some();
 
-        let pd = run_algo(&entry.design, &constraints, Algo::PareDown, limit);
+        let pd = run_partitioner(&entry.design, &constraints, &PareDown);
         let (exh_cols, overhead_cols) = if run_exhaustive {
-            let exh = run_algo(&entry.design, &constraints, Algo::Exhaustive, limit);
+            let exh = run_partitioner(&entry.design, &constraints, &exhaustive);
             let overhead = pd.result.inner_total() as i64 - exh.result.inner_total() as i64;
             let pct = if exh.result.inner_total() == 0 {
                 0.0

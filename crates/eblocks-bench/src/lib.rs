@@ -26,9 +26,8 @@
 
 use eblocks_core::Design;
 use eblocks_gen::{generate, GeneratorConfig};
-use eblocks_partition::{
-    aggregation, exhaustive, pare_down, ExhaustiveOptions, PartitionConstraints, Partitioning,
-};
+use eblocks_partition::strategy::{Exhaustive, PareDown};
+use eblocks_partition::{ExhaustiveOptions, PartitionConstraints, Partitioner, Partitioning};
 use std::time::{Duration, Instant};
 
 /// The paper's Table 2 sweep: `(inner blocks, number of designs)`.
@@ -75,38 +74,25 @@ pub fn timed<F: FnOnce() -> Partitioning>(f: F) -> Timed {
     }
 }
 
-/// Which algorithm to run in sweeps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algo {
-    /// Optimal search (§4.1).
-    Exhaustive,
-    /// PareDown decomposition (§4.2).
-    PareDown,
-    /// Greedy aggregation (§4.2 ¶1).
-    Aggregation,
-}
-
-/// Runs `algo` on `design`, timed. The exhaustive search gets `limit` as a
-/// per-design time budget (it returns its incumbent on expiry).
-pub fn run_algo(
+/// Runs a [`Partitioner`] strategy on `design`, timed. The sweeps drive
+/// every algorithm through this one entry point, so adding a strategy to
+/// the registry automatically makes it benchmarkable.
+pub fn run_partitioner(
     design: &Design,
     constraints: &PartitionConstraints,
-    algo: Algo,
-    limit: Duration,
+    partitioner: &dyn Partitioner,
 ) -> Timed {
-    match algo {
-        Algo::Exhaustive => timed(|| {
-            exhaustive(
-                design,
-                constraints,
-                ExhaustiveOptions {
-                    time_limit: Some(limit),
-                    ..Default::default()
-                },
-            )
-        }),
-        Algo::PareDown => timed(|| pare_down(design, constraints)),
-        Algo::Aggregation => timed(|| aggregation(design, constraints)),
+    timed(|| partitioner.partition(design, constraints))
+}
+
+/// The exhaustive strategy with a per-design time budget (it returns its
+/// incumbent on expiry).
+pub fn exhaustive_with_limit(limit: Duration) -> Exhaustive {
+    Exhaustive {
+        options: ExhaustiveOptions {
+            time_limit: Some(limit),
+            ..Default::default()
+        },
     }
 }
 
@@ -184,6 +170,8 @@ pub fn table2_sweep(
     mut progress: impl FnMut(usize, usize),
 ) -> Vec<SweepRow> {
     let constraints = PartitionConstraints::default();
+    let exhaustive = exhaustive_with_limit(per_design_limit);
+    let pare_down = PareDown;
     let mut rows = Vec::new();
     for &(inner, paper_count) in counts {
         let count = ((paper_count as f64 * scale).round() as usize).max(1);
@@ -194,19 +182,9 @@ pub fn table2_sweep(
             let seed = (inner as u64) << 32 | i as u64;
             let design = generate(&GeneratorConfig::new(inner), seed);
             if inner <= EXHAUSTIVE_CUTOFF {
-                exh.add(&run_algo(
-                    &design,
-                    &constraints,
-                    Algo::Exhaustive,
-                    per_design_limit,
-                ));
+                exh.add(&run_partitioner(&design, &constraints, &exhaustive));
             }
-            pd.add(&run_algo(
-                &design,
-                &constraints,
-                Algo::PareDown,
-                per_design_limit,
-            ));
+            pd.add(&run_partitioner(&design, &constraints, &pare_down));
         }
         progress(inner, count);
         rows.push(SweepRow {
@@ -281,7 +259,7 @@ mod tests {
         let d = eblocks_gen::generate(&GeneratorConfig::new(5), 1);
         let c = PartitionConstraints::default();
         let mut avg = Averages::default();
-        let r = run_algo(&d, &c, Algo::PareDown, Duration::from_secs(1));
+        let r = run_partitioner(&d, &c, &PareDown);
         let total = r.result.inner_total() as f64;
         avg.add(&r);
         avg.add(&r);

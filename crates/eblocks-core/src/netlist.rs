@@ -4,6 +4,7 @@
 //! paper's GUI capture tool as a storage format:
 //!
 //! ```text
+//! eblocks-netlist v1
 //! design garage-open-at-night
 //! block door sensor:contact
 //! block light sensor:light
@@ -18,17 +19,30 @@
 //!
 //! `#` starts a comment; blank lines are ignored. Kind tokens match
 //! [`BlockKind`]'s `Display` output.
+//!
+//! The leading `eblocks-netlist v<N>` header versions the format so
+//! external tools can detect incompatible future revisions. Parsing accepts
+//! headerless files (everything written before the header existed) as
+//! version 1; an unknown version is a parse error.
 
 use crate::design::Design;
 use crate::error::DesignError;
 use crate::kind::{BlockKind, CommKind, ComputeKind, OutputKind, ProgrammableSpec, SensorKind};
 
+/// The format version [`to_netlist`] writes.
+pub const NETLIST_VERSION: u32 = 1;
+
+/// The header directive keyword.
+const HEADER_KEYWORD: &str = "eblocks-netlist";
+
 /// Serializes a design to netlist text.
 ///
 /// Blocks appear in id order and wires in deterministic sorted order, so the
-/// output is stable and diff-friendly.
+/// output is stable and diff-friendly. The first line is the
+/// `eblocks-netlist v1` format-version header.
 pub fn to_netlist(design: &Design) -> String {
     let mut out = String::new();
+    out.push_str(&format!("{HEADER_KEYWORD} v{NETLIST_VERSION}\n"));
     out.push_str(&format!("design {}\n", design.name()));
     for id in design.blocks() {
         let b = design.block(id).expect("iterated id");
@@ -51,14 +65,19 @@ pub fn to_netlist(design: &Design) -> String {
 
 /// Parses netlist text into a design.
 ///
+/// A leading `eblocks-netlist v<N>` header is validated against
+/// [`NETLIST_VERSION`]; headerless files parse as version 1 for backward
+/// compatibility.
+///
 /// # Errors
 ///
 /// Returns [`DesignError::Parse`] with a 1-based line number on malformed
-/// input, or the underlying construction error (duplicate names, bad ports,
-/// cycles) wrapped in context.
+/// input, an unsupported format version, or the underlying construction
+/// error (duplicate names, bad ports, cycles) wrapped in context.
 pub fn from_netlist(text: &str) -> Result<Design, DesignError> {
     let mut design = Design::new("unnamed");
     let err = |line: usize, message: String| DesignError::Parse { line, message };
+    let mut before_directives = true;
 
     for (i, raw) in text.lines().enumerate() {
         let lineno = i + 1;
@@ -68,6 +87,35 @@ pub fn from_netlist(text: &str) -> Result<Design, DesignError> {
         }
         let mut words = line.split_whitespace();
         match words.next() {
+            Some(HEADER_KEYWORD) => {
+                if !before_directives {
+                    return Err(err(
+                        lineno,
+                        format!("`{HEADER_KEYWORD}` header must precede all directives"),
+                    ));
+                }
+                let version = words
+                    .next()
+                    .ok_or_else(|| err(lineno, format!("`{HEADER_KEYWORD}` needs a version")))?;
+                match version
+                    .strip_prefix('v')
+                    .and_then(|v| v.parse::<u32>().ok())
+                {
+                    Some(v) if v == NETLIST_VERSION => {}
+                    Some(v) => {
+                        return Err(err(
+                            lineno,
+                            format!(
+                                "unsupported netlist format version v{v} \
+                                 (this build reads v{NETLIST_VERSION})"
+                            ),
+                        ))
+                    }
+                    None => {
+                        return Err(err(lineno, format!("bad format version `{version}`")));
+                    }
+                }
+            }
             Some("design") => {
                 let name = words
                     .next()
@@ -115,6 +163,7 @@ pub fn from_netlist(text: &str) -> Result<Design, DesignError> {
             Some(other) => return Err(err(lineno, format!("unknown directive `{other}`"))),
             None => unreachable!("empty lines filtered above"),
         }
+        before_directives = false;
     }
     Ok(design)
 }
@@ -198,6 +247,61 @@ mod tests {
             let orig = d.block(d.block_by_name(name).unwrap()).unwrap();
             assert_eq!(d2.block(id).unwrap().kind(), orig.kind());
         }
+    }
+
+    #[test]
+    fn emission_starts_with_version_header() {
+        let text = to_netlist(&sample());
+        assert!(text.starts_with("eblocks-netlist v1\n"), "{text}");
+    }
+
+    #[test]
+    fn headerless_files_parse_as_v1() {
+        let headerless = "design legacy\nblock a sensor:button\n";
+        let d = from_netlist(headerless).unwrap();
+        assert_eq!(d.name(), "legacy");
+        assert_eq!(d.num_blocks(), 1);
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        match from_netlist("eblocks-netlist v2\ndesign t\n") {
+            Err(DesignError::Parse { line: 1, message }) => {
+                assert!(message.contains("unsupported"), "{message}");
+                assert!(message.contains("v2"), "{message}");
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+        assert!(matches!(
+            from_netlist("eblocks-netlist banana\n"),
+            Err(DesignError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_netlist("eblocks-netlist\n"),
+            Err(DesignError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn header_after_directives_rejected() {
+        let late = "design t\neblocks-netlist v1\n";
+        match from_netlist(late) {
+            Err(DesignError::Parse { line: 2, message }) => {
+                assert!(message.contains("precede"), "{message}");
+            }
+            other => panic!("expected placement error, got {other:?}"),
+        }
+        // A duplicate header counts as "after directives" too.
+        assert!(matches!(
+            from_netlist("eblocks-netlist v1\neblocks-netlist v1\n"),
+            Err(DesignError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn header_may_follow_comments_and_blanks() {
+        let text = "# exported by tooling\n\neblocks-netlist v1\ndesign t\n";
+        assert_eq!(from_netlist(text).unwrap().name(), "t");
     }
 
     #[test]

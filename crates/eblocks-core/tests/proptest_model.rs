@@ -21,7 +21,7 @@ fn op_strategy(cap: usize) -> impl Strategy<Value = Op> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256).with_rng_seed(0xEB10_C5))]
+    #![proptest_config(ProptestConfig::with_cases(256).with_rng_seed(0xEB10C5))]
 
     /// BitSet behaves exactly like HashSet<usize> under a random op stream.
     #[test]
@@ -77,7 +77,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128).with_rng_seed(0xEB10_C5))]
+    #![proptest_config(ProptestConfig::with_cases(128).with_rng_seed(0xEB10C5))]
 
     /// The netlist parser is total: arbitrary text errors, never panics.
     #[test]

@@ -5,7 +5,9 @@
 //! a minimum number of programmable blocks under input/output pin
 //! constraints.
 //!
-//! Three algorithms are provided:
+//! Five algorithms are provided, each as a plain function and as an
+//! object-safe [`Partitioner`] strategy (see [`strategy`] and [`Registry`]
+//! for runtime selection):
 //!
 //! * [`pare_down`](fn@pare_down) — the paper's contribution: an `O(n²)` *decomposition*
 //!   heuristic that starts from all inner blocks as one candidate partition
@@ -14,7 +16,11 @@
 //!   partitions, with the paper's empty-partition symmetry pruning plus sound
 //!   bound pruning (§4.1),
 //! * [`aggregation`](fn@aggregation) — the greedy clustering strawman the paper describes and
-//!   discards for its lack of look-ahead (§4.2 ¶1).
+//!   discards for its lack of look-ahead (§4.2 ¶1),
+//! * [`refine`](fn@refine) — deterministic local-search repair on top of any result
+//!   (the `refine` strategy runs it over PareDown),
+//! * [`anneal`](fn@anneal) — Metropolis annealing with parallel multi-restart
+//!   support ([`AnnealConfig::restarts`]).
 //!
 //! # Example
 //!
@@ -54,6 +60,7 @@ pub mod pare_down;
 pub mod quotient;
 pub mod refine;
 pub mod result;
+pub mod strategy;
 
 pub use aggregation::aggregation;
 pub use anneal::{anneal, AnnealConfig};
@@ -65,3 +72,4 @@ pub use pare_down::{pare_down, pare_down_no_tie_breaks, pare_down_traced, TraceE
 pub use quotient::{dissolve_cycles, quotient_is_acyclic};
 pub use refine::{pare_down_refined, refine, RefineReport};
 pub use result::{Partitioning, VerifyError};
+pub use strategy::{Partitioner, Registry};

@@ -67,6 +67,6 @@ pub mod topology;
 pub use anneal::{anneal_place, PlaceAnnealConfig};
 pub use greedy::greedy_place;
 pub use placement::{PlaceError, Placement, PlacementProblem};
-pub use route::{route, Route, RoutingReport};
+pub use route::{route, route_with, Route, RoutingReport};
 pub use textfmt::{from_text, to_text, ParseTopologyError};
-pub use topology::{DistanceMatrix, Site, SiteId, Topology};
+pub use topology::{DistanceMatrix, PathMatrix, Site, SiteId, Topology};

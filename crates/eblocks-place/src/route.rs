@@ -8,9 +8,9 @@
 //! channel.
 
 use crate::placement::{PlaceError, Placement, PlacementProblem};
-use crate::topology::SiteId;
+use crate::topology::{PathMatrix, SiteId};
 use eblocks_core::BlockId;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 /// One routed logical wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +61,11 @@ impl RoutingReport {
 /// Path selection is deterministic: among equal-length paths, BFS explores
 /// neighbors in site order, so lower-numbered corridors win.
 ///
+/// Shortest-path BFS trees are computed once per distinct source site (see
+/// [`Topology::path_matrix_for`](crate::Topology::path_matrix_for)) rather
+/// than once per wire; callers routing many placements against one topology
+/// should build a full matrix themselves and use [`route_with`].
+///
 /// # Errors
 ///
 /// [`PlaceError::Unassigned`] for an unplaced block and
@@ -69,7 +74,25 @@ pub fn route(
     problem: &PlacementProblem<'_>,
     placement: &Placement,
 ) -> Result<RoutingReport, PlaceError> {
-    let topology = problem.topology();
+    let sources = problem
+        .design()
+        .wires()
+        .filter_map(|w| placement.site_of(w.from));
+    let paths = problem.topology().path_matrix_for(sources);
+    route_with(problem, placement, &paths)
+}
+
+/// [`route`] against a precomputed [`PathMatrix`], for hot loops that route
+/// many placements on the same topology.
+///
+/// # Errors
+///
+/// As for [`route`].
+pub fn route_with(
+    problem: &PlacementProblem<'_>,
+    placement: &Placement,
+    paths: &PathMatrix,
+) -> Result<RoutingReport, PlaceError> {
     let mut routes = Vec::new();
     let mut link_load: BTreeMap<(SiteId, SiteId), usize> = BTreeMap::new();
 
@@ -80,7 +103,9 @@ pub fn route(
         let to = placement
             .site_of(wire.to)
             .ok_or(PlaceError::Unassigned { block: wire.to })?;
-        let path = shortest_path(topology, from, to).ok_or(PlaceError::Unroutable { from, to })?;
+        let path = paths
+            .path(from, to)
+            .ok_or(PlaceError::Unroutable { from, to })?;
         for leg in path.windows(2) {
             let key = (leg[0].min(leg[1]), leg[0].max(leg[1]));
             *link_load.entry(key).or_insert(0) += 1;
@@ -92,36 +117,6 @@ pub fn route(
         });
     }
     Ok(RoutingReport { routes, link_load })
-}
-
-/// BFS shortest path, inclusive endpoints; `None` when unreachable.
-fn shortest_path(topology: &crate::Topology, from: SiteId, to: SiteId) -> Option<Vec<SiteId>> {
-    if from == to {
-        return Some(vec![from]);
-    }
-    let n = topology.num_sites();
-    let mut parent: Vec<Option<SiteId>> = vec![None; n];
-    parent[from.index()] = Some(from); // sentinel: own parent
-    let mut queue = VecDeque::from([from]);
-    while let Some(cur) = queue.pop_front() {
-        for next in topology.neighbors(cur) {
-            if parent[next.index()].is_none() {
-                parent[next.index()] = Some(cur);
-                if next == to {
-                    let mut path = vec![to];
-                    let mut at = to;
-                    while at != from {
-                        at = parent[at.index()].expect("reached nodes have parents");
-                        path.push(at);
-                    }
-                    path.reverse();
-                    return Some(path);
-                }
-                queue.push_back(next);
-            }
-        }
-    }
-    None
 }
 
 #[cfg(test)]
@@ -221,6 +216,19 @@ mod tests {
         assert_eq!(report.routes[0].path, vec![hub]);
         assert_eq!(report.total_hops(), 0);
         assert!(report.max_congestion().is_none());
+    }
+
+    #[test]
+    fn route_with_matches_route() {
+        let d = chain(4);
+        let t = Topology::grid(3, 2);
+        let problem = PlacementProblem::new(&d, &t).unwrap();
+        let placement = greedy_place(&problem).unwrap();
+        let paths = t.path_matrix();
+        assert_eq!(
+            route_with(&problem, &placement, &paths).unwrap(),
+            route(&problem, &placement).unwrap()
+        );
     }
 
     #[test]

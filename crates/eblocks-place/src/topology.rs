@@ -8,7 +8,7 @@
 //! sites is routed along the shortest link path, and each hop costs wire
 //! and power — the quantity placement minimizes.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// Identifies a site within its [`Topology`].
@@ -262,6 +262,49 @@ impl Topology {
         DistanceMatrix { n, matrix }
     }
 
+    /// All-pairs shortest-path structure: one BFS tree per source site,
+    /// computed once, so repeated path queries (routing every wire of a
+    /// design) do not re-run BFS per wire.
+    ///
+    /// Path selection matches per-query BFS exactly: neighbors are explored
+    /// in site order, so among equal-length paths the lower-numbered
+    /// corridor wins.
+    pub fn path_matrix(&self) -> PathMatrix {
+        self.path_matrix_for((0..self.sites.len()).map(SiteId))
+    }
+
+    /// [`path_matrix`](Self::path_matrix) restricted to the given source
+    /// sites — BFS trees are built only for `sources`, so routing a few
+    /// wires on a huge topology stays linear in the sites actually used.
+    /// Queries from a source outside the set return `None`.
+    pub fn path_matrix_for(&self, sources: impl IntoIterator<Item = SiteId>) -> PathMatrix {
+        let n = self.sites.len();
+        let mut rows: BTreeMap<usize, PathRow> = BTreeMap::new();
+        for source in sources {
+            let start = source.0;
+            if start >= n || rows.contains_key(&start) {
+                continue;
+            }
+            let mut parent = vec![usize::MAX; n];
+            let mut dist = vec![usize::MAX; n];
+            parent[start] = start; // sentinel: own parent
+            dist[start] = 0;
+            let mut queue = VecDeque::from([start]);
+            while let Some(cur) = queue.pop_front() {
+                let d = dist[cur];
+                for &next in &self.adjacency[cur] {
+                    if parent[next] == usize::MAX {
+                        parent[next] = cur;
+                        dist[next] = d + 1;
+                        queue.push_back(next);
+                    }
+                }
+            }
+            rows.insert(start, PathRow { parent, dist });
+        }
+        PathMatrix { n, rows }
+    }
+
     /// Whether every site can reach every other site.
     pub fn is_connected(&self) -> bool {
         let n = self.sites.len();
@@ -291,6 +334,53 @@ impl DistanceMatrix {
     pub fn get(&self, from: SiteId, to: SiteId) -> Option<usize> {
         let d = *self.matrix.get(from.0 * self.n + to.0)?;
         (d != usize::MAX).then_some(d)
+    }
+}
+
+/// One source site's BFS tree: parent pointers and hop distances
+/// (`usize::MAX` = unreachable, own index = BFS root).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PathRow {
+    parent: Vec<usize>,
+    dist: Vec<usize>,
+}
+
+/// Precomputed shortest paths (BFS trees) for a [`Topology`].
+///
+/// Built once by [`Topology::path_matrix`] (every source) or
+/// [`Topology::path_matrix_for`] (selected sources); [`path`](Self::path)
+/// then reconstructs any shortest site-path without re-running BFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathMatrix {
+    n: usize,
+    rows: BTreeMap<usize, PathRow>,
+}
+
+impl PathMatrix {
+    /// Hop distance, or `None` when unreachable (or `from` is not among
+    /// the computed sources).
+    pub fn distance(&self, from: SiteId, to: SiteId) -> Option<usize> {
+        let d = *self.rows.get(&from.0)?.dist.get(to.0)?;
+        (d != usize::MAX).then_some(d)
+    }
+
+    /// A shortest site-path from `from` to `to`, inclusive of both
+    /// endpoints (a same-site query yields a single-element path), or
+    /// `None` when unreachable (or `from` is not among the computed
+    /// sources).
+    pub fn path(&self, from: SiteId, to: SiteId) -> Option<Vec<SiteId>> {
+        let row = self.rows.get(&from.0)?;
+        if *row.parent.get(to.0)? == usize::MAX {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut at = to.0;
+        while at != from.0 {
+            at = row.parent[at];
+            path.push(SiteId(at));
+        }
+        path.reverse();
+        Some(path)
     }
 }
 
@@ -378,5 +468,54 @@ mod tests {
                 assert_eq!(m.get(a, b), t.distance(a, b), "{a} -> {b}");
             }
         }
+    }
+
+    #[test]
+    fn path_matrix_paths_are_shortest_and_contiguous() {
+        let t = Topology::grid(3, 3);
+        let p = t.path_matrix();
+        for a in t.sites() {
+            for b in t.sites() {
+                let path = p.path(a, b).unwrap();
+                assert_eq!(path.first(), Some(&a));
+                assert_eq!(path.last(), Some(&b));
+                assert_eq!(path.len() - 1, t.distance(a, b).unwrap(), "{a} -> {b}");
+                assert_eq!(p.distance(a, b), t.distance(a, b));
+                for leg in path.windows(2) {
+                    assert!(
+                        t.neighbors(leg[0]).any(|s| s == leg[1]),
+                        "consecutive path sites must be linked"
+                    );
+                }
+            }
+        }
+        assert_eq!(p.path(SiteId(0), SiteId(0)), Some(vec![SiteId(0)]));
+    }
+
+    #[test]
+    fn path_matrix_reports_unreachable() {
+        let mut t = Topology::new();
+        let a = t.add_site("a", 1);
+        let b = t.add_site("b", 1);
+        let c = t.add_site("c", 1);
+        t.link(a, b);
+        let p = t.path_matrix();
+        assert_eq!(p.path(a, c), None);
+        assert_eq!(p.distance(a, c), None);
+        assert_eq!(p.path(a, b), Some(vec![a, b]));
+    }
+
+    #[test]
+    fn restricted_path_matrix_covers_only_its_sources() {
+        let t = Topology::line(4);
+        let p = t.path_matrix_for([SiteId(1), SiteId(1), SiteId(9)]);
+        assert_eq!(
+            p.path(SiteId(1), SiteId(3)),
+            Some(vec![SiteId(1), SiteId(2), SiteId(3)])
+        );
+        assert_eq!(p.distance(SiteId(1), SiteId(0)), Some(1));
+        // Site 0 was not requested as a source; site 9 does not exist.
+        assert_eq!(p.path(SiteId(0), SiteId(1)), None);
+        assert_eq!(p.path(SiteId(9), SiteId(0)), None);
     }
 }

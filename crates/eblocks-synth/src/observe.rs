@@ -1,0 +1,147 @@
+//! Per-stage observation hooks for the synthesis [`Pipeline`].
+//!
+//! Each pipeline stage reports a [`StageReport`] (stage, wall-clock time, a
+//! one-line detail) to the attached [`Observer`] as it completes. Closures
+//! implement [`Observer`] directly, and [`StageTimings`] is a ready-made
+//! collector for benchmarks and progress displays.
+//!
+//! [`Pipeline`]: crate::Pipeline
+
+use std::fmt;
+use std::time::Duration;
+
+/// The stages of the synthesis pipeline, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Partition the inner blocks.
+    Partition,
+    /// Merge each partition's behaviors into one program.
+    Merge,
+    /// Rewrite the network around programmable blocks.
+    Rewrite,
+    /// Co-simulate original vs synthesized.
+    Verify,
+    /// Emit C sources and size estimates.
+    EmitC,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Partition => "partition",
+            Self::Merge => "merge",
+            Self::Rewrite => "rewrite",
+            Self::Verify => "verify",
+            Self::EmitC => "emit-c",
+        })
+    }
+}
+
+/// What one completed stage reports to the observer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReport {
+    /// Which stage completed.
+    pub stage: Stage,
+    /// Wall-clock time the stage took.
+    pub elapsed: Duration,
+    /// One-line human-readable outcome (partition counts, sample counts, …).
+    pub detail: String,
+}
+
+/// A callback invoked after each pipeline stage completes.
+///
+/// Any `FnMut(&StageReport)` closure is an observer.
+pub trait Observer {
+    /// Called once per completed stage, in execution order.
+    fn on_stage(&mut self, report: &StageReport);
+}
+
+impl<F: FnMut(&StageReport)> Observer for F {
+    fn on_stage(&mut self, report: &StageReport) {
+        self(report);
+    }
+}
+
+/// An [`Observer`] that records every report, for timing breakdowns.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimings {
+    /// The collected reports, in stage execution order.
+    pub reports: Vec<StageReport>,
+}
+
+impl StageTimings {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The report for `stage`, if that stage ran.
+    pub fn get(&self, stage: Stage) -> Option<&StageReport> {
+        self.reports.iter().find(|r| r.stage == stage)
+    }
+
+    /// Total wall-clock time across all observed stages.
+    pub fn total(&self) -> Duration {
+        self.reports.iter().map(|r| r.elapsed).sum()
+    }
+}
+
+impl Observer for StageTimings {
+    fn on_stage(&mut self, report: &StageReport) {
+        self.reports.push(report.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_render() {
+        let names: Vec<String> = [
+            Stage::Partition,
+            Stage::Merge,
+            Stage::Rewrite,
+            Stage::Verify,
+            Stage::EmitC,
+        ]
+        .iter()
+        .map(Stage::to_string)
+        .collect();
+        assert_eq!(names, ["partition", "merge", "rewrite", "verify", "emit-c"]);
+    }
+
+    #[test]
+    fn timings_collect_and_aggregate() {
+        let mut t = StageTimings::new();
+        t.on_stage(&StageReport {
+            stage: Stage::Partition,
+            elapsed: Duration::from_millis(3),
+            detail: "2 partitions".into(),
+        });
+        t.on_stage(&StageReport {
+            stage: Stage::Merge,
+            elapsed: Duration::from_millis(4),
+            detail: "2 programs".into(),
+        });
+        assert_eq!(t.reports.len(), 2);
+        assert_eq!(t.get(Stage::Partition).unwrap().detail, "2 partitions");
+        assert!(t.get(Stage::Verify).is_none());
+        assert_eq!(t.total(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn closures_are_observers() {
+        let mut seen = Vec::new();
+        {
+            let mut obs = |r: &StageReport| seen.push(r.stage);
+            let report = StageReport {
+                stage: Stage::EmitC,
+                elapsed: Duration::ZERO,
+                detail: String::new(),
+            };
+            Observer::on_stage(&mut obs, &report);
+        }
+        assert_eq!(seen, [Stage::EmitC]);
+    }
+}

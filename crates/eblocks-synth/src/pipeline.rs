@@ -1,18 +1,38 @@
-//! The synthesis pipeline driver.
+//! The staged synthesis pipeline.
+//!
+//! [`Pipeline`] decomposes synthesis into typed stages — each stage method
+//! consumes the previous stage's value and returns the next, so callers can
+//! stop early, inspect intermediates, or swap the partitioning strategy:
+//!
+//! ```text
+//! Pipeline::new(design)
+//!     .partition_with(&strategy)?   -> Partitioned
+//!     .merge()?                     -> Merged
+//!     .rewrite()?                   -> Rewritten
+//!     .verify(VerifyOptions)?       -> Verified   (or .skip_verify())
+//!     .emit_c()                     -> SynthesisResult
+//! ```
+//!
+//! Attach an [`Observer`] with [`Pipeline::observe`] for per-stage timing
+//! and progress. The classic one-call [`synthesize`] entry point survives as
+//! a thin shim over this API.
 
 use crate::error::SynthError;
+use crate::observe::{Observer, Stage, StageReport};
 use crate::rewrite::rewrite_network;
 use crate::stimulus::exercise_all_sensors;
 use eblocks_behavior::Program;
 use eblocks_codegen::{emit_c, estimate_size, merge_partition, MergedProgram, SizeEstimate};
 use eblocks_core::{BlockId, Design};
-use eblocks_partition::{
-    aggregation, exhaustive, pare_down, ExhaustiveOptions, PartitionConstraints, Partitioning,
-};
+use eblocks_partition::strategy;
+use eblocks_partition::{PartitionConstraints, Partitioner, Partitioning};
 use eblocks_sim::{equivalence, EquivalenceReport, Simulator, Time};
 use std::collections::HashMap;
+use std::time::Instant;
 
-/// Which partitioning algorithm drives synthesis.
+/// Which partitioning algorithm drives [`synthesize`] (compatibility enum;
+/// the staged [`Pipeline`] accepts any [`Partitioner`] instead, including
+/// the `refine` and `anneal` strategies this enum predates).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum Algorithm {
     /// The paper's PareDown decomposition heuristic (§4.2) — the default.
@@ -23,6 +43,17 @@ pub enum Algorithm {
     Exhaustive,
     /// The greedy aggregation strawman (§4.2 ¶1).
     Aggregation,
+}
+
+impl Algorithm {
+    /// The equivalent [`Partitioner`] strategy with default configuration.
+    pub fn partitioner(self) -> Box<dyn Partitioner> {
+        match self {
+            Self::PareDown => Box::new(strategy::PareDown),
+            Self::Exhaustive => Box::new(strategy::Exhaustive::default()),
+            Self::Aggregation => Box::new(strategy::Aggregation),
+        }
+    }
 }
 
 /// Options controlling [`synthesize`].
@@ -54,6 +85,25 @@ impl Default for SynthesisOptions {
             verify_spacing: 64,
             verify_tolerance: 8,
             optimize: true,
+        }
+    }
+}
+
+/// Options for the [`Rewritten::verify`] stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyOptions {
+    /// Stimulus spacing (ticks between sensor edges).
+    pub spacing: Time,
+    /// Timing-skew tolerance (merging removes internal wire hops, shifting
+    /// pulse windows by a few ticks).
+    pub tolerance: Time,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        Self {
+            spacing: 64,
+            tolerance: 8,
         }
     }
 }
@@ -90,8 +140,387 @@ impl SynthesisResult {
     }
 }
 
+/// Shared state threaded through the pipeline stages.
+struct Ctx<'a> {
+    design: &'a Design,
+    /// Constraints with convexity forced on (see [`Pipeline::partition_with`]).
+    constraints: PartitionConstraints,
+    optimize: bool,
+    observer: Option<&'a mut dyn Observer>,
+}
+
+impl Ctx<'_> {
+    fn report(&mut self, stage: Stage, started: Instant, detail: String) {
+        if let Some(observer) = self.observer.as_deref_mut() {
+            observer.on_stage(&StageReport {
+                stage,
+                elapsed: started.elapsed(),
+                detail,
+            });
+        }
+    }
+}
+
+/// Entry point of the staged synthesis pipeline.
+///
+/// # Example
+///
+/// ```
+/// use eblocks_designs::podium_timer_3;
+/// use eblocks_partition::strategy::PareDown;
+/// use eblocks_synth::{Pipeline, VerifyOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = podium_timer_3();
+/// let result = Pipeline::new(&design)
+///     .partition_with(&PareDown)?
+///     .merge()?
+///     .rewrite()?
+///     .verify(VerifyOptions::default())?
+///     .emit_c();
+/// assert_eq!(result.synthesized.census().inner_total(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Pipeline<'a> {
+    design: &'a Design,
+    constraints: PartitionConstraints,
+    optimize: bool,
+    observer: Option<&'a mut dyn Observer>,
+}
+
+impl<'a> Pipeline<'a> {
+    /// A pipeline over `design` with default constraints, the behavior
+    /// optimizer enabled, and no observer.
+    pub fn new(design: &'a Design) -> Self {
+        Self {
+            design,
+            constraints: PartitionConstraints::default(),
+            optimize: true,
+            observer: None,
+        }
+    }
+
+    /// Sets the partition feasibility constraints (pin budget etc.).
+    pub fn constraints(mut self, constraints: PartitionConstraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Enables or disables the behavior-tree optimizer (default: enabled).
+    pub fn optimize(mut self, optimize: bool) -> Self {
+        self.optimize = optimize;
+        self
+    }
+
+    /// Attaches an observer that receives a [`StageReport`] after each
+    /// stage completes.
+    pub fn observe(mut self, observer: &'a mut dyn Observer) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Runs the partition stage with the given strategy.
+    ///
+    /// Realizability: a non-convex partition has a path that leaves it and
+    /// re-enters, which becomes a wire cycle between programmable blocks in
+    /// the rewritten network — eBlock networks must stay acyclic (§3.3).
+    /// The paper's condition 2 ("replaceable by a programmable block that
+    /// can provide equivalent functionality") implicitly requires this, so
+    /// the pipeline enforces convexity regardless of the caller's setting.
+    /// Pure partition *analysis* (Tables 1–2) uses the caller's constraints
+    /// as-is via `eblocks_partition` directly. Contracting several
+    /// partitions at once can still close a wire cycle even when each
+    /// partition is convex; offending partitions are dissolved (see
+    /// [`eblocks_partition::dissolve_cycles`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::InvalidDesign`] if the design fails validation, and
+    /// [`SynthError::BadPartitioning`] if the strategy returns an
+    /// inconsistent result (a strategy bug).
+    pub fn partition_with(
+        self,
+        partitioner: &dyn Partitioner,
+    ) -> Result<Partitioned<'a>, SynthError> {
+        let started = Instant::now();
+        self.design.validate()?;
+        let constraints = PartitionConstraints {
+            require_convex: true,
+            ..self.constraints
+        };
+        let partitioning = partitioner.partition(self.design, &constraints);
+        let partitioning = eblocks_partition::dissolve_cycles(self.design, partitioning);
+        partitioning.verify(self.design, &constraints)?;
+
+        let mut ctx = Ctx {
+            design: self.design,
+            constraints,
+            optimize: self.optimize,
+            observer: self.observer,
+        };
+        // The Partitioning's Display already leads with its algorithm label.
+        ctx.report(Stage::Partition, started, partitioning.to_string());
+        Ok(Partitioned { ctx, partitioning })
+    }
+}
+
+/// Stage 1 output: the design partitioned onto candidate programmable
+/// blocks.
+pub struct Partitioned<'a> {
+    ctx: Ctx<'a>,
+    partitioning: Partitioning,
+}
+
+impl<'a> Partitioned<'a> {
+    /// The partitioning this stage produced.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Consumes the stage, yielding the partitioning alone — for callers
+    /// that only wanted partition analysis.
+    pub fn into_partitioning(self) -> Partitioning {
+        self.partitioning
+    }
+
+    /// Runs the merge stage: one combined behavior program per partition.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::Codegen`] when a partition's behaviors cannot merge.
+    pub fn merge(mut self) -> Result<Merged<'a>, SynthError> {
+        let started = Instant::now();
+        let mut merged: Vec<MergedProgram> = Vec::new();
+        for (i, partition) in self.partitioning.partitions().iter().enumerate() {
+            let m = merge_partition(self.ctx.design, partition, self.ctx.constraints.spec)
+                .map_err(|error| SynthError::Codegen {
+                    partition: i,
+                    error,
+                })?;
+            merged.push(m);
+        }
+        self.ctx.report(
+            Stage::Merge,
+            started,
+            format!("{} merged program(s)", merged.len()),
+        );
+        Ok(Merged {
+            ctx: self.ctx,
+            partitioning: self.partitioning,
+            merged,
+        })
+    }
+}
+
+/// Stage 2 output: merged behavior programs, one per partition.
+pub struct Merged<'a> {
+    ctx: Ctx<'a>,
+    partitioning: Partitioning,
+    merged: Vec<MergedProgram>,
+}
+
+impl<'a> Merged<'a> {
+    /// The merged programs, in partition order.
+    pub fn merged(&self) -> &[MergedProgram] {
+        &self.merged
+    }
+
+    /// The partitioning being synthesized.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Runs the rewrite stage: partition members disappear, programmable
+    /// blocks appear, crossing wires reroute to assigned pins. Programs are
+    /// optimized here when the pipeline's optimizer flag is on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction failures as [`SynthError`].
+    pub fn rewrite(mut self) -> Result<Rewritten<'a>, SynthError> {
+        let started = Instant::now();
+        let (synthesized, prog_ids) = rewrite_network(
+            self.ctx.design,
+            self.partitioning.partitions(),
+            &self.merged,
+            self.ctx.constraints.spec,
+        )?;
+
+        let mut programs: HashMap<BlockId, Program> = HashMap::new();
+        for (i, &pid) in prog_ids.iter().enumerate() {
+            let program = if self.ctx.optimize {
+                eblocks_behavior::optimize(&self.merged[i].program)
+            } else {
+                self.merged[i].program.clone()
+            };
+            programs.insert(pid, program);
+        }
+        self.ctx.report(
+            Stage::Rewrite,
+            started,
+            format!(
+                "{} -> {} block(s), {} programmable",
+                self.ctx.design.census().inner_total(),
+                synthesized.census().inner_total(),
+                prog_ids.len()
+            ),
+        );
+        Ok(Rewritten {
+            ctx: self.ctx,
+            partitioning: self.partitioning,
+            merged: self.merged,
+            synthesized,
+            prog_ids,
+            programs,
+        })
+    }
+}
+
+/// Stage 3 output: the rewritten network and its per-block programs.
+pub struct Rewritten<'a> {
+    ctx: Ctx<'a>,
+    partitioning: Partitioning,
+    merged: Vec<MergedProgram>,
+    synthesized: Design,
+    prog_ids: Vec<BlockId>,
+    programs: HashMap<BlockId, Program>,
+}
+
+impl<'a> Rewritten<'a> {
+    /// The rewritten network.
+    pub fn synthesized(&self) -> &Design {
+        &self.synthesized
+    }
+
+    /// Behavior program per programmable block.
+    pub fn programs(&self) -> &HashMap<BlockId, Program> {
+        &self.programs
+    }
+
+    /// The partitioning being synthesized.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Runs the verification stage: co-simulates the original and
+    /// synthesized networks under a stimulus that exercises every sensor.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::Sim`] when either simulation fails to build or run,
+    /// and [`SynthError::VerificationFailed`] on behavioral divergence.
+    pub fn verify(mut self, options: VerifyOptions) -> Result<Verified<'a>, SynthError> {
+        let started = Instant::now();
+        let original_sim = Simulator::new(self.ctx.design)?;
+        let synth_sim = Simulator::with_programs(&self.synthesized, self.programs.clone())?;
+        let stim = exercise_all_sensors(self.ctx.design, options.spacing);
+        let report = equivalence(
+            &original_sim,
+            &synth_sim,
+            &stim,
+            options.spacing / 2,
+            options.tolerance,
+        )?;
+        if !report.is_equivalent() {
+            return Err(SynthError::VerificationFailed { report });
+        }
+        self.ctx.report(
+            Stage::Verify,
+            started,
+            format!("equivalent at {} sample(s)", report.sample_times.len()),
+        );
+        Ok(Verified {
+            ctx: self.ctx,
+            partitioning: self.partitioning,
+            merged: self.merged,
+            synthesized: self.synthesized,
+            prog_ids: self.prog_ids,
+            programs: self.programs,
+            report: Some(report),
+        })
+    }
+
+    /// Skips verification, passing straight to the emit stage (the
+    /// resulting [`SynthesisResult::report`] is `None`).
+    pub fn skip_verify(self) -> Verified<'a> {
+        Verified {
+            ctx: self.ctx,
+            partitioning: self.partitioning,
+            merged: self.merged,
+            synthesized: self.synthesized,
+            prog_ids: self.prog_ids,
+            programs: self.programs,
+            report: None,
+        }
+    }
+}
+
+/// Stage 4 output: a (possibly) verified synthesized network.
+pub struct Verified<'a> {
+    ctx: Ctx<'a>,
+    partitioning: Partitioning,
+    merged: Vec<MergedProgram>,
+    synthesized: Design,
+    prog_ids: Vec<BlockId>,
+    programs: HashMap<BlockId, Program>,
+    report: Option<EquivalenceReport>,
+}
+
+impl Verified<'_> {
+    /// The equivalence report, when the verify stage ran.
+    pub fn report(&self) -> Option<&EquivalenceReport> {
+        self.report.as_ref()
+    }
+
+    /// Runs the final stage: emits one C source and size estimate per
+    /// programmable block and assembles the [`SynthesisResult`].
+    pub fn emit_c(mut self) -> SynthesisResult {
+        let started = Instant::now();
+        let mut c_sources = Vec::new();
+        let mut size_estimates = Vec::new();
+        for &pid in &self.prog_ids {
+            let name = self
+                .synthesized
+                .block(pid)
+                .expect("fresh programmable block")
+                .name()
+                .to_string();
+            let program = &self.programs[&pid];
+            c_sources.push((
+                name.clone(),
+                emit_c(
+                    &format!("{}/{name}", self.ctx.design.name()),
+                    program,
+                    self.ctx.constraints.spec.inputs,
+                    self.ctx.constraints.spec.outputs,
+                ),
+            ));
+            size_estimates.push((name, estimate_size(program)));
+        }
+        self.ctx.report(
+            Stage::EmitC,
+            started,
+            format!("{} C source(s)", c_sources.len()),
+        );
+        SynthesisResult {
+            synthesized: self.synthesized,
+            partitioning: self.partitioning,
+            merged: self.merged,
+            programs: self.programs,
+            c_sources,
+            size_estimates,
+            report: self.report,
+        }
+    }
+}
+
 /// Runs the full pipeline: partition → merge → rewrite → (optionally)
-/// verify.
+/// verify → emit C.
+///
+/// This is a compatibility shim over [`Pipeline`]; new code that wants to
+/// pick a strategy at runtime, stop early, or observe stage timings should
+/// use the staged API directly.
 ///
 /// # Errors
 ///
@@ -102,105 +531,22 @@ pub fn synthesize(
     design: &Design,
     options: &SynthesisOptions,
 ) -> Result<SynthesisResult, SynthError> {
-    design.validate()?;
-
-    // Realizability: a non-convex partition has a path that leaves it and
-    // re-enters, which becomes a wire cycle between programmable blocks in
-    // the rewritten network — eBlock networks must stay acyclic (§3.3).
-    // The paper's condition 2 ("replaceable by a programmable block that can
-    // provide equivalent functionality") implicitly requires this, so the
-    // pipeline enforces convexity regardless of the caller's setting. Pure
-    // partition *analysis* (Tables 1–2) uses the caller's constraints as-is
-    // via `eblocks_partition` directly.
-    let constraints = PartitionConstraints {
-        require_convex: true,
-        ..options.constraints
-    };
-
-    let partitioning = match options.algorithm {
-        Algorithm::PareDown => pare_down(design, &constraints),
-        Algorithm::Exhaustive => exhaustive(design, &constraints, ExhaustiveOptions::default()),
-        Algorithm::Aggregation => aggregation(design, &constraints),
-    };
-    // Contracting several partitions at once can close a wire cycle even
-    // when each partition is convex; dissolve offending partitions so the
-    // rewritten network stays a DAG (see `eblocks_partition::quotient`).
-    let partitioning = eblocks_partition::dissolve_cycles(design, partitioning);
-    partitioning.verify(design, &constraints)?;
-
-    let mut merged: Vec<MergedProgram> = Vec::new();
-    for (i, partition) in partitioning.partitions().iter().enumerate() {
-        let m = merge_partition(design, partition, options.constraints.spec).map_err(|error| {
-            SynthError::Codegen {
-                partition: i,
-                error,
-            }
-        })?;
-        merged.push(m);
-    }
-
-    let (synthesized, prog_ids) = rewrite_network(
-        design,
-        partitioning.partitions(),
-        &merged,
-        options.constraints.spec,
-    )?;
-
-    let mut programs: HashMap<BlockId, Program> = HashMap::new();
-    let mut c_sources = Vec::new();
-    let mut size_estimates = Vec::new();
-    for (i, &pid) in prog_ids.iter().enumerate() {
-        let name = synthesized
-            .block(pid)
-            .expect("fresh programmable block")
-            .name()
-            .to_string();
-        let program = if options.optimize {
-            eblocks_behavior::optimize(&merged[i].program)
-        } else {
-            merged[i].program.clone()
-        };
-        c_sources.push((
-            name.clone(),
-            emit_c(
-                &format!("{}/{name}", design.name()),
-                &program,
-                options.constraints.spec.inputs,
-                options.constraints.spec.outputs,
-            ),
-        ));
-        size_estimates.push((name, estimate_size(&program)));
-        programs.insert(pid, program);
-    }
-
-    let report = if options.verify {
-        let original_sim = Simulator::new(design)?;
-        let synth_sim = Simulator::with_programs(&synthesized, programs.clone())?;
-        let stim = exercise_all_sensors(design, options.verify_spacing);
-        let report = equivalence(
-            &original_sim,
-            &synth_sim,
-            &stim,
-            options.verify_spacing / 2,
-            options.verify_tolerance,
-        )?;
-        if !report.is_equivalent() {
-            return Err(SynthError::VerificationFailed { report });
-        }
-        Some(report)
+    let partitioner = options.algorithm.partitioner();
+    let rewritten = Pipeline::new(design)
+        .constraints(options.constraints)
+        .optimize(options.optimize)
+        .partition_with(partitioner.as_ref())?
+        .merge()?
+        .rewrite()?;
+    let verified = if options.verify {
+        rewritten.verify(VerifyOptions {
+            spacing: options.verify_spacing,
+            tolerance: options.verify_tolerance,
+        })?
     } else {
-        None
+        rewritten.skip_verify()
     };
-
-    Ok(SynthesisResult {
-        synthesized,
-        partitioning,
-        merged,
-        programs,
-        c_sources,
-        size_estimates,
-        report,
-    })
+    Ok(verified.emit_c())
 }
 
 #[cfg(test)]
@@ -251,6 +597,112 @@ mod tests {
     }
 
     #[test]
+    fn all_five_strategies_drive_the_pipeline() {
+        let design = garage();
+        let registry = eblocks_partition::Registry::builtin();
+        for name in registry.names() {
+            let strategy = registry.from_str(name).unwrap();
+            let result = Pipeline::new(&design)
+                .partition_with(strategy.as_ref())
+                .and_then(Partitioned::merge)
+                .and_then(Merged::rewrite)
+                .and_then(|r| r.verify(VerifyOptions::default()))
+                .map(Verified::emit_c)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(result.report.unwrap().is_equivalent(), "{name}");
+        }
+    }
+
+    #[test]
+    fn pipeline_supports_early_stop() {
+        let design = garage();
+        let partitioned = Pipeline::new(&design)
+            .partition_with(&strategy::PareDown)
+            .unwrap();
+        assert_eq!(partitioned.partitioning().num_partitions(), 1);
+        let partitioning = partitioned.into_partitioning();
+        assert_eq!(partitioning.inner_total(), 1);
+        // No merge/rewrite/verify ever ran.
+    }
+
+    #[test]
+    fn observer_sees_every_stage_in_order() {
+        use crate::observe::StageTimings;
+        let design = garage();
+        let mut timings = StageTimings::new();
+        let result = Pipeline::new(&design)
+            .observe(&mut timings)
+            .partition_with(&strategy::PareDown)
+            .unwrap()
+            .merge()
+            .unwrap()
+            .rewrite()
+            .unwrap()
+            .verify(VerifyOptions::default())
+            .unwrap()
+            .emit_c();
+        assert!(result.report.is_some());
+        let stages: Vec<Stage> = timings.reports.iter().map(|r| r.stage).collect();
+        assert_eq!(
+            stages,
+            [
+                Stage::Partition,
+                Stage::Merge,
+                Stage::Rewrite,
+                Stage::Verify,
+                Stage::EmitC
+            ]
+        );
+        assert!(timings
+            .get(Stage::Partition)
+            .unwrap()
+            .detail
+            .contains("pare-down"));
+        assert!(timings
+            .get(Stage::Verify)
+            .unwrap()
+            .detail
+            .contains("sample"));
+    }
+
+    #[test]
+    fn closure_observer_works() {
+        let design = garage();
+        let mut count = 0usize;
+        let mut obs = |_: &StageReport| count += 1;
+        Pipeline::new(&design)
+            .observe(&mut obs)
+            .partition_with(&strategy::PareDown)
+            .unwrap()
+            .merge()
+            .unwrap()
+            .rewrite()
+            .unwrap()
+            .skip_verify()
+            .emit_c();
+        assert_eq!(count, 4, "partition, merge, rewrite, emit-c");
+    }
+
+    #[test]
+    fn shim_matches_staged_api() {
+        let design = garage();
+        let via_shim = synthesize(&design, &SynthesisOptions::default()).unwrap();
+        let via_stages = Pipeline::new(&design)
+            .partition_with(&strategy::PareDown)
+            .unwrap()
+            .merge()
+            .unwrap()
+            .rewrite()
+            .unwrap()
+            .verify(VerifyOptions::default())
+            .unwrap()
+            .emit_c();
+        assert_eq!(via_shim.partitioning, via_stages.partitioning);
+        assert_eq!(via_shim.c_sources, via_stages.c_sources);
+        assert_eq!(via_shim.size_estimates, via_stages.size_estimates);
+    }
+
+    #[test]
     fn no_verify_skips_report() {
         let options = SynthesisOptions {
             verify: false,
@@ -282,6 +734,11 @@ mod tests {
         d.add_block("g", ComputeKind::and2());
         assert!(matches!(
             synthesize(&d, &SynthesisOptions::default()),
+            Err(SynthError::InvalidDesign(_))
+        ));
+        // The staged API rejects it at the partition stage too.
+        assert!(matches!(
+            Pipeline::new(&d).partition_with(&strategy::PareDown),
             Err(SynthError::InvalidDesign(_))
         ));
     }

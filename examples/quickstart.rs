@@ -4,8 +4,9 @@
 //! Run with: `cargo run --example quickstart`
 
 use eblocks::core::{ComputeKind, Design, OutputKind, SensorKind};
+use eblocks::partition::strategy::PareDown;
 use eblocks::sim::{Simulator, Stimulus};
-use eblocks::synth::{synthesize, SynthesisOptions};
+use eblocks::synth::{Pipeline, StageTimings, VerifyOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Capture: the network a homeowner would wire from physical eBlocks.
@@ -38,9 +39,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.value_at("led", 100)
     );
 
-    // 3. Synthesize: both compute blocks merge into one programmable block;
-    //    the pipeline co-simulates both networks to prove equivalence.
-    let result = synthesize(&design, &SynthesisOptions::default())?;
+    // 3. Synthesize with the staged pipeline: both compute blocks merge
+    //    into one programmable block, and the verify stage co-simulates
+    //    both networks to prove equivalence. The observer collects
+    //    per-stage timings along the way.
+    let mut timings = StageTimings::new();
+    let result = Pipeline::new(&design)
+        .observe(&mut timings)
+        .partition_with(&PareDown)?
+        .merge()?
+        .rewrite()?
+        .verify(VerifyOptions::default())?
+        .emit_c();
     println!(
         "\nsynthesis: {} inner blocks -> {} ({} programmable)",
         result.inner_before(),
@@ -51,6 +61,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "equivalence verified at {} sample points",
         result.report.as_ref().map_or(0, |r| r.sample_times.len())
     );
+    for r in &timings.reports {
+        println!(
+            "  stage {:<9} {:>8.3}ms  {}",
+            r.stage,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.detail
+        );
+    }
 
     // 4. The C that would be flashed onto the PIC16F628.
     for (block, c) in &result.c_sources {

@@ -2,27 +2,31 @@
 //! "minimize" button (Fig. 2 tool chain).
 //!
 //! ```text
-//! eblocks-cli synth <netlist> [-o OUTDIR] [--algorithm pare-down|exhaustive|aggregation]
-//!                              [--inputs N] [--outputs N] [--no-verify]
+//! eblocks-cli synth <netlist> [-o OUTDIR]
+//!                   [--partitioner pare-down|exhaustive|aggregation|refine|anneal]
+//!                   [--inputs N] [--outputs N] [--no-verify] [--timings]
 //! eblocks-cli check <netlist>          # validate + report stats
-//! eblocks-cli partition <netlist>      # print the partitioning only
+//! eblocks-cli partition <netlist> [--partitioner NAME]  # print the partitioning only
 //! eblocks-cli sim <netlist> --stimulus <script> [--until T] [--vcd FILE]
 //! eblocks-cli place <netlist> (--grid WxH | --topology FILE)
 //!                   [--pin block=COL,ROW | --pin block=SITE ...] [--iterations N]
 //! ```
 //!
 //! `synth` writes `<name>-synth.netlist` plus one `progN.c` per programmable
-//! block into OUTDIR (default: alongside the input). `sim` runs a stimulus
-//! script (lines of `<time> <sensor> <0|1>`, `#` comments) and prints an
-//! ASCII waveform; `--vcd` additionally writes a VCD dump. `place` maps the
-//! design onto a grid of deployment sites (the paper's §6 future work),
-//! honoring `--pin` anchors, and prints the per-block site assignment and
-//! total routed hops.
+//! block into OUTDIR (default: alongside the input); `--timings` adds a
+//! per-stage timing breakdown from the pipeline's observer hook, and
+//! `--partitioner` selects any of the five registered strategies
+//! (`--algorithm` survives as a deprecated alias for the original three).
+//! `sim` runs a stimulus script (lines of `<time> <sensor> <0|1>`, `#`
+//! comments) and prints an ASCII waveform; `--vcd` additionally writes a VCD
+//! dump. `place` maps the design onto a grid of deployment sites (the
+//! paper's §6 future work), honoring `--pin` anchors, and prints the
+//! per-block site assignment and total routed hops.
 
 use eblocks::core::netlist::{from_netlist, to_netlist};
 use eblocks::core::{Design, ProgrammableSpec};
-use eblocks::partition::{pare_down, PartitionConstraints};
-use eblocks::synth::{synthesize, Algorithm, SynthesisOptions};
+use eblocks::partition::{PartitionConstraints, Partitioner, Registry};
+use eblocks::synth::{Pipeline, StageTimings, VerifyOptions};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -45,9 +49,10 @@ struct Options {
     command: String,
     input: PathBuf,
     outdir: Option<PathBuf>,
-    algorithm: Algorithm,
+    partitioner: String,
     spec: ProgrammableSpec,
     verify: bool,
+    timings: bool,
     stimulus: Option<PathBuf>,
     until: u64,
     vcd: Option<PathBuf>,
@@ -71,9 +76,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         command,
         input,
         outdir: None,
-        algorithm: Algorithm::PareDown,
+        partitioner: "pare-down".to_string(),
         spec: ProgrammableSpec::default(),
         verify: true,
+        timings: false,
         stimulus: None,
         until: 1000,
         vcd: None,
@@ -87,11 +93,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "-o" | "--outdir" => {
                 options.outdir = Some(PathBuf::from(it.next().ok_or("missing value for -o")?));
             }
+            "--partitioner" => {
+                options.partitioner = it.next().ok_or("missing partitioner")?.clone();
+            }
+            // Deprecated alias, kept for scripts written against the old
+            // 3-variant --algorithm flag.
             "--algorithm" => {
-                options.algorithm = match it.next().ok_or("missing algorithm")?.as_str() {
-                    "pare-down" => Algorithm::PareDown,
-                    "exhaustive" => Algorithm::Exhaustive,
-                    "aggregation" => Algorithm::Aggregation,
+                options.partitioner = match it.next().ok_or("missing algorithm")?.as_str() {
+                    name @ ("pare-down" | "exhaustive" | "aggregation") => name.to_string(),
                     other => return Err(format!("unknown algorithm `{other}`")),
                 };
             }
@@ -110,6 +119,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "bad --outputs value")?;
             }
             "--no-verify" => options.verify = false,
+            "--timings" => options.timings = true,
             "--stimulus" => {
                 options.stimulus = Some(PathBuf::from(it.next().ok_or("missing stimulus path")?));
             }
@@ -157,9 +167,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: eblocks-cli <synth|check|partition|sim|place> <netlist> \
-[-o OUTDIR] [--algorithm pare-down|exhaustive|aggregation] [--inputs N] [--outputs N] \
-[--no-verify] [--stimulus FILE] [--until T] [--vcd FILE] \
+[-o OUTDIR] [--partitioner pare-down|exhaustive|aggregation|refine|anneal] \
+[--inputs N] [--outputs N] [--no-verify] [--timings] \
+[--stimulus FILE] [--until T] [--vcd FILE] \
 [--grid WxH | --topology FILE] [--pin block=COL,ROW | block=SITE] [--iterations N]";
+
+/// Resolves the `--partitioner` name against the built-in registry.
+fn resolve_partitioner(name: &str) -> Result<Box<dyn Partitioner>, String> {
+    let registry = Registry::builtin();
+    registry.from_str(name).ok_or_else(|| {
+        format!(
+            "unknown partitioner `{name}` (available: {})",
+            registry.names().join(", ")
+        )
+    })
+}
 
 fn run(args: &[String]) -> Result<String, String> {
     let options = parse_args(args)?;
@@ -189,8 +211,9 @@ fn check_command(design: &Design) -> Result<String, String> {
 
 fn partition_command(design: &Design, options: &Options) -> Result<String, String> {
     design.validate().map_err(|e| e.to_string())?;
+    let partitioner = resolve_partitioner(&options.partitioner)?;
     let constraints = PartitionConstraints::with_spec(options.spec);
-    let result = pare_down(design, &constraints);
+    let result = partitioner.partition(design, &constraints);
     let mut out = format!("{result}\n");
     for (i, partition) in result.partitions().iter().enumerate() {
         let names: Vec<&str> = partition
@@ -211,13 +234,23 @@ fn partition_command(design: &Design, options: &Options) -> Result<String, Strin
 }
 
 fn synth_command(design: &Design, options: &Options) -> Result<String, String> {
-    let synth_options = SynthesisOptions {
-        constraints: PartitionConstraints::with_spec(options.spec),
-        algorithm: options.algorithm,
-        verify: options.verify,
-        ..Default::default()
+    let partitioner = resolve_partitioner(&options.partitioner)?;
+    let mut timings = StageTimings::new();
+    let rewritten = Pipeline::new(design)
+        .constraints(PartitionConstraints::with_spec(options.spec))
+        .observe(&mut timings)
+        .partition_with(partitioner.as_ref())
+        .and_then(eblocks::synth::Partitioned::merge)
+        .and_then(eblocks::synth::Merged::rewrite)
+        .map_err(|e| e.to_string())?;
+    let verified = if options.verify {
+        rewritten
+            .verify(VerifyOptions::default())
+            .map_err(|e| e.to_string())?
+    } else {
+        rewritten.skip_verify()
     };
-    let result = synthesize(design, &synth_options).map_err(|e| e.to_string())?;
+    let result = verified.emit_c();
 
     let outdir = options
         .outdir
@@ -247,6 +280,16 @@ fn synth_command(design: &Design, options: &Options) -> Result<String, String> {
             "verified equivalent at {} samples\n",
             report.sample_times.len()
         ));
+    }
+    if options.timings {
+        for r in &timings.reports {
+            out.push_str(&format!(
+                "stage {:<9} {:>9.3}ms  {}\n",
+                r.stage,
+                r.elapsed.as_secs_f64() * 1e3,
+                r.detail
+            ));
+        }
     }
     for path in written {
         out.push_str(&format!("wrote {path}\n"));
@@ -350,6 +393,78 @@ wire both.0 -> led.0
             out.contains("2 inner blocks -> 2 (0 programmable)"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn all_five_partitioners_selectable() {
+        let dir = tempdir("strategies");
+        let path = write_garage(&dir);
+        for name in Registry::builtin().names() {
+            let out = run(&s(&[
+                "synth",
+                path.to_str().unwrap(),
+                "-o",
+                dir.to_str().unwrap(),
+                "--partitioner",
+                name,
+            ]))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(out.contains("2 inner blocks -> 1"), "{name}: {out}");
+            let part = run(&s(&[
+                "partition",
+                path.to_str().unwrap(),
+                "--partitioner",
+                name,
+            ]))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(part.contains("1 partitions"), "{name}: {part}");
+        }
+    }
+
+    #[test]
+    fn unknown_partitioner_lists_available() {
+        let dir = tempdir("unknown");
+        let path = write_garage(&dir);
+        let err = run(&s(&[
+            "synth",
+            path.to_str().unwrap(),
+            "--partitioner",
+            "magic",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown partitioner"), "{err}");
+        assert!(err.contains("anneal") && err.contains("refine"), "{err}");
+    }
+
+    #[test]
+    fn algorithm_alias_still_accepted() {
+        let dir = tempdir("alias");
+        let path = write_garage(&dir);
+        let out = run(&s(&[
+            "partition",
+            path.to_str().unwrap(),
+            "--algorithm",
+            "exhaustive",
+        ]))
+        .unwrap();
+        assert!(out.contains("exhaustive"), "{out}");
+    }
+
+    #[test]
+    fn timings_flag_prints_stage_breakdown() {
+        let dir = tempdir("timings");
+        let path = write_garage(&dir);
+        let out = run(&s(&[
+            "synth",
+            path.to_str().unwrap(),
+            "-o",
+            dir.to_str().unwrap(),
+            "--timings",
+        ]))
+        .unwrap();
+        for stage in ["partition", "merge", "rewrite", "verify", "emit-c"] {
+            assert!(out.contains(&format!("stage {stage}")), "{stage}: {out}");
+        }
     }
 
     #[test]

@@ -13,21 +13,24 @@
 //! | [`core`] | `eblocks-core` | block/port/design model, levels, cut costs |
 //! | [`behavior`] | `eblocks-behavior` | the block behavior DSL and interpreter |
 //! | [`sim`] | `eblocks-sim` | packet-level event-driven simulator |
-//! | [`partition`] | `eblocks-partition` | PareDown, exhaustive, aggregation |
+//! | [`partition`] | `eblocks-partition` | the [`Partitioner`](partition::Partitioner) strategies: pare-down, exhaustive, aggregation, refine, anneal |
 //! | [`codegen`] | `eblocks-codegen` | syntax-tree merging and C emission |
-//! | [`synth`] | `eblocks-synth` | the end-to-end synthesis pipeline |
+//! | [`synth`] | `eblocks-synth` | the staged synthesis [`Pipeline`](synth::Pipeline) |
 //! | [`designs`] | `eblocks-designs` | the 15 Table-1 library systems |
 //! | [`gen`] | `eblocks-gen` | the random design generator |
 //! | [`place`] | `eblocks-place` | deployment onto an existing physical node network (§6 future work) |
 //!
 //! # Quickstart
 //!
-//! Build the paper's garage-open-at-night system and synthesize it onto
-//! programmable blocks:
+//! Build the paper's garage-open-at-night system and run it through the
+//! staged synthesis pipeline — partition with any registered strategy,
+//! merge behaviors, rewrite the network, co-simulate for equivalence, and
+//! emit C:
 //!
 //! ```
 //! use eblocks::core::{ComputeKind, Design, OutputKind, SensorKind};
-//! use eblocks::partition::{pare_down, PartitionConstraints};
+//! use eblocks::partition::Registry;
+//! use eblocks::synth::{Pipeline, VerifyOptions};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut d = Design::new("garage-open-at-night");
@@ -41,11 +44,25 @@
 //! d.connect((inv, 0), (both, 1))?;
 //! d.connect((both, 0), (led, 0))?;
 //!
-//! let result = pare_down(&d, &PartitionConstraints::default());
-//! assert_eq!(result.num_partitions(), 1); // inv + both -> one programmable block
+//! let strategy = Registry::builtin().from_str("pare-down").expect("built-in");
+//! let result = Pipeline::new(&d)
+//!     .partition_with(strategy.as_ref())?
+//!     .merge()?
+//!     .rewrite()?
+//!     .verify(VerifyOptions::default())?
+//!     .emit_c();
+//! // inv + both -> one programmable block, proven equivalent in simulation.
+//! assert_eq!(result.partitioning.num_partitions(), 1);
+//! assert!(result.report.as_ref().is_some_and(|r| r.is_equivalent()));
+//! assert!(result.c_sources[0].1.contains("eblock_on_input"));
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Each stage returns a typed intermediate, so callers can stop early (for
+//! partition analysis), skip verification, or attach an
+//! [`Observer`](synth::Observer) for per-stage timings. The one-call
+//! [`synth::synthesize`] shim remains for the common case.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

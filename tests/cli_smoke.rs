@@ -48,7 +48,7 @@ fn cli_synthesizes_garage_open_at_night_and_emits_c() {
     // The synthesized netlist parses and validates.
     let synth_netlist = std::fs::read_dir(&dir)
         .unwrap()
-        .filter_map(|e| Some(e.unwrap().path()))
+        .map(|e| e.unwrap().path())
         .find(|p| p.extension().is_some_and(|x| x == "netlist") && *p != netlist_path)
         .expect("a synthesized netlist is written");
     let text = std::fs::read_to_string(&synth_netlist).unwrap();
@@ -58,7 +58,7 @@ fn cli_synthesizes_garage_open_at_night_and_emits_c() {
     // At least one C program is emitted, and it looks like C.
     let c_files: Vec<_> = std::fs::read_dir(&dir)
         .unwrap()
-        .filter_map(|e| Some(e.unwrap().path()))
+        .map(|e| e.unwrap().path())
         .filter(|p| p.extension().is_some_and(|x| x == "c"))
         .collect();
     assert!(

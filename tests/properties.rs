@@ -26,7 +26,7 @@ fn medium_design_strategy() -> impl Strategy<Value = (usize, u64)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64).with_rng_seed(0xEB10_C5))]
+    #![proptest_config(ProptestConfig::with_cases(64).with_rng_seed(0xEB10C5))]
 
     #[test]
     fn pare_down_results_always_verify((inner, seed) in medium_design_strategy()) {
@@ -129,7 +129,7 @@ proptest! {
 proptest! {
     // Synthesis with verification co-simulates two networks per case;
     // keep the case count moderate.
-    #![proptest_config(ProptestConfig::with_cases(16).with_rng_seed(0xEB10_C5))]
+    #![proptest_config(ProptestConfig::with_cases(16).with_rng_seed(0xEB10C5))]
 
     #[test]
     fn synthesis_preserves_behavior((inner, seed) in (1usize..=14, any::<u64>())) {
@@ -142,7 +142,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48).with_rng_seed(0xEB10_C5))]
+    #![proptest_config(ProptestConfig::with_cases(48).with_rng_seed(0xEB10C5))]
 
     /// Deterministic local refinement never worsens any heuristic's result
     /// and always stays structurally sound.
@@ -224,7 +224,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32).with_rng_seed(0xEB10_C5))]
+    #![proptest_config(ProptestConfig::with_cases(32).with_rng_seed(0xEB10C5))]
 
     /// Route extraction is consistent with the placement cost, and every
     /// route is a genuine shortest path.
