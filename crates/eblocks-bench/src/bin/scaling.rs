@@ -6,9 +6,14 @@
 //!   time", including a 465-inner-node design (80 s on the paper's 2 GHz
 //!   Athlon XP under Java; far faster here — the *shape* is the claim).
 //!
+//! Plus two north-star scaling sections beyond the paper: parallel anneal
+//! restarts, and batch-synthesis speedup (sequential vs N farm workers over
+//! all 15 Table-1 designs, checking the per-job results stay identical).
+//!
 //! Usage: `cargo run --release -p eblocks-bench --bin scaling [exh_limit_s]`
 
 use eblocks_bench::{exhaustive_with_limit, fmt_time, run_partitioner};
+use eblocks_farm::{run_batch, Batch, FarmConfig, Job, JsonOptions};
 use eblocks_gen::{generate, GeneratorConfig};
 use eblocks_partition::strategy::{Anneal, PareDown};
 use eblocks_partition::{AnnealConfig, PartitionConstraints};
@@ -99,4 +104,47 @@ fn main() {
             t.result.num_partitions()
         );
     }
+
+    // Batch synthesis on the farm: the full pipeline (partition, merge,
+    // rewrite, co-simulated verification, C emission) over every Table-1
+    // design, sequential vs N workers. Per-job results must be identical
+    // across worker counts — only the wall clock moves.
+    println!("\nBatch synthesis over the 15 Table-1 designs (farm engine, full pipeline):");
+    println!("{:>8} {:>14} {:>9}", "workers", "time", "speedup");
+    let batch = Batch::new(
+        eblocks_designs::all()
+            .iter()
+            .map(|entry| Job::library(entry.name))
+            .collect(),
+    );
+    let deterministic = JsonOptions::default();
+    let mut baseline: Option<(Duration, String)> = None;
+    let mut identical = true;
+    for workers in [1usize, 2, 4, 8] {
+        let report = run_batch(&batch, &FarmConfig::with_workers(workers));
+        assert!(report.all_ok(), "{}", report.render_text(false));
+        let json = report.to_json(&deterministic);
+        let speedup = match &baseline {
+            None => {
+                baseline = Some((report.elapsed, json));
+                "1.00x".to_string()
+            }
+            Some((sequential, sequential_json)) => {
+                identical &= json == *sequential_json;
+                format!(
+                    "{:.2}x",
+                    sequential.as_secs_f64() / report.elapsed.as_secs_f64()
+                )
+            }
+        };
+        println!(
+            "{workers:>8} {:>14} {:>9}",
+            fmt_time(report.elapsed),
+            speedup
+        );
+    }
+    println!(
+        "per-job results identical across worker counts: {}",
+        if identical { "yes" } else { "NO — BUG" }
+    );
 }

@@ -1,16 +1,21 @@
 //! Regenerates the paper's Table 2: exhaustive search vs PareDown on
-//! randomly generated designs, averaged per inner-block count.
+//! randomly generated designs, averaged per inner-block count. The sweep
+//! runs on the `eblocks-farm` batch engine: each (design, algorithm)
+//! measurement is one partition-mode job, drained by a worker pool.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p eblocks-bench --bin table2 [scale] [limit_ms]
+//! cargo run --release -p eblocks-bench --bin table2 [scale] [limit_ms] [workers]
 //! ```
 //!
 //! `scale` multiplies the paper's per-size design counts (default 0.05 — a
 //! ~470-design sweep; pass 1.0 for the full ~9,500-design sweep). `limit_ms`
 //! bounds each exhaustive run (default 10000 ms; runs that hit the limit
 //! report their best-so-far and are counted in the timeout column).
+//! `workers` sizes the farm's pool (default: all cores); per-design times
+//! come from the partition-stage observer, so averages measure the
+//! algorithm, not the pool.
 
 use eblocks_bench::{render_table2, table2_sweep, TABLE2_COUNTS};
 use std::time::Duration;
@@ -19,14 +24,20 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let scale: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.05);
     let limit_ms: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10_000);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
 
     println!(
-        "Table 2 — random designs, scale {scale} of the paper's counts, exhaustive limit {limit_ms} ms"
+        "Table 2 — random designs, scale {scale} of the paper's counts, exhaustive limit {limit_ms} ms, {workers} farm worker(s)"
     );
     let rows = table2_sweep(
         &TABLE2_COUNTS,
         scale,
         Duration::from_millis(limit_ms),
+        workers,
         |inner, count| eprintln!("  finished inner={inner} ({count} designs)"),
     );
     println!("{}", render_table2(&rows));

@@ -3,8 +3,11 @@
 //! The binaries in `src/bin/` print the paper's tables from live runs:
 //!
 //! * `table1` — exhaustive vs PareDown on the 15 library designs,
-//! * `table2` — the random-design sweep (per-size averages),
+//! * `table2` — the random-design sweep (per-size averages), run as
+//!   partition-mode batches on the `eblocks-farm` worker pool,
 //! * `scaling` — §5.2 runtime claims, including the 465-inner-node design,
+//!   plus batch-synthesis speedup (sequential vs N farm workers) over the
+//!   15 Table-1 designs,
 //! * `codesize` — §3.3's 2 KB-program-memory assumption, checked on every
 //!   partition of every library design,
 //! * `ablation` — the §4.2 tie-break rules and constraint variants,
@@ -25,9 +28,12 @@
 #![warn(missing_docs)]
 
 use eblocks_core::Design;
-use eblocks_gen::{generate, GeneratorConfig};
-use eblocks_partition::strategy::{Exhaustive, PareDown};
-use eblocks_partition::{ExhaustiveOptions, PartitionConstraints, Partitioner, Partitioning};
+use eblocks_farm::{run_batch, Batch, FarmConfig, Job, JobMode};
+use eblocks_partition::strategy::Exhaustive;
+use eblocks_partition::{
+    ExhaustiveOptions, PartitionConstraints, Partitioner, Partitioning, Registry,
+};
+use eblocks_synth::Stage;
 use std::time::{Duration, Instant};
 
 /// The paper's Table 2 sweep: `(inner blocks, number of designs)`.
@@ -114,15 +120,24 @@ pub struct Averages {
 impl Averages {
     /// Folds a run into the averages.
     pub fn add(&mut self, timed: &Timed) {
-        let n = self.designs as f64;
-        let total = timed.result.inner_total() as f64;
-        let prog = timed.result.num_partitions() as f64;
-        self.total = (self.total * n + total) / (n + 1.0);
-        self.prog = (self.prog * n + prog) / (n + 1.0);
-        self.time = Duration::from_secs_f64(
-            (self.time.as_secs_f64() * n + timed.elapsed.as_secs_f64()) / (n + 1.0),
+        self.fold(
+            timed.result.inner_total(),
+            timed.result.num_partitions(),
+            timed.result.is_complete(),
+            timed.elapsed,
         );
-        if !timed.result.is_complete() {
+    }
+
+    /// Folds one measurement into the averages from its raw parts — the
+    /// farm-driven sweep feeds per-job report rows through this.
+    pub fn fold(&mut self, total: usize, prog: usize, complete: bool, elapsed: Duration) {
+        let n = self.designs as f64;
+        self.total = (self.total * n + total as f64) / (n + 1.0);
+        self.prog = (self.prog * n + prog as f64) / (n + 1.0);
+        self.time = Duration::from_secs_f64(
+            (self.time.as_secs_f64() * n + elapsed.as_secs_f64()) / (n + 1.0),
+        );
+        if !complete {
             self.timeouts += 1;
         }
         self.designs += 1;
@@ -160,31 +175,60 @@ impl SweepRow {
     }
 }
 
-/// Runs the Table 2 sweep. `scale` multiplies the paper's per-size design
-/// counts (1.0 = full paper scale); `per_design_limit` bounds each
-/// exhaustive run.
+/// Runs the Table 2 sweep on the farm engine: every (design, algorithm)
+/// measurement is one partition-mode [`Job`] and each size row is a
+/// [`Batch`] drained by `workers` threads. `scale` multiplies the paper's
+/// per-size design counts (1.0 = full paper scale); `per_design_limit`
+/// bounds each exhaustive run. Per-design times come from the farm's
+/// partition-stage timings, so they measure the algorithm, not the pool.
 pub fn table2_sweep(
     counts: &[(usize, usize)],
     scale: f64,
     per_design_limit: Duration,
+    workers: usize,
     mut progress: impl FnMut(usize, usize),
 ) -> Vec<SweepRow> {
-    let constraints = PartitionConstraints::default();
-    let exhaustive = exhaustive_with_limit(per_design_limit);
-    let pare_down = PareDown;
+    let mut registry = Registry::builtin();
+    registry.register("exhaustive-limited", move || {
+        Box::new(exhaustive_with_limit(per_design_limit))
+    });
+    let config = FarmConfig {
+        workers: Some(workers),
+        partitioner_override: None,
+        registry,
+    };
     let mut rows = Vec::new();
     for &(inner, paper_count) in counts {
         let count = ((paper_count as f64 * scale).round() as usize).max(1);
-        let mut exh = Averages::default();
-        let mut pd = Averages::default();
+        let mut jobs = Vec::new();
         for i in 0..count {
             // Seed derived from (size, index) so rows are independent.
             let seed = (inner as u64) << 32 | i as u64;
-            let design = generate(&GeneratorConfig::new(inner), seed);
+            let job = Job::generated(inner, seed).with_mode(JobMode::Partition);
             if inner <= EXHAUSTIVE_CUTOFF {
-                exh.add(&run_partitioner(&design, &constraints, &exhaustive));
+                jobs.push(job.clone().with_partitioner("exhaustive-limited"));
             }
-            pd.add(&run_partitioner(&design, &constraints, &pare_down));
+            jobs.push(job.with_partitioner("pare-down"));
+        }
+        let report = run_batch(&Batch::new(jobs), &config);
+        let mut exh = Averages::default();
+        let mut pd = Averages::default();
+        for job in &report.jobs {
+            let stats = job
+                .stats
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}: {:?}", job.name, job.status));
+            let elapsed = stats
+                .timings
+                .get(Stage::Partition)
+                .map(|r| r.elapsed)
+                .unwrap_or_default();
+            let avg = if job.partitioner == "exhaustive-limited" {
+                &mut exh
+            } else {
+                &mut pd
+            };
+            avg.fold(stats.inner_after, stats.partitions, stats.complete, elapsed);
         }
         progress(inner, count);
         rows.push(SweepRow {
@@ -253,6 +297,8 @@ pub fn render_table2(rows: &[SweepRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eblocks_gen::GeneratorConfig;
+    use eblocks_partition::strategy::PareDown;
 
     #[test]
     fn averages_fold_correctly() {
@@ -269,16 +315,43 @@ mod tests {
 
     #[test]
     fn small_sweep_has_expected_shape() {
-        let rows = table2_sweep(&[(3, 5), (14, 3)], 1.0, Duration::from_secs(2), |_, _| {});
+        let rows = table2_sweep(
+            &[(3, 5), (14, 3)],
+            1.0,
+            Duration::from_secs(2),
+            2,
+            |_, _| {},
+        );
         assert_eq!(rows.len(), 2);
         assert!(rows[0].exhaustive.is_some(), "n=3 gets exhaustive data");
         assert!(rows[1].exhaustive.is_none(), "n=14 is past the cutoff");
+        assert_eq!(rows[0].pare_down.designs, 5);
+        assert_eq!(rows[0].exhaustive.unwrap().designs, 5);
         // PareDown can never beat the (completed) optimum.
         if rows[0].exhaustive.unwrap().timeouts == 0 {
             assert!(rows[0].block_overhead().unwrap() >= -1e-9);
         }
         let text = render_table2(&rows);
         assert!(text.contains("--"), "{text}");
+    }
+
+    #[test]
+    fn sweep_is_worker_count_independent() {
+        let sequential = table2_sweep(&[(4, 4)], 1.0, Duration::from_secs(2), 1, |_, _| {});
+        let parallel = table2_sweep(&[(4, 4)], 1.0, Duration::from_secs(2), 8, |_, _| {});
+        let key = |rows: &[SweepRow]| {
+            rows.iter()
+                .map(|r| {
+                    (
+                        r.inner,
+                        r.pare_down.total,
+                        r.pare_down.prog,
+                        r.exhaustive.map(|e| (e.total, e.prog)),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&sequential), key(&parallel));
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! A minimal hand-rolled JSON emitter.
+//!
+//! The workspace's vendored `serde` derives are no-ops (offline stand-ins),
+//! so the farm's report module owns its own serialization. This is a writer
+//! only — reports are produced, never parsed back — and it emits compact,
+//! deterministic output: object keys appear in insertion order and numbers
+//! print through Rust's `Display`, so identical reports serialize to
+//! identical bytes.
+
+use std::fmt::Write;
+
+/// Escapes `s` per RFC 8259 and appends it, quoted, to `out`.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An object or array being written. Tracks whether a comma is due.
+#[derive(Debug)]
+pub struct Node {
+    buf: String,
+    first: bool,
+    close: char,
+}
+
+impl Node {
+    /// Starts an object (`{`).
+    pub fn object() -> Self {
+        Self {
+            buf: String::from("{"),
+            first: true,
+            close: '}',
+        }
+    }
+
+    /// Starts an array (`[`).
+    pub fn array() -> Self {
+        Self {
+            buf: String::from("["),
+            first: true,
+            close: ']',
+        }
+    }
+
+    fn comma(&mut self) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+    }
+
+    fn key(&mut self, key: &str) {
+        self.comma();
+        write_str(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Adds `"key": "value"` (escaped).
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        write_str(&mut self.buf, value);
+        self
+    }
+
+    /// Adds `"key": value` for any integer/float/bool already rendered by
+    /// `Display` (the caller guarantees it is valid JSON).
+    pub fn raw(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds `"key": <finished node>`.
+    pub fn node(&mut self, key: &str, value: Node) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&value.finish());
+        self
+    }
+
+    /// Appends a finished node as the next array element.
+    pub fn push(&mut self, value: Node) -> &mut Self {
+        self.comma();
+        self.buf.push_str(&value.finish());
+        self
+    }
+
+    /// Appends a string as the next array element.
+    pub fn push_str(&mut self, value: &str) -> &mut Self {
+        self.comma();
+        write_str(&mut self.buf, value);
+        self
+    }
+
+    /// Closes the node and returns its text.
+    pub fn finish(mut self) -> String {
+        self.buf.push(self.close);
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        let mut s = String::new();
+        write_str(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn objects_and_arrays_nest() {
+        let mut inner = Node::array();
+        inner.push_str("x").push_str("y");
+        let mut obj = Node::object();
+        obj.str("name", "n").raw("count", 2).raw("ok", true);
+        obj.node("items", inner);
+        assert_eq!(
+            obj.finish(),
+            r#"{"name":"n","count":2,"ok":true,"items":["x","y"]}"#
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Node::object().finish(), "{}");
+        assert_eq!(Node::array().finish(), "[]");
+    }
+}

@@ -1,0 +1,46 @@
+//! Parallel batch synthesis — the many-design driver over the staged
+//! [`Pipeline`](eblocks_synth::Pipeline).
+//!
+//! The paper's workflow synthesizes one design at a time; this crate scales
+//! that to production batches. A [`Batch`] of [`Job`]s (each job = a design
+//! source × a partitioning strategy × pipeline options) runs across a
+//! scoped-thread worker pool and comes back as one [`BatchReport`] with
+//! per-job status, partition statistics, stage timings, and emitted-C
+//! sizes, plus batch-level aggregates. Reports serialize through a
+//! hand-rolled JSON writer (the vendored `serde` derives are no-ops).
+//!
+//! * jobs come from netlist files, the Table-1 design library, or the
+//!   seeded generator ([`JobSource`]), and batches parse from a
+//!   line-oriented manifest file ([`Batch::parse`], [`Batch::from_file`]);
+//! * the scheduler is a shared queue drained greedily by `--jobs N` workers
+//!   ([`run_batch`], [`FarmConfig`]); job panics are isolated per worker;
+//! * results are deterministic: the same batch yields byte-identical
+//!   [`BatchReport::to_json`] output (timings off) for any worker count.
+//!
+//! # Example
+//!
+//! ```
+//! use eblocks_farm::{run_batch, Batch, FarmConfig, Job};
+//!
+//! let batch = Batch::new(vec![
+//!     Job::library("Ignition Illuminator"),
+//!     Job::library("Carpool Alert").with_partitioner("refine"),
+//! ]);
+//! let report = run_batch(&batch, &FarmConfig::with_workers(2));
+//! assert!(report.all_ok());
+//! assert_eq!(report.jobs.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod json;
+pub mod manifest;
+pub mod report;
+pub mod scheduler;
+
+pub use job::{Batch, Job, JobMode, JobSource};
+pub use manifest::ManifestError;
+pub use report::{BatchReport, JobReport, JobStats, JobStatus, JsonOptions};
+pub use scheduler::{run_batch, FarmConfig};

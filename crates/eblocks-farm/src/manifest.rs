@@ -1,0 +1,379 @@
+//! The line-oriented batch manifest format.
+//!
+//! A manifest is a plain text file, one directive per line; `#` starts a
+//! comment and blank lines are ignored:
+//!
+//! ```text
+//! # Three ways to name a design, one job per line.
+//! default partitioner=pare-down verify=false
+//!
+//! job netlist="netlists/garage-open-at-night.netlist"
+//! job library="Podium Timer 3" partitioner=refine name=pt3
+//! job generated=20 seed=7 mode=partition
+//! ```
+//!
+//! * `job` lines take `key=value` pairs. Exactly one of `netlist=PATH`,
+//!   `library=NAME`, or `generated=INNER` names the design source; the
+//!   remaining keys (`name`, `partitioner`, `seed`, `mode=synth|partition`,
+//!   `verify`, `optimize`, `inputs`, `outputs`) are optional. Values with
+//!   spaces go in double quotes.
+//! * `default` lines set option defaults for the job lines **after** them
+//!   (same keys, minus the source keys). `default partitioner=…` is special:
+//!   it becomes the batch-level fallback ([`Batch::default_partitioner`]),
+//!   which an engine-level override — the CLI's `--partitioner` flag —
+//!   beats, while a per-job `partitioner=` beats both.
+//!
+//! Relative `netlist=` paths are resolved against the manifest file's
+//! directory by [`Batch::from_file`]; [`Batch::parse`] leaves them as-is.
+
+use crate::job::{Batch, Job, JobMode, JobSource};
+use eblocks_core::ProgrammableSpec;
+use std::path::Path;
+
+/// A manifest syntax error, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError {
+    /// 1-based line the error was found on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "manifest line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// Option defaults carried between `default` lines and applied to jobs.
+#[derive(Debug, Clone, Copy)]
+struct Defaults {
+    mode: JobMode,
+    verify: bool,
+    optimize: bool,
+    spec: ProgrammableSpec,
+}
+
+impl Default for Defaults {
+    fn default() -> Self {
+        Self {
+            mode: JobMode::Synth,
+            verify: true,
+            optimize: true,
+            spec: ProgrammableSpec::default(),
+        }
+    }
+}
+
+/// Splits a directive line into words, honoring double quotes (which may
+/// enclose a whole word or just the value half of a `key=value` pair). An
+/// unquoted `#` starts a comment; inside quotes it is literal.
+fn tokenize(line: &str) -> Result<Vec<String>, String> {
+    let mut words = Vec::new();
+    let mut word = String::new();
+    let mut in_word = false;
+    let mut quoted = false;
+    for c in line.chars() {
+        match c {
+            '"' => {
+                quoted = !quoted;
+                in_word = true; // `a=""` is a present-but-empty value
+            }
+            '#' if !quoted => break,
+            c if c.is_whitespace() && !quoted => {
+                if in_word {
+                    words.push(std::mem::take(&mut word));
+                    in_word = false;
+                }
+            }
+            c => {
+                word.push(c);
+                in_word = true;
+            }
+        }
+    }
+    if quoted {
+        return Err("unterminated quote".into());
+    }
+    if in_word {
+        words.push(word);
+    }
+    Ok(words)
+}
+
+fn parse_bool(key: &str, value: &str) -> Result<bool, String> {
+    match value {
+        "true" | "yes" | "1" => Ok(true),
+        "false" | "no" | "0" => Ok(false),
+        other => Err(format!("bad boolean `{other}` for `{key}`")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("bad number `{value}` for `{key}`"))
+}
+
+fn parse_mode(value: &str) -> Result<JobMode, String> {
+    match value {
+        "synth" => Ok(JobMode::Synth),
+        "partition" => Ok(JobMode::Partition),
+        other => Err(format!("bad mode `{other}` (expected synth|partition)")),
+    }
+}
+
+/// Applies one option `key=value` shared by `job` and `default` lines.
+/// Returns false when the key is not an option key.
+fn apply_option(d: &mut Defaults, key: &str, value: &str) -> Result<bool, String> {
+    match key {
+        "mode" => d.mode = parse_mode(value)?,
+        "verify" => d.verify = parse_bool(key, value)?,
+        "optimize" => d.optimize = parse_bool(key, value)?,
+        "inputs" => d.spec.inputs = parse_num(key, value)?,
+        "outputs" => d.spec.outputs = parse_num(key, value)?,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn parse_job(pairs: &[(String, String)], defaults: &Defaults) -> Result<Job, String> {
+    let mut source: Option<JobSource> = None;
+    let mut name: Option<String> = None;
+    let mut partitioner: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut opts = *defaults;
+    for (key, value) in pairs {
+        let mut set_source = |s: JobSource| {
+            if source.is_some() {
+                Err("more than one of netlist=/library=/generated=".to_string())
+            } else {
+                source = Some(s);
+                Ok(())
+            }
+        };
+        match key.as_str() {
+            "netlist" => set_source(JobSource::Netlist(value.into()))?,
+            "library" => set_source(JobSource::Library(value.clone()))?,
+            "generated" => set_source(JobSource::Generated {
+                inner: parse_num(key, value)?,
+                seed: 0,
+            })?,
+            "seed" => seed = Some(parse_num(key, value)?),
+            "name" => name = Some(value.clone()),
+            "partitioner" => partitioner = Some(value.clone()),
+            key => {
+                if !apply_option(&mut opts, key, value)? {
+                    return Err(format!("unknown job key `{key}`"));
+                }
+            }
+        }
+    }
+    let mut source = source.ok_or("job needs one of netlist=/library=/generated=")?;
+    match (&mut source, seed) {
+        (JobSource::Generated { seed, .. }, Some(s)) => *seed = s,
+        (JobSource::Generated { .. }, None) => {}
+        (_, Some(_)) => return Err("seed= only applies to generated= jobs".into()),
+        _ => {}
+    }
+    let mut job = match source {
+        JobSource::Netlist(path) => Job::netlist(path),
+        JobSource::Library(name) => Job::library(name),
+        JobSource::Generated { inner, seed } => Job::generated(inner, seed),
+    };
+    if let Some(name) = name {
+        job = job.named(name);
+    }
+    job.partitioner = partitioner;
+    job.mode = opts.mode;
+    job.verify = opts.verify;
+    job.optimize = opts.optimize;
+    job.spec = opts.spec;
+    Ok(job)
+}
+
+impl Batch {
+    /// Parses a manifest. Relative `netlist=` paths are kept as written;
+    /// use [`Batch::from_file`] to resolve them against the manifest's
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError`] with the offending 1-based line number.
+    pub fn parse(text: &str) -> Result<Self, ManifestError> {
+        let mut batch = Batch::default();
+        let mut defaults = Defaults::default();
+        for (i, raw) in text.lines().enumerate() {
+            let err = |message: String| ManifestError {
+                line: i + 1,
+                message,
+            };
+            // Comments are stripped inside tokenize (quote-aware: a `#` in
+            // a quoted value is literal), so a comment-only line tokenizes
+            // to nothing.
+            let words = tokenize(raw).map_err(err)?;
+            let Some((directive, rest)) = words.split_first() else {
+                continue;
+            };
+            let pairs: Vec<(String, String)> = rest
+                .iter()
+                .map(|w| {
+                    w.split_once('=')
+                        .map(|(k, v)| (k.to_string(), v.to_string()))
+                        .ok_or_else(|| err(format!("expected key=value, got `{w}`")))
+                })
+                .collect::<Result<_, _>>()?;
+            match directive.as_str() {
+                "job" => batch.jobs.push(parse_job(&pairs, &defaults).map_err(err)?),
+                "default" => {
+                    for (key, value) in &pairs {
+                        if key == "partitioner" {
+                            batch.default_partitioner = Some(value.clone());
+                        } else if !apply_option(&mut defaults, key, value).map_err(err)? {
+                            return Err(err(format!("unknown default key `{key}`")));
+                        }
+                    }
+                }
+                other => return Err(err(format!("unknown directive `{other}`"))),
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Reads and parses a manifest file, resolving relative `netlist=`
+    /// paths against the file's directory.
+    ///
+    /// # Errors
+    ///
+    /// The I/O error or [`ManifestError`] rendered as a string.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let mut batch = Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if let Some(base) = path.parent() {
+            for job in &mut batch.jobs {
+                if let JobSource::Netlist(p) = &mut job.source {
+                    if p.is_relative() {
+                        *p = base.join(&*p);
+                    }
+                }
+            }
+        }
+        Ok(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_manifest_parses() {
+        let batch = Batch::parse(
+            "# a comment\n\
+             default partitioner=anneal verify=false\n\
+             \n\
+             job netlist=\"a dir/garage.netlist\"  # trailing comment\n\
+             job library=\"Podium Timer 3\" partitioner=refine name=pt3\n\
+             default verify=true inputs=3\n\
+             job generated=20 seed=7 mode=partition optimize=false\n",
+        )
+        .unwrap();
+        assert_eq!(batch.default_partitioner.as_deref(), Some("anneal"));
+        assert_eq!(batch.jobs.len(), 3);
+
+        let j = &batch.jobs[0];
+        assert_eq!(j.name, "garage");
+        assert_eq!(j.source, JobSource::Netlist("a dir/garage.netlist".into()));
+        assert_eq!(j.partitioner, None, "batch default applies at run time");
+        assert!(!j.verify, "default verify=false was in effect");
+
+        let j = &batch.jobs[1];
+        assert_eq!(j.name, "pt3");
+        assert_eq!(j.source, JobSource::Library("Podium Timer 3".into()));
+        assert_eq!(j.partitioner.as_deref(), Some("refine"));
+
+        let j = &batch.jobs[2];
+        assert_eq!(j.source, JobSource::Generated { inner: 20, seed: 7 });
+        assert_eq!(j.mode, JobMode::Partition);
+        assert!(j.verify, "later default line flipped it back");
+        assert!(!j.optimize);
+        assert_eq!(j.spec.inputs, 3, "default inputs=3 was in effect");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let check = |text: &str, line: usize, needle: &str| {
+            let e = Batch::parse(text).unwrap_err();
+            assert_eq!(e.line, line, "{e}");
+            assert!(e.message.contains(needle), "{e}");
+            assert!(e.to_string().contains(&format!("line {line}")));
+        };
+        check("frob x=1\n", 1, "unknown directive");
+        check("\njob\n", 2, "needs one of");
+        check("job netlist=a library=b\n", 1, "more than one");
+        check("job netlist=a bogus=1\n", 1, "unknown job key");
+        check("job netlist=a verify=maybe\n", 1, "bad boolean");
+        check("job generated=many\n", 1, "bad number");
+        check("job netlist=a mode=walk\n", 1, "bad mode");
+        check("job netlist=a seed\n", 1, "expected key=value");
+        check("job netlist=\"a\n", 1, "unterminated quote");
+        check("default frob=1\n", 1, "unknown default key");
+        check("job library=x seed=3\n", 1, "only applies to generated");
+    }
+
+    #[test]
+    fn from_file_resolves_relative_netlists() {
+        let dir = std::env::temp_dir().join(format!("eblocks-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("batch.manifest");
+        std::fs::write(
+            &manifest,
+            "job netlist=rel.netlist\njob netlist=/abs.netlist\n",
+        )
+        .unwrap();
+        let batch = Batch::from_file(&manifest).unwrap();
+        assert_eq!(
+            batch.jobs[0].source,
+            JobSource::Netlist(dir.join("rel.netlist"))
+        );
+        assert_eq!(
+            batch.jobs[1].source,
+            JobSource::Netlist("/abs.netlist".into())
+        );
+        assert!(Batch::from_file(dir.join("missing.manifest"))
+            .unwrap_err()
+            .contains("cannot read"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quoting_edge_cases() {
+        let batch = Batch::parse("job library=\"A B\" name=\"\"\n").unwrap();
+        assert_eq!(batch.jobs[0].source, JobSource::Library("A B".into()));
+        assert_eq!(batch.jobs[0].name, "", "explicit empty name is kept");
+    }
+
+    #[test]
+    fn hash_in_quoted_value_is_literal() {
+        let batch =
+            Batch::parse("job netlist=\"dir/garage#1.netlist\" name=\"a#b\"  # real comment\n")
+                .unwrap();
+        assert_eq!(
+            batch.jobs[0].source,
+            JobSource::Netlist("dir/garage#1.netlist".into())
+        );
+        assert_eq!(batch.jobs[0].name, "a#b");
+        // Unquoted `#` still starts a comment mid-line.
+        let batch = Batch::parse("job library=X partitioner=refine # verify=false\n").unwrap();
+        assert!(batch.jobs[0].verify, "commented-out key was ignored");
+        // A quote opened after a real comment marker is not an error.
+        assert!(Batch::parse("# just \"a comment\n")
+            .unwrap()
+            .jobs
+            .is_empty());
+    }
+}

@@ -1,0 +1,364 @@
+//! Per-job and batch-level results, with text and JSON rendering.
+//!
+//! The vendored `serde` derives are no-ops, so this module owns its own
+//! emitter (see [`crate::json`]). JSON output is deterministic by default —
+//! wall-clock fields are opt-in via [`JsonOptions::timings`] — so the same
+//! batch serializes to identical bytes regardless of worker count.
+
+use crate::json::Node;
+use eblocks_synth::StageTimings;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// How one job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The job completed; its measurements are in [`JobReport::stats`].
+    Ok,
+    /// The job returned an error (bad source, unknown strategy, failed
+    /// verification, …).
+    Failed(String),
+    /// The job panicked; the worker caught it and carried on.
+    Panicked(String),
+}
+
+impl JobStatus {
+    /// True for [`JobStatus::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Self::Ok)
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            Self::Ok => "ok",
+            Self::Failed(_) => "failed",
+            Self::Panicked(_) => "panicked",
+        }
+    }
+
+    fn error(&self) -> Option<&str> {
+        match self {
+            Self::Ok => None,
+            Self::Failed(e) | Self::Panicked(e) => Some(e),
+        }
+    }
+}
+
+/// Measurements from one successfully completed job.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Inner blocks in the original design.
+    pub inner_before: usize,
+    /// Inner blocks after partitioning (pre-defined + programmable).
+    pub inner_after: usize,
+    /// Programmable blocks (number of partitions).
+    pub partitions: usize,
+    /// Whether the strategy ran to completion (false: a time-limited
+    /// search returned its incumbent).
+    pub complete: bool,
+    /// Total bytes of emitted C across the job's programmable blocks
+    /// (0 in partition-only mode).
+    pub c_bytes: usize,
+    /// Whether equivalence verification ran and passed.
+    pub verified: bool,
+    /// Per-stage wall-clock timings from the pipeline observer.
+    pub timings: StageTimings,
+}
+
+/// One row of the batch report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobReport {
+    /// The job's display name.
+    pub name: String,
+    /// The strategy that actually ran (after default resolution).
+    pub partitioner: String,
+    /// How the job ended.
+    pub status: JobStatus,
+    /// Whole-job wall-clock time (load + pipeline), as seen by the worker.
+    pub elapsed: Duration,
+    /// Measurements, when the job succeeded.
+    pub stats: Option<JobStats>,
+}
+
+/// Everything one [`run_batch`](crate::run_batch) call produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Per-job rows, in batch submission order (independent of which
+    /// worker ran what when).
+    pub jobs: Vec<JobReport>,
+    /// Workers the pool actually used.
+    pub workers: usize,
+    /// Batch wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// What the JSON rendering includes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JsonOptions {
+    /// Include wall-clock fields (per-job elapsed and stage timings, batch
+    /// elapsed, worker count). Off by default so that reports are
+    /// byte-identical across worker counts and runs.
+    pub timings: bool,
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+impl BatchReport {
+    /// Rows that completed successfully.
+    pub fn succeeded(&self) -> usize {
+        self.jobs.iter().filter(|j| j.status.is_ok()).count()
+    }
+
+    /// Rows that failed or panicked.
+    pub fn failed(&self) -> usize {
+        self.jobs.len() - self.succeeded()
+    }
+
+    /// True when every job completed successfully.
+    pub fn all_ok(&self) -> bool {
+        self.failed() == 0
+    }
+
+    /// Every successful job's stage timings merged into one accumulator
+    /// (see [`StageTimings::merge`]); summarize with
+    /// [`StageTimings::summarize`] for per-stage totals and maxima.
+    pub fn stage_timings(&self) -> StageTimings {
+        let mut merged = StageTimings::new();
+        for job in &self.jobs {
+            if let Some(stats) = &job.stats {
+                merged.merge(&stats.timings);
+            }
+        }
+        merged
+    }
+
+    /// Sums a per-job statistic over all successful jobs.
+    fn sum_stat(&self, f: impl Fn(&JobStats) -> usize) -> usize {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.stats.as_ref())
+            .map(f)
+            .sum()
+    }
+
+    /// Renders the report as JSON (see [`JsonOptions`]).
+    pub fn to_json(&self, options: &JsonOptions) -> String {
+        let mut jobs = Node::array();
+        for job in &self.jobs {
+            let mut row = Node::object();
+            row.str("name", &job.name)
+                .str("partitioner", &job.partitioner)
+                .str("status", job.status.label());
+            if let Some(error) = job.status.error() {
+                row.str("error", error);
+            }
+            if let Some(stats) = &job.stats {
+                row.raw("inner_before", stats.inner_before)
+                    .raw("inner_after", stats.inner_after)
+                    .raw("partitions", stats.partitions)
+                    .raw("complete", stats.complete)
+                    .raw("verified", stats.verified)
+                    .raw("c_bytes", stats.c_bytes);
+                if options.timings {
+                    let mut stages = Node::object();
+                    for r in &stats.timings.reports {
+                        stages.raw(&r.stage.to_string(), ms(r.elapsed));
+                    }
+                    row.node("stages_ms", stages);
+                }
+            }
+            if options.timings {
+                row.raw("elapsed_ms", ms(job.elapsed));
+            }
+            jobs.push(row);
+        }
+
+        let mut batch = Node::object();
+        batch
+            .raw("jobs", self.jobs.len())
+            .raw("succeeded", self.succeeded())
+            .raw("failed", self.failed())
+            .raw("inner_before", self.sum_stat(|s| s.inner_before))
+            .raw("inner_after", self.sum_stat(|s| s.inner_after))
+            .raw("partitions", self.sum_stat(|s| s.partitions))
+            .raw("c_bytes", self.sum_stat(|s| s.c_bytes));
+        if options.timings {
+            batch.raw("workers", self.workers);
+            batch.raw("elapsed_ms", ms(self.elapsed));
+            let mut stages = Node::object();
+            for stat in self.stage_timings().summarize() {
+                let mut s = Node::object();
+                s.raw("runs", stat.runs)
+                    .raw("total_ms", ms(stat.total))
+                    .raw("max_ms", ms(stat.max));
+                stages.node(&stat.stage.to_string(), s);
+            }
+            batch.node("stages", stages);
+        }
+
+        let mut root = Node::object();
+        root.node("batch", batch).node("results", jobs);
+        root.finish()
+    }
+
+    /// Renders the report as fixed-width text. `with_timings` appends the
+    /// per-stage totals/max table from the merged observers.
+    pub fn render_text(&self, with_timings: bool) -> String {
+        let mut out = format!(
+            "batch: {} job(s), {} ok, {} failed, {} worker(s), {}\n",
+            self.jobs.len(),
+            self.succeeded(),
+            self.failed(),
+            self.workers,
+            fmt_elapsed(self.elapsed),
+        );
+        let name_w = self
+            .jobs
+            .iter()
+            .map(|j| j.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let _ = writeln!(
+            out,
+            "  {:<name_w$}  {:<12} {:<8} {:>6} {:>6} {:>5} {:>9}",
+            "name", "partitioner", "status", "inner", "total", "prog", "c-bytes"
+        );
+        for job in &self.jobs {
+            match (&job.status, &job.stats) {
+                (JobStatus::Ok, Some(stats)) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<name_w$}  {:<12} {:<8} {:>6} {:>6} {:>5} {:>9}{}",
+                        job.name,
+                        job.partitioner,
+                        "ok",
+                        stats.inner_before,
+                        stats.inner_after,
+                        stats.partitions,
+                        stats.c_bytes,
+                        if stats.complete { "" } else { "  (timeout)" },
+                    );
+                }
+                (status, _) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<name_w$}  {:<12} {:<8} {}",
+                        job.name,
+                        job.partitioner,
+                        status.label(),
+                        status.error().unwrap_or(""),
+                    );
+                }
+            }
+        }
+        if with_timings {
+            out.push_str("stage totals over all jobs:\n");
+            for stat in self.stage_timings().summarize() {
+                let _ = writeln!(
+                    out,
+                    "  {:<9} {:>10}ms total, {:>9}ms max, {:>4} run(s)",
+                    stat.stage.to_string(),
+                    ms(stat.total),
+                    ms(stat.max),
+                    stat.runs,
+                );
+            }
+        }
+        out
+    }
+}
+
+fn fmt_elapsed(d: Duration) -> String {
+    if d.as_secs_f64() >= 1.0 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblocks_synth::{Stage, StageReport};
+
+    fn sample() -> BatchReport {
+        let mut timings = StageTimings::new();
+        timings.reports.push(StageReport {
+            stage: Stage::Partition,
+            elapsed: Duration::from_millis(2),
+            detail: "1 partition".into(),
+        });
+        BatchReport {
+            jobs: vec![
+                JobReport {
+                    name: "garage".into(),
+                    partitioner: "pare-down".into(),
+                    status: JobStatus::Ok,
+                    elapsed: Duration::from_millis(5),
+                    stats: Some(JobStats {
+                        inner_before: 2,
+                        inner_after: 1,
+                        partitions: 1,
+                        complete: true,
+                        c_bytes: 512,
+                        verified: true,
+                        timings,
+                    }),
+                },
+                JobReport {
+                    name: "broken \"job\"".into(),
+                    partitioner: "anneal".into(),
+                    status: JobStatus::Failed("cannot read x".into()),
+                    elapsed: Duration::from_millis(1),
+                    stats: None,
+                },
+            ],
+            workers: 4,
+            elapsed: Duration::from_millis(6),
+        }
+    }
+
+    #[test]
+    fn aggregates_count() {
+        let r = sample();
+        assert_eq!(r.succeeded(), 1);
+        assert_eq!(r.failed(), 1);
+        assert!(!r.all_ok());
+        assert_eq!(r.stage_timings().reports.len(), 1);
+    }
+
+    #[test]
+    fn json_is_deterministic_without_timings() {
+        let r = sample();
+        let json = r.to_json(&JsonOptions::default());
+        assert!(json.contains(r#""status":"ok""#), "{json}");
+        assert!(json.contains(r#""error":"cannot read x""#), "{json}");
+        assert!(json.contains(r#""broken \"job\"""#), "escaped: {json}");
+        assert!(json.contains(r#""c_bytes":512"#), "{json}");
+        assert!(!json.contains("elapsed_ms"), "no wall-clock: {json}");
+        assert!(!json.contains("workers"), "no pool shape: {json}");
+
+        let timed = r.to_json(&JsonOptions { timings: true });
+        assert!(timed.contains("elapsed_ms"), "{timed}");
+        assert!(timed.contains(r#""workers":4"#), "{timed}");
+        assert!(timed.contains(r#""stages""#), "{timed}");
+        assert!(timed.contains("total_ms"), "{timed}");
+        assert!(timed.contains("max_ms"), "{timed}");
+    }
+
+    #[test]
+    fn text_report_lists_rows() {
+        let r = sample();
+        let text = r.render_text(true);
+        assert!(text.contains("2 job(s), 1 ok, 1 failed"), "{text}");
+        assert!(text.contains("garage"), "{text}");
+        assert!(text.contains("cannot read x"), "{text}");
+        assert!(text.contains("stage totals"), "{text}");
+        assert!(text.contains("partition"), "{text}");
+        let no_t = r.render_text(false);
+        assert!(!no_t.contains("stage totals"), "{no_t}");
+    }
+}

@@ -1,0 +1,343 @@
+//! The worker pool: a shared job queue drained by scoped threads.
+//!
+//! Scheduling is a single shared cursor over the batch's job list — each
+//! worker claims the next unclaimed index, runs it start-to-finish, and
+//! writes the report into that job's slot. This is the work-stealing-style
+//! "shared queue, greedy workers" shape (cf. the dslab job schedulers):
+//! long jobs never block short ones behind a static round-robin split, and
+//! the report order is the submission order regardless of which worker
+//! finished what when.
+//!
+//! A panicking job (a buggy strategy, a pathological design) is caught on
+//! the worker, reported as [`JobStatus::Panicked`], and the worker moves on
+//! — one poisoned job cannot take down the batch.
+
+use crate::job::{Batch, Job, JobMode};
+use crate::report::{BatchReport, JobReport, JobStats, JobStatus};
+use eblocks_partition::{PartitionConstraints, Registry};
+use eblocks_synth::{Pipeline, Stage, StageReport, StageTimings, VerifyOptions};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Engine configuration for [`run_batch`].
+pub struct FarmConfig {
+    /// Worker threads; `None` uses [`std::thread::available_parallelism`].
+    /// The pool never spawns more workers than there are jobs.
+    pub workers: Option<usize>,
+    /// Overrides the batch's default strategy for jobs that set none
+    /// (the CLI's `--partitioner` flag lands here). Per-job `partitioner=`
+    /// settings still win.
+    pub partitioner_override: Option<String>,
+    /// Strategy registry jobs resolve their partitioner names against.
+    /// Defaults to [`Registry::builtin`]; register custom strategies (a
+    /// time-limited exhaustive, a test double) before running.
+    pub registry: Registry,
+}
+
+impl Default for FarmConfig {
+    fn default() -> Self {
+        Self {
+            workers: None,
+            partitioner_override: None,
+            registry: Registry::builtin(),
+        }
+    }
+}
+
+impl FarmConfig {
+    /// A config pinned to `workers` threads.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: Some(workers),
+            ..Self::default()
+        }
+    }
+
+    fn effective_workers(&self, jobs: usize) -> usize {
+        let requested = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        requested.clamp(1, jobs.max(1))
+    }
+}
+
+/// Runs every job in `batch` across the configured worker pool and
+/// aggregates the per-job outcomes into a [`BatchReport`].
+///
+/// Job execution is deterministic (all built-in strategies are), so the
+/// per-job results are identical for any worker count; only wall-clock
+/// fields differ.
+pub fn run_batch(batch: &Batch, config: &FarmConfig) -> BatchReport {
+    let started = Instant::now();
+    let workers = config.effective_workers(batch.jobs.len());
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<JobReport>>> = Mutex::new(vec![None; batch.jobs.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = batch.jobs.get(index) else {
+                    break;
+                };
+                let report = run_job(job, batch, config);
+                slots.lock().expect("farm result lock")[index] = Some(report);
+            });
+        }
+    });
+
+    let jobs = slots
+        .into_inner()
+        .expect("farm result lock")
+        .into_iter()
+        .map(|slot| slot.expect("every claimed job reports"))
+        .collect();
+    BatchReport {
+        jobs,
+        workers,
+        elapsed: started.elapsed(),
+    }
+}
+
+/// Resolves the job's strategy name: job > engine override > batch default
+/// > `pare-down`.
+fn partitioner_name<'a>(job: &'a Job, batch: &'a Batch, config: &'a FarmConfig) -> &'a str {
+    job.partitioner
+        .as_deref()
+        .or(config.partitioner_override.as_deref())
+        .or(batch.default_partitioner.as_deref())
+        .unwrap_or("pare-down")
+}
+
+/// Runs one job on the calling worker thread, catching panics.
+fn run_job(job: &Job, batch: &Batch, config: &FarmConfig) -> JobReport {
+    let started = Instant::now();
+    let name = partitioner_name(job, batch, config);
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute(job, name, config)));
+    let (status, stats) = match outcome {
+        Ok(Ok(stats)) => (JobStatus::Ok, Some(stats)),
+        Ok(Err(error)) => (JobStatus::Failed(error), None),
+        Err(payload) => (JobStatus::Panicked(panic_message(payload)), None),
+    };
+    JobReport {
+        name: job.name.clone(),
+        partitioner: name.to_string(),
+        status,
+        elapsed: started.elapsed(),
+        stats,
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The fallible body of one job.
+fn execute(job: &Job, partitioner_name: &str, config: &FarmConfig) -> Result<JobStats, String> {
+    let partitioner = config.registry.from_str(partitioner_name).ok_or_else(|| {
+        format!(
+            "unknown partitioner `{partitioner_name}` (available: {})",
+            config.registry.names().join(", ")
+        )
+    })?;
+    let design = job.load_design()?;
+    let constraints = PartitionConstraints::with_spec(job.spec);
+    match job.mode {
+        JobMode::Partition => {
+            design.validate().map_err(|e| e.to_string())?;
+            let started = Instant::now();
+            let partitioning = partitioner.partition(&design, &constraints);
+            let elapsed = started.elapsed();
+            partitioning
+                .verify(&design, &constraints)
+                .map_err(|e| e.to_string())?;
+            let mut timings = StageTimings::new();
+            timings.reports.push(StageReport {
+                stage: Stage::Partition,
+                elapsed,
+                detail: partitioning.to_string(),
+            });
+            Ok(JobStats {
+                inner_before: partitioning.covered() + partitioning.uncovered().len(),
+                inner_after: partitioning.inner_total(),
+                partitions: partitioning.num_partitions(),
+                complete: partitioning.is_complete(),
+                c_bytes: 0,
+                verified: false,
+                timings,
+            })
+        }
+        JobMode::Synth => {
+            let mut timings = StageTimings::new();
+            let rewritten = Pipeline::new(&design)
+                .constraints(constraints)
+                .optimize(job.optimize)
+                .observe(&mut timings)
+                .partition_with(partitioner.as_ref())
+                .map_err(|e| e.to_string())?
+                .merge()
+                .map_err(|e| e.to_string())?
+                .rewrite()
+                .map_err(|e| e.to_string())?;
+            let verified = if job.verify {
+                rewritten
+                    .verify(VerifyOptions::default())
+                    .map_err(|e| e.to_string())?
+            } else {
+                rewritten.skip_verify()
+            };
+            let result = verified.emit_c();
+            Ok(JobStats {
+                inner_before: result.inner_before(),
+                inner_after: result.inner_after(),
+                partitions: result.partitioning.num_partitions(),
+                complete: result.partitioning.is_complete(),
+                c_bytes: result.c_sources.iter().map(|(_, c)| c.len()).sum(),
+                verified: result.report.as_ref().is_some_and(|r| r.is_equivalent()),
+                timings,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::report::JsonOptions;
+    use eblocks_core::Design;
+    use eblocks_partition::{Partitioner, Partitioning};
+
+    fn library_batch() -> Batch {
+        Batch::new(vec![
+            Job::library("Ignition Illuminator"),
+            Job::library("Podium Timer 3").with_partitioner("refine"),
+            Job::generated(10, 3).with_mode(JobMode::Partition),
+        ])
+    }
+
+    #[test]
+    fn batch_runs_and_aggregates() {
+        let report = run_batch(&library_batch(), &FarmConfig::with_workers(2));
+        assert_eq!(report.jobs.len(), 3);
+        assert!(report.all_ok(), "{}", report.render_text(false));
+        assert_eq!(report.workers, 2);
+        let stats = report.jobs[0].stats.as_ref().unwrap();
+        assert_eq!(stats.inner_before, 2);
+        assert_eq!(stats.inner_after, 1);
+        assert!(stats.verified);
+        assert!(stats.c_bytes > 0);
+        assert_eq!(report.jobs[1].partitioner, "refine");
+        let part = report.jobs[2].stats.as_ref().unwrap();
+        assert_eq!(part.c_bytes, 0, "partition mode emits no C");
+        assert!(!part.verified);
+        assert_eq!(part.timings.reports.len(), 1, "only the partition stage");
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_jobs() {
+        let report = run_batch(
+            &library_batch(),
+            &FarmConfig {
+                workers: Some(64),
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.workers, 3);
+        let empty = run_batch(&Batch::default(), &FarmConfig::with_workers(8));
+        assert_eq!(empty.jobs.len(), 0);
+        assert!(empty.all_ok());
+    }
+
+    #[test]
+    fn partitioner_resolution_precedence() {
+        let mut batch = Batch::new(vec![
+            Job::library("Ignition Illuminator"),
+            Job::library("Carpool Alert").with_partitioner("aggregation"),
+        ]);
+        batch.default_partitioner = Some("refine".into());
+
+        // Batch default applies when nothing else is set.
+        let report = run_batch(&batch, &FarmConfig::with_workers(1));
+        assert_eq!(report.jobs[0].partitioner, "refine");
+        assert_eq!(report.jobs[1].partitioner, "aggregation");
+
+        // The engine override beats the batch default, not the per-job pick.
+        let config = FarmConfig {
+            workers: Some(1),
+            partitioner_override: Some("anneal".into()),
+            ..Default::default()
+        };
+        let report = run_batch(&batch, &config);
+        assert_eq!(report.jobs[0].partitioner, "anneal");
+        assert_eq!(report.jobs[1].partitioner, "aggregation");
+    }
+
+    #[test]
+    fn failures_are_reported_not_fatal() {
+        let batch = Batch::new(vec![
+            Job::netlist("/nonexistent/x.netlist"),
+            Job::library("Ignition Illuminator").with_partitioner("magic"),
+            Job::library("Ignition Illuminator"),
+        ]);
+        let report = run_batch(&batch, &FarmConfig::with_workers(2));
+        assert_eq!(report.succeeded(), 1);
+        assert_eq!(report.failed(), 2);
+        let JobStatus::Failed(e) = &report.jobs[0].status else {
+            panic!("{:?}", report.jobs[0].status);
+        };
+        assert!(e.contains("cannot read"), "{e}");
+        let JobStatus::Failed(e) = &report.jobs[1].status else {
+            panic!("{:?}", report.jobs[1].status);
+        };
+        assert!(
+            e.contains("unknown partitioner `magic`") && e.contains("pare-down"),
+            "lists the registered names: {e}"
+        );
+        assert!(report.jobs[2].status.is_ok());
+    }
+
+    /// A strategy that always panics, for poisoned-job isolation tests.
+    struct Poison;
+
+    impl Partitioner for Poison {
+        fn name(&self) -> &'static str {
+            "poison"
+        }
+
+        fn partition(&self, _: &Design, _: &PartitionConstraints) -> Partitioning {
+            panic!("poisoned strategy")
+        }
+    }
+
+    #[test]
+    fn poisoned_job_does_not_take_down_the_batch() {
+        let mut config = FarmConfig::with_workers(2);
+        config.registry.register("poison", || Box::new(Poison));
+        let batch = Batch::new(vec![
+            Job::library("Ignition Illuminator"),
+            Job::library("Carpool Alert").with_partitioner("poison"),
+            Job::library("Night Lamp Controller"),
+        ]);
+        let report = run_batch(&batch, &config);
+        assert_eq!(report.succeeded(), 2);
+        let JobStatus::Panicked(message) = &report.jobs[1].status else {
+            panic!("expected a panic report, got {:?}", report.jobs[1].status);
+        };
+        assert!(message.contains("poisoned strategy"), "{message}");
+        assert!(report.jobs[0].status.is_ok());
+        assert!(report.jobs[2].status.is_ok());
+        let json = report.to_json(&JsonOptions::default());
+        assert!(json.contains(r#""status":"panicked""#), "{json}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Batch determinism: the same manifest must produce a byte-identical
+//! (timings-off) `BatchReport` regardless of worker count, and a poisoned
+//! job must be reported as failed without taking down the batch.
+
+use eblocks_farm::{run_batch, Batch, FarmConfig, JobStatus, JsonOptions};
+
+const MANIFEST: &str = "\
+# mixed sources, mixed strategies, mixed modes
+default partitioner=pare-down
+job library=\"Ignition Illuminator\"
+job library=\"Podium Timer 3\" partitioner=refine
+job library=\"Two-Zone Security\" partitioner=aggregation verify=false
+job generated=12 seed=7 mode=partition
+job generated=20 seed=9 mode=partition partitioner=anneal
+job library=\"No Such Design\"                     # deliberate failure
+";
+
+#[test]
+fn same_manifest_same_bytes_for_1_and_8_workers() {
+    let batch = Batch::parse(MANIFEST).unwrap();
+    let sequential = run_batch(&batch, &FarmConfig::with_workers(1));
+    let parallel = run_batch(&batch, &FarmConfig::with_workers(8));
+
+    assert_eq!(sequential.workers, 1);
+    assert_eq!(parallel.workers, batch.jobs.len().min(8));
+    assert_eq!(sequential.succeeded(), batch.jobs.len() - 1);
+    assert_eq!(sequential.failed(), 1);
+
+    let options = JsonOptions::default(); // timings off: deterministic
+    assert_eq!(
+        sequential.to_json(&options),
+        parallel.to_json(&options),
+        "sorted reports must be byte-identical across worker counts"
+    );
+
+    // Re-running the same batch is also byte-stable.
+    let again = run_batch(&batch, &FarmConfig::with_workers(8));
+    assert_eq!(parallel.to_json(&options), again.to_json(&options));
+
+    // With timings on the reports still agree on everything but clocks.
+    let timed = sequential.to_json(&JsonOptions { timings: true });
+    assert!(timed.contains("elapsed_ms"), "{timed}");
+}
+
+#[test]
+fn poisoned_job_is_isolated() {
+    use eblocks_core::Design;
+    use eblocks_partition::{PartitionConstraints, Partitioner, Partitioning};
+
+    struct Poison;
+    impl Partitioner for Poison {
+        fn name(&self) -> &'static str {
+            "poison"
+        }
+        fn partition(&self, _: &Design, _: &PartitionConstraints) -> Partitioning {
+            panic!("injected failure")
+        }
+    }
+
+    let batch = Batch::parse(
+        "job library=\"Ignition Illuminator\"\n\
+         job library=\"Carpool Alert\" partitioner=poison\n\
+         job library=\"Night Lamp Controller\"\n",
+    )
+    .unwrap();
+    let mut config = FarmConfig::with_workers(3);
+    config.registry.register("poison", || Box::new(Poison));
+
+    let report = run_batch(&batch, &config);
+    assert_eq!(report.jobs.len(), 3, "the batch ran to completion");
+    assert_eq!(report.succeeded(), 2);
+    assert!(matches!(
+        &report.jobs[1].status,
+        JobStatus::Panicked(message) if message.contains("injected failure")
+    ));
+    assert!(report.jobs[0].status.is_ok());
+    assert!(report.jobs[2].status.is_ok());
+}

@@ -50,20 +50,23 @@ pub struct StageReport {
 
 /// A callback invoked after each pipeline stage completes.
 ///
-/// Any `FnMut(&StageReport)` closure is an observer.
-pub trait Observer {
+/// Any `FnMut(&StageReport)` closure is an observer. Observers are `Send`
+/// so a pipeline (and the observer attached to it) can run on a worker
+/// thread — the batch-synthesis farm drives one pipeline per job across a
+/// thread pool and merges the collected [`StageTimings`] afterwards.
+pub trait Observer: Send {
     /// Called once per completed stage, in execution order.
     fn on_stage(&mut self, report: &StageReport);
 }
 
-impl<F: FnMut(&StageReport)> Observer for F {
+impl<F: FnMut(&StageReport) + Send> Observer for F {
     fn on_stage(&mut self, report: &StageReport) {
         self(report);
     }
 }
 
 /// An [`Observer`] that records every report, for timing breakdowns.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StageTimings {
     /// The collected reports, in stage execution order.
     pub reports: Vec<StageReport>,
@@ -84,6 +87,59 @@ impl StageTimings {
     pub fn total(&self) -> Duration {
         self.reports.iter().map(|r| r.elapsed).sum()
     }
+
+    /// Appends every report from `other`, preserving order.
+    ///
+    /// A multi-run aggregator (the farm's batch report, a sweep harness)
+    /// collects one `StageTimings` per run and folds them into one with
+    /// this; [`summarize`](Self::summarize) then reports per-stage totals
+    /// and maxima across all merged runs.
+    pub fn merge(&mut self, other: &StageTimings) {
+        self.reports.extend_from_slice(&other.reports);
+    }
+
+    /// Per-stage aggregates (run count, total and max elapsed) over every
+    /// collected report, in pipeline stage order. Stages that never ran are
+    /// omitted.
+    pub fn summarize(&self) -> Vec<StageStat> {
+        [
+            Stage::Partition,
+            Stage::Merge,
+            Stage::Rewrite,
+            Stage::Verify,
+            Stage::EmitC,
+        ]
+        .into_iter()
+        .filter_map(|stage| {
+            let mut stat = StageStat {
+                stage,
+                runs: 0,
+                total: Duration::ZERO,
+                max: Duration::ZERO,
+            };
+            for r in self.reports.iter().filter(|r| r.stage == stage) {
+                stat.runs += 1;
+                stat.total += r.elapsed;
+                stat.max = stat.max.max(r.elapsed);
+            }
+            (stat.runs > 0).then_some(stat)
+        })
+        .collect()
+    }
+}
+
+/// Aggregate timing for one stage across every run merged into a
+/// [`StageTimings`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStat {
+    /// The stage being summarized.
+    pub stage: Stage,
+    /// How many reports of this stage were collected.
+    pub runs: usize,
+    /// Elapsed time summed over all runs.
+    pub total: Duration,
+    /// The single slowest run.
+    pub max: Duration,
 }
 
 impl Observer for StageTimings {
@@ -128,6 +184,50 @@ mod tests {
         assert_eq!(t.get(Stage::Partition).unwrap().detail, "2 partitions");
         assert!(t.get(Stage::Verify).is_none());
         assert_eq!(t.total(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn merge_concatenates_and_summarize_aggregates() {
+        let report = |stage, ms| StageReport {
+            stage,
+            elapsed: Duration::from_millis(ms),
+            detail: String::new(),
+        };
+        let mut a = StageTimings::new();
+        a.on_stage(&report(Stage::Partition, 2));
+        a.on_stage(&report(Stage::Merge, 5));
+        let mut b = StageTimings::new();
+        b.on_stage(&report(Stage::Partition, 6));
+        a.merge(&b);
+        a.merge(&StageTimings::new()); // merging empty is a no-op
+        assert_eq!(a.reports.len(), 3);
+
+        let stats = a.summarize();
+        assert_eq!(stats.len(), 2, "verify/rewrite/emit-c never ran");
+        assert_eq!(stats[0].stage, Stage::Partition);
+        assert_eq!(stats[0].runs, 2);
+        assert_eq!(stats[0].total, Duration::from_millis(8));
+        assert_eq!(stats[0].max, Duration::from_millis(6));
+        assert_eq!(stats[1].stage, Stage::Merge);
+        assert_eq!(stats[1].runs, 1);
+        assert_eq!(stats[1].total, Duration::from_millis(5));
+        assert_eq!(stats[1].max, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn timings_cross_threads() {
+        // Observer is Send: a pipeline and its observer can run on a worker.
+        let mut timings = StageTimings::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                timings.on_stage(&StageReport {
+                    stage: Stage::Partition,
+                    elapsed: Duration::from_millis(1),
+                    detail: "on a worker".into(),
+                });
+            });
+        });
+        assert_eq!(timings.reports.len(), 1);
     }
 
     #[test]

@@ -7,24 +7,36 @@
 //!                   [--inputs N] [--outputs N] [--no-verify] [--timings]
 //! eblocks-cli check <netlist>          # validate + report stats
 //! eblocks-cli partition <netlist> [--partitioner NAME]  # print the partitioning only
+//! eblocks-cli batch <manifest> [--jobs N] [--partitioner NAME] [--json] [--timings]
 //! eblocks-cli sim <netlist> --stimulus <script> [--until T] [--vcd FILE]
 //! eblocks-cli place <netlist> (--grid WxH | --topology FILE)
 //!                   [--pin block=COL,ROW | --pin block=SITE ...] [--iterations N]
+//! eblocks-cli --list-partitioners      # print the registered strategy names
 //! ```
 //!
 //! `synth` writes `<name>-synth.netlist` plus one `progN.c` per programmable
 //! block into OUTDIR (default: alongside the input); `--timings` adds a
 //! per-stage timing breakdown from the pipeline's observer hook, and
-//! `--partitioner` selects any of the five registered strategies
+//! `--partitioner` selects any of the registered strategies — pass `list`
+//! (or the standalone `--list-partitioners`) to print their names
 //! (`--algorithm` survives as a deprecated alias for the original three).
-//! `sim` runs a stimulus script (lines of `<time> <sensor> <0|1>`, `#`
-//! comments) and prints an ASCII waveform; `--vcd` additionally writes a VCD
-//! dump. `place` maps the design onto a grid of deployment sites (the
-//! paper's §6 future work), honoring `--pin` anchors, and prints the
-//! per-block site assignment and total routed hops.
+//! `batch` runs every job in a farm manifest (see `eblocks::farm`) across a
+//! worker pool — `--jobs N` workers (default: all cores), `--partitioner`
+//! as the default strategy for jobs that name none, `--json` for a machine-
+//! readable report (deterministic: wall-clock fields only with `--timings`).
+//! The report always prints to stdout; if any job failed the command also
+//! writes a summary to stderr and exits non-zero. Per-job settings
+//! (`verify=`, `inputs=`, `outputs=`) live in the manifest, so `batch`
+//! rejects `--no-verify`/`--inputs`/`--outputs`. `sim` runs a stimulus script
+//! (lines of `<time> <sensor> <0|1>`, `#` comments) and prints an ASCII
+//! waveform; `--vcd` additionally writes a VCD dump. `place` maps the design
+//! onto a grid of deployment sites (the paper's §6 future work), honoring
+//! `--pin` anchors, and prints the per-block site assignment and total
+//! routed hops.
 
 use eblocks::core::netlist::{from_netlist, to_netlist};
 use eblocks::core::{Design, ProgrammableSpec};
+use eblocks::farm::{run_batch, Batch, FarmConfig, JsonOptions};
 use eblocks::partition::{PartitionConstraints, Partitioner, Registry};
 use eblocks::synth::{Pipeline, StageTimings, VerifyOptions};
 use std::path::{Path, PathBuf};
@@ -37,10 +49,62 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(message) => {
-            eprintln!("error: {message}");
+        Err(failure) => {
+            // A failed `batch` still delivers its report on stdout (e.g.
+            // the --json report, whose status/error fields machine
+            // consumers need most when jobs fail); the summary goes to
+            // stderr and the exit code stays non-zero.
+            print!("{}", failure.output);
+            eprintln!("error: {}", failure.message);
             ExitCode::FAILURE
         }
+    }
+}
+
+/// A failed command: the one-line summary for stderr, plus any report
+/// payload that still belongs on stdout (a batch report whose jobs failed).
+struct Failure {
+    message: String,
+    output: String,
+}
+
+impl Failure {
+    /// True when either the stderr summary or the stdout payload mentions
+    /// `needle` — the tests' one-stop assertion helper.
+    #[cfg(test)]
+    fn contains(&self, needle: &str) -> bool {
+        self.message.contains(needle) || self.output.contains(needle)
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)?;
+        if !self.output.is_empty() {
+            write!(f, "\n{}", self.output)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Self {
+        Self {
+            message,
+            output: String::new(),
+        }
+    }
+}
+
+impl From<&str> for Failure {
+    fn from(message: &str) -> Self {
+        Self::from(message.to_string())
     }
 }
 
@@ -49,10 +113,12 @@ struct Options {
     command: String,
     input: PathBuf,
     outdir: Option<PathBuf>,
-    partitioner: String,
+    partitioner: Option<String>,
     spec: ProgrammableSpec,
     verify: bool,
     timings: bool,
+    jobs: Option<usize>,
+    json: bool,
     stimulus: Option<PathBuf>,
     until: u64,
     vcd: Option<PathBuf>,
@@ -67,19 +133,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let command = it.next().ok_or(USAGE)?.clone();
     if !matches!(
         command.as_str(),
-        "synth" | "check" | "partition" | "sim" | "place"
+        "synth" | "check" | "partition" | "batch" | "sim" | "place"
     ) {
         return Err(format!("unknown command `{command}`\n{USAGE}"));
     }
-    let input = PathBuf::from(it.next().ok_or("missing netlist path")?);
+    let input = PathBuf::from(it.next().ok_or("missing input path")?);
     let mut options = Options {
         command,
         input,
         outdir: None,
-        partitioner: "pare-down".to_string(),
+        partitioner: None,
         spec: ProgrammableSpec::default(),
         verify: true,
         timings: false,
+        jobs: None,
+        json: false,
         stimulus: None,
         until: 1000,
         vcd: None,
@@ -94,16 +162,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.outdir = Some(PathBuf::from(it.next().ok_or("missing value for -o")?));
             }
             "--partitioner" => {
-                options.partitioner = it.next().ok_or("missing partitioner")?.clone();
+                options.partitioner = Some(it.next().ok_or("missing partitioner")?.clone());
             }
             // Deprecated alias, kept for scripts written against the old
             // 3-variant --algorithm flag.
             "--algorithm" => {
                 options.partitioner = match it.next().ok_or("missing algorithm")?.as_str() {
-                    name @ ("pare-down" | "exhaustive" | "aggregation") => name.to_string(),
+                    name @ ("pare-down" | "exhaustive" | "aggregation") => Some(name.to_string()),
                     other => return Err(format!("unknown algorithm `{other}`")),
                 };
             }
+            "--jobs" => {
+                options.jobs = Some(
+                    it.next()
+                        .ok_or("missing value for --jobs")?
+                        .parse()
+                        .map_err(|_| "bad --jobs value")?,
+                );
+            }
+            "--json" => options.json = true,
             "--inputs" => {
                 options.spec.inputs = it
                     .next()
@@ -166,11 +243,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
-const USAGE: &str = "usage: eblocks-cli <synth|check|partition|sim|place> <netlist> \
-[-o OUTDIR] [--partitioner pare-down|exhaustive|aggregation|refine|anneal] \
+const USAGE: &str =
+    "usage: eblocks-cli <synth|check|partition|batch|sim|place> <netlist|manifest> \
+[-o OUTDIR] [--partitioner pare-down|exhaustive|aggregation|refine|anneal|list] \
 [--inputs N] [--outputs N] [--no-verify] [--timings] \
+[--jobs N] [--json] \
 [--stimulus FILE] [--until T] [--vcd FILE] \
-[--grid WxH | --topology FILE] [--pin block=COL,ROW | block=SITE] [--iterations N]";
+[--grid WxH | --topology FILE] [--pin block=COL,ROW | block=SITE] [--iterations N] \
+ | eblocks-cli --list-partitioners";
 
 /// Resolves the `--partitioner` name against the built-in registry.
 fn resolve_partitioner(name: &str) -> Result<Box<dyn Partitioner>, String> {
@@ -183,19 +263,87 @@ fn resolve_partitioner(name: &str) -> Result<Box<dyn Partitioner>, String> {
     })
 }
 
-fn run(args: &[String]) -> Result<String, String> {
+/// The registered strategy names, one per line (`--list-partitioners`).
+fn list_partitioners() -> String {
+    let mut out = String::new();
+    for name in Registry::builtin().names() {
+        out.push_str(name);
+        out.push('\n');
+    }
+    out
+}
+
+fn run(args: &[String]) -> Result<String, Failure> {
+    // `--list-partitioners` stands alone: no input file required.
+    if args.iter().any(|a| a == "--list-partitioners") {
+        return Ok(list_partitioners());
+    }
     let options = parse_args(args)?;
+    // `--partitioner list` works from any command position.
+    if options.partitioner.as_deref() == Some("list") {
+        return Ok(list_partitioners());
+    }
+    if options.command == "batch" {
+        return batch_command(&options);
+    }
     let text = std::fs::read_to_string(&options.input)
         .map_err(|e| format!("cannot read {}: {e}", options.input.display()))?;
     let design = from_netlist(&text).map_err(|e| e.to_string())?;
 
-    match options.command.as_str() {
+    Ok(match options.command.as_str() {
         "check" => check_command(&design),
         "partition" => partition_command(&design, &options),
         "synth" => synth_command(&design, &options),
         "sim" => sim_command(&design, &options),
         "place" => place_command(&design, &options),
         _ => unreachable!("validated in parse_args"),
+    }?)
+}
+
+/// Runs a farm manifest across the worker pool. The report always goes to
+/// stdout; if any job failed the command also prints a summary to stderr
+/// and exits non-zero.
+fn batch_command(options: &Options) -> Result<String, Failure> {
+    // Flags that batch cannot honor are rejected, not silently ignored:
+    // per-job settings live in the manifest (`verify=`, `inputs=`,
+    // `outputs=`, per-job or via `default` lines).
+    if !options.verify {
+        return Err(
+            "--no-verify is not supported by `batch`; set `verify=false` in the manifest"
+                .to_string()
+                .into(),
+        );
+    }
+    if options.spec != ProgrammableSpec::default() {
+        return Err(
+            "--inputs/--outputs are not supported by `batch`; set `inputs=`/`outputs=` in the manifest"
+                .to_string()
+                .into(),
+        );
+    }
+    let batch = Batch::from_file(&options.input)?;
+    let config = FarmConfig {
+        workers: options.jobs,
+        partitioner_override: options.partitioner.clone(),
+        registry: Registry::builtin(),
+    };
+    let report = run_batch(&batch, &config);
+    let rendered = if options.json {
+        let mut json = report.to_json(&JsonOptions {
+            timings: options.timings,
+        });
+        json.push('\n');
+        json
+    } else {
+        report.render_text(options.timings)
+    };
+    if report.all_ok() {
+        Ok(rendered)
+    } else {
+        Err(Failure {
+            message: format!("{} of {} job(s) failed", report.failed(), report.jobs.len()),
+            output: rendered,
+        })
     }
 }
 
@@ -211,7 +359,7 @@ fn check_command(design: &Design) -> Result<String, String> {
 
 fn partition_command(design: &Design, options: &Options) -> Result<String, String> {
     design.validate().map_err(|e| e.to_string())?;
-    let partitioner = resolve_partitioner(&options.partitioner)?;
+    let partitioner = resolve_partitioner(options.partitioner.as_deref().unwrap_or("pare-down"))?;
     let constraints = PartitionConstraints::with_spec(options.spec);
     let result = partitioner.partition(design, &constraints);
     let mut out = format!("{result}\n");
@@ -234,7 +382,7 @@ fn partition_command(design: &Design, options: &Options) -> Result<String, Strin
 }
 
 fn synth_command(design: &Design, options: &Options) -> Result<String, String> {
-    let partitioner = resolve_partitioner(&options.partitioner)?;
+    let partitioner = resolve_partitioner(options.partitioner.as_deref().unwrap_or("pare-down"))?;
     let mut timings = StageTimings::new();
     let rewritten = Pipeline::new(design)
         .constraints(PartitionConstraints::with_spec(options.spec))
@@ -465,6 +613,137 @@ wire both.0 -> led.0
         for stage in ["partition", "merge", "rewrite", "verify", "emit-c"] {
             assert!(out.contains(&format!("stage {stage}")), "{stage}: {out}");
         }
+    }
+
+    #[test]
+    fn list_partitioners_paths() {
+        let all = ["pare-down", "exhaustive", "aggregation", "refine", "anneal"];
+        let out = run(&s(&["--list-partitioners"])).unwrap();
+        for name in all {
+            assert!(out.contains(name), "{name}: {out}");
+        }
+        // `--partitioner list` short-circuits before any file is read.
+        let out = run(&s(&["synth", "/nonexistent", "--partitioner", "list"])).unwrap();
+        for name in all {
+            assert!(out.contains(name), "{name}: {out}");
+        }
+    }
+
+    #[test]
+    fn batch_runs_a_manifest() {
+        let dir = tempdir("batch");
+        let netlist = write_garage(&dir);
+        let manifest = dir.join("batch.manifest");
+        std::fs::write(
+            &manifest,
+            format!(
+                "default partitioner=pare-down\n\
+                 job netlist=\"{}\"\n\
+                 job library=\"Ignition Illuminator\" partitioner=refine\n\
+                 job generated=10 seed=3 mode=partition\n",
+                netlist.display()
+            ),
+        )
+        .unwrap();
+        let out = run(&s(&[
+            "batch",
+            manifest.to_str().unwrap(),
+            "--jobs",
+            "2",
+            "--timings",
+        ]))
+        .unwrap();
+        assert!(out.contains("3 job(s), 3 ok, 0 failed"), "{out}");
+        assert!(out.contains("garage") && out.contains("gen10-3"), "{out}");
+        assert!(out.contains("stage totals"), "{out}");
+
+        // JSON mode, deterministic across worker counts.
+        let json1 = run(&s(&[
+            "batch",
+            manifest.to_str().unwrap(),
+            "--jobs",
+            "1",
+            "--json",
+        ]))
+        .unwrap();
+        let json8 = run(&s(&[
+            "batch",
+            manifest.to_str().unwrap(),
+            "--jobs",
+            "8",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(json1, json8, "byte-identical across worker counts");
+        assert!(json1.contains(r#""succeeded":3"#), "{json1}");
+        assert!(!json1.contains("elapsed_ms"), "{json1}");
+
+        // A failing job makes the whole command fail, with the report.
+        std::fs::write(
+            &manifest,
+            "job netlist=ghost.netlist\njob library=\"Carpool Alert\"\n",
+        )
+        .unwrap();
+        let err = run(&s(&["batch", manifest.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("1 of 2 job(s) failed"), "{err}");
+        assert!(err.contains("cannot read"), "{err}");
+
+        // Manifest syntax errors carry line numbers.
+        std::fs::write(&manifest, "job\n").unwrap();
+        let err = run(&s(&["batch", manifest.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn batch_failure_keeps_report_on_stdout() {
+        let dir = tempdir("batch-fail-split");
+        let manifest = dir.join("batch.manifest");
+        std::fs::write(&manifest, "job netlist=ghost.netlist\n").unwrap();
+        let failure = run(&s(&["batch", manifest.to_str().unwrap(), "--json"])).unwrap_err();
+        assert_eq!(failure.message, "1 of 1 job(s) failed");
+        assert!(failure.output.starts_with('{'), "{}", failure.output);
+        assert!(
+            failure.output.contains(r#""status":"failed""#),
+            "{}",
+            failure.output
+        );
+    }
+
+    #[test]
+    fn batch_rejects_unsupported_flags() {
+        let dir = tempdir("batch-flags");
+        let manifest = dir.join("batch.manifest");
+        std::fs::write(&manifest, "job library=\"Ignition Illuminator\"\n").unwrap();
+        let path = manifest.to_str().unwrap();
+        let err = run(&s(&["batch", path, "--no-verify"])).unwrap_err();
+        assert!(err.contains("--no-verify is not supported"), "{err}");
+        assert!(
+            err.contains("verify=false"),
+            "points at the manifest: {err}"
+        );
+        let err = run(&s(&["batch", path, "--inputs", "3"])).unwrap_err();
+        assert!(err.contains("--inputs/--outputs"), "{err}");
+    }
+
+    #[test]
+    fn batch_partitioner_flag_is_a_default_override() {
+        let dir = tempdir("batch-override");
+        let manifest = dir.join("batch.manifest");
+        std::fs::write(
+            &manifest,
+            "job library=\"Ignition Illuminator\"\n\
+             job library=\"Carpool Alert\" partitioner=aggregation\n",
+        )
+        .unwrap();
+        let out = run(&s(&[
+            "batch",
+            manifest.to_str().unwrap(),
+            "--partitioner",
+            "refine",
+        ]))
+        .unwrap();
+        assert!(out.contains("refine"), "{out}");
+        assert!(out.contains("aggregation"), "per-job choice wins: {out}");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`codegen`] | `eblocks-codegen` | syntax-tree merging and C emission |
 //! | [`synth`] | `eblocks-synth` | the staged synthesis [`Pipeline`](synth::Pipeline) |
 //! | [`designs`] | `eblocks-designs` | the 15 Table-1 library systems |
+//! | [`farm`] | `eblocks-farm` | parallel batch synthesis: manifests, worker pools, reports |
 //! | [`gen`] | `eblocks-gen` | the random design generator |
 //! | [`place`] | `eblocks-place` | deployment onto an existing physical node network (§6 future work) |
 //!
@@ -71,6 +72,7 @@ pub use eblocks_behavior as behavior;
 pub use eblocks_codegen as codegen;
 pub use eblocks_core as core;
 pub use eblocks_designs as designs;
+pub use eblocks_farm as farm;
 pub use eblocks_gen as gen;
 pub use eblocks_partition as partition;
 pub use eblocks_place as place;
