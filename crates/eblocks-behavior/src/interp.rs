@@ -36,12 +36,25 @@ impl Machine {
             program: program.clone(),
             state: HashMap::new(),
         };
-        for decl in &machine.program.states.clone() {
-            let v = eval(&decl.init, &machine.state, &[])
-                .expect("state initializers are literals or prior states; run check() first");
-            machine.state.insert(decl.name.clone(), v);
-        }
+        machine.reset();
         machine
+    }
+
+    /// Restores every state variable to its initializer — the machine's
+    /// power-on state — without re-cloning the program. Lets a simulation
+    /// harness reuse one machine arena across many runs (e.g. Monte-Carlo
+    /// reliability trials).
+    ///
+    /// # Panics
+    ///
+    /// As for [`Machine::new`].
+    pub fn reset(&mut self) {
+        self.state.clear();
+        for decl in &self.program.states {
+            let v = eval(&decl.init, &self.state, &[])
+                .expect("state initializers are literals or prior states; run check() first");
+            self.state.insert(decl.name.clone(), v);
+        }
     }
 
     /// Runs the `on input` handler with the given input-port values.
@@ -80,14 +93,13 @@ impl Machine {
         let Some(handler) = self.program.handler(kind) else {
             return Ok(Outputs::new());
         };
-        let body = handler.body.clone();
         let mut frame = Frame {
             state: &mut self.state,
             locals: HashMap::new(),
             outputs: Outputs::new(),
             inputs,
         };
-        for stmt in &body {
+        for stmt in &handler.body {
             frame.exec(stmt)?;
         }
         Ok(frame.outputs)
@@ -113,10 +125,12 @@ impl Frame<'_> {
                 let v = self.eval(e)?;
                 if let Some(port) = output_port(name) {
                     self.outputs.insert(port, v);
-                } else if self.locals.contains_key(name) {
-                    self.locals.insert(name.clone(), v);
+                } else if let Some(slot) = self.locals.get_mut(name) {
+                    *slot = v;
+                } else if let Some(slot) = self.state.get_mut(name) {
+                    *slot = v;
                 } else {
-                    // Assignment to an undeclared name creates/updates state;
+                    // Assignment to an undeclared name creates state;
                     // check() rejects programs that rely on this accidentally.
                     self.state.insert(name.clone(), v);
                 }

@@ -60,9 +60,12 @@ pub fn equivalence(
     let mut sample_times: Vec<Time> = stimulus
         .events()
         .iter()
-        .map(|&(t, _, _)| t + settle)
+        .map(|&(t, _, _)| t.saturating_add(settle))
         .collect();
-    let horizon = stimulus.end_time().unwrap_or(0) + 2 * settle;
+    let horizon = stimulus
+        .end_time()
+        .unwrap_or(0)
+        .saturating_add(settle.saturating_mul(2));
     sample_times.push(horizon);
     sample_times.sort_unstable();
     sample_times.dedup();

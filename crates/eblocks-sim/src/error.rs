@@ -42,6 +42,10 @@ pub enum SimError {
         /// The referenced name.
         name: String,
     },
+    /// The simulator's tick period is zero. Ticks would reschedule at the
+    /// same instant forever, so the run would never advance past its first
+    /// tick — rejected instead of hanging.
+    InvalidTickPeriod,
 }
 
 impl fmt::Display for SimError {
@@ -60,6 +64,12 @@ impl fmt::Display for SimError {
             }
             Self::UnknownSensor { name } => {
                 write!(f, "stimulus references unknown sensor `{name}`")
+            }
+            Self::InvalidTickPeriod => {
+                write!(
+                    f,
+                    "tick period must be at least one tick (zero would hang the run)"
+                )
             }
         }
     }
@@ -99,5 +109,6 @@ mod tests {
             error: EvalError::DivisionByZero,
         };
         assert!(e.to_string().contains("division"));
+        assert!(SimError::InvalidTickPeriod.to_string().contains("tick"));
     }
 }

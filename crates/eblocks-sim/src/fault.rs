@@ -23,9 +23,8 @@
 //! * [`Fault::DelayPackets`] — packets sent by the block inside the window
 //!   arrive `extra` ticks later than normal.
 
-use crate::sim::Time;
-use eblocks_core::{BlockId, Design};
-use std::collections::HashMap;
+use crate::sim::{BlockIndex, Time};
+use eblocks_core::Design;
 
 /// One injected failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,22 +99,25 @@ impl FaultPlan {
         self.faults.is_empty()
     }
 
-    /// Resolves block names against a design. Unknown names are ignored —
-    /// a plan written for the original network may mention blocks that the
-    /// synthesized network merged away.
-    pub(crate) fn resolve(&self, design: &Design) -> ResolvedFaults {
-        let mut stuck = HashMap::new();
-        let mut sender: HashMap<BlockId, Vec<SendFault>> = HashMap::new();
+    /// Resolves block names against a design's dense [`BlockIndex`].
+    /// Unknown names are ignored — a plan written for the original network
+    /// may mention blocks that the synthesized network merged away.
+    pub(crate) fn resolve(&self, design: &Design, index: &BlockIndex) -> ResolvedFaults {
+        let n = index.num_blocks();
+        let mut stuck = vec![None; n];
+        let mut sender: Vec<Vec<SendFault>> = vec![Vec::new(); n];
+        let dense_by_name =
+            |name: &str| design.block_by_name(name).and_then(|id| index.dense_of(id));
         for fault in &self.faults {
             match fault {
                 Fault::StuckAt { block, value } => {
-                    if let Some(id) = design.block_by_name(block) {
-                        stuck.insert(id, *value);
+                    if let Some(d) = dense_by_name(block) {
+                        stuck[d] = Some(*value);
                     }
                 }
                 Fault::DropPackets { block, from, to } => {
-                    if let Some(id) = design.block_by_name(block) {
-                        sender.entry(id).or_default().push(SendFault {
+                    if let Some(d) = dense_by_name(block) {
+                        sender[d].push(SendFault {
                             from: *from,
                             to: *to,
                             kind: SendFaultKind::Drop,
@@ -128,8 +130,8 @@ impl FaultPlan {
                     to,
                     extra,
                 } => {
-                    if let Some(id) = design.block_by_name(block) {
-                        sender.entry(id).or_default().push(SendFault {
+                    if let Some(d) = dense_by_name(block) {
+                        sender[d].push(SendFault {
                             from: *from,
                             to: *to,
                             kind: SendFaultKind::Delay(*extra),
@@ -163,28 +165,34 @@ pub(crate) struct SendFault {
     kind: SendFaultKind,
 }
 
-/// Name-resolved faults, consulted by the runner's hot paths.
+/// Name-resolved faults as dense per-block tables, consulted by the
+/// runner's hot paths without hashing. Indices are the runner's dense
+/// block indices (see `sim::BlockIndex`).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct ResolvedFaults {
-    stuck: HashMap<BlockId, bool>,
-    sender: HashMap<BlockId, Vec<SendFault>>,
+    stuck: Vec<Option<bool>>,
+    sender: Vec<Vec<SendFault>>,
 }
 
 impl ResolvedFaults {
-    /// The stuck value of `sensor`, if it has a stuck-at fault.
-    pub(crate) fn stuck_value(&self, sensor: BlockId) -> Option<bool> {
-        self.stuck.get(&sensor).copied()
+    /// The stuck value of the sensor at dense index `sensor`, if any.
+    pub(crate) fn stuck_value(&self, sensor: usize) -> Option<bool> {
+        self.stuck.get(sensor).copied().flatten()
     }
 
-    /// The fate of a packet sent by `block` at time `t`: `None` to drop it,
-    /// or `Some(extra_latency)`. Drop wins over delay when windows overlap.
-    pub(crate) fn send_fate(&self, block: BlockId, t: Time) -> Option<Time> {
-        let mut extra = 0;
-        for f in self.sender.get(&block).into_iter().flatten() {
+    /// The fate of a packet sent by the block at dense index `block` at
+    /// time `t`: `None` to drop it, or `Some(extra_latency)`. Drop wins
+    /// over delay when windows overlap.
+    pub(crate) fn send_fate(&self, block: usize, t: Time) -> Option<Time> {
+        let Some(faults) = self.sender.get(block) else {
+            return Some(0);
+        };
+        let mut extra: Time = 0;
+        for f in faults {
             if t >= f.from && t < f.to {
                 match f.kind {
                     SendFaultKind::Drop => return None,
-                    SendFaultKind::Delay(d) => extra += d,
+                    SendFaultKind::Delay(d) => extra = extra.saturating_add(d),
                 }
             }
         }

@@ -14,7 +14,7 @@
 //! seed.
 
 use crate::fault::{Fault, FaultPlan};
-use crate::sim::{Simulator, Time};
+use crate::sim::{Runner, Simulator, Time};
 use crate::stimulus::Stimulus;
 use crate::trace::Trace;
 use crate::SimError;
@@ -105,8 +105,13 @@ pub fn reliability(
     until: Time,
     config: &ReliabilityConfig,
 ) -> Result<ReliabilityReport, SimError> {
-    let healthy = sim.run(stimulus, until)?;
-    let baseline = settled(&healthy);
+    // One runner arena for the whole sweep: every trial resets it in place
+    // instead of recompiling machines and reallocating queues per run; the
+    // stimulus is resolved and sorted once and re-woven on each reset.
+    let mut runner = Runner::new(sim, &FaultPlan::new())?;
+    runner.load_stimulus(stimulus)?;
+    runner.run(until)?;
+    let baseline = settled(runner.trace());
 
     let design = sim.design();
     let sensors: Vec<String> = design
@@ -145,8 +150,9 @@ pub fn reliability(
         if plan.is_empty() {
             fault_free += 1;
         }
-        let faulty = sim.run_with_faults(stimulus, until, &plan)?;
-        let outcome = settled(&faulty);
+        runner.reset(&plan);
+        runner.run(until)?;
+        let outcome = settled(runner.trace());
         for (i, (name, value)) in baseline.iter().enumerate() {
             let same = outcome
                 .iter()

@@ -23,6 +23,52 @@
 //! block (trip, toggle) could observe hazard pulses that depend on wire
 //! lengths — behavior no merged program can reproduce and that the physical
 //! human-scale system does not exhibit.
+//!
+//! # Event-ordering contract
+//!
+//! Every event is totally ordered by the conceptual key
+//! `(time, stage, rank, sub, seq)`:
+//!
+//! * **time** — the simulation instant,
+//! * **stage** — sensor changes (stage 0) apply before any block
+//!   evaluation (stage 1) of the same instant; stage-0 entries tie-break
+//!   on the sensor's block id,
+//! * **rank** — the receiving block's topological rank, which makes the
+//!   zero-latency cascade converge in a single sweep per instant,
+//! * **sub** — within one block, its periodic `tick` (sub 0) runs before
+//!   its packet deliveries (sub 1+port),
+//! * **seq** — a monotone push counter keeps everything else FIFO; in
+//!   particular, two packets on the same wire arrive in send order.
+//!
+//! At time zero every sensor announces its initial `false` before any
+//! scripted t=0 stimulus value is applied (power-on announcement). The
+//! golden-trace suite in `tests/event_ordering.rs` pins this contract.
+//!
+//! # Queue design
+//!
+//! The pending-event set is a two-level calendar rather than a global
+//! binary heap (calendar queues amortize O(1) for exactly this regime of
+//! many same-instant, short-horizon events):
+//!
+//! * **Level 1 — time.** Sensor events are fully known before the run
+//!   starts and live in one sorted schedule walked by a cursor. Future
+//!   block events (ticks, latent packets) go into a 64-slot timing wheel
+//!   of 1-tick buckets; events beyond the wheel's horizon overflow into a
+//!   `BTreeMap` keyed by instant. The next instant is the minimum of the
+//!   sense cursor, a bounded wheel scan, and the overflow's first key.
+//! * **Level 2 — one instant.** Opening an instant drains its bucket in
+//!   send (`seq`) order, latching packet values straight into each
+//!   receiver's dense input array and marking the receiver's rank pending.
+//!   The instant is then settled by sweeping pending ranks in ascending
+//!   order (a min-heap of ranks); zero-latency transmissions latch and
+//!   mark strictly higher ranks, so the sweep visits every block at most
+//!   once per instant and same-instant coalescing is a natural consequence
+//!   of the latch-then-sweep split — not repeated heap peek/pop.
+//!
+//! All per-block state (machines, latched inputs, last-sent values,
+//! transmission counters) is stored in flat `Vec`s indexed by a compact
+//! block index computed once from topological order, so the hot path does
+//! no hashing and no per-event allocation.
 
 use crate::error::SimError;
 use crate::fault::{FaultPlan, ResolvedFaults};
@@ -31,22 +77,12 @@ use crate::trace::Trace;
 use eblocks_behavior::{check, library, parse, Machine, Program, Value};
 use eblocks_core::{BlockId, BlockKind, Design};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 /// Simulation time, in abstract ticks. One tick is the period of `on tick`
 /// events; eBlocks operate on human-scale timing, so finer resolution adds
 /// nothing (§3.1).
 pub type Time = u64;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Event {
-    /// A sensor changes value (from the stimulus script).
-    Sense { sensor: BlockId, value: bool },
-    /// A packet arrives at an input port.
-    Deliver { to: BlockId, port: u8, value: bool },
-    /// A periodic tick for a time-driven block.
-    Tick { block: BlockId },
-}
 
 /// A configured simulator for one design.
 ///
@@ -60,7 +96,9 @@ pub struct Simulator {
     programs: HashMap<BlockId, Program>,
     /// Extra latency of communication blocks (radio/X10 hop), in ticks.
     pub comm_latency: Time,
-    /// Period of `on tick` events.
+    /// Period of `on tick` events. Must be at least 1: a zero period would
+    /// reschedule ticks at the same instant forever, so [`Simulator::run`]
+    /// rejects it with [`SimError::InvalidTickPeriod`].
     pub tick_period: Time,
 }
 
@@ -131,9 +169,10 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// [`SimError::UnknownSensor`] for unresolvable stimulus entries,
-    /// [`SimError::Eval`] / [`SimError::NonBooleanPacket`] for faulting
-    /// behavior programs.
+    /// [`SimError::InvalidTickPeriod`] if [`tick_period`](Self::tick_period)
+    /// is zero, [`SimError::UnknownSensor`] for unresolvable stimulus
+    /// entries, [`SimError::Eval`] / [`SimError::NonBooleanPacket`] for
+    /// faulting behavior programs.
     pub fn run(&self, stimulus: &Stimulus, until: Time) -> Result<Trace, SimError> {
         self.run_with_faults(stimulus, until, &FaultPlan::new())
     }
@@ -155,284 +194,690 @@ impl Simulator {
         until: Time,
         plan: &FaultPlan,
     ) -> Result<Trace, SimError> {
-        let mut runner = Runner::new(self, plan.resolve(&self.design))?;
+        let mut runner = Runner::new(self, plan)?;
         runner.load_stimulus(stimulus)?;
         runner.run(until)?;
-        Ok(runner.trace)
+        Ok(runner.into_trace())
     }
 }
 
-/// Heap key: `(time, stage, topo rank, sub, seq)`. Stage orders sensor
-/// changes before block evaluations; topological rank makes the zero-latency
-/// cascade converge in a single sweep per instant; `sub` puts a block's tick
-/// before its deliveries; `seq` keeps the remainder FIFO.
-type Key = (Time, u8, usize, u8, u64);
+/// Compact block indexing: dense index == topological rank.
+///
+/// Computed once per [`Runner`]; every per-block table in the engine is a
+/// flat `Vec` indexed by it, and the stage-1 sweep order *is* the index
+/// order.
+pub(crate) struct BlockIndex {
+    /// Dense index (topo rank) → block id.
+    ids: Vec<BlockId>,
+    /// Raw graph index → dense index (`usize::MAX` marks gaps).
+    dense_of_raw: Vec<usize>,
+}
 
-struct Runner<'a> {
-    sim: &'a Simulator,
-    rank: HashMap<BlockId, usize>,
-    machines: HashMap<BlockId, Machine>,
-    inputs: HashMap<BlockId, Vec<Value>>,
-    last_sent: HashMap<BlockId, Vec<Option<bool>>>,
-    sensor_values: HashMap<BlockId, bool>,
-    queue: BinaryHeap<Reverse<(Key, Event)>>,
+impl BlockIndex {
+    fn new(design: &Design) -> Self {
+        let ids = design.topo_order();
+        let max_raw = ids.iter().map(|b| b.index()).max().map_or(0, |m| m + 1);
+        let mut dense_of_raw = vec![usize::MAX; max_raw];
+        for (dense, id) in ids.iter().enumerate() {
+            dense_of_raw[id.index()] = dense;
+        }
+        Self { ids, dense_of_raw }
+    }
+
+    pub(crate) fn num_blocks(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The dense index of `id`, or `None` if the block is not in the design.
+    pub(crate) fn dense_of(&self, id: BlockId) -> Option<usize> {
+        self.dense_of_raw
+            .get(id.index())
+            .copied()
+            .filter(|&d| d != usize::MAX)
+    }
+}
+
+/// Number of 1-tick buckets in the timing wheel. Power of two; comfortably
+/// covers the default comm latency (3) and tick period (1), so overflow is
+/// only touched by long delay faults or coarse tick periods.
+const WHEEL_SLOTS: usize = 64;
+
+/// A future event scheduled on the calendar (stage-1 only: sensor changes
+/// live in the pre-sorted sense schedule instead).
+#[derive(Debug, Clone, Copy)]
+enum Queued {
+    /// A periodic tick for a time-driven block.
+    Tick { seq: u64, block: usize },
+    /// A packet arriving at an input port.
+    Deliver {
+        seq: u64,
+        to: usize,
+        port: u8,
+        value: bool,
+    },
+}
+
+impl Queued {
+    fn seq(self) -> u64 {
+        match self {
+            Queued::Tick { seq, .. } | Queued::Deliver { seq, .. } => seq,
+        }
+    }
+}
+
+/// Level 1 of the queue: a timing wheel of 1-tick buckets plus a sorted
+/// overflow for events beyond the wheel's horizon.
+///
+/// Invariant: every wheel entry's instant `t` satisfies `cur < t < cur + W`
+/// (events are only inserted with `t - cur < W`, and `cur` never decreases),
+/// so a slot can never hold two different instants at once and draining a
+/// slot needs no epoch check.
+#[derive(Debug)]
+struct Calendar {
+    wheel: Vec<Vec<Queued>>,
+    wheel_count: usize,
+    overflow: BTreeMap<Time, Vec<Queued>>,
+    cur: Time,
+}
+
+impl Calendar {
+    fn new() -> Self {
+        Self {
+            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            wheel_count: 0,
+            overflow: BTreeMap::new(),
+            cur: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        for slot in &mut self.wheel {
+            slot.clear();
+        }
+        self.wheel_count = 0;
+        self.overflow.clear();
+        self.cur = 0;
+    }
+
+    fn schedule(&mut self, t: Time, ev: Queued) {
+        debug_assert!(t > self.cur, "calendar events are strictly future");
+        if t - self.cur < WHEEL_SLOTS as Time {
+            self.wheel[(t as usize) & (WHEEL_SLOTS - 1)].push(ev);
+            self.wheel_count += 1;
+        } else {
+            self.overflow.entry(t).or_default().push(ev);
+        }
+    }
+
+    /// The earliest scheduled instant, if any.
+    fn next_time(&self) -> Option<Time> {
+        let mut best: Option<Time> = None;
+        if self.wheel_count > 0 {
+            for off in 1..WHEEL_SLOTS as Time {
+                let Some(t) = self.cur.checked_add(off) else {
+                    break;
+                };
+                if !self.wheel[(t as usize) & (WHEEL_SLOTS - 1)].is_empty() {
+                    best = Some(t);
+                    break;
+                }
+            }
+        }
+        match (best, self.overflow.keys().next().copied()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Advances the clock to `t` and drains every event scheduled there
+    /// (wheel slot and overflow bucket) into `out`.
+    fn advance(&mut self, t: Time, out: &mut Vec<Queued>) {
+        debug_assert!(t >= self.cur);
+        self.cur = t;
+        let slot = &mut self.wheel[(t as usize) & (WHEEL_SLOTS - 1)];
+        self.wheel_count -= slot.len();
+        out.append(slot);
+        if let Some(late) = self.overflow.remove(&t) {
+            out.extend(late);
+        }
+    }
+}
+
+/// A sensor change, fully known before the run starts (power-on
+/// announcements plus the stimulus script).
+#[derive(Debug, Clone, Copy)]
+struct SenseEv {
+    t: Time,
+    /// Raw block index — the stage-0 tie-break (before `seq`).
+    raw: usize,
     seq: u64,
+    dense: usize,
+    value: bool,
+}
+
+/// Static per-block layout, computed once per runner.
+#[derive(Debug, Clone, Copy)]
+struct BlockMeta {
+    /// Start of this block's latched inputs in the flat `inputs` array.
+    in_offset: usize,
+    /// Number of input ports.
+    in_len: usize,
+    /// Start of this block's output slots in `last_sent` / `sinks`.
+    out_offset: usize,
+    /// Whether this is a primary-output block (records packets, never
+    /// evaluates).
+    is_output: bool,
+    /// Base transmission latency (`comm_latency` for communication blocks).
+    latency: Time,
+}
+
+/// One wire endpoint, pre-resolved to dense indices.
+#[derive(Debug, Clone, Copy)]
+struct Sink {
+    to: usize,
+    port: u8,
+}
+
+/// The reusable simulation engine for one [`Simulator`].
+///
+/// Construction builds every static table (index, port layout, sink lists,
+/// compiled machines); [`reset`](Runner::reset) rewinds to power-on state
+/// without reallocating, so Monte-Carlo harnesses can run many trials on
+/// one arena. Contract per trial: `reset` → `load_stimulus` → `run` once →
+/// read [`trace`](Runner::trace).
+pub(crate) struct Runner<'a> {
+    sim: &'a Simulator,
+    index: BlockIndex,
+    names: Vec<&'a str>,
+    meta: Vec<BlockMeta>,
+    /// Sink lists, indexed by output slot (`meta.out_offset + port`).
+    sinks: Vec<Vec<Sink>>,
+    machines: Vec<Option<Machine>>,
+    /// Dense indices of tick-driven blocks, in block-id order.
+    tick_blocks: Vec<usize>,
+    /// `(dense, raw)` of every sensor, in raw-id order (power-on order).
+    sensors: Vec<(usize, usize)>,
+    output_names: Vec<String>,
+    total_inputs: usize,
+    /// The resolved stimulus script, sorted by `(t, raw, insertion order)`
+    /// with `seq` holding the insertion order. Cached so `reset` can
+    /// re-weave it into the schedule without re-resolving names or
+    /// re-sorting (Monte-Carlo sweeps run the same script every trial).
+    stim_cache: Vec<SenseEv>,
+    /// First seq available to stimulus entries (power-on announcements and
+    /// initial ticks come first); fixed by `reset`.
+    stim_seq_base: u64,
+    // --- per-run state, rewound by `reset` ---
     faults: ResolvedFaults,
+    inputs: Vec<Value>,
+    last_sent: Vec<Option<bool>>,
+    sensor_values: Vec<bool>,
+    tx_counts: Vec<u64>,
+    sense_schedule: Vec<SenseEv>,
+    sense_cursor: usize,
+    calendar: Calendar,
+    /// Scratch for draining one instant's calendar bucket.
+    drain: Vec<Queued>,
+    /// Ranks with pending work in the instant being settled.
+    pending: BinaryHeap<Reverse<usize>>,
+    in_sweep: Vec<bool>,
+    tick_now: Vec<bool>,
+    eval_now: Vec<bool>,
+    /// Per output block: packets received this instant, `(port, seq, value)`.
+    out_now: Vec<Vec<(u8, u64, bool)>>,
+    seq: u64,
     trace: Trace,
 }
 
 impl<'a> Runner<'a> {
-    fn new(sim: &'a Simulator, faults: ResolvedFaults) -> Result<Self, SimError> {
-        let design = &sim.design;
-        let rank: HashMap<BlockId, usize> = design
-            .topo_order()
-            .into_iter()
-            .enumerate()
-            .map(|(i, b)| (b, i))
-            .collect();
-        let machines: HashMap<BlockId, Machine> = sim
-            .programs
-            .iter()
-            .map(|(&id, p)| (id, Machine::new(p)))
-            .collect();
-        let mut inputs = HashMap::new();
-        let mut last_sent = HashMap::new();
-        for id in design.blocks() {
-            let b = design.block(id).expect("iterated block");
-            inputs.insert(id, vec![Value::Bool(false); b.num_inputs() as usize]);
-            last_sent.insert(id, vec![None; b.num_outputs() as usize]);
+    /// Builds the engine's static tables and resets to power-on state with
+    /// `plan`'s faults applied.
+    pub(crate) fn new(sim: &'a Simulator, plan: &FaultPlan) -> Result<Self, SimError> {
+        if sim.tick_period == 0 {
+            return Err(SimError::InvalidTickPeriod);
         }
-        let trace = Trace::with_outputs(
-            design
-                .outputs()
-                .map(|o| design.block(o).expect("output block").name().to_string()),
-        );
+        let design = &sim.design;
+        let index = BlockIndex::new(design);
+        let n = index.num_blocks();
+
+        let mut names = Vec::with_capacity(n);
+        let mut meta = Vec::with_capacity(n);
+        let mut machines = Vec::with_capacity(n);
+        let mut sinks: Vec<Vec<Sink>> = Vec::new();
+        let mut total_inputs = 0usize;
+        for &id in &index.ids {
+            let block = design.block(id).expect("indexed block");
+            meta.push(BlockMeta {
+                in_offset: total_inputs,
+                in_len: block.num_inputs() as usize,
+                out_offset: sinks.len(),
+                is_output: matches!(block.kind(), BlockKind::Output(_)),
+                latency: match block.kind() {
+                    BlockKind::Comm(_) => sim.comm_latency,
+                    _ => 0,
+                },
+            });
+            total_inputs += block.num_inputs() as usize;
+            for port in 0..block.num_outputs() {
+                sinks.push(
+                    design
+                        .sinks_of(id, port)
+                        .map(|w| Sink {
+                            to: index.dense_of(w.to).expect("sink block is in the design"),
+                            port: w.to_port,
+                        })
+                        .collect(),
+                );
+            }
+            names.push(block.name());
+            machines.push(sim.programs.get(&id).map(Machine::new));
+        }
+
+        let mut tick_ids: Vec<BlockId> = design
+            .blocks()
+            .filter(|id| sim.programs.get(id).is_some_and(Program::uses_tick))
+            .collect();
+        tick_ids.sort();
+        let tick_blocks = tick_ids
+            .into_iter()
+            .map(|id| index.dense_of(id).expect("tick block is in the design"))
+            .collect();
+
+        let sensors = design
+            .sensors()
+            .map(|id| {
+                (
+                    index.dense_of(id).expect("sensor is in the design"),
+                    id.index(),
+                )
+            })
+            .collect();
+        let output_names = design
+            .outputs()
+            .map(|o| design.block(o).expect("output block").name().to_string())
+            .collect();
+
+        let num_slots = sinks.len();
         let mut runner = Self {
             sim,
-            rank,
+            index,
+            names,
+            meta,
+            sinks,
             machines,
-            inputs,
-            last_sent,
-            sensor_values: design.sensors().map(|s| (s, false)).collect(),
-            queue: BinaryHeap::new(),
+            tick_blocks,
+            sensors,
+            output_names,
+            total_inputs,
+            stim_cache: Vec::new(),
+            stim_seq_base: 0,
+            faults: ResolvedFaults::default(),
+            inputs: Vec::with_capacity(total_inputs),
+            last_sent: Vec::with_capacity(num_slots),
+            sensor_values: Vec::with_capacity(n),
+            tx_counts: Vec::with_capacity(n),
+            sense_schedule: Vec::new(),
+            sense_cursor: 0,
+            calendar: Calendar::new(),
+            drain: Vec::new(),
+            pending: BinaryHeap::new(),
+            in_sweep: Vec::with_capacity(n),
+            tick_now: Vec::with_capacity(n),
+            eval_now: Vec::with_capacity(n),
+            out_now: vec![Vec::new(); n],
             seq: 0,
-            faults,
-            trace,
+            trace: Trace::default(),
         };
-        // Power-on: sensors announce their initial low value.
-        for s in design.sensors() {
-            runner.push(
-                0,
-                Event::Sense {
-                    sensor: s,
-                    value: false,
-                },
-            );
-        }
-        // First tick for time-driven blocks, in id order (determinism).
-        let mut tick_blocks: Vec<BlockId> = runner
-            .machines
-            .iter()
-            .filter(|(_, m)| m.uses_tick())
-            .map(|(&id, _)| id)
-            .collect();
-        tick_blocks.sort();
-        for id in tick_blocks {
-            runner.push(sim.tick_period, Event::Tick { block: id });
-        }
+        runner.reset(plan);
         Ok(runner)
     }
 
-    fn key(&mut self, t: Time, e: &Event) -> Key {
-        let seq = self.seq;
-        self.seq += 1;
-        match e {
-            Event::Sense { sensor, .. } => (t, 0, sensor.index(), 0, seq),
-            Event::Tick { block } => (t, 1, self.rank[block], 0, seq),
-            Event::Deliver { to, port, .. } => (t, 1, self.rank[to], 1 + port, seq),
+    /// Rewinds to power-on state with `plan`'s faults applied, keeping
+    /// every allocation (tables, machine arenas, queue buckets) and the
+    /// loaded stimulus — a previously [`load_stimulus`](Runner::load_stimulus)ed
+    /// script is re-applied without re-resolving it.
+    pub(crate) fn reset(&mut self, plan: &FaultPlan) {
+        let n = self.index.num_blocks();
+        self.faults = plan.resolve(&self.sim.design, &self.index);
+        self.inputs.clear();
+        self.inputs.resize(self.total_inputs, Value::Bool(false));
+        self.last_sent.clear();
+        self.last_sent.resize(self.sinks.len(), None);
+        self.sensor_values.clear();
+        self.sensor_values.resize(n, false);
+        self.tx_counts.clear();
+        self.tx_counts.resize(n, 0);
+        for machine in self.machines.iter_mut().flatten() {
+            machine.reset();
         }
+        self.sense_schedule.clear();
+        self.sense_cursor = 0;
+        self.calendar.reset();
+        self.drain.clear();
+        self.pending.clear();
+        self.in_sweep.clear();
+        self.in_sweep.resize(n, false);
+        self.tick_now.clear();
+        self.tick_now.resize(n, false);
+        self.eval_now.clear();
+        self.eval_now.resize(n, false);
+        for slot in &mut self.out_now {
+            slot.clear();
+        }
+        self.seq = 0;
+        self.trace = Trace::with_outputs(self.output_names.iter().cloned());
+
+        // Power-on announcements take seqs 0..sensors (they are generated
+        // inside `weave_stimulus`); the first tick of each time-driven
+        // block comes next, in id order (determinism).
+        self.seq = self.sensors.len() as u64;
+        for &block in &self.tick_blocks {
+            let seq = self.seq;
+            self.seq += 1;
+            self.calendar
+                .schedule(self.sim.tick_period, Queued::Tick { seq, block });
+        }
+        self.stim_seq_base = self.seq;
+        self.weave_stimulus();
     }
 
-    fn push(&mut self, t: Time, e: Event) {
-        let key = self.key(t, &e);
-        self.queue.push(Reverse((key, e)));
-    }
-
-    fn load_stimulus(&mut self, stimulus: &Stimulus) -> Result<(), SimError> {
-        for (t, name, value) in stimulus.events() {
-            let id = self
-                .sim
-                .design
-                .block_by_name(&name)
+    /// Resolves, sorts, and schedules the stimulus script, replacing any
+    /// previously loaded one. Resolution and the sort happen once, here;
+    /// later [`reset`](Runner::reset)s reuse the cached result.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSensor`] for entries that name no primary input.
+    pub(crate) fn load_stimulus(&mut self, stimulus: &Stimulus) -> Result<(), SimError> {
+        let design = &self.sim.design;
+        self.stim_cache.clear();
+        for (ord, (t, name, value)) in stimulus.events().iter().enumerate() {
+            let id = design
+                .block_by_name(name)
                 .filter(|&b| {
-                    self.sim
-                        .design
+                    design
                         .block(b)
                         .is_some_and(|blk| blk.kind().is_primary_input())
                 })
                 .ok_or_else(|| SimError::UnknownSensor { name: name.clone() })?;
-            self.push(t, Event::Sense { sensor: id, value });
+            self.stim_cache.push(SenseEv {
+                t: *t,
+                raw: id.index(),
+                seq: ord as u64,
+                dense: self.index.dense_of(id).expect("resolved block"),
+                value: *value,
+            });
         }
+        self.stim_cache
+            .sort_unstable_by_key(|e| (e.t, e.raw, e.seq));
+        self.weave_stimulus();
         Ok(())
     }
 
-    fn run(&mut self, until: Time) -> Result<(), SimError> {
-        while let Some(&Reverse(((t, ..), event))) = self.queue.peek() {
+    /// Rebuilds the sense schedule: the power-on announcements (every
+    /// sensor goes low at t=0, in raw-id order, seqs 0..sensors) merged
+    /// with the cached stimulus (seqs `stim_seq_base` + insertion order).
+    /// This reproduces the old per-event heap keys exactly — the schedule
+    /// is ordered by `(t, raw, seq)`, and a power-on entry wins a
+    /// `(t, raw)` tie against a scripted t=0 value by its lower seq.
+    fn weave_stimulus(&mut self) {
+        self.sense_cursor = 0;
+        self.seq = self.stim_seq_base + self.stim_cache.len() as u64;
+        self.sense_schedule.clear();
+        let power_on = |k: usize, &(dense, raw): &(usize, usize)| SenseEv {
+            t: 0,
+            raw,
+            seq: k as u64,
+            dense,
+            value: false,
+        };
+        let (mut i, mut j) = (0, 0);
+        while i < self.sensors.len() && j < self.stim_cache.len() {
+            let p = power_on(i, &self.sensors[i]);
+            let s = self.stim_cache[j];
+            if (p.t, p.raw) <= (s.t, s.raw) {
+                self.sense_schedule.push(p);
+                i += 1;
+            } else {
+                self.sense_schedule.push(SenseEv {
+                    seq: self.stim_seq_base + s.seq,
+                    ..s
+                });
+                j += 1;
+            }
+        }
+        while i < self.sensors.len() {
+            self.sense_schedule.push(power_on(i, &self.sensors[i]));
+            i += 1;
+        }
+        for s in &self.stim_cache[j..] {
+            self.sense_schedule.push(SenseEv {
+                seq: self.stim_seq_base + s.seq,
+                ..*s
+            });
+        }
+    }
+
+    /// Runs until `until` (inclusive) and folds the transmission counters
+    /// into the trace.
+    pub(crate) fn run(&mut self, until: Time) -> Result<(), SimError> {
+        loop {
+            let next_sense = self.sense_schedule.get(self.sense_cursor).map(|e| e.t);
+            let t = match (next_sense, self.calendar.next_time()) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
             if t > until {
                 break;
             }
-            self.queue.pop();
-            match event {
-                Event::Sense { sensor, value } => {
-                    // A stuck sensor reports its stuck value regardless of
-                    // what the environment does.
-                    let value = self.faults.stuck_value(sensor).unwrap_or(value);
-                    let entry = self.sensor_values.get_mut(&sensor).expect("known sensor");
-                    let is_initial = self.last_sent[&sensor][0].is_none();
-                    if *entry != value || is_initial {
-                        *entry = value;
-                        self.transmit(sensor, 0, value, t)?;
-                    }
-                }
-                Event::Deliver { to, port, value } => {
-                    self.deliver(to, port, value, t)?;
-                }
-                Event::Tick { block } => {
-                    let outs = self
-                        .machines
-                        .get_mut(&block)
-                        .expect("ticked blocks have machines")
-                        .on_tick()
-                        .map_err(|error| self.eval_error(block, error))?;
-                    self.emit(block, outs, t)?;
-                    if t + self.sim.tick_period <= until {
-                        self.push(t + self.sim.tick_period, Event::Tick { block });
-                    }
-                }
+            self.process_instant(t, until)?;
+        }
+        for (name, &count) in self.names.iter().zip(&self.tx_counts) {
+            if count > 0 {
+                self.trace.count_transmissions(name, count);
             }
         }
         Ok(())
     }
 
-    /// Handles a delivery, coalescing every other packet bound for the same
-    /// block at the same instant into a single evaluation.
-    fn deliver(&mut self, to: BlockId, port: u8, value: bool, t: Time) -> Result<(), SimError> {
-        let design = &self.sim.design;
-        let block = design.block(to).expect("delivery target");
-        if matches!(block.kind(), BlockKind::Output(_)) {
-            self.trace.record(block.name(), t, value);
-            return Ok(());
-        }
-
-        {
-            let latched = self.inputs.get_mut(&to).expect("known block");
-            latched[port as usize] = Value::Bool(value);
-        }
-        // Coalesce: drain queued same-instant deliveries to this block.
-        while let Some(&Reverse(((qt, stage, _, _, _), qe))) = self.queue.peek() {
-            let Event::Deliver {
-                to: qto,
-                port: qport,
-                value: qvalue,
-            } = qe
-            else {
-                break;
-            };
-            if qt != t || stage != 1 || qto != to {
-                break;
-            }
-            self.queue.pop();
-            self.inputs.get_mut(&to).expect("known block")[qport as usize] = Value::Bool(qvalue);
-        }
-
-        let outs = self
-            .machines
-            .get_mut(&to)
-            .expect("non-output blocks have machines")
-            .on_input(&self.inputs[&to])
-            .map_err(|error| self.eval_error(to, error))?;
-        self.emit(to, outs, t)
+    /// The trace recorded by the last [`run`](Runner::run).
+    pub(crate) fn trace(&self) -> &Trace {
+        &self.trace
     }
 
-    fn eval_error(&self, block: BlockId, error: eblocks_behavior::EvalError) -> SimError {
+    fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Settles one instant: open its calendar bucket, apply its sensor
+    /// changes, then sweep pending ranks in topological order.
+    fn process_instant(&mut self, t: Time, until: Time) -> Result<(), SimError> {
+        // Open the instant's bucket. Arrivals are applied in send (`seq`)
+        // order so that a packet sent earlier on the same wire latches
+        // first — every packet generated *during* this instant necessarily
+        // carries a higher seq, so latching arrivals up front preserves
+        // the global FIFO contract.
+        let mut drain = std::mem::take(&mut self.drain);
+        self.calendar.advance(t, &mut drain);
+        drain.sort_unstable_by_key(|ev| ev.seq());
+        for &ev in &drain {
+            match ev {
+                Queued::Tick { block, .. } => {
+                    self.tick_now[block] = true;
+                    self.mark_pending(block);
+                }
+                Queued::Deliver {
+                    seq,
+                    to,
+                    port,
+                    value,
+                } => self.latch(to, port, value, seq),
+            }
+        }
+        drain.clear();
+        self.drain = drain;
+
+        // Stage 0: sensor changes, ordered by (block id, push order).
+        while let Some(&ev) = self.sense_schedule.get(self.sense_cursor) {
+            if ev.t != t {
+                break;
+            }
+            self.sense_cursor += 1;
+            // A stuck sensor reports its stuck value regardless of what
+            // the environment does.
+            let value = self.faults.stuck_value(ev.dense).unwrap_or(ev.value);
+            let announced = self.last_sent[self.meta[ev.dense].out_offset].is_some();
+            if self.sensor_values[ev.dense] != value || !announced {
+                self.sensor_values[ev.dense] = value;
+                self.transmit(ev.dense, 0, value, t);
+            }
+        }
+
+        // Stage 1: sweep pending ranks in ascending order. Zero-latency
+        // transmissions only ever mark strictly higher ranks (wires point
+        // downstream in the DAG), so each block settles at most once.
+        while let Some(Reverse(block)) = self.pending.pop() {
+            self.in_sweep[block] = false;
+            if self.tick_now[block] {
+                self.tick_now[block] = false;
+                let outs = self.machines[block]
+                    .as_mut()
+                    .expect("ticked blocks have machines")
+                    .on_tick()
+                    .map_err(|error| self.eval_error(block, error))?;
+                self.emit(block, outs, t)?;
+                // Reschedule; a period that would overflow Time never fires
+                // again (instead of panicking near Time::MAX).
+                if let Some(next) = t.checked_add(self.sim.tick_period) {
+                    if next <= until {
+                        let seq = self.seq;
+                        self.seq += 1;
+                        self.calendar.schedule(next, Queued::Tick { seq, block });
+                    }
+                }
+            }
+            if self.meta[block].is_output {
+                let mut records = std::mem::take(&mut self.out_now[block]);
+                records.sort_unstable_by_key(|&(port, seq, _)| (port, seq));
+                for &(_, _, value) in &records {
+                    self.trace.record(self.names[block], t, value);
+                }
+                records.clear();
+                self.out_now[block] = records;
+            } else if self.eval_now[block] {
+                self.eval_now[block] = false;
+                let m = self.meta[block];
+                let outs = self.machines[block]
+                    .as_mut()
+                    .expect("non-output blocks have machines")
+                    .on_input(&self.inputs[m.in_offset..m.in_offset + m.in_len])
+                    .map_err(|error| self.eval_error(block, error))?;
+                self.emit(block, outs, t)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one arriving packet: latch the value (or queue it for
+    /// recording, for output blocks) and mark the receiver pending.
+    fn latch(&mut self, to: usize, port: u8, value: bool, seq: u64) {
+        let m = self.meta[to];
+        if m.is_output {
+            self.out_now[to].push((port, seq, value));
+        } else {
+            self.inputs[m.in_offset + port as usize] = Value::Bool(value);
+            self.eval_now[to] = true;
+        }
+        self.mark_pending(to);
+    }
+
+    fn mark_pending(&mut self, block: usize) {
+        if !self.in_sweep[block] {
+            self.in_sweep[block] = true;
+            self.pending.push(Reverse(block));
+        }
+    }
+
+    fn eval_error(&self, block: usize, error: eblocks_behavior::EvalError) -> SimError {
         SimError::Eval {
-            block: self
-                .sim
-                .design
-                .block(block)
-                .expect("faulting block")
-                .name()
-                .to_string(),
+            block: self.names[block].to_string(),
             error,
         }
     }
 
-    /// Sends the handler's written outputs, applying change detection.
-    fn emit(&mut self, from: BlockId, outs: HashMap<u8, Value>, t: Time) -> Result<(), SimError> {
-        // Deterministic port order.
-        let mut ports: Vec<(u8, Value)> = outs.into_iter().collect();
-        ports.sort_by_key(|&(p, _)| p);
-        for (port, value) in ports {
-            let Value::Bool(b) = value else {
+    /// Sends the handler's written outputs, applying change detection, in
+    /// deterministic port order. Output maps are tiny, so a min-scan per
+    /// port beats building a sorted vector.
+    fn emit(&mut self, from: usize, outs: HashMap<u8, Value>, t: Time) -> Result<(), SimError> {
+        let mut last: i32 = -1;
+        loop {
+            let mut best: Option<(u8, Value)> = None;
+            for (&port, &value) in &outs {
+                if i32::from(port) > last && best.is_none_or(|(b, _)| port < b) {
+                    best = Some((port, value));
+                }
+            }
+            let Some((port, value)) = best else {
+                return Ok(());
+            };
+            last = i32::from(port);
+            let Value::Bool(bit) = value else {
                 return Err(SimError::NonBooleanPacket {
-                    block: self
-                        .sim
-                        .design
-                        .block(from)
-                        .expect("emitting block")
-                        .name()
-                        .to_string(),
+                    block: self.names[from].to_string(),
                     port,
                 });
             };
-            self.transmit(from, port, b, t)?;
+            self.transmit(from, port, bit, t);
         }
-        Ok(())
     }
 
     /// Transmits `value` on `(from, port)` if it differs from the last
     /// transmitted value (or nothing was ever sent). Wires are instant;
     /// communication blocks add `comm_latency`.
-    fn transmit(&mut self, from: BlockId, port: u8, value: bool, t: Time) -> Result<(), SimError> {
-        let slot = &mut self.last_sent.get_mut(&from).expect("known block")[port as usize];
-        if *slot == Some(value) {
-            return Ok(());
+    fn transmit(&mut self, from: usize, port: u8, value: bool, t: Time) {
+        let m = self.meta[from];
+        let slot = m.out_offset + port as usize;
+        if self.last_sent[slot] == Some(value) {
+            return;
         }
-        *slot = Some(value);
-        let wires: Vec<_> = self.sim.design.sinks_of(from, port).collect();
+        self.last_sent[slot] = Some(value);
         // Energy accounting: the sender spends a transmission per driven
         // wire whether or not a fault loses the packet in flight.
-        let sender_name = self
-            .sim
-            .design
-            .block(from)
-            .expect("sender")
-            .name()
-            .to_string();
-        self.trace
-            .count_transmissions(&sender_name, wires.len() as u64);
+        self.tx_counts[from] += self.sinks[slot].len() as u64;
         // Injected sender faults: the packet counts as sent (no ack in the
         // eBlocks protocol, so change detection above stands) but may be
         // lost or late in flight.
         let Some(extra) = self.faults.send_fate(from, t) else {
-            return Ok(());
+            return;
         };
-        let latency = extra
-            + match self.sim.design.block(from).expect("sender").kind() {
-                BlockKind::Comm(_) => self.sim.comm_latency,
-                _ => 0,
-            };
-        for w in wires {
-            self.push(
-                t + latency,
-                Event::Deliver {
-                    to: w.to,
-                    port: w.to_port,
-                    value,
-                },
-            );
+        let latency = extra.saturating_add(m.latency);
+        let sinks = std::mem::take(&mut self.sinks);
+        if latency == 0 {
+            for &sink in &sinks[slot] {
+                let seq = self.seq;
+                self.seq += 1;
+                self.latch(sink.to, sink.port, value, seq);
+            }
+        } else if let Some(arrival) = t.checked_add(latency) {
+            for &sink in &sinks[slot] {
+                let seq = self.seq;
+                self.seq += 1;
+                self.calendar.schedule(
+                    arrival,
+                    Queued::Deliver {
+                        seq,
+                        to: sink.to,
+                        port: sink.port,
+                        value,
+                    },
+                );
+            }
         }
-        Ok(())
+        // (A delay pushing arrival past the end of time drops the packet —
+        // it could never be processed anyway.)
+        self.sinks = sinks;
     }
 }
 
@@ -612,6 +1057,61 @@ mod tests {
     }
 
     #[test]
+    fn comm_latency_beyond_wheel_window() {
+        // A latency past the timing wheel's horizon exercises the overflow
+        // calendar: arrival time must still be exact.
+        let mut d = Design::new("slow-radio");
+        let b = d.add_block("btn", SensorKind::Button);
+        let tx = d.add_block("tx", eblocks_core::CommKind::WirelessTx);
+        let o = d.add_block("led", OutputKind::Led);
+        d.connect((b, 0), (tx, 0)).unwrap();
+        d.connect((tx, 0), (o, 0)).unwrap();
+        let mut sim = Simulator::new(&d).unwrap();
+        sim.comm_latency = 500;
+        let trace = sim.run(&Stimulus::new().set(10, "btn", true), 600).unwrap();
+        assert_eq!(trace.history("led"), &[(500, false), (510, true)]);
+    }
+
+    #[test]
+    fn zero_tick_period_rejected() {
+        // Regression: a zero tick period used to reschedule the tick at the
+        // same instant forever, hanging `run`. It is now rejected up front.
+        let mut d = Design::new("z");
+        let b = d.add_block("btn", SensorKind::Button);
+        let p = d.add_block("pg", ComputeKind::PulseGen { ticks: 2 });
+        let o = d.add_block("led", OutputKind::Led);
+        d.connect((b, 0), (p, 0)).unwrap();
+        d.connect((p, 0), (o, 0)).unwrap();
+        let mut sim = Simulator::new(&d).unwrap();
+        sim.tick_period = 0;
+        let err = sim.run(&Stimulus::new(), 100).unwrap_err();
+        assert!(matches!(err, SimError::InvalidTickPeriod));
+        // Even tick-free designs reject the invalid configuration.
+        let mut plain = Simulator::new(&and_design()).unwrap();
+        plain.tick_period = 0;
+        assert!(matches!(
+            plain.run(&Stimulus::new(), 10),
+            Err(SimError::InvalidTickPeriod)
+        ));
+    }
+
+    #[test]
+    fn tick_near_end_of_time_terminates() {
+        // Regression: rescheduling a tick at t + period used to overflow
+        // near Time::MAX; the checked reschedule simply stops ticking.
+        let mut d = Design::new("eot");
+        let b = d.add_block("btn", SensorKind::Button);
+        let p = d.add_block("pg", ComputeKind::PulseGen { ticks: 1 });
+        let o = d.add_block("led", OutputKind::Led);
+        d.connect((b, 0), (p, 0)).unwrap();
+        d.connect((p, 0), (o, 0)).unwrap();
+        let mut sim = Simulator::new(&d).unwrap();
+        sim.tick_period = Time::MAX;
+        let trace = sim.run(&Stimulus::new(), Time::MAX).unwrap();
+        assert_eq!(trace.final_value("led"), Some(false));
+    }
+
+    #[test]
     fn unknown_sensor_rejected() {
         let d = and_design();
         let sim = Simulator::new(&d).unwrap();
@@ -680,5 +1180,35 @@ mod tests {
         let t1 = sim.run(&stim, 200).unwrap();
         let t2 = sim.run(&stim, 200).unwrap();
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn runner_reset_reuses_the_arena() {
+        // One runner, three trials with different fault plans: the cached
+        // stimulus is loaded once and re-woven by each reset, and results
+        // must match three fresh runs exactly. A t=0 stimulus event checks
+        // the weave keeps power-on announcements ahead of scripted values.
+        let d = and_design();
+        let sim = Simulator::new(&d).unwrap();
+        let stim = Stimulus::new()
+            .set(0, "b", true)
+            .set(10, "a", true)
+            .set(20, "b", true);
+        let plans = [
+            FaultPlan::new(),
+            FaultPlan::new().with(crate::fault::Fault::StuckAt {
+                block: "a".into(),
+                value: true,
+            }),
+            FaultPlan::new(),
+        ];
+        let mut runner = Runner::new(&sim, &FaultPlan::new()).unwrap();
+        runner.load_stimulus(&stim).unwrap();
+        for plan in &plans {
+            runner.reset(plan);
+            runner.run(80).unwrap();
+            let fresh = sim.run_with_faults(&stim, 80, plan).unwrap();
+            assert_eq!(runner.trace(), &fresh);
+        }
     }
 }

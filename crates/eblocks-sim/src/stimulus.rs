@@ -31,18 +31,22 @@ impl Stimulus {
         self
     }
 
-    /// Raises `sensor` at `time` and lowers it `width` later.
+    /// Raises `sensor` at `time` and lowers it `width` later. A pulse whose
+    /// falling edge would overflow [`Time`] saturates at `Time::MAX` (the
+    /// sensor then simply never falls) instead of panicking.
     pub fn pulse(self, time: Time, width: Time, sensor: impl Into<String>) -> Self {
         let name = sensor.into();
         self.set(time, name.clone(), true)
-            .set(time + width, name, false)
+            .set(time.saturating_add(width), name, false)
     }
 
-    /// The script, sorted by time (stable for equal times).
-    pub fn events(&self) -> Vec<(Time, String, bool)> {
-        let mut ev = self.events.clone();
-        ev.sort_by_key(|(t, _, _)| *t);
-        ev
+    /// The script, in insertion order.
+    ///
+    /// The simulator orders events by time itself (its queue keys lead with
+    /// the timestamp, and entries tied on time and sensor keep insertion
+    /// order), so no per-call clone-and-sort is needed here.
+    pub fn events(&self) -> &[(Time, String, bool)] {
+        &self.events
     }
 
     /// The time of the last scripted change, if any.
@@ -56,15 +60,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn events_sorted_by_time() {
+    fn events_keep_insertion_order() {
         let s = Stimulus::new()
             .set(30, "a", true)
             .set(10, "b", false)
             .set(20, "a", false);
         let ev = s.events();
-        assert_eq!(ev[0].0, 10);
-        assert_eq!(ev[2].0, 30);
+        assert_eq!(ev[0].0, 30);
+        assert_eq!(ev[2].0, 20);
         assert_eq!(s.end_time(), Some(30));
+    }
+
+    #[test]
+    fn pulse_near_end_of_time_saturates() {
+        let s = Stimulus::new().pulse(Time::MAX - 2, 5, "btn");
+        let ev = s.events();
+        assert_eq!(ev[0], (Time::MAX - 2, "btn".to_string(), true));
+        assert_eq!(ev[1], (Time::MAX, "btn".to_string(), false));
     }
 
     #[test]

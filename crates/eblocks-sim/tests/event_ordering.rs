@@ -1,0 +1,241 @@
+//! Golden traces pinning the simulator's observable event-ordering
+//! semantics.
+//!
+//! These tests were written against the original `BinaryHeap`-based engine
+//! and must pass **byte-identically** after any event-queue rewrite. Each
+//! scenario renders the full trace (every packet received by every output,
+//! in recorded order, plus per-block transmission counts) to a string and
+//! compares it against a golden literal. The pinned contract:
+//!
+//! * **sensor-before-eval** — all sensor changes of an instant are applied
+//!   before any block evaluates in that instant,
+//! * **topo-rank cascade** — zero-latency propagation settles in one sweep
+//!   per instant, blocks evaluating in topological order,
+//! * **same-instant coalescing** — all packets reaching a block in one
+//!   instant produce a single evaluation with the settled input values,
+//! * **tick-before-deliver** — a block's `on tick` runs before its
+//!   same-instant deliveries are applied,
+//! * **power-on announcement** — at t=0 a sensor first announces its
+//!   initial `false`, then any t=0 stimulus value, in that order,
+//! * **FIFO tie-break** — packets that agree on (time, stage, rank, port)
+//!   keep their push order.
+
+use eblocks_core::{CommKind, ComputeKind, Design, OutputKind, SensorKind};
+use eblocks_sim::{Fault, FaultPlan, Simulator, Stimulus, Trace};
+
+/// Renders every observable of a trace in deterministic order.
+fn render(trace: &Trace) -> String {
+    let mut s = String::new();
+    for name in trace.outputs() {
+        s.push_str(name);
+        s.push(':');
+        for &(t, v) in trace.history(name) {
+            s.push_str(&format!(" ({t},{})", if v { 1 } else { 0 }));
+        }
+        s.push('\n');
+    }
+    let mut tx: Vec<(&str, u64)> = trace.transmissions_by_block().collect();
+    tx.sort();
+    for (name, count) in tx {
+        s.push_str(&format!("tx {name}={count}\n"));
+    }
+    s
+}
+
+#[test]
+fn power_on_announcement_precedes_t0_stimulus() {
+    // A t=0 stimulus value arrives *after* the power-on `false`
+    // announcement of the same sensor: the output sees both packets, in
+    // that order, at the same instant.
+    let mut d = Design::new("t0");
+    let s = d.add_block("s", SensorKind::Button);
+    let o = d.add_block("led", OutputKind::Led);
+    d.connect((s, 0), (o, 0)).unwrap();
+    let sim = Simulator::new(&d).unwrap();
+    let trace = sim.run(&Stimulus::new().set(0, "s", true), 10).unwrap();
+    assert_eq!(render(&trace), "led: (0,0) (0,1)\ntx s=2\n");
+}
+
+#[test]
+fn same_instant_changes_coalesce_into_one_evaluation() {
+    // Both AND inputs rise in the same instant: one evaluation with the
+    // settled values, no (true, stale-false) glitch packet. A later
+    // simultaneous swap (a falls, b stays) keeps the output constant and
+    // produces no packet at all.
+    let mut d = Design::new("coalesce");
+    let a = d.add_block("a", SensorKind::Button);
+    let b = d.add_block("b", SensorKind::Motion);
+    let g = d.add_block("g", ComputeKind::and2());
+    let o = d.add_block("led", OutputKind::Led);
+    d.connect((a, 0), (g, 0)).unwrap();
+    d.connect((b, 0), (g, 1)).unwrap();
+    d.connect((g, 0), (o, 0)).unwrap();
+    let sim = Simulator::new(&d).unwrap();
+    let stim = Stimulus::new()
+        .set(10, "a", true)
+        .set(10, "b", true)
+        .set(20, "a", false)
+        .set(30, "a", true);
+    let trace = sim.run(&stim, 50).unwrap();
+    assert_eq!(
+        render(&trace),
+        "led: (0,0) (10,1) (20,0) (30,1)\ntx a=4 tx b=2 tx g=4\n".replace(" tx", "\ntx")
+    );
+}
+
+#[test]
+fn glitch_free_reconvergence_through_splitter() {
+    // s -> splitter -> (direct, inverted) -> xor: the settled xor(v, !v)
+    // is constant true, so the LED sees exactly one packet regardless of
+    // how many times s toggles. Transmission counts pin the fan-out
+    // accounting (the splitter drives two wires per change).
+    let mut d = Design::new("haz");
+    let s = d.add_block("s", SensorKind::Button);
+    let sp = d.add_block("sp", ComputeKind::Splitter);
+    let n = d.add_block("n", ComputeKind::Not);
+    let x = d.add_block("x", ComputeKind::xor2());
+    let o = d.add_block("led", OutputKind::Led);
+    d.connect((s, 0), (sp, 0)).unwrap();
+    d.connect((sp, 0), (n, 0)).unwrap();
+    d.connect((sp, 1), (x, 0)).unwrap();
+    d.connect((n, 0), (x, 1)).unwrap();
+    d.connect((x, 0), (o, 0)).unwrap();
+    let sim = Simulator::new(&d).unwrap();
+    let stim = Stimulus::new().set(10, "s", true).set(20, "s", false);
+    let trace = sim.run(&stim, 60).unwrap();
+    assert_eq!(
+        render(&trace),
+        "led: (0,1)\ntx n=3\ntx s=3\ntx sp=6\ntx x=1\n"
+    );
+}
+
+#[test]
+fn tick_runs_before_same_instant_delivery() {
+    // A pulse generator whose tick instant coincides with an input edge:
+    // the tick (remaining still 0, no change) is processed first, then the
+    // delivery starts the pulse. With tick_period=4 and ticks=3 the pulse
+    // started at t=8 expires on the tick at t=20 — if the delivery were
+    // applied before the tick, the countdown would start one period early.
+    let mut d = Design::new("tick-order");
+    let b = d.add_block("btn", SensorKind::Button);
+    let p = d.add_block("pg", ComputeKind::PulseGen { ticks: 3 });
+    let o = d.add_block("led", OutputKind::Led);
+    d.connect((b, 0), (p, 0)).unwrap();
+    d.connect((p, 0), (o, 0)).unwrap();
+    let mut sim = Simulator::new(&d).unwrap();
+    sim.tick_period = 4;
+    let trace = sim.run(&Stimulus::new().set(8, "btn", true), 40).unwrap();
+    assert_eq!(
+        render(&trace),
+        "led: (0,0) (8,1) (20,0)\ntx btn=2\ntx pg=3\n"
+    );
+}
+
+#[test]
+fn tick_and_input_can_emit_two_packets_in_one_instant() {
+    // At t=8 the running pulse (ticks=1) expires on the tick handler
+    // (emits false) and a fresh rising edge arrives in the same instant
+    // (emits true): the output records *both* packets at t=8, tick first —
+    // the FIFO tie-break pinned as observable packet order.
+    let mut d = Design::new("two-packets");
+    let b = d.add_block("btn", SensorKind::Button);
+    let p = d.add_block("pg", ComputeKind::PulseGen { ticks: 1 });
+    let o = d.add_block("led", OutputKind::Led);
+    d.connect((b, 0), (p, 0)).unwrap();
+    d.connect((p, 0), (o, 0)).unwrap();
+    let mut sim = Simulator::new(&d).unwrap();
+    sim.tick_period = 4;
+    let stim = Stimulus::new()
+        .set(4, "btn", true)
+        .set(6, "btn", false)
+        .set(8, "btn", true);
+    let trace = sim.run(&stim, 20).unwrap();
+    assert_eq!(
+        render(&trace),
+        "led: (0,0) (4,1) (8,0) (8,1) (12,0)\ntx btn=4\ntx pg=5\n"
+    );
+}
+
+#[test]
+fn delayed_packets_arrive_out_of_send_order() {
+    // A delay fault makes a packet sent at t=10 arrive *after* a packet
+    // sent at t=15: the calendar must deliver by arrival time, and the
+    // output records the late packet last.
+    let mut d = Design::new("reorder");
+    let b = d.add_block("btn", SensorKind::Button);
+    let tx = d.add_block("radio", CommKind::WirelessTx);
+    let o = d.add_block("led", OutputKind::Led);
+    d.connect((b, 0), (tx, 0)).unwrap();
+    d.connect((tx, 0), (o, 0)).unwrap();
+    let sim = Simulator::new(&d).unwrap();
+    let plan = FaultPlan::new().with(Fault::DelayPackets {
+        block: "radio".into(),
+        from: 9,
+        to: 11,
+        extra: 10,
+    });
+    let stim = Stimulus::new().set(10, "btn", true).set(15, "btn", false);
+    let trace = sim.run_with_faults(&stim, 60, &plan).unwrap();
+    // Sent: t=0 false (arrives 3), t=10 true (delayed, arrives 23),
+    // t=15 false (arrives 18).
+    assert_eq!(
+        render(&trace),
+        "led: (3,0) (18,0) (23,1)\ntx btn=3\ntx radio=3\n"
+    );
+}
+
+#[test]
+fn delay_block_with_coarse_ticks() {
+    // The delay block propagates the settled input 2 ticks after its last
+    // change; with tick_period=5 the edge at t=7 counts down on the ticks
+    // at t=10 and t=15, so the LED rises at t=15.
+    let mut d = Design::new("delay");
+    let b = d.add_block("btn", SensorKind::Button);
+    let dl = d.add_block("dl", ComputeKind::Delay { ticks: 2 });
+    let o = d.add_block("led", OutputKind::Led);
+    d.connect((b, 0), (dl, 0)).unwrap();
+    d.connect((dl, 0), (o, 0)).unwrap();
+    let mut sim = Simulator::new(&d).unwrap();
+    sim.tick_period = 5;
+    let trace = sim.run(&Stimulus::new().set(7, "btn", true), 40).unwrap();
+    assert_eq!(render(&trace), "led: (0,0) (15,1)\ntx btn=2\ntx dl=2\n");
+}
+
+#[test]
+fn long_chain_cascades_within_one_instant() {
+    // A 10-inverter chain: every stimulus edge reaches the LED in the same
+    // instant (zero-latency wires, one topological sweep). Ten inverters
+    // flip the value back, so the LED tracks the button exactly.
+    let mut d = Design::new("chain");
+    let s = d.add_block("s", SensorKind::Button);
+    let mut prev = s;
+    for i in 0..10 {
+        let g = d.add_block(format!("g{i}"), ComputeKind::Not);
+        d.connect((prev, 0), (g, 0)).unwrap();
+        prev = g;
+    }
+    let o = d.add_block("led", OutputKind::Led);
+    d.connect((prev, 0), (o, 0)).unwrap();
+    let sim = Simulator::new(&d).unwrap();
+    let stim = Stimulus::new().set(5, "s", true).set(9, "s", false);
+    let trace = sim.run(&stim, 20).unwrap();
+    assert_eq!(trace.history("led"), &[(0, false), (5, true), (9, false)]);
+    assert_eq!(trace.total_transmissions(), 33, "11 hops x 3 edges");
+}
+
+#[test]
+fn full_trace_equality_is_repeatable() {
+    // The whole suite's scenarios are deterministic: a second run renders
+    // byte-identically (the property the golden strings rely on).
+    let mut d = Design::new("rep");
+    let a = d.add_block("a", SensorKind::Button);
+    let p = d.add_block("pg", ComputeKind::PulseGen { ticks: 2 });
+    let o = d.add_block("led", OutputKind::Led);
+    d.connect((a, 0), (p, 0)).unwrap();
+    d.connect((p, 0), (o, 0)).unwrap();
+    let sim = Simulator::new(&d).unwrap();
+    let stim = Stimulus::new().pulse(3, 4, "a").pulse(11, 1, "a");
+    let t1 = sim.run(&stim, 30).unwrap();
+    let t2 = sim.run(&stim, 30).unwrap();
+    assert_eq!(render(&t1), render(&t2));
+}
