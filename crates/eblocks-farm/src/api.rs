@@ -1,0 +1,662 @@
+//! The typed request/response API for synthesis — the surface an RPC
+//! server (or spool-directory watcher) would speak, and the one the CLI's
+//! `batch --json` / `synth` commands are thin front ends for.
+//!
+//! Everything here is derive-serialized through the vendored `serde`'s
+//! [`Value`](serde::Value) tree, so a batch can arrive as JSON (manifest
+//! format v2, [`Batch::from_json`]) and a report leaves as JSON through the
+//! same types:
+//!
+//! * **Requests**: [`BatchRequest`] (a list of [`JobSpec`]s plus a default
+//!   strategy) and [`SynthRequest`] (one design through the full
+//!   pipeline). [`DesignSource`] names where a design comes from;
+//!   [`SynthOptions`] carries the optional pipeline knobs — every field is
+//!   optional, and omitted fields keep the engine defaults.
+//! * **Responses**: [`BatchResponse`] (wrapping a
+//!   [`BatchReport`]) and [`SynthResponse`] (stats
+//!   plus the synthesized netlist text and C sources). Wall-clock fields
+//!   are `Option`s populated only when timings were requested, so the
+//!   deterministic report is byte-identical across worker counts.
+//!
+//! # Example
+//!
+//! A request round-trips from JSON through the same types `run_batch`
+//! consumes:
+//!
+//! ```
+//! use eblocks_farm::api::BatchRequest;
+//! use eblocks_farm::{run_batch, FarmConfig, JsonOptions};
+//! use eblocks_farm::api::BatchResponse;
+//!
+//! let request: BatchRequest = serde::json::from_str(
+//!     r#"{
+//!         "default_partitioner": "refine",
+//!         "jobs": [
+//!             {"source": {"library": "Ignition Illuminator"}},
+//!             {"source": {"generated": {"inner": 10, "seed": 3}},
+//!              "options": {"mode": "partition"}}
+//!         ]
+//!     }"#,
+//! ).unwrap();
+//! let report = run_batch(&request.to_batch(), &FarmConfig::with_workers(2));
+//! let response = BatchResponse::from_report(&report, &JsonOptions::default());
+//! assert_eq!(response.batch.succeeded, 2);
+//! println!("{}", serde::json::to_string(&response));
+//! ```
+
+use crate::job::{Batch, Job, JobMode, JobSource};
+use crate::report::{BatchReport, JobReport, JobStatus, JsonOptions};
+use eblocks_partition::Registry;
+use eblocks_synth::{Stage, StageTimings};
+use serde::{Deserialize, Serialize};
+
+/// Where a request's design comes from (the wire name for
+/// [`JobSource`]): `{"netlist": "path"}`, `{"library": "Name"}`, or
+/// `{"generated": {"inner": N, "seed": S}}`.
+pub use crate::job::JobSource as DesignSource;
+
+/// Optional pipeline knobs for one job. Every field is an `Option`;
+/// omitted fields keep the engine defaults (synth mode, verify on,
+/// optimize on, the paper's 2-in/2-out pin budget).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynthOptions {
+    /// Full pipeline (`"synth"`, default) or partition analysis only
+    /// (`"partition"`).
+    pub mode: Option<JobMode>,
+    /// Co-simulate original vs synthesized (default true).
+    pub verify: Option<bool>,
+    /// Run the behavior-tree optimizer before emitting C (default true).
+    pub optimize: Option<bool>,
+    /// Programmable-block input pins (default 2).
+    pub inputs: Option<u8>,
+    /// Programmable-block output pins (default 2).
+    pub outputs: Option<u8>,
+}
+
+impl SynthOptions {
+    /// Applies the set fields onto `job`, leaving the rest untouched.
+    fn apply(&self, job: &mut Job) {
+        if let Some(mode) = self.mode {
+            job.mode = mode;
+        }
+        if let Some(verify) = self.verify {
+            job.verify = verify;
+        }
+        if let Some(optimize) = self.optimize {
+            job.optimize = optimize;
+        }
+        if let Some(inputs) = self.inputs {
+            job.spec.inputs = inputs;
+        }
+        if let Some(outputs) = self.outputs {
+            job.spec.outputs = outputs;
+        }
+    }
+
+    /// Captures every knob from `job` (all fields `Some`).
+    fn capture(job: &Job) -> Self {
+        Self {
+            mode: Some(job.mode),
+            verify: Some(job.verify),
+            optimize: Some(job.optimize),
+            inputs: Some(job.spec.inputs),
+            outputs: Some(job.spec.outputs),
+        }
+    }
+}
+
+/// One job of a [`BatchRequest`]: a design source plus optional name,
+/// strategy, and pipeline options.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Display name; defaults to the source's natural name (file stem,
+    /// library name, `gen<inner>-<seed>`).
+    pub name: Option<String>,
+    /// Where the design comes from.
+    pub source: DesignSource,
+    /// Strategy name; `None` falls back to the batch/engine default.
+    pub partitioner: Option<String>,
+    /// Pipeline knobs; omitted fields keep the engine defaults.
+    #[serde(default)]
+    pub options: SynthOptions,
+}
+
+impl JobSpec {
+    /// A spec over `source` with everything else defaulted.
+    pub fn new(source: DesignSource) -> Self {
+        Self {
+            name: None,
+            source,
+            partitioner: None,
+            options: SynthOptions::default(),
+        }
+    }
+
+    /// The farm [`Job`] this spec describes.
+    pub fn to_job(&self) -> Job {
+        let mut job = match &self.source {
+            JobSource::Netlist(path) => Job::netlist(path.clone()),
+            JobSource::Library(name) => Job::library(name.clone()),
+            JobSource::Generated { inner, seed } => Job::generated(*inner, *seed),
+        };
+        if let Some(name) = &self.name {
+            job = job.named(name.clone());
+        }
+        job.partitioner = self.partitioner.clone();
+        self.options.apply(&mut job);
+        job
+    }
+
+    /// The spec describing `job` exactly (every option pinned).
+    pub fn from_job(job: &Job) -> Self {
+        Self {
+            name: Some(job.name.clone()),
+            source: job.source.clone(),
+            partitioner: job.partitioner.clone(),
+            options: SynthOptions::capture(job),
+        }
+    }
+}
+
+/// A batch of jobs as it would arrive over RPC — manifest format v2.
+///
+/// [`Batch::from_json`] parses one from JSON text; [`BatchRequest::to_batch`]
+/// and [`BatchRequest::from_batch`] convert to and from the engine's
+/// [`Batch`] losslessly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchRequest {
+    /// Strategy for jobs that set none (the manifest's
+    /// `default partitioner=…`); the engine-level override still wins.
+    pub default_partitioner: Option<String>,
+    /// The jobs, in submission order.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl BatchRequest {
+    /// The engine [`Batch`] this request describes.
+    pub fn to_batch(&self) -> Batch {
+        Batch {
+            jobs: self.jobs.iter().map(JobSpec::to_job).collect(),
+            default_partitioner: self.default_partitioner.clone(),
+        }
+    }
+
+    /// The request describing `batch` exactly.
+    pub fn from_batch(batch: &Batch) -> Self {
+        Self {
+            default_partitioner: batch.default_partitioner.clone(),
+            jobs: batch.jobs.iter().map(JobSpec::from_job).collect(),
+        }
+    }
+}
+
+/// How one job of a [`BatchResponse`] ended. Serializes as
+/// `"ok"` / `"failed"` / `"panicked"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// The job completed; its stat fields are populated.
+    #[serde(rename = "ok")]
+    Ok,
+    /// The job returned an error (see the `error` field).
+    #[serde(rename = "failed")]
+    Failed,
+    /// The job panicked; the worker caught it (see the `error` field).
+    #[serde(rename = "panicked")]
+    Panicked,
+}
+
+/// One pipeline stage's wall-clock time in a response (`stages_ms`
+/// arrays). Only present when timings were requested.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageMs {
+    /// Which stage.
+    pub stage: Stage,
+    /// Wall-clock milliseconds, rounded to 3 decimals.
+    pub ms: f64,
+    /// The stage's one-line outcome ("2 partitions", "33 samples", …).
+    pub detail: String,
+}
+
+/// Per-stage aggregate over a whole batch (runs, total and slowest run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Which stage.
+    pub stage: Stage,
+    /// How many jobs ran this stage.
+    pub runs: usize,
+    /// Milliseconds summed over all runs.
+    pub total_ms: f64,
+    /// The single slowest run, in milliseconds.
+    pub max_ms: f64,
+}
+
+/// One row of a [`BatchResponse`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResponse {
+    /// The job's display name.
+    pub name: String,
+    /// The strategy that actually ran (after default resolution).
+    pub partitioner: String,
+    /// How the job ended.
+    pub status: JobOutcome,
+    /// The error message, for failed/panicked jobs.
+    pub error: Option<String>,
+    /// Inner blocks before partitioning (successful jobs only).
+    pub inner_before: Option<usize>,
+    /// Inner blocks after partitioning.
+    pub inner_after: Option<usize>,
+    /// Programmable blocks produced.
+    pub partitions: Option<usize>,
+    /// Whether the strategy ran to completion.
+    pub complete: Option<bool>,
+    /// Whether equivalence verification ran and passed.
+    pub verified: Option<bool>,
+    /// Total bytes of emitted C.
+    pub c_bytes: Option<usize>,
+    /// Per-stage wall-clock times; only with timings.
+    pub stages_ms: Option<Vec<StageMs>>,
+    /// Whole-job wall-clock milliseconds; only with timings.
+    pub elapsed_ms: Option<f64>,
+}
+
+impl JobResponse {
+    fn from_report(report: &JobReport, timings: bool) -> Self {
+        let (status, error) = match &report.status {
+            JobStatus::Ok => (JobOutcome::Ok, None),
+            JobStatus::Failed(e) => (JobOutcome::Failed, Some(e.clone())),
+            JobStatus::Panicked(e) => (JobOutcome::Panicked, Some(e.clone())),
+        };
+        let stats = report.stats.as_ref();
+        Self {
+            name: report.name.clone(),
+            partitioner: report.partitioner.clone(),
+            status,
+            error,
+            inner_before: stats.map(|s| s.inner_before),
+            inner_after: stats.map(|s| s.inner_after),
+            partitions: stats.map(|s| s.partitions),
+            complete: stats.map(|s| s.complete),
+            verified: stats.map(|s| s.verified),
+            c_bytes: stats.map(|s| s.c_bytes),
+            stages_ms: stats.filter(|_| timings).map(|s| stage_ms_rows(&s.timings)),
+            elapsed_ms: timings.then(|| ms(report.elapsed)),
+        }
+    }
+}
+
+/// Batch-level aggregates of a [`BatchResponse`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchSummary {
+    /// Total jobs in the batch.
+    pub jobs: usize,
+    /// Jobs that completed successfully.
+    pub succeeded: usize,
+    /// Jobs that failed or panicked.
+    pub failed: usize,
+    /// Sum of per-job `inner_before` over successful jobs.
+    pub inner_before: usize,
+    /// Sum of per-job `inner_after` over successful jobs.
+    pub inner_after: usize,
+    /// Sum of per-job `partitions` over successful jobs.
+    pub partitions: usize,
+    /// Sum of per-job `c_bytes` over successful jobs.
+    pub c_bytes: usize,
+    /// Workers the pool used; only with timings.
+    pub workers: Option<usize>,
+    /// Batch wall-clock milliseconds; only with timings.
+    pub elapsed_ms: Option<f64>,
+    /// Per-stage aggregates over all jobs; only with timings.
+    pub stages: Option<Vec<StageSummary>>,
+}
+
+/// A whole batch run as it would leave over RPC: aggregates plus one
+/// [`JobResponse`] per job, in submission order.
+///
+/// With timings off (the default) every field is deterministic, so the
+/// serialized response is byte-identical across worker counts and runs —
+/// the property the CLI's golden-report test pins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchResponse {
+    /// Batch-level aggregates.
+    pub batch: BatchSummary,
+    /// Per-job rows, in submission order.
+    pub results: Vec<JobResponse>,
+}
+
+impl BatchResponse {
+    /// A response view of `report`. `options.timings` populates the
+    /// wall-clock fields (and makes the output nondeterministic).
+    pub fn from_report(report: &BatchReport, options: &JsonOptions) -> Self {
+        let timings = options.timings;
+        let sum = |f: fn(&crate::report::JobStats) -> usize| -> usize {
+            report
+                .jobs
+                .iter()
+                .filter_map(|j| j.stats.as_ref())
+                .map(f)
+                .sum()
+        };
+        Self {
+            batch: BatchSummary {
+                jobs: report.jobs.len(),
+                succeeded: report.succeeded(),
+                failed: report.failed(),
+                inner_before: sum(|s| s.inner_before),
+                inner_after: sum(|s| s.inner_after),
+                partitions: sum(|s| s.partitions),
+                c_bytes: sum(|s| s.c_bytes),
+                workers: timings.then_some(report.workers),
+                elapsed_ms: timings.then(|| ms(report.elapsed)),
+                stages: timings.then(|| {
+                    report
+                        .stage_timings()
+                        .summarize()
+                        .into_iter()
+                        .map(|stat| StageSummary {
+                            stage: stat.stage,
+                            runs: stat.runs,
+                            total_ms: ms(stat.total),
+                            max_ms: ms(stat.max),
+                        })
+                        .collect()
+                }),
+            },
+            results: report
+                .jobs
+                .iter()
+                .map(|job| JobResponse::from_report(job, timings))
+                .collect(),
+        }
+    }
+}
+
+/// One design through the full synthesis pipeline, as a typed request.
+///
+/// The single-design sibling of [`BatchRequest`] — what `eblocks-cli
+/// synth` builds from its argv, and what a synthesis RPC endpoint would
+/// accept.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynthRequest {
+    /// Where the design comes from.
+    pub source: DesignSource,
+    /// Strategy name; `None` means `pare-down`.
+    pub partitioner: Option<String>,
+    /// Pipeline knobs. `mode` must be absent or `"synth"`: a synth
+    /// request always runs the full pipeline (use a [`BatchRequest`] job
+    /// with `"mode": "partition"` for partition-only analysis).
+    #[serde(default)]
+    pub options: SynthOptions,
+}
+
+impl SynthRequest {
+    /// A request over `source` with everything else defaulted.
+    pub fn new(source: DesignSource) -> Self {
+        Self {
+            source,
+            partitioner: None,
+            options: SynthOptions::default(),
+        }
+    }
+}
+
+/// One emitted C program of a [`SynthResponse`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CSource {
+    /// The programmable block the program targets (`prog0`, …).
+    pub block: String,
+    /// The C source text.
+    pub code: String,
+}
+
+/// Everything one [`synthesize`] call produced: stats, the synthesized
+/// netlist text, and the per-block C programs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthResponse {
+    /// The original design's name.
+    pub design: String,
+    /// The synthesized design's name (the netlist text's `design` header).
+    pub synthesized: String,
+    /// The strategy that ran.
+    pub partitioner: String,
+    /// Inner blocks before partitioning.
+    pub inner_before: usize,
+    /// Inner blocks after partitioning.
+    pub inner_after: usize,
+    /// Programmable blocks produced.
+    pub partitions: usize,
+    /// Whether the strategy ran to completion.
+    pub complete: bool,
+    /// Sample count at which equivalence was verified; `None` when
+    /// verification was skipped.
+    pub verified_samples: Option<usize>,
+    /// The synthesized design, in netlist text format.
+    pub netlist: String,
+    /// One C program per programmable block.
+    pub c_sources: Vec<CSource>,
+    /// Per-stage wall-clock times (always populated; wall-clock, so not
+    /// deterministic).
+    pub stages_ms: Vec<StageMs>,
+}
+
+/// Runs `request` through the full pipeline with the built-in strategy
+/// registry.
+///
+/// # Errors
+///
+/// A human-readable message: unknown strategy, unreadable/invalid design,
+/// pipeline failure, or failed equivalence verification.
+pub fn synthesize(request: &SynthRequest) -> Result<SynthResponse, String> {
+    synthesize_with(request, &Registry::builtin())
+}
+
+/// [`synthesize`] against a caller-supplied strategy [`Registry`].
+pub fn synthesize_with(
+    request: &SynthRequest,
+    registry: &Registry,
+) -> Result<SynthResponse, String> {
+    if request.options.mode == Some(JobMode::Partition) {
+        return Err(
+            "a synth request runs the full pipeline; use a batch job with \"mode\": \"partition\" for partition-only analysis"
+                .to_string(),
+        );
+    }
+    let spec = JobSpec {
+        name: None,
+        source: request.source.clone(),
+        partitioner: request.partitioner.clone(),
+        options: request.options,
+    };
+    let job = spec.to_job();
+    let partitioner_name = request.partitioner.as_deref().unwrap_or("pare-down");
+    let partitioner = crate::scheduler::resolve_strategy(registry, partitioner_name)?;
+    let design = job.load_design()?;
+
+    // The exact pipeline invocation the batch scheduler runs, so the RPC
+    // and batch paths cannot drift.
+    let mut timings = StageTimings::new();
+    let result =
+        crate::scheduler::run_synth_pipeline(&design, &job, partitioner.as_ref(), &mut timings)?;
+
+    Ok(SynthResponse {
+        design: design.name().to_string(),
+        synthesized: result.synthesized.name().to_string(),
+        partitioner: partitioner_name.to_string(),
+        inner_before: result.inner_before(),
+        inner_after: result.inner_after(),
+        partitions: result.partitioning.num_partitions(),
+        complete: result.partitioning.is_complete(),
+        verified_samples: result.report.as_ref().map(|r| r.sample_times.len()),
+        netlist: eblocks_core::netlist::to_netlist(&result.synthesized),
+        c_sources: result
+            .c_sources
+            .iter()
+            .map(|(block, code)| CSource {
+                block: block.clone(),
+                code: code.clone(),
+            })
+            .collect(),
+        stages_ms: stage_ms_rows(&timings),
+    })
+}
+
+/// Milliseconds rounded to 3 decimals (the precision the old hand-rolled
+/// emitter printed).
+fn ms(d: std::time::Duration) -> f64 {
+    (d.as_secs_f64() * 1e6).round() / 1e3
+}
+
+fn stage_ms_rows(timings: &StageTimings) -> Vec<StageMs> {
+    timings
+        .reports
+        .iter()
+        .map(|r| StageMs {
+            stage: r.stage,
+            ms: ms(r.elapsed),
+            detail: r.detail.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_batch, FarmConfig};
+
+    fn request_json() -> &'static str {
+        r#"{
+            "default_partitioner": "refine",
+            "jobs": [
+                {"source": {"library": "Ignition Illuminator"}},
+                {"name": "g10",
+                 "source": {"generated": {"inner": 10, "seed": 3}},
+                 "partitioner": "aggregation",
+                 "options": {"mode": "partition", "verify": false}}
+            ]
+        }"#
+    }
+
+    #[test]
+    fn requests_parse_and_convert() {
+        let request: BatchRequest = serde::json::from_str(request_json()).unwrap();
+        assert_eq!(request.default_partitioner.as_deref(), Some("refine"));
+        assert_eq!(request.jobs.len(), 2);
+        let batch = request.to_batch();
+        assert_eq!(batch.jobs[0].name, "Ignition Illuminator");
+        assert_eq!(batch.jobs[0].mode, JobMode::Synth);
+        assert!(batch.jobs[0].verify, "unset options keep engine defaults");
+        assert_eq!(batch.jobs[1].name, "g10");
+        assert_eq!(batch.jobs[1].mode, JobMode::Partition);
+        assert!(!batch.jobs[1].verify);
+        assert_eq!(batch.jobs[1].partitioner.as_deref(), Some("aggregation"));
+
+        // Batch -> request -> batch is lossless.
+        let request2 = BatchRequest::from_batch(&batch);
+        assert_eq!(request2.to_batch(), batch);
+        // Request JSON re-serialization is byte-stable.
+        let text = serde::json::to_string(&request2);
+        let request3: BatchRequest = serde::json::from_str(&text).unwrap();
+        assert_eq!(serde::json::to_string(&request3), text);
+    }
+
+    #[test]
+    fn request_errors_carry_paths() {
+        let err = serde::json::from_str::<BatchRequest>(
+            r#"{"default_partitioner": null, "jobs": [{"source": {"libary": "X"}}]}"#,
+        )
+        .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("jobs[0].source"), "{text}");
+        assert!(text.contains("unknown variant `libary`"), "{text}");
+        assert!(text.contains("netlist, library, generated"), "{text}");
+
+        let err = serde::json::from_str::<BatchRequest>(r#"{"jobs": [{}]}"#).unwrap_err();
+        assert!(
+            err.to_string().contains("missing field `source`"),
+            "{}",
+            err
+        );
+    }
+
+    #[test]
+    fn response_round_trips_through_json() {
+        let request: BatchRequest = serde::json::from_str(request_json()).unwrap();
+        let report = run_batch(&request.to_batch(), &FarmConfig::with_workers(2));
+        assert!(report.all_ok(), "{}", report.render_text(false));
+
+        for options in [JsonOptions::default(), JsonOptions { timings: true }] {
+            let response = BatchResponse::from_report(&report, &options);
+            let text = serde::json::to_string(&response);
+            let back: BatchResponse = serde::json::from_str(&text).unwrap();
+            assert_eq!(back, response);
+            assert_eq!(serde::json::to_string(&back), text);
+        }
+
+        let deterministic = BatchResponse::from_report(&report, &JsonOptions::default());
+        assert_eq!(deterministic.batch.workers, None);
+        assert_eq!(deterministic.batch.elapsed_ms, None);
+        assert_eq!(deterministic.results[0].status, JobOutcome::Ok);
+        assert_eq!(deterministic.results[0].error, None);
+        assert!(deterministic.results[0].c_bytes.unwrap() > 0);
+        assert_eq!(
+            deterministic.results[1].c_bytes,
+            Some(0),
+            "partition mode emits no C"
+        );
+
+        let timed = BatchResponse::from_report(&report, &JsonOptions { timings: true });
+        assert_eq!(timed.batch.workers, Some(2));
+        let stages = timed.batch.stages.as_ref().unwrap();
+        assert_eq!(stages[0].stage, Stage::Partition);
+        assert_eq!(stages[0].runs, 2);
+    }
+
+    #[test]
+    fn synth_request_runs_end_to_end() {
+        let request: SynthRequest = serde::json::from_str(
+            r#"{"source": {"library": "Ignition Illuminator"}, "partitioner": "refine"}"#,
+        )
+        .unwrap();
+        let response = synthesize(&request).unwrap();
+        assert_eq!(response.design, "ignition-illuminator");
+        assert_eq!(response.partitioner, "refine");
+        assert_eq!(response.inner_before, 2);
+        assert_eq!(response.inner_after, 1);
+        assert!(response.verified_samples.unwrap() > 0);
+        assert!(
+            response.netlist.contains("programmable"),
+            "{}",
+            response.netlist
+        );
+        assert!(response.c_sources[0].code.contains("eblock_on_input"));
+        assert!(!response.stages_ms.is_empty());
+        // The response round-trips through JSON.
+        let text = serde::json::to_string(&response);
+        let back: SynthResponse = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, response);
+
+        // Verification can be skipped through the options.
+        let mut request = request;
+        request.options.verify = Some(false);
+        let response = synthesize(&request).unwrap();
+        assert_eq!(response.verified_samples, None);
+    }
+
+    #[test]
+    fn synth_request_rejects_partition_mode_and_bad_strategies() {
+        let mut request = SynthRequest::new(DesignSource::Library("Ignition Illuminator".into()));
+        request.options.mode = Some(JobMode::Partition);
+        let err = synthesize(&request).unwrap_err();
+        assert!(err.contains("batch"), "{err}");
+
+        let request = SynthRequest {
+            partitioner: Some("magic".into()),
+            ..SynthRequest::new(DesignSource::Library("Ignition Illuminator".into()))
+        };
+        let err = synthesize(&request).unwrap_err();
+        assert!(err.contains("unknown partitioner `magic`"), "{err}");
+
+        let request = SynthRequest::new(DesignSource::Library("No Such Design".into()));
+        let err = synthesize(&request).unwrap_err();
+        assert!(err.contains("unknown library design"), "{err}");
+    }
+}

@@ -1,34 +1,48 @@
 //! The unit of work the farm schedules: one design × one strategy × options.
 
 use eblocks_core::{Design, ProgrammableSpec};
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
 /// Where a job's design comes from.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// This is also the wire type [`DesignSource`](crate::api::DesignSource) of
+/// the JSON request API: `{"netlist": "path"}`, `{"library": "Name"}`, or
+/// `{"generated": {"inner": 20, "seed": 7}}` (`seed` defaults to 0).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JobSource {
     /// A netlist file on disk (parsed with
     /// [`eblocks_core::netlist::from_netlist`]).
+    #[serde(rename = "netlist")]
     Netlist(PathBuf),
     /// A Table-1 library design, looked up by name via
     /// [`eblocks_designs::by_name`].
+    #[serde(rename = "library")]
     Library(String),
     /// A seeded random design from [`eblocks_gen::generate`].
+    #[serde(rename = "generated")]
     Generated {
         /// Target inner-block count.
         inner: usize,
         /// Generator seed (same seed ⇒ same design).
+        #[serde(default)]
         seed: u64,
     },
 }
 
 /// How far the job runs the synthesis pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Serializes as `"synth"` / `"partition"`, matching the manifest `mode=`
+/// tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum JobMode {
     /// The full pipeline: partition → merge → rewrite → (verify) → emit C.
     #[default]
+    #[serde(rename = "synth")]
     Synth,
     /// Partition analysis only (the Tables 1–2 workload) — no merge,
     /// rewrite, verification, or C emission.
+    #[serde(rename = "partition")]
     Partition,
 }
 

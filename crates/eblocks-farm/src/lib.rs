@@ -6,16 +6,24 @@
 //! source × a partitioning strategy × pipeline options) runs across a
 //! scoped-thread worker pool and comes back as one [`BatchReport`] with
 //! per-job status, partition statistics, stage timings, and emitted-C
-//! sizes, plus batch-level aggregates. Reports serialize through a
-//! hand-rolled JSON writer (the vendored `serde` derives are no-ops).
+//! sizes, plus batch-level aggregates.
 //!
 //! * jobs come from netlist files, the Table-1 design library, or the
 //!   seeded generator ([`JobSource`]), and batches parse from a
-//!   line-oriented manifest file ([`Batch::parse`], [`Batch::from_file`]);
+//!   line-oriented manifest file ([`Batch::parse`]) or a typed JSON
+//!   request — manifest format v2, the serialized [`api::BatchRequest`]
+//!   ([`Batch::from_json`]; [`Batch::from_file`] sniffs the format);
 //! * the scheduler is a shared queue drained greedily by `--jobs N` workers
 //!   ([`run_batch`], [`FarmConfig`]); job panics are isolated per worker;
-//! * results are deterministic: the same batch yields byte-identical
-//!   [`BatchReport::to_json`] output (timings off) for any worker count.
+//!   [`run_batch_with_progress`] streams job started/finished callbacks to
+//!   a [`BatchProgress`] listener while the batch runs;
+//! * reports serialize through the derive path: [`BatchReport`] wraps into
+//!   the typed [`api::BatchResponse`] and out through `serde::json`, and
+//!   the deterministic (timings-off) output is byte-identical for any
+//!   worker count;
+//! * [`api`] is the request/response surface an RPC service mode would
+//!   speak — [`api::BatchRequest`]/[`api::SynthRequest`] in,
+//!   [`api::BatchResponse`]/[`api::SynthResponse`] out.
 //!
 //! # Example
 //!
@@ -34,8 +42,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod job;
-pub mod json;
 pub mod manifest;
 pub mod report;
 pub mod scheduler;
@@ -43,4 +51,4 @@ pub mod scheduler;
 pub use job::{Batch, Job, JobMode, JobSource};
 pub use manifest::ManifestError;
 pub use report::{BatchReport, JobReport, JobStats, JobStatus, JsonOptions};
-pub use scheduler::{run_batch, FarmConfig};
+pub use scheduler::{run_batch, run_batch_with_progress, BatchProgress, FarmConfig};

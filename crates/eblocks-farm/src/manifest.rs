@@ -26,22 +26,52 @@
 //! Relative `netlist=` paths are resolved against the manifest file's
 //! directory by [`Batch::from_file`]; [`Batch::parse`] leaves them as-is.
 
+use crate::api::BatchRequest;
 use crate::job::{Batch, Job, JobMode, JobSource};
 use eblocks_core::ProgrammableSpec;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-/// A manifest syntax error, with its 1-based line number.
+/// A manifest error: what went wrong, on which 1-based line, and — when it
+/// came through [`Batch::from_file`] — in which file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ManifestError {
-    /// 1-based line the error was found on.
+    /// The manifest file, when known ([`Batch::from_file`] fills this in;
+    /// the text-level parsers leave it `None`).
+    pub path: Option<PathBuf>,
+    /// 1-based line the error was found on; 0 when no line applies (an
+    /// unreadable file, a JSON shape error).
     pub line: usize,
     /// What went wrong.
     pub message: String,
 }
 
+impl ManifestError {
+    fn at_line(line: usize, message: String) -> Self {
+        Self {
+            path: None,
+            line,
+            message,
+        }
+    }
+
+    /// The same error, attributed to `path`.
+    #[must_use]
+    pub fn with_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+}
+
 impl std::fmt::Display for ManifestError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "manifest line {}: {}", self.line, self.message)
+        if let Some(path) = &self.path {
+            write!(f, "{}: ", path.display())?;
+        }
+        if self.line > 0 {
+            write!(f, "manifest line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "manifest: {}", self.message)
+        }
     }
 }
 
@@ -206,10 +236,7 @@ impl Batch {
         let mut batch = Batch::default();
         let mut defaults = Defaults::default();
         for (i, raw) in text.lines().enumerate() {
-            let err = |message: String| ManifestError {
-                line: i + 1,
-                message,
-            };
+            let err = |message: String| ManifestError::at_line(i + 1, message);
             // Comments are stripped inside tokenize (quote-aware: a `#` in
             // a quoted value is literal), so a comment-only line tokenizes
             // to nothing.
@@ -242,17 +269,50 @@ impl Batch {
         Ok(batch)
     }
 
-    /// Reads and parses a manifest file, resolving relative `netlist=`
-    /// paths against the file's directory.
+    /// Parses a manifest-v2 JSON batch: the serialized form of
+    /// [`BatchRequest`] (see [`crate::api`]).
+    ///
+    /// Relative `netlist` paths are kept as written, as in
+    /// [`Batch::parse`]; [`Batch::from_file`] resolves them.
     ///
     /// # Errors
     ///
-    /// The I/O error or [`ManifestError`] rendered as a string.
-    pub fn from_file(path: impl AsRef<Path>) -> Result<Self, String> {
+    /// [`ManifestError`] carrying the JSON syntax error's line (or line 0
+    /// with the value path for shape errors, e.g.
+    /// `jobs[0].source: unknown variant`).
+    pub fn from_json(text: &str) -> Result<Self, ManifestError> {
+        match serde::json::from_str::<BatchRequest>(text) {
+            Ok(request) => Ok(request.to_batch()),
+            Err(serde::json::Error::Syntax(e)) => Err(ManifestError::at_line(
+                e.line,
+                format!("column {}: {}", e.column, e.message),
+            )),
+            Err(serde::json::Error::Data(e)) => Err(ManifestError::at_line(0, e.to_string())),
+        }
+    }
+
+    /// Reads and parses a manifest file — line-oriented (v1) or JSON (v2,
+    /// detected by a leading `{`) — resolving relative `netlist` paths
+    /// against the file's directory.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError`] carrying the file path (unreadable file, syntax
+    /// error, or JSON shape error).
+    pub fn from_file(path: impl AsRef<Path>) -> Result<Self, ManifestError> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let mut batch = Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            .map_err(|e| ManifestError::at_line(0, format!("cannot read: {e}")).with_path(path))?;
+        // Strip a UTF-8 BOM (Windows tooling) before sniffing the format —
+        // it is not whitespace, so trim_start() alone would misroute a
+        // BOM-prefixed JSON manifest to the v1 line parser.
+        let text = text.strip_prefix('\u{feff}').unwrap_or(&text);
+        let parsed = if text.trim_start().starts_with('{') {
+            Self::from_json(text)
+        } else {
+            Self::parse(text)
+        };
+        let mut batch = parsed.map_err(|e| e.with_path(path))?;
         if let Some(base) = path.parent() {
             for job in &mut batch.jobs {
                 if let JobSource::Netlist(p) = &mut job.source {
@@ -344,9 +404,95 @@ mod tests {
             batch.jobs[1].source,
             JobSource::Netlist("/abs.netlist".into())
         );
-        assert!(Batch::from_file(dir.join("missing.manifest"))
-            .unwrap_err()
-            .contains("cannot read"));
+        let missing = dir.join("missing.manifest");
+        let err = Batch::from_file(&missing).unwrap_err();
+        assert_eq!(err.path.as_deref(), Some(missing.as_path()));
+        assert!(err.to_string().contains("cannot read"), "{err}");
+        assert!(
+            err.to_string().contains("missing.manifest"),
+            "the Display output names the file: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_file_errors_carry_the_path() {
+        let dir = std::env::temp_dir().join(format!("eblocks-manifest-err-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("broken.manifest");
+        std::fs::write(&manifest, "job netlist=a\nfrob x=1\n").unwrap();
+        let err = Batch::from_file(&manifest).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.path.as_deref(), Some(manifest.as_path()));
+        let text = err.to_string();
+        assert!(
+            text.contains("broken.manifest") && text.contains("line 2"),
+            "path and line: {text}"
+        );
+        // Text-level parsing leaves the path empty.
+        let err = Batch::parse("frob x=1\n").unwrap_err();
+        assert_eq!(err.path, None);
+        assert_eq!(err.to_string(), "manifest line 1: unknown directive `frob`");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_manifests_parse_as_v2() {
+        let batch = Batch::from_json(
+            r#"{
+                "default_partitioner": "anneal",
+                "jobs": [
+                    {"source": {"library": "Podium Timer 3"}, "partitioner": "refine"},
+                    {"source": {"generated": {"inner": 20, "seed": 7}},
+                     "options": {"mode": "partition", "optimize": false}}
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(batch.default_partitioner.as_deref(), Some("anneal"));
+        assert_eq!(batch.jobs.len(), 2);
+        assert_eq!(batch.jobs[0].partitioner.as_deref(), Some("refine"));
+        assert_eq!(
+            batch.jobs[1].source,
+            JobSource::Generated { inner: 20, seed: 7 }
+        );
+        assert_eq!(batch.jobs[1].mode, JobMode::Partition);
+        assert!(!batch.jobs[1].optimize);
+        assert!(batch.jobs[1].verify, "unset options keep defaults");
+
+        // Syntax errors carry the JSON line; shape errors carry the path
+        // into the value tree.
+        let err = Batch::from_json("{\n  \"jobs\": [,]\n}").unwrap_err();
+        assert_eq!(err.line, 2, "{err}");
+        let err = Batch::from_json(r#"{"jobs": [{"source": {"library": 3}}]}"#).unwrap_err();
+        assert!(err.message.contains("jobs[0].source.library"), "{err}");
+    }
+
+    #[test]
+    fn from_file_sniffs_json_and_resolves_netlists() {
+        let dir =
+            std::env::temp_dir().join(format!("eblocks-manifest-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("batch.json");
+        std::fs::write(
+            &manifest,
+            r#"  {"jobs": [{"source": {"netlist": "rel.netlist"}}]}"#,
+        )
+        .unwrap();
+        let batch = Batch::from_file(&manifest).unwrap();
+        assert_eq!(
+            batch.jobs[0].source,
+            JobSource::Netlist(dir.join("rel.netlist")),
+            "v2 manifests get the same relative-path resolution as v1"
+        );
+        std::fs::write(&manifest, r#"{"jobs": [{"sauce": 1}]}"#).unwrap();
+        let err = Batch::from_file(&manifest).unwrap_err();
+        assert!(err.to_string().contains("batch.json"), "{err}");
+        assert!(err.message.contains("unknown field `sauce`"), "{err}");
+        // A UTF-8 BOM (Windows tooling) must not defeat the sniffing.
+        std::fs::write(&manifest, "\u{feff}{\"jobs\": []}").unwrap();
+        let batch = Batch::from_file(&manifest).unwrap();
+        assert!(batch.jobs.is_empty(), "BOM-prefixed JSON parses as v2");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,11 +1,13 @@
 //! Per-job and batch-level results, with text and JSON rendering.
 //!
-//! The vendored `serde` derives are no-ops, so this module owns its own
-//! emitter (see [`crate::json`]). JSON output is deterministic by default —
-//! wall-clock fields are opt-in via [`JsonOptions::timings`] — so the same
-//! batch serializes to identical bytes regardless of worker count.
+//! JSON rendering goes through the typed response API: [`BatchReport`]
+//! wraps into a derive-serialized [`BatchResponse`]
+//! and out through `serde::json` (PR 5 replaced the hand-rolled emitter).
+//! Output is deterministic by default — wall-clock fields are opt-in via
+//! [`JsonOptions::timings`] — so the same batch serializes to identical
+//! bytes regardless of worker count.
 
-use crate::json::Node;
+use crate::api::BatchResponse;
 use eblocks_synth::StageTimings;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -134,73 +136,16 @@ impl BatchReport {
         merged
     }
 
-    /// Sums a per-job statistic over all successful jobs.
-    fn sum_stat(&self, f: impl Fn(&JobStats) -> usize) -> usize {
-        self.jobs
-            .iter()
-            .filter_map(|j| j.stats.as_ref())
-            .map(f)
-            .sum()
+    /// Renders the report as compact JSON via the derive path: the typed
+    /// [`BatchResponse`] view serialized with `serde::json` (see
+    /// [`JsonOptions`]).
+    pub fn to_json(&self, options: &JsonOptions) -> String {
+        serde::json::to_string(&BatchResponse::from_report(self, options))
     }
 
-    /// Renders the report as JSON (see [`JsonOptions`]).
-    pub fn to_json(&self, options: &JsonOptions) -> String {
-        let mut jobs = Node::array();
-        for job in &self.jobs {
-            let mut row = Node::object();
-            row.str("name", &job.name)
-                .str("partitioner", &job.partitioner)
-                .str("status", job.status.label());
-            if let Some(error) = job.status.error() {
-                row.str("error", error);
-            }
-            if let Some(stats) = &job.stats {
-                row.raw("inner_before", stats.inner_before)
-                    .raw("inner_after", stats.inner_after)
-                    .raw("partitions", stats.partitions)
-                    .raw("complete", stats.complete)
-                    .raw("verified", stats.verified)
-                    .raw("c_bytes", stats.c_bytes);
-                if options.timings {
-                    let mut stages = Node::object();
-                    for r in &stats.timings.reports {
-                        stages.raw(&r.stage.to_string(), ms(r.elapsed));
-                    }
-                    row.node("stages_ms", stages);
-                }
-            }
-            if options.timings {
-                row.raw("elapsed_ms", ms(job.elapsed));
-            }
-            jobs.push(row);
-        }
-
-        let mut batch = Node::object();
-        batch
-            .raw("jobs", self.jobs.len())
-            .raw("succeeded", self.succeeded())
-            .raw("failed", self.failed())
-            .raw("inner_before", self.sum_stat(|s| s.inner_before))
-            .raw("inner_after", self.sum_stat(|s| s.inner_after))
-            .raw("partitions", self.sum_stat(|s| s.partitions))
-            .raw("c_bytes", self.sum_stat(|s| s.c_bytes));
-        if options.timings {
-            batch.raw("workers", self.workers);
-            batch.raw("elapsed_ms", ms(self.elapsed));
-            let mut stages = Node::object();
-            for stat in self.stage_timings().summarize() {
-                let mut s = Node::object();
-                s.raw("runs", stat.runs)
-                    .raw("total_ms", ms(stat.total))
-                    .raw("max_ms", ms(stat.max));
-                stages.node(&stat.stage.to_string(), s);
-            }
-            batch.node("stages", stages);
-        }
-
-        let mut root = Node::object();
-        root.node("batch", batch).node("results", jobs);
-        root.finish()
+    /// [`to_json`](Self::to_json) with 2-space-indent pretty printing.
+    pub fn to_json_pretty(&self, options: &JsonOptions) -> String {
+        serde::json::to_string_pretty(&BatchResponse::from_report(self, options))
     }
 
     /// Renders the report as fixed-width text. `with_timings` appends the

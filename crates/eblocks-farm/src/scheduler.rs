@@ -14,8 +14,9 @@
 
 use crate::job::{Batch, Job, JobMode};
 use crate::report::{BatchReport, JobReport, JobStats, JobStatus};
-use eblocks_partition::{PartitionConstraints, Registry};
-use eblocks_synth::{Pipeline, Stage, StageReport, StageTimings, VerifyOptions};
+use eblocks_core::Design;
+use eblocks_partition::{PartitionConstraints, Partitioner, Registry};
+use eblocks_synth::{Pipeline, Stage, StageReport, StageTimings, SynthesisResult, VerifyOptions};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -65,6 +66,39 @@ impl FarmConfig {
     }
 }
 
+/// Streaming observation of a running batch — the hook a service mode
+/// (spool watcher, RPC server) uses to push per-job progress to clients
+/// while the batch is still running.
+///
+/// Callbacks fire **on the worker thread that ran the job** (hence the
+/// `Sync` bound), and a finished job's [`JobReport`] carries its full
+/// [`StageTimings`], so a listener can stream per-stage breakdowns without
+/// waiting for the final [`BatchReport`]. Job indices refer to submission
+/// order; jobs on different workers start and finish interleaved.
+///
+/// Both methods default to no-ops, so listeners implement only what they
+/// need. A panicking callback is caught and discarded — the farm's
+/// per-job panic isolation extends to listeners, so a buggy progress hook
+/// cannot take down the batch or lose completed results.
+pub trait BatchProgress: Sync {
+    /// A worker claimed `job` (index `index` in submission order) and is
+    /// about to run it.
+    fn job_started(&self, index: usize, job: &Job) {
+        let _ = (index, job);
+    }
+
+    /// The job at `index` finished (ok, failed, or panicked); `report` is
+    /// exactly the row the final [`BatchReport`] will hold.
+    fn job_finished(&self, index: usize, report: &JobReport) {
+        let _ = (index, report);
+    }
+}
+
+/// The default listener: hears nothing.
+struct Silent;
+
+impl BatchProgress for Silent {}
+
 /// Runs every job in `batch` across the configured worker pool and
 /// aggregates the per-job outcomes into a [`BatchReport`].
 ///
@@ -72,6 +106,16 @@ impl FarmConfig {
 /// per-job results are identical for any worker count; only wall-clock
 /// fields differ.
 pub fn run_batch(batch: &Batch, config: &FarmConfig) -> BatchReport {
+    run_batch_with_progress(batch, config, &Silent)
+}
+
+/// [`run_batch`] with a [`BatchProgress`] listener receiving job
+/// started/finished callbacks as workers process the queue.
+pub fn run_batch_with_progress(
+    batch: &Batch,
+    config: &FarmConfig,
+    progress: &dyn BatchProgress,
+) -> BatchReport {
     let started = Instant::now();
     let workers = config.effective_workers(batch.jobs.len());
     let next = AtomicUsize::new(0);
@@ -84,7 +128,12 @@ pub fn run_batch(batch: &Batch, config: &FarmConfig) -> BatchReport {
                 let Some(job) = batch.jobs.get(index) else {
                     break;
                 };
+                // Listener panics are swallowed (they run outside
+                // run_job's catch) so a buggy hook cannot abort the
+                // scoped pool and lose the batch's results.
+                let _ = catch_unwind(AssertUnwindSafe(|| progress.job_started(index, job)));
                 let report = run_job(job, batch, config);
+                let _ = catch_unwind(AssertUnwindSafe(|| progress.job_finished(index, &report)));
                 slots.lock().expect("farm result lock")[index] = Some(report);
             });
         }
@@ -142,18 +191,58 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Resolves a strategy name against `registry`, with the standard
+/// "unknown partitioner" message listing what is available. Shared by the
+/// batch path here and the request API ([`crate::api::synthesize_with`]).
+pub(crate) fn resolve_strategy(
+    registry: &Registry,
+    name: &str,
+) -> Result<Box<dyn Partitioner>, String> {
+    registry.from_str(name).ok_or_else(|| {
+        format!(
+            "unknown partitioner `{name}` (available: {})",
+            registry.names().join(", ")
+        )
+    })
+}
+
+/// Runs `design` through the full synthesis pipeline with `job`'s options
+/// (partition → merge → rewrite → verify or skip → emit C), feeding
+/// `timings`. The one pipeline invocation both the batch scheduler and
+/// the request API execute, so the two paths cannot drift.
+pub(crate) fn run_synth_pipeline(
+    design: &Design,
+    job: &Job,
+    partitioner: &dyn Partitioner,
+    timings: &mut StageTimings,
+) -> Result<SynthesisResult, String> {
+    let rewritten = Pipeline::new(design)
+        .constraints(PartitionConstraints::with_spec(job.spec))
+        .optimize(job.optimize)
+        .observe(timings)
+        .partition_with(partitioner)
+        .map_err(|e| e.to_string())?
+        .merge()
+        .map_err(|e| e.to_string())?
+        .rewrite()
+        .map_err(|e| e.to_string())?;
+    let verified = if job.verify {
+        rewritten
+            .verify(VerifyOptions::default())
+            .map_err(|e| e.to_string())?
+    } else {
+        rewritten.skip_verify()
+    };
+    Ok(verified.emit_c())
+}
+
 /// The fallible body of one job.
 fn execute(job: &Job, partitioner_name: &str, config: &FarmConfig) -> Result<JobStats, String> {
-    let partitioner = config.registry.from_str(partitioner_name).ok_or_else(|| {
-        format!(
-            "unknown partitioner `{partitioner_name}` (available: {})",
-            config.registry.names().join(", ")
-        )
-    })?;
+    let partitioner = resolve_strategy(&config.registry, partitioner_name)?;
     let design = job.load_design()?;
-    let constraints = PartitionConstraints::with_spec(job.spec);
     match job.mode {
         JobMode::Partition => {
+            let constraints = PartitionConstraints::with_spec(job.spec);
             design.validate().map_err(|e| e.to_string())?;
             let started = Instant::now();
             let partitioning = partitioner.partition(&design, &constraints);
@@ -179,24 +268,7 @@ fn execute(job: &Job, partitioner_name: &str, config: &FarmConfig) -> Result<Job
         }
         JobMode::Synth => {
             let mut timings = StageTimings::new();
-            let rewritten = Pipeline::new(&design)
-                .constraints(constraints)
-                .optimize(job.optimize)
-                .observe(&mut timings)
-                .partition_with(partitioner.as_ref())
-                .map_err(|e| e.to_string())?
-                .merge()
-                .map_err(|e| e.to_string())?
-                .rewrite()
-                .map_err(|e| e.to_string())?;
-            let verified = if job.verify {
-                rewritten
-                    .verify(VerifyOptions::default())
-                    .map_err(|e| e.to_string())?
-            } else {
-                rewritten.skip_verify()
-            };
-            let result = verified.emit_c();
+            let result = run_synth_pipeline(&design, job, partitioner.as_ref(), &mut timings)?;
             Ok(JobStats {
                 inner_before: result.inner_before(),
                 inner_after: result.inner_after(),
@@ -305,6 +377,93 @@ mod tests {
             "lists the registered names: {e}"
         );
         assert!(report.jobs[2].status.is_ok());
+    }
+
+    /// A listener recording every callback, guarded for cross-thread use.
+    #[derive(Default)]
+    struct Recorder {
+        started: Mutex<Vec<(usize, String)>>,
+        finished: Mutex<Vec<(usize, JobReport)>>,
+    }
+
+    impl BatchProgress for Recorder {
+        fn job_started(&self, index: usize, job: &Job) {
+            self.started.lock().unwrap().push((index, job.name.clone()));
+        }
+
+        fn job_finished(&self, index: usize, report: &JobReport) {
+            self.finished.lock().unwrap().push((index, report.clone()));
+        }
+    }
+
+    #[test]
+    fn progress_listener_sees_every_job_start_and_finish() {
+        let batch = library_batch();
+        let recorder = Recorder::default();
+        let report = run_batch_with_progress(&batch, &FarmConfig::with_workers(2), &recorder);
+
+        let mut started = recorder.started.into_inner().unwrap();
+        started.sort();
+        assert_eq!(
+            started,
+            vec![
+                (0, "Ignition Illuminator".to_string()),
+                (1, "Podium Timer 3".to_string()),
+                (2, "gen10-3".to_string()),
+            ]
+        );
+
+        let mut finished = recorder.finished.into_inner().unwrap();
+        finished.sort_by_key(|(i, _)| *i);
+        assert_eq!(finished.len(), 3);
+        for (index, row) in &finished {
+            assert_eq!(
+                *row, report.jobs[*index],
+                "streamed rows match the final report"
+            );
+        }
+        // The streamed rows carry the per-job stage timings already.
+        assert!(!finished[0]
+            .1
+            .stats
+            .as_ref()
+            .unwrap()
+            .timings
+            .reports
+            .is_empty());
+    }
+
+    #[test]
+    fn panicking_listener_does_not_lose_the_batch() {
+        struct Grenade;
+
+        impl BatchProgress for Grenade {
+            fn job_started(&self, _: usize, _: &Job) {
+                panic!("listener bug on start");
+            }
+
+            fn job_finished(&self, _: usize, _: &JobReport) {
+                panic!("listener bug on finish");
+            }
+        }
+
+        let report =
+            run_batch_with_progress(&library_batch(), &FarmConfig::with_workers(2), &Grenade);
+        assert_eq!(report.jobs.len(), 3);
+        assert!(report.all_ok(), "{}", report.render_text(false));
+    }
+
+    #[test]
+    fn progress_listener_hears_panicked_jobs_too() {
+        let mut config = FarmConfig::with_workers(1);
+        config.registry.register("poison", || Box::new(Poison));
+        let batch = Batch::new(vec![
+            Job::library("Ignition Illuminator").with_partitioner("poison")
+        ]);
+        let recorder = Recorder::default();
+        run_batch_with_progress(&batch, &config, &recorder);
+        let finished = recorder.finished.into_inner().unwrap();
+        assert!(matches!(finished[0].1.status, JobStatus::Panicked(_)));
     }
 
     /// A strategy that always panics, for poisoned-job isolation tests.

@@ -7,21 +7,30 @@
 //!
 //! [`Pipeline`]: crate::Pipeline
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Duration;
 
 /// The stages of the synthesis pipeline, in execution order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// Serializes as the same lower-case token [`Display`](fmt::Display)
+/// prints, so JSON reports and the `--timings` text agree on stage names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Stage {
     /// Partition the inner blocks.
+    #[serde(rename = "partition")]
     Partition,
     /// Merge each partition's behaviors into one program.
+    #[serde(rename = "merge")]
     Merge,
     /// Rewrite the network around programmable blocks.
+    #[serde(rename = "rewrite")]
     Rewrite,
     /// Co-simulate original vs synthesized.
+    #[serde(rename = "verify")]
     Verify,
     /// Emit C sources and size estimates.
+    #[serde(rename = "emit-c")]
     EmitC,
 }
 
@@ -165,6 +174,21 @@ mod tests {
         .map(Stage::to_string)
         .collect();
         assert_eq!(names, ["partition", "merge", "rewrite", "verify", "emit-c"]);
+    }
+
+    #[test]
+    fn stage_serialization_matches_display() {
+        for stage in [
+            Stage::Partition,
+            Stage::Merge,
+            Stage::Rewrite,
+            Stage::Verify,
+            Stage::EmitC,
+        ] {
+            let value = serde::Serialize::serialize(&stage);
+            assert_eq!(value.as_str(), Some(stage.to_string().as_str()));
+            assert_eq!(serde::Deserialize::deserialize(&value), Ok(stage));
+        }
     }
 
     #[test]

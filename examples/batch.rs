@@ -1,35 +1,77 @@
-//! Batch-synthesis quickstart: drive the farm over three Table-1 library
-//! designs on a two-worker pool and print the aggregated report.
+//! Batch-synthesis quickstart: a JSON `BatchRequest` (manifest format v2)
+//! in, a worker pool in the middle, streamed progress while it runs, and a
+//! typed `BatchResponse` back out as JSON — the exact shape a service mode
+//! would speak over RPC.
 //!
 //! Run with: `cargo run --example batch`
 
-use eblocks::farm::{run_batch, Batch, FarmConfig, Job, JsonOptions};
+use eblocks::api::{BatchRequest, BatchResponse};
+use eblocks::farm::{
+    run_batch_with_progress, BatchProgress, FarmConfig, Job, JobReport, JsonOptions,
+};
+
+/// A progress listener printing one line per job event as workers report.
+struct PrintProgress;
+
+impl BatchProgress for PrintProgress {
+    fn job_started(&self, index: usize, job: &Job) {
+        println!("[{index}] started  {}", job.name);
+    }
+
+    fn job_finished(&self, index: usize, report: &JobReport) {
+        println!(
+            "[{index}] finished {} ({}, {} stage(s) timed)",
+            report.name,
+            if report.status.is_ok() {
+                "ok"
+            } else {
+                "failed"
+            },
+            report.stats.as_ref().map_or(0, |s| s.timings.reports.len()),
+        );
+    }
+}
 
 fn main() {
-    // One job per design; the middle one picks its own strategy, the rest
-    // fall back to the farm default (pare-down).
-    let batch = Batch::new(vec![
-        Job::library("Ignition Illuminator"),
-        Job::library("Podium Timer 3").with_partitioner("refine"),
-        Job::library("Two-Zone Security"),
-    ]);
+    // A batch as it would arrive over the wire: one job per design, the
+    // middle one picking its own strategy, the rest falling back to the
+    // request default.
+    let request: BatchRequest = serde::json::from_str(
+        r#"{
+            "default_partitioner": "pare-down",
+            "jobs": [
+                {"source": {"library": "Ignition Illuminator"}},
+                {"source": {"library": "Podium Timer 3"}, "partitioner": "refine"},
+                {"source": {"library": "Two-Zone Security"}}
+            ]
+        }"#,
+    )
+    .expect("well-formed request");
 
-    let report = run_batch(&batch, &FarmConfig::with_workers(2));
+    let report = run_batch_with_progress(
+        &request.to_batch(),
+        &FarmConfig::with_workers(2),
+        &PrintProgress,
+    );
 
     // The human-readable report, with per-stage totals from the merged
     // pipeline observers.
-    print!("{}", report.render_text(true));
+    print!("\n{}", report.render_text(true));
 
-    // The same report as deterministic JSON (add `timings: true` for
-    // wall-clock fields).
-    println!("\n{}", report.to_json(&JsonOptions::default()));
+    // The same report as deterministic JSON through the typed response
+    // (add `timings: true` for wall-clock fields).
+    let response = BatchResponse::from_report(&report, &JsonOptions::default());
+    println!("\n{}", serde::json::to_string_pretty(&response));
 
     // Everything is also available programmatically.
-    for job in &report.jobs {
-        let stats = job.stats.as_ref().expect("all three designs synthesize");
+    for row in &response.results {
         println!(
             "{}: {} -> {} inner block(s), {} bytes of C, verified: {}",
-            job.name, stats.inner_before, stats.inner_after, stats.c_bytes, stats.verified
+            row.name,
+            row.inner_before.unwrap(),
+            row.inner_after.unwrap(),
+            row.c_bytes.unwrap(),
+            row.verified.unwrap(),
         );
     }
     assert!(report.all_ok());

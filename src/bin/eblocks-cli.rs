@@ -14,16 +14,25 @@
 //! eblocks-cli --list-partitioners      # print the registered strategy names
 //! ```
 //!
+//! The CLI is a thin argv front end over the typed request API
+//! (`eblocks::api`): `synth` builds a `SynthRequest` and `batch` runs the
+//! same `Batch`/`BatchResponse` types an RPC server would speak, so
+//! `eblocks-cli batch --json` output round-trips through `eblocks::api`.
+//!
 //! `synth` writes `<name>-synth.netlist` plus one `progN.c` per programmable
-//! block into OUTDIR (default: alongside the input); `--timings` adds a
-//! per-stage timing breakdown from the pipeline's observer hook, and
-//! `--partitioner` selects any of the registered strategies — pass `list`
-//! (or the standalone `--list-partitioners`) to print their names
-//! (`--algorithm` survives as a deprecated alias for the original three).
-//! `batch` runs every job in a farm manifest (see `eblocks::farm`) across a
-//! worker pool — `--jobs N` workers (default: all cores), `--partitioner`
-//! as the default strategy for jobs that name none, `--json` for a machine-
-//! readable report (deterministic: wall-clock fields only with `--timings`).
+//! block into OUTDIR (default: alongside the input); `--json` prints the
+//! full `SynthResponse` (stats + netlist + C sources) instead of the text
+//! summary, `--timings` adds a per-stage timing breakdown from the
+//! pipeline's observer hook, and `--partitioner` selects any of the
+//! registered strategies — pass `list` (or the standalone
+//! `--list-partitioners`) to print their names (`--algorithm` survives as a
+//! deprecated alias for the original three, with a stderr warning).
+//! `batch` runs every job in a farm manifest across a worker pool; the
+//! manifest is either the line-oriented v1 format or a JSON `BatchRequest`
+//! (manifest v2, detected by a leading `{`). `--jobs N` sizes the pool
+//! (default: all cores), `--partitioner` is the default strategy for jobs
+//! that name none, `--json` prints the machine-readable `BatchResponse`
+//! (deterministic: wall-clock fields only with `--timings`).
 //! The report always prints to stdout; if any job failed the command also
 //! writes a summary to stderr and exits non-zero. Per-job settings
 //! (`verify=`, `inputs=`, `outputs=`) live in the manifest, so `batch`
@@ -34,11 +43,11 @@
 //! `--pin` anchors, and prints the per-block site assignment and total
 //! routed hops.
 
-use eblocks::core::netlist::{from_netlist, to_netlist};
+use eblocks::api::{self, DesignSource, SynthRequest};
+use eblocks::core::netlist::from_netlist;
 use eblocks::core::{Design, ProgrammableSpec};
 use eblocks::farm::{run_batch, Batch, FarmConfig, JsonOptions};
 use eblocks::partition::{PartitionConstraints, Partitioner, Registry};
-use eblocks::synth::{Pipeline, StageTimings, VerifyOptions};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -167,6 +176,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             // Deprecated alias, kept for scripts written against the old
             // 3-variant --algorithm flag.
             "--algorithm" => {
+                eprintln!(
+                    "warning: --algorithm is deprecated and will be removed; use --partitioner"
+                );
                 options.partitioner = match it.next().ok_or("missing algorithm")?.as_str() {
                     name @ ("pare-down" | "exhaustive" | "aggregation") => Some(name.to_string()),
                     other => return Err(format!("unknown algorithm `{other}`")),
@@ -244,7 +256,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 const USAGE: &str =
-    "usage: eblocks-cli <synth|check|partition|batch|sim|place> <netlist|manifest> \
+    "usage: eblocks-cli <synth|check|partition|batch|sim|place> <netlist|manifest(.json)> \
 [-o OUTDIR] [--partitioner pare-down|exhaustive|aggregation|refine|anneal|list] \
 [--inputs N] [--outputs N] [--no-verify] [--timings] \
 [--jobs N] [--json] \
@@ -283,8 +295,13 @@ fn run(args: &[String]) -> Result<String, Failure> {
     if options.partitioner.as_deref() == Some("list") {
         return Ok(list_partitioners());
     }
+    // `batch` and `synth` go through the typed request API, which loads
+    // its own inputs.
     if options.command == "batch" {
         return batch_command(&options);
+    }
+    if options.command == "synth" {
+        return Ok(synth_command(&options)?);
     }
     let text = std::fs::read_to_string(&options.input)
         .map_err(|e| format!("cannot read {}: {e}", options.input.display()))?;
@@ -293,7 +310,6 @@ fn run(args: &[String]) -> Result<String, Failure> {
     Ok(match options.command.as_str() {
         "check" => check_command(&design),
         "partition" => partition_command(&design, &options),
-        "synth" => synth_command(&design, &options),
         "sim" => sim_command(&design, &options),
         "place" => place_command(&design, &options),
         _ => unreachable!("validated in parse_args"),
@@ -321,7 +337,9 @@ fn batch_command(options: &Options) -> Result<String, Failure> {
                 .into(),
         );
     }
-    let batch = Batch::from_file(&options.input)?;
+    // v1 (line-oriented) and v2 (JSON `BatchRequest`) manifests both land
+    // in the same `Batch` the typed API uses.
+    let batch = Batch::from_file(&options.input).map_err(|e| e.to_string())?;
     let config = FarmConfig {
         workers: options.jobs,
         partitioner_override: options.partitioner.clone(),
@@ -381,24 +399,23 @@ fn partition_command(design: &Design, options: &Options) -> Result<String, Strin
     Ok(out)
 }
 
-fn synth_command(design: &Design, options: &Options) -> Result<String, String> {
-    let partitioner = resolve_partitioner(options.partitioner.as_deref().unwrap_or("pare-down"))?;
-    let mut timings = StageTimings::new();
-    let rewritten = Pipeline::new(design)
-        .constraints(PartitionConstraints::with_spec(options.spec))
-        .observe(&mut timings)
-        .partition_with(partitioner.as_ref())
-        .and_then(eblocks::synth::Partitioned::merge)
-        .and_then(eblocks::synth::Merged::rewrite)
-        .map_err(|e| e.to_string())?;
-    let verified = if options.verify {
-        rewritten
-            .verify(VerifyOptions::default())
-            .map_err(|e| e.to_string())?
-    } else {
-        rewritten.skip_verify()
-    };
-    let result = verified.emit_c();
+/// Builds the typed [`SynthRequest`] the argv describes — the same object
+/// a synthesis RPC endpoint would accept.
+fn synth_request(options: &Options) -> SynthRequest {
+    let mut request = SynthRequest::new(DesignSource::Netlist(options.input.clone()));
+    request.partitioner = options.partitioner.clone();
+    request.options.verify = Some(options.verify);
+    if options.spec != ProgrammableSpec::default() {
+        request.options.inputs = Some(options.spec.inputs);
+        request.options.outputs = Some(options.spec.outputs);
+    }
+    request
+}
+
+/// Thin front end over [`api::synthesize`]: build the request, run it,
+/// write the response's artifacts to disk, render the summary.
+fn synth_command(options: &Options) -> Result<String, String> {
+    let response = api::synthesize(&synth_request(options))?;
 
     let outdir = options
         .outdir
@@ -407,35 +424,33 @@ fn synth_command(design: &Design, options: &Options) -> Result<String, String> {
         .unwrap_or_else(|| PathBuf::from("."));
     std::fs::create_dir_all(&outdir).map_err(|e| e.to_string())?;
 
-    let netlist_path = outdir.join(format!("{}.netlist", result.synthesized.name()));
-    std::fs::write(&netlist_path, to_netlist(&result.synthesized)).map_err(|e| e.to_string())?;
+    let netlist_path = outdir.join(format!("{}.netlist", response.synthesized));
+    std::fs::write(&netlist_path, &response.netlist).map_err(|e| e.to_string())?;
     let mut written = vec![netlist_path.display().to_string()];
-    for (block, c) in &result.c_sources {
-        let path = outdir.join(format!("{block}.c"));
-        std::fs::write(&path, c).map_err(|e| e.to_string())?;
+    for source in &response.c_sources {
+        let path = outdir.join(format!("{}.c", source.block));
+        std::fs::write(&path, &source.code).map_err(|e| e.to_string())?;
         written.push(path.display().to_string());
+    }
+
+    if options.json {
+        let mut out = serde::json::to_string_pretty(&response);
+        out.push('\n');
+        return Ok(out);
     }
 
     let mut out = format!(
         "{}: {} inner blocks -> {} ({} programmable)\n",
-        design.name(),
-        result.inner_before(),
-        result.inner_after(),
-        result.partitioning.num_partitions()
+        response.design, response.inner_before, response.inner_after, response.partitions
     );
-    if let Some(report) = &result.report {
-        out.push_str(&format!(
-            "verified equivalent at {} samples\n",
-            report.sample_times.len()
-        ));
+    if let Some(samples) = response.verified_samples {
+        out.push_str(&format!("verified equivalent at {samples} samples\n"));
     }
     if options.timings {
-        for r in &timings.reports {
+        for row in &response.stages_ms {
             out.push_str(&format!(
                 "stage {:<9} {:>9.3}ms  {}\n",
-                r.stage,
-                r.elapsed.as_secs_f64() * 1e3,
-                r.detail
+                row.stage, row.ms, row.detail
             ));
         }
     }

@@ -18,6 +18,7 @@
 //! | [`synth`] | `eblocks-synth` | the staged synthesis [`Pipeline`](synth::Pipeline) |
 //! | [`designs`] | `eblocks-designs` | the 15 Table-1 library systems |
 //! | [`farm`] | `eblocks-farm` | parallel batch synthesis: manifests, worker pools, reports |
+//! | [`api`] | `eblocks-farm` | typed JSON request/response surface: [`BatchRequest`](api::BatchRequest) in, [`BatchResponse`](api::BatchResponse) out |
 //! | [`gen`] | `eblocks-gen` | the random design generator |
 //! | [`place`] | `eblocks-place` | deployment onto an existing physical node network (§6 future work) |
 //!
@@ -64,6 +65,27 @@
 //! partition analysis), skip verification, or attach an
 //! [`Observer`](synth::Observer) for per-stage timings. The one-call
 //! [`synth::synthesize`] shim remains for the common case.
+//!
+//! # JSON in, JSON out
+//!
+//! Since PR 5 the vendored `serde` is a real (minimal) serialization core,
+//! and [`api`] is the typed request/response surface built on it — the
+//! same types `eblocks-cli batch --json` and a future RPC service mode
+//! speak. A whole batch can arrive as JSON (manifest format v2):
+//!
+//! ```
+//! use eblocks::api::{BatchRequest, BatchResponse};
+//! use eblocks::farm::{run_batch, FarmConfig, JsonOptions};
+//!
+//! let request: BatchRequest = serde::json::from_str(
+//!     r#"{"jobs": [{"source": {"library": "Carpool Alert"}}]}"#,
+//! ).unwrap();
+//! let report = run_batch(&request.to_batch(), &FarmConfig::with_workers(1));
+//! let response = BatchResponse::from_report(&report, &JsonOptions::default());
+//! assert_eq!(response.batch.succeeded, 1);
+//! let json = serde::json::to_string(&response); // deterministic bytes
+//! # assert!(json.contains("\"succeeded\":1"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -73,6 +95,7 @@ pub use eblocks_codegen as codegen;
 pub use eblocks_core as core;
 pub use eblocks_designs as designs;
 pub use eblocks_farm as farm;
+pub use eblocks_farm::api;
 pub use eblocks_gen as gen;
 pub use eblocks_partition as partition;
 pub use eblocks_place as place;

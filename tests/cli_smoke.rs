@@ -78,6 +78,85 @@ fn cli_synthesizes_garage_open_at_night_and_emits_c() {
 }
 
 #[test]
+fn algorithm_alias_warns_on_stderr_but_still_works() {
+    let dir = scratch_dir("alias-warn");
+    let design = eblocks::designs::garage_open_at_night();
+    let netlist_path = dir.join("garage-open-at-night.netlist");
+    std::fs::write(&netlist_path, eblocks::core::netlist::to_netlist(&design)).unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_eblocks-cli"))
+        .args([
+            "partition",
+            netlist_path.to_str().unwrap(),
+            "--algorithm",
+            "aggregation",
+        ])
+        .output()
+        .expect("spawn eblocks-cli");
+    assert!(output.status.success(), "the alias must keep working");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("deprecated"), "one-line warning: {stderr}");
+    assert!(
+        stderr.contains("--partitioner"),
+        "points at the replacement: {stderr}"
+    );
+
+    // The modern spelling stays silent.
+    let output = Command::new(env!("CARGO_BIN_EXE_eblocks-cli"))
+        .args([
+            "partition",
+            netlist_path.to_str().unwrap(),
+            "--partitioner",
+            "aggregation",
+        ])
+        .output()
+        .expect("spawn eblocks-cli");
+    assert!(output.status.success());
+    assert!(
+        output.stderr.is_empty(),
+        "no warning for --partitioner: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_synth_json_emits_the_typed_response() {
+    let dir = scratch_dir("synth-json");
+    let design = eblocks::designs::garage_open_at_night();
+    let netlist_path = dir.join("garage-open-at-night.netlist");
+    std::fs::write(&netlist_path, eblocks::core::netlist::to_netlist(&design)).unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_eblocks-cli"))
+        .args([
+            "synth",
+            netlist_path.to_str().unwrap(),
+            "-o",
+            dir.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .expect("spawn eblocks-cli");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // The stdout is a parseable SynthResponse; artifacts are still written.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let response: eblocks::api::SynthResponse =
+        serde::json::from_str(stdout.trim()).unwrap_or_else(|e| panic!("{e}\n{stdout}"));
+    assert_eq!(response.design, "garage-open-at-night");
+    assert!(response.verified_samples.unwrap() > 0);
+    assert!(dir
+        .join(format!("{}.netlist", response.synthesized))
+        .exists());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_check_reports_flagship_as_valid() {
     let dir = scratch_dir("check");
     let design = eblocks::designs::garage_open_at_night();

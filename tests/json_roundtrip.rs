@@ -1,0 +1,243 @@
+//! Property tests for the serialization core and the typed API:
+//!
+//! * arbitrary `Value` trees survive value → JSON text → value, and
+//!   re-serialization is byte-identical (the determinism contract the
+//!   golden batch report relies on);
+//! * arbitrary `BatchRequest`s and `BatchResponse`s survive
+//!   struct → JSON → struct with byte-identical re-serialization, and
+//!   requests convert losslessly to and from the engine's `Batch`.
+
+use eblocks::api::{
+    BatchRequest, BatchResponse, BatchSummary, DesignSource, JobOutcome, JobResponse, JobSpec,
+    StageMs, StageSummary, SynthOptions,
+};
+use eblocks::farm::JobMode;
+use eblocks::synth::Stage;
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use serde::{json, Value};
+
+/// Strings over the troublesome alphabet: control characters, quotes,
+/// backslashes, non-BMP characters, and ordinary printables.
+fn string_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<char>(),
+            (0u32..0x20).prop_map(|c| char::from_u32(c).expect("control range")),
+            Just('"'),
+            Just('\\'),
+            Just('🚀'),
+        ],
+        0..8,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// A finite f64 (non-finite floats have no JSON representation).
+fn finite_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let f = f64::from_bits(bits);
+        if f.is_finite() {
+            f
+        } else {
+            0.5
+        }
+    })
+}
+
+fn value_strategy() -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::from),
+        any::<u64>().prop_map(Value::from),
+        any::<i64>().prop_map(Value::from),
+        finite_f64().prop_map(Value::from),
+        string_strategy().prop_map(Value::from),
+    ];
+    leaf.boxed().prop_recursive(3, 32, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
+            proptest::collection::vec((string_strategy(), inner), 0..5).prop_map(|pairs| {
+                // The parser rejects duplicate keys, so keep first wins.
+                let mut seen = std::collections::HashSet::new();
+                Value::Object(
+                    pairs
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+fn options_strategy() -> impl Strategy<Value = SynthOptions> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), 1u8..4, 1u8..4).prop_map(
+        |(mode, verify, optimize, inputs, outputs)| SynthOptions {
+            mode: mode.then_some(JobMode::Partition),
+            verify: verify.then_some(false),
+            optimize: optimize.then_some(true),
+            inputs: (inputs > 1).then_some(inputs),
+            outputs: (outputs > 1).then_some(outputs),
+        },
+    )
+}
+
+fn source_strategy() -> impl Strategy<Value = DesignSource> {
+    prop_oneof![
+        string_strategy().prop_map(|s| DesignSource::Netlist(format!("dir/{s}.netlist").into())),
+        string_strategy().prop_map(DesignSource::Library),
+        (1usize..100, any::<u64>())
+            .prop_map(|(inner, seed)| DesignSource::Generated { inner, seed }),
+    ]
+}
+
+fn request_strategy() -> impl Strategy<Value = BatchRequest> {
+    (
+        proptest::collection::vec(
+            (
+                any::<bool>(),
+                string_strategy(),
+                source_strategy(),
+                options_strategy(),
+            )
+                .prop_map(|(named, name, source, options)| JobSpec {
+                    name: named.then_some(name),
+                    source,
+                    partitioner: None,
+                    options,
+                }),
+            0..5,
+        ),
+        any::<bool>(),
+    )
+        .prop_map(|(jobs, with_default)| BatchRequest {
+            default_partitioner: with_default.then(|| "refine".to_string()),
+            jobs,
+        })
+}
+
+/// Millisecond values with 3 decimals, exactly representable.
+fn ms_strategy() -> impl Strategy<Value = f64> {
+    (0u64..10_000_000).prop_map(|n| n as f64 / 1000.0)
+}
+
+fn job_response_strategy() -> impl Strategy<Value = JobResponse> {
+    (
+        (string_strategy(), string_strategy()),
+        0u8..3,
+        string_strategy(),
+        (any::<bool>(), 0usize..100, 0usize..100),
+        (any::<bool>(), ms_strategy()),
+    )
+        .prop_map(
+            |((name, partitioner), status, error, (ok_stats, inner, c_bytes), (timed, ms))| {
+                let status = match status {
+                    0 => JobOutcome::Ok,
+                    1 => JobOutcome::Failed,
+                    _ => JobOutcome::Panicked,
+                };
+                let has_stats = status == JobOutcome::Ok && ok_stats;
+                JobResponse {
+                    name,
+                    partitioner,
+                    status,
+                    error: (status != JobOutcome::Ok).then_some(error),
+                    inner_before: has_stats.then_some(inner),
+                    inner_after: has_stats.then_some(inner / 2),
+                    partitions: has_stats.then_some(inner / 3),
+                    complete: has_stats.then_some(true),
+                    verified: has_stats.then_some(false),
+                    c_bytes: has_stats.then_some(c_bytes),
+                    stages_ms: (has_stats && timed).then(|| {
+                        vec![StageMs {
+                            stage: Stage::Partition,
+                            ms,
+                            detail: "2 partitions".into(),
+                        }]
+                    }),
+                    elapsed_ms: timed.then_some(ms),
+                }
+            },
+        )
+}
+
+fn response_strategy() -> impl Strategy<Value = BatchResponse> {
+    (
+        proptest::collection::vec(job_response_strategy(), 0..5),
+        (any::<bool>(), 1usize..9, ms_strategy()),
+    )
+        .prop_map(|(results, (timed, workers, ms))| {
+            let succeeded = results
+                .iter()
+                .filter(|r| r.status == JobOutcome::Ok)
+                .count();
+            BatchResponse {
+                batch: BatchSummary {
+                    jobs: results.len(),
+                    succeeded,
+                    failed: results.len() - succeeded,
+                    inner_before: results.iter().filter_map(|r| r.inner_before).sum(),
+                    inner_after: results.iter().filter_map(|r| r.inner_after).sum(),
+                    partitions: results.iter().filter_map(|r| r.partitions).sum(),
+                    c_bytes: results.iter().filter_map(|r| r.c_bytes).sum(),
+                    workers: timed.then_some(workers),
+                    elapsed_ms: timed.then_some(ms),
+                    stages: timed.then(|| {
+                        vec![StageSummary {
+                            stage: Stage::Partition,
+                            runs: results.len(),
+                            total_ms: ms,
+                            max_ms: ms,
+                        }]
+                    }),
+                },
+                results,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128).with_rng_seed(0x0015_EDE5))]
+
+    #[test]
+    fn value_to_json_to_value(value in value_strategy()) {
+        let text = json::to_string(&value);
+        let back = json::parse(&text).map_err(|e| {
+            proptest::TestCaseError::fail(format!("{text}: {e}"))
+        })?;
+        prop_assert_eq!(&back, &value, "value round-trips: {}", text);
+        prop_assert_eq!(json::to_string(&back), text, "byte-identical re-serialization");
+
+        // Pretty text parses back to the same value too.
+        let pretty = json::to_string_pretty(&value);
+        let back = json::parse(&pretty).map_err(|e| {
+            proptest::TestCaseError::fail(format!("{pretty}: {e}"))
+        })?;
+        prop_assert_eq!(&back, &value, "pretty round-trips: {}", pretty);
+    }
+
+    #[test]
+    fn batch_request_round_trips(request in request_strategy()) {
+        let text = json::to_string(&request);
+        let back: BatchRequest = json::from_str(&text).map_err(|e| {
+            proptest::TestCaseError::fail(format!("{text}: {e}"))
+        })?;
+        prop_assert_eq!(&back, &request, "{}", text);
+        prop_assert_eq!(json::to_string(&back), text, "byte-identical re-serialization");
+
+        // Request -> engine batch -> request is lossless end to end.
+        let pinned = BatchRequest::from_batch(&request.to_batch());
+        prop_assert_eq!(pinned.to_batch(), request.to_batch());
+    }
+
+    #[test]
+    fn batch_response_round_trips(response in response_strategy()) {
+        let text = json::to_string(&response);
+        let back: BatchResponse = json::from_str(&text).map_err(|e| {
+            proptest::TestCaseError::fail(format!("{text}: {e}"))
+        })?;
+        prop_assert_eq!(&back, &response, "{}", text);
+        prop_assert_eq!(json::to_string(&back), text, "byte-identical re-serialization");
+    }
+}

@@ -1,0 +1,365 @@
+//! [`Serialize`] / [`Deserialize`] implementations for the std types the
+//! workspace serializes.
+
+use crate::{DeError, Deserialize, Number, Serialize, Value};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::expected("a boolean", value))
+    }
+}
+
+/// The error for a failed integer parse, distinguishing a wrong kind
+/// ("expected a u8, found a string") from a right-kind-wrong-value
+/// ("number 300 does not fit in a u8" — negative, fractional, or too big).
+fn int_error(value: &Value, expected: &str) -> DeError {
+    match value {
+        Value::Number(n) => DeError::new(format!("number {n} does not fit in {expected}")),
+        other => DeError::expected(expected, other),
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::UInt(u64::from(*self)))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                value
+                    .as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| {
+                        int_error(value, concat!("a ", stringify!($t)))
+                    })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::UInt(*self as u64))
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_u64()
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| int_error(value, "a usize"))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::from(i64::from(*self)))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                value
+                    .as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| {
+                        int_error(value, concat!("an ", stringify!($t)))
+                    })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::from(*self as i64))
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_i64()
+            .and_then(|n| isize::try_from(n).ok())
+            .ok_or_else(|| int_error(value, "an isize"))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::expected("a number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::from(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::expected("a number", value))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("a string", value))
+    }
+}
+
+impl Serialize for PathBuf {
+    /// Paths serialize as strings (lossily for non-UTF-8 paths, which the
+    /// workspace never produces).
+    fn serialize(&self) -> Value {
+        Value::String(self.display().to_string())
+    }
+}
+
+impl Deserialize for PathBuf {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(PathBuf::from)
+            .ok_or_else(|| DeError::expected("a path string", value))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    /// `None` is `null`. The derive additionally **omits** `None` struct
+    /// fields from objects entirely (see the crate docs).
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| DeError::expected("an array", value))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::deserialize(item).map_err(|e| e.in_index(i)))
+            .collect()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value.as_array() {
+            Some([a, b]) => Ok((
+                A::deserialize(a).map_err(|e| e.in_index(0))?,
+                B::deserialize(b).map_err(|e| e.in_index(1))?,
+            )),
+            _ => Err(DeError::expected("an array of 2 elements", value)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    /// Maps serialize as objects in key order (deterministic by
+    /// construction — `BTreeMap` iterates sorted).
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let pairs = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("an object", value))?;
+        let mut map = BTreeMap::new();
+        for (k, v) in pairs {
+            let parsed = V::deserialize(v).map_err(|e| e.in_field(k))?;
+            if map.insert(k.clone(), parsed).is_some() {
+                return Err(DeError::new(format!("duplicate key `{k}`")));
+            }
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let cases: Vec<(Value, Value)> = vec![
+            (true.serialize(), Value::Bool(true)),
+            (42u8.serialize(), Value::from(42u64)),
+            ((-7i32).serialize(), Value::from(-7i64)),
+            (0.5f64.serialize(), Value::from(0.5)),
+            ("hi".serialize(), Value::from("hi")),
+        ];
+        for (got, want) in cases {
+            assert_eq!(got, want);
+        }
+        // Out-of-range numbers name the value and the target type; only a
+        // wrong kind reports "expected ..., found ...".
+        assert_eq!(
+            u8::deserialize(&Value::from(300u64))
+                .unwrap_err()
+                .to_string(),
+            "number 300 does not fit in a u8"
+        );
+        assert_eq!(
+            u64::deserialize(&Value::from(-1i64))
+                .unwrap_err()
+                .to_string(),
+            "number -1 does not fit in a u64"
+        );
+        assert_eq!(
+            u8::deserialize(&Value::from(1.5)).unwrap_err().to_string(),
+            "number 1.5 does not fit in a u8"
+        );
+        assert_eq!(
+            i64::deserialize(&Value::from(u64::MAX))
+                .unwrap_err()
+                .to_string(),
+            format!("number {} does not fit in an i64", u64::MAX)
+        );
+        assert_eq!(
+            u8::deserialize(&Value::from("x")).unwrap_err().to_string(),
+            "expected a u8, found a string"
+        );
+        assert_eq!(Option::<u8>::deserialize(&Value::Null), Ok(None));
+        assert_eq!(Option::<u8>::deserialize(&Value::from(3u64)), Ok(Some(3)));
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()), Ok(v));
+        let err = Vec::<u32>::deserialize(&Value::Array(vec![Value::from("x")])).unwrap_err();
+        assert_eq!(err.to_string(), "[0]: expected a u32, found a string");
+
+        let mut map = BTreeMap::new();
+        map.insert("b".to_string(), 2u8);
+        map.insert("a".to_string(), 1u8);
+        let ser = map.serialize();
+        assert_eq!(
+            ser.as_object().map(|p| p[0].0.as_str()),
+            Some("a"),
+            "sorted: {ser:?}"
+        );
+        assert_eq!(BTreeMap::<String, u8>::deserialize(&ser), Ok(map));
+
+        let pair = ("x".to_string(), 9u64);
+        assert_eq!(<(String, u64)>::deserialize(&pair.serialize()), Ok(pair));
+    }
+}

@@ -1,0 +1,662 @@
+//! JSON text encoding of the [`Value`] tree: a deterministic writer
+//! (compact and pretty) and a recursive-descent parser with line/column
+//! spanned errors.
+//!
+//! Determinism contract: equal `Value`s serialize to identical bytes.
+//! Object keys keep insertion order, integers print via `Display`, and
+//! floats print Rust's shortest round-trip form with a `.0` appended when
+//! the text would otherwise read back as an integer — so
+//! `parse(to_string(v)) == v` and `to_string(parse(s))` is a fixpoint
+//! after one normalization.
+
+use crate::{DeError, Deserialize, Number, Serialize, Value};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Nesting beyond this many levels is a parse error (stack safety).
+const MAX_DEPTH: usize = 128;
+
+/// What [`from_str`] can report: a syntax error with its position, or a
+/// shape mismatch from the target type's [`Deserialize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The text is not valid JSON.
+    Syntax(ParseError),
+    /// The JSON is valid but does not match the target type.
+    Data(DeError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Syntax(e) => write!(f, "{e}"),
+            Self::Data(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Self::Syntax(e)
+    }
+}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Self::Data(e)
+    }
+}
+
+/// A JSON syntax error with the 1-based line and column it was found at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending character.
+    pub line: usize,
+    /// 1-based column (in characters) of the offending character.
+    pub column: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {} column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ---------------------------------------------------------------- writer
+
+/// Serializes `value` to compact JSON (no whitespace).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize());
+    out
+}
+
+/// Serializes `value` to pretty JSON (2-space indent, one element per
+/// line), ending without a trailing newline.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_value_pretty(&mut out, &value.serialize(), 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, key);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_value_pretty(out: &mut String, value: &Value, indent: usize) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_value_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_escaped(out, key);
+                out.push_str(": ");
+                write_value_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_value(out, other),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Escapes `s` per RFC 8259 and appends it, quoted, to `out`.
+///
+/// The full escape table: `"` and `\` get their short forms, the named
+/// control escapes `\b \f \n \r \t` are used where they exist, and every
+/// other control character (U+0000–U+001F) becomes `\u00XX`. All other
+/// characters — including non-BMP ones — pass through as literal UTF-8.
+/// Lone surrogates cannot occur (`&str` is valid UTF-8 by construction),
+/// so the writer's output is always valid JSON.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parser
+
+/// Parses JSON text into a [`Value`].
+///
+/// Strictly RFC 8259: one top-level value, no trailing content, no
+/// comments or trailing commas. Duplicate object keys and unpaired
+/// surrogate escapes are rejected. Errors carry the 1-based line/column
+/// where parsing stopped.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser::new(text);
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err(p.error("trailing characters after the JSON value"));
+    }
+    Ok(value)
+}
+
+/// Parses JSON text directly into a deserializable type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse(text)?;
+    Ok(T::deserialize(&value)?)
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            chars: text.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            column: self.column,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(self.error(format!("expected `{want}`, found `{c}`"))),
+            None => Err(self.error(format!("expected `{want}`, found end of input"))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        for want in word.chars() {
+            match self.bump() {
+                Some(c) if c == want => {}
+                _ => return Err(self.error(format!("invalid literal (expected `{word}`)"))),
+            }
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        match self.peek() {
+            Some('n') => self.keyword("null", Value::Null),
+            Some('t') => self.keyword("true", Value::Bool(true)),
+            Some('f') => self.keyword("false", Value::Bool(false)),
+            Some('"') => self.string().map(Value::String),
+            Some('[') => self.array(depth),
+            Some('{') => self.object(depth),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.error(format!("unexpected character `{c}`"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => {}
+                Some(']') => return Ok(Value::Array(items)),
+                Some(c) => return Err(self.error(format!("expected `,` or `]`, found `{c}`"))),
+                None => return Err(self.error("unterminated array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect('{')?;
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some('"') {
+                return Err(self.error("expected a string object key"));
+            }
+            let key = self.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(self.error(format!("duplicate object key `{key}`")));
+            }
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => {}
+                Some('}') => return Ok(Value::Object(pairs)),
+                Some(c) => return Err(self.error(format!("expected `,` or `}}`, found `{c}`"))),
+                None => return Err(self.error("unterminated object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => out.push(self.escape()?),
+                Some(c) if (c as u32) < 0x20 => {
+                    return Err(self.error(format!(
+                        "unescaped control character U+{:04X} in string",
+                        c as u32
+                    )));
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, ParseError> {
+        match self.bump() {
+            Some('"') => Ok('"'),
+            Some('\\') => Ok('\\'),
+            Some('/') => Ok('/'),
+            Some('b') => Ok('\u{08}'),
+            Some('f') => Ok('\u{0C}'),
+            Some('n') => Ok('\n'),
+            Some('r') => Ok('\r'),
+            Some('t') => Ok('\t'),
+            Some('u') => self.unicode_escape(),
+            Some(c) => Err(self.error(format!("invalid escape `\\{c}`"))),
+            None => Err(self.error("unterminated escape sequence")),
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.bump() {
+                Some(c) => c
+                    .to_digit(16)
+                    .ok_or_else(|| self.error(format!("invalid hex digit `{c}` in \\u escape")))?,
+                None => return Err(self.error("unterminated \\u escape")),
+            };
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    /// `\uXXXX`, decoding UTF-16 surrogate pairs; a lone surrogate is an
+    /// error (there is no char it could decode to).
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let first = self.hex4()?;
+        if (0xDC00..=0xDFFF).contains(&first) {
+            return Err(self.error(format!("lone low surrogate \\u{first:04x}")));
+        }
+        if (0xD800..=0xDBFF).contains(&first) {
+            // A high surrogate must be followed by `\uDC00`..`\uDFFF`.
+            if self.bump() != Some('\\') || self.bump() != Some('u') {
+                return Err(self.error(format!(
+                    "lone high surrogate \\u{first:04x} (expected a \\u low surrogate)"
+                )));
+            }
+            let second = self.hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&second) {
+                return Err(self.error(format!(
+                    "invalid surrogate pair \\u{first:04x}\\u{second:04x}"
+                )));
+            }
+            let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+            return char::from_u32(code)
+                .ok_or_else(|| self.error(format!("invalid \\u escape U+{code:X}")));
+        }
+        char::from_u32(first).ok_or_else(|| self.error(format!("invalid \\u escape U+{first:X}")))
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let mut text = String::new();
+        let negative = self.peek() == Some('-');
+        if negative {
+            text.push(self.bump().expect("peeked"));
+        }
+        // Integer part: `0` or a nonzero digit followed by digits.
+        match self.peek() {
+            Some('0') => text.push(self.bump().expect("peeked")),
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    text.push(self.bump().expect("peeked"));
+                }
+            }
+            _ => return Err(self.error("expected a digit")),
+        }
+        if (text.ends_with('0') && text.len() == 1 + usize::from(negative))
+            && matches!(self.peek(), Some(c) if c.is_ascii_digit())
+        {
+            return Err(self.error("numbers may not have leading zeros"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some('.') {
+            is_float = true;
+            text.push(self.bump().expect("peeked"));
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.error("expected a digit after the decimal point"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                text.push(self.bump().expect("peeked"));
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            is_float = true;
+            text.push(self.bump().expect("peeked"));
+            if matches!(self.peek(), Some('+' | '-')) {
+                text.push(self.bump().expect("peeked"));
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.error("expected a digit in the exponent"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                text.push(self.bump().expect("peeked"));
+            }
+        }
+        let number = if is_float {
+            let f: f64 = text
+                .parse()
+                .map_err(|_| self.error(format!("invalid number `{text}`")))?;
+            Number::from_f64(f).ok_or_else(|| self.error(format!("number `{text}` overflows")))?
+        } else if negative {
+            match text.parse::<i64>() {
+                Ok(n) => Number::from(n),
+                // Magnitude beyond i64: fall back to the float form.
+                Err(_) => Number::from_f64(
+                    text.parse::<f64>()
+                        .map_err(|_| self.error(format!("invalid number `{text}`")))?,
+                )
+                .ok_or_else(|| self.error(format!("number `{text}` overflows")))?,
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(n) => Number::from(n),
+                Err(_) => Number::from_f64(
+                    text.parse::<f64>()
+                        .map_err(|_| self.error(format!("invalid number `{text}`")))?,
+                )
+                .ok_or_else(|| self.error(format!("number `{text}` overflows")))?,
+            }
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) {
+        let text = to_string(v);
+        let back = parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(*v, back, "{text}");
+        assert_eq!(text, to_string(&back), "stable re-serialization");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::from(0u64),
+            Value::from(u64::MAX),
+            Value::from(i64::MIN),
+            Value::from(1.0),
+            Value::from(-0.5),
+            Value::from(1e300),
+            Value::from(""),
+            Value::from("plain"),
+        ] {
+            round_trip(&v);
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(&Value::Array(vec![]));
+        round_trip(&Value::Object(vec![]));
+        round_trip(&Value::Object(vec![
+            (
+                "a".into(),
+                Value::Array(vec![Value::Null, Value::from(1u64)]),
+            ),
+            (
+                "b".into(),
+                Value::Object(vec![("c".into(), Value::from("d"))]),
+            ),
+        ]));
+    }
+
+    #[test]
+    fn float_integers_keep_their_floatness() {
+        let v = Value::from(1.0);
+        assert_eq!(to_string(&v), "1.0");
+        assert_eq!(parse("1.0").unwrap(), v);
+        assert_ne!(parse("1").unwrap(), v, "1 parses as an integer");
+        round_trip(&Value::from(-2.0));
+    }
+
+    /// The full escape table: every control character, the two mandatory
+    /// escapes, and the named shortcuts serialize to valid, parseable JSON.
+    #[test]
+    fn escape_table_is_complete() {
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let raw = format!("a{c}b");
+            let mut out = String::new();
+            write_escaped(&mut out, &raw);
+            let expected = match c {
+                '\u{08}' => "\"a\\bb\"".to_string(),
+                '\u{0C}' => "\"a\\fb\"".to_string(),
+                '\n' => "\"a\\nb\"".to_string(),
+                '\r' => "\"a\\rb\"".to_string(),
+                '\t' => "\"a\\tb\"".to_string(),
+                c => format!("\"a\\u{:04x}b\"", c as u32),
+            };
+            assert_eq!(out, expected, "U+{code:04X}");
+            assert_eq!(parse(&out).unwrap(), Value::String(raw), "U+{code:04X}");
+        }
+        round_trip(&Value::from("quote \" backslash \\ slash /"));
+        round_trip(&Value::from("snowman ☃ emoji 🚀")); // non-BMP passes through
+    }
+
+    #[test]
+    fn surrogate_escapes() {
+        assert_eq!(
+            parse("\"\\ud83d\\ude80\"").unwrap(),
+            Value::from("🚀"),
+            "surrogate pairs decode"
+        );
+        for bad in [
+            "\"\\ud83d\"",
+            "\"\\ud83d x\"",
+            "\"\\ude80\"",
+            "\"\\ud83d\\u0041\"",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.message.contains("surrogate"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_spanned() {
+        let err = parse("{\n  \"a\": 1,\n  \"a\": 2\n}").unwrap_err();
+        assert_eq!(err.line, 3, "{err}");
+        assert!(err.message.contains("duplicate"), "{err}");
+
+        let err = parse("[1, 2,]").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 7), "{err}");
+
+        for (bad, needle) in [
+            ("", "end of input"),
+            ("nul", "null"),
+            ("[1 2]", "expected `,` or `]`"),
+            ("{\"a\" 1}", "expected `:`"),
+            ("{a: 1}", "string object key"),
+            ("\"\x01\"", "control character"),
+            ("\"\\q\"", "invalid escape"),
+            ("01", "leading zero"),
+            ("1.", "digit after the decimal point"),
+            ("1e", "digit in the exponent"),
+            ("-x", "digit"),
+            ("1 1", "trailing characters"),
+            ("\"abc", "unterminated string"),
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.message.contains(needle), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_guards_the_stack() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn pretty_printing_is_stable() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::from("x")),
+            ("items".into(), Value::Array(vec![Value::from(1u64)])),
+            ("empty".into(), Value::Array(vec![])),
+        ]);
+        let pretty = to_string_pretty(&v);
+        assert_eq!(
+            pretty,
+            "{\n  \"name\": \"x\",\n  \"items\": [\n    1\n  ],\n  \"empty\": []\n}"
+        );
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn big_integers_fall_back_to_float() {
+        // One past u64::MAX still parses (as a float), like serde_json.
+        let v = parse("18446744073709551616").unwrap();
+        assert_eq!(v.as_u64(), None);
+        assert!(v.as_f64().is_some());
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Value::from(u64::MAX)
+        );
+    }
+}

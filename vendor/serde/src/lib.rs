@@ -1,16 +1,85 @@
-//! Vendored serde facade for the offline build.
+//! Vendored serde for the offline build — a real, minimal implementation.
 //!
-//! Exposes `Serialize` / `Deserialize` as *marker traits* plus the no-op
-//! derive macros from the vendored `serde_derive`. The workspace annotates
-//! model types for forward compatibility but performs no serialization yet;
-//! swapping in real serde later requires no source changes in the members.
+//! Until PR 5 this crate exported *marker* traits and no-op derives; the
+//! farm hand-rolled its JSON. It is now a working serialization core built
+//! around a self-describing [`Value`] tree:
+//!
+//! * [`Serialize`] renders a type into a [`Value`]; [`Deserialize`] reads
+//!   one back with path-annotated errors ([`DeError`]).
+//! * [`json`] is a deterministic text encoding of the tree: a compact and
+//!   a pretty writer plus a strict RFC 8259 parser with line/column
+//!   spanned errors ([`json::ParseError`]).
+//! * The derive macros from the vendored `serde_derive` generate real
+//!   impls for structs and enums, honoring `#[serde(rename = "…")]`,
+//!   `#[serde(skip)]`, and `#[serde(default)]`.
+//!
+//! # Deliberate differences from real serde
+//!
+//! The API is value-tree based (like `serde_json::Value`), not
+//! visitor-based — payload types build an owned tree, which is all the
+//! workspace needs and keeps the derive implementable without `syn`.
+//! Two behavioral differences are load-bearing for the eblocks API:
+//!
+//! * **`Option` fields are omitted, not `null`**: the derive skips `None`
+//!   fields when serializing a struct and treats a missing key as `None`
+//!   when deserializing (as if every `Option` field carried
+//!   `skip_serializing_if = "Option::is_none"` + `default`). Reports
+//!   stay compact and deterministic without per-field attributes.
+//! * **Unknown object keys are errors**: deserializing a struct from an
+//!   object with an unrecognized key fails (real serde ignores it unless
+//!   `deny_unknown_fields`). A typo in a batch request should be a
+//!   diagnostic, not a silently-dropped option.
+//!
+//! Swapping in the real crates.io serde later is still a manifest change
+//! plus mechanical attribute additions; no call site builds `Value`s by
+//! hand except the JSON round-trip tests.
+//!
+//! # Example
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Debug, PartialEq, Serialize, Deserialize)]
+//! struct Probe {
+//!     name: String,
+//!     #[serde(rename = "n")]
+//!     count: u32,
+//!     comment: Option<String>,
+//! }
+//!
+//! let probe = Probe { name: "x".into(), count: 3, comment: None };
+//! let text = serde::json::to_string(&probe);
+//! assert_eq!(text, r#"{"name":"x","n":3}"#);
+//! assert_eq!(serde::json::from_str::<Probe>(&text).unwrap(), probe);
+//! ```
 
 #![forbid(unsafe_code)]
 
+mod impls;
+pub mod json;
+mod value;
+
 pub use serde_derive::{Deserialize, Serialize};
+pub use value::{DeError, Number, Value};
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+/// Renders `self` into the self-describing [`Value`] tree.
+///
+/// Implemented by hand for std types (see the crate docs for the list) and
+/// by `#[derive(Serialize)]` for workspace types.
+pub trait Serialize {
+    /// The value tree for `self`.
+    fn serialize(&self) -> Value;
+}
 
-/// Marker stand-in for `serde::Deserialize`.
-pub trait Deserialize<'de> {}
+/// Reads `Self` back out of a [`Value`] tree.
+///
+/// Errors are [`DeError`]s carrying the path from the root to the
+/// mismatch (`jobs[0].source: unknown variant …`).
+pub trait Deserialize: Sized {
+    /// Parses `value` into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when the value's shape does not match `Self`.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}

@@ -1,0 +1,372 @@
+//! The self-describing [`Value`] tree all (de)serialization goes through.
+//!
+//! `Serialize` renders a type into a `Value`; `Deserialize` reads one back.
+//! The JSON module ([`crate::json`]) is just a text encoding of this tree,
+//! so any other wire format could be bolted on without touching the derive
+//! or the model types.
+
+use std::fmt;
+
+/// A JSON-shaped dynamic value: object / array / string / number / bool /
+/// null.
+///
+/// Objects preserve **insertion order** (they are a `Vec` of pairs, not a
+/// hash map), which is what makes derive-serialized output deterministic:
+/// fields serialize in declaration order and re-serialization is
+/// byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A JSON number (see [`Number`]).
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object, in insertion order. Duplicate keys are rejected by
+    /// the parser; hand-built values should keep keys unique too.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Self::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value's elements, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Self::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's key/value pairs, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Self::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// A short noun for error messages ("a string", "an object", …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Null => "null",
+            Self::Bool(_) => "a boolean",
+            Self::Number(_) => "a number",
+            Self::String(_) => "a string",
+            Self::Array(_) => "an array",
+            Self::Object(_) => "an object",
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Self::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Self::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Self::String(s)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Self::Number(Number::from(n))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Self::Number(Number::from(n))
+    }
+}
+
+impl From<f64> for Value {
+    /// Non-finite floats (NaN, ±∞) have no JSON representation and become
+    /// [`Value::Null`], mirroring `serde_json`.
+    fn from(f: f64) -> Self {
+        match Number::from_f64(f) {
+            Some(n) => Self::Number(n),
+            None => Self::Null,
+        }
+    }
+}
+
+/// A JSON number: a non-negative integer, a negative integer, or a finite
+/// float.
+///
+/// The representation is canonical — integers that fit in `u64` are always
+/// `UInt`, negative integers are `Int`, everything else is a finite `Float`
+/// — so derived `PartialEq` and the JSON writer agree: equal numbers
+/// serialize to identical bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// An integer `>= 0` (canonical for every integer that fits).
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A finite float. Constructors never store NaN or infinities.
+    Float(f64),
+}
+
+impl Number {
+    /// A number from a float; `None` for NaN and infinities. Negative
+    /// zero normalizes to positive zero — the two compare equal, so they
+    /// must serialize to identical bytes.
+    pub fn from_f64(f: f64) -> Option<Self> {
+        f.is_finite()
+            .then_some(Self::Float(if f == 0.0 { 0.0 } else { f }))
+    }
+
+    /// The number as `u64`, if it is a non-negative integer.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Self::UInt(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if it is an integer in `i64` range.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Self::UInt(n) => i64::try_from(n).ok(),
+            Self::Int(n) => Some(n),
+            Self::Float(_) => None,
+        }
+    }
+
+    /// The number as `f64` (integers convert lossily above 2^53).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Self::UInt(n) => n as f64,
+            Self::Int(n) => n as f64,
+            Self::Float(f) => f,
+        }
+    }
+}
+
+impl From<u64> for Number {
+    fn from(n: u64) -> Self {
+        Self::UInt(n)
+    }
+}
+
+impl From<i64> for Number {
+    fn from(n: i64) -> Self {
+        match u64::try_from(n) {
+            Ok(u) => Self::UInt(u),
+            Err(_) => Self::Int(n),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    /// Writes the number exactly as the JSON writer does: integers via
+    /// `Display`, floats via `Display` with a `.0` appended when the text
+    /// would otherwise read back as an integer.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UInt(n) => write!(f, "{n}"),
+            Self::Int(n) => write!(f, "{n}"),
+            Self::Float(v) => {
+                let text = format!("{v}");
+                if text.contains(['.', 'e', 'E']) {
+                    f.write_str(&text)
+                } else {
+                    write!(f, "{text}.0")
+                }
+            }
+        }
+    }
+}
+
+/// A deserialization error: what went wrong, plus the path from the root of
+/// the value tree to the offending spot (`jobs[0].source`, say).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    path: Vec<String>,
+    message: String,
+}
+
+impl DeError {
+    /// An error with the given message, located at the current value.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            path: Vec::new(),
+            message: message.into(),
+        }
+    }
+
+    /// "expected X, found Y" against the value actually seen.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Self::new(format!("expected {what}, found {}", got.kind()))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(name: &str) -> Self {
+        Self::new(format!("missing field `{name}`"))
+    }
+
+    /// An object key no field matches.
+    pub fn unknown_field(name: &str, expected: &[&str]) -> Self {
+        Self::new(format!(
+            "unknown field `{name}`, expected one of: {}",
+            expected.join(", ")
+        ))
+    }
+
+    /// An enum tag no variant matches.
+    pub fn unknown_variant(name: &str, expected: &[&str]) -> Self {
+        Self::new(format!(
+            "unknown variant `{name}`, expected one of: {}",
+            expected.join(", ")
+        ))
+    }
+
+    /// Prefixes the error's path with a field (or variant) name as it
+    /// bubbles out of a nested deserializer.
+    pub fn in_field(mut self, name: &str) -> Self {
+        self.path.insert(0, name.to_string());
+        self
+    }
+
+    /// Prefixes the error's path with an array index.
+    pub fn in_index(mut self, index: usize) -> Self {
+        self.path.insert(0, format!("[{index}]"));
+        self
+    }
+
+    /// The error message without the path prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            return f.write_str(&self.message);
+        }
+        let mut path = String::new();
+        for segment in &self.path {
+            if !segment.starts_with('[') && !path.is_empty() {
+                path.push('.');
+            }
+            path.push_str(segment);
+        }
+        write!(f, "{path}: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_is_canonical() {
+        assert_eq!(Number::from(3i64), Number::UInt(3));
+        assert_eq!(Number::from(-3i64), Number::Int(-3));
+        assert_eq!(Number::from(3u64).as_i64(), Some(3));
+        assert_eq!(Number::from(u64::MAX).as_i64(), None);
+        assert_eq!(Number::from_f64(f64::NAN), None);
+        assert_eq!(Value::from(f64::INFINITY), Value::Null);
+    }
+
+    #[test]
+    fn negative_zero_normalizes() {
+        // -0.0 == 0.0, so equal values must print identical bytes.
+        assert_eq!(Value::from(-0.0), Value::from(0.0));
+        assert_eq!(Number::from_f64(-0.0).unwrap().to_string(), "0.0");
+        assert_eq!(Number::from_f64(-1.5).unwrap().to_string(), "-1.5");
+    }
+
+    #[test]
+    fn float_display_reads_back_as_float() {
+        assert_eq!(Number::Float(1.0).to_string(), "1.0");
+        assert_eq!(Number::Float(0.5).to_string(), "0.5");
+        assert_eq!(Number::Float(-2.0).to_string(), "-2.0");
+        assert!(Number::Float(1e300).to_string().contains('.'));
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::from(true)),
+            ("b".into(), Value::from("x")),
+        ]);
+        assert_eq!(v.get("a").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("c"), None);
+        assert_eq!(Value::Null.kind(), "null");
+        assert_eq!(v.kind(), "an object");
+    }
+
+    #[test]
+    fn de_error_paths_render() {
+        let e = DeError::missing_field("source")
+            .in_index(2)
+            .in_field("jobs");
+        assert_eq!(e.to_string(), "jobs[2]: missing field `source`");
+        assert_eq!(DeError::new("boom").to_string(), "boom");
+    }
+}

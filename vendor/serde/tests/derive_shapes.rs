@@ -1,0 +1,215 @@
+//! The derive macros against every supported shape: named/tuple/unit
+//! structs, all four variant kinds, and the rename/skip/default
+//! attributes — each round-tripped through JSON text.
+
+use serde::{json, Deserialize, Serialize, Value};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Named {
+    plain: String,
+    #[serde(rename = "n")]
+    renamed: u32,
+    maybe: Option<bool>,
+    #[serde(default)]
+    defaulted: u8,
+    #[serde(skip)]
+    skipped: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Newtype(i32);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Pair(String, u8);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Unit;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Shape {
+    #[serde(rename = "dot")]
+    Dot,
+    Circle(f64),
+    Segment(i64, i64),
+    Rect {
+        w: u32,
+        h: u32,
+        label: Option<String>,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Scene {
+    shapes: Vec<Shape>,
+    focus: Option<Newtype>,
+}
+
+fn round_trip<T>(value: &T) -> String
+where
+    T: Serialize + Deserialize + PartialEq + std::fmt::Debug,
+{
+    let text = json::to_string(value);
+    let back: T = json::from_str(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+    assert_eq!(*value, back, "{text}");
+    assert_eq!(text, json::to_string(&back), "stable re-serialization");
+    text
+}
+
+#[test]
+fn named_struct_with_attributes() {
+    let full = Named {
+        plain: "x".into(),
+        renamed: 7,
+        maybe: Some(true),
+        defaulted: 3,
+        skipped: 99,
+    };
+    let text = round_trip(&Named {
+        skipped: 0,
+        ..full.clone()
+    });
+    assert_eq!(text, r#"{"plain":"x","n":7,"maybe":true,"defaulted":3}"#);
+
+    // None options are omitted entirely; missing keys come back as None /
+    // Default; skip never serializes.
+    let sparse = Named {
+        plain: "y".into(),
+        renamed: 0,
+        maybe: None,
+        defaulted: 0,
+        skipped: 0,
+    };
+    assert_eq!(
+        round_trip(&sparse),
+        r#"{"plain":"y","n":0,"defaulted":0}"#,
+        "None is omitted; `default` still serializes"
+    );
+    let parsed: Named = json::from_str(r#"{"plain":"y","n":0}"#).unwrap();
+    assert_eq!(parsed, sparse);
+
+    // The skipped field's key is tolerated (and ignored) on input.
+    let parsed: Named = json::from_str(r#"{"plain":"y","n":0,"skipped":5}"#).unwrap();
+    assert_eq!(parsed.skipped, 0);
+}
+
+#[test]
+fn named_struct_errors() {
+    let err = json::from_str::<Named>(r#"{"plain":"x"}"#).unwrap_err();
+    assert_eq!(err.to_string(), "missing field `n`");
+    let err = json::from_str::<Named>(r#"{"plain":"x","n":1,"bogus":2}"#).unwrap_err();
+    assert!(err.to_string().contains("unknown field `bogus`"), "{err}");
+    assert!(err.to_string().contains("plain, n, maybe"), "{err}");
+    let err = json::from_str::<Named>(r#"{"plain":3,"n":1}"#).unwrap_err();
+    assert_eq!(err.to_string(), "plain: expected a string, found a number");
+    let err = json::from_str::<Named>("[]").unwrap_err();
+    assert!(err.to_string().contains("expected an object"), "{err}");
+}
+
+#[test]
+fn tuple_and_unit_structs() {
+    assert_eq!(round_trip(&Newtype(-5)), "-5");
+    assert_eq!(round_trip(&Pair("a".into(), 2)), r#"["a",2]"#);
+    assert_eq!(round_trip(&Unit), "null");
+    let err = json::from_str::<Pair>(r#"["a",2,3]"#).unwrap_err();
+    assert!(err.to_string().contains("expected 2 elements"), "{err}");
+    let err = json::from_str::<Pair>(r#"[3,2]"#).unwrap_err();
+    assert_eq!(err.to_string(), "[0]: expected a string, found a number");
+}
+
+#[test]
+fn enum_variant_kinds() {
+    assert_eq!(round_trip(&Shape::Dot), r#""dot""#);
+    assert_eq!(round_trip(&Shape::Circle(0.5)), r#"{"Circle":0.5}"#);
+    assert_eq!(round_trip(&Shape::Segment(-1, 4)), r#"{"Segment":[-1,4]}"#);
+    assert_eq!(
+        round_trip(&Shape::Rect {
+            w: 3,
+            h: 4,
+            label: Some("r".into())
+        }),
+        r#"{"Rect":{"w":3,"h":4,"label":"r"}}"#
+    );
+    // Option omission applies inside struct variants too.
+    assert_eq!(
+        round_trip(&Shape::Rect {
+            w: 3,
+            h: 4,
+            label: None
+        }),
+        r#"{"Rect":{"w":3,"h":4}}"#
+    );
+}
+
+#[test]
+fn enum_errors_point_at_the_problem() {
+    let err = json::from_str::<Shape>(r#""Blob""#).unwrap_err();
+    assert!(err.to_string().contains("unknown variant `Blob`"), "{err}");
+    assert!(err.to_string().contains("dot, Circle"), "{err}");
+    let err = json::from_str::<Shape>(r#""Circle""#).unwrap_err();
+    assert!(err.to_string().contains("takes a payload"), "{err}");
+    let err = json::from_str::<Shape>(r#"{"dot":null}"#).unwrap_err();
+    assert!(err.to_string().contains("takes no payload"), "{err}");
+    let err = json::from_str::<Shape>(r#"{"Rect":{"w":1,"h":"x"}}"#).unwrap_err();
+    assert_eq!(err.to_string(), "Rect.h: expected a u32, found a string");
+    let err = json::from_str::<Shape>(r#"{"Segment":[1,"x"]}"#).unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "Segment[1]: expected an i64, found a string"
+    );
+    let err = json::from_str::<Shape>("42").unwrap_err();
+    assert!(err.to_string().contains("variant string"), "{err}");
+}
+
+#[test]
+fn nesting_composes() {
+    let scene = Scene {
+        shapes: vec![
+            Shape::Dot,
+            Shape::Circle(1.0),
+            Shape::Rect {
+                w: 1,
+                h: 2,
+                label: None,
+            },
+        ],
+        focus: Some(Newtype(9)),
+    };
+    let text = round_trip(&scene);
+    assert_eq!(
+        text,
+        r#"{"shapes":["dot",{"Circle":1.0},{"Rect":{"w":1,"h":2}}],"focus":9}"#
+    );
+    // Errors deep in a vec carry the full path.
+    let err = json::from_str::<Scene>(r#"{"shapes":["dot","Blob"]}"#).unwrap_err();
+    assert!(
+        err.to_string().starts_with("shapes[1]:"),
+        "path prefix: {err}"
+    );
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Degenerate {
+    AllSkipped {
+        #[serde(skip)]
+        cache: u8,
+    },
+    Empty {},
+}
+
+#[test]
+fn struct_variants_with_no_serialized_fields() {
+    // A variant whose every field is skipped serializes as an empty
+    // object payload, and the skipped field deserializes to its default.
+    let text = round_trip(&Degenerate::AllSkipped { cache: 0 });
+    assert_eq!(text, r#"{"AllSkipped":{}}"#);
+    let v = json::to_string(&Degenerate::AllSkipped { cache: 9 });
+    assert_eq!(v, r#"{"AllSkipped":{}}"#, "skip never serializes");
+    assert_eq!(round_trip(&Degenerate::Empty {}), r#"{"Empty":{}}"#);
+}
+
+#[test]
+fn derive_output_matches_hand_built_values() {
+    let v = Shape::Circle(2.0).serialize();
+    assert_eq!(v, Value::Object(vec![("Circle".into(), Value::from(2.0))]));
+    assert_eq!(Shape::deserialize(&v), Ok(Shape::Circle(2.0)));
+}

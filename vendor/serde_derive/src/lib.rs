@@ -1,22 +1,733 @@
-//! Vendored no-op replacements for serde's derive macros.
+//! Vendored `serde_derive`: real, hand-written derive macros.
 //!
-//! The eblocks crates only *annotate* types with `#[derive(Serialize,
-//! Deserialize)]` — nothing in the workspace calls a serializer yet (the
-//! netlist text format is hand-written). Until a real serialization backend
-//! lands, these derives expand to nothing, keeping the annotations
-//! compiling without the real `serde_derive` dependency tree (syn/quote),
-//! which the offline build environment cannot download.
+//! The offline build has no `syn`/`quote`, so this crate parses the derive
+//! input token stream by hand and emits the impl as generated source text
+//! (`TokenStream::from_str`). It supports the shapes the workspace uses:
+//!
+//! * structs with named fields, tuple structs (newtype and general), and
+//!   unit structs;
+//! * enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged, like real serde: `"Variant"`, `{"Variant": …}`);
+//! * the field/variant attributes `#[serde(rename = "…")]`,
+//!   `#[serde(skip)]`, and `#[serde(default)]`.
+//!
+//! Two deliberate behavior choices (documented on the vendored `serde`
+//! crate): `Option` fields are omitted when `None` and default to `None`
+//! when missing, and unknown object keys are deserialization errors.
+//!
+//! Generics are not supported (no workspace payload type is generic); the
+//! derive reports a compile error rather than silently mis-expanding.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+use std::fmt::Write as _;
 
-/// No-op `Serialize` derive. Accepts (and ignores) `#[serde(...)]` attrs.
+/// Derives `serde::Serialize` (see the crate docs for supported shapes).
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
 }
 
-/// No-op `Deserialize` derive. Accepts (and ignores) `#[serde(...)]` attrs.
+/// Derives `serde::Deserialize` (see the crate docs for supported shapes).
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let generated = match parse_container(input) {
+        Ok(container) => match which {
+            Trait::Serialize => gen_serialize(&container),
+            Trait::Deserialize => gen_deserialize(&container),
+        },
+        Err(message) => format!("::std::compile_error!({message:?});"),
+    };
+    generated
+        .parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}\n{generated}"))
+}
+
+// ------------------------------------------------------------ the model
+
+struct Container {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Field {
+    /// Declared identifier (named fields only).
+    ident: Option<String>,
+    /// `rename` attribute, if any.
+    rename: Option<String>,
+    skip: bool,
+    default: bool,
+    /// The declared type's outermost path ends in `Option`.
+    is_option: bool,
+}
+
+impl Field {
+    /// The object key this field (de)serializes under.
+    fn key(&self) -> &str {
+        self.rename
+            .as_deref()
+            .or(self.ident.as_deref())
+            .expect("named field has an ident")
+    }
+}
+
+struct Variant {
+    ident: String,
+    rename: Option<String>,
+    fields: Fields,
+}
+
+impl Variant {
+    /// The tag this variant (de)serializes under.
+    fn key(&self) -> &str {
+        self.rename.as_deref().unwrap_or(&self.ident)
+    }
+}
+
+#[derive(Default)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    skip: bool,
+    default: bool,
+}
+
+// ------------------------------------------------------------- parsing
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Consumes leading attributes, folding any `#[serde(...)]` contents
+    /// into one `SerdeAttrs`. Non-serde attributes (docs, `derive`, …) are
+    /// skipped.
+    fn attrs(&mut self) -> Result<SerdeAttrs, String> {
+        let mut attrs = SerdeAttrs::default();
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.bump();
+            let Some(TokenTree::Group(group)) = self.bump() else {
+                return Err("malformed attribute".into());
+            };
+            let mut inner = Cursor::new(group.stream());
+            if !inner.eat_ident("serde") {
+                continue;
+            }
+            let Some(TokenTree::Group(args)) = inner.bump() else {
+                return Err("expected #[serde(...)]".into());
+            };
+            parse_serde_args(args.stream(), &mut attrs)?;
+        }
+        Ok(attrs)
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in …)`.
+    fn skip_visibility(&mut self) {
+        if self.eat_ident("pub")
+            && matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            self.bump();
+        }
+    }
+
+    /// Collects the tokens of one type, up to a top-level `,` (angle
+    /// brackets tracked; `->` never appears in the supported types).
+    fn type_tokens(&mut self) -> Vec<TokenTree> {
+        let mut depth = 0i32;
+        let mut out = Vec::new();
+        while let Some(token) = self.peek() {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    ',' if depth == 0 => break,
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            out.push(self.bump().expect("peeked"));
+        }
+        out
+    }
+}
+
+fn parse_serde_args(stream: TokenStream, attrs: &mut SerdeAttrs) -> Result<(), String> {
+    let mut cursor = Cursor::new(stream);
+    while !cursor.at_end() {
+        let Some(TokenTree::Ident(name)) = cursor.bump() else {
+            return Err("malformed #[serde(...)] attribute".into());
+        };
+        match name.to_string().as_str() {
+            "skip" => attrs.skip = true,
+            "default" => attrs.default = true,
+            "rename" => {
+                if !cursor.eat_punct('=') {
+                    return Err("expected #[serde(rename = \"...\")]".into());
+                }
+                let Some(TokenTree::Literal(lit)) = cursor.bump() else {
+                    return Err("expected a string literal in #[serde(rename = ...)]".into());
+                };
+                let text = lit.to_string();
+                let stripped = text
+                    .strip_prefix('"')
+                    .and_then(|t| t.strip_suffix('"'))
+                    .ok_or("expected a plain string literal in #[serde(rename = ...)]")?;
+                attrs.rename = Some(stripped.to_string());
+            }
+            other => {
+                return Err(format!(
+                    "unsupported serde attribute `{other}` (the vendored derive supports rename/skip/default)"
+                ));
+            }
+        }
+        if !cursor.at_end() && !cursor.eat_punct(',') {
+            return Err("malformed #[serde(...)] attribute".into());
+        }
+    }
+    Ok(())
+}
+
+/// True when the type tokens name `Option<...>` (possibly path-qualified).
+fn type_is_option(tokens: &[TokenTree]) -> bool {
+    let mut last_ident: Option<String> = None;
+    for token in tokens {
+        match token {
+            TokenTree::Ident(i) => last_ident = Some(i.to_string()),
+            TokenTree::Punct(p) if p.as_char() == ':' => {}
+            TokenTree::Punct(p) if p.as_char() == '<' => break,
+            _ => return false,
+        }
+    }
+    last_ident.as_deref() == Some("Option")
+}
+
+fn parse_container(input: TokenStream) -> Result<Container, String> {
+    let mut cursor = Cursor::new(input);
+    let attrs = cursor.attrs()?;
+    if attrs.rename.is_some() || attrs.skip || attrs.default {
+        return Err("container-level serde attributes are not supported".into());
+    }
+    cursor.skip_visibility();
+    let is_enum = if cursor.eat_ident("struct") {
+        false
+    } else if cursor.eat_ident("enum") {
+        true
+    } else {
+        return Err("derive target must be a struct or enum".into());
+    };
+    let Some(TokenTree::Ident(name)) = cursor.bump() else {
+        return Err("missing type name".into());
+    };
+    let name = name.to_string();
+    if matches!(cursor.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "`{name}`: generic types are not supported by the vendored derive"
+        ));
+    }
+    if cursor.eat_ident("where") {
+        return Err(format!(
+            "`{name}`: where clauses are not supported by the vendored derive"
+        ));
+    }
+    let data = if is_enum {
+        let Some(TokenTree::Group(body)) = cursor.bump() else {
+            return Err(format!("`{name}`: missing enum body"));
+        };
+        Data::Enum(parse_variants(body.stream())?)
+    } else {
+        match cursor.bump() {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(body.stream())?))
+            }
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(parse_tuple_fields(body.stream())?))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            _ => return Err(format!("`{name}`: unsupported struct body")),
+        }
+    };
+    Ok(Container { name, data })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        let attrs = cursor.attrs()?;
+        cursor.skip_visibility();
+        let Some(TokenTree::Ident(ident)) = cursor.bump() else {
+            return Err("expected a field name".into());
+        };
+        if !cursor.eat_punct(':') {
+            return Err(format!("field `{ident}`: expected `:`"));
+        }
+        let ty = cursor.type_tokens();
+        fields.push(Field {
+            ident: Some(ident.to_string()),
+            rename: attrs.rename,
+            skip: attrs.skip,
+            default: attrs.default,
+            is_option: type_is_option(&ty),
+        });
+        cursor.eat_punct(',');
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        let attrs = cursor.attrs()?;
+        if attrs.skip || attrs.default || attrs.rename.is_some() {
+            return Err("serde attributes on tuple fields are not supported".into());
+        }
+        cursor.skip_visibility();
+        let ty = cursor.type_tokens();
+        if ty.is_empty() {
+            return Err("expected a tuple field type".into());
+        }
+        fields.push(Field {
+            ident: None,
+            rename: None,
+            skip: false,
+            default: false,
+            is_option: type_is_option(&ty),
+        });
+        cursor.eat_punct(',');
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cursor.at_end() {
+        let attrs = cursor.attrs()?;
+        if attrs.skip || attrs.default {
+            return Err("variants support only #[serde(rename = ...)]".into());
+        }
+        let Some(TokenTree::Ident(ident)) = cursor.bump() else {
+            return Err("expected a variant name".into());
+        };
+        let fields = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                cursor.bump();
+                Fields::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream())?;
+                cursor.bump();
+                Fields::Tuple(fields)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= 3`), then the separating comma.
+        if cursor.eat_punct('=') {
+            while !cursor.at_end()
+                && !matches!(cursor.peek(), Some(TokenTree::Punct(p))
+                    if p.as_char() == ',' && p.spacing() == Spacing::Alone)
+            {
+                cursor.bump();
+            }
+        }
+        cursor.eat_punct(',');
+        variants.push(Variant {
+            ident: ident.to_string(),
+            rename: attrs.rename,
+            fields,
+        });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- codegen
+
+const VALUE: &str = "::serde::Value";
+const SOME: &str = "::std::option::Option::Some";
+const NONE: &str = "::std::option::Option::None";
+const OK: &str = "::std::result::Result::Ok";
+const ERR: &str = "::std::result::Result::Err";
+
+fn impl_header(out: &mut String, trait_name: &str, type_name: &str) {
+    let _ = write!(
+        out,
+        "#[automatically_derived]\n#[allow(unused_mut, unused_variables, clippy::all)]\nimpl ::serde::{trait_name} for {type_name} "
+    );
+}
+
+/// `__fields.push((key, value.serialize()))` statements for named fields,
+/// honoring skip and the omit-`None` rule. `access` renders the field
+/// expression (`&self.name` for structs, the match binding for variants).
+fn gen_push_fields(out: &mut String, fields: &[Field], access: impl Fn(&Field) -> String) {
+    for field in fields {
+        if field.skip {
+            continue;
+        }
+        let key = field.key();
+        let expr = access(field);
+        if field.is_option {
+            let _ = writeln!(
+                out,
+                "if let {SOME}(__v) = {expr} {{ __fields.push((::std::string::String::from({key:?}), ::serde::Serialize::serialize(__v))); }}"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "__fields.push((::std::string::String::from({key:?}), ::serde::Serialize::serialize({expr})));"
+            );
+        }
+    }
+}
+
+fn gen_serialize(container: &Container) -> String {
+    let name = &container.name;
+    let mut out = String::new();
+    impl_header(&mut out, "Serialize", name);
+    out.push_str("{\nfn serialize(&self) -> ::serde::Value {\n");
+    match &container.data {
+        Data::Struct(Fields::Unit) => {
+            let _ = writeln!(out, "{VALUE}::Null");
+        }
+        Data::Struct(Fields::Tuple(fields)) if fields.len() == 1 => {
+            out.push_str("::serde::Serialize::serialize(&self.0)\n");
+        }
+        Data::Struct(Fields::Tuple(fields)) => {
+            let items: Vec<String> = (0..fields.len())
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{VALUE}::Array(::std::vec::Vec::from([{}]))",
+                items.join(", ")
+            );
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            out.push_str(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            gen_push_fields(&mut out, fields, |f| {
+                format!("&self.{}", f.ident.as_deref().expect("named"))
+            });
+            let _ = writeln!(out, "{VALUE}::Object(__fields)");
+        }
+        Data::Enum(variants) => {
+            out.push_str("match self {\n");
+            for variant in variants {
+                let ident = &variant.ident;
+                let key = variant.key();
+                match &variant.fields {
+                    Fields::Unit => {
+                        let _ = writeln!(
+                            out,
+                            "{name}::{ident} => {VALUE}::String(::std::string::String::from({key:?})),"
+                        );
+                    }
+                    Fields::Tuple(fields) if fields.len() == 1 => {
+                        let _ = writeln!(
+                            out,
+                            "{name}::{ident}(__f0) => {VALUE}::Object(::std::vec::Vec::from([(::std::string::String::from({key:?}), ::serde::Serialize::serialize(__f0))])),"
+                        );
+                    }
+                    Fields::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "{name}::{ident}({}) => {VALUE}::Object(::std::vec::Vec::from([(::std::string::String::from({key:?}), {VALUE}::Array(::std::vec::Vec::from([{}])))])),",
+                            binders.join(", "),
+                            items.join(", ")
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let binders: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.ident.clone().expect("named"))
+                            .collect();
+                        // Skipped fields are absent from the binder list;
+                        // `..` soaks them up (with no leading comma when
+                        // every field is skipped).
+                        let pattern = if binders.len() == fields.len() {
+                            binders.join(", ")
+                        } else if binders.is_empty() {
+                            "..".to_string()
+                        } else {
+                            format!("{}, ..", binders.join(", "))
+                        };
+                        let _ = writeln!(out, "{name}::{ident} {{ {pattern} }} => {{");
+                        out.push_str(
+                            "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        gen_push_fields(&mut out, fields, |f| f.ident.clone().expect("named"));
+                        let _ = writeln!(
+                            out,
+                            "{VALUE}::Object(::std::vec::Vec::from([(::std::string::String::from({key:?}), {VALUE}::Object(__fields))]))\n}},"
+                        );
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Appends the statements deserializing named `fields` out of `__obj` (a
+/// `&[(String, Value)]` binding already in scope) into constructor `path`,
+/// including the unknown-key check.
+fn gen_named_from_obj(out: &mut String, path: &str, fields: &[Field]) {
+    let known: Vec<String> = fields.iter().map(|f| format!("{:?}", f.key())).collect();
+    let active: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| format!("{:?}", f.key()))
+        .collect();
+    out.push_str("for (__key, _) in __obj.iter() {\nmatch __key.as_str() {\n");
+    if !known.is_empty() {
+        let _ = writeln!(out, "{} => {{}}", known.join(" | "));
+    }
+    let _ = writeln!(
+        out,
+        "__other => return {ERR}(::serde::DeError::unknown_field(__other, &[{}])),",
+        active.join(", ")
+    );
+    out.push_str("}\n}\n");
+    let _ = writeln!(out, "{OK}({path} {{");
+    for field in fields {
+        let ident = field.ident.as_deref().expect("named");
+        if field.skip {
+            let _ = writeln!(out, "{ident}: ::std::default::Default::default(),");
+            continue;
+        }
+        let key = field.key();
+        let missing = if field.is_option {
+            NONE.to_string()
+        } else if field.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!("return {ERR}(::serde::DeError::missing_field({key:?}))")
+        };
+        let _ = writeln!(
+            out,
+            "{ident}: match __obj.iter().find(|__p| __p.0 == {key:?}) {{\n{SOME}(__p) => ::serde::Deserialize::deserialize(&__p.1).map_err(|__e| __e.in_field({key:?}))?,\n{NONE} => {missing},\n}},"
+        );
+    }
+    out.push_str("})\n");
+}
+
+/// Appends the statements deserializing `n` tuple elements from `__items`
+/// (a `&[Value]` binding already in scope) into constructor `path`,
+/// attaching `context_key` (the variant tag) to errors.
+fn gen_tuple_from_items(out: &mut String, path: &str, n: usize, context_key: &str) {
+    let _ = writeln!(
+        out,
+        "if __items.len() != {n} {{ return {ERR}(::serde::DeError::new(format!(\"expected {n} elements, found {{}}\", __items.len())).in_field({context_key:?})); }}"
+    );
+    let elems: Vec<String> = (0..n)
+        .map(|i| {
+            format!(
+                "::serde::Deserialize::deserialize(&__items[{i}]).map_err(|__e| __e.in_index({i}).in_field({context_key:?}))?"
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "{OK}({path}({}))", elems.join(", "));
+}
+
+fn gen_deserialize(container: &Container) -> String {
+    let name = &container.name;
+    let mut out = String::new();
+    impl_header(&mut out, "Deserialize", name);
+    out.push_str(
+        "{\nfn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {\n",
+    );
+    match &container.data {
+        Data::Struct(Fields::Unit) => {
+            let _ = writeln!(
+                out,
+                "match __value {{\n{VALUE}::Null => {OK}({name}),\n_ => {ERR}(::serde::DeError::expected(\"null\", __value)),\n}}"
+            );
+        }
+        Data::Struct(Fields::Tuple(fields)) if fields.len() == 1 => {
+            let _ = writeln!(
+                out,
+                "{OK}({name}(::serde::Deserialize::deserialize(__value)?))"
+            );
+        }
+        Data::Struct(Fields::Tuple(fields)) => {
+            let n = fields.len();
+            let _ = writeln!(
+                out,
+                "let __items = match __value {{\n{VALUE}::Array(__items) => __items,\n_ => return {ERR}(::serde::DeError::expected(\"an array\", __value)),\n}};"
+            );
+            let _ = writeln!(
+                out,
+                "if __items.len() != {n} {{ return {ERR}(::serde::DeError::new(format!(\"expected {n} elements, found {{}}\", __items.len()))); }}"
+            );
+            let elems: Vec<String> = (0..n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize(&__items[{i}]).map_err(|__e| __e.in_index({i}))?"
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "{OK}({name}({}))", elems.join(", "));
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            let _ = writeln!(
+                out,
+                "let __obj = match __value {{\n{VALUE}::Object(__pairs) => __pairs,\n_ => return {ERR}(::serde::DeError::expected(\"an object\", __value)),\n}};"
+            );
+            gen_named_from_obj(&mut out, name, fields);
+        }
+        Data::Enum(variants) => {
+            let tags: Vec<String> = variants.iter().map(|v| format!("{:?}", v.key())).collect();
+            let _ = writeln!(out, "const __VARIANTS: &[&str] = &[{}];", tags.join(", "));
+            out.push_str("match __value {\n");
+            // Bare string: unit variants resolve; payload variants get a
+            // pointed error instead of "unknown variant".
+            let _ = writeln!(out, "{VALUE}::String(__tag) => match __tag.as_str() {{");
+            for variant in variants {
+                let key = variant.key();
+                match &variant.fields {
+                    Fields::Unit => {
+                        let _ = writeln!(out, "{key:?} => {OK}({name}::{}),", variant.ident);
+                    }
+                    _ => {
+                        let message =
+                            format!("variant `{key}` takes a payload (write {{\"{key}\": ...}})");
+                        let _ =
+                            writeln!(out, "{key:?} => {ERR}(::serde::DeError::new({message:?})),");
+                    }
+                }
+            }
+            let _ = writeln!(
+                out,
+                "__other => {ERR}(::serde::DeError::unknown_variant(__other, __VARIANTS)),\n}},"
+            );
+            // Single-key object: payload variants.
+            let _ = writeln!(
+                out,
+                "{VALUE}::Object(__pairs) if __pairs.len() == 1 => {{\nlet (__tag, __payload) = &__pairs[0];\nmatch __tag.as_str() {{"
+            );
+            for variant in variants {
+                let ident = &variant.ident;
+                let key = variant.key();
+                match &variant.fields {
+                    Fields::Unit => {
+                        let message = format!("variant `{key}` takes no payload (write \"{key}\")");
+                        let _ =
+                            writeln!(out, "{key:?} => {ERR}(::serde::DeError::new({message:?})),");
+                    }
+                    Fields::Tuple(fields) if fields.len() == 1 => {
+                        let _ = writeln!(
+                            out,
+                            "{key:?} => {OK}({name}::{ident}(::serde::Deserialize::deserialize(__payload).map_err(|__e| __e.in_field({key:?}))?)),"
+                        );
+                    }
+                    Fields::Tuple(fields) => {
+                        let _ = writeln!(
+                            out,
+                            "{key:?} => {{\nlet __items = match __payload {{\n{VALUE}::Array(__items) => __items,\n_ => return {ERR}(::serde::DeError::expected(\"an array\", __payload).in_field({key:?})),\n}};"
+                        );
+                        gen_tuple_from_items(
+                            &mut out,
+                            &format!("{name}::{ident}"),
+                            fields.len(),
+                            key,
+                        );
+                        out.push_str("},\n");
+                    }
+                    Fields::Named(fields) => {
+                        let _ = writeln!(
+                            out,
+                            "{key:?} => {{\nlet __obj = match __payload {{\n{VALUE}::Object(__pairs) => __pairs,\n_ => return {ERR}(::serde::DeError::expected(\"an object\", __payload).in_field({key:?})),\n}};"
+                        );
+                        let mut inner = String::new();
+                        gen_named_from_obj(&mut inner, &format!("{name}::{ident}"), fields);
+                        // Wrap in a closure so the variant tag lands on
+                        // errors bubbling out of the field parses.
+                        let _ = writeln!(
+                            out,
+                            "let __result: ::std::result::Result<Self, ::serde::DeError> = (|| {{\n{inner}}})();\n__result.map_err(|__e| __e.in_field({key:?}))\n}},"
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(
+                out,
+                "__other => {ERR}(::serde::DeError::unknown_variant(__other, __VARIANTS)),\n}}\n}},"
+            );
+            let _ = writeln!(
+                out,
+                "_ => {ERR}(::serde::DeError::expected(\"a variant string or a single-key object\", __value)),\n}}"
+            );
+        }
+    }
+    out.push_str("}\n}\n");
+    out
 }
