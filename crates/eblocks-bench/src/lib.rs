@@ -194,8 +194,8 @@ pub fn table2_sweep(
     });
     let config = FarmConfig {
         workers: Some(workers),
-        partitioner_override: None,
         registry,
+        ..FarmConfig::default()
     };
     let mut rows = Vec::new();
     for &(inner, paper_count) in counts {

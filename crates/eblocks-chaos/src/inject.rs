@@ -1,0 +1,314 @@
+//! The seeded [`FaultInjector`] the chaos harness installs into the farm.
+//!
+//! Every decision — shuffle the pickup order? delay this pickup? fault
+//! this stage boundary? — is drawn from a fresh RNG seeded by hashing the
+//! run seed with the injection point's coordinates (domain-separated
+//! SplitMix64). Decisions therefore never depend on wall-clock time,
+//! worker identity, or the order workers happen to ask in, which is what
+//! keeps reports and traces byte-identical across runs *and* across
+//! worker counts.
+
+use crate::plan::{ChaosPlan, FaultKind};
+use crate::trace::{ChaosTrace, TraceEvent, TraceFault};
+use eblocks_farm::{Fault, FaultInjector};
+use eblocks_synth::{Stage, StageAbort};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Domain-separation salts: the same seed must not produce correlated
+/// draws across the three decision kinds.
+const SALT_ORDER: u64 = 0xeb0c_0001;
+const SALT_PICKUP: u64 = 0xeb0c_0002;
+const SALT_STAGE: u64 = 0xeb0c_0003;
+
+/// Folds `parts` into one well-mixed 64-bit seed (SplitMix64 steps).
+fn mix(parts: &[u64]) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &part in parts {
+        h ^= part;
+        h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h = z ^ (z >> 31);
+    }
+    h
+}
+
+/// Pipeline position of `stage`, for seed derivation and for sorting
+/// trace events into execution order.
+fn stage_rank(stage: Stage) -> u64 {
+    match stage {
+        Stage::Partition => 0,
+        Stage::Merge => 1,
+        Stage::Rewrite => 2,
+        Stage::Verify => 3,
+        Stage::EmitC => 4,
+    }
+}
+
+/// The seeded injector: implements the farm's [`FaultInjector`] seam and
+/// records everything it fires for the run's [`ChaosTrace`].
+///
+/// Shared by every worker behind an `Arc` (see
+/// [`run_chaos`](crate::run_chaos)); interior mutability is limited to
+/// the trace recorder, so concurrent queries stay deterministic.
+pub struct ChaosInjector {
+    seed: u64,
+    plan: ChaosPlan,
+    order: Mutex<Option<Vec<usize>>>,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl ChaosInjector {
+    /// An injector deriving every decision from `seed` under `plan`.
+    pub fn new(seed: u64, plan: ChaosPlan) -> Self {
+        Self {
+            seed,
+            plan,
+            order: Mutex::new(None),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The seed this injector replays.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("chaos event lock").push(event);
+    }
+
+    /// Snapshots what fired so far into a [`ChaosTrace`], sorted into the
+    /// canonical (job, attempt, pipeline-position) order so the rendering
+    /// is independent of worker interleaving. `jobs` is the batch size
+    /// (used when the batch ran without a shuffled pickup order).
+    pub fn trace(&self, jobs: usize) -> ChaosTrace {
+        let mut events = self.events.lock().expect("chaos event lock").clone();
+        events.sort_by_key(|e| (e.job, e.attempt, e.stage.map_or(0, |s| 1 + stage_rank(s))));
+        let order = self
+            .order
+            .lock()
+            .expect("chaos order lock")
+            .clone()
+            .unwrap_or_else(|| (0..jobs).collect());
+        ChaosTrace {
+            seed: self.seed,
+            jobs,
+            order,
+            events,
+        }
+    }
+
+    /// Turns a decided fault kind into the farm-level [`Fault`], recording
+    /// it in the trace. Messages embed only the injection point's
+    /// coordinates (never time), keeping reports byte-stable.
+    fn enact(&self, job: usize, attempt: u32, stage: Stage, kind: FaultKind) -> Fault {
+        let (fault, recorded, delay_micros) = match kind {
+            FaultKind::Panic => (
+                Fault::Panic(format!(
+                    "chaos: injected panic (job {job}, attempt {attempt}, before {stage})"
+                )),
+                TraceFault::Panic,
+                None,
+            ),
+            FaultKind::Timeout => (
+                Fault::Abort(StageAbort::timeout(format!(
+                    "chaos: injected timeout (job {job}, attempt {attempt}, before {stage})"
+                ))),
+                TraceFault::Timeout,
+                None,
+            ),
+            FaultKind::Delay(delay) => (
+                Fault::Delay(delay),
+                TraceFault::Delay,
+                Some(delay.as_micros() as u64),
+            ),
+        };
+        self.record(TraceEvent {
+            job,
+            attempt,
+            stage: Some(stage),
+            fault: recorded,
+            delay_micros,
+        });
+        fault
+    }
+
+    /// A uniform delay in `0..=plan.max_delay` from `rng`.
+    fn draw_delay(&self, rng: &mut StdRng) -> Duration {
+        let bound = self.plan.max_delay.as_micros() as u64;
+        Duration::from_micros(rng.random_range(0..=bound))
+    }
+}
+
+impl FaultInjector for ChaosInjector {
+    fn pickup_order(&self, jobs: usize) -> Option<Vec<usize>> {
+        let mut order: Vec<usize> = (0..jobs).collect();
+        if self.plan.shuffle_pickup {
+            // Fisher–Yates from a seed mixed over the batch size.
+            let mut rng = StdRng::seed_from_u64(mix(&[self.seed, SALT_ORDER, jobs as u64]));
+            for i in (1..jobs).rev() {
+                order.swap(i, rng.random_range(0..=i));
+            }
+        }
+        *self.order.lock().expect("chaos order lock") = Some(order.clone());
+        Some(order)
+    }
+
+    fn pickup_delay(&self, job: usize) -> Option<Duration> {
+        if self.plan.delay_probability <= 0.0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(mix(&[self.seed, SALT_PICKUP, job as u64]));
+        if !rng.random_bool(self.plan.delay_probability) {
+            return None;
+        }
+        let delay = self.draw_delay(&mut rng);
+        self.record(TraceEvent {
+            job,
+            attempt: 0,
+            stage: None,
+            fault: TraceFault::Delay,
+            delay_micros: Some(delay.as_micros() as u64),
+        });
+        Some(delay)
+    }
+
+    fn before_stage(&self, job: usize, attempt: u32, stage: Stage) -> Option<Fault> {
+        // Pinned faults first: exact points always fire, storm or calm.
+        if let Some(forced) = self
+            .plan
+            .forced
+            .iter()
+            .find(|f| (f.job, f.attempt, f.stage) == (job, attempt, stage))
+        {
+            return Some(self.enact(job, attempt, stage, forced.kind));
+        }
+        // One roll decides among the mutually exclusive outcomes, so the
+        // per-point probabilities are exactly the configured ones.
+        let mut rng = StdRng::seed_from_u64(mix(&[
+            self.seed,
+            SALT_STAGE,
+            job as u64,
+            u64::from(attempt),
+            stage_rank(stage),
+        ]));
+        let roll: f64 = rng.random();
+        let panic_at = self.plan.panic_probability;
+        let timeout_at = panic_at + self.plan.timeout_probability;
+        let delay_at = timeout_at + self.plan.delay_probability;
+        let kind = if roll < panic_at {
+            FaultKind::Panic
+        } else if roll < timeout_at {
+            FaultKind::Timeout
+        } else if roll < delay_at {
+            FaultKind::Delay(self.draw_delay(&mut rng))
+        } else {
+            return None;
+        };
+        Some(self.enact(job, attempt, stage, kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ForcedFault;
+
+    #[test]
+    fn mix_separates_domains_and_inputs() {
+        assert_eq!(mix(&[1, 2, 3]), mix(&[1, 2, 3]), "pure function");
+        assert_ne!(mix(&[1, 2, 3]), mix(&[1, 3, 2]), "order matters");
+        assert_ne!(mix(&[7, SALT_PICKUP, 0]), mix(&[7, SALT_STAGE, 0]));
+        assert_ne!(mix(&[0]), mix(&[1]));
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_the_point() {
+        let a = ChaosInjector::new(99, ChaosPlan::default());
+        let b = ChaosInjector::new(99, ChaosPlan::default());
+        assert_eq!(a.pickup_order(10), b.pickup_order(10));
+        for job in 0..10 {
+            assert_eq!(a.pickup_delay(job), b.pickup_delay(job));
+            for attempt in 0..3 {
+                for stage in [Stage::Partition, Stage::Merge, Stage::Verify] {
+                    assert_eq!(
+                        a.before_stage(job, attempt, stage),
+                        b.before_stage(job, attempt, stage),
+                        "job {job} attempt {attempt} {stage}"
+                    );
+                }
+            }
+        }
+        // And query order does not matter: ask b again, backwards.
+        for job in (0..10).rev() {
+            assert_eq!(a.pickup_delay(job), b.pickup_delay(job));
+        }
+    }
+
+    #[test]
+    fn shuffled_pickup_is_a_permutation() {
+        let injector = ChaosInjector::new(5, ChaosPlan::default());
+        let order = injector.pickup_order(16).unwrap();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        assert_ne!(order, sorted, "seed 5 shuffles 16 jobs");
+    }
+
+    #[test]
+    fn calm_plan_fires_only_pinned_faults() {
+        let plan = ChaosPlan::calm().force(ForcedFault::panic(2, 1, Stage::Merge));
+        let injector = ChaosInjector::new(0, plan);
+        assert_eq!(injector.pickup_order(4), Some(vec![0, 1, 2, 3]));
+        for job in 0..4 {
+            assert_eq!(injector.pickup_delay(job), None);
+        }
+        assert_eq!(injector.before_stage(2, 0, Stage::Merge), None);
+        assert_eq!(injector.before_stage(2, 1, Stage::Rewrite), None);
+        let Some(Fault::Panic(message)) = injector.before_stage(2, 1, Stage::Merge) else {
+            panic!("pinned fault must fire");
+        };
+        assert_eq!(
+            message,
+            "chaos: injected panic (job 2, attempt 1, before merge)"
+        );
+        let trace = injector.trace(4);
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.events[0].fault, TraceFault::Panic);
+        assert_eq!(trace.order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn trace_events_sort_into_execution_order() {
+        let injector = ChaosInjector::new(
+            0,
+            ChaosPlan::calm()
+                .force(ForcedFault::timeout(1, 0, Stage::Verify))
+                .force(ForcedFault::timeout(0, 1, Stage::Partition))
+                .force(ForcedFault::timeout(0, 0, Stage::Merge)),
+        );
+        // Queried deliberately out of order, as racing workers would.
+        injector.before_stage(1, 0, Stage::Verify);
+        injector.before_stage(0, 1, Stage::Partition);
+        injector.before_stage(0, 0, Stage::Merge);
+        let keys: Vec<(usize, u32, Option<Stage>)> = injector
+            .trace(2)
+            .events
+            .iter()
+            .map(|e| (e.job, e.attempt, e.stage))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                (0, 0, Some(Stage::Merge)),
+                (0, 1, Some(Stage::Partition)),
+                (1, 0, Some(Stage::Verify)),
+            ]
+        );
+    }
+}

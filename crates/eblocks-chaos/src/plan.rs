@@ -1,0 +1,174 @@
+//! What chaos to inject: the storm's probabilities plus faults pinned to
+//! exact points.
+//!
+//! A [`ChaosPlan`] has two halves. The *probabilistic* half (panic,
+//! timeout, and delay probabilities, pickup shuffling) describes a storm
+//! the injector samples deterministically from the seed. The *pinned*
+//! half ([`ForcedFault`]) names exact `(job, attempt, stage)` points that
+//! always fault — the tool tests use to place one panic at one index, or
+//! to burn a whole retry budget on purpose.
+
+use eblocks_synth::Stage;
+use std::time::Duration;
+
+/// The kind of fault a [`ForcedFault`] pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic before the stage runs, exercising the worker's per-job panic
+    /// isolation.
+    Panic,
+    /// Abort the attempt with an injected timeout — fully deterministic
+    /// (no clock involved), reported as timed-out.
+    Timeout,
+    /// Sleep for the given duration before the stage — a scheduling
+    /// perturbation that only changes outcomes when a real
+    /// [`job_timeout`](eblocks_farm::FarmConfig::job_timeout) is armed.
+    Delay(Duration),
+}
+
+/// A fault pinned to an exact `(job, attempt, stage)` point.
+///
+/// Attempts are 0-based: attempt 0 is the first try, attempt 1 the first
+/// retry. A fault pinned to attempt 0 only is *transient* — with a retry
+/// budget the job recovers; pinned to every attempt it is *terminal*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForcedFault {
+    /// Index of the job in batch submission order.
+    pub job: usize,
+    /// 0-based attempt the fault fires on.
+    pub attempt: u32,
+    /// The pipeline stage gated (the fault fires just before it runs).
+    pub stage: Stage,
+    /// What happens at the point.
+    pub kind: FaultKind,
+}
+
+impl ForcedFault {
+    /// A pinned panic at `(job, attempt, stage)`.
+    pub fn panic(job: usize, attempt: u32, stage: Stage) -> Self {
+        Self {
+            job,
+            attempt,
+            stage,
+            kind: FaultKind::Panic,
+        }
+    }
+
+    /// A pinned injected timeout at `(job, attempt, stage)`.
+    pub fn timeout(job: usize, attempt: u32, stage: Stage) -> Self {
+        Self {
+            job,
+            attempt,
+            stage,
+            kind: FaultKind::Timeout,
+        }
+    }
+
+    /// A pinned delay of `delay` at `(job, attempt, stage)`.
+    pub fn delay(job: usize, attempt: u32, stage: Stage, delay: Duration) -> Self {
+        Self {
+            job,
+            attempt,
+            stage,
+            kind: FaultKind::Delay(delay),
+        }
+    }
+}
+
+/// The shape of the storm a [`ChaosInjector`](crate::ChaosInjector)
+/// samples.
+///
+/// Every probabilistic decision is a pure function of the seed and the
+/// injection point — never of wall-clock time or worker identity — so the
+/// same `(seed, plan)` produces the same faults, reports, and trace on
+/// every run and at every worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Shuffle the order workers claim jobs in (a seeded permutation).
+    pub shuffle_pickup: bool,
+    /// Probability of an artificial delay, drawn independently at each
+    /// job pickup and before each stage.
+    pub delay_probability: f64,
+    /// Upper bound on each artificial delay (drawn uniformly up to this).
+    pub max_delay: Duration,
+    /// Probability a stage boundary panics the job.
+    pub panic_probability: f64,
+    /// Probability a stage boundary times the attempt out (an injected,
+    /// clock-free timeout).
+    pub timeout_probability: f64,
+    /// Faults pinned to exact points, checked before any probabilistic
+    /// draw.
+    pub forced: Vec<ForcedFault>,
+}
+
+impl Default for ChaosPlan {
+    /// The standard storm `--chaos-seed` replays: shuffled pickup, delays
+    /// on a quarter of the draws (up to 500µs), and a 5% panic / 5%
+    /// timeout chance per stage boundary.
+    fn default() -> Self {
+        Self {
+            shuffle_pickup: true,
+            delay_probability: 0.25,
+            max_delay: Duration::from_micros(500),
+            panic_probability: 0.05,
+            timeout_probability: 0.05,
+            forced: Vec::new(),
+        }
+    }
+}
+
+impl ChaosPlan {
+    /// No storm at all: nothing is shuffled and only [`ChaosPlan::forced`]
+    /// faults fire. The starting point for tests that pin exact faults.
+    pub fn calm() -> Self {
+        Self {
+            shuffle_pickup: false,
+            delay_probability: 0.0,
+            max_delay: Duration::ZERO,
+            panic_probability: 0.0,
+            timeout_probability: 0.0,
+            forced: Vec::new(),
+        }
+    }
+
+    /// Adds a pinned fault (builder-style).
+    pub fn force(mut self, fault: ForcedFault) -> Self {
+        self.forced.push(fault);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calm_plan_is_silent() {
+        let plan = ChaosPlan::calm();
+        assert!(!plan.shuffle_pickup);
+        assert_eq!(plan.delay_probability, 0.0);
+        assert_eq!(plan.panic_probability, 0.0);
+        assert_eq!(plan.timeout_probability, 0.0);
+        assert!(plan.forced.is_empty());
+    }
+
+    #[test]
+    fn force_appends_pinned_faults() {
+        let plan = ChaosPlan::calm()
+            .force(ForcedFault::panic(3, 0, Stage::Partition))
+            .force(ForcedFault::timeout(1, 2, Stage::Merge))
+            .force(ForcedFault::delay(
+                0,
+                0,
+                Stage::Verify,
+                Duration::from_micros(7),
+            ));
+        assert_eq!(plan.forced.len(), 3);
+        assert_eq!(plan.forced[0].kind, FaultKind::Panic);
+        assert_eq!(plan.forced[1].attempt, 2);
+        assert_eq!(
+            plan.forced[2].kind,
+            FaultKind::Delay(Duration::from_micros(7))
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! The replayable record of one chaos run.
+//!
+//! A [`ChaosTrace`] lists every fault the injector actually fired, in a
+//! canonical order (by job, then attempt, then pipeline position) that is
+//! independent of worker interleaving. Because injection decisions are
+//! pure functions of the seed, the trace is byte-identical across runs of
+//! the same `(seed, plan, batch)` — and re-running from the seed alone
+//! reproduces it, which is what makes a printed `--chaos-seed N` a
+//! complete bug report.
+
+use eblocks_synth::Stage;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// What kind of fault a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceFault {
+    /// An artificial sleep (at pickup or before a stage).
+    #[serde(rename = "delay")]
+    Delay,
+    /// An injected panic.
+    #[serde(rename = "panic")]
+    Panic,
+    /// An injected (clock-free) timeout abort.
+    #[serde(rename = "timeout")]
+    Timeout,
+}
+
+/// One fault the injector fired.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Index of the job in batch submission order.
+    pub job: usize,
+    /// 0-based attempt the fault fired on (always 0 for pickup delays).
+    pub attempt: u32,
+    /// The stage gated, or `None` for a delay at job pickup.
+    pub stage: Option<Stage>,
+    /// What fired.
+    pub fault: TraceFault,
+    /// Microseconds slept, for [`TraceFault::Delay`] events.
+    pub delay_micros: Option<u64>,
+}
+
+/// Everything one chaos run injected, replayable from
+/// [`ChaosTrace::seed`] alone.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosTrace {
+    /// The seed the run (and any replay of it) derives every decision
+    /// from.
+    pub seed: u64,
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// The pickup order workers drained the queue in (submission order
+    /// when the plan did not shuffle).
+    pub order: Vec<usize>,
+    /// Every fault fired, in canonical (job, attempt, pipeline-position)
+    /// order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl ChaosTrace {
+    /// Renders the trace as stable, diffable text (the format the CLI's
+    /// `--chaos-trace FILE` writes and CI pins a golden copy of).
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "chaos trace v1: seed {}, {} job(s), {} event(s)\n",
+            self.seed,
+            self.jobs,
+            self.events.len()
+        );
+        let order: Vec<String> = self.order.iter().map(ToString::to_string).collect();
+        let _ = writeln!(out, "pickup order: {}", order.join(" "));
+        for event in &self.events {
+            let point = match event.stage {
+                Some(stage) => format!("before {stage}"),
+                None => "at pickup".to_string(),
+            };
+            let what = match event.fault {
+                TraceFault::Delay => format!("delay {}us", event.delay_micros.unwrap_or(0)),
+                TraceFault::Panic => "panic".to_string(),
+                TraceFault::Timeout => "timeout".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "job {} attempt {} {point}: {what}",
+                event.job, event.attempt
+            );
+        }
+        out
+    }
+
+    /// The trace as pretty-printed JSON (round-trips through
+    /// [`serde::json::from_str`]).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChaosTrace {
+        ChaosTrace {
+            seed: 42,
+            jobs: 3,
+            order: vec![2, 0, 1],
+            events: vec![
+                TraceEvent {
+                    job: 0,
+                    attempt: 0,
+                    stage: None,
+                    fault: TraceFault::Delay,
+                    delay_micros: Some(413),
+                },
+                TraceEvent {
+                    job: 2,
+                    attempt: 1,
+                    stage: Some(Stage::Merge),
+                    fault: TraceFault::Panic,
+                    delay_micros: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_rendering_is_stable() {
+        let text = sample().render_text();
+        assert_eq!(
+            text,
+            "chaos trace v1: seed 42, 3 job(s), 2 event(s)\n\
+             pickup order: 2 0 1\n\
+             job 0 attempt 0 at pickup: delay 413us\n\
+             job 2 attempt 1 before merge: panic\n"
+        );
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let trace = sample();
+        let text = trace.to_json();
+        let back: ChaosTrace = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, trace);
+    }
+}

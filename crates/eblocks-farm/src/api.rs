@@ -191,7 +191,7 @@ impl BatchRequest {
 }
 
 /// How one job of a [`BatchResponse`] ended. Serializes as
-/// `"ok"` / `"failed"` / `"panicked"`.
+/// `"ok"` / `"failed"` / `"panicked"` / `"timed-out"`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JobOutcome {
     /// The job completed; its stat fields are populated.
@@ -203,6 +203,10 @@ pub enum JobOutcome {
     /// The job panicked; the worker caught it (see the `error` field).
     #[serde(rename = "panicked")]
     Panicked,
+    /// The job exceeded its per-attempt time budget (see the `error`
+    /// field).
+    #[serde(rename = "timed-out")]
+    TimedOut,
 }
 
 /// One pipeline stage's wall-clock time in a response (`stages_ms`
@@ -239,8 +243,11 @@ pub struct JobResponse {
     pub partitioner: String,
     /// How the job ended.
     pub status: JobOutcome,
-    /// The error message, for failed/panicked jobs.
+    /// The error message, for failed/panicked/timed-out jobs.
     pub error: Option<String>,
+    /// Retry attempts consumed beyond the first try; omitted when 0 so
+    /// retry-free reports keep their historical byte layout.
+    pub retries: Option<u32>,
     /// Inner blocks before partitioning (successful jobs only).
     pub inner_before: Option<usize>,
     /// Inner blocks after partitioning.
@@ -265,6 +272,7 @@ impl JobResponse {
             JobStatus::Ok => (JobOutcome::Ok, None),
             JobStatus::Failed(e) => (JobOutcome::Failed, Some(e.clone())),
             JobStatus::Panicked(e) => (JobOutcome::Panicked, Some(e.clone())),
+            JobStatus::TimedOut(e) => (JobOutcome::TimedOut, Some(e.clone())),
         };
         let stats = report.stats.as_ref();
         Self {
@@ -272,6 +280,7 @@ impl JobResponse {
             partitioner: report.partitioner.clone(),
             status,
             error,
+            retries: (report.retries > 0).then_some(report.retries),
             inner_before: stats.map(|s| s.inner_before),
             inner_after: stats.map(|s| s.inner_after),
             partitions: stats.map(|s| s.partitions),
@@ -291,8 +300,11 @@ pub struct BatchSummary {
     pub jobs: usize,
     /// Jobs that completed successfully.
     pub succeeded: usize,
-    /// Jobs that failed or panicked.
+    /// Jobs that failed, panicked, or timed out.
     pub failed: usize,
+    /// Sum of per-job retry counts; omitted when no job retried so
+    /// retry-free reports keep their historical byte layout.
+    pub retries: Option<u32>,
     /// Sum of per-job `inner_before` over successful jobs.
     pub inner_before: usize,
     /// Sum of per-job `inner_after` over successful jobs.
@@ -336,11 +348,13 @@ impl BatchResponse {
                 .map(f)
                 .sum()
         };
+        let retries: u32 = report.jobs.iter().map(|j| j.retries).sum();
         Self {
             batch: BatchSummary {
                 jobs: report.jobs.len(),
                 succeeded: report.succeeded(),
                 failed: report.failed(),
+                retries: (retries > 0).then_some(retries),
                 inner_before: sum(|s| s.inner_before),
                 inner_after: sum(|s| s.inner_after),
                 partitions: sum(|s| s.partitions),
@@ -475,7 +489,8 @@ pub fn synthesize_with(
     // and batch paths cannot drift.
     let mut timings = StageTimings::new();
     let result =
-        crate::scheduler::run_synth_pipeline(&design, &job, partitioner.as_ref(), &mut timings)?;
+        crate::scheduler::run_synth_pipeline(&design, &job, partitioner.as_ref(), &mut timings)
+            .map_err(|e| e.to_string())?;
 
     Ok(SynthResponse {
         design: design.name().to_string(),

@@ -17,6 +17,12 @@
 //!   ([`run_batch`], [`FarmConfig`]); job panics are isolated per worker;
 //!   [`run_batch_with_progress`] streams job started/finished callbacks to
 //!   a [`BatchProgress`] listener while the batch runs;
+//! * resilience policies live on [`FarmConfig`]: a per-job retry budget
+//!   (`max_retries`, surfaced as [`JobReport::retries`]) and a cooperative
+//!   per-attempt timeout (`job_timeout`, surfaced as
+//!   [`JobStatus::TimedOut`]); the [`FaultInjector`] seam lets a harness
+//!   (see `eblocks-chaos`) perturb pickup order and inject delays, panics,
+//!   and aborts at stage boundaries;
 //! * reports serialize through the derive path: [`BatchReport`] wraps into
 //!   the typed [`api::BatchResponse`] and out through `serde::json`, and
 //!   the deterministic (timings-off) output is byte-identical for any
@@ -51,4 +57,6 @@ pub mod scheduler;
 pub use job::{Batch, Job, JobMode, JobSource};
 pub use manifest::ManifestError;
 pub use report::{BatchReport, JobReport, JobStats, JobStatus, JsonOptions};
-pub use scheduler::{run_batch, run_batch_with_progress, BatchProgress, FarmConfig};
+pub use scheduler::{
+    run_batch, run_batch_with_progress, BatchProgress, FarmConfig, Fault, FaultInjector,
+};

@@ -22,6 +22,10 @@ pub enum JobStatus {
     Failed(String),
     /// The job panicked; the worker caught it and carried on.
     Panicked(String),
+    /// The job exceeded the configured per-attempt time budget
+    /// ([`FarmConfig::job_timeout`](crate::FarmConfig::job_timeout)) and
+    /// was cancelled at a stage boundary.
+    TimedOut(String),
 }
 
 impl JobStatus {
@@ -35,13 +39,14 @@ impl JobStatus {
             Self::Ok => "ok",
             Self::Failed(_) => "failed",
             Self::Panicked(_) => "panicked",
+            Self::TimedOut(_) => "timed-out",
         }
     }
 
     fn error(&self) -> Option<&str> {
         match self {
             Self::Ok => None,
-            Self::Failed(e) | Self::Panicked(e) => Some(e),
+            Self::Failed(e) | Self::Panicked(e) | Self::TimedOut(e) => Some(e),
         }
     }
 }
@@ -74,10 +79,15 @@ pub struct JobReport {
     pub name: String,
     /// The strategy that actually ran (after default resolution).
     pub partitioner: String,
-    /// How the job ended.
+    /// How the job ended (the outcome of the final attempt).
     pub status: JobStatus,
-    /// Whole-job wall-clock time (load + pipeline), as seen by the worker.
+    /// Whole-job wall-clock time (load + pipeline, summed over every
+    /// attempt), as seen by the worker.
     pub elapsed: Duration,
+    /// Retry attempts the job consumed beyond the first try (0 when the
+    /// first attempt settled it; at most
+    /// [`FarmConfig::max_retries`](crate::FarmConfig::max_retries)).
+    pub retries: u32,
     /// Measurements, when the job succeeded.
     pub stats: Option<JobStats>,
 }
@@ -172,11 +182,20 @@ impl BatchReport {
             "name", "partitioner", "status", "inner", "total", "prog", "c-bytes"
         );
         for job in &self.jobs {
+            let retries = if job.retries > 0 {
+                format!(
+                    "  [{} retr{}]",
+                    job.retries,
+                    if job.retries == 1 { "y" } else { "ies" }
+                )
+            } else {
+                String::new()
+            };
             match (&job.status, &job.stats) {
                 (JobStatus::Ok, Some(stats)) => {
                     let _ = writeln!(
                         out,
-                        "  {:<name_w$}  {:<12} {:<8} {:>6} {:>6} {:>5} {:>9}{}",
+                        "  {:<name_w$}  {:<12} {:<8} {:>6} {:>6} {:>5} {:>9}{}{}",
                         job.name,
                         job.partitioner,
                         "ok",
@@ -185,16 +204,18 @@ impl BatchReport {
                         stats.partitions,
                         stats.c_bytes,
                         if stats.complete { "" } else { "  (timeout)" },
+                        retries,
                     );
                 }
                 (status, _) => {
                     let _ = writeln!(
                         out,
-                        "  {:<name_w$}  {:<12} {:<8} {}",
+                        "  {:<name_w$}  {:<12} {:<8} {}{}",
                         job.name,
                         job.partitioner,
                         status.label(),
                         status.error().unwrap_or(""),
+                        retries,
                     );
                 }
             }
@@ -243,6 +264,7 @@ mod tests {
                     partitioner: "pare-down".into(),
                     status: JobStatus::Ok,
                     elapsed: Duration::from_millis(5),
+                    retries: 0,
                     stats: Some(JobStats {
                         inner_before: 2,
                         inner_after: 1,
@@ -258,6 +280,7 @@ mod tests {
                     partitioner: "anneal".into(),
                     status: JobStatus::Failed("cannot read x".into()),
                     elapsed: Duration::from_millis(1),
+                    retries: 2,
                     stats: None,
                 },
             ],
@@ -283,6 +306,7 @@ mod tests {
         assert!(json.contains(r#""error":"cannot read x""#), "{json}");
         assert!(json.contains(r#""broken \"job\"""#), "escaped: {json}");
         assert!(json.contains(r#""c_bytes":512"#), "{json}");
+        assert!(json.contains(r#""retries":2"#), "{json}");
         assert!(!json.contains("elapsed_ms"), "no wall-clock: {json}");
         assert!(!json.contains("workers"), "no pool shape: {json}");
 
@@ -301,6 +325,7 @@ mod tests {
         assert!(text.contains("2 job(s), 1 ok, 1 failed"), "{text}");
         assert!(text.contains("garage"), "{text}");
         assert!(text.contains("cannot read x"), "{text}");
+        assert!(text.contains("[2 retries]"), "{text}");
         assert!(text.contains("stage totals"), "{text}");
         assert!(text.contains("partition"), "{text}");
         let no_t = r.render_text(false);

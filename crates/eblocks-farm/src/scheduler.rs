@@ -16,21 +16,104 @@ use crate::job::{Batch, Job, JobMode};
 use crate::report::{BatchReport, JobReport, JobStats, JobStatus};
 use eblocks_core::Design;
 use eblocks_partition::{PartitionConstraints, Partitioner, Registry};
-use eblocks_synth::{Pipeline, Stage, StageReport, StageTimings, SynthesisResult, VerifyOptions};
+use eblocks_synth::{
+    Observer, Pipeline, Stage, StageAbort, StageReport, StageTimings, SynthError, SynthesisResult,
+    VerifyOptions,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A fault a [`FaultInjector`] can order at a stage boundary.
+///
+/// Faults are injected *cooperatively*: a worker consults the injector
+/// before each pipeline stage and enacts whatever it returns, inside the
+/// same panic isolation that protects real job failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Sleep for the given duration before running the stage. The
+    /// per-attempt deadline is re-checked after the sleep, so a delay at
+    /// or past [`FarmConfig::job_timeout`] deterministically times the
+    /// attempt out.
+    Delay(Duration),
+    /// Panic with the given message, exercising the worker's per-job
+    /// panic isolation ([`JobStatus::Panicked`]).
+    Panic(String),
+    /// Abort the stage with the given [`StageAbort`]; `timeout` aborts
+    /// surface as [`JobStatus::TimedOut`], the rest as
+    /// [`JobStatus::Failed`].
+    Abort(StageAbort),
+}
+
+/// The fault-injection seam of the farm — the hook `eblocks-chaos` drives.
+///
+/// An injector is shared by every worker (hence `Sync + Send`) and
+/// consulted at three points: once per batch for a pickup-order
+/// permutation, once per job claim for an artificial scheduling delay, and
+/// once per (job, attempt, stage) for an injected fault. All default
+/// implementations inject nothing, so an injector overrides only the seams
+/// it cares about.
+///
+/// Determinism contract: injectors that decide faults as pure functions of
+/// their arguments (never of wall-clock time or worker identity) keep
+/// batch reports byte-identical across runs and worker counts — the
+/// property the chaos harness's replayable traces rely on.
+pub trait FaultInjector: Sync + Send {
+    /// The order workers claim jobs in, as a permutation of `0..jobs`.
+    /// `None` (the default) keeps submission order. A returned vector that
+    /// is not a permutation of `0..jobs` is ignored.
+    fn pickup_order(&self, jobs: usize) -> Option<Vec<usize>> {
+        let _ = jobs;
+        None
+    }
+
+    /// An artificial delay inserted after a worker claims job `job`,
+    /// before it starts running — a scheduling perturbation that shifts
+    /// which worker gets which later job.
+    fn pickup_delay(&self, job: usize) -> Option<Duration> {
+        let _ = job;
+        None
+    }
+
+    /// A fault to enact just before `stage` of attempt `attempt` (0-based)
+    /// of job `job`, or `None` to let the stage run.
+    fn before_stage(&self, job: usize, attempt: u32, stage: Stage) -> Option<Fault> {
+        let _ = (job, attempt, stage);
+        None
+    }
+}
 
 /// Engine configuration for [`run_batch`].
 pub struct FarmConfig {
     /// Worker threads; `None` uses [`std::thread::available_parallelism`].
-    /// The pool never spawns more workers than there are jobs.
+    /// The pool never spawns more workers than there are jobs, and a
+    /// requested count of 0 is clamped to 1 (the pool always has at least
+    /// one worker; see [`FarmConfig::with_workers`]).
     pub workers: Option<usize>,
     /// Overrides the batch's default strategy for jobs that set none
     /// (the CLI's `--partitioner` flag lands here). Per-job `partitioner=`
     /// settings still win.
     pub partitioner_override: Option<String>,
+    /// Retry budget per job: a job whose attempt fails, panics, or times
+    /// out is re-run on the same worker up to this many more times, and
+    /// the attempts actually consumed are surfaced as
+    /// [`JobReport::retries`]. Default 0 (one attempt, no retries).
+    /// Deterministic failures (an unknown strategy, a bad netlist) burn
+    /// their whole budget and still fail; the knob exists for injected
+    /// and transient faults.
+    pub max_retries: u32,
+    /// Per-attempt time budget. Enforcement is cooperative: the deadline
+    /// is checked at every pipeline stage boundary, so a job is cancelled
+    /// *between* stages (work inside a stage always runs to completion)
+    /// and reported as [`JobStatus::TimedOut`]. The timeout message quotes
+    /// this configured limit, never measured time, keeping reports
+    /// deterministic. Default `None` (no limit).
+    pub job_timeout: Option<Duration>,
+    /// The fault-injection hook, shared by every worker. Default `None`
+    /// (no injection); the chaos harness installs its seeded injector
+    /// here.
+    pub faults: Option<Arc<dyn FaultInjector>>,
     /// Strategy registry jobs resolve their partitioner names against.
     /// Defaults to [`Registry::builtin`]; register custom strategies (a
     /// time-limited exhaustive, a test double) before running.
@@ -42,6 +125,9 @@ impl Default for FarmConfig {
         Self {
             workers: None,
             partitioner_override: None,
+            max_retries: 0,
+            job_timeout: None,
+            faults: None,
             registry: Registry::builtin(),
         }
     }
@@ -49,11 +135,34 @@ impl Default for FarmConfig {
 
 impl FarmConfig {
     /// A config pinned to `workers` threads.
+    ///
+    /// The pool always runs at least one worker: a requested count of 0
+    /// is clamped to 1 rather than rejected, so `with_workers(0)` behaves
+    /// exactly like `with_workers(1)` (and [`BatchReport::workers`]
+    /// reports the clamped count actually used).
     pub fn with_workers(workers: usize) -> Self {
         Self {
             workers: Some(workers),
             ..Self::default()
         }
+    }
+
+    /// Sets the per-job retry budget (see [`FarmConfig::max_retries`]).
+    pub fn retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the per-attempt time budget (see [`FarmConfig::job_timeout`]).
+    pub fn timeout(mut self, limit: Duration) -> Self {
+        self.job_timeout = Some(limit);
+        self
+    }
+
+    /// Installs a fault injector (see [`FarmConfig::faults`]).
+    pub fn inject(mut self, faults: Arc<dyn FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     fn effective_workers(&self, jobs: usize) -> usize {
@@ -120,19 +229,25 @@ pub fn run_batch_with_progress(
     let workers = config.effective_workers(batch.jobs.len());
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<JobReport>>> = Mutex::new(vec![None; batch.jobs.len()]);
+    let faults = config.faults.as_deref();
+    let order = pickup_order(faults, batch.jobs.len());
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = batch.jobs.get(index) else {
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&index) = order.get(slot) else {
                     break;
                 };
+                let job = &batch.jobs[index];
+                if let Some(delay) = faults.and_then(|f| f.pickup_delay(index)) {
+                    std::thread::sleep(delay);
+                }
                 // Listener panics are swallowed (they run outside
                 // run_job's catch) so a buggy hook cannot abort the
                 // scoped pool and lose the batch's results.
                 let _ = catch_unwind(AssertUnwindSafe(|| progress.job_started(index, job)));
-                let report = run_job(job, batch, config);
+                let report = run_job(job, index, batch, config);
                 let _ = catch_unwind(AssertUnwindSafe(|| progress.job_finished(index, &report)));
                 slots.lock().expect("farm result lock")[index] = Some(report);
             });
@@ -152,6 +267,22 @@ pub fn run_batch_with_progress(
     }
 }
 
+/// The pickup order workers drain the queue in: the injector's
+/// permutation when it supplies a valid one, submission order otherwise.
+fn pickup_order(faults: Option<&dyn FaultInjector>, jobs: usize) -> Vec<usize> {
+    if let Some(order) = faults.and_then(|f| f.pickup_order(jobs)) {
+        let mut seen = vec![false; jobs];
+        let valid = order.len() == jobs
+            && order
+                .iter()
+                .all(|&i| i < jobs && !std::mem::replace(&mut seen[i], true));
+        if valid {
+            return order;
+        }
+    }
+    (0..jobs).collect()
+}
+
 /// Resolves the job's strategy name: job > engine override > batch default
 /// > `pare-down`.
 fn partitioner_name<'a>(job: &'a Job, batch: &'a Batch, config: &'a FarmConfig) -> &'a str {
@@ -162,22 +293,33 @@ fn partitioner_name<'a>(job: &'a Job, batch: &'a Batch, config: &'a FarmConfig) 
         .unwrap_or("pare-down")
 }
 
-/// Runs one job on the calling worker thread, catching panics.
-fn run_job(job: &Job, batch: &Batch, config: &FarmConfig) -> JobReport {
+/// Runs one job on the calling worker thread, catching panics and
+/// retrying failed attempts up to the configured budget.
+fn run_job(job: &Job, index: usize, batch: &Batch, config: &FarmConfig) -> JobReport {
     let started = Instant::now();
     let name = partitioner_name(job, batch, config);
-    let outcome = catch_unwind(AssertUnwindSafe(|| execute(job, name, config)));
-    let (status, stats) = match outcome {
-        Ok(Ok(stats)) => (JobStatus::Ok, Some(stats)),
-        Ok(Err(error)) => (JobStatus::Failed(error), None),
-        Err(payload) => (JobStatus::Panicked(panic_message(payload)), None),
-    };
-    JobReport {
-        name: job.name.clone(),
-        partitioner: name.to_string(),
-        status,
-        elapsed: started.elapsed(),
-        stats,
+    let mut attempt: u32 = 0;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            execute(job, index, attempt, name, config)
+        }));
+        let (status, stats) = match outcome {
+            Ok(Ok(stats)) => (JobStatus::Ok, Some(stats)),
+            Ok(Err(ExecError::Failed(error))) => (JobStatus::Failed(error), None),
+            Ok(Err(ExecError::TimedOut(error))) => (JobStatus::TimedOut(error), None),
+            Err(payload) => (JobStatus::Panicked(panic_message(payload)), None),
+        };
+        if status.is_ok() || attempt >= config.max_retries {
+            return JobReport {
+                name: job.name.clone(),
+                partitioner: name.to_string(),
+                status,
+                elapsed: started.elapsed(),
+                retries: attempt,
+                stats,
+            };
+        }
+        attempt += 1;
     }
 }
 
@@ -208,48 +350,151 @@ pub(crate) fn resolve_strategy(
 
 /// Runs `design` through the full synthesis pipeline with `job`'s options
 /// (partition → merge → rewrite → verify or skip → emit C), feeding
-/// `timings`. The one pipeline invocation both the batch scheduler and
+/// `observer`. The one pipeline invocation both the batch scheduler and
 /// the request API execute, so the two paths cannot drift.
 pub(crate) fn run_synth_pipeline(
     design: &Design,
     job: &Job,
     partitioner: &dyn Partitioner,
-    timings: &mut StageTimings,
-) -> Result<SynthesisResult, String> {
+    observer: &mut dyn Observer,
+) -> Result<SynthesisResult, SynthError> {
     let rewritten = Pipeline::new(design)
         .constraints(PartitionConstraints::with_spec(job.spec))
         .optimize(job.optimize)
-        .observe(timings)
-        .partition_with(partitioner)
-        .map_err(|e| e.to_string())?
-        .merge()
-        .map_err(|e| e.to_string())?
-        .rewrite()
-        .map_err(|e| e.to_string())?;
+        .observe(observer)
+        .partition_with(partitioner)?
+        .merge()?
+        .rewrite()?;
     let verified = if job.verify {
-        rewritten
-            .verify(VerifyOptions::default())
-            .map_err(|e| e.to_string())?
+        rewritten.verify(VerifyOptions::default())?
     } else {
         rewritten.skip_verify()
     };
     Ok(verified.emit_c())
 }
 
-/// The fallible body of one job.
-fn execute(job: &Job, partitioner_name: &str, config: &FarmConfig) -> Result<JobStats, String> {
-    let partitioner = resolve_strategy(&config.registry, partitioner_name)?;
-    let design = job.load_design()?;
+/// How one attempt of a job's fallible body ended short of success.
+enum ExecError {
+    /// The attempt returned an error.
+    Failed(String),
+    /// The attempt was cancelled at a stage boundary by the per-attempt
+    /// deadline (or an injected timeout abort).
+    TimedOut(String),
+}
+
+/// Maps a stage-boundary abort to the attempt outcome it represents.
+fn abort_error(stage: Stage, abort: StageAbort) -> ExecError {
+    if abort.timeout {
+        ExecError::TimedOut(abort.message)
+    } else {
+        ExecError::Failed(format!("stage {stage} aborted: {}", abort.message))
+    }
+}
+
+/// The per-attempt pipeline observer: collects stage timings, enforces
+/// the cooperative per-attempt deadline, and enacts injected faults at
+/// every stage boundary.
+struct StageGuard<'a> {
+    timings: StageTimings,
+    /// The wall-clock deadline of this attempt, when a timeout is set.
+    deadline: Option<Instant>,
+    /// The configured limit, quoted (not measured time) in timeout
+    /// messages so reports stay deterministic.
+    limit: Option<Duration>,
+    faults: Option<&'a dyn FaultInjector>,
+    job: usize,
+    attempt: u32,
+}
+
+impl<'a> StageGuard<'a> {
+    fn new(config: &'a FarmConfig, job: usize, attempt: u32) -> Self {
+        Self {
+            timings: StageTimings::new(),
+            deadline: config.job_timeout.map(|limit| Instant::now() + limit),
+            limit: config.job_timeout,
+            faults: config.faults.as_deref(),
+            job,
+            attempt,
+        }
+    }
+
+    fn deadline_abort(&self, stage: Stage) -> Option<StageAbort> {
+        match (self.deadline, self.limit) {
+            (Some(deadline), Some(limit)) if Instant::now() >= deadline => Some(
+                StageAbort::timeout(format!("job timed out before {stage} (limit {limit:?})")),
+            ),
+            _ => None,
+        }
+    }
+
+    /// The gate every stage passes through: deadline first, then the
+    /// injector's verdict. A `Delay` sleeps and re-checks the deadline, a
+    /// `Panic` panics into the worker's per-job isolation, an `Abort`
+    /// returns as-is.
+    fn check(&self, stage: Stage) -> Result<(), StageAbort> {
+        if let Some(abort) = self.deadline_abort(stage) {
+            return Err(abort);
+        }
+        let Some(fault) = self
+            .faults
+            .and_then(|f| f.before_stage(self.job, self.attempt, stage))
+        else {
+            return Ok(());
+        };
+        match fault {
+            Fault::Delay(delay) => {
+                std::thread::sleep(delay);
+                match self.deadline_abort(stage) {
+                    Some(abort) => Err(abort),
+                    None => Ok(()),
+                }
+            }
+            Fault::Panic(message) => panic!("{message}"),
+            Fault::Abort(abort) => Err(abort),
+        }
+    }
+}
+
+impl Observer for StageGuard<'_> {
+    fn on_stage(&mut self, report: &StageReport) {
+        self.timings.on_stage(report);
+    }
+
+    fn before_stage(&mut self, stage: Stage) -> Result<(), StageAbort> {
+        self.check(stage)
+    }
+}
+
+/// The fallible body of one attempt of one job.
+fn execute(
+    job: &Job,
+    index: usize,
+    attempt: u32,
+    partitioner_name: &str,
+    config: &FarmConfig,
+) -> Result<JobStats, ExecError> {
+    let partitioner =
+        resolve_strategy(&config.registry, partitioner_name).map_err(ExecError::Failed)?;
+    let design = job.load_design().map_err(ExecError::Failed)?;
+    let mut guard = StageGuard::new(config, index, attempt);
     match job.mode {
         JobMode::Partition => {
+            // Partition-only jobs run a single stage; gate it like the
+            // pipeline gates its stages so timeouts and injected faults
+            // apply uniformly across both modes.
+            guard
+                .check(Stage::Partition)
+                .map_err(|abort| abort_error(Stage::Partition, abort))?;
             let constraints = PartitionConstraints::with_spec(job.spec);
-            design.validate().map_err(|e| e.to_string())?;
+            design
+                .validate()
+                .map_err(|e| ExecError::Failed(e.to_string()))?;
             let started = Instant::now();
             let partitioning = partitioner.partition(&design, &constraints);
             let elapsed = started.elapsed();
             partitioning
                 .verify(&design, &constraints)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| ExecError::Failed(e.to_string()))?;
             let mut timings = StageTimings::new();
             timings.reports.push(StageReport {
                 stage: Stage::Partition,
@@ -267,8 +512,11 @@ fn execute(job: &Job, partitioner_name: &str, config: &FarmConfig) -> Result<Job
             })
         }
         JobMode::Synth => {
-            let mut timings = StageTimings::new();
-            let result = run_synth_pipeline(&design, job, partitioner.as_ref(), &mut timings)?;
+            let result = run_synth_pipeline(&design, job, partitioner.as_ref(), &mut guard)
+                .map_err(|e| match e {
+                    SynthError::Aborted { stage, abort } => abort_error(stage, abort),
+                    other => ExecError::Failed(other.to_string()),
+                })?;
             Ok(JobStats {
                 inner_before: result.inner_before(),
                 inner_after: result.inner_after(),
@@ -276,7 +524,7 @@ fn execute(job: &Job, partitioner_name: &str, config: &FarmConfig) -> Result<Job
                 complete: result.partitioning.is_complete(),
                 c_bytes: result.c_sources.iter().map(|(_, c)| c.len()).sum(),
                 verified: result.report.as_ref().is_some_and(|r| r.is_equivalent()),
-                timings,
+                timings: guard.timings,
             })
         }
     }
@@ -314,6 +562,197 @@ mod tests {
         assert_eq!(part.c_bytes, 0, "partition mode emits no C");
         assert!(!part.verified);
         assert_eq!(part.timings.reports.len(), 1, "only the partition stage");
+    }
+
+    /// A scripted injector: an optional pickup order plus faults pinned
+    /// to exact (job, attempt, stage) points.
+    struct Script {
+        order: Option<Vec<usize>>,
+        faults: Vec<((usize, u32, Stage), Fault)>,
+    }
+
+    impl Script {
+        fn faults(faults: Vec<((usize, u32, Stage), Fault)>) -> Self {
+            Self {
+                order: None,
+                faults,
+            }
+        }
+    }
+
+    impl FaultInjector for Script {
+        fn pickup_order(&self, _jobs: usize) -> Option<Vec<usize>> {
+            self.order.clone()
+        }
+
+        fn before_stage(&self, job: usize, attempt: u32, stage: Stage) -> Option<Fault> {
+            self.faults
+                .iter()
+                .find(|((j, a, s), _)| (*j, *a, *s) == (job, attempt, stage))
+                .map(|(_, fault)| fault.clone())
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        // with_workers(0) is documented to behave exactly like
+        // with_workers(1): the pool always has at least one worker.
+        let report = run_batch(&library_batch(), &FarmConfig::with_workers(0));
+        assert_eq!(report.workers, 1);
+        assert!(report.all_ok(), "{}", report.render_text(false));
+        let baseline = run_batch(&library_batch(), &FarmConfig::with_workers(1));
+        assert_eq!(
+            report.to_json(&JsonOptions::default()),
+            baseline.to_json(&JsonOptions::default())
+        );
+    }
+
+    #[test]
+    fn retries_recover_from_transient_faults() {
+        // A panic injected only on attempt 0 of job 0: with a retry
+        // budget the second attempt succeeds, and only the retry counter
+        // distinguishes the report from a fault-free run.
+        let script = Script::faults(vec![(
+            (0, 0, Stage::Partition),
+            Fault::Panic("injected panic".into()),
+        )]);
+        let config = FarmConfig::with_workers(2)
+            .retries(1)
+            .inject(Arc::new(script));
+        let report = run_batch(&library_batch(), &config);
+        assert!(report.all_ok(), "{}", report.render_text(false));
+        assert_eq!(report.jobs[0].retries, 1);
+        assert_eq!(report.jobs[1].retries, 0);
+        assert_eq!(report.jobs[2].retries, 0);
+        let json = report.to_json(&JsonOptions::default());
+        assert!(json.contains(r#""retries":1"#), "{json}");
+
+        // Without the budget the same fault is a terminal panic.
+        let script = Script::faults(vec![(
+            (0, 0, Stage::Partition),
+            Fault::Panic("injected panic".into()),
+        )]);
+        let config = FarmConfig::with_workers(2).inject(Arc::new(script));
+        let report = run_batch(&library_batch(), &config);
+        let JobStatus::Panicked(message) = &report.jobs[0].status else {
+            panic!("{:?}", report.jobs[0].status);
+        };
+        assert_eq!(message, "injected panic");
+        assert_eq!(report.jobs[0].retries, 0);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_keeps_the_failure() {
+        // A fault injected on every attempt: the job burns its whole
+        // budget, reports the final failure, and no job is lost or
+        // duplicated.
+        let script = Script::faults(
+            (0..3)
+                .map(|attempt| {
+                    (
+                        (1, attempt, Stage::Partition),
+                        Fault::Abort(StageAbort::fault("injected fault")),
+                    )
+                })
+                .collect(),
+        );
+        let config = FarmConfig::with_workers(2)
+            .retries(2)
+            .inject(Arc::new(script));
+        let report = run_batch(&library_batch(), &config);
+        assert_eq!(report.jobs.len(), 3);
+        assert_eq!(report.succeeded(), 2);
+        let JobStatus::Failed(message) = &report.jobs[1].status else {
+            panic!("{:?}", report.jobs[1].status);
+        };
+        assert_eq!(message, "stage partition aborted: injected fault");
+        assert_eq!(report.jobs[1].retries, 2);
+    }
+
+    #[test]
+    fn injected_timeout_reports_timed_out() {
+        let script = Script::faults(vec![(
+            (0, 0, Stage::Merge),
+            Fault::Abort(StageAbort::timeout("injected timeout before merge")),
+        )]);
+        let config = FarmConfig::with_workers(1).inject(Arc::new(script));
+        let report = run_batch(&library_batch(), &config);
+        let JobStatus::TimedOut(message) = &report.jobs[0].status else {
+            panic!("{:?}", report.jobs[0].status);
+        };
+        assert_eq!(message, "injected timeout before merge");
+        let json = report.to_json(&JsonOptions::default());
+        assert!(json.contains(r#""status":"timed-out""#), "{json}");
+        assert!(report.jobs[1].status.is_ok());
+        assert!(report.jobs[2].status.is_ok());
+    }
+
+    #[test]
+    fn deadline_trips_deterministically_after_injected_delay() {
+        // A Delay at least as long as the budget forces the post-sleep
+        // deadline re-check to trip; the message quotes the configured
+        // limit (never measured time), so it is byte-stable across runs.
+        let script = Script::faults(vec![(
+            (0, 0, Stage::Merge),
+            Fault::Delay(Duration::from_millis(40)),
+        )]);
+        let config = FarmConfig::with_workers(1)
+            .timeout(Duration::from_millis(30))
+            .inject(Arc::new(script));
+        let report = run_batch(&library_batch(), &config);
+        let JobStatus::TimedOut(message) = &report.jobs[0].status else {
+            panic!("{:?}", report.jobs[0].status);
+        };
+        assert_eq!(message, "job timed out before merge (limit 30ms)");
+        assert_eq!(report.jobs[0].retries, 0);
+        assert!(report.jobs[1].status.is_ok());
+    }
+
+    #[test]
+    fn pickup_order_perturbs_scheduling_not_results() {
+        let baseline = run_batch(&library_batch(), &FarmConfig::with_workers(1));
+
+        // A reversed pickup order changes when jobs start, not the report:
+        // rows stay in submission order and (timings off) byte-identical.
+        let script = Script {
+            order: Some(vec![2, 1, 0]),
+            faults: vec![],
+        };
+        let config = FarmConfig::with_workers(1).inject(Arc::new(script));
+        let recorder = Recorder::default();
+        let report = run_batch_with_progress(&library_batch(), &config, &recorder);
+        let started: Vec<usize> = recorder
+            .started
+            .into_inner()
+            .unwrap()
+            .iter()
+            .map(|(i, _)| *i)
+            .collect();
+        assert_eq!(started, vec![2, 1, 0]);
+        assert_eq!(
+            report.to_json(&JsonOptions::default()),
+            baseline.to_json(&JsonOptions::default())
+        );
+
+        // An invalid permutation (wrong length, duplicates, out of range)
+        // is ignored in favor of submission order.
+        for bad in [vec![0, 1], vec![0, 0, 1], vec![0, 1, 7]] {
+            let script = Script {
+                order: Some(bad),
+                faults: vec![],
+            };
+            let config = FarmConfig::with_workers(1).inject(Arc::new(script));
+            let recorder = Recorder::default();
+            run_batch_with_progress(&library_batch(), &config, &recorder);
+            let started: Vec<usize> = recorder
+                .started
+                .into_inner()
+                .unwrap()
+                .iter()
+                .map(|(i, _)| *i)
+                .collect();
+            assert_eq!(started, vec![0, 1, 2]);
+        }
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! Batch determinism: the same manifest must produce a byte-identical
-//! (timings-off) `BatchReport` regardless of worker count, and a poisoned
-//! job must be reported as failed without taking down the batch.
+//! (timings-off) `BatchReport` regardless of worker count, a poisoned
+//! job must be reported as failed without taking down the batch, and
+//! `BatchProgress` notifications must respect the scheduler's ordering
+//! contract at every worker count.
 
-use eblocks_farm::{run_batch, Batch, FarmConfig, JobStatus, JsonOptions};
+use eblocks_farm::{
+    run_batch, run_batch_with_progress, Batch, BatchProgress, FarmConfig, Job, JobReport,
+    JobStatus, JsonOptions,
+};
+use std::sync::Mutex;
 
 const MANIFEST: &str = "\
 # mixed sources, mixed strategies, mixed modes
@@ -75,4 +81,120 @@ fn poisoned_job_is_isolated() {
     ));
     assert!(report.jobs[0].status.is_ok());
     assert!(report.jobs[2].status.is_ok());
+}
+
+/// One progress notification, in arrival order.
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    Started(usize),
+    Finished(usize, String),
+}
+
+/// Records every notification; `Sync` via the interior mutex.
+#[derive(Default)]
+struct Recorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl BatchProgress for Recorder {
+    fn job_started(&self, index: usize, _job: &Job) {
+        self.events.lock().unwrap().push(Event::Started(index));
+    }
+    fn job_finished(&self, index: usize, report: &JobReport) {
+        self.events
+            .lock()
+            .unwrap()
+            .push(Event::Finished(index, format!("{:?}", report.status)));
+    }
+}
+
+#[test]
+fn progress_events_respect_the_ordering_contract() {
+    // At every worker count: each job starts exactly once, finishes
+    // exactly once, starts strictly before it finishes, and the status a
+    // listener hears is exactly the row the final report holds.
+    let batch = Batch::parse(MANIFEST).unwrap();
+    for workers in [1, 2, 8] {
+        let recorder = Recorder::default();
+        let report = run_batch_with_progress(&batch, &FarmConfig::with_workers(workers), &recorder);
+        let events = recorder.events.into_inner().unwrap();
+        assert_eq!(
+            events.len(),
+            batch.jobs.len() * 2,
+            "{workers} workers: one start and one finish per job"
+        );
+        for index in 0..batch.jobs.len() {
+            let started: Vec<usize> = events
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| matches!(e, Event::Started(i) if *i == index))
+                .map(|(at, _)| at)
+                .collect();
+            let finished: Vec<usize> = events
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| matches!(e, Event::Finished(i, _) if *i == index))
+                .map(|(at, _)| at)
+                .collect();
+            assert_eq!(
+                started.len(),
+                1,
+                "{workers} workers: job {index} started once"
+            );
+            assert_eq!(
+                finished.len(),
+                1,
+                "{workers} workers: job {index} finished once"
+            );
+            assert!(
+                started[0] < finished[0],
+                "{workers} workers: job {index} finished before it started"
+            );
+            let Event::Finished(_, heard) = &events[finished[0]] else {
+                unreachable!()
+            };
+            assert_eq!(
+                heard,
+                &format!("{:?}", report.jobs[index].status),
+                "{workers} workers: listener heard a different status than the report"
+            );
+        }
+    }
+
+    // Sequential execution additionally pins the interleaving: submission
+    // order, start immediately followed by finish.
+    let recorder = Recorder::default();
+    run_batch_with_progress(&batch, &FarmConfig::with_workers(1), &recorder);
+    let events = recorder.events.into_inner().unwrap();
+    for (index, pair) in events.chunks(2).enumerate() {
+        assert_eq!(pair[0], Event::Started(index));
+        assert!(matches!(&pair[1], Event::Finished(i, _) if *i == index));
+    }
+}
+
+#[test]
+fn panicking_listener_never_corrupts_the_report() {
+    // A listener that panics on every notification must not change the
+    // deterministic report by a single byte, at any worker count.
+    struct Grenade;
+    impl BatchProgress for Grenade {
+        fn job_started(&self, _: usize, _: &Job) {
+            panic!("listener panic on start");
+        }
+        fn job_finished(&self, _: usize, _: &JobReport) {
+            panic!("listener panic on finish");
+        }
+    }
+
+    let batch = Batch::parse(MANIFEST).unwrap();
+    let options = JsonOptions::default();
+    let baseline = run_batch(&batch, &FarmConfig::with_workers(1)).to_json(&options);
+    for workers in [1, 8] {
+        let report = run_batch_with_progress(&batch, &FarmConfig::with_workers(workers), &Grenade);
+        assert_eq!(
+            report.to_json(&options),
+            baseline,
+            "{workers} workers: panicking listener changed the report"
+        );
+    }
 }

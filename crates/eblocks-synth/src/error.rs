@@ -1,5 +1,6 @@
 //! Synthesis pipeline errors.
 
+use crate::observe::{Stage, StageAbort};
 use eblocks_codegen::CodegenError;
 use eblocks_core::DesignError;
 use eblocks_partition::VerifyError;
@@ -29,6 +30,15 @@ pub enum SynthError {
         /// The mismatching report.
         report: EquivalenceReport,
     },
+    /// The attached observer refused to let a stage run (see
+    /// [`Observer::before_stage`](crate::Observer::before_stage)) — a
+    /// cooperative timeout or an injected fault.
+    Aborted {
+        /// The stage that was about to run.
+        stage: Stage,
+        /// Why the observer aborted it.
+        abort: StageAbort,
+    },
 }
 
 impl fmt::Display for SynthError {
@@ -48,6 +58,9 @@ impl fmt::Display for SynthError {
                 "synthesized design diverges from the original at {} sample(s)",
                 report.mismatches.len()
             ),
+            Self::Aborted { stage, abort } => {
+                write!(f, "stage {stage} aborted: {abort}")
+            }
         }
     }
 }

@@ -53,7 +53,7 @@ pub mod rewrite;
 pub mod stimulus;
 
 pub use error::SynthError;
-pub use observe::{Observer, Stage, StageReport, StageStat, StageTimings};
+pub use observe::{Observer, Stage, StageAbort, StageReport, StageStat, StageTimings};
 pub use pipeline::{
     synthesize, Algorithm, Merged, Partitioned, Pipeline, Rewritten, SynthesisOptions,
     SynthesisResult, Verified, VerifyOptions,

@@ -46,6 +46,49 @@ impl fmt::Display for Stage {
     }
 }
 
+/// Why an observer refused to let a stage run (see
+/// [`Observer::before_stage`]).
+///
+/// An abort is a *cooperative* cancellation: the pipeline stops cleanly at
+/// a stage boundary and surfaces the abort as
+/// [`SynthError::Aborted`](crate::SynthError::Aborted). The farm uses this
+/// for per-job timeout enforcement and the chaos harness for injected
+/// faults; `timeout` distinguishes deadline aborts from other injected
+/// failures so reports can classify them separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageAbort {
+    /// Human-readable reason, surfaced verbatim in job reports. Keep it
+    /// deterministic (no measured wall-clock values) if the report must be
+    /// byte-stable across runs.
+    pub message: String,
+    /// True when the abort represents an exceeded time budget.
+    pub timeout: bool,
+}
+
+impl StageAbort {
+    /// An abort classified as a timeout (an exceeded job/stage budget).
+    pub fn timeout(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            timeout: true,
+        }
+    }
+
+    /// A non-timeout abort (an injected fault, a cancelled request).
+    pub fn fault(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            timeout: false,
+        }
+    }
+}
+
+impl fmt::Display for StageAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
 /// What one completed stage reports to the observer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageReport {
@@ -57,7 +100,7 @@ pub struct StageReport {
     pub detail: String,
 }
 
-/// A callback invoked after each pipeline stage completes.
+/// A callback invoked around each pipeline stage.
 ///
 /// Any `FnMut(&StageReport)` closure is an observer. Observers are `Send`
 /// so a pipeline (and the observer attached to it) can run on a worker
@@ -66,6 +109,21 @@ pub struct StageReport {
 pub trait Observer: Send {
     /// Called once per completed stage, in execution order.
     fn on_stage(&mut self, report: &StageReport);
+
+    /// Called before a fallible stage runs; returning `Err` aborts the
+    /// pipeline cleanly with
+    /// [`SynthError::Aborted`](crate::SynthError::Aborted).
+    ///
+    /// The default allows every stage. The farm's timeout enforcement and
+    /// the chaos harness's fault injection both hang off this hook: it runs
+    /// before `partition`, `merge`, `rewrite`, and `verify`. The infallible
+    /// `emit-c` stage has no abort point (its signature predates this hook
+    /// and returns the final result directly), so the latest a pipeline can
+    /// be cancelled is just before verification.
+    fn before_stage(&mut self, stage: Stage) -> Result<(), StageAbort> {
+        let _ = stage;
+        Ok(())
+    }
 }
 
 impl<F: FnMut(&StageReport) + Send> Observer for F {

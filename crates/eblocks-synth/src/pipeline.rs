@@ -150,6 +150,17 @@ struct Ctx<'a> {
 }
 
 impl Ctx<'_> {
+    /// Asks the observer for permission to run `stage`, mapping a refusal
+    /// to [`SynthError::Aborted`].
+    fn begin(&mut self, stage: Stage) -> Result<(), SynthError> {
+        if let Some(observer) = self.observer.as_deref_mut() {
+            observer
+                .before_stage(stage)
+                .map_err(|abort| SynthError::Aborted { stage, abort })?;
+        }
+        Ok(())
+    }
+
     fn report(&mut self, stage: Stage, started: Instant, detail: String) {
         if let Some(observer) = self.observer.as_deref_mut() {
             observer.on_stage(&StageReport {
@@ -236,14 +247,23 @@ impl<'a> Pipeline<'a> {
     ///
     /// # Errors
     ///
-    /// [`SynthError::InvalidDesign`] if the design fails validation, and
+    /// [`SynthError::InvalidDesign`] if the design fails validation,
     /// [`SynthError::BadPartitioning`] if the strategy returns an
-    /// inconsistent result (a strategy bug).
+    /// inconsistent result (a strategy bug), and [`SynthError::Aborted`]
+    /// when the attached observer vetoes the stage.
     pub fn partition_with(
-        self,
+        mut self,
         partitioner: &dyn Partitioner,
     ) -> Result<Partitioned<'a>, SynthError> {
         let started = Instant::now();
+        if let Some(observer) = self.observer.as_deref_mut() {
+            observer
+                .before_stage(Stage::Partition)
+                .map_err(|abort| SynthError::Aborted {
+                    stage: Stage::Partition,
+                    abort,
+                })?;
+        }
         self.design.validate()?;
         let constraints = PartitionConstraints {
             require_convex: true,
@@ -288,8 +308,11 @@ impl<'a> Partitioned<'a> {
     ///
     /// # Errors
     ///
-    /// [`SynthError::Codegen`] when a partition's behaviors cannot merge.
+    /// [`SynthError::Codegen`] when a partition's behaviors cannot merge,
+    /// and [`SynthError::Aborted`] when the attached observer vetoes the
+    /// stage.
     pub fn merge(mut self) -> Result<Merged<'a>, SynthError> {
+        self.ctx.begin(Stage::Merge)?;
         let started = Instant::now();
         let mut merged: Vec<MergedProgram> = Vec::new();
         for (i, partition) in self.partitioning.partitions().iter().enumerate() {
@@ -337,8 +360,10 @@ impl<'a> Merged<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates network-construction failures as [`SynthError`].
+    /// Propagates network-construction failures as [`SynthError`], and
+    /// [`SynthError::Aborted`] when the attached observer vetoes the stage.
     pub fn rewrite(mut self) -> Result<Rewritten<'a>, SynthError> {
+        self.ctx.begin(Stage::Rewrite)?;
         let started = Instant::now();
         let (synthesized, prog_ids) = rewrite_network(
             self.ctx.design,
@@ -409,8 +434,10 @@ impl<'a> Rewritten<'a> {
     /// # Errors
     ///
     /// [`SynthError::Sim`] when either simulation fails to build or run,
-    /// and [`SynthError::VerificationFailed`] on behavioral divergence.
+    /// [`SynthError::VerificationFailed`] on behavioral divergence, and
+    /// [`SynthError::Aborted`] when the attached observer vetoes the stage.
     pub fn verify(mut self, options: VerifyOptions) -> Result<Verified<'a>, SynthError> {
+        self.ctx.begin(Stage::Verify)?;
         let started = Instant::now();
         let original_sim = Simulator::new(self.ctx.design)?;
         let synth_sim = Simulator::with_programs(&self.synthesized, self.programs.clone())?;
@@ -726,6 +753,87 @@ mod tests {
         let result = synthesize(&d, &SynthesisOptions::default()).unwrap();
         assert_eq!(result.inner_after(), 1);
         assert!(result.report.unwrap().is_equivalent());
+    }
+
+    #[test]
+    fn observer_can_abort_any_fallible_stage() {
+        use crate::observe::StageAbort;
+
+        /// Vetoes one chosen stage, allows the rest.
+        struct Veto(Stage);
+        impl Observer for Veto {
+            fn on_stage(&mut self, _: &StageReport) {}
+            fn before_stage(&mut self, stage: Stage) -> Result<(), StageAbort> {
+                if stage == self.0 {
+                    Err(StageAbort::fault(format!("injected at {stage}")))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+
+        let design = garage();
+        for target in [
+            Stage::Partition,
+            Stage::Merge,
+            Stage::Rewrite,
+            Stage::Verify,
+        ] {
+            let mut veto = Veto(target);
+            let err = Pipeline::new(&design)
+                .observe(&mut veto)
+                .partition_with(&strategy::PareDown)
+                .and_then(Partitioned::merge)
+                .and_then(Merged::rewrite)
+                .and_then(|r| r.verify(VerifyOptions::default()))
+                .map(Verified::emit_c)
+                .expect_err("the vetoed stage must abort");
+            match err {
+                SynthError::Aborted { stage, abort } => {
+                    assert_eq!(stage, target);
+                    assert!(!abort.timeout);
+                    assert_eq!(abort.message, format!("injected at {target}"));
+                    assert_eq!(
+                        err_display(target),
+                        format!("{}", SynthError::Aborted { stage, abort })
+                    );
+                }
+                other => panic!("expected Aborted, got {other:?}"),
+            }
+        }
+
+        fn err_display(stage: Stage) -> String {
+            format!("stage {stage} aborted: injected at {stage}")
+        }
+    }
+
+    #[test]
+    fn timeout_aborts_are_classified() {
+        use crate::observe::StageAbort;
+        let abort = StageAbort::timeout("job timed out before merge");
+        assert!(abort.timeout);
+        assert_eq!(abort.to_string(), "job timed out before merge");
+    }
+
+    #[test]
+    fn default_before_stage_allows_everything() {
+        // A plain closure observer (no explicit before_stage) never aborts.
+        let design = garage();
+        let mut count = 0usize;
+        let mut obs = |_: &StageReport| count += 1;
+        let result = Pipeline::new(&design)
+            .observe(&mut obs)
+            .partition_with(&strategy::PareDown)
+            .unwrap()
+            .merge()
+            .unwrap()
+            .rewrite()
+            .unwrap()
+            .verify(VerifyOptions::default())
+            .unwrap()
+            .emit_c();
+        assert!(result.report.is_some());
+        assert_eq!(count, 5);
     }
 
     #[test]

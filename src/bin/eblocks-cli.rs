@@ -8,6 +8,8 @@
 //! eblocks-cli check <netlist>          # validate + report stats
 //! eblocks-cli partition <netlist> [--partitioner NAME]  # print the partitioning only
 //! eblocks-cli batch <manifest> [--jobs N] [--partitioner NAME] [--json] [--timings]
+//!                   [--retries N] [--job-timeout-ms N]
+//!                   [--chaos-seed N [--chaos-trace FILE]]
 //! eblocks-cli sim <netlist> --stimulus <script> [--until T] [--vcd FILE]
 //! eblocks-cli place <netlist> (--grid WxH | --topology FILE)
 //!                   [--pin block=COL,ROW | --pin block=SITE ...] [--iterations N]
@@ -36,7 +38,14 @@
 //! The report always prints to stdout; if any job failed the command also
 //! writes a summary to stderr and exits non-zero. Per-job settings
 //! (`verify=`, `inputs=`, `outputs=`) live in the manifest, so `batch`
-//! rejects `--no-verify`/`--inputs`/`--outputs`. `sim` runs a stimulus script
+//! rejects `--no-verify`/`--inputs`/`--outputs`. `--retries N` gives every
+//! job a retry budget and `--job-timeout-ms N` a cooperative per-attempt
+//! time limit (both surfaced in the report's `retries`/`timed-out`
+//! fields). `--chaos-seed N` runs the batch under the deterministic chaos
+//! harness (`eblocks::chaos`): the seed alone decides every injected
+//! fault, so a failing run's printed seed replays it exactly;
+//! `--chaos-trace FILE` additionally writes the run's injection trace.
+//! `sim` runs a stimulus script
 //! (lines of `<time> <sensor> <0|1>`, `#` comments) and prints an ASCII
 //! waveform; `--vcd` additionally writes a VCD dump. `place` maps the design
 //! onto a grid of deployment sites (the paper's §6 future work), honoring
@@ -44,12 +53,14 @@
 //! routed hops.
 
 use eblocks::api::{self, DesignSource, SynthRequest};
+use eblocks::chaos::{run_chaos, ChaosConfig};
 use eblocks::core::netlist::from_netlist;
 use eblocks::core::{Design, ProgrammableSpec};
 use eblocks::farm::{run_batch, Batch, FarmConfig, JsonOptions};
 use eblocks::partition::{PartitionConstraints, Partitioner, Registry};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -128,6 +139,10 @@ struct Options {
     timings: bool,
     jobs: Option<usize>,
     json: bool,
+    retries: u32,
+    job_timeout_ms: Option<u64>,
+    chaos_seed: Option<u64>,
+    chaos_trace: Option<PathBuf>,
     stimulus: Option<PathBuf>,
     until: u64,
     vcd: Option<PathBuf>,
@@ -157,6 +172,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         timings: false,
         jobs: None,
         json: false,
+        retries: 0,
+        job_timeout_ms: None,
+        chaos_seed: None,
+        chaos_trace: None,
         stimulus: None,
         until: 1000,
         vcd: None,
@@ -193,6 +212,33 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 );
             }
             "--json" => options.json = true,
+            "--retries" => {
+                options.retries = it
+                    .next()
+                    .ok_or("missing value for --retries")?
+                    .parse()
+                    .map_err(|_| "bad --retries value")?;
+            }
+            "--job-timeout-ms" => {
+                options.job_timeout_ms = Some(
+                    it.next()
+                        .ok_or("missing value for --job-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "bad --job-timeout-ms value")?,
+                );
+            }
+            "--chaos-seed" => {
+                options.chaos_seed = Some(
+                    it.next()
+                        .ok_or("missing value for --chaos-seed")?
+                        .parse()
+                        .map_err(|_| "bad --chaos-seed value")?,
+                );
+            }
+            "--chaos-trace" => {
+                options.chaos_trace =
+                    Some(PathBuf::from(it.next().ok_or("missing chaos trace path")?));
+            }
             "--inputs" => {
                 options.spec.inputs = it
                     .next()
@@ -259,7 +305,7 @@ const USAGE: &str =
     "usage: eblocks-cli <synth|check|partition|batch|sim|place> <netlist|manifest(.json)> \
 [-o OUTDIR] [--partitioner pare-down|exhaustive|aggregation|refine|anneal|list] \
 [--inputs N] [--outputs N] [--no-verify] [--timings] \
-[--jobs N] [--json] \
+[--jobs N] [--json] [--retries N] [--job-timeout-ms N] [--chaos-seed N] [--chaos-trace FILE] \
 [--stimulus FILE] [--until T] [--vcd FILE] \
 [--grid WxH | --topology FILE] [--pin block=COL,ROW | block=SITE] [--iterations N] \
  | eblocks-cli --list-partitioners";
@@ -337,15 +383,33 @@ fn batch_command(options: &Options) -> Result<String, Failure> {
                 .into(),
         );
     }
+    if options.chaos_trace.is_some() && options.chaos_seed.is_none() {
+        return Err("--chaos-trace requires --chaos-seed".to_string().into());
+    }
     // v1 (line-oriented) and v2 (JSON `BatchRequest`) manifests both land
     // in the same `Batch` the typed API uses.
     let batch = Batch::from_file(&options.input).map_err(|e| e.to_string())?;
     let config = FarmConfig {
         workers: options.jobs,
         partitioner_override: options.partitioner.clone(),
+        max_retries: options.retries,
+        job_timeout: options.job_timeout_ms.map(Duration::from_millis),
         registry: Registry::builtin(),
+        ..FarmConfig::default()
     };
-    let report = run_batch(&batch, &config);
+    let report = match options.chaos_seed {
+        // Chaos mode: the same report pipeline, but the farm runs under
+        // the seeded injector; the whole storm replays from the seed.
+        Some(seed) => {
+            let outcome = run_chaos(&batch, config, &ChaosConfig::from_seed(seed));
+            if let Some(path) = &options.chaos_trace {
+                std::fs::write(path, outcome.trace.render_text())
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            }
+            outcome.report
+        }
+        None => run_batch(&batch, &config),
+    };
     let rendered = if options.json {
         let mut json = report.to_json(&JsonOptions {
             timings: options.timings,
@@ -358,8 +422,12 @@ fn batch_command(options: &Options) -> Result<String, Failure> {
     if report.all_ok() {
         Ok(rendered)
     } else {
+        let mut message = format!("{} of {} job(s) failed", report.failed(), report.jobs.len());
+        if let Some(seed) = options.chaos_seed {
+            message.push_str(&format!("; reproduce with --chaos-seed {seed}"));
+        }
         Err(Failure {
-            message: format!("{} of {} job(s) failed", report.failed(), report.jobs.len()),
+            message,
             output: rendered,
         })
     }
@@ -722,6 +790,107 @@ wire both.0 -> led.0
             "{}",
             failure.output
         );
+    }
+
+    /// A small all-generated manifest for the chaos CLI tests.
+    fn write_chaos_manifest(dir: &Path) -> PathBuf {
+        let manifest = dir.join("chaos.manifest");
+        std::fs::write(
+            &manifest,
+            "job generated=8 seed=1 mode=partition\n\
+             job generated=10 seed=2 mode=partition\n\
+             job generated=12 seed=3 mode=partition\n\
+             job library=\"Ignition Illuminator\"\n",
+        )
+        .unwrap();
+        manifest
+    }
+
+    #[test]
+    fn chaos_run_is_replayable_from_the_seed() {
+        let dir = tempdir("chaos-replay");
+        let manifest = write_chaos_manifest(&dir);
+        let trace_a = dir.join("a.trace");
+        let trace_b = dir.join("b.trace");
+        let run_once = |trace: &Path| {
+            run(&s(&[
+                "batch",
+                manifest.to_str().unwrap(),
+                "--chaos-seed",
+                "42",
+                "--retries",
+                "3",
+                "--json",
+                "--chaos-trace",
+                trace.to_str().unwrap(),
+            ]))
+        };
+        let out_a = run_once(&trace_a).expect("seed 42 with retries recovers");
+        let out_b = run_once(&trace_b).expect("seed 42 with retries recovers");
+        assert_eq!(out_a, out_b, "report must replay byte-identically");
+        let bytes_a = std::fs::read_to_string(&trace_a).unwrap();
+        let bytes_b = std::fs::read_to_string(&trace_b).unwrap();
+        assert_eq!(bytes_a, bytes_b, "trace must replay byte-identically");
+        assert!(
+            bytes_a.starts_with("chaos trace v1: seed 42, 4 job(s)"),
+            "{bytes_a}"
+        );
+        assert!(bytes_a.contains("pickup order:"), "{bytes_a}");
+    }
+
+    #[test]
+    fn chaos_failure_prints_the_reproducing_seed() {
+        // With no retry budget the storm eventually kills a job; the
+        // failure must name the seed, and that seed must replay the same
+        // failure exactly.
+        let dir = tempdir("chaos-fail");
+        let manifest = write_chaos_manifest(&dir);
+        let storm = |seed: u64| {
+            run(&s(&[
+                "batch",
+                manifest.to_str().unwrap(),
+                "--chaos-seed",
+                &seed.to_string(),
+                "--json",
+            ]))
+        };
+        let (seed, failure) = (1..=64)
+            .find_map(|seed| storm(seed).err().map(|f| (seed, f)))
+            .expect("some seed in 1..=64 fails a job with no retry budget");
+        assert!(
+            failure
+                .message
+                .ends_with(&format!("; reproduce with --chaos-seed {seed}")),
+            "{}",
+            failure.message
+        );
+        assert!(failure.output.starts_with('{'), "{}", failure.output);
+
+        let replay = storm(seed).expect_err("the printed seed replays the failure");
+        assert_eq!(failure.message, replay.message);
+        assert_eq!(failure.output, replay.output);
+    }
+
+    #[test]
+    fn chaos_flags_are_validated() {
+        let dir = tempdir("chaos-flags");
+        let manifest = write_chaos_manifest(&dir);
+        let path = manifest.to_str().unwrap();
+
+        let err = run(&s(&["batch", path, "--chaos-trace", "t.txt"])).unwrap_err();
+        assert!(err.contains("--chaos-trace requires --chaos-seed"), "{err}");
+
+        let err = run(&s(&["batch", path, "--chaos-seed", "many"])).unwrap_err();
+        assert!(err.contains("bad --chaos-seed value"), "{err}");
+
+        let err = run(&s(&["batch", path, "--retries", "-1"])).unwrap_err();
+        assert!(err.contains("bad --retries value"), "{err}");
+
+        let err = run(&s(&["batch", path, "--job-timeout-ms", "soon"])).unwrap_err();
+        assert!(err.contains("bad --job-timeout-ms value"), "{err}");
+
+        let err = run(&s(&["batch", path, "--chaos-seed"])).unwrap_err();
+        assert!(err.contains("--chaos-seed"), "{err}");
     }
 
     #[test]

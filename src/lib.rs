@@ -18,6 +18,7 @@
 //! | [`synth`] | `eblocks-synth` | the staged synthesis [`Pipeline`](synth::Pipeline) |
 //! | [`designs`] | `eblocks-designs` | the 15 Table-1 library systems |
 //! | [`farm`] | `eblocks-farm` | parallel batch synthesis: manifests, worker pools, reports |
+//! | [`chaos`] | `eblocks-chaos` | deterministic chaos harness: seeded fault injection, replayable traces |
 //! | [`api`] | `eblocks-farm` | typed JSON request/response surface: [`BatchRequest`](api::BatchRequest) in, [`BatchResponse`](api::BatchResponse) out |
 //! | [`gen`] | `eblocks-gen` | the random design generator |
 //! | [`place`] | `eblocks-place` | deployment onto an existing physical node network (§6 future work) |
@@ -91,6 +92,7 @@
 #![warn(missing_docs)]
 
 pub use eblocks_behavior as behavior;
+pub use eblocks_chaos as chaos;
 pub use eblocks_codegen as codegen;
 pub use eblocks_core as core;
 pub use eblocks_designs as designs;

@@ -125,16 +125,23 @@ fn ms_strategy() -> impl Strategy<Value = f64> {
 fn job_response_strategy() -> impl Strategy<Value = JobResponse> {
     (
         (string_strategy(), string_strategy()),
-        0u8..3,
+        (0u8..4, 0u32..3),
         string_strategy(),
         (any::<bool>(), 0usize..100, 0usize..100),
         (any::<bool>(), ms_strategy()),
     )
         .prop_map(
-            |((name, partitioner), status, error, (ok_stats, inner, c_bytes), (timed, ms))| {
+            |(
+                (name, partitioner),
+                (status, retries),
+                error,
+                (ok_stats, inner, c_bytes),
+                (timed, ms),
+            )| {
                 let status = match status {
                     0 => JobOutcome::Ok,
                     1 => JobOutcome::Failed,
+                    2 => JobOutcome::TimedOut,
                     _ => JobOutcome::Panicked,
                 };
                 let has_stats = status == JobOutcome::Ok && ok_stats;
@@ -143,6 +150,7 @@ fn job_response_strategy() -> impl Strategy<Value = JobResponse> {
                     partitioner,
                     status,
                     error: (status != JobOutcome::Ok).then_some(error),
+                    retries: (retries > 0).then_some(retries),
                     inner_before: has_stats.then_some(inner),
                     inner_after: has_stats.then_some(inner / 2),
                     partitions: has_stats.then_some(inner / 3),
@@ -172,11 +180,13 @@ fn response_strategy() -> impl Strategy<Value = BatchResponse> {
                 .iter()
                 .filter(|r| r.status == JobOutcome::Ok)
                 .count();
+            let retries: u32 = results.iter().filter_map(|r| r.retries).sum();
             BatchResponse {
                 batch: BatchSummary {
                     jobs: results.len(),
                     succeeded,
                     failed: results.len() - succeeded,
+                    retries: (retries > 0).then_some(retries),
                     inner_before: results.iter().filter_map(|r| r.inner_before).sum(),
                     inner_after: results.iter().filter_map(|r| r.inner_after).sum(),
                     partitions: results.iter().filter_map(|r| r.partitions).sum(),
