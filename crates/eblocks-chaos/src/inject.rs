@@ -37,8 +37,10 @@ fn mix(parts: &[u64]) -> u64 {
     h
 }
 
-/// Pipeline position of `stage`, for seed derivation and for sorting
-/// trace events into execution order.
+/// Stable id of `stage` for seed derivation. Frozen once shipped: the
+/// original five stages keep their historical ids so old seeds replay
+/// byte-identically; stages added later (lint) take the next free id
+/// regardless of where they run in the pipeline.
 fn stage_rank(stage: Stage) -> u64 {
     match stage {
         Stage::Partition => 0,
@@ -46,6 +48,21 @@ fn stage_rank(stage: Stage) -> u64 {
         Stage::Rewrite => 2,
         Stage::Verify => 3,
         Stage::EmitC => 4,
+        Stage::Lint => 5,
+    }
+}
+
+/// Execution position of `stage` within one attempt, for sorting trace
+/// events into pipeline order. Unlike [`stage_rank`] this renumbers
+/// freely when stages are added — only relative order matters here.
+fn exec_position(stage: Stage) -> u64 {
+    match stage {
+        Stage::Lint => 0,
+        Stage::Partition => 1,
+        Stage::Merge => 2,
+        Stage::Rewrite => 3,
+        Stage::Verify => 4,
+        Stage::EmitC => 5,
     }
 }
 
@@ -88,7 +105,13 @@ impl ChaosInjector {
     /// (used when the batch ran without a shuffled pickup order).
     pub fn trace(&self, jobs: usize) -> ChaosTrace {
         let mut events = self.events.lock().expect("chaos event lock").clone();
-        events.sort_by_key(|e| (e.job, e.attempt, e.stage.map_or(0, |s| 1 + stage_rank(s))));
+        events.sort_by_key(|e| {
+            (
+                e.job,
+                e.attempt,
+                e.stage.map_or(0, |s| 1 + exec_position(s)),
+            )
+        });
         let order = self
             .order
             .lock()

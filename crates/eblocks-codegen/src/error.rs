@@ -33,8 +33,8 @@ pub enum CodegenError {
     /// The merged program failed its own static checks — a code generator
     /// bug surfaced defensively.
     MergedProgramInvalid {
-        /// First check failure.
-        error: CheckError,
+        /// Every check failure, in the checker's order (never empty).
+        errors: Vec<CheckError>,
     },
 }
 
@@ -57,8 +57,12 @@ impl fmt::Display for CodegenError {
                     "partition needs {need} output pins but the block has {have}"
                 )
             }
-            Self::MergedProgramInvalid { error } => {
-                write!(f, "merged program failed static checks: {error}")
+            Self::MergedProgramInvalid { errors } => {
+                write!(f, "merged program failed {} static check(s)", errors.len())?;
+                for (i, error) in errors.iter().enumerate() {
+                    write!(f, "{} {error}", if i == 0 { ":" } else { ";" })?;
+                }
+                Ok(())
             }
         }
     }
@@ -75,5 +79,19 @@ mod tests {
         assert!(CodegenError::EmptyPartition.to_string().contains("empty"));
         let e = CodegenError::TooManyInputs { need: 3, have: 2 };
         assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn merged_program_invalid_lists_every_error() {
+        let e = CodegenError::MergedProgramInvalid {
+            errors: vec![
+                CheckError::AssignToInput { port: 0 },
+                CheckError::PossiblyUndefined { name: "x".into() },
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("2 static check(s)"), "{s}");
+        assert!(s.contains("in0"), "{s}");
+        assert!(s.contains("`x`"), "{s}");
     }
 }

@@ -216,8 +216,9 @@ pub fn merge_partition(
         });
     }
 
-    if let Some(error) = check(&merged, spec.inputs, spec.outputs).into_iter().next() {
-        return Err(CodegenError::MergedProgramInvalid { error });
+    let errors = check(&merged, spec.inputs, spec.outputs);
+    if !errors.is_empty() {
+        return Err(CodegenError::MergedProgramInvalid { errors });
     }
 
     Ok(MergedProgram {

@@ -46,6 +46,7 @@
 
 use crate::job::{Batch, Job, JobMode, JobSource};
 use crate::report::{BatchReport, JobReport, JobStatus, JsonOptions};
+use eblocks_lint::{DenyLevel, LintConfig};
 use eblocks_partition::Registry;
 use eblocks_synth::{Stage, StageTimings};
 use serde::{Deserialize, Serialize};
@@ -71,6 +72,13 @@ pub struct SynthOptions {
     pub inputs: Option<u8>,
     /// Programmable-block output pins (default 2).
     pub outputs: Option<u8>,
+    /// Run the lint stage before synthesis (default: the farm's
+    /// engine-level setting, usually off).
+    pub lint: Option<bool>,
+    /// Which severities reject the design when lint runs:
+    /// `"errors"` (default) or `"warnings"`. Implies `lint: true`
+    /// unless `lint: false` is set explicitly.
+    pub lint_deny: Option<DenyLevel>,
 }
 
 impl SynthOptions {
@@ -91,6 +99,14 @@ impl SynthOptions {
         if let Some(outputs) = self.outputs {
             job.spec.outputs = outputs;
         }
+        match (self.lint, self.lint_deny) {
+            (Some(false), _) => job.lint = None,
+            (Some(true), deny) => {
+                job.lint = Some(LintConfig::denying(deny.unwrap_or_default()));
+            }
+            (None, Some(deny)) => job.lint = Some(LintConfig::denying(deny)),
+            (None, None) => {}
+        }
     }
 
     /// Captures every knob from `job` (all fields `Some`).
@@ -101,6 +117,8 @@ impl SynthOptions {
             optimize: Some(job.optimize),
             inputs: Some(job.spec.inputs),
             outputs: Some(job.spec.outputs),
+            lint: Some(job.lint.is_some()),
+            lint_deny: job.lint.map(|config| config.deny),
         }
     }
 }
@@ -260,6 +278,12 @@ pub struct JobResponse {
     pub verified: Option<bool>,
     /// Total bytes of emitted C.
     pub c_bytes: Option<usize>,
+    /// Error-severity lint findings; omitted when lint was off or found
+    /// none, so lint-free reports keep their historical byte layout.
+    pub lint_errors: Option<usize>,
+    /// Warning-severity lint findings; omitted when lint was off or
+    /// found none.
+    pub lint_warnings: Option<usize>,
     /// Per-stage wall-clock times; only with timings.
     pub stages_ms: Option<Vec<StageMs>>,
     /// Whole-job wall-clock milliseconds; only with timings.
@@ -287,6 +311,14 @@ impl JobResponse {
             complete: stats.map(|s| s.complete),
             verified: stats.map(|s| s.verified),
             c_bytes: stats.map(|s| s.c_bytes),
+            lint_errors: stats
+                .and_then(|s| s.lint)
+                .map(|l| l.errors)
+                .filter(|&n| n > 0),
+            lint_warnings: stats
+                .and_then(|s| s.lint)
+                .map(|l| l.warnings)
+                .filter(|&n| n > 0),
             stages_ms: stats.filter(|_| timings).map(|s| stage_ms_rows(&s.timings)),
             elapsed_ms: timings.then(|| ms(report.elapsed)),
         }
@@ -313,6 +345,11 @@ pub struct BatchSummary {
     pub partitions: usize,
     /// Sum of per-job `c_bytes` over successful jobs.
     pub c_bytes: usize,
+    /// Sum of per-job lint errors; omitted when zero so lint-free
+    /// reports keep their historical byte layout.
+    pub lint_errors: Option<usize>,
+    /// Sum of per-job lint warnings; omitted when zero.
+    pub lint_warnings: Option<usize>,
     /// Workers the pool used; only with timings.
     pub workers: Option<usize>,
     /// Batch wall-clock milliseconds; only with timings.
@@ -349,6 +386,17 @@ impl BatchResponse {
                 .sum()
         };
         let retries: u32 = report.jobs.iter().map(|j| j.retries).sum();
+        let lint_sum = |f: fn(&eblocks_lint::LintOutcome) -> usize| -> usize {
+            report
+                .jobs
+                .iter()
+                .filter_map(|j| j.stats.as_ref())
+                .filter_map(|s| s.lint.as_ref())
+                .map(f)
+                .sum()
+        };
+        let lint_errors = lint_sum(|l| l.errors);
+        let lint_warnings = lint_sum(|l| l.warnings);
         Self {
             batch: BatchSummary {
                 jobs: report.jobs.len(),
@@ -359,6 +407,8 @@ impl BatchResponse {
                 inner_after: sum(|s| s.inner_after),
                 partitions: sum(|s| s.partitions),
                 c_bytes: sum(|s| s.c_bytes),
+                lint_errors: (lint_errors > 0).then_some(lint_errors),
+                lint_warnings: (lint_warnings > 0).then_some(lint_warnings),
                 workers: timings.then_some(report.workers),
                 elapsed_ms: timings.then(|| ms(report.elapsed)),
                 stages: timings.then(|| {
@@ -443,6 +493,12 @@ pub struct SynthResponse {
     /// Sample count at which equivalence was verified; `None` when
     /// verification was skipped.
     pub verified_samples: Option<usize>,
+    /// Error-severity lint findings; omitted when lint was off or found
+    /// none (a deny level of `"errors"` rejects before reaching here).
+    pub lint_errors: Option<usize>,
+    /// Warning-severity lint findings; omitted when lint was off or
+    /// found none.
+    pub lint_warnings: Option<usize>,
     /// The synthesized design, in netlist text format.
     pub netlist: String,
     /// One C program per programmable block.
@@ -488,9 +544,14 @@ pub fn synthesize_with(
     // The exact pipeline invocation the batch scheduler runs, so the RPC
     // and batch paths cannot drift.
     let mut timings = StageTimings::new();
-    let result =
-        crate::scheduler::run_synth_pipeline(&design, &job, partitioner.as_ref(), &mut timings)
-            .map_err(|e| e.to_string())?;
+    let result = crate::scheduler::run_synth_pipeline(
+        &design,
+        &job,
+        job.lint,
+        partitioner.as_ref(),
+        &mut timings,
+    )
+    .map_err(|e| e.to_string())?;
 
     Ok(SynthResponse {
         design: design.name().to_string(),
@@ -501,6 +562,8 @@ pub fn synthesize_with(
         partitions: result.partitioning.num_partitions(),
         complete: result.partitioning.is_complete(),
         verified_samples: result.report.as_ref().map(|r| r.sample_times.len()),
+        lint_errors: result.lint.map(|l| l.errors).filter(|&n| n > 0),
+        lint_warnings: result.lint.map(|l| l.warnings).filter(|&n| n > 0),
         netlist: eblocks_core::netlist::to_netlist(&result.synthesized),
         c_sources: result
             .c_sources
@@ -623,6 +686,46 @@ mod tests {
         let stages = timed.batch.stages.as_ref().unwrap();
         assert_eq!(stages[0].stage, Stage::Partition);
         assert_eq!(stages[0].runs, 2);
+    }
+
+    #[test]
+    fn lint_options_round_trip_and_surface_counts() {
+        // `lint_deny` alone implies lint on; the capture/apply round
+        // trip through JobSpec is lossless.
+        let spec: JobSpec = serde::json::from_str(
+            r#"{"source": {"library": "Ignition Illuminator"},
+                "options": {"lint_deny": "warnings"}}"#,
+        )
+        .unwrap();
+        let job = spec.to_job();
+        assert_eq!(job.lint.map(|c| c.deny), Some(DenyLevel::Warnings));
+        assert_eq!(JobSpec::from_job(&job).to_job(), job);
+
+        // An explicit `lint: false` wins over a stray deny level.
+        let spec: JobSpec = serde::json::from_str(
+            r#"{"source": {"library": "Ignition Illuminator"},
+                "options": {"lint": false, "lint_deny": "warnings"}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.to_job().lint, None);
+
+        // A linted clean job omits the count fields entirely, so
+        // committed goldens are untouched by turning lint on.
+        let request: BatchRequest = serde::json::from_str(
+            r#"{"default_partitioner": null, "jobs": [
+                {"source": {"library": "Ignition Illuminator"},
+                 "options": {"lint": true}}
+            ]}"#,
+        )
+        .unwrap();
+        let report = run_batch(&request.to_batch(), &FarmConfig::with_workers(1));
+        assert!(report.all_ok(), "{}", report.render_text(false));
+        let response = BatchResponse::from_report(&report, &JsonOptions::default());
+        assert_eq!(response.results[0].lint_errors, None);
+        assert_eq!(response.results[0].lint_warnings, None);
+        assert_eq!(response.batch.lint_errors, None);
+        let text = serde::json::to_string(&response);
+        assert!(!text.contains("lint"), "clean report layout: {text}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The unit of work the farm schedules: one design × one strategy × options.
 
 use eblocks_core::{Design, ProgrammableSpec};
+use eblocks_lint::LintConfig;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
@@ -65,6 +66,9 @@ pub struct Job {
     pub optimize: bool,
     /// Programmable-block pin budget.
     pub spec: ProgrammableSpec,
+    /// Lint the design before synthesis; `None` falls back to the farm's
+    /// [`FarmConfig::lint`](crate::FarmConfig::lint) default (usually off).
+    pub lint: Option<LintConfig>,
 }
 
 impl Job {
@@ -77,6 +81,7 @@ impl Job {
             verify: true,
             optimize: true,
             spec: ProgrammableSpec::default(),
+            lint: None,
         }
     }
 
@@ -137,6 +142,12 @@ impl Job {
     /// Sets the programmable-block pin budget.
     pub fn with_spec(mut self, spec: ProgrammableSpec) -> Self {
         self.spec = spec;
+        self
+    }
+
+    /// Enables the lint stage for this job (overriding the farm default).
+    pub fn with_lint(mut self, config: LintConfig) -> Self {
+        self.lint = Some(config);
         self
     }
 

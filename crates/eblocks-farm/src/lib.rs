@@ -17,6 +17,10 @@
 //!   ([`run_batch`], [`FarmConfig`]); job panics are isolated per worker;
 //!   [`run_batch_with_progress`] streams job started/finished callbacks to
 //!   a [`BatchProgress`] listener while the batch runs;
+//! * a lint admission gate ([`FarmConfig::lint`] engine-wide,
+//!   [`Job::lint`] per job) statically analyzes each design before it
+//!   runs and records per-job [`LintOutcome`] counts in [`JobStats`]; a
+//!   rejecting deny level fails the job instead of synthesizing garbage;
 //! * resilience policies live on [`FarmConfig`]: a per-job retry budget
 //!   (`max_retries`, surfaced as [`JobReport::retries`]) and a cooperative
 //!   per-attempt timeout (`job_timeout`, surfaced as
@@ -54,6 +58,7 @@ pub mod manifest;
 pub mod report;
 pub mod scheduler;
 
+pub use eblocks_lint::{DenyLevel, LintConfig, LintOutcome};
 pub use job::{Batch, Job, JobMode, JobSource};
 pub use manifest::ManifestError;
 pub use report::{BatchReport, JobReport, JobStats, JobStatus, JsonOptions};

@@ -8,6 +8,7 @@
 //! bytes regardless of worker count.
 
 use crate::api::BatchResponse;
+use eblocks_lint::LintOutcome;
 use eblocks_synth::StageTimings;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -68,6 +69,10 @@ pub struct JobStats {
     pub c_bytes: usize,
     /// Whether equivalence verification ran and passed.
     pub verified: bool,
+    /// Lint diagnostic counts, when the job ran the lint stage (`None`
+    /// when lint was off). An `Ok` row can only carry counts the job's
+    /// deny level admitted.
+    pub lint: Option<LintOutcome>,
     /// Per-stage wall-clock timings from the pipeline observer.
     pub timings: StageTimings,
 }
@@ -193,9 +198,13 @@ impl BatchReport {
             };
             match (&job.status, &job.stats) {
                 (JobStatus::Ok, Some(stats)) => {
+                    let lint = match stats.lint {
+                        Some(outcome) if !outcome.is_clean() => format!("  [lint: {outcome}]"),
+                        _ => String::new(),
+                    };
                     let _ = writeln!(
                         out,
-                        "  {:<name_w$}  {:<12} {:<8} {:>6} {:>6} {:>5} {:>9}{}{}",
+                        "  {:<name_w$}  {:<12} {:<8} {:>6} {:>6} {:>5} {:>9}{}{}{}",
                         job.name,
                         job.partitioner,
                         "ok",
@@ -204,6 +213,7 @@ impl BatchReport {
                         stats.partitions,
                         stats.c_bytes,
                         if stats.complete { "" } else { "  (timeout)" },
+                        lint,
                         retries,
                     );
                 }
@@ -272,6 +282,10 @@ mod tests {
                         complete: true,
                         c_bytes: 512,
                         verified: true,
+                        lint: Some(LintOutcome {
+                            errors: 0,
+                            warnings: 2,
+                        }),
                         timings,
                     }),
                 },
@@ -326,6 +340,7 @@ mod tests {
         assert!(text.contains("garage"), "{text}");
         assert!(text.contains("cannot read x"), "{text}");
         assert!(text.contains("[2 retries]"), "{text}");
+        assert!(text.contains("[lint: 0 error(s), 2 warning(s)]"), "{text}");
         assert!(text.contains("stage totals"), "{text}");
         assert!(text.contains("partition"), "{text}");
         let no_t = r.render_text(false);

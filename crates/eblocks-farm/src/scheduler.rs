@@ -15,6 +15,7 @@
 use crate::job::{Batch, Job, JobMode};
 use crate::report::{BatchReport, JobReport, JobStats, JobStatus};
 use eblocks_core::Design;
+use eblocks_lint::{lint_design, LintConfig, LintOutcome};
 use eblocks_partition::{PartitionConstraints, Partitioner, Registry};
 use eblocks_synth::{
     Observer, Pipeline, Stage, StageAbort, StageReport, StageTimings, SynthError, SynthesisResult,
@@ -110,6 +111,10 @@ pub struct FarmConfig {
     /// this configured limit, never measured time, keeping reports
     /// deterministic. Default `None` (no limit).
     pub job_timeout: Option<Duration>,
+    /// Lint stage default for jobs that set none (a per-job
+    /// [`Job::lint`] still wins). `None` (the default) leaves lint off,
+    /// so existing batches and their committed goldens are untouched.
+    pub lint: Option<LintConfig>,
     /// The fault-injection hook, shared by every worker. Default `None`
     /// (no injection); the chaos harness installs its seeded injector
     /// here.
@@ -127,6 +132,7 @@ impl Default for FarmConfig {
             partitioner_override: None,
             max_retries: 0,
             job_timeout: None,
+            lint: None,
             faults: None,
             registry: Registry::builtin(),
         }
@@ -162,6 +168,13 @@ impl FarmConfig {
     /// Installs a fault injector (see [`FarmConfig::faults`]).
     pub fn inject(mut self, faults: Arc<dyn FaultInjector>) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Turns the lint stage on for every job that does not set its own
+    /// (see [`FarmConfig::lint`]).
+    pub fn lint(mut self, config: LintConfig) -> Self {
+        self.lint = Some(config);
         self
     }
 
@@ -355,12 +368,17 @@ pub(crate) fn resolve_strategy(
 pub(crate) fn run_synth_pipeline(
     design: &Design,
     job: &Job,
+    lint: Option<LintConfig>,
     partitioner: &dyn Partitioner,
     observer: &mut dyn Observer,
 ) -> Result<SynthesisResult, SynthError> {
-    let rewritten = Pipeline::new(design)
+    let mut pipeline = Pipeline::new(design)
         .constraints(PartitionConstraints::with_spec(job.spec))
-        .optimize(job.optimize)
+        .optimize(job.optimize);
+    if let Some(config) = lint {
+        pipeline = pipeline.lint(config);
+    }
+    let rewritten = pipeline
         .observe(observer)
         .partition_with(partitioner)?
         .merge()?
@@ -476,12 +494,14 @@ fn execute(
     let partitioner =
         resolve_strategy(&config.registry, partitioner_name).map_err(ExecError::Failed)?;
     let design = job.load_design().map_err(ExecError::Failed)?;
+    let lint = job.lint.or(config.lint);
     let mut guard = StageGuard::new(config, index, attempt);
     match job.mode {
         JobMode::Partition => {
-            // Partition-only jobs run a single stage; gate it like the
-            // pipeline gates its stages so timeouts and injected faults
-            // apply uniformly across both modes.
+            // Partition-only jobs run outside the pipeline, so the lint
+            // admission gate is replayed here with the same stage
+            // gating, observer report, and deny semantics.
+            let lint_outcome = run_lint_stage(&design, lint, &mut guard)?;
             guard
                 .check(Stage::Partition)
                 .map_err(|abort| abort_error(Stage::Partition, abort))?;
@@ -495,8 +515,7 @@ fn execute(
             partitioning
                 .verify(&design, &constraints)
                 .map_err(|e| ExecError::Failed(e.to_string()))?;
-            let mut timings = StageTimings::new();
-            timings.reports.push(StageReport {
+            guard.on_stage(&StageReport {
                 stage: Stage::Partition,
                 elapsed,
                 detail: partitioning.to_string(),
@@ -508,15 +527,16 @@ fn execute(
                 complete: partitioning.is_complete(),
                 c_bytes: 0,
                 verified: false,
-                timings,
+                lint: lint_outcome,
+                timings: guard.timings,
             })
         }
         JobMode::Synth => {
-            let result = run_synth_pipeline(&design, job, partitioner.as_ref(), &mut guard)
+            let result = run_synth_pipeline(&design, job, lint, partitioner.as_ref(), &mut guard)
                 .map_err(|e| match e {
-                    SynthError::Aborted { stage, abort } => abort_error(stage, abort),
-                    other => ExecError::Failed(other.to_string()),
-                })?;
+                SynthError::Aborted { stage, abort } => abort_error(stage, abort),
+                other => ExecError::Failed(other.to_string()),
+            })?;
             Ok(JobStats {
                 inner_before: result.inner_before(),
                 inner_after: result.inner_after(),
@@ -524,10 +544,41 @@ fn execute(
                 complete: result.partitioning.is_complete(),
                 c_bytes: result.c_sources.iter().map(|(_, c)| c.len()).sum(),
                 verified: result.report.as_ref().is_some_and(|r| r.is_equivalent()),
+                lint: result.lint,
                 timings: guard.timings,
             })
         }
     }
+}
+
+/// The lint admission gate replayed for partition-only jobs (synth jobs
+/// get theirs from the pipeline): gate the stage, lint, feed the
+/// observer, reject per the config's deny level.
+fn run_lint_stage(
+    design: &Design,
+    lint: Option<LintConfig>,
+    guard: &mut StageGuard<'_>,
+) -> Result<Option<LintOutcome>, ExecError> {
+    let Some(config) = lint else {
+        return Ok(None);
+    };
+    guard
+        .check(Stage::Lint)
+        .map_err(|abort| abort_error(Stage::Lint, abort))?;
+    let started = Instant::now();
+    let report = lint_design(design, &config);
+    let outcome = report.outcome();
+    guard.on_stage(&StageReport {
+        stage: Stage::Lint,
+        elapsed: started.elapsed(),
+        detail: outcome.to_string(),
+    });
+    if report.rejects(config.deny) {
+        return Err(ExecError::Failed(
+            SynthError::LintRejected { report }.to_string(),
+        ));
+    }
+    Ok(Some(outcome))
 }
 
 #[cfg(test)]
@@ -562,6 +613,39 @@ mod tests {
         assert_eq!(part.c_bytes, 0, "partition mode emits no C");
         assert!(!part.verified);
         assert_eq!(part.timings.reports.len(), 1, "only the partition stage");
+    }
+
+    #[test]
+    fn lint_gate_reports_and_rejects() {
+        // Farm-level default: every job lints first, in both modes.
+        let config = FarmConfig::with_workers(2).lint(LintConfig::default());
+        let report = run_batch(&library_batch(), &config);
+        assert!(report.all_ok(), "{}", report.render_text(false));
+        for job in &report.jobs {
+            let stats = job.stats.as_ref().unwrap();
+            assert!(stats.lint.is_some(), "{}: lint outcome recorded", job.name);
+            assert_eq!(stats.timings.reports[0].stage, Stage::Lint);
+        }
+
+        // A per-job zero fan-out budget under deny-warnings rejects the
+        // job; its sibling without the override stays lint-free.
+        let strict = LintConfig {
+            deny: eblocks_lint::DenyLevel::Warnings,
+            max_fanout: 0,
+            ..LintConfig::default()
+        };
+        let batch = Batch::new(vec![
+            Job::library("Ignition Illuminator").with_lint(strict),
+            Job::library("Ignition Illuminator"),
+        ]);
+        let report = run_batch(&batch, &FarmConfig::with_workers(1));
+        let JobStatus::Failed(message) = &report.jobs[0].status else {
+            panic!("{:?}", report.jobs[0].status);
+        };
+        assert!(message.contains("lint rejected the design"), "{message}");
+        assert!(message.contains("W008"), "{message}");
+        let stats = report.jobs[1].stats.as_ref().unwrap();
+        assert_eq!(stats.lint, None, "lint is off unless configured");
     }
 
     /// A scripted injector: an optional pickup order plus faults pinned

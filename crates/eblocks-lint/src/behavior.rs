@@ -1,0 +1,465 @@
+//! Behavior-layer lint rules: dataflow problems in a behavior program.
+//!
+//! [`lint_program`] folds the semantic checker's errors
+//! ([`eblocks_behavior::check()`], mapped through [`diagnose_check`] so both
+//! tools share one reporting model) together with lint-only warnings:
+//! unused or constant state, dead locals, constant conditions, conflicting
+//! sends, and unused ports.
+
+use crate::{rules, Diagnostic, LintConfig, LintReport};
+use eblocks_behavior::ast::output_port;
+use eblocks_behavior::{check, parse, CheckError, Handler, HandlerKind, Program, Stmt};
+use std::collections::BTreeSet;
+
+/// Lints behavior source text for a block with the given port arities:
+/// parse failures become `E100`; otherwise every program rule runs.
+pub fn lint_behavior(text: &str, inputs: u8, outputs: u8, config: &LintConfig) -> LintReport {
+    match parse(text) {
+        Ok(program) => lint_program(&program, inputs, outputs, config),
+        Err(error) => {
+            let location = if error.line == 0 {
+                "end of input".to_string()
+            } else {
+                format!("line {}:{}", error.line, error.col)
+            };
+            LintReport::new(vec![Diagnostic::new(
+                &rules::BEHAVIOR_PARSE,
+                location,
+                error.message,
+            )])
+        }
+    }
+}
+
+/// Runs every behavior rule over a parsed program: the checker's errors
+/// plus the lint-only dataflow warnings, in stable order.
+pub fn lint_program(
+    program: &Program,
+    inputs: u8,
+    outputs: u8,
+    _config: &LintConfig,
+) -> LintReport {
+    let mut out = diagnose_check(&check(program, inputs, outputs));
+    state_rules(program, &mut out);
+    for handler in &program.handlers {
+        handler_rules(handler, &mut out);
+    }
+    port_rules(program, inputs, outputs, &mut out);
+    LintReport::new(out)
+}
+
+/// Converts checker errors into [`Diagnostic`]s — the shared reporting
+/// model behind both `check` and `lint`.
+pub fn diagnose_check(errors: &[CheckError]) -> Vec<Diagnostic> {
+    errors.iter().map(diagnose_one).collect()
+}
+
+pub(crate) fn diagnose_one(error: &CheckError) -> Diagnostic {
+    let message = error.to_string();
+    match error {
+        CheckError::DuplicateHandler { kind } => Diagnostic::new(
+            &rules::DUPLICATE_HANDLER,
+            format!("handler `{}`", label(*kind)),
+            message,
+        )
+        .with_hint("merge the bodies into one handler"),
+        CheckError::NonConstantStateInit { name, .. } => Diagnostic::new(
+            &rules::NON_CONSTANT_STATE_INIT,
+            format!("state `{name}`"),
+            message,
+        ),
+        CheckError::DuplicateState { name } => {
+            Diagnostic::new(&rules::DUPLICATE_STATE, format!("state `{name}`"), message)
+        }
+        CheckError::InputOutOfRange { port, .. } => Diagnostic::new(
+            &rules::INPUT_OUT_OF_RANGE,
+            format!("input `in{port}`"),
+            message,
+        ),
+        CheckError::OutputOutOfRange { port, .. } => Diagnostic::new(
+            &rules::OUTPUT_OUT_OF_RANGE,
+            format!("output `out{port}`"),
+            message,
+        ),
+        CheckError::AssignToInput { port } => Diagnostic::new(
+            &rules::ASSIGN_TO_INPUT,
+            format!("input `in{port}`"),
+            message,
+        ),
+        CheckError::PossiblyUndefined { name } => Diagnostic::new(
+            &rules::POSSIBLY_UNDEFINED,
+            format!("variable `{name}`"),
+            message,
+        )
+        .with_hint("assign it on every path before the read"),
+        CheckError::InputReadInTick { .. } => {
+            Diagnostic::new(&rules::INPUT_READ_IN_TICK, "handler `on tick`", message)
+                .with_hint("latch the input into a state variable in `on input`")
+        }
+        // CheckError is #[non_exhaustive]; future checks surface under a
+        // generic code rather than being dropped.
+        other => Diagnostic::new(&rules::BEHAVIOR_CHECK, "program", other.to_string()),
+    }
+}
+
+fn label(kind: HandlerKind) -> &'static str {
+    match kind {
+        HandlerKind::Input => "on input",
+        HandlerKind::Tick => "on tick",
+    }
+}
+
+/// W120/W121: states never read, and states read but never reassigned.
+fn state_rules(program: &Program, out: &mut Vec<Diagnostic>) {
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    for h in &program.handlers {
+        for s in &h.body {
+            s.vars(&mut reads, &mut writes);
+        }
+    }
+    // A later state's initializer reading an earlier state counts as a read.
+    for st in &program.states {
+        st.init.vars(&mut reads);
+    }
+    for st in &program.states {
+        if !reads.contains(&st.name) {
+            out.push(
+                Diagnostic::new(
+                    &rules::UNUSED_STATE,
+                    format!("state `{}`", st.name),
+                    format!("state `{}` is never read", st.name),
+                )
+                .with_hint("remove the declaration"),
+            );
+        } else if !writes.contains(&st.name) {
+            out.push(
+                Diagnostic::new(
+                    &rules::UNASSIGNED_STATE,
+                    format!("state `{}`", st.name),
+                    format!(
+                        "state `{}` is never reassigned; it always holds {}",
+                        st.name, st.init
+                    ),
+                )
+                .with_hint(format!("fold the constant {} into its uses", st.init)),
+            );
+        }
+    }
+}
+
+/// W122/W123/W124: per-handler dataflow warnings.
+fn handler_rules(handler: &Handler, out: &mut Vec<Diagnostic>) {
+    let loc = format!("handler `{}`", label(handler.kind));
+
+    // W122: let bindings never read anywhere in the handler.
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    let mut lets = BTreeSet::new();
+    for s in &handler.body {
+        s.vars(&mut reads, &mut writes);
+        collect_lets(std::slice::from_ref(s), &mut lets);
+    }
+    for name in &lets {
+        if !reads.contains(name) {
+            out.push(
+                Diagnostic::new(
+                    &rules::UNUSED_LOCAL,
+                    loc.clone(),
+                    format!("let binding `{name}` is never read"),
+                )
+                .with_hint("remove the binding"),
+            );
+        }
+    }
+
+    // W123: conditions reading no variables are constant.
+    constant_conditions(&handler.body, &loc, out);
+
+    // W124: one activation sending twice to the same output port at the
+    // same nesting level (the `out0 = false; if (..) { out0 = true; }`
+    // default-then-override idiom lives at *different* levels and is fine).
+    let mut conflicts = BTreeSet::new();
+    conflicting_sends(&handler.body, &mut conflicts);
+    for name in conflicts {
+        out.push(
+            Diagnostic::new(
+                &rules::CONFLICTING_SEND,
+                loc.clone(),
+                format!("`{name}` is assigned twice at the same nesting level; the first send is overwritten"),
+            )
+            .with_hint("drop the earlier assignment or guard them with a branch"),
+        );
+    }
+}
+
+fn collect_lets(body: &[Stmt], into: &mut BTreeSet<String>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Let(name, _) => {
+                into.insert(name.clone());
+            }
+            Stmt::If(_, then_body, else_body) => {
+                collect_lets(then_body, into);
+                collect_lets(else_body, into);
+            }
+            Stmt::Assign(..) => {}
+        }
+    }
+}
+
+fn constant_conditions(body: &[Stmt], loc: &str, out: &mut Vec<Diagnostic>) {
+    for stmt in body {
+        if let Stmt::If(cond, then_body, else_body) = stmt {
+            let mut vars = BTreeSet::new();
+            cond.vars(&mut vars);
+            if vars.is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        &rules::CONSTANT_CONDITION,
+                        loc.to_string(),
+                        format!("condition `{cond}` reads no variables; one branch is dead"),
+                    )
+                    .with_hint("fold the condition and delete the dead branch"),
+                );
+            }
+            constant_conditions(then_body, loc, out);
+            constant_conditions(else_body, loc, out);
+        }
+    }
+}
+
+fn conflicting_sends(body: &[Stmt], conflicts: &mut BTreeSet<String>) {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for stmt in body {
+        match stmt {
+            Stmt::Assign(name, _) if output_port(name).is_some() && !seen.insert(name) => {
+                conflicts.insert(name.clone());
+            }
+            Stmt::If(_, then_body, else_body) => {
+                conflicting_sends(then_body, conflicts);
+                conflicting_sends(else_body, conflicts);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// W125/W126: ports inside the block's arity the program never touches.
+fn port_rules(program: &Program, inputs: u8, outputs: u8, out: &mut Vec<Diagnostic>) {
+    let read = program.inputs_read();
+    let written = program.outputs_written();
+    for port in 0..inputs {
+        if !read.contains(&port) {
+            out.push(
+                Diagnostic::new(
+                    &rules::UNREAD_INPUT,
+                    format!("input `in{port}`"),
+                    format!("input port in{port} is never read"),
+                )
+                .with_hint("read it or shrink the block's input arity"),
+            );
+        }
+    }
+    for port in 0..outputs {
+        if !written.contains(&port) {
+            out.push(
+                Diagnostic::new(
+                    &rules::UNWRITTEN_OUTPUT,
+                    format!("output `out{port}`"),
+                    format!("output port out{port} is never written"),
+                )
+                .with_hint("write it or shrink the block's output arity"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn codes(report: &LintReport) -> Vec<&str> {
+        report.diagnostics.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    fn lint_src(src: &str, ni: u8, no: u8) -> LintReport {
+        lint_behavior(src, ni, no, &LintConfig::default())
+    }
+
+    #[test]
+    fn clean_programs_are_clean() {
+        assert!(lint_src("on input { out0 = in0 && in1; }", 2, 1).is_clean());
+        let toggle = "state q = false; state prev = false;\n\
+                      on input { if (in0 && !prev) { q = !q; } prev = in0; out0 = q; }";
+        assert!(
+            lint_src(toggle, 1, 1).is_clean(),
+            "{}",
+            lint_src(toggle, 1, 1)
+        );
+    }
+
+    #[test]
+    fn e100_parse_failure() {
+        let report = lint_src("on input { out0 = ; }", 1, 1);
+        assert_eq!(codes(&report), ["E100"]);
+        assert!(report.diagnostics[0].location.starts_with("line "));
+        let report = lint_src("on input {", 1, 1);
+        assert_eq!(codes(&report), ["E100"]);
+        assert_eq!(report.diagnostics[0].location, "end of input");
+    }
+
+    #[test]
+    fn check_errors_become_diagnostics() {
+        // One run, many errors: duplicate handler, assign-to-input,
+        // out-of-range output, undefined read, tick reading input.
+        let report = lint_src(
+            "on tick { out0 = in0; } on input { in0 = true; out3 = ghost; } on input { }",
+            1,
+            1,
+        );
+        let cs = codes(&report);
+        for code in ["E101", "E105", "E106", "E107", "E108"] {
+            assert!(cs.contains(&code), "{cs:?} missing {code}");
+        }
+        assert!(report.errors() >= 5);
+    }
+
+    #[test]
+    fn e102_e103_e104_state_and_range() {
+        let report = lint_src(
+            "state a = b + 1; state a = 2; on input { out0 = in5; }",
+            1,
+            1,
+        );
+        let cs = codes(&report);
+        for code in ["E102", "E103", "E104"] {
+            assert!(cs.contains(&code), "{cs:?} missing {code}");
+        }
+        // Locations anchor to the offending item.
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "E102" && d.location == "state `a`"));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "E104" && d.location == "input `in5`"));
+    }
+
+    #[test]
+    fn w120_unused_state() {
+        let report = lint_src("state junk = 0; on input { out0 = in0; }", 1, 1);
+        assert_eq!(codes(&report), ["W120"]);
+        assert_eq!(report.diagnostics[0].location, "state `junk`");
+        assert_eq!(report.diagnostics[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn w121_unassigned_state_is_constant() {
+        let report = lint_src("state k = 5; on input { out0 = in0 > k; }", 1, 1);
+        assert_eq!(codes(&report), ["W121"]);
+        assert!(report.diagnostics[0].message.contains("always holds 5"));
+        // Read by a later initializer but never in handlers: still W121,
+        // not W120.
+        let report = lint_src(
+            "state a = 1; state b = a + 1; on input { out0 = b > 0; b = b; }",
+            0,
+            1,
+        );
+        assert_eq!(codes(&report), ["W121"]);
+        assert_eq!(report.diagnostics[0].location, "state `a`");
+    }
+
+    #[test]
+    fn w122_unused_local() {
+        let report = lint_src("on input { let tmp = in0; out0 = in0; }", 1, 1);
+        assert_eq!(codes(&report), ["W122"]);
+        assert!(report.diagnostics[0].message.contains("`tmp`"));
+        assert!(lint_src("on input { let tmp = in0; out0 = tmp; }", 1, 1).is_clean());
+    }
+
+    #[test]
+    fn w123_constant_condition() {
+        let report = lint_src(
+            "on input { out0 = in0; if (1 < 2) { out0 = false; } }",
+            1,
+            1,
+        );
+        assert_eq!(codes(&report), ["W123"]);
+        assert!(report.diagnostics[0].message.contains("`1 < 2`"));
+        // Nested constant conditions are found too.
+        let report = lint_src(
+            "on input { out0 = in0; if (in0) { if (true) { out0 = false; } } }",
+            1,
+            1,
+        );
+        assert_eq!(codes(&report), ["W123"]);
+    }
+
+    #[test]
+    fn w124_conflicting_send_same_level_only() {
+        let report = lint_src("on input { out0 = in0; out0 = !in0; }", 1, 1);
+        assert_eq!(codes(&report), ["W124"]);
+        assert!(report.diagnostics[0].message.contains("`out0`"));
+        // Default-then-override across nesting levels is idiomatic.
+        assert!(lint_src("on input { out0 = false; if (in0) { out0 = true; } }", 1, 1).is_clean());
+        // Conflicts inside a branch body are caught.
+        let report = lint_src(
+            "on input { out0 = in0; if (in0) { out1 = true; out1 = false; } else { out1 = in0; } }",
+            1,
+            2,
+        );
+        assert_eq!(codes(&report), ["W124"]);
+    }
+
+    #[test]
+    fn w125_w126_untouched_ports() {
+        let report = lint_src("on input { out0 = in0; }", 2, 2);
+        assert_eq!(codes(&report), ["W125", "W126"]);
+        assert_eq!(report.diagnostics[0].location, "output `out1`");
+        assert_eq!(report.diagnostics[1].location, "input `in1`");
+    }
+
+    #[test]
+    fn diagnose_check_covers_every_variant() {
+        let errors = [
+            CheckError::DuplicateHandler {
+                kind: HandlerKind::Tick,
+            },
+            CheckError::NonConstantStateInit {
+                name: "a".into(),
+                reference: "b".into(),
+            },
+            CheckError::DuplicateState { name: "a".into() },
+            CheckError::InputOutOfRange { port: 9, arity: 2 },
+            CheckError::OutputOutOfRange { port: 9, arity: 2 },
+            CheckError::AssignToInput { port: 0 },
+            CheckError::PossiblyUndefined { name: "x".into() },
+            CheckError::InputReadInTick { port: 0 },
+        ];
+        let diags = diagnose_check(&errors);
+        let expect = [
+            "E101", "E102", "E103", "E104", "E105", "E106", "E107", "E108",
+        ];
+        for (d, (e, code)) in diags.iter().zip(errors.iter().zip(expect)) {
+            assert_eq!(d.code, code);
+            assert_eq!(d.severity, Severity::Error);
+            assert_eq!(d.message, e.to_string());
+        }
+    }
+
+    #[test]
+    fn multi_defect_program_reports_everything_in_one_run() {
+        let src = "state junk = 0;\n\
+                   on input {\n\
+                       let dead = in0;\n\
+                       out0 = in0;\n\
+                       out0 = !in0;\n\
+                       if (false) { out1 = true; } else { out1 = true; }\n\
+                   }";
+        let report = lint_src(src, 1, 2);
+        assert_eq!(codes(&report), ["W120", "W122", "W123", "W124"]);
+    }
+}

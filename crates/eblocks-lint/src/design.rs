@@ -1,0 +1,430 @@
+//! Design-layer lint rules: structural problems in an eBlock network.
+//!
+//! [`lint_design`] inspects an in-memory [`Design`]; [`lint_netlist`]
+//! first parses netlist text, mapping parse/construction failures onto the
+//! same [`Diagnostic`] model so a broken file and a broken graph read the
+//! same way.
+
+use crate::{rules, Diagnostic, LintConfig, LintReport};
+use eblocks_core::netlist::from_netlist;
+use eblocks_core::{BlockId, BlockKind, Design, DesignError};
+use std::collections::BTreeSet;
+
+/// Lints netlist text: parse/construction failures become `E003`–`E005`
+/// diagnostics; on success the design rules run.
+pub fn lint_netlist(text: &str, config: &LintConfig) -> LintReport {
+    match from_netlist(text) {
+        Ok(design) => lint_design(&design, config),
+        Err(error) => LintReport::new(vec![diagnose_design_error(&error)]),
+    }
+}
+
+/// Maps a [`DesignError`] onto the lint rule that covers it.
+pub fn diagnose_design_error(error: &DesignError) -> Diagnostic {
+    match error {
+        DesignError::WouldCycle { from, to } => Diagnostic::new(
+            &rules::COMBINATIONAL_CYCLE,
+            format!("block `{from}`"),
+            format!("wiring `{from}` to `{to}` closes a cycle"),
+        )
+        .with_hint("break the feedback loop; eBlock networks are acyclic"),
+        DesignError::DuplicateName { name } => Diagnostic::new(
+            &rules::DUPLICATE_NAME,
+            format!("block `{name}`"),
+            format!("block name `{name}` is used twice"),
+        )
+        .with_hint("rename one of the blocks"),
+        DesignError::UnconnectedInput { block, port } => Diagnostic::new(
+            &rules::UNCONNECTED_INPUT,
+            format!("port `{block}.{port}`"),
+            "input port has no driver".to_string(),
+        ),
+        DesignError::DanglingOutput { block, port } => Diagnostic::new(
+            &rules::DANGLING_OUTPUT,
+            format!("port `{block}.{port}`"),
+            "output port drives nothing".to_string(),
+        ),
+        // The netlist reader wraps construction errors in Parse with a line
+        // number; recover the specific rule from the (stable, in-repo)
+        // message so a cycle in a file and a cycle in a graph share a code.
+        DesignError::Parse { line, message } if message.contains("create a cycle") => {
+            Diagnostic::new(
+                &rules::COMBINATIONAL_CYCLE,
+                format!("line {line}"),
+                message.clone(),
+            )
+            .with_hint("break the feedback loop; eBlock networks are acyclic")
+        }
+        DesignError::Parse { line, message } if message.starts_with("duplicate block name") => {
+            Diagnostic::new(
+                &rules::DUPLICATE_NAME,
+                format!("line {line}"),
+                message.clone(),
+            )
+            .with_hint("rename one of the blocks")
+        }
+        DesignError::Parse { line, message } => Diagnostic::new(
+            &rules::NETLIST_ERROR,
+            format!("line {line}"),
+            message.clone(),
+        ),
+        // UnknownBlock / PortOutOfRange / InputAlreadyDriven — malformed
+        // wiring the netlist reader reports without a line number.
+        other => Diagnostic::new(&rules::NETLIST_ERROR, "netlist", other.to_string()),
+    }
+}
+
+/// Runs every design rule over `design` and returns the findings in
+/// stable order.
+pub fn lint_design(design: &Design, config: &LintConfig) -> LintReport {
+    let mut out = Vec::new();
+    connectivity(design, &mut out);
+    reachability(design, &mut out);
+    budgets(design, config, &mut out);
+    LintReport::new(out)
+}
+
+/// E001/E002/E003: per-port wiring completeness plus a defensive cycle
+/// check (unreachable through the construction API, but deserialized or
+/// future-format designs may carry one).
+fn connectivity(design: &Design, out: &mut Vec<Diagnostic>) {
+    if matches!(design.validate(), Err(DesignError::WouldCycle { .. })) {
+        out.push(
+            Diagnostic::new(
+                &rules::COMBINATIONAL_CYCLE,
+                "design",
+                "the wire graph contains a cycle",
+            )
+            .with_hint("break the feedback loop; eBlock networks are acyclic"),
+        );
+        // Reachability walks below assume an acyclic graph; stop here.
+        return;
+    }
+    for id in design.blocks() {
+        let block = design.block(id).expect("iterated id");
+        let name = block.name();
+        // Same exemptions as Design::validate: programmable pins may sit
+        // unconnected on both sides, sensor outputs may dangle.
+        if !matches!(block.kind(), BlockKind::Programmable(_)) {
+            for port in 0..block.num_inputs() {
+                if design.driver_of(id, port).is_none() {
+                    out.push(
+                        Diagnostic::new(
+                            &rules::UNCONNECTED_INPUT,
+                            format!("port `{name}.{port}`"),
+                            "input port has no driver",
+                        )
+                        .with_hint(format!(
+                            "wire a sensor or compute output into `{name}.{port}`"
+                        )),
+                    );
+                }
+            }
+        }
+        let pins_may_dangle = matches!(
+            block.kind(),
+            BlockKind::Sensor(_) | BlockKind::Programmable(_)
+        );
+        if !pins_may_dangle {
+            for port in 0..block.num_outputs() {
+                if design.sinks_of(id, port).next().is_none() {
+                    out.push(
+                        Diagnostic::new(
+                            &rules::DANGLING_OUTPUT,
+                            format!("port `{name}.{port}`"),
+                            "output port drives nothing",
+                        )
+                        .with_hint(format!("connect `{name}.{port}` or remove the block")),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// W006/W007: blocks no sensor can influence, and blocks whose signal
+/// never reaches an output actuator.
+///
+/// In a fully wired acyclic design every non-sensor block is reachable
+/// from a sensor (each in-degree-0 ancestor is a sensor), so these only
+/// fire alongside connectivity errors — but they name the *blocks* the
+/// missing wires strand, which is the actionable unit.
+fn reachability(design: &Design, out: &mut Vec<Diagnostic>) {
+    let forward = reach(design, design.sensors().collect(), Direction::Forward);
+    let backward = reach(design, design.outputs().collect(), Direction::Backward);
+    for id in design.blocks() {
+        let block = design.block(id).expect("iterated id");
+        let name = block.name();
+        if !block.kind().is_primary_input() && !forward.contains(&id) {
+            out.push(
+                Diagnostic::new(
+                    &rules::DEAD_BLOCK,
+                    format!("block `{name}`"),
+                    "no sensor can influence this block",
+                )
+                .with_hint("wire it (transitively) to a sensor, or remove it"),
+            );
+        }
+        if !block.kind().is_primary_output() && !backward.contains(&id) {
+            out.push(
+                Diagnostic::new(
+                    &rules::UNUSED_RESULT,
+                    format!("block `{name}`"),
+                    "this block's signal never reaches an output actuator",
+                )
+                .with_hint("wire it (transitively) toward an output block, or remove it"),
+            );
+        }
+    }
+}
+
+enum Direction {
+    Forward,
+    Backward,
+}
+
+fn reach(design: &Design, seeds: Vec<BlockId>, dir: Direction) -> BTreeSet<BlockId> {
+    let mut seen: BTreeSet<BlockId> = seeds.iter().copied().collect();
+    let mut frontier = seeds;
+    while let Some(id) = frontier.pop() {
+        let next: Vec<BlockId> = match dir {
+            Direction::Forward => design.out_wires(id).map(|w| w.to).collect(),
+            Direction::Backward => design.in_wires(id).map(|w| w.from).collect(),
+        };
+        for n in next {
+            if seen.insert(n) {
+                frontier.push(n);
+            }
+        }
+    }
+    seen
+}
+
+/// W008/W009: fan-out and pin budgets against the partitioner's targets.
+fn budgets(design: &Design, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    for id in design.blocks() {
+        let block = design.block(id).expect("iterated id");
+        let name = block.name();
+        for port in 0..block.num_outputs() {
+            let sinks = design.sinks_of(id, port).count();
+            if sinks > config.max_fanout {
+                out.push(
+                    Diagnostic::new(
+                        &rules::FANOUT_BUDGET,
+                        format!("port `{name}.{port}`"),
+                        format!(
+                            "output port drives {sinks} sinks (budget {})",
+                            config.max_fanout
+                        ),
+                    )
+                    .with_hint("fan out through a splitter tree"),
+                );
+            }
+        }
+        // Pin budget applies to programmable blocks only: a pre-defined
+        // compute block with more pins than the target spec is fine (the
+        // partitioner leaves it pre-defined or internalizes its wires).
+        if let BlockKind::Programmable(spec) = block.kind() {
+            if spec.inputs > config.budget.inputs || spec.outputs > config.budget.outputs {
+                out.push(
+                    Diagnostic::new(
+                        &rules::PIN_BUDGET,
+                        format!("block `{name}`"),
+                        format!(
+                            "programmable block needs {spec} but the partitioner targets {}",
+                            config.budget
+                        ),
+                    )
+                    .with_hint("raise the target spec or split the block"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DenyLevel, Severity};
+    use eblocks_core::{ComputeKind, OutputKind, ProgrammableSpec, SensorKind};
+
+    fn codes(report: &LintReport) -> Vec<&str> {
+        report.diagnostics.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    fn clean_chain() -> Design {
+        let mut d = Design::new("chain");
+        let s = d.add_block("s", SensorKind::Button);
+        let n = d.add_block("n", ComputeKind::Not);
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s, 0), (n, 0)).unwrap();
+        d.connect((n, 0), (o, 0)).unwrap();
+        d
+    }
+
+    #[test]
+    fn clean_design_is_clean() {
+        let report = lint_design(&clean_chain(), &LintConfig::default());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn e001_unconnected_input() {
+        let mut d = Design::new("t");
+        let s = d.add_block("s", SensorKind::Button);
+        let g = d.add_block("g", ComputeKind::and2());
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((s, 0), (g, 0)).unwrap();
+        d.connect((g, 0), (o, 0)).unwrap();
+        let report = lint_design(&d, &LintConfig::default());
+        assert_eq!(codes(&report), ["E001"]);
+        assert_eq!(report.diagnostics[0].location, "port `g.1`");
+        assert_eq!(report.diagnostics[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn e002_dangling_output_with_exemptions() {
+        let mut d = Design::new("t");
+        let s = d.add_block("s", SensorKind::Button);
+        let n = d.add_block("n", ComputeKind::Not);
+        d.connect((s, 0), (n, 0)).unwrap();
+        let report = lint_design(&d, &LintConfig::default());
+        // n.0 dangles (E002) and therefore n never reaches an output (W007).
+        assert_eq!(codes(&report), ["E002", "W007", "W007"]);
+        assert_eq!(report.diagnostics[0].location, "port `n.0`");
+
+        // Sensors and programmable blocks may dangle.
+        let mut d = clean_chain();
+        d.add_block("spare", SensorKind::Light);
+        d.add_block("prog", ProgrammableSpec::default());
+        let report = lint_design(&d, &LintConfig::default());
+        assert_eq!(codes(&report), ["W006", "W007", "W007"]); // reachability only
+    }
+
+    #[test]
+    fn w006_w007_dead_and_unused_blocks() {
+        let mut d = clean_chain();
+        // An island pair: gate drives LED but nothing drives the gate's
+        // inputs, so the island is sensor-unreachable.
+        let g = d.add_block("island", ComputeKind::Not);
+        let o2 = d.add_block("led2", OutputKind::Led);
+        d.connect((g, 0), (o2, 0)).unwrap();
+        let report = lint_design(&d, &LintConfig::default());
+        assert_eq!(codes(&report), ["E001", "W006", "W006"]);
+        let dead: Vec<&str> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "W006")
+            .map(|d| d.location.as_str())
+            .collect();
+        assert_eq!(dead, ["block `island`", "block `led2`"]);
+    }
+
+    #[test]
+    fn w008_fanout_budget() {
+        let mut d = Design::new("t");
+        let s = d.add_block("s", SensorKind::Button);
+        for i in 0..3 {
+            let n = d.add_block(format!("n{i}"), ComputeKind::Not);
+            let o = d.add_block(format!("o{i}"), OutputKind::Led);
+            d.connect((s, 0), (n, 0)).unwrap();
+            d.connect((n, 0), (o, 0)).unwrap();
+        }
+        let tight = LintConfig {
+            max_fanout: 2,
+            ..LintConfig::default()
+        };
+        let report = lint_design(&d, &tight);
+        assert_eq!(codes(&report), ["W008"]);
+        assert_eq!(report.diagnostics[0].location, "port `s.0`");
+        assert!(report.diagnostics[0].message.contains("3 sinks (budget 2)"));
+        // Default budget admits it.
+        assert!(lint_design(&d, &LintConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn w009_pin_budget_ignores_compute_blocks() {
+        let mut d = clean_chain();
+        let s = d.block_by_name("s").unwrap();
+        let big = d.add_block(
+            "big",
+            ProgrammableSpec {
+                inputs: 4,
+                outputs: 1,
+            },
+        );
+        let o2 = d.add_block("o2", OutputKind::Led);
+        d.connect((s, 0), (big, 0)).unwrap();
+        d.connect((big, 0), (o2, 0)).unwrap();
+        let report = lint_design(&d, &LintConfig::default());
+        assert_eq!(codes(&report), ["W009"]);
+        assert!(report.diagnostics[0].message.contains("4in/1out"));
+        assert!(!report.rejects(DenyLevel::Errors));
+        assert!(report.rejects(DenyLevel::Warnings));
+
+        // A 3-input pre-defined gate is NOT a pin-budget violation.
+        let mut d = Design::new("t");
+        let a = d.add_block("a", SensorKind::Button);
+        let b = d.add_block("b", SensorKind::Motion);
+        let c = d.add_block("c", SensorKind::Sound);
+        let g = d.add_block("g", ComputeKind::and3());
+        let o = d.add_block("o", OutputKind::Led);
+        d.connect((a, 0), (g, 0)).unwrap();
+        d.connect((b, 0), (g, 1)).unwrap();
+        d.connect((c, 0), (g, 2)).unwrap();
+        d.connect((g, 0), (o, 0)).unwrap();
+        assert!(lint_design(&d, &LintConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn e004_e005_netlist_failures() {
+        let report = lint_netlist(
+            "eblocks-netlist v1\ndesign d\nblock x sensor:button\nblock x sensor:motion\n",
+            &LintConfig::default(),
+        );
+        assert_eq!(codes(&report), ["E004"]);
+
+        let report = lint_netlist("not a netlist", &LintConfig::default());
+        assert_eq!(codes(&report), ["E005"]);
+        assert_eq!(report.diagnostics[0].location, "line 1");
+        assert_eq!(report.errors(), 1);
+    }
+
+    #[test]
+    fn e003_cycle_from_netlist() {
+        let report = lint_netlist(
+            "eblocks-netlist v1\ndesign d\nblock a compute:not\nblock b compute:not\nwire a.0 -> b.0\nwire b.0 -> a.0\n",
+            &LintConfig::default(),
+        );
+        assert_eq!(codes(&report), ["E003"]);
+        assert!(report.diagnostics[0].message.contains("cycle"));
+    }
+
+    #[test]
+    fn netlist_success_runs_design_rules() {
+        let report = lint_netlist(
+            "eblocks-netlist v1\ndesign d\nblock btn sensor:button\nblock gate compute:logic2:AND\nblock led output:led\nwire btn.0 -> gate.0\nwire gate.0 -> led.0\n",
+            &LintConfig::default(),
+        );
+        assert_eq!(codes(&report), ["E001"]);
+        assert_eq!(report.diagnostics[0].location, "port `gate.1`");
+    }
+
+    #[test]
+    fn multi_defect_design_reports_everything_in_one_run() {
+        let mut d = Design::new("t");
+        let s = d.add_block("s", SensorKind::Button);
+        let g = d.add_block("g", ComputeKind::and2());
+        let o = d.add_block("o", OutputKind::Led);
+        let ghost = d.add_block("ghost", ComputeKind::Not);
+        d.connect((s, 0), (g, 0)).unwrap();
+        d.connect((g, 0), (o, 0)).unwrap();
+        let _ = ghost;
+        let report = lint_design(&d, &LintConfig::default());
+        // g.1 unconnected; ghost: input unconnected, output dangling, dead,
+        // unused.
+        assert_eq!(codes(&report), ["E001", "E001", "E002", "W006", "W007"]);
+        assert_eq!(report.errors(), 3);
+        assert_eq!(report.warnings(), 2);
+    }
+}

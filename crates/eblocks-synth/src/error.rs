@@ -3,6 +3,7 @@
 use crate::observe::{Stage, StageAbort};
 use eblocks_codegen::CodegenError;
 use eblocks_core::DesignError;
+use eblocks_lint::LintReport;
 use eblocks_partition::VerifyError;
 use eblocks_sim::{EquivalenceReport, SimError};
 use std::error::Error;
@@ -12,6 +13,12 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SynthError {
+    /// The lint stage rejected the design under the configured deny level
+    /// (see [`eblocks_lint::LintConfig`]).
+    LintRejected {
+        /// Everything the linter found, in stable order.
+        report: LintReport,
+    },
     /// The input design failed validation.
     InvalidDesign(DesignError),
     /// The partitioner produced an inconsistent result (a pipeline bug).
@@ -44,6 +51,13 @@ pub enum SynthError {
 impl fmt::Display for SynthError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Self::LintRejected { report } => {
+                write!(f, "lint rejected the design: {}", report.outcome())?;
+                if let Some(first) = report.diagnostics.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
             Self::InvalidDesign(e) => write!(f, "invalid input design: {e}"),
             Self::BadPartitioning(e) => write!(f, "partitioner produced an invalid result: {e}"),
             Self::Codegen { partition, error } => {

@@ -52,6 +52,7 @@ pub mod pipeline;
 pub mod rewrite;
 pub mod stimulus;
 
+pub use eblocks_lint::{DenyLevel, LintConfig, LintOutcome, LintReport};
 pub use error::SynthError;
 pub use observe::{Observer, Stage, StageAbort, StageReport, StageStat, StageTimings};
 pub use pipeline::{

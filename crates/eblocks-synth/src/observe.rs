@@ -17,6 +17,9 @@ use std::time::Duration;
 /// prints, so JSON reports and the `--timings` text agree on stage names.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Stage {
+    /// Statically analyze the input design (optional admission gate).
+    #[serde(rename = "lint")]
+    Lint,
     /// Partition the inner blocks.
     #[serde(rename = "partition")]
     Partition,
@@ -37,6 +40,7 @@ pub enum Stage {
 impl fmt::Display for Stage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            Self::Lint => "lint",
             Self::Partition => "partition",
             Self::Merge => "merge",
             Self::Rewrite => "rewrite",
@@ -170,6 +174,7 @@ impl StageTimings {
     /// omitted.
     pub fn summarize(&self) -> Vec<StageStat> {
         [
+            Stage::Lint,
             Stage::Partition,
             Stage::Merge,
             Stage::Rewrite,
@@ -222,6 +227,7 @@ mod tests {
     #[test]
     fn stage_names_render() {
         let names: Vec<String> = [
+            Stage::Lint,
             Stage::Partition,
             Stage::Merge,
             Stage::Rewrite,
@@ -231,12 +237,16 @@ mod tests {
         .iter()
         .map(Stage::to_string)
         .collect();
-        assert_eq!(names, ["partition", "merge", "rewrite", "verify", "emit-c"]);
+        assert_eq!(
+            names,
+            ["lint", "partition", "merge", "rewrite", "verify", "emit-c"]
+        );
     }
 
     #[test]
     fn stage_serialization_matches_display() {
         for stage in [
+            Stage::Lint,
             Stage::Partition,
             Stage::Merge,
             Stage::Rewrite,

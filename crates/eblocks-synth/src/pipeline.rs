@@ -24,6 +24,7 @@ use crate::stimulus::exercise_all_sensors;
 use eblocks_behavior::Program;
 use eblocks_codegen::{emit_c, estimate_size, merge_partition, MergedProgram, SizeEstimate};
 use eblocks_core::{BlockId, Design};
+use eblocks_lint::{lint_design, LintConfig, LintOutcome};
 use eblocks_partition::strategy;
 use eblocks_partition::{PartitionConstraints, Partitioner, Partitioning};
 use eblocks_sim::{equivalence, EquivalenceReport, Simulator, Time};
@@ -74,6 +75,9 @@ pub struct SynthesisOptions {
     /// Run the behavior-tree optimizer on merged programs before emitting C
     /// and sizing them (see [`eblocks_behavior::optimize`](fn@eblocks_behavior::optimize)).
     pub optimize: bool,
+    /// Run the lint stage before partitioning; `None` (the default) skips
+    /// it, preserving the historical pipeline shape.
+    pub lint: Option<LintConfig>,
 }
 
 impl Default for SynthesisOptions {
@@ -85,6 +89,7 @@ impl Default for SynthesisOptions {
             verify_spacing: 64,
             verify_tolerance: 8,
             optimize: true,
+            lint: None,
         }
     }
 }
@@ -125,6 +130,8 @@ pub struct SynthesisResult {
     pub size_estimates: Vec<(String, SizeEstimate)>,
     /// Equivalence report when verification ran.
     pub report: Option<EquivalenceReport>,
+    /// Lint totals when the lint stage ran (and admitted the design).
+    pub lint: Option<LintOutcome>,
 }
 
 impl SynthesisResult {
@@ -147,6 +154,8 @@ struct Ctx<'a> {
     constraints: PartitionConstraints,
     optimize: bool,
     observer: Option<&'a mut dyn Observer>,
+    /// Totals from the lint stage, when it ran.
+    lint: Option<LintOutcome>,
 }
 
 impl Ctx<'_> {
@@ -198,17 +207,19 @@ pub struct Pipeline<'a> {
     constraints: PartitionConstraints,
     optimize: bool,
     observer: Option<&'a mut dyn Observer>,
+    lint: Option<LintConfig>,
 }
 
 impl<'a> Pipeline<'a> {
     /// A pipeline over `design` with default constraints, the behavior
-    /// optimizer enabled, and no observer.
+    /// optimizer enabled, no lint stage, and no observer.
     pub fn new(design: &'a Design) -> Self {
         Self {
             design,
             constraints: PartitionConstraints::default(),
             optimize: true,
             observer: None,
+            lint: None,
         }
     }
 
@@ -231,6 +242,14 @@ impl<'a> Pipeline<'a> {
         self
     }
 
+    /// Enables the lint stage: the design is statically analyzed before
+    /// partitioning and rejected with [`SynthError::LintRejected`] under
+    /// the config's deny level. Off by default.
+    pub fn lint(mut self, config: LintConfig) -> Self {
+        self.lint = Some(config);
+        self
+    }
+
     /// Runs the partition stage with the given strategy.
     ///
     /// Realizability: a non-convex partition has a path that leaves it and
@@ -247,14 +266,41 @@ impl<'a> Pipeline<'a> {
     ///
     /// # Errors
     ///
-    /// [`SynthError::InvalidDesign`] if the design fails validation,
-    /// [`SynthError::BadPartitioning`] if the strategy returns an
-    /// inconsistent result (a strategy bug), and [`SynthError::Aborted`]
-    /// when the attached observer vetoes the stage.
+    /// [`SynthError::LintRejected`] if the (optional) lint stage rejects
+    /// the design, [`SynthError::InvalidDesign`] if the design fails
+    /// validation, [`SynthError::BadPartitioning`] if the strategy returns
+    /// an inconsistent result (a strategy bug), and [`SynthError::Aborted`]
+    /// when the attached observer vetoes a stage.
     pub fn partition_with(
         mut self,
         partitioner: &dyn Partitioner,
     ) -> Result<Partitioned<'a>, SynthError> {
+        let mut lint_outcome = None;
+        if let Some(config) = self.lint {
+            let lint_started = Instant::now();
+            if let Some(observer) = self.observer.as_deref_mut() {
+                observer
+                    .before_stage(Stage::Lint)
+                    .map_err(|abort| SynthError::Aborted {
+                        stage: Stage::Lint,
+                        abort,
+                    })?;
+            }
+            let report = lint_design(self.design, &config);
+            let outcome = report.outcome();
+            if let Some(observer) = self.observer.as_deref_mut() {
+                observer.on_stage(&StageReport {
+                    stage: Stage::Lint,
+                    elapsed: lint_started.elapsed(),
+                    detail: outcome.to_string(),
+                });
+            }
+            if report.rejects(config.deny) {
+                return Err(SynthError::LintRejected { report });
+            }
+            lint_outcome = Some(outcome);
+        }
+
         let started = Instant::now();
         if let Some(observer) = self.observer.as_deref_mut() {
             observer
@@ -278,6 +324,7 @@ impl<'a> Pipeline<'a> {
             constraints,
             optimize: self.optimize,
             observer: self.observer,
+            lint: lint_outcome,
         };
         // The Partitioning's Display already leads with its algorithm label.
         ctx.report(Stage::Partition, started, partitioning.to_string());
@@ -538,6 +585,7 @@ impl Verified<'_> {
             c_sources,
             size_estimates,
             report: self.report,
+            lint: self.ctx.lint,
         }
     }
 }
@@ -559,9 +607,13 @@ pub fn synthesize(
     options: &SynthesisOptions,
 ) -> Result<SynthesisResult, SynthError> {
     let partitioner = options.algorithm.partitioner();
-    let rewritten = Pipeline::new(design)
+    let mut pipeline = Pipeline::new(design)
         .constraints(options.constraints)
-        .optimize(options.optimize)
+        .optimize(options.optimize);
+    if let Some(config) = options.lint {
+        pipeline = pipeline.lint(config);
+    }
+    let rewritten = pipeline
         .partition_with(partitioner.as_ref())?
         .merge()?
         .rewrite()?;
@@ -834,6 +886,136 @@ mod tests {
             .emit_c();
         assert!(result.report.is_some());
         assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn lint_stage_runs_first_and_records_outcome() {
+        use crate::observe::StageTimings;
+        let design = garage();
+        let mut timings = StageTimings::new();
+        let result = Pipeline::new(&design)
+            .lint(LintConfig::default())
+            .observe(&mut timings)
+            .partition_with(&strategy::PareDown)
+            .unwrap()
+            .merge()
+            .unwrap()
+            .rewrite()
+            .unwrap()
+            .skip_verify()
+            .emit_c();
+        assert_eq!(result.lint, Some(LintOutcome::default()));
+        let stages: Vec<Stage> = timings.reports.iter().map(|r| r.stage).collect();
+        assert_eq!(
+            stages,
+            [
+                Stage::Lint,
+                Stage::Partition,
+                Stage::Merge,
+                Stage::Rewrite,
+                Stage::EmitC
+            ]
+        );
+        assert_eq!(
+            timings.get(Stage::Lint).unwrap().detail,
+            "0 error(s), 0 warning(s)"
+        );
+        // Without .lint() the stage never runs and the result records None.
+        let result = Pipeline::new(&design)
+            .partition_with(&strategy::PareDown)
+            .unwrap()
+            .merge()
+            .unwrap()
+            .rewrite()
+            .unwrap()
+            .skip_verify()
+            .emit_c();
+        assert_eq!(result.lint, None);
+    }
+
+    #[test]
+    fn lint_stage_rejects_under_deny_level() {
+        use eblocks_lint::DenyLevel;
+        let design = garage();
+        // max_fanout 0 makes every wired output port a W008 warning; only
+        // deny=warnings turns that into a rejection.
+        let warny = LintConfig {
+            max_fanout: 0,
+            ..LintConfig::default()
+        };
+        let ok = Pipeline::new(&design)
+            .lint(warny)
+            .partition_with(&strategy::PareDown)
+            .unwrap();
+        assert!(ok.partitioning().num_partitions() > 0);
+
+        let strict = LintConfig {
+            deny: DenyLevel::Warnings,
+            ..warny
+        };
+        let err = match Pipeline::new(&design)
+            .lint(strict)
+            .partition_with(&strategy::PareDown)
+        {
+            Err(e) => e,
+            Ok(_) => panic!("warnings denied"),
+        };
+        match err {
+            SynthError::LintRejected { report } => {
+                assert!(report.errors() == 0 && report.warnings() > 0);
+                let display = SynthError::LintRejected { report }.to_string();
+                assert!(
+                    display.starts_with("lint rejected the design:"),
+                    "{display}"
+                );
+                assert!(display.contains("W008"), "{display}");
+            }
+            other => panic!("expected LintRejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_stage_can_be_vetoed() {
+        use crate::observe::StageAbort;
+        struct VetoLint;
+        impl Observer for VetoLint {
+            fn on_stage(&mut self, _: &StageReport) {}
+            fn before_stage(&mut self, stage: Stage) -> Result<(), StageAbort> {
+                if stage == Stage::Lint {
+                    Err(StageAbort::fault("injected at lint"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let design = garage();
+        let mut veto = VetoLint;
+        let err = match Pipeline::new(&design)
+            .lint(LintConfig::default())
+            .observe(&mut veto)
+            .partition_with(&strategy::PareDown)
+        {
+            Err(e) => e,
+            Ok(_) => panic!("lint stage vetoed"),
+        };
+        assert!(matches!(
+            err,
+            SynthError::Aborted {
+                stage: Stage::Lint,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn shim_applies_lint_option() {
+        let options = SynthesisOptions {
+            lint: Some(LintConfig::default()),
+            verify: false,
+            ..Default::default()
+        };
+        let result = synthesize(&garage(), &options).unwrap();
+        assert_eq!(result.lint, Some(LintOutcome::default()));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! eblocks-cli synth <netlist> [-o OUTDIR]
 //!                   [--partitioner pare-down|exhaustive|aggregation|refine|anneal]
 //!                   [--inputs N] [--outputs N] [--no-verify] [--timings]
-//! eblocks-cli check <netlist>          # validate + report stats
+//! eblocks-cli check <netlist>          # validate + report stats + lint findings
+//! eblocks-cli lint <netlist|behavior|DIR> [--json] [--deny errors|warnings]
+//!                   [--inputs N] [--outputs N]
 //! eblocks-cli partition <netlist> [--partitioner NAME]  # print the partitioning only
 //! eblocks-cli batch <manifest> [--jobs N] [--partitioner NAME] [--json] [--timings]
 //!                   [--retries N] [--job-timeout-ms N]
@@ -45,6 +47,16 @@
 //! harness (`eblocks::chaos`): the seed alone decides every injected
 //! fault, so a failing run's printed seed replays it exactly;
 //! `--chaos-trace FILE` additionally writes the run's injection trace.
+//! `lint` statically analyzes designs and behavior programs without
+//! synthesizing anything: it prints every `eblocks::lint` diagnostic
+//! (stable rule codes, deterministic order), `--json` emits the
+//! machine-readable `RunReport`, and the exit code is non-zero when the
+//! run trips the `--deny` level (`errors`, the default, or `warnings`).
+//! A directory argument lints every `*.netlist` in it, sorted by name;
+//! behavior programs are detected by content and checked against the
+//! `--inputs`/`--outputs` pin arities (default 2/2). `synth` and `batch`
+//! accept `--lint` (with the same `--deny`) to run the lint stage as a
+//! pipeline admission gate, and `--no-lint` to force it off.
 //! `sim` runs a stimulus script
 //! (lines of `<time> <sensor> <0|1>`, `#` comments) and prints an ASCII
 //! waveform; `--vcd` additionally writes a VCD dump. `place` maps the design
@@ -57,6 +69,7 @@ use eblocks::chaos::{run_chaos, ChaosConfig};
 use eblocks::core::netlist::from_netlist;
 use eblocks::core::{Design, ProgrammableSpec};
 use eblocks::farm::{run_batch, Batch, FarmConfig, JsonOptions};
+use eblocks::lint::{lint_behavior, lint_design, lint_netlist, DenyLevel, LintConfig, RunReport};
 use eblocks::partition::{PartitionConstraints, Partitioner, Registry};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -136,6 +149,8 @@ struct Options {
     partitioner: Option<String>,
     spec: ProgrammableSpec,
     verify: bool,
+    lint: Option<bool>,
+    deny: DenyLevel,
     timings: bool,
     jobs: Option<usize>,
     json: bool,
@@ -157,7 +172,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let command = it.next().ok_or(USAGE)?.clone();
     if !matches!(
         command.as_str(),
-        "synth" | "check" | "partition" | "batch" | "sim" | "place"
+        "synth" | "check" | "lint" | "partition" | "batch" | "sim" | "place"
     ) {
         return Err(format!("unknown command `{command}`\n{USAGE}"));
     }
@@ -169,6 +184,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         partitioner: None,
         spec: ProgrammableSpec::default(),
         verify: true,
+        lint: None,
+        deny: DenyLevel::default(),
         timings: false,
         jobs: None,
         json: false,
@@ -254,6 +271,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "bad --outputs value")?;
             }
             "--no-verify" => options.verify = false,
+            "--lint" => options.lint = Some(true),
+            "--no-lint" => options.lint = Some(false),
+            "--deny" => {
+                let level = it.next().ok_or("missing value for --deny")?;
+                options.deny = DenyLevel::parse(level).ok_or_else(|| {
+                    format!("bad --deny value `{level}` (expected errors|warnings)")
+                })?;
+            }
             "--timings" => options.timings = true,
             "--stimulus" => {
                 options.stimulus = Some(PathBuf::from(it.next().ok_or("missing stimulus path")?));
@@ -302,9 +327,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 const USAGE: &str =
-    "usage: eblocks-cli <synth|check|partition|batch|sim|place> <netlist|manifest(.json)> \
+    "usage: eblocks-cli <synth|check|lint|partition|batch|sim|place> <netlist|manifest(.json)|DIR> \
 [-o OUTDIR] [--partitioner pare-down|exhaustive|aggregation|refine|anneal|list] \
-[--inputs N] [--outputs N] [--no-verify] [--timings] \
+[--inputs N] [--outputs N] [--no-verify] [--lint | --no-lint] [--deny errors|warnings] \
+[--timings] \
 [--jobs N] [--json] [--retries N] [--job-timeout-ms N] [--chaos-seed N] [--chaos-trace FILE] \
 [--stimulus FILE] [--until T] [--vcd FILE] \
 [--grid WxH | --topology FILE] [--pin block=COL,ROW | block=SITE] [--iterations N] \
@@ -348,6 +374,11 @@ fn run(args: &[String]) -> Result<String, Failure> {
     }
     if options.command == "synth" {
         return Ok(synth_command(&options)?);
+    }
+    // `lint` loads its own inputs too: it accepts directories and
+    // behavior programs, not just single netlist files.
+    if options.command == "lint" {
+        return lint_command(&options);
     }
     let text = std::fs::read_to_string(&options.input)
         .map_err(|e| format!("cannot read {}: {e}", options.input.display()))?;
@@ -394,6 +425,9 @@ fn batch_command(options: &Options) -> Result<String, Failure> {
         partitioner_override: options.partitioner.clone(),
         max_retries: options.retries,
         job_timeout: options.job_timeout_ms.map(Duration::from_millis),
+        // --lint gates every job that sets no per-job lint of its own;
+        // --no-lint is the default, so it just leaves the gate off.
+        lint: (options.lint == Some(true)).then(|| LintConfig::denying(options.deny)),
         registry: Registry::builtin(),
         ..FarmConfig::default()
     };
@@ -436,11 +470,115 @@ fn batch_command(options: &Options) -> Result<String, Failure> {
 fn check_command(design: &Design) -> Result<String, String> {
     design.validate().map_err(|e| e.to_string())?;
     let census = design.census();
-    Ok(format!(
+    let mut out = format!(
         "{design}\nvalid: yes\ndepth: {}\ninner blocks: {}\n",
         eblocks::core::level::depth(design),
         census.inner
-    ))
+    );
+    // Validation only rejects hard errors; the lint rules also catch
+    // suspicious-but-legal structure, so surface their findings here.
+    let report = lint_design(design, &LintConfig::default());
+    if !report.is_clean() {
+        out.push_str(&render_lint_report(&report));
+        out.push_str(&format!("lint: {}\n", report.outcome()));
+    }
+    Ok(out)
+}
+
+/// True when `text` reads as a netlist rather than a behavior program:
+/// netlists open with the `eblocks-netlist` format header or line-oriented
+/// `design`/`block`/`wire` statements, behavior programs with
+/// `state`/`on input`/`on tick` blocks.
+fn is_netlist_text(text: &str) -> bool {
+    text.lines()
+        .map(|line| line.split('#').next().unwrap_or("").trim())
+        .filter(|line| !line.is_empty())
+        .take(1)
+        .all(|line| {
+            ["eblocks-netlist", "design ", "block ", "wire "]
+                .iter()
+                .any(|kw| line.starts_with(kw))
+        })
+}
+
+/// One diagnostic per line, hints indented beneath.
+fn render_lint_report(report: &eblocks::lint::LintReport) -> String {
+    let mut out = String::new();
+    for diagnostic in &report.diagnostics {
+        out.push_str(&format!("{diagnostic}\n"));
+        if let Some(hint) = &diagnostic.hint {
+            out.push_str(&format!("  hint: {hint}\n"));
+        }
+    }
+    out
+}
+
+/// Statically analyzes one file — or every `*.netlist` in a directory —
+/// without synthesizing anything. Exits non-zero when the findings trip
+/// the `--deny` level; `--json` renders the typed `RunReport`.
+fn lint_command(options: &Options) -> Result<String, Failure> {
+    let mut files: Vec<PathBuf> = if options.input.is_dir() {
+        let mut found = Vec::new();
+        let entries = std::fs::read_dir(&options.input)
+            .map_err(|e| format!("cannot read {}: {e}", options.input.display()))?;
+        for entry in entries {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            if path.extension().is_some_and(|ext| ext == "netlist") {
+                found.push(path);
+            }
+        }
+        if found.is_empty() {
+            return Err(format!("no .netlist files in {}", options.input.display()).into());
+        }
+        found
+    } else {
+        vec![options.input.clone()]
+    };
+    files.sort();
+
+    let config = LintConfig::denying(options.deny);
+    let mut run = RunReport::default();
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let report = if is_netlist_text(&text) {
+            lint_netlist(&text, &config)
+        } else {
+            lint_behavior(&text, options.spec.inputs, options.spec.outputs, &config)
+        };
+        run.push(file.display().to_string(), &report);
+    }
+
+    let rendered = if options.json {
+        let mut json = serde::json::to_string_pretty(&run);
+        json.push('\n');
+        json
+    } else {
+        let mut out = String::new();
+        for file in &run.files {
+            if file.diagnostics.is_empty() {
+                out.push_str(&format!("{}: clean\n", file.file));
+            } else {
+                out.push_str(&format!("{}:\n", file.file));
+                for diagnostic in &file.diagnostics {
+                    out.push_str(&format!("  {diagnostic}\n"));
+                    if let Some(hint) = &diagnostic.hint {
+                        out.push_str(&format!("    hint: {hint}\n"));
+                    }
+                }
+            }
+        }
+        out.push_str(&format!("{}\n", run.outcome()));
+        out
+    };
+    if run.rejects(options.deny) {
+        Err(Failure {
+            message: format!("lint: {} across {} file(s)", run.outcome(), run.files.len()),
+            output: rendered,
+        })
+    } else {
+        Ok(rendered)
+    }
 }
 
 fn partition_command(design: &Design, options: &Options) -> Result<String, String> {
@@ -476,6 +614,12 @@ fn synth_request(options: &Options) -> SynthRequest {
     if options.spec != ProgrammableSpec::default() {
         request.options.inputs = Some(options.spec.inputs);
         request.options.outputs = Some(options.spec.outputs);
+    }
+    if let Some(lint) = options.lint {
+        request.options.lint = Some(lint);
+        if lint {
+            request.options.lint_deny = Some(options.deny);
+        }
     }
     request
 }
@@ -513,6 +657,11 @@ fn synth_command(options: &Options) -> Result<String, String> {
     );
     if let Some(samples) = response.verified_samples {
         out.push_str(&format!("verified equivalent at {samples} samples\n"));
+    }
+    // A successful run can only carry admitted findings (warnings under
+    // the default deny level); rejections fail before reaching here.
+    if let Some(warnings) = response.lint_warnings {
+        out.push_str(&format!("lint: {warnings} warning(s)\n"));
     }
     if options.timings {
         for row in &response.stages_ms {
@@ -710,6 +859,184 @@ wire both.0 -> led.0
         for name in all {
             assert!(out.contains(name), "{name}: {out}");
         }
+    }
+
+    /// A parseable netlist seeded with several distinct defects: `gate.1`
+    /// has no driver (E001), `ghost` dangles (E002), and neither `ghost`
+    /// nor `light` ever reaches an output (W007).
+    fn write_broken(dir: &Path) -> PathBuf {
+        let netlist = "\
+design broken
+block door sensor:contact
+block light sensor:light
+block gate compute:logic2:AND
+block ghost compute:not
+block led output:led
+wire door.0 -> gate.0
+wire gate.0 -> led.0
+wire light.0 -> ghost.0
+";
+        let path = dir.join("broken.netlist");
+        std::fs::write(&path, netlist).unwrap();
+        path
+    }
+
+    #[test]
+    fn lint_reports_every_defect_in_one_run() {
+        let dir = tempdir("lint-broken");
+        let path = write_broken(&dir);
+        let failure = run(&s(&["lint", path.to_str().unwrap()])).unwrap_err();
+        for code in ["E001", "E002", "W007"] {
+            assert!(failure.output.contains(code), "{code}: {}", failure.output);
+        }
+        assert!(failure.message.contains("error(s)"), "{}", failure.message);
+        // Stable order: errors sort before warnings, codes ascending.
+        let e001 = failure.output.find("E001").unwrap();
+        let e002 = failure.output.find("E002").unwrap();
+        let w007 = failure.output.find("W007").unwrap();
+        assert!(e001 < e002 && e002 < w007, "{}", failure.output);
+
+        // --json renders the typed RunReport, byte-identically per run.
+        let a = run(&s(&["lint", path.to_str().unwrap(), "--json"])).unwrap_err();
+        let b = run(&s(&["lint", path.to_str().unwrap(), "--json"])).unwrap_err();
+        assert_eq!(a.output, b.output);
+        assert!(a.output.contains(r#""code": "E001""#), "{}", a.output);
+    }
+
+    #[test]
+    fn lint_clean_inputs_and_deny_levels() {
+        let dir = tempdir("lint-clean");
+        let netlist = write_garage(&dir);
+        let out = run(&s(&["lint", netlist.to_str().unwrap()])).unwrap();
+        assert!(out.contains("clean"), "{out}");
+        assert!(out.contains("0 error(s), 0 warning(s)"), "{out}");
+
+        // A warnings-only behavior program passes by default but is
+        // rejected under --deny warnings.
+        let program = dir.join("toggle.behavior");
+        std::fs::write(&program, "state unused = 0;\non input { out0 = in0; }\n").unwrap();
+        let out = run(&s(&["lint", program.to_str().unwrap()])).unwrap();
+        assert!(out.contains("W120"), "{out}");
+        let failure = run(&s(&[
+            "lint",
+            program.to_str().unwrap(),
+            "--deny",
+            "warnings",
+        ]))
+        .unwrap_err();
+        assert!(failure.output.contains("W120"), "{}", failure.output);
+
+        let err = run(&s(&["lint", program.to_str().unwrap(), "--deny", "hard"])).unwrap_err();
+        assert!(err.contains("bad --deny value"), "{err}");
+    }
+
+    #[test]
+    fn lint_walks_directories_in_stable_order() {
+        let dir = tempdir("lint-dir");
+        write_garage(&dir);
+        write_broken(&dir);
+        let failure = run(&s(&["lint", dir.to_str().unwrap()])).unwrap_err();
+        let broken = failure.output.find("broken.netlist").unwrap();
+        let garage = failure.output.find("garage.netlist").unwrap();
+        assert!(broken < garage, "sorted by name: {}", failure.output);
+        assert!(
+            failure.output.contains("garage.netlist: clean"),
+            "{}",
+            failure.output
+        );
+
+        let empty = dir.join("no-netlists");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run(&s(&["lint", empty.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("no .netlist files"), "{err}");
+    }
+
+    #[test]
+    fn check_surfaces_lint_findings() {
+        let dir = tempdir("check-lint");
+        let path = write_garage(&dir);
+        let out = run(&s(&["check", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("valid: yes"), "{out}");
+        assert!(!out.contains("lint:"), "clean designs stay quiet: {out}");
+
+        // Valid (every port wired) but suspicious: one sensor fanning
+        // out to nine sinks blows the fan-out budget (W008).
+        let mut netlist = String::from("design fanout\nblock s sensor:light\n");
+        for i in 0..9 {
+            netlist.push_str(&format!("block led{i} output:led\n"));
+        }
+        for i in 0..9 {
+            netlist.push_str(&format!("wire s.0 -> led{i}.0\n"));
+        }
+        let path = dir.join("fanout.netlist");
+        std::fs::write(&path, netlist).unwrap();
+        let out = run(&s(&["check", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("valid: yes"), "{out}");
+        assert!(out.contains("W008"), "{out}");
+        assert!(out.contains("lint: 0 error(s), 1 warning(s)"), "{out}");
+    }
+
+    #[test]
+    fn synth_and_batch_accept_the_lint_gate() {
+        let dir = tempdir("lint-gate");
+        let netlist = write_garage(&dir);
+        // Clean design: --lint changes nothing observable.
+        let out = run(&s(&[
+            "synth",
+            netlist.to_str().unwrap(),
+            "-o",
+            dir.to_str().unwrap(),
+            "--lint",
+            "--deny",
+            "warnings",
+        ]))
+        .unwrap();
+        assert!(out.contains("2 inner blocks -> 1"), "{out}");
+        assert!(!out.contains("lint:"), "{out}");
+
+        let broken = write_broken(&dir);
+        let err = run(&s(&[
+            "synth",
+            broken.to_str().unwrap(),
+            "-o",
+            dir.to_str().unwrap(),
+            "--lint",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("lint rejected the design"), "{err}");
+        assert!(err.contains("E001"), "{err}");
+
+        // batch --lint gates every job the same way.
+        let manifest = dir.join("lint.manifest");
+        std::fs::write(
+            &manifest,
+            format!(
+                "job netlist=\"{}\"\njob netlist=\"{}\"\n",
+                netlist.display(),
+                broken.display()
+            ),
+        )
+        .unwrap();
+        let failure = run(&s(&["batch", manifest.to_str().unwrap(), "--lint"])).unwrap_err();
+        assert!(
+            failure.message.contains("1 of 2 job(s) failed"),
+            "{}",
+            failure.message
+        );
+        assert!(
+            failure.output.contains("lint rejected the design"),
+            "{}",
+            failure.output
+        );
+        // Without the gate both jobs synthesize (the defects are legal,
+        // merely suspicious — `broken` fails validation though, so it
+        // still fails, just not on lint).
+        let no_gate = run(&s(&["batch", manifest.to_str().unwrap()])).unwrap_err();
+        assert!(
+            !no_gate.output.contains("lint rejected"),
+            "{}",
+            no_gate.output
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`chaos`] | `eblocks-chaos` | deterministic chaos harness: seeded fault injection, replayable traces |
 //! | [`api`] | `eblocks-farm` | typed JSON request/response surface: [`BatchRequest`](api::BatchRequest) in, [`BatchResponse`](api::BatchResponse) out |
 //! | [`gen`] | `eblocks-gen` | the random design generator |
+//! | [`lint`] | `eblocks-lint` | static analysis: rule registry, structured [`Diagnostic`](lint::Diagnostic)s over designs and behavior programs |
 //! | [`place`] | `eblocks-place` | deployment onto an existing physical node network (§6 future work) |
 //!
 //! # Quickstart
@@ -99,6 +100,7 @@ pub use eblocks_designs as designs;
 pub use eblocks_farm as farm;
 pub use eblocks_farm::api;
 pub use eblocks_gen as gen;
+pub use eblocks_lint as lint;
 pub use eblocks_partition as partition;
 pub use eblocks_place as place;
 pub use eblocks_sim as sim;

@@ -12,6 +12,7 @@ use eblocks::api::{
     StageMs, StageSummary, SynthOptions,
 };
 use eblocks::farm::JobMode;
+use eblocks::lint::DenyLevel;
 use eblocks::synth::Stage;
 use proptest::prelude::*;
 use proptest::strategy::BoxedStrategy;
@@ -72,15 +73,31 @@ fn value_strategy() -> BoxedStrategy<Value> {
 }
 
 fn options_strategy() -> impl Strategy<Value = SynthOptions> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), 1u8..4, 1u8..4).prop_map(
-        |(mode, verify, optimize, inputs, outputs)| SynthOptions {
-            mode: mode.then_some(JobMode::Partition),
-            verify: verify.then_some(false),
-            optimize: optimize.then_some(true),
-            inputs: (inputs > 1).then_some(inputs),
-            outputs: (outputs > 1).then_some(outputs),
-        },
+    (
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+        (1u8..4, 1u8..4),
+        0u8..3,
+        0u8..3,
     )
+        .prop_map(
+            |((mode, verify, optimize), (inputs, outputs), lint, deny)| SynthOptions {
+                mode: mode.then_some(JobMode::Partition),
+                verify: verify.then_some(false),
+                optimize: optimize.then_some(true),
+                inputs: (inputs > 1).then_some(inputs),
+                outputs: (outputs > 1).then_some(outputs),
+                lint: match lint {
+                    0 => None,
+                    1 => Some(true),
+                    _ => Some(false),
+                },
+                lint_deny: match deny {
+                    0 => None,
+                    1 => Some(DenyLevel::Errors),
+                    _ => Some(DenyLevel::Warnings),
+                },
+            },
+        )
 }
 
 fn source_strategy() -> impl Strategy<Value = DesignSource> {
@@ -157,6 +174,8 @@ fn job_response_strategy() -> impl Strategy<Value = JobResponse> {
                     complete: has_stats.then_some(true),
                     verified: has_stats.then_some(false),
                     c_bytes: has_stats.then_some(c_bytes),
+                    lint_errors: None,
+                    lint_warnings: (has_stats && inner % 3 > 0).then_some(inner % 3),
                     stages_ms: (has_stats && timed).then(|| {
                         vec![StageMs {
                             stage: Stage::Partition,
@@ -181,6 +200,7 @@ fn response_strategy() -> impl Strategy<Value = BatchResponse> {
                 .filter(|r| r.status == JobOutcome::Ok)
                 .count();
             let retries: u32 = results.iter().filter_map(|r| r.retries).sum();
+            let lint_warnings: usize = results.iter().filter_map(|r| r.lint_warnings).sum();
             BatchResponse {
                 batch: BatchSummary {
                     jobs: results.len(),
@@ -191,6 +211,8 @@ fn response_strategy() -> impl Strategy<Value = BatchResponse> {
                     inner_after: results.iter().filter_map(|r| r.inner_after).sum(),
                     partitions: results.iter().filter_map(|r| r.partitions).sum(),
                     c_bytes: results.iter().filter_map(|r| r.c_bytes).sum(),
+                    lint_errors: None,
+                    lint_warnings: (lint_warnings > 0).then_some(lint_warnings),
                     workers: timed.then_some(workers),
                     elapsed_ms: timed.then_some(ms),
                     stages: timed.then(|| {
