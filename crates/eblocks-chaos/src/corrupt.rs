@@ -68,9 +68,27 @@ pub fn corrupt(seed: u64, bytes: &[u8]) -> Vec<u8> {
     out
 }
 
+/// One seeded variant of `bytes` per seed in `seeds`, paired with the
+/// seed that produced it — the "spool storm" shape: feed every variant
+/// to a parser (or a running daemon's inbox) and name the seed in any
+/// assertion that fails, so the offending input replays exactly.
+pub fn storm(seeds: std::ops::Range<u64>, bytes: &[u8]) -> Vec<(u64, Vec<u8>)> {
+    seeds.map(|seed| (seed, corrupt(seed, bytes))).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn storm_pairs_each_seed_with_its_variant() {
+        let input = br#"{"jobs": []}"#;
+        let variants = storm(0..32, input);
+        assert_eq!(variants.len(), 32);
+        for (seed, bytes) in &variants {
+            assert_eq!(*bytes, corrupt(*seed, input), "seed {seed}");
+        }
+    }
 
     #[test]
     fn corruption_is_deterministic_per_seed() {

@@ -577,6 +577,218 @@ pub fn synthesize_with(
     })
 }
 
+// --------------------------------------------------------------- serve
+// The service-mode envelope: what a long-running daemon (`eblocks-serve`)
+// speaks over its line-delimited socket protocol, wrapping the request
+// and response types above. Spool-directory traffic uses the bare
+// payloads (a `BatchRequest` file in, a `BatchResponse` file out); the
+// envelope exists so one socket connection can multiplex requests by id
+// and interleave streamed progress with final replies.
+
+/// One line of the socket protocol, client → server: an optional request
+/// id (echoed on every reply; the server assigns `r0`, `r1`, … when
+/// absent) plus the request itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Client-chosen correlation id, echoed on every reply to this
+    /// request.
+    pub id: Option<String>,
+    /// The request.
+    pub request: ServeRequest,
+}
+
+/// Everything a service-mode front end accepts. Externally tagged:
+/// payload requests arrive as `{"batch": {...}}` / `{"synth": {...}}`,
+/// control requests as the bare strings `"stats"` / `"shutdown"`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServeRequest {
+    /// Run a whole batch ([`BatchRequest`]) and reply with a
+    /// [`BatchResponse`].
+    #[serde(rename = "batch")]
+    Batch(BatchRequest),
+    /// Run one design through the full pipeline ([`SynthRequest`]) and
+    /// reply with a [`SynthResponse`].
+    #[serde(rename = "synth")]
+    Synth(SynthRequest),
+    /// Report the daemon's [`ServeStats`]; answered immediately, never
+    /// queued.
+    #[serde(rename = "stats")]
+    Stats,
+    /// Begin a graceful drain: stop admitting, finish everything already
+    /// accepted, flush the outbox, exit 0.
+    #[serde(rename = "shutdown")]
+    Shutdown,
+}
+
+/// One line of the socket protocol, server → client: the request's id
+/// plus one reply. A queued request produces an `admission` reply
+/// immediately, zero or more `progress` replies while it runs, and
+/// exactly one final `batch`/`synth`/`error` reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplyEnvelope {
+    /// The id of the request this reply answers (`None` only for errors
+    /// that could not be matched to a request, e.g. unparseable lines).
+    pub id: Option<String>,
+    /// The reply.
+    pub reply: ServeReply,
+}
+
+/// Everything the service-mode daemon sends back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServeReply {
+    /// The admission verdict for a payload request, sent before any work
+    /// happens.
+    #[serde(rename = "admission")]
+    Admission(AdmissionReply),
+    /// A streamed per-job progress event for an accepted batch.
+    #[serde(rename = "progress")]
+    Progress(ProgressEvent),
+    /// The final reply to an accepted `batch` request.
+    #[serde(rename = "batch")]
+    Batch(BatchResponse),
+    /// The final reply to an accepted `synth` request.
+    #[serde(rename = "synth")]
+    Synth(SynthResponse),
+    /// The reply to a `stats` request.
+    #[serde(rename = "stats")]
+    Stats(ServeStats),
+    /// A request that failed outside the farm (unparseable line, synth
+    /// error, rejected at admission after acceptance was impossible).
+    #[serde(rename = "error")]
+    Error(String),
+    /// Acknowledges a `shutdown` request; the daemon drains and exits.
+    #[serde(rename = "shutdown")]
+    Shutdown,
+}
+
+/// The admission verdict for a payload request: `"accepted"`,
+/// `"queue-full"`, or `"lint-rejected"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Admission {
+    /// The request is in the work queue; a final reply will follow.
+    #[serde(rename = "accepted")]
+    Accepted,
+    /// The bounded work queue is full; retry later. No work was done.
+    #[serde(rename = "queue-full")]
+    QueueFull,
+    /// The admission lint gate rejected a design before any synthesis
+    /// ran; `detail` names the offending job.
+    #[serde(rename = "lint-rejected")]
+    LintRejected,
+}
+
+/// The admission reply for a payload request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionReply {
+    /// The verdict.
+    pub status: Admission,
+    /// Human-readable context for rejections (which job, which lint
+    /// findings); omitted on acceptance.
+    pub detail: Option<String>,
+}
+
+/// Which edge of a job's execution a [`ProgressEvent`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProgressKind {
+    /// A worker claimed the job and is about to run it.
+    #[serde(rename = "started")]
+    Started,
+    /// The job finished; `status`/`error` say how.
+    #[serde(rename = "finished")]
+    Finished,
+}
+
+/// One streamed per-job progress event, mirrored from the farm's
+/// `BatchProgress` callbacks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgressEvent {
+    /// The job's index in submission order.
+    pub job: usize,
+    /// The job's display name.
+    pub name: String,
+    /// Started or finished.
+    pub event: ProgressKind,
+    /// How the job ended; only on `finished` events.
+    pub status: Option<JobOutcome>,
+    /// The error message for failed/panicked/timed-out jobs.
+    pub error: Option<String>,
+}
+
+impl ProgressEvent {
+    /// The `started` event for `job` at `index`.
+    pub fn started(index: usize, job: &Job) -> Self {
+        Self {
+            job: index,
+            name: job.name.clone(),
+            event: ProgressKind::Started,
+            status: None,
+            error: None,
+        }
+    }
+
+    /// The `finished` event for `report` at `index`.
+    pub fn finished(index: usize, report: &JobReport) -> Self {
+        let (status, error) = match &report.status {
+            JobStatus::Ok => (JobOutcome::Ok, None),
+            JobStatus::Failed(e) => (JobOutcome::Failed, Some(e.clone())),
+            JobStatus::Panicked(e) => (JobOutcome::Panicked, Some(e.clone())),
+            JobStatus::TimedOut(e) => (JobOutcome::TimedOut, Some(e.clone())),
+        };
+        Self {
+            job: index,
+            name: report.name.clone(),
+            event: ProgressKind::Finished,
+            status: Some(status),
+            error,
+        }
+    }
+}
+
+/// A snapshot of the daemon's counters, answered for `stats` requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Requests waiting in the bounded work queue.
+    pub queue_depth: usize,
+    /// Requests a worker is executing right now.
+    pub in_flight: usize,
+    /// Payload requests admitted to the queue since startup.
+    pub accepted: u64,
+    /// Payload requests turned away (queue full, lint rejection,
+    /// malformed spool files) since startup.
+    pub rejected: u64,
+    /// Accepted requests fully answered since startup.
+    pub completed: u64,
+    /// Per-stage wall-clock aggregates over every job the daemon has
+    /// completed (wall-clock, so not deterministic).
+    pub stages: Vec<StageSummary>,
+}
+
+impl ServeStats {
+    /// The [`StageSummary`] rows for `timings` (merged over completed
+    /// jobs), in first-report order.
+    pub fn summarize_stages(timings: &StageTimings) -> Vec<StageSummary> {
+        timings
+            .summarize()
+            .into_iter()
+            .map(|stat| StageSummary {
+                stage: stat.stage,
+                runs: stat.runs,
+                total_ms: ms(stat.total),
+                max_ms: ms(stat.max),
+            })
+            .collect()
+    }
+}
+
+/// The structured error file the spool front end writes next to a
+/// rejected input (and the outbox payload for requests that failed
+/// outside the farm): `{"error": "..."}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// What went wrong, human-readable.
+    pub error: String,
+}
+
 /// Milliseconds rounded to 3 decimals (the precision the old hand-rolled
 /// emitter printed).
 fn ms(d: std::time::Duration) -> f64 {
@@ -757,6 +969,119 @@ mod tests {
         request.options.verify = Some(false);
         let response = synthesize(&request).unwrap();
         assert_eq!(response.verified_samples, None);
+    }
+
+    #[test]
+    fn serve_envelopes_round_trip() {
+        // Control requests are bare strings, payload requests tagged
+        // objects — both through the same externally-tagged enum.
+        let stats: RequestEnvelope =
+            serde::json::from_str(r#"{"id": "r1", "request": "stats"}"#).unwrap();
+        assert_eq!(stats.request, ServeRequest::Stats);
+        let text = serde::json::to_string(&stats);
+        assert_eq!(text, r#"{"id":"r1","request":"stats"}"#);
+
+        let batch: RequestEnvelope = serde::json::from_str(
+            r#"{"request": {"batch": {"default_partitioner": null, "jobs": [
+                {"source": {"library": "Ignition Illuminator"}}
+            ]}}}"#,
+        )
+        .unwrap();
+        assert_eq!(batch.id, None);
+        let ServeRequest::Batch(request) = &batch.request else {
+            panic!("{:?}", batch.request);
+        };
+        assert_eq!(request.jobs.len(), 1);
+        let text = serde::json::to_string(&batch);
+        let back: RequestEnvelope = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, batch);
+
+        // Replies round-trip the same way, including the nested
+        // BatchResponse payload.
+        let report = run_batch(&request.to_batch(), &FarmConfig::with_workers(1));
+        let reply = ReplyEnvelope {
+            id: Some("r1".into()),
+            reply: ServeReply::Batch(BatchResponse::from_report(&report, &JsonOptions::default())),
+        };
+        let text = serde::json::to_string(&reply);
+        let back: ReplyEnvelope = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, reply);
+        assert_eq!(serde::json::to_string(&back), text);
+
+        for reply in [
+            ServeReply::Admission(AdmissionReply {
+                status: Admission::QueueFull,
+                detail: Some("queue at capacity 4".into()),
+            }),
+            ServeReply::Error("boom".into()),
+            ServeReply::Shutdown,
+            ServeReply::Stats(ServeStats {
+                queue_depth: 1,
+                in_flight: 2,
+                accepted: 3,
+                rejected: 4,
+                completed: 5,
+                stages: Vec::new(),
+            }),
+        ] {
+            let envelope = ReplyEnvelope { id: None, reply };
+            let text = serde::json::to_string(&envelope);
+            let back: ReplyEnvelope = serde::json::from_str(&text).unwrap();
+            assert_eq!(back, envelope);
+        }
+    }
+
+    #[test]
+    fn serve_envelopes_reject_unknown_keys_and_variants() {
+        let err = serde::json::from_str::<RequestEnvelope>(
+            r#"{"id": "r1", "request": "stats", "priority": 9}"#,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unknown field `priority`"),
+            "{err}"
+        );
+
+        let err = serde::json::from_str::<RequestEnvelope>(r#"{"request": "reboot"}"#).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("unknown variant `reboot`"), "{text}");
+        assert!(text.contains("batch, synth, stats, shutdown"), "{text}");
+
+        // A payload variant written as a bare string gets a pointed
+        // error, not "unknown variant".
+        let err = serde::json::from_str::<RequestEnvelope>(r#"{"request": "batch"}"#).unwrap_err();
+        assert!(err.to_string().contains("takes a payload"), "{err}");
+
+        let err = serde::json::from_str::<ReplyEnvelope>(
+            r#"{"id": null, "reply": {"admission": {"status": "accepted", "rank": 1}}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown field `rank`"), "{err}");
+    }
+
+    #[test]
+    fn progress_events_mirror_job_reports() {
+        let job = Job::library("Ignition Illuminator");
+        let event = ProgressEvent::started(3, &job);
+        assert_eq!(event.event, ProgressKind::Started);
+        assert_eq!(event.name, "Ignition Illuminator");
+        assert_eq!(event.status, None);
+
+        let report = JobReport {
+            name: job.name.clone(),
+            partitioner: "pare-down".into(),
+            status: JobStatus::TimedOut("too slow".into()),
+            elapsed: std::time::Duration::ZERO,
+            retries: 2,
+            stats: None,
+        };
+        let event = ProgressEvent::finished(3, &report);
+        assert_eq!(event.status, Some(JobOutcome::TimedOut));
+        assert_eq!(event.error.as_deref(), Some("too slow"));
+        let text = serde::json::to_string(&event);
+        assert!(text.contains(r#""event":"finished""#), "{text}");
+        let back: ProgressEvent = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, event);
     }
 
     #[test]

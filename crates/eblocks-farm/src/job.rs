@@ -151,8 +151,16 @@ impl Job {
         self
     }
 
-    /// Loads the job's design.
-    pub(crate) fn load_design(&self) -> Result<Design, String> {
+    /// Loads the job's design from its source (read + parse a netlist
+    /// file, look up a library design, or run the seeded generator).
+    /// Public so front ends like the service mode's admission lint gate
+    /// can inspect a design before committing the farm to running it.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message: unreadable or invalid netlist file,
+    /// unknown library design.
+    pub fn load_design(&self) -> Result<Design, String> {
         match &self.source {
             JobSource::Netlist(path) => {
                 let text = std::fs::read_to_string(path)

@@ -119,6 +119,16 @@ pub struct FarmConfig {
     /// (no injection); the chaos harness installs its seeded injector
     /// here.
     pub faults: Option<Arc<dyn FaultInjector>>,
+    /// Cooperative drain flag — the hook a service mode uses to cut a
+    /// running batch short. When the flag is set, workers stop claiming
+    /// new jobs; jobs already claimed run to completion, and every
+    /// never-claimed job is reported as
+    /// [`JobStatus::Failed`]`("cancelled: batch drain requested")`. The
+    /// report still has one row per job in submission order. Default
+    /// `None` (batches always run to completion). Note that a
+    /// mid-batch drain makes the report depend on scheduling, so it
+    /// forfeits the byte-identical-across-worker-counts guarantee.
+    pub stop: Option<Arc<std::sync::atomic::AtomicBool>>,
     /// Strategy registry jobs resolve their partitioner names against.
     /// Defaults to [`Registry::builtin`]; register custom strategies (a
     /// time-limited exhaustive, a test double) before running.
@@ -134,6 +144,7 @@ impl Default for FarmConfig {
             job_timeout: None,
             lint: None,
             faults: None,
+            stop: None,
             registry: Registry::builtin(),
         }
     }
@@ -175,6 +186,12 @@ impl FarmConfig {
     /// (see [`FarmConfig::lint`]).
     pub fn lint(mut self, config: LintConfig) -> Self {
         self.lint = Some(config);
+        self
+    }
+
+    /// Installs a cooperative drain flag (see [`FarmConfig::stop`]).
+    pub fn stop_on(mut self, flag: Arc<std::sync::atomic::AtomicBool>) -> Self {
+        self.stop = Some(flag);
         self
     }
 
@@ -248,6 +265,15 @@ pub fn run_batch_with_progress(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // The drain hook: a set flag stops workers from claiming
+                // further jobs; claimed jobs always run to completion.
+                if config
+                    .stop
+                    .as_ref()
+                    .is_some_and(|flag| flag.load(Ordering::Relaxed))
+                {
+                    break;
+                }
                 let slot = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&index) = order.get(slot) else {
                     break;
@@ -267,11 +293,28 @@ pub fn run_batch_with_progress(
         }
     });
 
+    // Without a drain every slot is filled (claimed jobs always report);
+    // under a drain the never-claimed jobs get a cancellation row so the
+    // report still has one row per job in submission order.
     let jobs = slots
         .into_inner()
         .expect("farm result lock")
         .into_iter()
-        .map(|slot| slot.expect("every claimed job reports"))
+        .enumerate()
+        .map(|(index, slot)| {
+            slot.unwrap_or_else(|| {
+                debug_assert!(config.stop.is_some(), "every claimed job reports");
+                let job = &batch.jobs[index];
+                JobReport {
+                    name: job.name.clone(),
+                    partitioner: partitioner_name(job, batch, config).to_string(),
+                    status: JobStatus::Failed("cancelled: batch drain requested".to_string()),
+                    elapsed: Duration::ZERO,
+                    retries: 0,
+                    stats: None,
+                }
+            })
+        })
         .collect();
     BatchReport {
         jobs,
@@ -689,6 +732,42 @@ mod tests {
             report.to_json(&JsonOptions::default()),
             baseline.to_json(&JsonOptions::default())
         );
+    }
+
+    #[test]
+    fn drain_flag_cancels_unclaimed_jobs() {
+        use std::sync::atomic::AtomicBool;
+
+        // A pre-set flag drains before any job is claimed: every row is
+        // a cancellation, in submission order, with its resolved
+        // strategy name.
+        let flag = Arc::new(AtomicBool::new(true));
+        let report = run_batch(&library_batch(), &FarmConfig::with_workers(2).stop_on(flag));
+        assert_eq!(report.jobs.len(), 3);
+        assert_eq!(report.succeeded(), 0);
+        for job in &report.jobs {
+            let JobStatus::Failed(message) = &job.status else {
+                panic!("{:?}", job.status);
+            };
+            assert_eq!(message, "cancelled: batch drain requested");
+        }
+        assert_eq!(report.jobs[1].partitioner, "refine");
+
+        // A flag set from a progress hook after the first job finishes
+        // (one worker, so scheduling is sequential) lets that job keep
+        // its real report and cancels the rest deterministically.
+        struct StopAfterFirst(Arc<AtomicBool>);
+        impl BatchProgress for StopAfterFirst {
+            fn job_finished(&self, _: usize, _: &JobReport) {
+                self.0.store(true, Ordering::Relaxed);
+            }
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        let config = FarmConfig::with_workers(1).stop_on(flag.clone());
+        let report = run_batch_with_progress(&library_batch(), &config, &StopAfterFirst(flag));
+        assert!(report.jobs[0].status.is_ok(), "{:?}", report.jobs[0].status);
+        assert_eq!(report.succeeded(), 1);
+        assert_eq!(report.failed(), 2);
     }
 
     #[test]

@@ -1,0 +1,490 @@
+//! The daemon itself: shared state, worker pool, admission control,
+//! lifecycle.
+
+use crate::config::ServeConfig;
+use crate::queue::WorkQueue;
+use crate::{signal, spool};
+use eblocks_farm::api::{self, BatchRequest, JobSpec, ServeStats, SynthRequest, SynthResponse};
+use eblocks_farm::{run_batch, run_batch_with_progress, BatchReport, FarmConfig, JsonOptions};
+use eblocks_lint::lint_design;
+use eblocks_synth::{StageReport, StageTimings};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A payload request admitted to the work queue.
+pub(crate) enum Payload {
+    /// A whole batch; answered with a `BatchResponse`.
+    Batch(BatchRequest),
+    /// One design through the full pipeline; answered with a
+    /// `SynthResponse`.
+    Synth(SynthRequest),
+}
+
+/// Where a request's replies go.
+pub(crate) enum Sink {
+    /// Answer into `<spool>/outbox/<name>`; `claimed` is the in-flight
+    /// copy of the input, deleted once the response is in place.
+    Spool { name: String, claimed: PathBuf },
+    /// Answer as `ReplyEnvelope` lines on a socket connection, with
+    /// streamed per-job progress.
+    #[cfg(unix)]
+    Socket {
+        id: String,
+        writer: Arc<Mutex<std::os::unix::net::UnixStream>>,
+    },
+}
+
+/// One queued unit of work.
+pub(crate) struct Work {
+    pub(crate) payload: Payload,
+    pub(crate) sink: Sink,
+}
+
+/// How a payload run ended, before delivery.
+enum RunOutcome {
+    Batch(BatchReport),
+    Synth(Result<SynthResponse, String>),
+}
+
+/// State shared by the spool pump, the socket threads, and the workers.
+pub(crate) struct ServerState {
+    pub(crate) config: ServeConfig,
+    pub(crate) queue: WorkQueue<Work>,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    in_flight: AtomicUsize,
+    draining: AtomicBool,
+    /// The farm-level drain hook: set on a hardened drain, it makes
+    /// running batches stop claiming new jobs.
+    hard_stop: Arc<AtomicBool>,
+    /// Per-stage aggregates merged from every completed job.
+    timings: Mutex<StageTimings>,
+    /// Monotonic sequence for claimed-file and temp-file names, so
+    /// duplicate inbox filenames never collide in flight.
+    sequence: AtomicU64,
+}
+
+impl ServerState {
+    fn new(config: ServeConfig) -> Self {
+        let capacity = config.queue_capacity;
+        Self {
+            config,
+            queue: WorkQueue::new(capacity),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            hard_stop: Arc::new(AtomicBool::new(false)),
+            timings: Mutex::new(StageTimings::new()),
+            sequence: AtomicU64::new(0),
+        }
+    }
+
+    /// The farm config every request runs under.
+    fn farm_config(&self) -> FarmConfig {
+        FarmConfig {
+            workers: self.config.farm_workers,
+            max_retries: self.config.max_retries,
+            job_timeout: self.config.job_timeout,
+            stop: Some(Arc::clone(&self.hard_stop)),
+            ..FarmConfig::default()
+        }
+    }
+
+    /// Starts the graceful drain: no further admissions; queued and
+    /// in-flight work still completes. Idempotent.
+    pub(crate) fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// Hardens a drain: running batches stop claiming new jobs and
+    /// report the rest as cancelled.
+    pub(crate) fn harden_drain(&self) {
+        self.hard_stop.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn count_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The next claim/temp-file sequence number.
+    pub(crate) fn next_sequence(&self) -> u64 {
+        self.sequence.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The current counter snapshot.
+    pub(crate) fn stats(&self) -> ServeStats {
+        ServeStats {
+            queue_depth: self.queue.depth(),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            stages: ServeStats::summarize_stages(&self.timings.lock().expect("timings lock")),
+        }
+    }
+
+    /// The admission lint gate: with [`ServeConfig::admission_lint`]
+    /// set, lints every loadable design in `payload` and returns the
+    /// rejection detail for the first design the configured deny level
+    /// rejects. Designs that fail to *load* pass — the farm reports
+    /// those deterministically, keeping responses identical to the
+    /// one-shot paths.
+    pub(crate) fn lint_reject_detail(&self, payload: &Payload) -> Option<String> {
+        let config = self.config.admission_lint?;
+        let specs: Vec<JobSpec> = match payload {
+            Payload::Batch(request) => request.jobs.clone(),
+            Payload::Synth(request) => vec![JobSpec {
+                name: None,
+                source: request.source.clone(),
+                partitioner: request.partitioner.clone(),
+                options: request.options,
+            }],
+        };
+        for spec in specs {
+            let job = spec.to_job();
+            let Ok(design) = job.load_design() else {
+                continue;
+            };
+            let report = lint_design(&design, &config);
+            if report.rejects(config.deny) {
+                return Some(format!("job `{}`: {}", job.name, report.outcome()));
+            }
+        }
+        None
+    }
+
+    /// Merges a finished batch's stage timings into the daemon-wide
+    /// aggregates.
+    fn absorb_report(&self, report: &BatchReport) {
+        let merged = report.stage_timings();
+        self.timings.lock().expect("timings lock").merge(&merged);
+    }
+
+    /// Merges a synth response's stage rows (already rounded to
+    /// milliseconds) into the daemon-wide aggregates.
+    fn absorb_synth(&self, response: &SynthResponse) {
+        let mut timings = self.timings.lock().expect("timings lock");
+        for row in &response.stages_ms {
+            timings.reports.push(StageReport {
+                stage: row.stage,
+                elapsed: Duration::from_secs_f64(row.ms / 1e3),
+                detail: row.detail.clone(),
+            });
+        }
+    }
+}
+
+/// What one daemon lifetime did, returned by
+/// [`ServerHandle::join`]/[`serve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Payload requests admitted to the queue.
+    pub accepted: u64,
+    /// Payload requests turned away (queue full, lint rejection,
+    /// malformed spool files).
+    pub rejected: u64,
+    /// Accepted requests fully answered.
+    pub completed: u64,
+}
+
+/// A running daemon (see [`spawn`]).
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    threads: Vec<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful drain, as if a `"shutdown"` request arrived:
+    /// admission stops, queued and in-flight work completes, the outbox
+    /// flushes, and [`join`](Self::join) returns.
+    pub fn shutdown(&self) {
+        self.state.begin_drain();
+    }
+
+    /// Hardens a drain: running batches stop claiming new jobs and
+    /// report never-claimed jobs as cancelled. Call after
+    /// [`shutdown`](Self::shutdown) when finishing the backlog would
+    /// take too long.
+    pub fn shutdown_now(&self) {
+        self.state.begin_drain();
+        self.state.harden_drain();
+    }
+
+    /// The daemon's current [`ServeStats`] (what a `"stats"` request
+    /// answers).
+    pub fn stats(&self) -> ServeStats {
+        self.state.stats()
+    }
+
+    /// Blocks until the daemon drains (a `"shutdown"` request, a
+    /// signal under [`ServeConfig::handle_signals`], or
+    /// [`shutdown`](Self::shutdown)), then returns the final counters.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the daemon thread that panicked, if one did.
+    pub fn join(self) -> Result<ServeSummary, String> {
+        let mut panicked = 0usize;
+        for thread in self.threads {
+            panicked += usize::from(thread.join().is_err());
+        }
+        // The listener is joined above, so no new connections appear
+        // while we drain this list.
+        let connections = std::mem::take(&mut *self.connections.lock().expect("connection list"));
+        for thread in connections {
+            panicked += usize::from(thread.join().is_err());
+        }
+        if panicked > 0 {
+            return Err(format!("{panicked} daemon thread(s) panicked"));
+        }
+        Ok(ServeSummary {
+            accepted: self.state.accepted.load(Ordering::Relaxed),
+            rejected: self.state.rejected.load(Ordering::Relaxed),
+            completed: self.state.completed.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Starts a daemon for `config` and returns its handle. Spool
+/// directories are created if missing; config edge cases (0 workers, 0
+/// queue capacity) are clamped, mirroring the farm's `with_workers(0)`.
+///
+/// # Errors
+///
+/// A human-readable message: spool directories that cannot be created,
+/// or a socket path that cannot be bound.
+pub fn spawn(config: ServeConfig) -> Result<ServerHandle, String> {
+    let config = config.clamped();
+    for dir in [
+        config.inbox(),
+        config.outbox(),
+        config.rejected(),
+        config.claimed(),
+    ] {
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create spool directory {}: {e}", dir.display()))?;
+    }
+    if config.handle_signals {
+        signal::install();
+    }
+
+    let state = Arc::new(ServerState::new(config));
+    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut threads = Vec::new();
+
+    for _ in 0..state.config.workers {
+        let state = Arc::clone(&state);
+        threads.push(std::thread::spawn(move || worker_loop(&state)));
+    }
+
+    if let Some(path) = state.config.socket.clone() {
+        #[cfg(unix)]
+        {
+            // A stale socket file from a previous run would make bind
+            // fail with AddrInUse; replace it.
+            if path.exists() {
+                std::fs::remove_file(&path)
+                    .map_err(|e| format!("cannot remove stale socket {}: {e}", path.display()))?;
+            }
+            let listener = std::os::unix::net::UnixListener::bind(&path)
+                .map_err(|e| format!("cannot bind socket {}: {e}", path.display()))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| format!("cannot configure socket {}: {e}", path.display()))?;
+            let state = Arc::clone(&state);
+            let connections = Arc::clone(&connections);
+            threads.push(std::thread::spawn(move || {
+                crate::socket::listen(&state, listener, &connections, &path)
+            }));
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(format!(
+                "socket front end requires a Unix platform ({})",
+                path.display()
+            ));
+        }
+    }
+
+    {
+        let state = Arc::clone(&state);
+        threads.push(std::thread::spawn(move || pump_loop(&state)));
+    }
+
+    Ok(ServerHandle {
+        state,
+        threads,
+        connections,
+    })
+}
+
+/// [`spawn`] + [`ServerHandle::join`]: runs the daemon until something
+/// requests its shutdown, then returns the final counters. What
+/// `eblocks-cli serve` calls.
+///
+/// # Errors
+///
+/// See [`spawn`] and [`ServerHandle::join`].
+pub fn serve(config: ServeConfig) -> Result<ServeSummary, String> {
+    spawn(config)?.join()
+}
+
+/// The supervisor loop: scans the spool inbox and watches for signals
+/// until the drain begins.
+fn pump_loop(state: &Arc<ServerState>) {
+    loop {
+        if state.config.handle_signals {
+            let signals = signal::count();
+            if signals >= 2 {
+                state.harden_drain();
+            }
+            if signals >= 1 {
+                state.begin_drain();
+            }
+        }
+        if state.draining() {
+            return;
+        }
+        spool::scan_once(state);
+        if state.draining() {
+            return;
+        }
+        std::thread::sleep(state.config.poll_interval);
+    }
+}
+
+/// One daemon worker: pops queued requests and answers them until the
+/// queue closes and drains.
+fn worker_loop(state: &Arc<ServerState>) {
+    while let Some(work) = state.queue.pop() {
+        state.in_flight.fetch_add(1, Ordering::Relaxed);
+        execute(state, work);
+        state.in_flight.fetch_sub(1, Ordering::Relaxed);
+        state.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs one request and delivers its final reply. The run itself sits
+/// inside `catch_unwind` — the farm already isolates job panics, but the
+/// daemon additionally guarantees that *nothing* a request does can take
+/// a worker down silently: a panic becomes an error reply and the input
+/// is still accounted for.
+fn execute(state: &Arc<ServerState>, work: Work) {
+    let Work { payload, sink } = work;
+    match sink {
+        Sink::Spool { name, claimed } => {
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_payload(state, payload, None)));
+            match outcome {
+                Ok(RunOutcome::Batch(report)) => {
+                    spool::write_response(
+                        state,
+                        &name,
+                        &format!("{}\n", report.to_json(&JsonOptions::default())),
+                    );
+                }
+                Ok(RunOutcome::Synth(Ok(response))) => {
+                    spool::write_response(
+                        state,
+                        &name,
+                        &format!("{}\n", serde::json::to_string_pretty(&response)),
+                    );
+                }
+                Ok(RunOutcome::Synth(Err(error))) => {
+                    spool::write_error_response(state, &name, &error);
+                }
+                Err(payload) => {
+                    spool::write_error_response(
+                        state,
+                        &name,
+                        &format!("internal panic: {}", panic_message(&payload)),
+                    );
+                }
+            }
+            let _ = std::fs::remove_file(&claimed);
+        }
+        #[cfg(unix)]
+        Sink::Socket { id, writer } => {
+            use eblocks_farm::api::{BatchResponse, ReplyEnvelope, ServeReply};
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                run_payload(state, payload, Some((id.as_str(), &writer)))
+            }));
+            let reply = match outcome {
+                Ok(RunOutcome::Batch(report)) => {
+                    ServeReply::Batch(BatchResponse::from_report(&report, &JsonOptions::default()))
+                }
+                Ok(RunOutcome::Synth(Ok(response))) => ServeReply::Synth(response),
+                Ok(RunOutcome::Synth(Err(error))) => ServeReply::Error(error),
+                Err(payload) => {
+                    ServeReply::Error(format!("internal panic: {}", panic_message(&payload)))
+                }
+            };
+            crate::socket::send(
+                &writer,
+                &ReplyEnvelope {
+                    id: Some(id),
+                    reply,
+                },
+            );
+        }
+    }
+}
+
+/// Runs the payload through the farm (batches, with streamed progress
+/// when a socket is attached) or the one-shot request API (synth).
+fn run_payload(
+    state: &Arc<ServerState>,
+    payload: Payload,
+    stream: Option<(&str, &Arc<Mutex<std::os::unix::net::UnixStream>>)>,
+) -> RunOutcome {
+    match payload {
+        Payload::Batch(request) => {
+            let batch = request.to_batch();
+            let config = state.farm_config();
+            let report = match stream {
+                #[cfg(unix)]
+                Some((id, writer)) => {
+                    let streamer = crate::socket::ProgressStreamer::new(id, writer);
+                    run_batch_with_progress(&batch, &config, &streamer)
+                }
+                _ => run_batch(&batch, &config),
+            };
+            state.absorb_report(&report);
+            RunOutcome::Batch(report)
+        }
+        Payload::Synth(request) => {
+            let result = api::synthesize(&request);
+            if let Ok(response) = &result {
+                state.absorb_synth(response);
+            }
+            RunOutcome::Synth(result)
+        }
+    }
+}
+
+/// A panic payload's message, for error replies.
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,55 @@
+//! SIGTERM/SIGINT handling for the daemon: a process-global signal
+//! counter the supervisor loop polls. One signal requests a graceful
+//! drain, two or more harden it.
+//!
+//! The handler body only bumps an atomic (async-signal-safe); all real
+//! work happens on the polling thread.
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+    static SIGNALS: AtomicU32 = AtomicU32::new(0);
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        // `signal(2)` from libc (already linked by std). Handler and
+        // return value travel as addresses.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Guards against double installation (idempotent across servers in
+    /// one process).
+    static INSTALLED: AtomicUsize = AtomicUsize::new(0);
+
+    pub fn install() {
+        if INSTALLED.swap(1, Ordering::SeqCst) == 0 {
+            unsafe {
+                signal(SIGTERM, on_signal as *const () as usize);
+                signal(SIGINT, on_signal as *const () as usize);
+            }
+        }
+    }
+
+    pub fn count() -> u32 {
+        SIGNALS.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+
+    pub fn count() -> u32 {
+        0
+    }
+}
+
+pub(crate) use imp::{count, install};

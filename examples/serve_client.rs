@@ -1,0 +1,116 @@
+//! Service mode from both sides: spawn the daemon in-process, then talk
+//! to it the way real producers do — drop a request file into the spool
+//! inbox, and drive the line-delimited socket protocol watching the
+//! admission verdict and per-job progress stream in.
+//!
+//! Run with: `cargo run --release --example serve_client`
+
+use eblocks::serve::ServeConfig;
+use std::path::Path;
+use std::time::Duration;
+
+const REQUEST: &str = r#"{"jobs": [{"source": {"library": "Carpool Alert"}}, {"name": "g12", "source": {"generated": {"inner": 12, "seed": 5}}, "options": {"mode": "partition"}}]}"#;
+
+/// The producer side of the spool protocol: write the bytes somewhere
+/// else first, then rename into the inbox. The rename is atomic, so the
+/// daemon's scanner never sees a half-written request.
+fn spool(dir: &Path, name: &str, bytes: &str) -> std::io::Result<()> {
+    let staging = dir.join(format!(".staging-{name}"));
+    std::fs::write(&staging, bytes)?;
+    std::fs::rename(&staging, dir.join("inbox").join(name))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spool_dir = std::env::temp_dir().join(format!("eblocks-serve-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool_dir);
+    let socket = spool_dir.join("daemon.sock");
+
+    // The daemon: 2 queue workers, a 16-slot admission queue, spool and
+    // socket front doors. `spawn` creates the whole spool tree.
+    let handle = eblocks::serve::spawn(
+        ServeConfig::new(&spool_dir)
+            .socket(&socket)
+            .workers(2)
+            .queue_capacity(16)
+            .poll_interval(Duration::from_millis(5)),
+    )?;
+    println!("daemon up, spool at {}", spool_dir.display());
+
+    // Front door 1: the spool. One file in the inbox, one response file
+    // in the outbox under the same name.
+    spool(&spool_dir, "demo.json", REQUEST)?;
+    let response = spool_dir.join("outbox/demo.json");
+    while !response.exists() {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let report = std::fs::read_to_string(&response)?;
+    println!("\nspool response ({} bytes):", report.len());
+    let summary = serde::json::parse(&report)?;
+    println!(
+        "  batch summary: {}",
+        serde::json::to_string(summary.get("batch").unwrap())
+    );
+
+    // Front door 2: the socket — same request, but with the admission
+    // verdict and per-job progress streaming back as they happen.
+    #[cfg(unix)]
+    {
+        use eblocks::api::{ReplyEnvelope, ServeReply};
+        use std::io::{BufRead, BufReader, Write};
+        use std::os::unix::net::UnixStream;
+
+        let mut stream = UnixStream::connect(&socket)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        stream.write_all(
+            format!("{{\"id\": \"demo\", \"request\": {{\"batch\": {REQUEST}}}}}\n").as_bytes(),
+        )?;
+
+        println!("\nsocket replies for id \"demo\":");
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            let envelope: ReplyEnvelope = serde::json::from_str(&line)?;
+            match envelope.reply {
+                ServeReply::Admission(verdict) => println!("  admission: {:?}", verdict.status),
+                ServeReply::Progress(event) => {
+                    println!(
+                        "  progress: job {} ({}) {:?}",
+                        event.job, event.name, event.event
+                    )
+                }
+                ServeReply::Batch(response) => {
+                    println!(
+                        "  final: {} jobs, {} succeeded",
+                        response.batch.jobs, response.batch.succeeded
+                    );
+                    break;
+                }
+                other => println!("  {other:?}"),
+            }
+        }
+
+        // `"stats"` needs no envelope; the daemon assigns an id.
+        stream.write_all(b"\"stats\"\n")?;
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let envelope: ReplyEnvelope = serde::json::from_str(&line)?;
+        if let ServeReply::Stats(stats) = envelope.reply {
+            println!(
+                "\nstats: {} accepted, {} completed, {} stage aggregates",
+                stats.accepted,
+                stats.completed,
+                stats.stages.len()
+            );
+        }
+    }
+
+    // Graceful drain: stop admitting, answer the backlog, exit.
+    handle.shutdown();
+    let summary = handle.join().map_err(std::io::Error::other)?;
+    println!(
+        "\ndrained: {} accepted, {} rejected, {} completed",
+        summary.accepted, summary.rejected, summary.completed
+    );
+    let _ = std::fs::remove_dir_all(&spool_dir);
+    Ok(())
+}

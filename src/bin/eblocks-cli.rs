@@ -12,6 +12,9 @@
 //! eblocks-cli batch <manifest> [--jobs N] [--partitioner NAME] [--json] [--timings]
 //!                   [--retries N] [--job-timeout-ms N]
 //!                   [--chaos-seed N [--chaos-trace FILE]]
+//! eblocks-cli serve <spool-dir> [--socket PATH] [--serve-workers N] [--jobs N]
+//!                   [--queue-capacity N] [--poll-ms N] [--lint] [--deny errors|warnings]
+//!                   [--retries N] [--job-timeout-ms N]
 //! eblocks-cli sim <netlist> --stimulus <script> [--until T] [--vcd FILE]
 //! eblocks-cli place <netlist> (--grid WxH | --topology FILE)
 //!                   [--pin block=COL,ROW | --pin block=SITE ...] [--iterations N]
@@ -57,6 +60,19 @@
 //! `--inputs`/`--outputs` pin arities (default 2/2). `synth` and `batch`
 //! accept `--lint` (with the same `--deny`) to run the lint stage as a
 //! pipeline admission gate, and `--no-lint` to force it off.
+//! `serve` runs the long-running service mode (`eblocks::serve`): a daemon
+//! that accepts the same typed requests via a spool directory (drop JSON
+//! request files into `<spool>/inbox/`, collect responses from
+//! `<spool>/outbox/`, malformed inputs land in `<spool>/rejected/` with a
+//! structured error file) and, with `--socket PATH`, via line-delimited
+//! JSON on a Unix-domain socket. `--serve-workers` sizes the daemon's
+//! request-worker pool, `--jobs` the farm pool inside each batch request,
+//! `--queue-capacity` bounds the admission queue (socket clients get an
+//! explicit `queue-full` verdict), `--lint`/`--deny` turn on the admission
+//! lint gate, and `--retries`/`--job-timeout-ms` apply to every job the
+//! daemon runs. The daemon drains gracefully on SIGTERM/SIGINT or a
+//! `"shutdown"` request (a second signal hardens the drain) and prints the
+//! final accepted/rejected/completed counters on exit.
 //! `sim` runs a stimulus script
 //! (lines of `<time> <sensor> <0|1>`, `#` comments) and prints an ASCII
 //! waveform; `--vcd` additionally writes a VCD dump. `place` maps the design
@@ -158,6 +174,10 @@ struct Options {
     job_timeout_ms: Option<u64>,
     chaos_seed: Option<u64>,
     chaos_trace: Option<PathBuf>,
+    socket: Option<PathBuf>,
+    serve_workers: Option<usize>,
+    queue_capacity: Option<usize>,
+    poll_ms: Option<u64>,
     stimulus: Option<PathBuf>,
     until: u64,
     vcd: Option<PathBuf>,
@@ -172,7 +192,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let command = it.next().ok_or(USAGE)?.clone();
     if !matches!(
         command.as_str(),
-        "synth" | "check" | "lint" | "partition" | "batch" | "sim" | "place"
+        "synth" | "check" | "lint" | "partition" | "batch" | "serve" | "sim" | "place"
     ) {
         return Err(format!("unknown command `{command}`\n{USAGE}"));
     }
@@ -193,6 +213,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         job_timeout_ms: None,
         chaos_seed: None,
         chaos_trace: None,
+        socket: None,
+        serve_workers: None,
+        queue_capacity: None,
+        poll_ms: None,
         stimulus: None,
         until: 1000,
         vcd: None,
@@ -255,6 +279,33 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--chaos-trace" => {
                 options.chaos_trace =
                     Some(PathBuf::from(it.next().ok_or("missing chaos trace path")?));
+            }
+            "--socket" => {
+                options.socket = Some(PathBuf::from(it.next().ok_or("missing socket path")?));
+            }
+            "--serve-workers" => {
+                options.serve_workers = Some(
+                    it.next()
+                        .ok_or("missing value for --serve-workers")?
+                        .parse()
+                        .map_err(|_| "bad --serve-workers value")?,
+                );
+            }
+            "--queue-capacity" => {
+                options.queue_capacity = Some(
+                    it.next()
+                        .ok_or("missing value for --queue-capacity")?
+                        .parse()
+                        .map_err(|_| "bad --queue-capacity value")?,
+                );
+            }
+            "--poll-ms" => {
+                options.poll_ms = Some(
+                    it.next()
+                        .ok_or("missing value for --poll-ms")?
+                        .parse()
+                        .map_err(|_| "bad --poll-ms value")?,
+                );
             }
             "--inputs" => {
                 options.spec.inputs = it
@@ -327,11 +378,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 const USAGE: &str =
-    "usage: eblocks-cli <synth|check|lint|partition|batch|sim|place> <netlist|manifest(.json)|DIR> \
+    "usage: eblocks-cli <synth|check|lint|partition|batch|serve|sim|place> <netlist|manifest(.json)|spool-DIR> \
 [-o OUTDIR] [--partitioner pare-down|exhaustive|aggregation|refine|anneal|list] \
 [--inputs N] [--outputs N] [--no-verify] [--lint | --no-lint] [--deny errors|warnings] \
 [--timings] \
 [--jobs N] [--json] [--retries N] [--job-timeout-ms N] [--chaos-seed N] [--chaos-trace FILE] \
+[--socket PATH] [--serve-workers N] [--queue-capacity N] [--poll-ms N] \
 [--stimulus FILE] [--until T] [--vcd FILE] \
 [--grid WxH | --topology FILE] [--pin block=COL,ROW | block=SITE] [--iterations N] \
  | eblocks-cli --list-partitioners";
@@ -371,6 +423,9 @@ fn run(args: &[String]) -> Result<String, Failure> {
     // its own inputs.
     if options.command == "batch" {
         return batch_command(&options);
+    }
+    if options.command == "serve" {
+        return serve_command(&options);
     }
     if options.command == "synth" {
         return Ok(synth_command(&options)?);
@@ -465,6 +520,35 @@ fn batch_command(options: &Options) -> Result<String, Failure> {
             output: rendered,
         })
     }
+}
+
+/// Runs the service mode until something shuts it down: SIGTERM/SIGINT,
+/// a `"shutdown"` request through either front door, or — the usual
+/// test path — a pre-spooled shutdown file.
+fn serve_command(options: &Options) -> Result<String, Failure> {
+    let mut config = eblocks::serve::ServeConfig::new(&options.input)
+        .retries(options.retries)
+        .workers(options.serve_workers.unwrap_or(1));
+    config.farm_workers = options.jobs;
+    config.job_timeout = options.job_timeout_ms.map(Duration::from_millis);
+    config.handle_signals = true;
+    if let Some(path) = &options.socket {
+        config = config.socket(path);
+    }
+    if let Some(capacity) = options.queue_capacity {
+        config = config.queue_capacity(capacity);
+    }
+    if let Some(ms) = options.poll_ms {
+        config = config.poll_interval(Duration::from_millis(ms));
+    }
+    if options.lint == Some(true) {
+        config = config.admission_lint(LintConfig::denying(options.deny));
+    }
+    let summary = eblocks::serve::serve(config)?;
+    Ok(format!(
+        "serve: drained; {} accepted, {} rejected, {} completed\n",
+        summary.accepted, summary.rejected, summary.completed
+    ))
 }
 
 fn check_command(design: &Design) -> Result<String, String> {
@@ -1255,6 +1339,45 @@ wire light.0 -> ghost.0
         .unwrap();
         assert!(out.contains("refine"), "{out}");
         assert!(out.contains("aggregation"), "per-job choice wins: {out}");
+    }
+
+    #[test]
+    fn serve_answers_the_spool_then_drains_on_shutdown() {
+        let dir = tempdir("serve-shutdown");
+        let spool = dir.join("spool");
+        let inbox = spool.join("inbox");
+        std::fs::create_dir_all(&inbox).unwrap();
+        // One scan claims files in name order: the batch request is
+        // admitted before the shutdown file begins the drain.
+        std::fs::write(
+            inbox.join("00-request.json"),
+            r#"{"jobs": [{"source": {"library": "Carpool Alert"}}]}"#,
+        )
+        .unwrap();
+        std::fs::write(inbox.join("99-shutdown.json"), "\"shutdown\"").unwrap();
+        let out = run(&s(&["serve", spool.to_str().unwrap(), "--jobs", "1"])).unwrap();
+        assert!(out.contains("1 accepted, 0 rejected, 1 completed"), "{out}");
+
+        let response = std::fs::read_to_string(spool.join("outbox/00-request.json")).unwrap();
+        assert!(response.contains(r#""succeeded":1"#), "{response}");
+        let ack = std::fs::read_to_string(spool.join("outbox/99-shutdown.json")).unwrap();
+        assert_eq!(ack, "\"shutdown\"\n");
+        assert!(
+            std::fs::read_dir(&inbox).unwrap().next().is_none(),
+            "inbox fully consumed"
+        );
+    }
+
+    #[test]
+    fn serve_flags_are_validated() {
+        let err = run(&s(&["serve", "/tmp/x", "--queue-capacity", "many"])).unwrap_err();
+        assert!(err.contains("bad --queue-capacity value"), "{err}");
+        let err = run(&s(&["serve", "/tmp/x", "--poll-ms", "soon"])).unwrap_err();
+        assert!(err.contains("bad --poll-ms value"), "{err}");
+        let err = run(&s(&["serve", "/tmp/x", "--serve-workers", "-2"])).unwrap_err();
+        assert!(err.contains("bad --serve-workers value"), "{err}");
+        let err = run(&s(&["serve", "/tmp/x", "--socket"])).unwrap_err();
+        assert!(err.contains("missing socket path"), "{err}");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`farm`] | `eblocks-farm` | parallel batch synthesis: manifests, worker pools, reports |
 //! | [`chaos`] | `eblocks-chaos` | deterministic chaos harness: seeded fault injection, replayable traces |
 //! | [`api`] | `eblocks-farm` | typed JSON request/response surface: [`BatchRequest`](api::BatchRequest) in, [`BatchResponse`](api::BatchResponse) out |
+//! | [`serve`] | `eblocks-serve` | service mode: long-running daemon with spool-directory and Unix-socket front ends |
 //! | [`gen`] | `eblocks-gen` | the random design generator |
 //! | [`lint`] | `eblocks-lint` | static analysis: rule registry, structured [`Diagnostic`](lint::Diagnostic)s over designs and behavior programs |
 //! | [`place`] | `eblocks-place` | deployment onto an existing physical node network (§6 future work) |
@@ -103,5 +104,6 @@ pub use eblocks_gen as gen;
 pub use eblocks_lint as lint;
 pub use eblocks_partition as partition;
 pub use eblocks_place as place;
+pub use eblocks_serve as serve;
 pub use eblocks_sim as sim;
 pub use eblocks_synth as synth;

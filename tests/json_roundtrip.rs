@@ -5,11 +5,15 @@
 //!   golden batch report relies on);
 //! * arbitrary `BatchRequest`s and `BatchResponse`s survive
 //!   struct → JSON → struct with byte-identical re-serialization, and
-//!   requests convert losslessly to and from the engine's `Batch`.
+//!   requests convert losslessly to and from the engine's `Batch`;
+//! * arbitrary service-mode envelopes (`RequestEnvelope` in,
+//!   `ReplyEnvelope` out) survive the same trip, and unknown keys are
+//!   rejected at every envelope level.
 
 use eblocks::api::{
-    BatchRequest, BatchResponse, BatchSummary, DesignSource, JobOutcome, JobResponse, JobSpec,
-    StageMs, StageSummary, SynthOptions,
+    Admission, AdmissionReply, BatchRequest, BatchResponse, BatchSummary, DesignSource, JobOutcome,
+    JobResponse, JobSpec, ProgressEvent, ProgressKind, ReplyEnvelope, RequestEnvelope, ServeReply,
+    ServeRequest, ServeStats, StageMs, StageSummary, SynthOptions, SynthRequest,
 };
 use eblocks::farm::JobMode;
 use eblocks::lint::DenyLevel;
@@ -229,6 +233,141 @@ fn response_strategy() -> impl Strategy<Value = BatchResponse> {
         })
 }
 
+fn serve_request_strategy() -> impl Strategy<Value = ServeRequest> {
+    prop_oneof![
+        request_strategy().prop_map(ServeRequest::Batch),
+        (source_strategy(), options_strategy(), any::<bool>()).prop_map(
+            |(source, mut options, named)| {
+                // A synth request's mode must be absent (the pipeline
+                // always runs end to end).
+                options.mode = None;
+                ServeRequest::Synth(SynthRequest {
+                    source,
+                    partitioner: named.then(|| "refine".to_string()),
+                    options,
+                })
+            }
+        ),
+        Just(ServeRequest::Stats),
+        Just(ServeRequest::Shutdown),
+    ]
+}
+
+fn request_envelope_strategy() -> impl Strategy<Value = RequestEnvelope> {
+    (any::<bool>(), string_strategy(), serve_request_strategy()).prop_map(
+        |(with_id, id, request)| RequestEnvelope {
+            id: with_id.then_some(id),
+            request,
+        },
+    )
+}
+
+fn progress_strategy() -> impl Strategy<Value = ProgressEvent> {
+    (0usize..16, string_strategy(), 0u8..5, string_strategy()).prop_map(
+        |(job, name, outcome, error)| {
+            // 0 = a `started` event; 1..=4 = `finished` with an outcome.
+            let status = match outcome {
+                0 => None,
+                1 => Some(JobOutcome::Ok),
+                2 => Some(JobOutcome::Failed),
+                3 => Some(JobOutcome::TimedOut),
+                _ => Some(JobOutcome::Panicked),
+            };
+            let failed = !matches!(status, None | Some(JobOutcome::Ok));
+            ProgressEvent {
+                job,
+                name,
+                event: if status.is_none() {
+                    ProgressKind::Started
+                } else {
+                    ProgressKind::Finished
+                },
+                status,
+                error: failed.then_some(error),
+            }
+        },
+    )
+}
+
+fn stats_strategy() -> impl Strategy<Value = ServeStats> {
+    (
+        (0usize..32, 0usize..8),
+        (0u64..1000, 0u64..1000, 0u64..1000),
+        proptest::collection::vec(
+            (1usize..50, ms_strategy(), ms_strategy()).prop_map(|(runs, total_ms, max_ms)| {
+                StageSummary {
+                    stage: Stage::Partition,
+                    runs,
+                    total_ms,
+                    max_ms,
+                }
+            }),
+            0..3,
+        ),
+    )
+        .prop_map(
+            |((queue_depth, in_flight), (accepted, rejected, completed), stages)| ServeStats {
+                queue_depth,
+                in_flight,
+                accepted,
+                rejected,
+                completed,
+                stages,
+            },
+        )
+}
+
+fn serve_reply_strategy() -> impl Strategy<Value = ServeReply> {
+    prop_oneof![
+        (0u8..3, any::<bool>(), string_strategy()).prop_map(|(status, with_detail, detail)| {
+            let status = match status {
+                0 => Admission::Accepted,
+                1 => Admission::QueueFull,
+                _ => Admission::LintRejected,
+            };
+            ServeReply::Admission(AdmissionReply {
+                status,
+                detail: with_detail.then_some(detail),
+            })
+        }),
+        progress_strategy().prop_map(ServeReply::Progress),
+        response_strategy().prop_map(ServeReply::Batch),
+        stats_strategy().prop_map(ServeReply::Stats),
+        string_strategy().prop_map(ServeReply::Error),
+        Just(ServeReply::Shutdown),
+    ]
+}
+
+fn reply_envelope_strategy() -> impl Strategy<Value = ReplyEnvelope> {
+    (any::<bool>(), string_strategy(), serve_reply_strategy()).prop_map(|(with_id, id, reply)| {
+        ReplyEnvelope {
+            id: with_id.then_some(id),
+            reply,
+        }
+    })
+}
+
+/// Unknown keys are errors at every envelope level: a misspelled field
+/// must be a structured rejection, never silently dropped work.
+#[test]
+fn serve_envelopes_reject_unknown_keys() {
+    let cases = [
+        r#"{"id": "x", "request": "stats", "priority": 9}"#,
+        r#"{"id": "x", "reply": "shutdown", "took_ms": 4}"#,
+        r#"{"id": "x", "request": {"batch": {"jobs": [], "workers": 4}}}"#,
+        r#"{"id": "x", "reply": {"admission": {"status": "accepted", "queue": 1}}}"#,
+        r#"{"id": "x", "reply": {"progress": {"job": 0, "name": "g", "event": "started",
+            "status": null, "error": null, "worker": 2}}}"#,
+    ];
+    for text in cases {
+        assert!(
+            json::from_str::<RequestEnvelope>(text).is_err()
+                && json::from_str::<ReplyEnvelope>(text).is_err(),
+            "unknown key accepted: {text}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128).with_rng_seed(0x0015_EDE5))]
 
@@ -270,6 +409,26 @@ proptest! {
             proptest::TestCaseError::fail(format!("{text}: {e}"))
         })?;
         prop_assert_eq!(&back, &response, "{}", text);
+        prop_assert_eq!(json::to_string(&back), text, "byte-identical re-serialization");
+    }
+
+    #[test]
+    fn request_envelope_round_trips(envelope in request_envelope_strategy()) {
+        let text = json::to_string(&envelope);
+        let back: RequestEnvelope = json::from_str(&text).map_err(|e| {
+            proptest::TestCaseError::fail(format!("{text}: {e}"))
+        })?;
+        prop_assert_eq!(&back, &envelope, "{}", text);
+        prop_assert_eq!(json::to_string(&back), text, "byte-identical re-serialization");
+    }
+
+    #[test]
+    fn reply_envelope_round_trips(envelope in reply_envelope_strategy()) {
+        let text = json::to_string(&envelope);
+        let back: ReplyEnvelope = json::from_str(&text).map_err(|e| {
+            proptest::TestCaseError::fail(format!("{text}: {e}"))
+        })?;
+        prop_assert_eq!(&back, &envelope, "{}", text);
         prop_assert_eq!(json::to_string(&back), text, "byte-identical re-serialization");
     }
 }
