@@ -12,6 +12,10 @@ pub struct Token {
     pub line: usize,
     /// 1-based source column.
     pub col: usize,
+    /// Byte offset of the token's first character in the source.
+    pub offset: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
 }
 
 /// Token kinds.
@@ -128,6 +132,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
     let mut tokens = Vec::new();
     let mut chars = source.chars().peekable();
     let (mut line, mut col) = (1usize, 1usize);
+    let mut off = 0usize;
 
     macro_rules! bump {
         () => {{
@@ -138,12 +143,15 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             } else if c.is_some() {
                 col += 1;
             }
+            if let Some(c) = c {
+                off += c.len_utf8();
+            }
             c
         }};
     }
 
     while let Some(&c) = chars.peek() {
-        let (tline, tcol) = (line, col);
+        let (tline, tcol, toff) = (line, col, off);
         match c {
             ' ' | '\t' | '\r' | '\n' => {
                 bump!();
@@ -163,6 +171,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                         kind: TokenKind::Slash,
                         line: tline,
                         col: tcol,
+                        offset: toff,
+                        end: off,
                     }),
                 }
             }
@@ -183,6 +193,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     kind,
                     line: tline,
                     col: tcol,
+                    offset: toff,
+                    end: off,
                 });
             }
             '=' | '!' | '<' | '>' => {
@@ -206,6 +218,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     kind,
                     line: tline,
                     col: tcol,
+                    offset: toff,
+                    end: off,
                 });
             }
             '&' | '|' => {
@@ -221,6 +235,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                         kind,
                         line: tline,
                         col: tcol,
+                        offset: toff,
+                        end: off,
                     });
                 } else {
                     return Err(LexError {
@@ -249,6 +265,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     kind: TokenKind::Int(value),
                     line: tline,
                     col: tcol,
+                    offset: toff,
+                    end: off,
                 });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -270,6 +288,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     kind,
                     line: tline,
                     col: tcol,
+                    offset: toff,
+                    end: off,
                 });
             }
             other => {
@@ -348,6 +368,19 @@ mod tests {
     #[test]
     fn rejects_overflowing_int() {
         assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn byte_offsets_tracked() {
+        let src = "ab\n  c = 12;";
+        let toks = lex(src).unwrap();
+        let spans: Vec<_> = toks.iter().map(|t| (t.offset, t.end)).collect();
+        assert_eq!(spans, vec![(0, 2), (5, 6), (7, 8), (9, 11), (11, 12)]);
+        for t in &toks {
+            // A token's span must slice back to its own lexeme.
+            assert!(src.get(t.offset..t.end).is_some(), "{t:?}");
+        }
+        assert_eq!(&src[toks[3].offset..toks[3].end], "12");
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod lexer;
 pub mod library;
 pub mod optimize;
 pub mod parser;
+pub mod span;
 pub mod value;
 
 pub use ast::{BinOp, Expr, Handler, HandlerKind, Program, StateDecl, Stmt, UnOp};
@@ -60,5 +61,6 @@ pub use check::{check, CheckError};
 pub use interp::{Machine, Outputs};
 pub use lexer::LexError;
 pub use optimize::optimize;
-pub use parser::{parse, ParseError};
+pub use parser::{parse, parse_spanned, ParseError};
+pub use span::{HandlerSpans, ProgramSpans, Span, StmtSpans};
 pub use value::{EvalError, Value};

@@ -2,6 +2,7 @@
 
 use crate::ast::{BinOp, Expr, Handler, HandlerKind, Program, StateDecl, Stmt, UnOp};
 use crate::lexer::{lex, LexError, Token, TokenKind};
+use crate::span::{HandlerSpans, ProgramSpans, Span, StmtSpans};
 use std::error::Error;
 use std::fmt;
 
@@ -64,14 +65,34 @@ impl From<LexError> for ParseError {
 /// validation (undefined variables, port arity) is separate: see
 /// [`crate::check`](fn@crate::check).
 pub fn parse(source: &str) -> Result<Program, ParseError> {
+    parse_spanned(source).map(|(program, _)| program)
+}
+
+/// Parses a behavior program, also returning a byte-span side table whose
+/// shape mirrors the AST (see [`ProgramSpans`]).
+///
+/// This is the entry point for tools that need source positions — the
+/// linter's `file:line:col` diagnostics and machine-applicable fixes.
+/// [`parse`] is a thin wrapper that discards the table.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem.
+pub fn parse_spanned(source: &str) -> Result<(Program, ProgramSpans), ParseError> {
     let tokens = lex(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        last_end: 0,
+    };
     p.program()
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Byte offset one past the last consumed token (0 before any).
+    last_end: usize,
 }
 
 impl Parser {
@@ -85,6 +106,32 @@ impl Parser {
             .map_or((0, 0), |t| (t.line, t.col))
     }
 
+    /// Zero-length span at the next token (or at end of input), later
+    /// widened by [`Self::close`] once the node's tokens are consumed.
+    fn open(&self) -> Span {
+        self.tokens.get(self.pos).map_or(
+            Span {
+                start: self.last_end,
+                end: self.last_end,
+                line: 0,
+                col: 0,
+            },
+            |t| Span {
+                start: t.offset,
+                end: t.offset,
+                line: t.line,
+                col: t.col,
+            },
+        )
+    }
+
+    fn close(&self, open: Span) -> Span {
+        Span {
+            end: self.last_end.max(open.start),
+            ..open
+        }
+    }
+
     fn err(&self, message: impl Into<String>) -> ParseError {
         let (line, col) = self.here();
         ParseError {
@@ -95,16 +142,17 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Option<TokenKind> {
-        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
-        if t.is_some() {
+        let t = self.tokens.get(self.pos).map(|t| (t.kind.clone(), t.end));
+        t.map(|(kind, end)| {
             self.pos += 1;
-        }
-        t
+            self.last_end = end;
+            kind
+        })
     }
 
     fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
         if self.peek() == Some(kind) {
-            self.pos += 1;
+            self.bump();
             Ok(())
         } else {
             let found = self
@@ -126,9 +174,11 @@ impl Parser {
         }
     }
 
-    fn program(&mut self) -> Result<Program, ParseError> {
+    fn program(&mut self) -> Result<(Program, ProgramSpans), ParseError> {
         let mut program = Program::default();
+        let mut spans = ProgramSpans::default();
         while let Some(kind) = self.peek() {
+            let open = self.open();
             match kind {
                 TokenKind::Ident(w) if w == "state" => {
                     self.bump();
@@ -137,6 +187,7 @@ impl Parser {
                     let init = self.expr()?;
                     self.expect(&TokenKind::Semi, "`;`")?;
                     program.states.push(StateDecl { name, init });
+                    spans.states.push(self.close(open));
                 }
                 TokenKind::Ident(w) if w == "on" => {
                     self.bump();
@@ -150,8 +201,12 @@ impl Parser {
                             )))
                         }
                     };
-                    let body = self.block()?;
+                    let (body, body_spans) = self.block()?;
                     program.handlers.push(Handler { kind, body });
+                    spans.handlers.push(HandlerSpans {
+                        span: self.close(open),
+                        body: body_spans,
+                    });
                 }
                 other => {
                     let msg = format!("expected `state` or `on` at top level, found {other}");
@@ -159,25 +214,31 @@ impl Parser {
                 }
             }
         }
-        Ok(program)
+        Ok((program, spans))
     }
 
-    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+    fn block(&mut self) -> Result<(Vec<Stmt>, Vec<StmtSpans>), ParseError> {
         self.expect(&TokenKind::LBrace, "`{`")?;
         let mut stmts = Vec::new();
+        let mut spans = Vec::new();
         loop {
             match self.peek() {
                 Some(TokenKind::RBrace) => {
                     self.bump();
-                    return Ok(stmts);
+                    return Ok((stmts, spans));
                 }
-                Some(_) => stmts.push(self.stmt()?),
+                Some(_) => {
+                    let (stmt, span) = self.stmt()?;
+                    stmts.push(stmt);
+                    spans.push(span);
+                }
                 None => return Err(self.err("unclosed block, expected `}`")),
             }
         }
     }
 
-    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+    fn stmt(&mut self) -> Result<(Stmt, StmtSpans), ParseError> {
+        let open = self.open();
         match self.peek() {
             Some(TokenKind::Ident(w)) if w == "let" => {
                 self.bump();
@@ -185,28 +246,55 @@ impl Parser {
                 self.expect(&TokenKind::Assign, "`=`")?;
                 let e = self.expr()?;
                 self.expect(&TokenKind::Semi, "`;`")?;
-                Ok(Stmt::Let(name, e))
+                Ok((
+                    Stmt::Let(name, e),
+                    StmtSpans {
+                        span: self.close(open),
+                        cond: None,
+                        then_body: Vec::new(),
+                        else_body: Vec::new(),
+                    },
+                ))
             }
             Some(TokenKind::Ident(w)) if w == "if" => {
                 self.bump();
                 self.expect(&TokenKind::LParen, "`(`")?;
+                let cond_open = self.open();
                 let cond = self.expr()?;
+                let cond_span = self.close(cond_open);
                 self.expect(&TokenKind::RParen, "`)`")?;
-                let then_body = self.block()?;
-                let else_body = if matches!(self.peek(), Some(TokenKind::Ident(w)) if w == "else") {
+                let (then_body, then_spans) = self.block()?;
+                let (else_body, else_spans) = if matches!(self.peek(), Some(TokenKind::Ident(w)) if w == "else")
+                {
                     self.bump();
                     self.block()?
                 } else {
-                    Vec::new()
+                    (Vec::new(), Vec::new())
                 };
-                Ok(Stmt::If(cond, then_body, else_body))
+                Ok((
+                    Stmt::If(cond, then_body, else_body),
+                    StmtSpans {
+                        span: self.close(open),
+                        cond: Some(cond_span),
+                        then_body: then_spans,
+                        else_body: else_spans,
+                    },
+                ))
             }
             Some(TokenKind::Ident(_)) => {
                 let name = self.ident("variable name")?;
                 self.expect(&TokenKind::Assign, "`=`")?;
                 let e = self.expr()?;
                 self.expect(&TokenKind::Semi, "`;`")?;
-                Ok(Stmt::Assign(name, e))
+                Ok((
+                    Stmt::Assign(name, e),
+                    StmtSpans {
+                        span: self.close(open),
+                        cond: None,
+                        then_body: Vec::new(),
+                        else_body: Vec::new(),
+                    },
+                ))
             }
             _ => Err(self.err("expected a statement")),
         }
@@ -402,6 +490,29 @@ mod tests {
             err.message.contains("unclosed") || err.message.contains("statement"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn spans_mirror_the_ast() {
+        let src = "state q = false;\non input {\n  if (in0) { q = !q; } else { q = false; }\n  out0 = q;\n}\n";
+        let (p, spans) = parse_spanned(src).unwrap();
+        assert_eq!(spans.states.len(), p.states.len());
+        assert_eq!(spans.handlers.len(), 1);
+        assert_eq!(spans.states[0].slice(src), "state q = false;");
+        let h = &spans.handlers[0];
+        assert!(h.span.slice(src).starts_with("on input"));
+        assert!(h.span.slice(src).ends_with('}'));
+        assert_eq!(h.body.len(), 2);
+        let iff = &h.body[0];
+        assert_eq!(iff.cond.unwrap().slice(src), "in0");
+        assert_eq!(
+            iff.span.slice(src),
+            "if (in0) { q = !q; } else { q = false; }"
+        );
+        assert_eq!(iff.then_body[0].span.slice(src), "q = !q;");
+        assert_eq!(iff.else_body[0].span.slice(src), "q = false;");
+        assert_eq!(h.body[1].span.slice(src), "out0 = q;");
+        assert_eq!((iff.span.line, iff.span.col), (3, 3));
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Byte-span side tables for parsed programs.
+//!
+//! The AST ([`crate::ast`]) stays position-free so consumers that transform
+//! trees (the optimizer, the partition merger) never have to invent spans
+//! for synthesized nodes. Tools that need positions — the linter's
+//! diagnostics and machine-applicable fixes — parse with
+//! [`parse_spanned`](crate::parser::parse_spanned) instead and receive a
+//! [`ProgramSpans`] table whose shape mirrors the program exactly: the
+//! `i`-th state declaration's span is `spans.states[i]`, the `j`-th
+//! statement of handler `h` is `spans.handlers[h].body[j]`, and so on
+//! recursively through `if` branches.
+
+/// A half-open byte range `start..end` into the source text, plus the
+/// 1-based line/column of its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: usize,
+    /// 1-based column of `start`.
+    pub col: usize,
+}
+
+/// Spans for a whole program, indexed in lock-step with the AST.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgramSpans {
+    /// One span per `state` declaration (keyword through `;`).
+    pub states: Vec<Span>,
+    /// One entry per handler, in declaration order.
+    pub handlers: Vec<HandlerSpans>,
+}
+
+/// Spans for one `on input` / `on tick` handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandlerSpans {
+    /// The whole handler (`on` through closing `}`).
+    pub span: Span,
+    /// One entry per top-level statement in the handler body.
+    pub body: Vec<StmtSpans>,
+}
+
+/// Spans for one statement, recursing into `if` branches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtSpans {
+    /// The whole statement (`let`/`if`/assignment through `;` or `}`).
+    pub span: Span,
+    /// For `if`: the condition expression (inside the parentheses).
+    pub cond: Option<Span>,
+    /// For `if`: spans of the then-branch statements.
+    pub then_body: Vec<StmtSpans>,
+    /// For `if`: spans of the else-branch statements.
+    pub else_body: Vec<StmtSpans>,
+}
+
+impl Span {
+    /// The text this span covers in `source`.
+    ///
+    /// Returns an empty string if the span is out of bounds (which cannot
+    /// happen for spans produced by the parser over the same source).
+    #[must_use]
+    pub fn slice<'s>(&self, source: &'s str) -> &'s str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}

@@ -243,6 +243,25 @@ mod tests {
     use crate::plan::ForcedFault;
 
     #[test]
+    fn stage_ranks_are_frozen() {
+        // Seed derivation mixes stage_rank into every decision, so these
+        // ids are part of the replay contract: changing one silently
+        // re-rolls every shipped chaos seed. Lint sits at 5 even though
+        // it runs first (see exec_position).
+        let frozen = [
+            (Stage::Partition, 0),
+            (Stage::Merge, 1),
+            (Stage::Rewrite, 2),
+            (Stage::Verify, 3),
+            (Stage::EmitC, 4),
+            (Stage::Lint, 5),
+        ];
+        for (stage, rank) in frozen {
+            assert_eq!(stage_rank(stage), rank, "{stage:?}");
+        }
+    }
+
+    #[test]
     fn mix_separates_domains_and_inputs() {
         assert_eq!(mix(&[1, 2, 3]), mix(&[1, 2, 3]), "pure function");
         assert_ne!(mix(&[1, 2, 3]), mix(&[1, 3, 2]), "order matters");

@@ -28,9 +28,35 @@
 use crate::design::Design;
 use crate::error::DesignError;
 use crate::kind::{BlockKind, CommKind, ComputeKind, OutputKind, ProgrammableSpec, SensorKind};
+use std::collections::BTreeMap;
 
 /// The format version [`to_netlist`] writes.
 pub const NETLIST_VERSION: u32 = 1;
+
+/// The byte range of one netlist line, including its trailing newline (if
+/// present), plus its 1-based line number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineSpan {
+    /// Byte offset of the line's first character.
+    pub start: usize,
+    /// Byte offset one past the line (past the `\n` when there is one), so
+    /// deleting `start..end` removes the whole line.
+    pub end: usize,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Byte spans of netlist entities, produced by [`from_netlist_spanned`].
+///
+/// Tools that edit netlist text mechanically (the linter's fixes) look up
+/// the line that declared a block or wire by name instead of re-parsing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetlistSpans {
+    /// Block name → span of its `block` line.
+    pub blocks: BTreeMap<String, LineSpan>,
+    /// `(from, from_port, to, to_port)` → span of the `wire` line.
+    pub wires: BTreeMap<(String, u8, String, u8), LineSpan>,
+}
 
 /// The header directive keyword.
 const HEADER_KEYWORD: &str = "eblocks-netlist";
@@ -75,12 +101,32 @@ pub fn to_netlist(design: &Design) -> String {
 /// input, an unsupported format version, or the underlying construction
 /// error (duplicate names, bad ports, cycles) wrapped in context.
 pub fn from_netlist(text: &str) -> Result<Design, DesignError> {
+    from_netlist_spanned(text).map(|(design, _)| design)
+}
+
+/// Parses netlist text into a design, also returning the byte span of every
+/// `block` and `wire` line (see [`NetlistSpans`]).
+///
+/// [`from_netlist`] is a thin wrapper that discards the span table.
+///
+/// # Errors
+///
+/// Same as [`from_netlist`].
+pub fn from_netlist_spanned(text: &str) -> Result<(Design, NetlistSpans), DesignError> {
     let mut design = Design::new("unnamed");
+    let mut spans = NetlistSpans::default();
     let err = |line: usize, message: String| DesignError::Parse { line, message };
     let mut before_directives = true;
+    let mut offset = 0usize;
 
-    for (i, raw) in text.lines().enumerate() {
+    for (i, raw) in text.split_inclusive('\n').enumerate() {
         let lineno = i + 1;
+        let span = LineSpan {
+            start: offset,
+            end: offset + raw.len(),
+            line: lineno,
+        };
+        offset += raw.len();
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
@@ -134,6 +180,7 @@ pub fn from_netlist(text: &str) -> Result<Design, DesignError> {
                 design
                     .try_add_block(name, kind)
                     .map_err(|e| err(lineno, e.to_string()))?;
+                spans.blocks.insert(name.to_string(), span);
             }
             Some("wire") => {
                 let from = words
@@ -159,13 +206,22 @@ pub fn from_netlist(text: &str) -> Result<Design, DesignError> {
                 design
                     .connect((src, from_port), (dst, to_port))
                     .map_err(|e| err(lineno, e.to_string()))?;
+                spans.wires.insert(
+                    (
+                        from_name.to_string(),
+                        from_port,
+                        to_name.to_string(),
+                        to_port,
+                    ),
+                    span,
+                );
             }
             Some(other) => return Err(err(lineno, format!("unknown directive `{other}`"))),
             None => unreachable!("empty lines filtered above"),
         }
         before_directives = false;
     }
-    Ok(design)
+    Ok((design, spans))
 }
 
 fn parse_endpoint(s: &str) -> Option<(&str, u8)> {
@@ -356,6 +412,34 @@ mod tests {
             from_netlist(dup),
             Err(DesignError::Parse { line: 2, .. })
         ));
+    }
+
+    #[test]
+    fn spanned_parse_records_block_and_wire_lines() {
+        let text = "eblocks-netlist v1\ndesign t\nblock a sensor:button\nblock b output:led\nwire a.0 -> b.0\n";
+        let (_, spans) = from_netlist_spanned(text).unwrap();
+        let a = spans.blocks["a"];
+        assert_eq!(&text[a.start..a.end], "block a sensor:button\n");
+        assert_eq!(a.line, 3);
+        let w = spans.wires[&("a".to_string(), 0, "b".to_string(), 0)];
+        assert_eq!(&text[w.start..w.end], "wire a.0 -> b.0\n");
+        assert_eq!(w.line, 5);
+        // Deleting every recorded span leaves only the non-entity lines.
+        let mut keep: Vec<(usize, usize)> = spans
+            .blocks
+            .values()
+            .chain(spans.wires.values())
+            .map(|s| (s.start, s.end))
+            .collect();
+        keep.sort_unstable();
+        let mut rest = String::new();
+        let mut at = 0;
+        for (s, e) in keep {
+            rest.push_str(&text[at..s]);
+            at = e;
+        }
+        rest.push_str(&text[at..]);
+        assert_eq!(rest, "eblocks-netlist v1\ndesign t\n");
     }
 
     #[test]

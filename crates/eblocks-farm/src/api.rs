@@ -284,6 +284,9 @@ pub struct JobResponse {
     /// Warning-severity lint findings; omitted when lint was off or
     /// found none.
     pub lint_warnings: Option<usize>,
+    /// Lint findings carrying a machine-applicable fix; omitted when
+    /// lint was off or none were fixable.
+    pub lint_fixes: Option<usize>,
     /// Per-stage wall-clock times; only with timings.
     pub stages_ms: Option<Vec<StageMs>>,
     /// Whole-job wall-clock milliseconds; only with timings.
@@ -319,6 +322,10 @@ impl JobResponse {
                 .and_then(|s| s.lint)
                 .map(|l| l.warnings)
                 .filter(|&n| n > 0),
+            lint_fixes: stats
+                .and_then(|s| s.lint)
+                .map(|l| l.fix_count())
+                .filter(|&n| n > 0),
             stages_ms: stats.filter(|_| timings).map(|s| stage_ms_rows(&s.timings)),
             elapsed_ms: timings.then(|| ms(report.elapsed)),
         }
@@ -350,6 +357,8 @@ pub struct BatchSummary {
     pub lint_errors: Option<usize>,
     /// Sum of per-job lint warnings; omitted when zero.
     pub lint_warnings: Option<usize>,
+    /// Sum of per-job machine-fixable lint findings; omitted when zero.
+    pub lint_fixes: Option<usize>,
     /// Workers the pool used; only with timings.
     pub workers: Option<usize>,
     /// Batch wall-clock milliseconds; only with timings.
@@ -397,6 +406,7 @@ impl BatchResponse {
         };
         let lint_errors = lint_sum(|l| l.errors);
         let lint_warnings = lint_sum(|l| l.warnings);
+        let lint_fixes = lint_sum(|l| l.fix_count());
         Self {
             batch: BatchSummary {
                 jobs: report.jobs.len(),
@@ -409,6 +419,7 @@ impl BatchResponse {
                 c_bytes: sum(|s| s.c_bytes),
                 lint_errors: (lint_errors > 0).then_some(lint_errors),
                 lint_warnings: (lint_warnings > 0).then_some(lint_warnings),
+                lint_fixes: (lint_fixes > 0).then_some(lint_fixes),
                 workers: timings.then_some(report.workers),
                 elapsed_ms: timings.then(|| ms(report.elapsed)),
                 stages: timings.then(|| {

@@ -285,6 +285,7 @@ mod tests {
                         lint: Some(LintOutcome {
                             errors: 0,
                             warnings: 2,
+                            fixes: None,
                         }),
                         timings,
                     }),

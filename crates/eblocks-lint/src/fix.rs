@@ -1,0 +1,224 @@
+//! Structured, machine-applicable fixes attached to diagnostics.
+//!
+//! A [`Fix`] is a list of byte-range [`TextEdit`]s against the *original*
+//! file text plus an [`Applicability`] level, following the convention
+//! established by rustc/clippy: only [`Applicability::MachineApplicable`]
+//! fixes are applied by `lint --fix`; [`Applicability::MaybeIncorrect`]
+//! ones are advisory (shown, serialized, never auto-applied).
+//!
+//! [`apply_machine_fixes`] turns one lint report into at most one rewrite
+//! of the text. Overlapping edits are resolved conservatively (first in
+//! byte order wins) and application is a single descending-order pass, so
+//! the result is deterministic regardless of diagnostic order. Callers
+//! that want the *fixpoint* — apply, re-lint, repeat until no
+//! machine-applicable fixes remain — use [`fix_to_fixpoint`] with a
+//! re-lint closure; cascades (removing a dead branch exposes a
+//! now-unused state) resolve in a handful of rounds because every round
+//! strictly rewrites the text.
+
+use crate::LintReport;
+use serde::{Deserialize, Serialize};
+
+/// How confident the linter is that applying the fix preserves meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Applicability {
+    /// Safe to apply without review; `lint --fix` applies these.
+    #[serde(rename = "machine-applicable")]
+    MachineApplicable,
+    /// The suggested edit is plausible but may change behavior; shown
+    /// and serialized, never auto-applied.
+    #[serde(rename = "maybe-incorrect")]
+    MaybeIncorrect,
+}
+
+/// One byte-range replacement against the original file text.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TextEdit {
+    /// Byte offset of the first replaced byte.
+    pub start: usize,
+    /// Byte offset one past the last replaced byte (`start..end`).
+    pub end: usize,
+    /// Replacement text (empty = deletion).
+    pub replacement: String,
+}
+
+/// A structured fix: edits plus the confidence they carry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fix {
+    /// Byte edits against the original text, in any order.
+    pub edits: Vec<TextEdit>,
+    /// Whether `--fix` may apply this automatically.
+    pub applicability: Applicability,
+}
+
+impl Fix {
+    /// A machine-applicable deletion of `start..end`.
+    #[must_use]
+    pub fn delete(start: usize, end: usize) -> Self {
+        Self {
+            edits: vec![TextEdit {
+                start,
+                end,
+                replacement: String::new(),
+            }],
+            applicability: Applicability::MachineApplicable,
+        }
+    }
+
+    /// A machine-applicable replacement of `start..end` with `text`.
+    #[must_use]
+    pub fn replace(start: usize, end: usize, text: impl Into<String>) -> Self {
+        Self {
+            edits: vec![TextEdit {
+                start,
+                end,
+                replacement: text.into(),
+            }],
+            applicability: Applicability::MachineApplicable,
+        }
+    }
+
+    /// Downgrades the fix to advisory.
+    #[must_use]
+    pub fn maybe_incorrect(mut self) -> Self {
+        self.applicability = Applicability::MaybeIncorrect;
+        self
+    }
+}
+
+/// Applies every machine-applicable fix in `report` to `text`.
+///
+/// Returns `None` when there is nothing to apply (no machine-applicable
+/// edits, or all of them were dropped as out-of-bounds). Identical edits
+/// are deduplicated (two diagnostics may legitimately suggest deleting
+/// the same wire line); after sorting by byte position, an edit
+/// overlapping an earlier-starting one is dropped — the fixpoint loop
+/// picks it up on the next round if it still applies.
+#[must_use]
+pub fn apply_machine_fixes(text: &str, report: &LintReport) -> Option<String> {
+    let mut edits: Vec<&TextEdit> = report
+        .diagnostics
+        .iter()
+        .filter_map(|d| d.fix.as_ref())
+        .filter(|f| f.applicability == Applicability::MachineApplicable)
+        .flat_map(|f| f.edits.iter())
+        .filter(|e| e.start <= e.end && e.end <= text.len())
+        .collect();
+    edits.sort();
+    edits.dedup();
+
+    let mut kept: Vec<&TextEdit> = Vec::with_capacity(edits.len());
+    let mut last_end = 0usize;
+    for e in edits {
+        if e.start < last_end {
+            continue; // overlaps the previous kept edit
+        }
+        last_end = e.end.max(e.start + 1); // zero-width edits still claim a byte boundary
+        kept.push(e);
+    }
+    if kept.is_empty() {
+        return None;
+    }
+
+    let mut out = text.to_string();
+    for e in kept.iter().rev() {
+        out.replace_range(e.start..e.end, &e.replacement);
+    }
+    Some(out)
+}
+
+/// Maximum apply-then-re-lint rounds before [`fix_to_fixpoint`] gives
+/// up. Cascades are shallow in practice (each round exposes at most one
+/// new layer of dead code); the cap only guards against a rule that
+/// keeps suggesting edits which don't change the text.
+pub const MAX_FIX_ROUNDS: usize = 32;
+
+/// Repeatedly lints `text` with `lint` and applies machine-applicable
+/// fixes until none remain (or [`MAX_FIX_ROUNDS`] is hit). Returns the
+/// final text and the number of rounds that changed it; round count 0
+/// means the input was already fix-free.
+pub fn fix_to_fixpoint<F>(text: &str, mut lint: F) -> (String, usize)
+where
+    F: FnMut(&str) -> LintReport,
+{
+    let mut current = text.to_string();
+    let mut rounds = 0usize;
+    while rounds < MAX_FIX_ROUNDS {
+        let report = lint(&current);
+        match apply_machine_fixes(&current, &report) {
+            Some(next) if next != current => {
+                current = next;
+                rounds += 1;
+            }
+            _ => break,
+        }
+    }
+    (current, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rules, Diagnostic, LintReport};
+
+    fn diag_with(fix: Fix) -> Diagnostic {
+        Diagnostic::new(&rules::UNUSED_STATE, "state `x`", "test").with_fix(fix)
+    }
+
+    #[test]
+    fn applies_in_descending_order_and_dedupes() {
+        let text = "abcdef";
+        let report = LintReport::new(vec![
+            diag_with(Fix::delete(0, 1)),
+            diag_with(Fix::delete(0, 1)), // duplicate: applied once
+            diag_with(Fix::replace(3, 4, "XY")),
+        ]);
+        assert_eq!(apply_machine_fixes(text, &report).unwrap(), "bcXYef");
+    }
+
+    #[test]
+    fn overlapping_edits_keep_the_first() {
+        let text = "abcdef";
+        let report = LintReport::new(vec![
+            diag_with(Fix::delete(1, 4)),
+            diag_with(Fix::replace(2, 5, "Z")), // overlaps 1..4: dropped
+        ]);
+        assert_eq!(apply_machine_fixes(text, &report).unwrap(), "aef");
+    }
+
+    #[test]
+    fn advisory_and_out_of_bounds_edits_are_ignored() {
+        let text = "abc";
+        let report = LintReport::new(vec![
+            diag_with(Fix::delete(0, 1).maybe_incorrect()),
+            diag_with(Fix::delete(2, 99)),
+        ]);
+        assert_eq!(apply_machine_fixes(text, &report), None);
+    }
+
+    #[test]
+    fn fixpoint_resolves_cascades() {
+        // Toy cascade: each round deletes the first byte while the text
+        // starts with 'x'.
+        let (out, rounds) = fix_to_fixpoint("xxxab", |t| {
+            if t.starts_with('x') {
+                LintReport::new(vec![diag_with(Fix::delete(0, 1))])
+            } else {
+                LintReport::new(Vec::new())
+            }
+        });
+        assert_eq!(out, "ab");
+        assert_eq!(rounds, 3);
+    }
+
+    #[test]
+    fn fixpoint_caps_nonterminating_suggesters() {
+        // A pathological lint that suggests an edit which never changes
+        // the text must not loop forever.
+        let (out, rounds) = fix_to_fixpoint("ab", |_| {
+            LintReport::new(vec![diag_with(Fix::replace(0, 1, "a"))])
+        });
+        assert_eq!(out, "ab");
+        assert_eq!(rounds, 0);
+    }
+}

@@ -48,10 +48,13 @@
 #![warn(missing_docs)]
 
 pub mod behavior;
+pub mod dataflow;
 pub mod design;
+pub mod fix;
 
 pub use behavior::{diagnose_check, lint_behavior, lint_program};
-pub use design::{lint_design, lint_netlist};
+pub use design::{lint_design, lint_design_with_programs, lint_netlist};
+pub use fix::{apply_machine_fixes, fix_to_fixpoint, Applicability, Fix, TextEdit};
 
 use eblocks_behavior::CheckError;
 use eblocks_core::ProgrammableSpec;
@@ -165,6 +168,16 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it, when the rule has a standard remedy.
     pub hint: Option<String>,
+    /// 1-based source line of the finding, when the rule can point at
+    /// one (omitted from JSON otherwise).
+    pub line: Option<usize>,
+    /// 1-based source column of the finding (omitted from JSON when
+    /// absent; only ever present together with `line`).
+    pub col: Option<usize>,
+    /// A structured fix, when the rule can compute one (omitted from
+    /// JSON otherwise). Machine-applicable fixes are applied by
+    /// `lint --fix`; see [`fix::Applicability`].
+    pub fix: Option<Fix>,
 }
 
 impl Diagnostic {
@@ -180,6 +193,9 @@ impl Diagnostic {
             location: location.into(),
             message: message.into(),
             hint: None,
+            line: None,
+            col: None,
+            fix: None,
         }
     }
 
@@ -187,6 +203,26 @@ impl Diagnostic {
     pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
         self.hint = Some(hint.into());
         self
+    }
+
+    /// Attaches a 1-based source position (`file:line:col` rendering).
+    pub fn at(mut self, line: usize, col: usize) -> Self {
+        self.line = Some(line);
+        self.col = Some(col);
+        self
+    }
+
+    /// Attaches a structured fix.
+    pub fn with_fix(mut self, fix: Fix) -> Self {
+        self.fix = Some(fix);
+        self
+    }
+
+    /// True when this diagnostic carries a machine-applicable fix.
+    pub fn has_machine_fix(&self) -> bool {
+        self.fix
+            .as_ref()
+            .is_some_and(|f| f.applicability == Applicability::MachineApplicable)
     }
 
     /// The stable sort key reports are ordered by.
@@ -214,12 +250,20 @@ pub struct LintOutcome {
     pub errors: usize,
     /// Diagnostics with [`Severity::Warning`].
     pub warnings: usize,
+    /// Diagnostics carrying a machine-applicable fix; `Some` only when
+    /// nonzero, so serialized shapes without fixes are unchanged.
+    pub fixes: Option<usize>,
 }
 
 impl LintOutcome {
     /// True when nothing was found.
     pub fn is_clean(&self) -> bool {
         self.errors == 0 && self.warnings == 0
+    }
+
+    /// Machine-applicable fix count (0 when none).
+    pub fn fix_count(&self) -> usize {
+        self.fixes.unwrap_or(0)
     }
 }
 
@@ -261,11 +305,21 @@ impl LintReport {
         self.diagnostics.is_empty()
     }
 
-    /// The error/warning totals.
+    /// Number of diagnostics carrying a machine-applicable fix.
+    pub fn machine_fixes(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.has_machine_fix())
+            .count()
+    }
+
+    /// The error/warning/fix totals.
     pub fn outcome(&self) -> LintOutcome {
+        let fixes = self.machine_fixes();
         LintOutcome {
             errors: self.errors(),
             warnings: self.warnings(),
+            fixes: (fixes > 0).then_some(fixes),
         }
     }
 
@@ -314,6 +368,9 @@ pub struct RunReport {
     pub errors: usize,
     /// Warning-severity findings across all files.
     pub warnings: usize,
+    /// Machine-applicable fixes across all files; `Some` only when
+    /// nonzero, so fix-free runs serialize exactly as before.
+    pub fixes: Option<usize>,
 }
 
 impl RunReport {
@@ -321,17 +378,22 @@ impl RunReport {
     pub fn push(&mut self, file: impl Into<String>, report: &LintReport) {
         self.errors += report.errors();
         self.warnings += report.warnings();
+        let fixes = report.machine_fixes();
+        if fixes > 0 {
+            self.fixes = Some(self.fixes.unwrap_or(0) + fixes);
+        }
         self.files.push(FileReport {
             file: file.into(),
             diagnostics: report.diagnostics.clone(),
         });
     }
 
-    /// The error/warning totals.
+    /// The error/warning/fix totals.
     pub fn outcome(&self) -> LintOutcome {
         LintOutcome {
             errors: self.errors,
             warnings: self.warnings,
+            fixes: self.fixes,
         }
     }
 
@@ -556,6 +618,44 @@ pub mod rules {
         "an input port within the block's arity is never read"
     );
 
+    // Dataflow layer: abstract interpretation over value sets
+    // (see [`crate::dataflow`]).
+    rule!(
+        PROTOCOL_MISMATCH,
+        "E201",
+        Error,
+        "protocol-mismatch",
+        "every value the sender can emit is one the receiver never matches"
+    );
+    rule!(
+        CONSTANT_SIGNAL,
+        "W210",
+        Warning,
+        "constant-signal",
+        "dataflow proves this output port only ever carries one value"
+    );
+    rule!(
+        VALUE_DEAD_BRANCH,
+        "W211",
+        Warning,
+        "value-dead-branch",
+        "dataflow decides this condition; the branch it guards never runs"
+    );
+    rule!(
+        CONSTANT_STATE,
+        "W212",
+        Warning,
+        "constant-state",
+        "a reassigned state variable provably never leaves its initial value"
+    );
+    rule!(
+        EDGE_NEVER_FIRES,
+        "W213",
+        Warning,
+        "edge-never-fires",
+        "an output port is written in the source but no feasible path reaches a write"
+    );
+
     /// Every registered rule, in code order.
     pub const ALL: &[Rule] = &[
         UNCONNECTED_INPUT,
@@ -584,6 +684,11 @@ pub mod rules {
         CONFLICTING_SEND,
         UNWRITTEN_OUTPUT,
         UNREAD_INPUT,
+        PROTOCOL_MISMATCH,
+        CONSTANT_SIGNAL,
+        VALUE_DEAD_BRANCH,
+        CONSTANT_STATE,
+        EDGE_NEVER_FIRES,
     ];
 
     /// Looks a rule up by code.
@@ -718,7 +823,8 @@ mod tests {
             a.outcome(),
             LintOutcome {
                 errors: 1,
-                warnings: 1
+                warnings: 1,
+                fixes: None
             }
         );
     }

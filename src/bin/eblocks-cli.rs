@@ -7,7 +7,7 @@
 //!                   [--inputs N] [--outputs N] [--no-verify] [--timings]
 //! eblocks-cli check <netlist>          # validate + report stats + lint findings
 //! eblocks-cli lint <netlist|behavior|DIR> [--json] [--deny errors|warnings]
-//!                   [--inputs N] [--outputs N]
+//!                   [--inputs N] [--outputs N] [--fix [--check]]
 //! eblocks-cli partition <netlist> [--partitioner NAME]  # print the partitioning only
 //! eblocks-cli batch <manifest> [--jobs N] [--partitioner NAME] [--json] [--timings]
 //!                   [--retries N] [--job-timeout-ms N]
@@ -55,11 +55,17 @@
 //! (stable rule codes, deterministic order), `--json` emits the
 //! machine-readable `RunReport`, and the exit code is non-zero when the
 //! run trips the `--deny` level (`errors`, the default, or `warnings`).
-//! A directory argument lints every `*.netlist` in it, sorted by name;
-//! behavior programs are detected by content and checked against the
-//! `--inputs`/`--outputs` pin arities (default 2/2). `synth` and `batch`
-//! accept `--lint` (with the same `--deny`) to run the lint stage as a
-//! pipeline admission gate, and `--no-lint` to force it off.
+//! A directory argument lints every `*.netlist` in it — entries with any
+//! other extension are skipped, and the survivors sort byte-wise so the
+//! report order is locale-independent; behavior programs are detected by
+//! content and checked against the `--inputs`/`--outputs` pin arities
+//! (default 2/2). Diagnostics that can point at a source position render
+//! with a clickable `file:line:col` anchor. `lint --fix` applies every
+//! machine-applicable fix and re-lints until none remain, rewriting the
+//! files in place; `lint --fix --check` is the dry run — nothing is
+//! written and the exit code is non-zero while fixes are pending. `synth`
+//! and `batch` accept `--lint` (with the same `--deny`) to run the lint
+//! stage as a pipeline admission gate, and `--no-lint` to force it off.
 //! `serve` runs the long-running service mode (`eblocks::serve`): a daemon
 //! that accepts the same typed requests via a spool directory (drop JSON
 //! request files into `<spool>/inbox/`, collect responses from
@@ -85,7 +91,9 @@ use eblocks::chaos::{run_chaos, ChaosConfig};
 use eblocks::core::netlist::from_netlist;
 use eblocks::core::{Design, ProgrammableSpec};
 use eblocks::farm::{run_batch, Batch, FarmConfig, JsonOptions};
-use eblocks::lint::{lint_behavior, lint_design, lint_netlist, DenyLevel, LintConfig, RunReport};
+use eblocks::lint::{
+    fix_to_fixpoint, lint_behavior, lint_design, lint_netlist, DenyLevel, LintConfig, RunReport,
+};
 use eblocks::partition::{PartitionConstraints, Partitioner, Registry};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -166,6 +174,8 @@ struct Options {
     spec: ProgrammableSpec,
     verify: bool,
     lint: Option<bool>,
+    fix: bool,
+    check: bool,
     deny: DenyLevel,
     timings: bool,
     jobs: Option<usize>,
@@ -205,6 +215,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         spec: ProgrammableSpec::default(),
         verify: true,
         lint: None,
+        fix: false,
+        check: false,
         deny: DenyLevel::default(),
         timings: false,
         jobs: None,
@@ -324,6 +336,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--no-verify" => options.verify = false,
             "--lint" => options.lint = Some(true),
             "--no-lint" => options.lint = Some(false),
+            "--fix" => options.fix = true,
+            "--check" => options.check = true,
             "--deny" => {
                 let level = it.next().ok_or("missing value for --deny")?;
                 options.deny = DenyLevel::parse(level).ok_or_else(|| {
@@ -380,8 +394,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 const USAGE: &str =
     "usage: eblocks-cli <synth|check|lint|partition|batch|serve|sim|place> <netlist|manifest(.json)|spool-DIR> \
 [-o OUTDIR] [--partitioner pare-down|exhaustive|aggregation|refine|anneal|list] \
-[--inputs N] [--outputs N] [--no-verify] [--lint | --no-lint] [--deny errors|warnings] \
-[--timings] \
+[--inputs N] [--outputs N] [--no-verify] [--lint | --no-lint] [--fix [--check]] \
+[--deny errors|warnings] [--timings] \
 [--jobs N] [--json] [--retries N] [--job-timeout-ms N] [--chaos-seed N] [--chaos-trace FILE] \
 [--socket PATH] [--serve-workers N] [--queue-capacity N] [--poll-ms N] \
 [--stimulus FILE] [--until T] [--vcd FILE] \
@@ -600,13 +614,32 @@ fn render_lint_report(report: &eblocks::lint::LintReport) -> String {
 /// Statically analyzes one file — or every `*.netlist` in a directory —
 /// without synthesizing anything. Exits non-zero when the findings trip
 /// the `--deny` level; `--json` renders the typed `RunReport`.
+///
+/// Directory contract: every entry is considered but only `*.netlist`
+/// files are linted — any other extension is skipped explicitly — and
+/// the survivors are sorted byte-wise, so the report order depends
+/// neither on readdir order nor on locale.
+///
+/// `--fix` applies machine-applicable fixes to each file until none
+/// remain (the apply-then-relint fixpoint), rewriting the file in place;
+/// `--fix --check` is the dry run — nothing is written, and the command
+/// exits non-zero if any file still has pending fixes.
 fn lint_command(options: &Options) -> Result<String, Failure> {
+    if options.check && !options.fix {
+        return Err(
+            "--check requires --fix (it is the dry-run mode of `lint --fix`)"
+                .to_string()
+                .into(),
+        );
+    }
     let mut files: Vec<PathBuf> = if options.input.is_dir() {
         let mut found = Vec::new();
         let entries = std::fs::read_dir(&options.input)
             .map_err(|e| format!("cannot read {}: {e}", options.input.display()))?;
         for entry in entries {
             let path = entry.map_err(|e| e.to_string())?.path();
+            // Only `*.netlist` is linted; goldens, docs, and editor
+            // droppings sharing the directory are skipped by extension.
             if path.extension().is_some_and(|ext| ext == "netlist") {
                 found.push(path);
             }
@@ -618,17 +651,42 @@ fn lint_command(options: &Options) -> Result<String, Failure> {
     } else {
         vec![options.input.clone()]
     };
-    files.sort();
+    files.sort_by(|a, b| {
+        a.as_os_str()
+            .as_encoded_bytes()
+            .cmp(b.as_os_str().as_encoded_bytes())
+    });
 
     let config = LintConfig::denying(options.deny);
     let mut run = RunReport::default();
+    let mut pending: Vec<String> = Vec::new();
+    let mut rewritten = 0usize;
     for file in &files {
         let text = std::fs::read_to_string(file)
             .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-        let report = if is_netlist_text(&text) {
-            lint_netlist(&text, &config)
+        let is_netlist = is_netlist_text(&text);
+        let lint_one = |t: &str| {
+            if is_netlist {
+                lint_netlist(t, &config)
+            } else {
+                lint_behavior(t, options.spec.inputs, options.spec.outputs, &config)
+            }
+        };
+        let report = if options.fix {
+            let (fixed, _rounds) = fix_to_fixpoint(&text, lint_one);
+            if fixed == text {
+                lint_one(&text)
+            } else if options.check {
+                pending.push(file.display().to_string());
+                lint_one(&text) // dry run: disk is untouched, report what's there
+            } else {
+                std::fs::write(file, &fixed)
+                    .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+                rewritten += 1;
+                lint_one(&fixed)
+            }
         } else {
-            lint_behavior(&text, options.spec.inputs, options.spec.outputs, &config)
+            lint_one(&text)
         };
         run.push(file.display().to_string(), &report);
     }
@@ -645,23 +703,52 @@ fn lint_command(options: &Options) -> Result<String, Failure> {
             } else {
                 out.push_str(&format!("{}:\n", file.file));
                 for diagnostic in &file.diagnostics {
-                    out.push_str(&format!("  {diagnostic}\n"));
+                    // Positioned findings lead with the clickable
+                    // file:line:col anchor.
+                    match (diagnostic.line, diagnostic.col) {
+                        (Some(line), Some(col)) => {
+                            out.push_str(&format!("  {}:{line}:{col}: {diagnostic}\n", file.file))
+                        }
+                        _ => out.push_str(&format!("  {diagnostic}\n")),
+                    }
                     if let Some(hint) = &diagnostic.hint {
                         out.push_str(&format!("    hint: {hint}\n"));
                     }
                 }
             }
         }
-        out.push_str(&format!("{}\n", run.outcome()));
+        if rewritten > 0 {
+            out.push_str(&format!("fixed {rewritten} file(s)\n"));
+        }
+        for file in &pending {
+            out.push_str(&format!("{file}: has pending fixes\n"));
+        }
+        let outcome = run.outcome();
+        out.push_str(&outcome.to_string());
+        if outcome.fix_count() > 0 {
+            out.push_str(&format!(", {} fixable", outcome.fix_count()));
+        }
+        out.push('\n');
         out
     };
+    let mut failures: Vec<String> = Vec::new();
     if run.rejects(options.deny) {
+        failures.push(format!(
+            "lint: {} across {} file(s)",
+            run.outcome(),
+            run.files.len()
+        ));
+    }
+    if !pending.is_empty() {
+        failures.push(format!("{} file(s) have pending fixes", pending.len()));
+    }
+    if failures.is_empty() {
+        Ok(rendered)
+    } else {
         Err(Failure {
-            message: format!("lint: {} across {} file(s)", run.outcome(), run.files.len()),
+            message: failures.join("; "),
             output: rendered,
         })
-    } else {
-        Ok(rendered)
     }
 }
 

@@ -180,6 +180,7 @@ fn job_response_strategy() -> impl Strategy<Value = JobResponse> {
                     c_bytes: has_stats.then_some(c_bytes),
                     lint_errors: None,
                     lint_warnings: (has_stats && inner % 3 > 0).then_some(inner % 3),
+                    lint_fixes: (has_stats && inner % 5 > 2).then_some(inner % 5),
                     stages_ms: (has_stats && timed).then(|| {
                         vec![StageMs {
                             stage: Stage::Partition,
@@ -217,6 +218,7 @@ fn response_strategy() -> impl Strategy<Value = BatchResponse> {
                     c_bytes: results.iter().filter_map(|r| r.c_bytes).sum(),
                     lint_errors: None,
                     lint_warnings: (lint_warnings > 0).then_some(lint_warnings),
+                    lint_fixes: None,
                     workers: timed.then_some(workers),
                     elapsed_ms: timed.then_some(ms),
                     stages: timed.then(|| {
