@@ -1,0 +1,80 @@
+//! Fleet co-simulation scaling: one global clock over 10/100/1000 nodes.
+//!
+//! Spins up relay fleets of Night Lamp Controller nodes on a grid
+//! substrate via the declarative [`FleetRequest`] spec, runs each to the
+//! horizon twice, and reports engine events per second. The second run
+//! doubles as the determinism acceptance check: the deterministic JSON
+//! report must be byte-identical regardless of fleet size.
+//!
+//! Usage: `cargo run --release -p eblocks-bench --bin fleet_scaling [until]`
+
+use eblocks_net::{FleetRequest, FleetSource};
+use std::time::{Duration, Instant};
+
+fn fmt_time(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1e-3 {
+        format!("{:.1} us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+fn main() {
+    let until: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
+
+    println!("Fleet co-simulation scaling (Night Lamp Controller relay ring on a grid):");
+    println!("horizon = {until} ticks, seed = 7, default link (latency 1, 8 bits/tick)");
+    println!(
+        "{:>7} {:>12} {:>10} {:>8} {:>10} {:>12} {:>10}",
+        "nodes", "topology", "events", "sent", "delivered", "time", "events/s"
+    );
+
+    let mut all_identical = true;
+    for nodes in [10u32, 100, 1000] {
+        let spec = FleetRequest {
+            name: Some(format!("scale-{nodes}")),
+            nodes,
+            topology: "grid".into(),
+            design: FleetSource::Library("Night Lamp Controller".into()),
+            until: Some(until),
+            seed: Some(7),
+            latency: None,
+            bits_per_tick: None,
+            packet_bits: None,
+            loss_pm: None,
+            stimulus_period: None,
+        };
+        let fleet = spec
+            .build(std::path::Path::new("."))
+            .expect("library fleet builds");
+
+        let start = Instant::now();
+        let first = fleet.run(until).expect("fleet run");
+        let elapsed = start.elapsed();
+        let second = fleet.run(until).expect("fleet rerun");
+        all_identical &= first.report.to_json() == second.report.to_json();
+
+        let report = first.report;
+        let rate = report.events as f64 / elapsed.as_secs_f64();
+        println!(
+            "{:>7} {:>12} {:>10} {:>8} {:>10} {:>12} {:>10.0}",
+            nodes,
+            report.topology,
+            report.events,
+            report.packets_sent,
+            report.packets_delivered,
+            fmt_time(elapsed),
+            rate
+        );
+    }
+    println!(
+        "reports byte-identical across paired runs: {}",
+        if all_identical { "yes" } else { "NO — BUG" }
+    );
+}

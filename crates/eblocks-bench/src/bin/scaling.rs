@@ -110,6 +110,8 @@ fn main() {
     // design, sequential vs N workers. Per-job results must be identical
     // across worker counts — only the wall clock moves.
     println!("\nBatch synthesis over the 15 Table-1 designs (farm engine, full pipeline):");
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    println!("detected cores: {cores} (speedups below are relative to 1 worker on this machine)");
     println!("{:>8} {:>14} {:>9}", "workers", "time", "speedup");
     let batch = Batch::new(
         eblocks_designs::all()

@@ -24,7 +24,7 @@ const SALT_PICKUP: u64 = 0xeb0c_0002;
 const SALT_STAGE: u64 = 0xeb0c_0003;
 
 /// Folds `parts` into one well-mixed 64-bit seed (SplitMix64 steps).
-fn mix(parts: &[u64]) -> u64 {
+pub(crate) fn mix(parts: &[u64]) -> u64 {
     let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
     for &part in parts {
         h ^= part;

@@ -44,10 +44,12 @@
 
 pub mod corrupt;
 pub mod inject;
+pub mod net;
 pub mod plan;
 pub mod trace;
 
 pub use inject::ChaosInjector;
+pub use net::{NetChaosInjector, NetChaosPlan};
 pub use plan::{ChaosPlan, FaultKind, ForcedFault};
 pub use trace::{ChaosTrace, TraceEvent, TraceFault};
 

@@ -1,0 +1,240 @@
+//! Network chaos: seeded link flaps, partitions, and node crashes for
+//! fleet co-simulation.
+//!
+//! [`NetChaosInjector`] implements the fleet engine's
+//! [`eblocks_net::NetFaultInjector`] seam under the same contract as the
+//! batch harness: every decision is a pure function of the seed and the
+//! decision point's coordinates, so a fleet storm replays byte-identically
+//! from `(seed, plan)` alone — `eblocks-cli fleet --chaos-seed N` prints
+//! the same trace every time.
+//!
+//! Four fault surfaces, each behind its own domain-separation salt:
+//!
+//! * **flaps** — a directed half-link goes down for whole windows of
+//!   [`flap_window`](NetChaosPlan::flap_window) ticks, drawn per
+//!   `(link, window)`;
+//! * **loss** — extra per-packet loss on top of the fleet's baseline,
+//!   drawn per `(link, packet)`;
+//! * **delay** — per-packet extra latency, drawn per `(link, packet)`;
+//! * **crashes** — permanent node death at a seeded instant, drawn per
+//!   node, plus pinned [`forced_crashes`](NetChaosPlan::forced_crashes)
+//!   and [`partitions`](NetChaosPlan::partitions) for scripted scenarios.
+
+use crate::inject::mix;
+use eblocks_net::{NetFaultInjector, PacketFate};
+
+/// Fleet-chaos salts, disjoint from the batch harness's `0xeb0c_000x`
+/// and eblocks-net's own `0xeb0c_100x` ranges.
+const SALT_NET_FLAP: u64 = 0xeb0c_0101;
+const SALT_NET_LOSS: u64 = 0xeb0c_0102;
+const SALT_NET_DELAY: u64 = 0xeb0c_0103;
+const SALT_NET_CRASH: u64 = 0xeb0c_0104;
+
+/// Probabilities and scripted faults for one fleet storm. Probabilities
+/// are permille (`0..=1000`); the zero default is a healthy network.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetChaosPlan {
+    /// Per-`(half-link, window)` probability that the link is down for
+    /// the whole window, in permille.
+    pub flap_pm: u16,
+    /// Width of a flap window, in ticks (0 disables flaps).
+    pub flap_window: u64,
+    /// Extra per-packet loss, in permille.
+    pub loss_pm: u16,
+    /// Per-packet probability of extra delay, in permille.
+    pub delay_pm: u16,
+    /// Largest extra delay, in ticks (draws are `1..=max_delay`).
+    pub max_delay: u64,
+    /// Per-node probability of crashing during the run, in permille.
+    pub crash_pm: u16,
+    /// Seeded crash instants are drawn in `0..horizon` (0 disables
+    /// probabilistic crashes).
+    pub horizon: u64,
+    /// Pinned crashes: `(node rank, instant)`.
+    pub forced_crashes: Vec<(usize, u64)>,
+    /// Scripted bidirectional cuts: `(site a, site b, from, to)` drops
+    /// every packet crossing `a↔b` while `from <= t < to`.
+    pub partitions: Vec<(usize, usize, u64, u64)>,
+}
+
+impl NetChaosPlan {
+    /// A storm preset for determinism tests: frequent flaps, extra loss,
+    /// occasional delay, and seeded crashes across `horizon` ticks.
+    pub fn storm(horizon: u64) -> Self {
+        Self {
+            flap_pm: 150,
+            flap_window: 16,
+            loss_pm: 50,
+            delay_pm: 100,
+            max_delay: 5,
+            crash_pm: 120,
+            horizon,
+            ..Self::default()
+        }
+    }
+}
+
+/// The seeded [`NetFaultInjector`]: `(seed, plan)` is the whole state.
+#[derive(Debug, Clone)]
+pub struct NetChaosInjector {
+    seed: u64,
+    plan: NetChaosPlan,
+}
+
+impl NetChaosInjector {
+    /// An injector replaying the storm identified by `(seed, plan)`.
+    pub fn new(seed: u64, plan: NetChaosPlan) -> Self {
+        Self { seed, plan }
+    }
+
+    /// The storm's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn permille(&self, salt: u64, coords: &[u64], pm: u16) -> bool {
+        if pm == 0 {
+            return false;
+        }
+        let mut parts = vec![self.seed, salt];
+        parts.extend_from_slice(coords);
+        mix(&parts) % 1000 < u64::from(pm)
+    }
+}
+
+impl NetFaultInjector for NetChaosInjector {
+    fn packet_fate(&self, from: usize, to: usize, t: u64, seq: u64) -> PacketFate {
+        for &(a, b, start, end) in &self.plan.partitions {
+            let crosses = (a, b) == (from, to) || (b, a) == (from, to);
+            if crosses && t >= start && t < end {
+                return PacketFate::Drop;
+            }
+        }
+        if let Some(window) = t.checked_div(self.plan.flap_window) {
+            if self.permille(
+                SALT_NET_FLAP,
+                &[from as u64, to as u64, window],
+                self.plan.flap_pm,
+            ) {
+                return PacketFate::Drop;
+            }
+        }
+        if self.permille(
+            SALT_NET_LOSS,
+            &[from as u64, to as u64, seq],
+            self.plan.loss_pm,
+        ) {
+            return PacketFate::Drop;
+        }
+        if self.plan.max_delay > 0
+            && self.permille(
+                SALT_NET_DELAY,
+                &[from as u64, to as u64, seq],
+                self.plan.delay_pm,
+            )
+        {
+            let ticks = 1 + mix(&[self.seed, SALT_NET_DELAY, from as u64, to as u64, seq, 1])
+                % self.plan.max_delay;
+            return PacketFate::Delay(ticks);
+        }
+        PacketFate::Deliver
+    }
+
+    fn node_down(&self, node: usize, t: u64) -> bool {
+        if self
+            .plan
+            .forced_crashes
+            .iter()
+            .any(|&(n, at)| n == node && t >= at)
+        {
+            return true;
+        }
+        if self.plan.horizon > 0
+            && self.permille(SALT_NET_CRASH, &[node as u64], self.plan.crash_pm)
+        {
+            let at = mix(&[self.seed, SALT_NET_CRASH, node as u64, 1]) % self.plan.horizon;
+            return t >= at;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_functions_of_the_point() {
+        let a = NetChaosInjector::new(99, NetChaosPlan::storm(200));
+        let b = NetChaosInjector::new(99, NetChaosPlan::storm(200));
+        for t in 0..64 {
+            for seq in 0..8 {
+                assert_eq!(a.packet_fate(0, 1, t, seq), b.packet_fate(0, 1, t, seq));
+            }
+            assert_eq!(a.node_down(3, t), b.node_down(3, t));
+        }
+    }
+
+    #[test]
+    fn another_seed_makes_another_storm() {
+        let a = NetChaosInjector::new(1, NetChaosPlan::storm(200));
+        let b = NetChaosInjector::new(2, NetChaosPlan::storm(200));
+        let fates = |inj: &NetChaosInjector| {
+            (0..512)
+                .map(|seq| inj.packet_fate(0, 1, seq, seq))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(fates(&a), fates(&b));
+    }
+
+    #[test]
+    fn flaps_down_whole_windows() {
+        let plan = NetChaosPlan {
+            flap_pm: 400,
+            flap_window: 10,
+            ..NetChaosPlan::default()
+        };
+        let inj = NetChaosInjector::new(7, plan);
+        // Find a downed window; every instant inside it must agree.
+        let downed = (0..100u64)
+            .find(|&w| inj.packet_fate(2, 3, w * 10, 0) == PacketFate::Drop)
+            .expect("40% flaps hit within 100 windows");
+        for t in downed * 10..(downed + 1) * 10 {
+            assert_eq!(inj.packet_fate(2, 3, t, t), PacketFate::Drop);
+        }
+    }
+
+    #[test]
+    fn scripted_faults_apply() {
+        let plan = NetChaosPlan {
+            forced_crashes: vec![(4, 50)],
+            partitions: vec![(0, 1, 10, 20)],
+            ..NetChaosPlan::default()
+        };
+        let inj = NetChaosInjector::new(0, plan);
+        assert!(!inj.node_down(4, 49));
+        assert!(inj.node_down(4, 50));
+        assert!(!inj.node_down(3, 99));
+        // The cut drops both directions, only inside its window.
+        assert_eq!(inj.packet_fate(0, 1, 15, 0), PacketFate::Drop);
+        assert_eq!(inj.packet_fate(1, 0, 15, 0), PacketFate::Drop);
+        assert_eq!(inj.packet_fate(0, 1, 20, 0), PacketFate::Deliver);
+        assert_eq!(inj.packet_fate(2, 1, 15, 0), PacketFate::Deliver);
+    }
+
+    #[test]
+    fn delays_are_bounded_and_nonzero() {
+        let plan = NetChaosPlan {
+            delay_pm: 1000,
+            max_delay: 5,
+            ..NetChaosPlan::default()
+        };
+        let inj = NetChaosInjector::new(11, plan);
+        for seq in 0..64 {
+            match inj.packet_fate(0, 1, 0, seq) {
+                PacketFate::Delay(d) => assert!((1..=5).contains(&d)),
+                other => panic!("expected a delay, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Port↔endpoint bridging metadata.
+//!
+//! A fleet co-simulation (the `eblocks-net` crate) bridges chosen block
+//! ports of a design to network endpoints: an output port becomes a node's
+//! egress, a sensor becomes its ingress. [`PortRef`] is the shared "name a
+//! port" currency for those bridges — fleet specs, traces, and stats all
+//! render ports the same way (`block.port`), and the parser lives here so
+//! every layer accepts the same syntax.
+
+use crate::design::Design;
+use crate::error::DesignError;
+use std::fmt;
+
+/// A reference to one port of a named block, rendered `block.port`
+/// (for example `both.0`).
+///
+/// The reference is purely syntactic: whether the named block exists, and
+/// whether the port is in range, is checked against a concrete [`Design`]
+/// by [`resolve`](PortRef::resolve) (or by the layer doing the bridging).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortRef {
+    /// The block's name within its design.
+    pub block: String,
+    /// The port index on that block.
+    pub port: u8,
+}
+
+impl PortRef {
+    /// A reference to `block`'s port `port`.
+    pub fn new(block: impl Into<String>, port: u8) -> Self {
+        Self {
+            block: block.into(),
+            port,
+        }
+    }
+
+    /// Parses `block.port`. The split is on the *last* dot, so block names
+    /// containing dots stay addressable; a missing or non-numeric port
+    /// yields `None`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let (block, port) = s.rsplit_once('.')?;
+        if block.is_empty() {
+            return None;
+        }
+        let port: u8 = port.parse().ok()?;
+        Some(Self::new(block, port))
+    }
+
+    /// Checks the reference against `design`: the block must exist and the
+    /// port must be one of its *output* ports (egress bridging taps what a
+    /// block drives).
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::UnknownBlock`] if no block has this name,
+    /// [`DesignError::PortOutOfRange`] if the port index is too large.
+    pub fn resolve(&self, design: &Design) -> Result<(), DesignError> {
+        let id = design
+            .block_by_name(&self.block)
+            .ok_or_else(|| DesignError::UnknownBlock {
+                reference: format!("`{}`", self.block),
+            })?;
+        let block = design.block(id).expect("resolved block");
+        if self.port >= block.num_outputs() {
+            return Err(DesignError::PortOutOfRange {
+                block: self.block.clone(),
+                port: self.port,
+                arity: block.num_outputs(),
+                direction: "output",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PortRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.block, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{ComputeKind, SensorKind};
+
+    #[test]
+    fn parse_round_trips_display() {
+        let r = PortRef::new("both", 0);
+        assert_eq!(r.to_string(), "both.0");
+        assert_eq!(PortRef::parse("both.0"), Some(r));
+        // Last-dot split keeps dotted block names addressable.
+        assert_eq!(PortRef::parse("zone.a.1"), Some(PortRef::new("zone.a", 1)));
+        assert_eq!(PortRef::parse("noport"), None);
+        assert_eq!(PortRef::parse(".0"), None);
+        assert_eq!(PortRef::parse("b.x"), None);
+        assert_eq!(PortRef::parse("b.999"), None, "port is u8");
+    }
+
+    #[test]
+    fn resolve_checks_block_and_port() {
+        let mut d = Design::new("r");
+        d.add_block("s", SensorKind::Button);
+        d.add_block("g", ComputeKind::and2());
+        assert!(PortRef::new("s", 0).resolve(&d).is_ok());
+        assert!(PortRef::new("g", 0).resolve(&d).is_ok());
+        assert!(matches!(
+            PortRef::new("ghost", 0).resolve(&d),
+            Err(DesignError::UnknownBlock { .. })
+        ));
+        assert!(matches!(
+            PortRef::new("g", 1).resolve(&d),
+            Err(DesignError::PortOutOfRange { .. })
+        ));
+    }
+}

@@ -48,6 +48,7 @@ pub mod bitset;
 pub mod block;
 pub mod cut;
 pub mod design;
+pub mod endpoint;
 pub mod error;
 pub mod kind;
 pub mod level;
@@ -58,6 +59,7 @@ pub use bitset::{BitSet, InnerIndex};
 pub use block::Block;
 pub use cut::{cut_cost, CutCost};
 pub use design::{BlockId, Connection, Design, EdgeId};
+pub use endpoint::PortRef;
 pub use error::DesignError;
 pub use kind::{BlockKind, CommKind, ComputeKind, OutputKind, ProgrammableSpec, SensorKind};
 pub use level::levels;

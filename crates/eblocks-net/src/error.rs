@@ -1,0 +1,125 @@
+//! Fleet co-simulation errors.
+
+use eblocks_core::DesignError;
+use eblocks_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or running a fleet.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The fleet has no nodes.
+    EmptyFleet,
+    /// A node's simulator failed to build or its run faulted.
+    Sim {
+        /// The node's name.
+        node: String,
+        /// The underlying simulator error.
+        error: SimError,
+    },
+    /// A design failed to load or validate (fleet specs).
+    Design(DesignError),
+    /// A channel cannot be bridged (bad endpoint, unknown node, no route).
+    Channel {
+        /// The channel, rendered `src:block.port -> dst:sensor`.
+        channel: String,
+        /// Why it cannot be bridged.
+        message: String,
+    },
+    /// The topology cannot host the fleet (unknown kind, capacity,
+    /// disconnected substrate).
+    Topology {
+        /// What went wrong.
+        message: String,
+    },
+    /// A fleet spec could not be parsed or resolved.
+    Spec {
+        /// 1-based line number for line-oriented specs.
+        line: Option<usize>,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl NetError {
+    pub(crate) fn spec(message: impl Into<String>) -> Self {
+        Self::Spec {
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn spec_at(line: usize, message: impl Into<String>) -> Self {
+        Self::Spec {
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn topology(message: impl Into<String>) -> Self {
+        Self::Topology {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyFleet => write!(f, "fleet has no nodes"),
+            Self::Sim { node, error } => write!(f, "node `{node}`: {error}"),
+            Self::Design(e) => write!(f, "design error: {e}"),
+            Self::Channel { channel, message } => {
+                write!(f, "channel {channel}: {message}")
+            }
+            Self::Topology { message } => write!(f, "topology error: {message}"),
+            Self::Spec {
+                line: Some(line),
+                message,
+            } => write!(f, "fleet spec line {line}: {message}"),
+            Self::Spec {
+                line: None,
+                message,
+            } => write!(f, "fleet spec: {message}"),
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Sim { error, .. } => Some(error),
+            Self::Design(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DesignError> for NetError {
+    fn from(e: DesignError) -> Self {
+        Self::Design(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::Sim {
+            node: "n3".into(),
+            error: SimError::InvalidTickPeriod,
+        };
+        assert!(e.to_string().contains("n3"));
+        let e = NetError::spec_at(4, "unknown key `foo`");
+        assert!(e.to_string().contains("line 4"));
+        let e = NetError::Channel {
+            channel: "n0:both.0 -> n1:door".into(),
+            message: "no route".into(),
+        };
+        assert!(e.to_string().contains("both.0"));
+        assert!(NetError::EmptyFleet.to_string().contains("no nodes"));
+    }
+}

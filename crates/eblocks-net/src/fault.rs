@@ -1,0 +1,50 @@
+//! The network fault seam.
+//!
+//! Mirrors the `FaultInjector` pattern of the batch chaos harness: the
+//! fleet engine consults an injector at every decision point, and the
+//! injector must answer as a *pure function* of its seed and the decision
+//! coordinates — never of wall-clock time or call order — so a chaotic
+//! run is replayable from the seed alone. `eblocks-chaos` provides the
+//! standard implementation (link flaps, partitions, node crashes); tests
+//! can implement the trait directly for scripted faults.
+
+use eblocks_sim::Time;
+
+/// What happens to one packet attempting one hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFate {
+    /// The hop proceeds normally.
+    Deliver,
+    /// The packet is lost at this hop.
+    Drop,
+    /// The hop succeeds but takes this many extra ticks.
+    Delay(Time),
+}
+
+/// Deterministic fault decisions for a fleet run.
+///
+/// Both methods must be pure functions of `self` and their arguments.
+/// Sites are named by their dense substrate indices
+/// ([`eblocks_place::SiteId::index`]), nodes by fleet node rank.
+pub trait NetFaultInjector: Sync {
+    /// The fate of packet `seq` entering the directed half-link
+    /// `from → to` at instant `t`. Default: deliver.
+    fn packet_fate(&self, from: usize, to: usize, t: Time, seq: u64) -> PacketFate {
+        let _ = (from, to, t, seq);
+        PacketFate::Deliver
+    }
+
+    /// Whether `node` is down at instant `t`. The engine treats the first
+    /// `true` it observes as a permanent crash: the node never steps
+    /// again and packets addressed to it are dropped.
+    fn node_down(&self, node: usize, t: Time) -> bool {
+        let _ = (node, t);
+        false
+    }
+}
+
+/// The null injector: a healthy network.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl NetFaultInjector for NoFaults {}

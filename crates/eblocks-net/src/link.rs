@@ -1,0 +1,93 @@
+//! Link model: latency, bandwidth (serialization + queueing), loss.
+//!
+//! Every physical link in the substrate is a pair of independent directed
+//! half-links, each a FIFO store-and-forward channel (the dslab-network
+//! shape): a packet entering a busy half-link waits for the packets ahead
+//! of it, then occupies the link for its serialization delay, then
+//! propagates for the link's latency. Loss is decided per hop from the
+//! fleet seed, never from queue state, so a lossy run is replayable.
+
+use eblocks_sim::Time;
+
+/// Uniform parameters for every link in a fleet.
+///
+/// eBlocks packets are tiny (a boolean plus framing), so the defaults —
+/// 8-bit packets at 8 bits/tick over 1-tick-latency links — give one tick
+/// of serialization and one of propagation per hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Propagation delay per hop, in ticks.
+    pub latency: Time,
+    /// Serialization rate, in bits per tick; `0` means infinite bandwidth
+    /// (no serialization delay, no queueing).
+    pub bits_per_tick: u64,
+    /// Packet size on the wire, in bits.
+    pub packet_bits: u64,
+    /// Per-hop loss probability, per mille, decided from the fleet seed.
+    pub loss_pm: u16,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        Self {
+            latency: 1,
+            bits_per_tick: 8,
+            packet_bits: 8,
+            loss_pm: 0,
+        }
+    }
+}
+
+impl LinkSpec {
+    /// Ticks a packet occupies a link while serializing onto it.
+    pub fn serialization_delay(&self) -> Time {
+        if self.bits_per_tick == 0 {
+            0
+        } else {
+            self.packet_bits.div_ceil(self.bits_per_tick)
+        }
+    }
+}
+
+/// Mutable per-half-link state: the FIFO horizon plus counters.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LinkState {
+    /// The instant the half-link finishes serializing its current queue.
+    pub busy_until: Time,
+    /// Packets that entered this half-link.
+    pub packets: u64,
+    /// Packets lost on this half-link (seeded loss or injected faults).
+    pub dropped: u64,
+    /// Total ticks spent serializing.
+    pub busy_ticks: u64,
+    /// Total ticks packets waited behind earlier traffic (queue occupancy).
+    pub wait_ticks: u64,
+    /// Longest single queueing wait.
+    pub max_wait: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_delay_rounds_up() {
+        let spec = LinkSpec {
+            bits_per_tick: 8,
+            packet_bits: 8,
+            ..Default::default()
+        };
+        assert_eq!(spec.serialization_delay(), 1);
+        let spec = LinkSpec {
+            bits_per_tick: 3,
+            packet_bits: 8,
+            ..Default::default()
+        };
+        assert_eq!(spec.serialization_delay(), 3);
+        let infinite = LinkSpec {
+            bits_per_tick: 0,
+            ..Default::default()
+        };
+        assert_eq!(infinite.serialization_delay(), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Fleet topologies: the physical substrate plus node placement.
+//!
+//! A [`FleetTopology`] wraps an [`eblocks_place::Topology`] — the same
+//! site/link graph the placement layer optimizes over, so placement
+//! results map directly onto fleet nodes — and assigns fleet nodes to
+//! sites in deterministic site order, respecting site capacities.
+
+use crate::error::NetError;
+use eblocks_place::{SiteId, Topology};
+
+/// A physical substrate for a fleet, with a deterministic node→site
+/// assignment rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetTopology {
+    label: String,
+    substrate: Topology,
+}
+
+impl FleetTopology {
+    /// A hub-and-spoke substrate for `n` nodes: every node on its own
+    /// leaf, the hub a pure relay site hosting nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn star(n: usize) -> Self {
+        Self {
+            label: format!("star({n})"),
+            substrate: Topology::star(n, 0),
+        }
+    }
+
+    /// A line of `n` sites, one node each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn chain(n: usize) -> Self {
+        Self {
+            label: format!("chain({n})"),
+            substrate: Topology::line(n),
+        }
+    }
+
+    /// A near-square mesh with at least `n` sites (width `⌈√n⌉`), one
+    /// node per site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn grid(n: usize) -> Self {
+        assert!(n > 0, "a grid needs at least one node");
+        let width = (n as f64).sqrt().ceil() as usize;
+        let height = n.div_ceil(width);
+        Self::grid_dims(width, height)
+    }
+
+    /// An explicit `width × height` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn grid_dims(width: usize, height: usize) -> Self {
+        Self {
+            label: format!("grid({width}x{height})"),
+            substrate: Topology::grid(width, height),
+        }
+    }
+
+    /// A non-blocking switch fabric: every node one hop from every other
+    /// (a full mesh of `n` ports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn switch(n: usize) -> Self {
+        Self {
+            label: format!("switch({n})"),
+            substrate: Topology::full_mesh(n),
+        }
+    }
+
+    /// Any custom substrate — e.g. one a placement run was solved
+    /// against. Nodes fill sites in site order, `capacity` nodes per site.
+    pub fn custom(label: impl Into<String>, substrate: Topology) -> Self {
+        Self {
+            label: label.into(),
+            substrate,
+        }
+    }
+
+    /// Parses a CLI/spec topology kind: `star`, `chain`, `grid`,
+    /// `grid:WxH`, or `switch`, sized for `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Topology`] for unknown kinds, malformed dimensions, or
+    /// `n == 0`.
+    pub fn parse(kind: &str, n: usize) -> Result<Self, NetError> {
+        if n == 0 {
+            return Err(NetError::topology("fleet needs at least one node"));
+        }
+        match kind {
+            "star" => Ok(Self::star(n)),
+            "chain" => Ok(Self::chain(n)),
+            "grid" => Ok(Self::grid(n)),
+            "switch" => Ok(Self::switch(n)),
+            _ => {
+                if let Some(dims) = kind.strip_prefix("grid:") {
+                    let (w, h) = dims
+                        .split_once('x')
+                        .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
+                        .filter(|&(w, h): &(usize, usize)| w > 0 && h > 0)
+                        .ok_or_else(|| {
+                            NetError::topology(format!("bad grid dimensions `{dims}` (want WxH)"))
+                        })?;
+                    Ok(Self::grid_dims(w, h))
+                } else {
+                    Err(NetError::topology(format!(
+                        "unknown topology `{kind}` (star, chain, grid, grid:WxH, switch)"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// The display label (`star(8)`, `grid(4x3)`, …).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The underlying site/link graph.
+    pub fn substrate(&self) -> &Topology {
+        &self.substrate
+    }
+
+    /// Assigns `n` nodes to sites: sites in id order, each hosting up to
+    /// its capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Topology`] if total capacity is below `n`.
+    pub fn assign(&self, n: usize) -> Result<Vec<SiteId>, NetError> {
+        let mut sites = Vec::with_capacity(n);
+        'fill: for site in self.substrate.sites() {
+            let capacity = self.substrate.site(site).expect("iterated site").capacity();
+            for _ in 0..capacity {
+                sites.push(site);
+                if sites.len() == n {
+                    break 'fill;
+                }
+            }
+        }
+        if sites.len() < n {
+            return Err(NetError::topology(format!(
+                "{} nodes exceed the substrate's capacity of {}",
+                n,
+                self.substrate.total_capacity()
+            )));
+        }
+        Ok(sites)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_keeps_the_hub_free() {
+        let t = FleetTopology::star(4);
+        let sites = t.assign(4).unwrap();
+        assert_eq!(sites.len(), 4);
+        let hub = t.substrate().site_by_name("hub").unwrap();
+        assert!(sites.iter().all(|&s| s != hub), "hub hosts no node");
+        assert!(t.assign(5).is_err(), "only 4 leaves");
+    }
+
+    #[test]
+    fn grid_is_near_square() {
+        assert_eq!(FleetTopology::grid(10).label(), "grid(4x3)");
+        assert_eq!(FleetTopology::grid(9).label(), "grid(3x3)");
+        assert_eq!(FleetTopology::grid(1000).label(), "grid(32x32)");
+        assert!(FleetTopology::grid(10).assign(10).is_ok());
+    }
+
+    #[test]
+    fn parse_kinds() {
+        assert_eq!(FleetTopology::parse("star", 3).unwrap().label(), "star(3)");
+        assert_eq!(
+            FleetTopology::parse("grid:5x2", 10).unwrap().label(),
+            "grid(5x2)"
+        );
+        assert!(FleetTopology::parse("grid:0x2", 1).is_err());
+        assert!(FleetTopology::parse("grid:ax2", 1).is_err());
+        assert!(FleetTopology::parse("ring", 3).is_err());
+        assert!(FleetTopology::parse("star", 0).is_err());
+    }
+
+    #[test]
+    fn custom_assignment_respects_capacity() {
+        let mut sub = Topology::new();
+        let closet = sub.add_site("closet", 3);
+        let room = sub.add_site("room", 1);
+        sub.link(closet, room);
+        let t = FleetTopology::custom("house", sub);
+        assert_eq!(t.assign(4).unwrap(), vec![closet, closet, closet, room]);
+        assert!(t.assign(5).is_err());
+    }
+}

@@ -140,6 +140,27 @@ impl Topology {
         t
     }
 
+    /// A fully connected mesh of `n` sites — models a non-blocking switch
+    /// fabric (every port one hop from every other, no shared transit
+    /// site). Sites are named `port<i>` and hold one block each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn full_mesh(n: usize) -> Self {
+        assert!(n > 0, "a mesh needs at least one site");
+        let mut t = Self::new();
+        for i in 0..n {
+            t.add_site(format!("port{i}"), 1);
+        }
+        for a in 0..n {
+            for b in a + 1..n {
+                t.link(SiteId(a), SiteId(b));
+            }
+        }
+        t
+    }
+
     /// Adds a site and returns its id.
     pub fn add_site(&mut self, name: impl Into<String>, capacity: usize) -> SiteId {
         let id = SiteId(self.sites.len());
@@ -421,6 +442,21 @@ mod tests {
             Some(2),
             "leaf to leaf via hub"
         );
+    }
+
+    #[test]
+    fn full_mesh_is_one_hop_everywhere() {
+        let t = Topology::full_mesh(5);
+        assert_eq!(t.num_sites(), 5);
+        assert_eq!(t.total_capacity(), 5);
+        assert!(t.is_connected());
+        for a in t.sites() {
+            assert_eq!(t.neighbors(a).count(), 4);
+            for b in t.sites() {
+                let expected = usize::from(a != b);
+                assert_eq!(t.distance(a, b), Some(expected));
+            }
+        }
     }
 
     #[test]

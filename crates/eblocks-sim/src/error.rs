@@ -46,6 +46,14 @@ pub enum SimError {
     /// same instant forever, so the run would never advance past its first
     /// tick — rejected instead of hanging.
     InvalidTickPeriod,
+    /// A co-simulation endpoint cannot be bridged to a block port (see
+    /// [`crate::cosim`]).
+    BadEndpoint {
+        /// The referenced `block.port` endpoint.
+        endpoint: String,
+        /// Why it cannot be bridged.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -70,6 +78,9 @@ impl fmt::Display for SimError {
                     f,
                     "tick period must be at least one tick (zero would hang the run)"
                 )
+            }
+            Self::BadEndpoint { endpoint, detail } => {
+                write!(f, "cannot bridge endpoint `{endpoint}`: {detail}")
             }
         }
     }

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cosim;
 pub mod energy;
 pub mod equiv;
 pub mod error;
@@ -52,10 +53,12 @@ pub mod fault;
 pub mod reliability;
 pub mod sim;
 pub mod stimulus;
+pub mod time;
 pub mod trace;
 pub mod vcd;
 pub mod waveform;
 
+pub use cosim::{CapturedPacket, NodeRunner, SensorRef, TapId};
 pub use energy::{estimate_energy, EnergyModel, EnergyReport};
 pub use equiv::{equivalence, EquivalenceReport};
 pub use error::SimError;

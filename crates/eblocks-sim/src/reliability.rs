@@ -11,7 +11,9 @@
 //! The per-output *availability* — the fraction of trials in which that
 //! output still ends at its healthy value — tells a designer which outputs
 //! hang off single points of failure. Trials are deterministic for a fixed
-//! seed.
+//! seed: every plan is sampled up front in trial order, then the trials run
+//! on per-thread runner arenas (exact per-output sums, so the worker count
+//! never changes the report).
 
 use crate::fault::{Fault, FaultPlan};
 use crate::sim::{Runner, Simulator, Time};
@@ -35,6 +37,11 @@ pub struct ReliabilityConfig {
     pub comm_failure_pm: u16,
     /// RNG seed; identical seeds give identical reports. Default `0x5EED`.
     pub seed: u64,
+    /// Worker threads for the trial sweep; `0` (the default) uses the
+    /// detected core count. The worker count never changes the report:
+    /// fault plans are sampled up front in trial order from the seed, and
+    /// per-output match counts are exact sums over trials.
+    pub threads: usize,
 }
 
 impl Default for ReliabilityConfig {
@@ -44,6 +51,7 @@ impl Default for ReliabilityConfig {
             sensor_stuck_pm: 50,
             comm_failure_pm: 100,
             seed: 0x5EED,
+            threads: 0,
         }
     }
 }
@@ -105,9 +113,11 @@ pub fn reliability(
     until: Time,
     config: &ReliabilityConfig,
 ) -> Result<ReliabilityReport, SimError> {
-    // One runner arena for the whole sweep: every trial resets it in place
-    // instead of recompiling machines and reallocating queues per run; the
-    // stimulus is resolved and sorted once and re-woven on each reset.
+    // One runner arena per thread for the whole sweep: every trial resets
+    // its arena in place instead of recompiling machines and reallocating
+    // queues per run; the stimulus is resolved and sorted once per arena
+    // and re-woven on each reset. This arena runs the baseline (and the
+    // whole sweep when only one worker is in play).
     let mut runner = Runner::new(sim, &FaultPlan::new())?;
     runner.load_stimulus(stimulus)?;
     runner.run(until)?;
@@ -124,10 +134,11 @@ pub fn reliability(
         .map(|b| design.block(b).expect("block").name().to_string())
         .collect();
 
+    // Sample every trial's plan up front, in trial order, from one seeded
+    // RNG: the sampled fault sequence — and therefore the report — is
+    // byte-identical no matter how many workers later run the trials.
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut matches = vec![0u32; baseline.len()];
-    let mut fault_free = 0u32;
-
+    let mut plans = Vec::with_capacity(config.trials as usize);
     for _ in 0..config.trials {
         let mut plan = FaultPlan::new();
         for name in &sensors {
@@ -147,19 +158,48 @@ pub fn reliability(
                 });
             }
         }
-        if plan.is_empty() {
-            fault_free += 1;
-        }
-        runner.reset(&plan);
-        runner.run(until)?;
-        let outcome = settled(runner.trace());
-        for (i, (name, value)) in baseline.iter().enumerate() {
-            let same = outcome
-                .iter()
-                .find(|(n, _)| n == name)
-                .is_some_and(|(_, v)| v == value);
-            if same {
-                matches[i] += 1;
+        plans.push(plan);
+    }
+    let fault_free = plans.iter().filter(|p| p.is_empty()).count() as u32;
+
+    let workers = match config.threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+    .min(plans.len().max(1));
+
+    let mut matches = vec![0u32; baseline.len()];
+    if workers <= 1 {
+        trial_sweep(&mut runner, &plans, until, &baseline, &mut matches)?;
+    } else {
+        // One runner arena per worker: each thread builds its own engine
+        // once and resets it across its contiguous chunk of trials. Match
+        // counts are exact per-output sums, so merging chunk totals gives
+        // the same numbers as the sequential sweep.
+        let chunk_size = plans.len().div_ceil(workers);
+        let results: Vec<Result<Vec<u32>, SimError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plans
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    let baseline = &baseline;
+                    scope.spawn(move || {
+                        let mut arena = Runner::new(sim, &FaultPlan::new())?;
+                        arena.load_stimulus(stimulus)?;
+                        let mut local = vec![0u32; baseline.len()];
+                        trial_sweep(&mut arena, chunk, until, baseline, &mut local)?;
+                        Ok(local)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reliability worker panicked"))
+                .collect()
+        });
+        for result in results {
+            let local = result?;
+            for (total, add) in matches.iter_mut().zip(&local) {
+                *total += add;
             }
         }
     }
@@ -174,6 +214,32 @@ pub fn reliability(
         fault_free_trials: fault_free,
         availability,
     })
+}
+
+/// Runs `plans` on one arena, incrementing `matches[i]` for each trial in
+/// which output `i`'s settled value equals the baseline's.
+fn trial_sweep(
+    runner: &mut Runner<'_>,
+    plans: &[FaultPlan],
+    until: Time,
+    baseline: &[(String, bool)],
+    matches: &mut [u32],
+) -> Result<(), SimError> {
+    for plan in plans {
+        runner.reset(plan);
+        runner.run(until)?;
+        let outcome = settled(runner.trace());
+        for (i, (name, value)) in baseline.iter().enumerate() {
+            let same = outcome
+                .iter()
+                .find(|(n, _)| n == name)
+                .is_some_and(|(_, v)| v == value);
+            if same {
+                matches[i] += 1;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Settled (final) value per output, idle-low default, sorted by name.
@@ -263,6 +329,26 @@ mod tests {
             reliability(&sim, &stim, 100, &config).unwrap(),
             reliability(&sim, &stim, 100, &config).unwrap()
         );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let d = mixed();
+        let sim = Simulator::new(&d).unwrap();
+        let stim = Stimulus::new().set(20, "btn1", true).set(25, "btn2", true);
+        let report_at = |threads: usize| {
+            let config = ReliabilityConfig {
+                trials: 120,
+                threads,
+                ..Default::default()
+            };
+            reliability(&sim, &stim, 100, &config).unwrap()
+        };
+        let sequential = report_at(1);
+        assert_eq!(sequential, report_at(4));
+        assert_eq!(sequential, report_at(7));
+        // More workers than trials also degrades gracefully.
+        assert_eq!(sequential, report_at(1000));
     }
 
     #[test]

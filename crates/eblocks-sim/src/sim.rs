@@ -70,6 +70,7 @@
 //! block index computed once from topological order, so the hot path does
 //! no hashing and no per-event allocation.
 
+use crate::cosim::CapturedPacket;
 use crate::error::SimError;
 use crate::fault::{FaultPlan, ResolvedFaults};
 use crate::stimulus::Stimulus;
@@ -77,7 +78,7 @@ use crate::trace::Trace;
 use eblocks_behavior::{check, library, parse, Machine, Program, Value};
 use eblocks_core::{BlockId, BlockKind, Design};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 
 /// Simulation time, in abstract ticks. One tick is the period of `on tick`
 /// events; eBlocks operate on human-scale timing, so finer resolution adds
@@ -427,6 +428,18 @@ pub(crate) struct Runner<'a> {
     out_now: Vec<Vec<(u8, u64, bool)>>,
     seq: u64,
     trace: Trace,
+    // --- co-simulation bridging (see `crate::cosim`) ---
+    /// Per output slot: the tap observing that slot's transmissions, if
+    /// any. Static wiring like `stim_cache` — registrations survive
+    /// [`reset`](Runner::reset).
+    taps: Vec<Option<u32>>,
+    next_tap: u32,
+    /// Transmissions captured at tapped slots since the last drain, in
+    /// emission order.
+    captured: Vec<CapturedPacket>,
+    /// Network-injected sensor events, applied at their instant *after*
+    /// any scripted stimulus of the same instant, in insertion order.
+    injected: VecDeque<(Time, usize, bool)>,
 }
 
 impl<'a> Runner<'a> {
@@ -527,6 +540,10 @@ impl<'a> Runner<'a> {
             out_now: vec![Vec::new(); n],
             seq: 0,
             trace: Trace::default(),
+            taps: vec![None; num_slots],
+            next_tap: 0,
+            captured: Vec::new(),
+            injected: VecDeque::new(),
         };
         runner.reset(plan);
         Ok(runner)
@@ -566,6 +583,8 @@ impl<'a> Runner<'a> {
         }
         self.seq = 0;
         self.trace = Trace::with_outputs(self.output_names.iter().cloned());
+        self.captured.clear();
+        self.injected.clear();
 
         // Power-on announcements take seqs 0..sensors (they are generated
         // inside `weave_stimulus`); the first tick of each time-driven
@@ -661,25 +680,36 @@ impl<'a> Runner<'a> {
     /// Runs until `until` (inclusive) and folds the transmission counters
     /// into the trace.
     pub(crate) fn run(&mut self, until: Time) -> Result<(), SimError> {
-        loop {
-            let next_sense = self.sense_schedule.get(self.sense_cursor).map(|e| e.t);
-            let t = match (next_sense, self.calendar.next_time()) {
-                (Some(a), Some(b)) => a.min(b),
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (None, None) => break,
-            };
+        while let Some(t) = self.next_event_time() {
             if t > until {
                 break;
             }
             self.process_instant(t, until)?;
         }
+        self.finalize_counts();
+        Ok(())
+    }
+
+    /// The earliest instant with pending work — a scripted sense event, a
+    /// calendar event, or a network-injected sense event.
+    pub(crate) fn next_event_time(&self) -> Option<Time> {
+        let sense = self.sense_schedule.get(self.sense_cursor).map(|e| e.t);
+        let injected = self.injected.front().map(|&(t, _, _)| t);
+        [sense, self.calendar.next_time(), injected]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Folds the transmission counters into the trace. Once per run:
+    /// [`run`](Runner::run) does it itself; co-simulation drivers call it
+    /// when the fleet clock stops.
+    pub(crate) fn finalize_counts(&mut self) {
         for (name, &count) in self.names.iter().zip(&self.tx_counts) {
             if count > 0 {
                 self.trace.count_transmissions(name, count);
             }
         }
-        Ok(())
     }
 
     /// The trace recorded by the last [`run`](Runner::run).
@@ -687,8 +717,51 @@ impl<'a> Runner<'a> {
         &self.trace
     }
 
-    fn into_trace(self) -> Trace {
+    pub(crate) fn into_trace(self) -> Trace {
         self.trace
+    }
+
+    // --- co-simulation hooks (used by `crate::cosim::NodeRunner`) ---
+
+    /// The dense index of `id`, if the block is in the design.
+    pub(crate) fn dense_of_id(&self, id: BlockId) -> Option<usize> {
+        self.index.dense_of(id)
+    }
+
+    /// Registers a tap on output slot `(dense, port)`. Idempotent: tapping
+    /// the same slot twice returns the same id.
+    pub(crate) fn register_tap(&mut self, dense: usize, port: u8) -> u32 {
+        let slot = self.meta[dense].out_offset + port as usize;
+        if let Some(id) = self.taps[slot] {
+            return id;
+        }
+        let id = self.next_tap;
+        self.next_tap += 1;
+        self.taps[slot] = Some(id);
+        id
+    }
+
+    /// Queues a network-injected sensor change at `t`. Injections apply
+    /// after any scripted stimulus of the same instant, in insertion order;
+    /// callers must enqueue with non-decreasing `t`.
+    pub(crate) fn inject_sense(&mut self, t: Time, dense: usize, value: bool) {
+        debug_assert!(
+            self.injected.back().is_none_or(|&(back, _, _)| back <= t),
+            "injections must be enqueued in time order"
+        );
+        self.injected.push_back((t, dense, value));
+    }
+
+    /// Settles exactly the instant `t` (a co-simulation step). `horizon`
+    /// bounds tick rescheduling the same way `run`'s `until` does.
+    pub(crate) fn step_at(&mut self, t: Time, horizon: Time) -> Result<(), SimError> {
+        self.process_instant(t, horizon)
+    }
+
+    /// Moves tap captures accumulated since the last drain into `out`, in
+    /// emission order.
+    pub(crate) fn drain_captured(&mut self, out: &mut Vec<CapturedPacket>) {
+        out.append(&mut self.captured);
     }
 
     /// Settles one instant: open its calendar bucket, apply its sensor
@@ -725,14 +798,18 @@ impl<'a> Runner<'a> {
                 break;
             }
             self.sense_cursor += 1;
-            // A stuck sensor reports its stuck value regardless of what
-            // the environment does.
-            let value = self.faults.stuck_value(ev.dense).unwrap_or(ev.value);
-            let announced = self.last_sent[self.meta[ev.dense].out_offset].is_some();
-            if self.sensor_values[ev.dense] != value || !announced {
-                self.sensor_values[ev.dense] = value;
-                self.transmit(ev.dense, 0, value, t);
+            self.apply_sense(ev.dense, ev.value, t);
+        }
+        // Network-injected sense events apply after the scripted stimulus
+        // of the same instant, in the order the fleet engine delivered
+        // them (its ordering contract, not this node's).
+        while let Some(&(when, dense, value)) = self.injected.front() {
+            debug_assert!(when >= t, "injections must not arrive in the past");
+            if when != t {
+                break;
             }
+            self.injected.pop_front();
+            self.apply_sense(dense, value, t);
         }
 
         // Stage 1: sweep pending ranks in ascending order. Zero-latency
@@ -750,7 +827,7 @@ impl<'a> Runner<'a> {
                 self.emit(block, outs, t)?;
                 // Reschedule; a period that would overflow Time never fires
                 // again (instead of panicking near Time::MAX).
-                if let Some(next) = t.checked_add(self.sim.tick_period) {
+                if let Some(next) = crate::time::after(t, self.sim.tick_period) {
                     if next <= until {
                         let seq = self.seq;
                         self.seq += 1;
@@ -778,6 +855,20 @@ impl<'a> Runner<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Applies one sensor change (scripted or injected): a stuck fault
+    /// overrides the environment, and the change-or-first-announcement
+    /// rule decides whether a packet goes out.
+    fn apply_sense(&mut self, dense: usize, value: bool, t: Time) {
+        // A stuck sensor reports its stuck value regardless of what the
+        // environment does.
+        let value = self.faults.stuck_value(dense).unwrap_or(value);
+        let announced = self.last_sent[self.meta[dense].out_offset].is_some();
+        if self.sensor_values[dense] != value || !announced {
+            self.sensor_values[dense] = value;
+            self.transmit(dense, 0, value, t);
+        }
     }
 
     /// Applies one arriving packet: latch the value (or queue it for
@@ -846,13 +937,24 @@ impl<'a> Runner<'a> {
         // Energy accounting: the sender spends a transmission per driven
         // wire whether or not a fault loses the packet in flight.
         self.tx_counts[from] += self.sinks[slot].len() as u64;
+        // Co-simulation taps observe the packet exactly where the port
+        // drives the wire: after change detection (the eBlocks protocol),
+        // before any injected local fault decides its in-flight fate —
+        // link-level loss belongs to the network layer, not the node.
+        if let Some(tap) = self.taps[slot] {
+            self.captured.push(CapturedPacket {
+                time: t,
+                tap,
+                value,
+            });
+        }
         // Injected sender faults: the packet counts as sent (no ack in the
         // eBlocks protocol, so change detection above stands) but may be
         // lost or late in flight.
         let Some(extra) = self.faults.send_fate(from, t) else {
             return;
         };
-        let latency = extra.saturating_add(m.latency);
+        let latency = crate::time::clamp_after(extra, m.latency);
         let sinks = std::mem::take(&mut self.sinks);
         if latency == 0 {
             for &sink in &sinks[slot] {
@@ -860,7 +962,7 @@ impl<'a> Runner<'a> {
                 self.seq += 1;
                 self.latch(sink.to, sink.port, value, seq);
             }
-        } else if let Some(arrival) = t.checked_add(latency) {
+        } else if let Some(arrival) = crate::time::after(t, latency) {
             for &sink in &sinks[slot] {
                 let seq = self.seq;
                 self.seq += 1;

@@ -33,11 +33,12 @@ impl Stimulus {
 
     /// Raises `sensor` at `time` and lowers it `width` later. A pulse whose
     /// falling edge would overflow [`Time`] saturates at `Time::MAX` (the
-    /// sensor then simply never falls) instead of panicking.
+    /// sensor then simply never falls) instead of panicking — the shared
+    /// [`crate::time`] span policy.
     pub fn pulse(self, time: Time, width: Time, sensor: impl Into<String>) -> Self {
         let name = sensor.into();
         self.set(time, name.clone(), true)
-            .set(time.saturating_add(width), name, false)
+            .set(crate::time::clamp_after(time, width), name, false)
     }
 
     /// The script, in insertion order.

@@ -1,0 +1,47 @@
+//! Shared [`Time`] arithmetic.
+//!
+//! The PR 4 overflow hardening established the policy for scheduling near
+//! `Time::MAX`: an event whose instant would overflow simply never fires
+//! (there is no representable time for it), while a *span* that would
+//! overflow saturates at the end of time. Every scheduler that adds to a
+//! timestamp — the stimulus script, the simulator's tick/packet calendar,
+//! and the fleet network calendar in `eblocks-net` — routes through these
+//! two helpers so the policy cannot drift between layers.
+
+use crate::sim::Time;
+
+/// The instant `delay` ticks after `t`, or `None` if it would overflow
+/// [`Time`]. Use for scheduling: an unrepresentable instant means the event
+/// never fires (instead of panicking or wrapping around to the past).
+#[inline]
+pub fn after(t: Time, delay: Time) -> Option<Time> {
+    t.checked_add(delay)
+}
+
+/// The instant `delay` ticks after `t`, saturating at `Time::MAX`. Use for
+/// spans that must land somewhere — a pulse's falling edge, a link's
+/// busy-until horizon — where "the end of time" is the right clamp.
+#[inline]
+pub fn clamp_after(t: Time, delay: Time) -> Time {
+    t.saturating_add(delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn after_is_checked() {
+        assert_eq!(after(10, 5), Some(15));
+        assert_eq!(after(Time::MAX, 0), Some(Time::MAX));
+        assert_eq!(after(Time::MAX, 1), None);
+        assert_eq!(after(Time::MAX - 3, 5), None);
+    }
+
+    #[test]
+    fn clamp_after_saturates() {
+        assert_eq!(clamp_after(10, 5), 15);
+        assert_eq!(clamp_after(Time::MAX - 3, 5), Time::MAX);
+        assert_eq!(clamp_after(Time::MAX, Time::MAX), Time::MAX);
+    }
+}

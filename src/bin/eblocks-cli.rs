@@ -16,6 +16,8 @@
 //!                   [--queue-capacity N] [--poll-ms N] [--lint] [--deny errors|warnings]
 //!                   [--retries N] [--job-timeout-ms N]
 //! eblocks-cli sim <netlist> --stimulus <script> [--until T] [--vcd FILE]
+//! eblocks-cli fleet <spec> [--nodes N] [--topology KIND] [--seed N] [--until T]
+//!                   [--json] [--trace FILE] [--chaos-seed N]
 //! eblocks-cli place <netlist> (--grid WxH | --topology FILE)
 //!                   [--pin block=COL,ROW | --pin block=SITE ...] [--iterations N]
 //! eblocks-cli --list-partitioners      # print the registered strategy names
@@ -81,7 +83,14 @@
 //! final accepted/rejected/completed counters on exit.
 //! `sim` runs a stimulus script
 //! (lines of `<time> <sensor> <0|1>`, `#` comments) and prints an ASCII
-//! waveform; `--vcd` additionally writes a VCD dump. `place` maps the design
+//! waveform; `--vcd` additionally writes a VCD dump. `fleet` runs a fleet
+//! co-simulation (`eblocks::net`) from a fleet spec file — JSON or the
+//! line-oriented `key = value` format — with `--nodes`, `--topology`,
+//! `--seed`, and `--until` overriding the spec's values; `--json` prints
+//! the deterministic `FleetReport`, `--trace FILE` writes the fleet event
+//! trace, and `--chaos-seed N` runs the fleet under a seeded network storm
+//! (`eblocks::chaos::NetChaosPlan::storm`) that replays exactly from the
+//! printed seed. `place` maps the design
 //! onto a grid of deployment sites (the paper's §6 future work), honoring
 //! `--pin` anchors, and prints the per-block site assignment and total
 //! routed hops.
@@ -189,12 +198,15 @@ struct Options {
     queue_capacity: Option<usize>,
     poll_ms: Option<u64>,
     stimulus: Option<PathBuf>,
-    until: u64,
+    until: Option<u64>,
     vcd: Option<PathBuf>,
     grid: Option<(usize, usize)>,
     topology: Option<PathBuf>,
     pins: Vec<(String, String)>,
     iterations: u32,
+    nodes: Option<u32>,
+    seed: Option<u64>,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -202,7 +214,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let command = it.next().ok_or(USAGE)?.clone();
     if !matches!(
         command.as_str(),
-        "synth" | "check" | "lint" | "partition" | "batch" | "serve" | "sim" | "place"
+        "synth" | "check" | "lint" | "partition" | "batch" | "serve" | "sim" | "fleet" | "place"
     ) {
         return Err(format!("unknown command `{command}`\n{USAGE}"));
     }
@@ -230,12 +242,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         queue_capacity: None,
         poll_ms: None,
         stimulus: None,
-        until: 1000,
+        until: None,
         vcd: None,
         grid: None,
         topology: None,
         pins: Vec::new(),
         iterations: 10_000,
+        nodes: None,
+        seed: None,
+        trace: None,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -349,11 +364,31 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.stimulus = Some(PathBuf::from(it.next().ok_or("missing stimulus path")?));
             }
             "--until" => {
-                options.until = it
-                    .next()
-                    .ok_or("missing value for --until")?
-                    .parse()
-                    .map_err(|_| "bad --until value")?;
+                options.until = Some(
+                    it.next()
+                        .ok_or("missing value for --until")?
+                        .parse()
+                        .map_err(|_| "bad --until value")?,
+                );
+            }
+            "--nodes" => {
+                options.nodes = Some(
+                    it.next()
+                        .ok_or("missing value for --nodes")?
+                        .parse()
+                        .map_err(|_| "bad --nodes value")?,
+                );
+            }
+            "--seed" => {
+                options.seed = Some(
+                    it.next()
+                        .ok_or("missing value for --seed")?
+                        .parse()
+                        .map_err(|_| "bad --seed value")?,
+                );
+            }
+            "--trace" => {
+                options.trace = Some(PathBuf::from(it.next().ok_or("missing trace path")?));
             }
             "--vcd" => {
                 options.vcd = Some(PathBuf::from(it.next().ok_or("missing vcd path")?));
@@ -392,13 +427,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 const USAGE: &str =
-    "usage: eblocks-cli <synth|check|lint|partition|batch|serve|sim|place> <netlist|manifest(.json)|spool-DIR> \
+    "usage: eblocks-cli <synth|check|lint|partition|batch|serve|sim|fleet|place> <netlist|manifest(.json)|fleet-spec|spool-DIR> \
 [-o OUTDIR] [--partitioner pare-down|exhaustive|aggregation|refine|anneal|list] \
 [--inputs N] [--outputs N] [--no-verify] [--lint | --no-lint] [--fix [--check]] \
 [--deny errors|warnings] [--timings] \
 [--jobs N] [--json] [--retries N] [--job-timeout-ms N] [--chaos-seed N] [--chaos-trace FILE] \
 [--socket PATH] [--serve-workers N] [--queue-capacity N] [--poll-ms N] \
 [--stimulus FILE] [--until T] [--vcd FILE] \
+[--nodes N] [--seed N] [--trace FILE] \
 [--grid WxH | --topology FILE] [--pin block=COL,ROW | block=SITE] [--iterations N] \
  | eblocks-cli --list-partitioners";
 
@@ -448,6 +484,10 @@ fn run(args: &[String]) -> Result<String, Failure> {
     // behavior programs, not just single netlist files.
     if options.command == "lint" {
         return lint_command(&options);
+    }
+    // `fleet` loads a fleet spec, not a netlist.
+    if options.command == "fleet" {
+        return fleet_command(&options);
     }
     let text = std::fs::read_to_string(&options.input)
         .map_err(|e| format!("cannot read {}: {e}", options.input.display()))?;
@@ -563,6 +603,84 @@ fn serve_command(options: &Options) -> Result<String, Failure> {
         "serve: drained; {} accepted, {} rejected, {} completed\n",
         summary.accepted, summary.rejected, summary.completed
     ))
+}
+
+/// Runs a fleet co-simulation from a fleet spec file. CLI flags override
+/// the spec's node count, topology, seed, and horizon; `--chaos-seed`
+/// additionally runs the fleet under a seeded network storm.
+fn fleet_command(options: &Options) -> Result<String, Failure> {
+    use eblocks::chaos::{NetChaosInjector, NetChaosPlan};
+    use eblocks::net::{FleetRequest, NetFaultInjector, NoFaults};
+
+    let text = std::fs::read_to_string(&options.input)
+        .map_err(|e| format!("cannot read {}: {e}", options.input.display()))?;
+    let mut spec = FleetRequest::parse(&text).map_err(|e| e.to_string())?;
+    if let Some(nodes) = options.nodes {
+        spec.nodes = nodes;
+    }
+    if let Some(kind) = options.topology.as_ref().and_then(|p| p.to_str()) {
+        spec.topology = kind.to_string();
+    }
+    if let Some(seed) = options.seed {
+        spec.seed = Some(seed);
+    }
+    if let Some(until) = options.until {
+        spec.until = Some(until);
+    }
+    let base = options
+        .input
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let fleet = spec.build(&base).map_err(|e| e.to_string())?;
+    let until = spec.until();
+    let faults: Box<dyn NetFaultInjector> = match options.chaos_seed {
+        Some(seed) => Box::new(NetChaosInjector::new(seed, NetChaosPlan::storm(until))),
+        None => Box::new(NoFaults),
+    };
+    let outcome = fleet
+        .run_with(until, options.trace.is_some(), faults.as_ref())
+        .map_err(|e| e.to_string())?;
+    if let Some(path) = &options.trace {
+        let trace = outcome.trace.as_deref().expect("trace was requested");
+        std::fs::write(path, trace).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    let report = &outcome.report;
+    if options.json {
+        let mut json = report.to_json_pretty();
+        json.push('\n');
+        return Ok(json);
+    }
+    let mut out = format!(
+        "fleet {}: {} node(s) on {}, seed {}, until {}\n",
+        report.name, report.nodes, report.topology, report.seed, report.until
+    );
+    if let Some(seed) = options.chaos_seed {
+        out.push_str(&format!("chaos storm: seed {seed} (replayable)\n"));
+    }
+    out.push_str(&format!(
+        "events: {}; packets: {} sent, {} delivered, {} dropped, {} in flight; crashes: {}\n",
+        report.events,
+        report.packets_sent,
+        report.packets_delivered,
+        report.packets_dropped,
+        report.packets_in_flight,
+        report.crashes
+    ));
+    for node in &report.node_stats {
+        let crashed = node
+            .crashed_at
+            .map(|t| format!("  (crashed at t={t})"))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "  {:<8} @ {:<10} sent {:>5}  received {:>5}  energy {:>10.1} nJ{crashed}\n",
+            node.name, node.site, node.sent, node.received, node.energy_nj
+        ));
+    }
+    if let Some(path) = &options.trace {
+        out.push_str(&format!("wrote {}\n", path.display()));
+    }
+    Ok(out)
 }
 
 fn check_command(design: &Design) -> Result<String, String> {
@@ -1524,21 +1642,22 @@ fn parse_stimulus(text: &str) -> Result<eblocks::sim::Stimulus, String> {
 }
 
 fn sim_command(design: &Design, options: &Options) -> Result<String, String> {
+    let until = options.until.unwrap_or(1000);
     let stim = match &options.stimulus {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
             parse_stimulus(&text)?
         }
-        None => eblocks::synth::exercise_all_sensors(design, options.until / 16),
+        None => eblocks::synth::exercise_all_sensors(design, until / 16),
     };
     let sim = eblocks::sim::Simulator::new(design).map_err(|e| e.to_string())?;
-    let trace = sim.run(&stim, options.until).map_err(|e| e.to_string())?;
+    let trace = sim.run(&stim, until).map_err(|e| e.to_string())?;
 
     let mut out = String::new();
-    out.push_str(&eblocks::sim::render_all(&trace, options.until, 64));
+    out.push_str(&eblocks::sim::render_all(&trace, until, 64));
     if let Some(path) = &options.vcd {
-        let vcd = eblocks::sim::to_vcd(&trace, design.name(), options.until);
+        let vcd = eblocks::sim::to_vcd(&trace, design.name(), until);
         std::fs::write(path, vcd).map_err(|e| e.to_string())?;
         out.push_str(&format!("wrote {}\n", path.display()));
     }
@@ -1829,5 +1948,135 @@ wire both.0 -> led.0
         assert!(parse_stimulus("x door 1").unwrap_err().contains("bad time"));
         assert!(parse_stimulus("10 door").unwrap_err().contains("expected"));
         assert!(parse_stimulus("# only comments\n\n").is_ok());
+    }
+}
+
+#[cfg(test)]
+mod fleet_tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("eblocks-cli-fleet-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn write_spec(dir: &Path) -> PathBuf {
+        let spec = "\
+name = lamps
+nodes = 4
+topology = star
+library = Night Lamp Controller
+until = 120
+seed = 7
+";
+        let path = dir.join("lamps.fleet");
+        std::fs::write(&path, spec).unwrap();
+        path
+    }
+
+    #[test]
+    fn fleet_runs_a_spec_and_reports() {
+        let dir = tempdir("run");
+        let path = write_spec(&dir);
+        let out = run(&s(&["fleet", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("fleet lamps: 4 node(s) on star(4)"), "{out}");
+        assert!(out.contains("seed 7, until 120"), "{out}");
+        assert!(out.contains("n0") && out.contains("n3"), "{out}");
+        assert!(out.contains("nJ"), "{out}");
+    }
+
+    #[test]
+    fn fleet_json_and_trace_are_deterministic() {
+        let dir = tempdir("det");
+        let path = write_spec(&dir);
+        let trace_a = dir.join("a.trace");
+        let trace_b = dir.join("b.trace");
+        let once = |trace: &Path| {
+            run(&s(&[
+                "fleet",
+                path.to_str().unwrap(),
+                "--json",
+                "--trace",
+                trace.to_str().unwrap(),
+            ]))
+            .unwrap()
+        };
+        let a = once(&trace_a);
+        let b = once(&trace_b);
+        assert_eq!(a, b, "report must be byte-identical across runs");
+        assert!(a.starts_with('{'), "{a}");
+        assert!(a.contains("\"packets_delivered\""), "{a}");
+        let bytes_a = std::fs::read_to_string(&trace_a).unwrap();
+        let bytes_b = std::fs::read_to_string(&trace_b).unwrap();
+        assert_eq!(bytes_a, bytes_b, "trace must be byte-identical");
+        assert!(bytes_a.starts_with("# eblocks-fleet-trace v1"), "{bytes_a}");
+    }
+
+    #[test]
+    fn fleet_flags_override_the_spec() {
+        let dir = tempdir("override");
+        let path = write_spec(&dir);
+        let out = run(&s(&[
+            "fleet",
+            path.to_str().unwrap(),
+            "--nodes",
+            "6",
+            "--topology",
+            "grid",
+            "--seed",
+            "9",
+            "--until",
+            "80",
+        ]))
+        .unwrap();
+        assert!(out.contains("6 node(s) on grid(3x2)"), "{out}");
+        assert!(out.contains("seed 9, until 80"), "{out}");
+    }
+
+    #[test]
+    fn fleet_chaos_storm_replays_from_the_seed() {
+        let dir = tempdir("chaos");
+        let path = write_spec(&dir);
+        let storm = || {
+            run(&s(&[
+                "fleet",
+                path.to_str().unwrap(),
+                "--chaos-seed",
+                "3",
+                "--json",
+            ]))
+            .unwrap()
+        };
+        let a = storm();
+        assert_eq!(a, storm(), "the seed alone replays the storm");
+        // The healthy run differs from the storm (faults really fired).
+        let healthy = run(&s(&["fleet", path.to_str().unwrap(), "--json"])).unwrap();
+        assert_ne!(a, healthy, "the storm must perturb the fleet");
+    }
+
+    #[test]
+    fn fleet_errors_are_reported() {
+        let dir = tempdir("err");
+        let bad = dir.join("bad.fleet");
+        std::fs::write(&bad, "nodes = 2\nwat = 9\n").unwrap();
+        let err = run(&s(&["fleet", bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let path = write_spec(&dir);
+        let err = run(&s(&[
+            "fleet",
+            path.to_str().unwrap(),
+            "--topology",
+            "moebius",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown topology"), "{err}");
+        let err = run(&s(&["fleet", path.to_str().unwrap(), "--nodes", "some"])).unwrap_err();
+        assert!(err.contains("bad --nodes value"), "{err}");
     }
 }

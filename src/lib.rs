@@ -24,6 +24,7 @@
 //! | [`gen`] | `eblocks-gen` | the random design generator |
 //! | [`lint`] | `eblocks-lint` | static analysis: rule registry, structured [`Diagnostic`](lint::Diagnostic)s over designs and behavior programs |
 //! | [`place`] | `eblocks-place` | deployment onto an existing physical node network (§6 future work) |
+//! | [`net`] | `eblocks-net` | fleet co-simulation: many node designs exchanging packets over a modeled network under one global clock |
 //!
 //! # Quickstart
 //!
@@ -102,6 +103,7 @@ pub use eblocks_farm as farm;
 pub use eblocks_farm::api;
 pub use eblocks_gen as gen;
 pub use eblocks_lint as lint;
+pub use eblocks_net as net;
 pub use eblocks_partition as partition;
 pub use eblocks_place as place;
 pub use eblocks_serve as serve;
